@@ -1,0 +1,42 @@
+// Reproduces Fig. 5: optimization time for cycle-based hypergraphs.
+//   Left plot:  cycle with 8 relations,  hyperedge splits 0..3.
+//   Right plot: cycle with 16 relations, hyperedge splits 0..7.
+// Series: DPhyp, DPsize, DPsub.
+//
+// Paper shape (Pentium D, 2008): DPhyp fastest everywhere; all algorithms
+// get slower as splits weaken the hyperedge constraints (larger search
+// space); DPsize beats DPsub on large cycle-based graphs; at n=16 DPsize
+// reaches seconds and DPsub exceeds the plot.
+#include <cstdio>
+
+#include "harness.h"
+#include "workload/generators.h"
+
+using namespace dphyp;
+using namespace dphyp::bench;
+
+namespace {
+
+void RunSweep(int n) {
+  std::printf("== Fig. 5: cycle queries with %d relations ==\n", n);
+  TablePrinter table({"splits", "DPhyp [ms]", "DPsize [ms]", "DPsub [ms]"});
+  int max_splits = MaxHyperedgeSplits(n / 2);
+  for (int splits = 0; splits <= max_splits; ++splits) {
+    Hypergraph g = BuildHypergraphOrDie(MakeCycleHypergraphQuery(n, splits));
+    table.AddRow({std::to_string(splits),
+                  FormatMillis(TimeOptimize(Algorithm::kDphyp, g)),
+                  FormatMillis(TimeOptimize(Algorithm::kDpsize, g)),
+                  FormatMillis(TimeOptimize(Algorithm::kDpsub, g))});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  int max_n = EnvInt("DPHYP_BENCH_MAX_N", 16);
+  RunSweep(8);
+  if (max_n >= 16) RunSweep(16);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces Fig. 7: star queries *without* hyperedges (regular graphs),
+// number of relations 3..16, log-scale in the paper. Series: DPhyp, DPsize,
+// DPsub — plus DPccp and TDbasic as supporting context (Sec. 4.4 claims
+// DPhyp behaves exactly like DPccp on regular graphs; TDbasic stands in for
+// naive memoization).
+//
+// Paper shape: DPhyp is orders of magnitude ahead; DPsub beats DPsize on
+// stars; both explode combinatorially while DPhyp grows with the
+// csg-cmp-pair count only.
+#include <cstdio>
+
+#include "harness.h"
+#include "workload/generators.h"
+
+using namespace dphyp;
+using namespace dphyp::bench;
+
+int main() {
+  int max_n = EnvInt("DPHYP_BENCH_MAX_N", 16);
+  std::printf("== Fig. 7: star queries without hyperedges ==\n");
+  TablePrinter table({"relations", "DPhyp [ms]", "DPsize [ms]", "DPsub [ms]",
+                      "DPccp [ms]", "TDbasic [ms]"});
+  for (int n = 3; n <= max_n; ++n) {
+    Hypergraph g = BuildHypergraphOrDie(MakeStarQuery(n - 1));
+    table.AddRow({std::to_string(n),
+                  FormatMillis(TimeOptimize(Algorithm::kDphyp, g)),
+                  FormatMillis(TimeOptimize(Algorithm::kDpsize, g)),
+                  FormatMillis(TimeOptimize(Algorithm::kDpsub, g)),
+                  FormatMillis(TimeOptimize(Algorithm::kDpccp, g)),
+                  FormatMillis(TimeOptimize(Algorithm::kTdBasic, g))});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Shared harness for the figure/table reproductions: timing loops and
+// aligned table printing matching the rows/series the paper reports.
+#ifndef DPHYP_BENCH_HARNESS_H_
+#define DPHYP_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/all_algorithms.h"
+#include "hypergraph/builder.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace dphyp::bench {
+
+/// Times one optimizer run (median-of-means over adaptive repetitions for
+/// fast cases, single run for slow ones) and returns milliseconds.
+inline double TimeOptimize(Algorithm algo, const Hypergraph& graph,
+                           const OptimizerOptions& options = {}) {
+  CardinalityEstimator est(graph);
+  const CostModel& model = DefaultCostModel();
+  // Probe run: validates success and, for slow cases, doubles as the
+  // measurement (a multi-second enumeration does not need repetitions).
+  Timer probe_timer;
+  OptimizeResult probe = Optimize(algo, graph, est, model, options);
+  double probe_ms = probe_timer.ElapsedMillis();
+  if (!probe.success) {
+    std::fprintf(stderr, "bench: %s failed: %s\n", AlgorithmName(algo),
+                 probe.error.c_str());
+    std::exit(1);
+  }
+  if (probe_ms > 1000.0) return probe_ms;
+  return MeasureMillis(
+      [&] {
+        OptimizeResult r = Optimize(algo, graph, est, model, options);
+        (void)r;
+      },
+      /*min_total_ms=*/30.0, /*max_reps=*/200);
+}
+
+/// Simple aligned table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (row[i].size() > widths[i]) widths[i] = row[i].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::string line;
+      for (size_t i = 0; i < row.size(); ++i) {
+        line += PadLeft(row[i], static_cast<int>(widths[i]));
+        if (i + 1 < row.size()) line += "  ";
+      }
+      std::printf("%s\n", line.c_str());
+    };
+    print_row(headers_);
+    std::string sep;
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      sep += std::string(widths[i], '-');
+      if (i + 1 < headers_.size()) sep += "  ";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Reads a size cap from the environment so CI can shrink the heavyweight
+/// sweeps (e.g. DPHYP_BENCH_MAX_N=12).
+inline int EnvInt(const char* name, int default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return default_value;
+  return std::atoi(value);
+}
+
+}  // namespace dphyp::bench
+
+#endif  // DPHYP_BENCH_HARNESS_H_

@@ -1,0 +1,127 @@
+// Micro benchmarks (google-benchmark): the primitive operations whose cost
+// dominates enumeration — neighborhood computation, connectivity tests,
+// subset walks, DP table probes — plus whole-algorithm baselines and the
+// DPhyp-vs-DPccp constant-factor comparison on regular graphs (Sec. 4.4).
+#include <benchmark/benchmark.h>
+
+#include "baselines/all_algorithms.h"
+#include "hypergraph/builder.h"
+#include "hypergraph/connectivity.h"
+#include "util/subset.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+void BM_SubsetWalk(benchmark::State& state) {
+  NodeSet mask = NodeSet::FullSet(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (NodeSet s : NonEmptySubsetsOf(mask)) acc += s.bits();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          ((uint64_t{1} << state.range(0)) - 1));
+}
+BENCHMARK(BM_SubsetWalk)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_Neighborhood(benchmark::State& state) {
+  Hypergraph g = BuildHypergraphOrDie(
+      MakeCycleHypergraphQuery(16, static_cast<int>(state.range(0))));
+  NodeSet s = NodeSet::FullSet(5);
+  NodeSet x = NodeSet::Single(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.Neighborhood(s, x));
+  }
+}
+BENCHMARK(BM_Neighborhood)->Arg(0)->Arg(3)->Arg(7);
+
+void BM_ConnectsSets(benchmark::State& state) {
+  Hypergraph g = BuildHypergraphOrDie(MakeCycleHypergraphQuery(16, 1));
+  NodeSet s1 = NodeSet::FullSet(8);
+  NodeSet s2 = NodeSet::FullSet(16) - s1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.ConnectsSets(s1, s2));
+  }
+}
+BENCHMARK(BM_ConnectsSets);
+
+void BM_DpTableProbe(benchmark::State& state) {
+  DpTable table(1024);
+  for (uint64_t bits = 1; bits < 4096; ++bits) {
+    table.Insert(NodeSet(bits))->cost = static_cast<double>(bits);
+  }
+  uint64_t probe = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Find(NodeSet(probe)));
+    probe = probe % 8191 + 1;
+  }
+}
+BENCHMARK(BM_DpTableProbe);
+
+void BM_CardinalityEstimate(benchmark::State& state) {
+  Hypergraph g = BuildHypergraphOrDie(MakeCliqueQuery(12));
+  CardinalityEstimator est(g);
+  NodeSet s = NodeSet::FullSet(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.Estimate(s));
+  }
+}
+BENCHMARK(BM_CardinalityEstimate);
+
+template <Algorithm algo>
+void BM_OptimizeShape(benchmark::State& state, const QuerySpec& spec) {
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  CardinalityEstimator est(g);
+  for (auto _ : state) {
+    OptimizeResult r = Optimize(algo, g, est, DefaultCostModel());
+    benchmark::DoNotOptimize(r.cost);
+  }
+}
+
+void BM_DphypChain(benchmark::State& state) {
+  BM_OptimizeShape<Algorithm::kDphyp>(
+      state, MakeChainQuery(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_DphypChain)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_DphypClique(benchmark::State& state) {
+  BM_OptimizeShape<Algorithm::kDphyp>(
+      state, MakeCliqueQuery(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_DphypClique)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_DphypCycleHyper(benchmark::State& state) {
+  BM_OptimizeShape<Algorithm::kDphyp>(
+      state, MakeCycleHypergraphQuery(16, static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_DphypCycleHyper)->Arg(0)->Arg(3)->Arg(7);
+
+// Sec. 4.4: DPhyp's constant-factor overhead over DPccp on regular graphs.
+void BM_DphypRegularStar(benchmark::State& state) {
+  BM_OptimizeShape<Algorithm::kDphyp>(
+      state, MakeStarQuery(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_DphypRegularStar)->Arg(8)->Arg(12);
+
+void BM_DpccpRegularStar(benchmark::State& state) {
+  BM_OptimizeShape<Algorithm::kDpccp>(
+      state, MakeStarQuery(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_DpccpRegularStar)->Arg(8)->Arg(12);
+
+void BM_BruteForceCcpCount(benchmark::State& state) {
+  Hypergraph g = BuildHypergraphOrDie(
+      MakeCycleQuery(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    // The definitional oracle — exponential by design; shown here to make
+    // its cost visible next to the algorithms that avoid it.
+    benchmark::DoNotOptimize(CountCsgCmpPairs(g));
+  }
+}
+BENCHMARK(BM_BruteForceCcpCount)->Arg(8)->Arg(10);
+
+}  // namespace
+}  // namespace dphyp
+
+BENCHMARK_MAIN();

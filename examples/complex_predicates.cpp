@@ -1,0 +1,96 @@
+// Complex join predicates and generalized hyperedges (Sec. 2 and Sec. 6).
+//
+// Shows three variants of the paper's running predicate
+//     R1.a + R2.b + R3.c = R4.d + R5.e + R6.f
+// 1. as the fixed hyperedge ({R1,R2,R3}, {R4,R5,R6})          (Def. 1),
+// 2. rewritten algebraically to ({R1,R2}, {R3,...,R6})        (Sec. 2.1),
+// 3. as a *generalized* hyperedge ({R1}, {R4}, w={R2,R3,R5,R6}) where the
+//    flexible relations may land on either side (Def. 6) — the most
+//    permissive correct encoding, giving the optimizer the largest valid
+//    search space.
+// The example prints search-space statistics for each encoding: more
+// freedom => more csg-cmp-pairs => potentially better plans.
+#include <cstdio>
+
+#include "core/dphyp.h"
+#include "hypergraph/builder.h"
+
+using namespace dphyp;
+
+namespace {
+
+QuerySpec BaseSpec() {
+  QuerySpec spec;
+  spec.AddRelation("R1", 1000);
+  spec.AddRelation("R2", 200);
+  spec.AddRelation("R3", 5000);
+  spec.AddRelation("R4", 300);
+  spec.AddRelation("R5", 8000);
+  spec.AddRelation("R6", 150);
+  // The simple chain edges of Fig. 2.
+  spec.AddSimplePredicate(0, 1, 0.01);
+  spec.AddSimplePredicate(1, 2, 0.005);
+  spec.AddSimplePredicate(3, 4, 0.02);
+  spec.AddSimplePredicate(4, 5, 0.01);
+  return spec;
+}
+
+NodeSet Set(std::initializer_list<int> nodes) {
+  NodeSet s;
+  for (int v : nodes) s |= NodeSet::Single(v);
+  return s;
+}
+
+void Report(const char* label, const QuerySpec& spec) {
+  Hypergraph graph = BuildHypergraphOrDie(spec);
+  OptimizeResult r = OptimizeDphyp(graph);
+  if (!r.success) {
+    std::fprintf(stderr, "%s: optimization failed: %s\n", label,
+                 r.error.c_str());
+    return;
+  }
+  PlanTree plan = r.ExtractPlan(graph);
+  std::printf("%-42s ccps=%5llu  entries=%3llu  cost=%g\n  plan: %s\n\n",
+              label, static_cast<unsigned long long>(r.stats.ccp_pairs),
+              static_cast<unsigned long long>(r.stats.dp_entries), r.cost,
+              plan.ToAlgebraString(graph).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Encodings of R1.a + R2.b + R3.c = R4.d + R5.e + R6.f\n");
+  std::printf("====================================================\n\n");
+
+  {
+    QuerySpec spec = BaseSpec();
+    spec.AddComplexPredicate(Set({0, 1, 2}), Set({3, 4, 5}), 0.001);
+    Report("1. fixed hyperedge ({R1,R2,R3},{R4,R5,R6})", spec);
+  }
+  {
+    QuerySpec spec = BaseSpec();
+    // R1.a + R2.b = R4.d + R5.e + R6.f - R3.c — the algebraic rewrite of
+    // Sec. 2.1. Conceptually *all* derived variants are added to the graph;
+    // a rewrite alone can be useless (here {R3,...,R6} is not a connected
+    // side, so the rewritten edge can never fire) — which is exactly why
+    // the paper keeps the original edge alongside.
+    spec.AddComplexPredicate(Set({0, 1, 2}), Set({3, 4, 5}), 0.001);
+    spec.AddComplexPredicate(Set({0, 1}), Set({2, 3, 4, 5}), 0.001);
+    Report("2. original + rewritten ({R1,R2},{R3..R6})", spec);
+  }
+  {
+    QuerySpec spec = BaseSpec();
+    // Generalized: R1 must be left, R4 must be right, the rest may float.
+    spec.AddComplexPredicate(Set({0}), Set({3}), 0.001, OpType::kJoin,
+                             /*flex=*/Set({1, 2, 4, 5}));
+    Report("3. generalized edge ({R1},{R4}, w={R2,R3,R5,R6})", spec);
+  }
+
+  std::printf(
+      "For this chain topology all three encodings reach the same plans —\n"
+      "every valid assembly must complete both chains first. The point of\n"
+      "the generalized (u,v,w) form is that it subsumes every algebraic\n"
+      "rewrite in one edge: with richer graphs it exposes strictly more\n"
+      "valid orders, and it never separates R1 from R4 (Sec. 6).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Non-inner joins end to end (Sec. 5): build an operator tree with outer
+// joins, an antijoin and a lateral (dependent) join; run the SES/TES
+// conflict analysis; derive the hypergraph; optimize with DPhyp; execute
+// both the original tree and the optimized plan on synthetic data and
+// verify they agree tuple-for-tuple.
+//
+// Query sketch (left-to-right leaf order):
+//   ((orders JOIN lines) LOJ returns) DJOIN per_order_stats(orders) ANTI bad
+#include <cstdio>
+
+#include "core/dphyp.h"
+#include "exec/executor.h"
+#include "reorder/ses_tes.h"
+
+using namespace dphyp;
+
+namespace {
+
+NodeSet Set(std::initializer_list<int> nodes) {
+  NodeSet s;
+  for (int v : nodes) s |= NodeSet::Single(v);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  OperatorTree tree;
+  // Relations, numbered left-to-right (Sec. 5.4).
+  tree.relations.push_back({.name = "orders", .cardinality = 1000});
+  tree.relations.push_back({.name = "lines", .cardinality = 4000});
+  tree.relations.push_back({.name = "returns", .cardinality = 300});
+  RelationInfo stats;
+  stats.name = "per_order_stats";  // lateral table function over `orders`
+  stats.cardinality = 50;
+  stats.free_tables = Set({0});
+  tree.relations.push_back(stats);
+  tree.relations.push_back({.name = "blacklist", .cardinality = 20});
+
+  int orders = tree.AddLeaf(0);
+  int lines = tree.AddLeaf(1);
+  int join = tree.AddOp(OpType::kJoin, orders, lines,
+                        {tree.AddPredicate(Set({0, 1}), 0.004)});
+  int returns = tree.AddLeaf(2);
+  int loj = tree.AddOp(OpType::kLeftOuterjoin, join, returns,
+                       {tree.AddPredicate(Set({1, 2}), 0.01)});
+  int stats_leaf = tree.AddLeaf(3);
+  int djoin = tree.AddOp(OpType::kDepJoin, loj, stats_leaf,
+                         {tree.AddPredicate(Set({0, 3}), 0.05)});
+  int blacklist = tree.AddLeaf(4);
+  tree.root = tree.AddOp(OpType::kLeftAntijoin, djoin, blacklist,
+                         {tree.AddPredicate(Set({0, 4}), 0.1)});
+
+  Result<bool> ok = tree.Finalize();
+  if (!ok.ok()) {
+    std::fprintf(stderr, "invalid tree: %s\n", ok.error().message.c_str());
+    return 1;
+  }
+  tree.FillDefaultPayloads();
+  // The default payload moduli mirror the (tiny) selectivities, which would
+  // make the 8-row demo dataset produce empty results; use small moduli so
+  // the execution check below has visible tuples. (Cost estimation keeps
+  // using the selectivities above.)
+  for (size_t i = 0; i < tree.predicates.size(); ++i) {
+    tree.predicates[i].modulus = 2 + static_cast<int64_t>(i % 2);
+  }
+  std::printf("original operator tree:  %s\n\n", tree.ToString().c_str());
+
+  // Conflict analysis and hyperedge derivation.
+  OperatorTree normalized;
+  DerivedQuery dq = DeriveQuery(tree, &normalized);
+  std::printf("derived hyperedges (one per operator, Sec. 5.7):\n");
+  for (int e = 0; e < dq.graph.NumEdges(); ++e) {
+    std::printf("  %s\n", dq.graph.edge(e).ToString().c_str());
+  }
+
+  // Optimize.
+  CardinalityEstimator est(dq.graph);
+  OptimizeResult result = OptimizeDphyp(dq.graph, est, DefaultCostModel());
+  if (!result.success) {
+    std::fprintf(stderr, "optimization failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  PlanTree optimized = result.ExtractPlan(dq.graph);
+  PlanTree reference = ReferencePlan(normalized, dq, est, DefaultCostModel());
+  std::printf("\noriginal  cost (C_out): %.1f\n", reference.root()->cost);
+  std::printf("optimized cost (C_out): %.1f\n", result.cost);
+  std::printf("optimized plan:          %s\n",
+              optimized.ToAlgebraString(dq.graph).c_str());
+
+  // Execute both plans on synthetic data and compare multisets.
+  Dataset dataset = Dataset::Generate(normalized.relations, 8, /*seed=*/2026);
+  Executor exec(dataset, dq.graph, normalized.relations,
+                ConjunctsFromTree(normalized, dq.edge_to_op));
+  ExecResult expected = exec.Execute(reference);
+  ExecResult actual = exec.Execute(optimized);
+  std::printf("\nexecution check: original produced %zu tuples, optimized %zu "
+              "— results %s\n",
+              expected.tuples.size(), actual.tuples.size(),
+              actual.SameAs(expected) ? "IDENTICAL" : "DIFFERENT (bug!)");
+  return actual.SameAs(expected) ? 0 : 1;
+}

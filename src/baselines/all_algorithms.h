@@ -1,0 +1,82 @@
+// Uniform dispatch over every enumeration algorithm in the repository.
+// Tests sweep this list to assert cost agreement; benches use it to run the
+// paper's competitor lineups.
+#ifndef DPHYP_BASELINES_ALL_ALGORITHMS_H_
+#define DPHYP_BASELINES_ALL_ALGORITHMS_H_
+
+#include <string>
+
+#include "baselines/dpccp.h"
+#include "baselines/dpsize.h"
+#include "baselines/dpsub.h"
+#include "baselines/tdbasic.h"
+#include "baselines/tdpartition.h"
+#include "core/dphyp.h"
+
+namespace dphyp {
+
+/// All join-enumeration algorithms.
+enum class Algorithm {
+  kDphyp,
+  kDpsize,
+  kDpsub,
+  kDpccp,
+  kTdBasic,
+  kTdPartition,
+};
+
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kDphyp,   Algorithm::kDpsize,  Algorithm::kDpsub,
+    Algorithm::kDpccp,   Algorithm::kTdBasic, Algorithm::kTdPartition};
+
+inline const char* AlgorithmName(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kDphyp:
+      return "DPhyp";
+    case Algorithm::kDpsize:
+      return "DPsize";
+    case Algorithm::kDpsub:
+      return "DPsub";
+    case Algorithm::kDpccp:
+      return "DPccp";
+    case Algorithm::kTdBasic:
+      return "TDbasic";
+    case Algorithm::kTdPartition:
+      return "TDpartition";
+  }
+  return "?";
+}
+
+/// Runs the selected algorithm.
+inline OptimizeResult Optimize(Algorithm algo, const Hypergraph& graph,
+                               const CardinalityEstimator& est,
+                               const CostModel& cost_model,
+                               const OptimizerOptions& options = {}) {
+  switch (algo) {
+    case Algorithm::kDphyp:
+      return OptimizeDphyp(graph, est, cost_model, options);
+    case Algorithm::kDpsize:
+      return OptimizeDpsize(graph, est, cost_model, options);
+    case Algorithm::kDpsub:
+      return OptimizeDpsub(graph, est, cost_model, options);
+    case Algorithm::kDpccp:
+      return OptimizeDpccp(graph, est, cost_model, options);
+    case Algorithm::kTdBasic:
+      return OptimizeTdBasic(graph, est, cost_model, options);
+    case Algorithm::kTdPartition:
+      return OptimizeTdPartition(graph, est, cost_model, options);
+  }
+  OptimizeResult result;
+  result.error = "unknown algorithm";
+  return result;
+}
+
+/// Convenience wrapper with default estimator and cost model.
+inline OptimizeResult Optimize(Algorithm algo, const Hypergraph& graph) {
+  CardinalityEstimator est(graph);
+  return Optimize(algo, graph, est, DefaultCostModel());
+}
+
+}  // namespace dphyp
+
+#endif  // DPHYP_BASELINES_ALL_ALGORITHMS_H_

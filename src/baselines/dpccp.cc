@@ -1,0 +1,84 @@
+#include "baselines/dpccp.h"
+
+#include "util/subset.h"
+
+namespace dphyp {
+
+namespace {
+
+/// DPccp enumeration. For simple graphs, any subset of a csg's neighborhood
+/// grows it into another csg and any grown complement stays joined to S1
+/// (the seed is adjacent), so no connectivity tests are needed at all.
+class DpccpSolver {
+ public:
+  DpccpSolver(const Hypergraph& graph, OptimizerContext& ctx)
+      : graph_(graph), ctx_(ctx) {}
+
+  void Run() {
+    ctx_.InitLeaves();
+    for (int v = graph_.NumNodes() - 1; v >= 0; --v) {
+      NodeSet single = NodeSet::Single(v);
+      EmitCsg(single);
+      EnumerateCsgRec(single, NodeSet::UpTo(v));
+    }
+  }
+
+ private:
+  NodeSet SimpleNeighborhood(NodeSet S, NodeSet X) const {
+    NodeSet nbh;
+    for (int v : S) nbh |= graph_.SimpleNeighbors(v);
+    return nbh - (S | X);
+  }
+
+  void EnumerateCsgRec(NodeSet S1, NodeSet X) {
+    NodeSet nbh = SimpleNeighborhood(S1, X);
+    if (nbh.Empty()) return;
+    for (NodeSet n : NonEmptySubsetsOf(nbh)) EmitCsg(S1 | n);
+    NodeSet x2 = X | nbh;
+    for (NodeSet n : NonEmptySubsetsOf(nbh)) EnumerateCsgRec(S1 | n, x2);
+  }
+
+  void EmitCsg(NodeSet S1) {
+    NodeSet X = S1 | NodeSet::Below(S1.Min());
+    NodeSet nbh = SimpleNeighborhood(S1, X);
+    NodeSet remaining = nbh;
+    while (!remaining.Empty()) {
+      int v = remaining.Max();
+      remaining -= NodeSet::Single(v);
+      NodeSet S2 = NodeSet::Single(v);
+      ctx_.EmitCsgCmp(S1, S2);  // v is adjacent to S1 by construction
+      EnumerateCmpRec(S1, S2, X | (nbh & NodeSet::UpTo(v)));
+    }
+  }
+
+  void EnumerateCmpRec(NodeSet S1, NodeSet S2, NodeSet X) {
+    NodeSet nbh = SimpleNeighborhood(S2, X);
+    if (nbh.Empty()) return;
+    for (NodeSet n : NonEmptySubsetsOf(nbh)) ctx_.EmitCsgCmp(S1, S2 | n);
+    NodeSet x2 = X | nbh;
+    for (NodeSet n : NonEmptySubsetsOf(nbh)) EnumerateCmpRec(S1, S2 | n, x2);
+  }
+
+  const Hypergraph& graph_;
+  OptimizerContext& ctx_;
+};
+
+}  // namespace
+
+OptimizeResult OptimizeDpccp(const Hypergraph& graph,
+                             const CardinalityEstimator& est,
+                             const CostModel& cost_model,
+                             const OptimizerOptions& options) {
+  if (!graph.complex_edge_ids().empty()) {
+    OptimizeResult result;
+    result.success = false;
+    result.error = "DPccp handles only simple graphs; use DPhyp";
+    return result;
+  }
+  OptimizerContext ctx(graph, est, cost_model, options);
+  DpccpSolver solver(graph, ctx);
+  solver.Run();
+  return ctx.Finish(graph.AllNodes());
+}
+
+}  // namespace dphyp

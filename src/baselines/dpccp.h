@@ -1,0 +1,23 @@
+// DPccp [17]: the predecessor of DPhyp for *simple* graphs. Enumerates
+// csg-cmp-pairs of an ordinary query graph with zero failing tests; it is
+// the lower-bound-optimal algorithm DPhyp generalizes. Included both as a
+// baseline (Sec. 4.4 claims DPhyp behaves exactly like DPccp on regular
+// graphs — a claim the tests verify) and to measure DPhyp's constant-factor
+// overhead on simple graphs.
+#ifndef DPHYP_BASELINES_DPCCP_H_
+#define DPHYP_BASELINES_DPCCP_H_
+
+#include "core/optimizer.h"
+
+namespace dphyp {
+
+/// Runs DPccp. Requires a simple graph (no complex hyperedges); fails
+/// cleanly otherwise.
+OptimizeResult OptimizeDpccp(const Hypergraph& graph,
+                             const CardinalityEstimator& est,
+                             const CostModel& cost_model,
+                             const OptimizerOptions& options = {});
+
+}  // namespace dphyp
+
+#endif  // DPHYP_BASELINES_DPCCP_H_

@@ -1,0 +1,23 @@
+// DPsize (Fig. 1 of the paper): Selinger-style dynamic programming that
+// generates plans in order of increasing size. The two tests marked (*) in
+// the paper — disjointness and connectedness — fail far more often than
+// they succeed, which is the inefficiency DPccp/DPhyp eliminate; the
+// `pairs_tested` statistic records every candidate so bench_ccp_counts can
+// reproduce that analysis. The connectedness test is hyperedge-aware, which
+// is the only change DPsize needs to handle hypergraphs (Sec. 4.1).
+#ifndef DPHYP_BASELINES_DPSIZE_H_
+#define DPHYP_BASELINES_DPSIZE_H_
+
+#include "core/optimizer.h"
+
+namespace dphyp {
+
+/// Runs DPsize over `graph`.
+OptimizeResult OptimizeDpsize(const Hypergraph& graph,
+                              const CardinalityEstimator& est,
+                              const CostModel& cost_model,
+                              const OptimizerOptions& options = {});
+
+}  // namespace dphyp
+
+#endif  // DPHYP_BASELINES_DPSIZE_H_

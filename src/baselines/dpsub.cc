@@ -1,0 +1,38 @@
+#include "baselines/dpsub.h"
+
+#include "util/subset.h"
+
+namespace dphyp {
+
+OptimizeResult OptimizeDpsub(const Hypergraph& graph,
+                             const CardinalityEstimator& est,
+                             const CostModel& cost_model,
+                             const OptimizerOptions& options) {
+  OptimizerContext ctx(graph, est, cost_model, options);
+  ctx.InitLeaves();
+  const uint64_t full = graph.AllNodes().bits();
+
+  for (uint64_t bits = 3; bits <= full; ++bits) {
+    NodeSet S(bits);
+    if (S.IsSingleton()) continue;
+    // Each unordered split once: S1 contains min(S). EmitCsgCmp tries both
+    // orientations, covering commutativity.
+    const NodeSet min_set = S.MinSet();
+    const NodeSet rest = S.MinusMin();
+    auto try_split = [&](NodeSet S1, NodeSet S2) {
+      ++ctx.stats().pairs_tested;
+      if (!ctx.table().Contains(S1)) return;          // S1 connected?
+      if (!ctx.table().Contains(S2)) return;          // S2 connected?
+      if (!graph.ConnectsSets(S1, S2)) return;        // joined by an edge?
+      ctx.EmitCsgCmp(S1, S2);
+    };
+    for (NodeSet part : NonEmptySubsetsOf(rest)) {
+      if (part == rest) break;  // S2 would be empty
+      try_split(min_set | part, S - (min_set | part));
+    }
+    try_split(min_set, rest);
+  }
+  return ctx.Finish(graph.AllNodes());
+}
+
+}  // namespace dphyp

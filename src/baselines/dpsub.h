@@ -1,0 +1,23 @@
+// DPsub: subset-driven dynamic programming (Sec. 4.1). For every node set S
+// in increasing numeric order (subsets precede supersets) it enumerates all
+// splits (S1, S \ S1) and keeps the cheapest valid combination. The
+// existence + connectedness tests are hyperedge-aware; everything else is
+// the textbook algorithm. Complexity Θ(3^n) candidate splits regardless of
+// graph shape, which is why it loses badly on chains/cycles and large stars
+// (Figs. 5–7).
+#ifndef DPHYP_BASELINES_DPSUB_H_
+#define DPHYP_BASELINES_DPSUB_H_
+
+#include "core/optimizer.h"
+
+namespace dphyp {
+
+/// Runs DPsub over `graph`.
+OptimizeResult OptimizeDpsub(const Hypergraph& graph,
+                             const CardinalityEstimator& est,
+                             const CostModel& cost_model,
+                             const OptimizerOptions& options = {});
+
+}  // namespace dphyp
+
+#endif  // DPHYP_BASELINES_DPSUB_H_

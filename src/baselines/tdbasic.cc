@@ -1,0 +1,65 @@
+#include "baselines/tdbasic.h"
+
+#include <unordered_set>
+
+#include "util/subset.h"
+
+namespace dphyp {
+
+namespace {
+
+class TdBasicSolver {
+ public:
+  TdBasicSolver(const Hypergraph& graph, OptimizerContext& ctx)
+      : graph_(graph), ctx_(ctx) {}
+
+  void Run() {
+    ctx_.InitLeaves();
+    Solve(graph_.AllNodes());
+  }
+
+ private:
+  /// Returns true iff a plan for S exists. Populates the DP table on the
+  /// way back up (children strictly before parents, so the shared combine
+  /// step finds both inputs).
+  bool Solve(NodeSet S) {
+    if (ctx_.table().Contains(S)) return true;
+    if (failed_.count(S.bits())) return false;
+    const NodeSet min_set = S.MinSet();
+    const NodeSet rest = S.MinusMin();
+    auto try_split = [&](NodeSet S1, NodeSet S2) {
+      ++ctx_.stats().pairs_tested;
+      if (!graph_.ConnectsSets(S1, S2)) return;  // generate-and-test
+      if (!Solve(S1) || !Solve(S2)) return;
+      ctx_.EmitCsgCmp(S1, S2);
+    };
+    for (NodeSet part : NonEmptySubsetsOf(rest)) {
+      if (part == rest) break;
+      try_split(min_set | part, S - (min_set | part));
+    }
+    try_split(min_set, rest);
+    // A combine may still have rejected every orientation, so consult the
+    // table rather than trusting that EmitCsgCmp produced a plan.
+    const bool ok = ctx_.table().Contains(S);
+    if (!ok) failed_.insert(S.bits());
+    return ok;
+  }
+
+  const Hypergraph& graph_;
+  OptimizerContext& ctx_;
+  std::unordered_set<uint64_t> failed_;
+};
+
+}  // namespace
+
+OptimizeResult OptimizeTdBasic(const Hypergraph& graph,
+                               const CardinalityEstimator& est,
+                               const CostModel& cost_model,
+                               const OptimizerOptions& options) {
+  OptimizerContext ctx(graph, est, cost_model, options);
+  TdBasicSolver solver(graph, ctx);
+  solver.Run();
+  return ctx.Finish(graph.AllNodes());
+}
+
+}  // namespace dphyp

@@ -1,0 +1,22 @@
+// TDbasic: naive top-down memoization. Recursively splits a set into every
+// (min-anchored) partition, tests connectivity generate-and-test style, and
+// memoizes results — the state of the art in top-down enumeration *before*
+// DeHaan and Tompa's Top-Down Partition Search, and the memoization school
+// the paper's title argues dynamic programming "strikes back" against.
+// Useful as the third point of comparison in bench_ccp_counts.
+#ifndef DPHYP_BASELINES_TDBASIC_H_
+#define DPHYP_BASELINES_TDBASIC_H_
+
+#include "core/optimizer.h"
+
+namespace dphyp {
+
+/// Runs naive top-down memoization over `graph`.
+OptimizeResult OptimizeTdBasic(const Hypergraph& graph,
+                               const CardinalityEstimator& est,
+                               const CostModel& cost_model,
+                               const OptimizerOptions& options = {});
+
+}  // namespace dphyp
+
+#endif  // DPHYP_BASELINES_TDBASIC_H_

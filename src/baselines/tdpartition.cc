@@ -1,0 +1,73 @@
+#include "baselines/tdpartition.h"
+
+#include <unordered_set>
+
+#include "util/subset.h"
+
+namespace dphyp {
+
+namespace {
+
+class TdPartitionSolver {
+ public:
+  TdPartitionSolver(const Hypergraph& graph, OptimizerContext& ctx)
+      : graph_(graph), ctx_(ctx), all_(graph.AllNodes()) {}
+
+  void Run() {
+    ctx_.InitLeaves();
+    Solve(all_);
+  }
+
+ private:
+  /// True iff a plan for S exists; populates the DP table top-down.
+  bool Solve(NodeSet S) {
+    if (ctx_.table().Contains(S)) return true;
+    if (failed_.count(S.bits())) return false;
+    // Enumerate connected subsets S1 of S containing min(S) by recursive
+    // neighborhood growth restricted to S; each unordered partition of S
+    // is reached exactly once.
+    Grow(S, S.MinSet(), NodeSet());
+    const bool ok = ctx_.table().Contains(S);
+    if (!ok) failed_.insert(S.bits());
+    return ok;
+  }
+
+  /// Grows the connected S1 (contains min(S)) within S; X keeps the
+  /// enumeration duplicate-free.
+  void Grow(NodeSet S, NodeSet S1, NodeSet X) {
+    if (S1 != S) TrySplit(S, S1);
+    NodeSet nbh = graph_.Neighborhood(S1, X | (all_ - S));
+    if (nbh.Empty()) return;
+    NodeSet x2 = X | nbh;
+    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+      Grow(S, S1 | n, x2);
+    }
+  }
+
+  void TrySplit(NodeSet S, NodeSet S1) {
+    NodeSet S2 = S - S1;
+    ++ctx_.stats().pairs_tested;
+    if (!graph_.ConnectsSets(S1, S2)) return;
+    if (!Solve(S1) || !Solve(S2)) return;
+    ctx_.EmitCsgCmp(S1, S2);
+  }
+
+  const Hypergraph& graph_;
+  OptimizerContext& ctx_;
+  const NodeSet all_;
+  std::unordered_set<uint64_t> failed_;
+};
+
+}  // namespace
+
+OptimizeResult OptimizeTdPartition(const Hypergraph& graph,
+                                   const CardinalityEstimator& est,
+                                   const CostModel& cost_model,
+                                   const OptimizerOptions& options) {
+  OptimizerContext ctx(graph, est, cost_model, options);
+  TdPartitionSolver solver(graph, ctx);
+  solver.Run();
+  return ctx.Finish(graph.AllNodes());
+}
+
+}  // namespace dphyp

@@ -1,0 +1,145 @@
+#include "catalog/operator_type.h"
+
+#include "util/check.h"
+
+namespace dphyp {
+
+bool IsCommutative(OpType op) {
+  return op == OpType::kJoin || op == OpType::kFullOuterjoin;
+}
+
+bool IsDependent(OpType op) {
+  switch (op) {
+    case OpType::kDepJoin:
+    case OpType::kDepLeftSemijoin:
+    case OpType::kDepLeftAntijoin:
+    case OpType::kDepLeftOuterjoin:
+    case OpType::kDepLeftNestjoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLeftLinearOnly(OpType op) {
+  return op != OpType::kJoin && op != OpType::kFullOuterjoin;
+}
+
+bool LeftOnlyOutput(OpType op) {
+  switch (op) {
+    case OpType::kLeftSemijoin:
+    case OpType::kLeftAntijoin:
+    case OpType::kLeftNestjoin:
+    case OpType::kDepLeftSemijoin:
+    case OpType::kDepLeftAntijoin:
+    case OpType::kDepLeftNestjoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+OpType DependentVariant(OpType op) {
+  switch (op) {
+    case OpType::kJoin:
+      return OpType::kDepJoin;
+    case OpType::kLeftSemijoin:
+      return OpType::kDepLeftSemijoin;
+    case OpType::kLeftAntijoin:
+      return OpType::kDepLeftAntijoin;
+    case OpType::kLeftOuterjoin:
+      return OpType::kDepLeftOuterjoin;
+    case OpType::kLeftNestjoin:
+      return OpType::kDepLeftNestjoin;
+    case OpType::kFullOuterjoin:
+      DPHYP_CHECK_MSG(false, "full outer join has no dependent variant");
+    default:
+      return op;  // already dependent
+  }
+}
+
+OpType RegularVariant(OpType op) {
+  switch (op) {
+    case OpType::kDepJoin:
+      return OpType::kJoin;
+    case OpType::kDepLeftSemijoin:
+      return OpType::kLeftSemijoin;
+    case OpType::kDepLeftAntijoin:
+      return OpType::kLeftAntijoin;
+    case OpType::kDepLeftOuterjoin:
+      return OpType::kLeftOuterjoin;
+    case OpType::kDepLeftNestjoin:
+      return OpType::kLeftNestjoin;
+    default:
+      return op;
+  }
+}
+
+const char* OpName(OpType op) {
+  switch (op) {
+    case OpType::kJoin:
+      return "join";
+    case OpType::kLeftSemijoin:
+      return "leftsemijoin";
+    case OpType::kLeftAntijoin:
+      return "leftantijoin";
+    case OpType::kLeftOuterjoin:
+      return "leftouterjoin";
+    case OpType::kFullOuterjoin:
+      return "fullouterjoin";
+    case OpType::kLeftNestjoin:
+      return "leftnestjoin";
+    case OpType::kDepJoin:
+      return "depjoin";
+    case OpType::kDepLeftSemijoin:
+      return "depleftsemijoin";
+    case OpType::kDepLeftAntijoin:
+      return "depleftantijoin";
+    case OpType::kDepLeftOuterjoin:
+      return "depleftouterjoin";
+    case OpType::kDepLeftNestjoin:
+      return "depleftnestjoin";
+  }
+  return "unknown";
+}
+
+const char* OpSymbol(OpType op) {
+  switch (op) {
+    case OpType::kJoin:
+      return "JOIN";
+    case OpType::kLeftSemijoin:
+      return "SEMI";
+    case OpType::kLeftAntijoin:
+      return "ANTI";
+    case OpType::kLeftOuterjoin:
+      return "LOJ";
+    case OpType::kFullOuterjoin:
+      return "FOJ";
+    case OpType::kLeftNestjoin:
+      return "NEST";
+    case OpType::kDepJoin:
+      return "DJOIN";
+    case OpType::kDepLeftSemijoin:
+      return "DSEMI";
+    case OpType::kDepLeftAntijoin:
+      return "DANTI";
+    case OpType::kDepLeftOuterjoin:
+      return "DLOJ";
+    case OpType::kDepLeftNestjoin:
+      return "DNEST";
+  }
+  return "?";
+}
+
+bool ParseOpName(const std::string& name, OpType* out) {
+  for (int i = 0; i < kNumOpTypes; ++i) {
+    OpType op = static_cast<OpType>(i);
+    if (name == OpName(op)) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dphyp

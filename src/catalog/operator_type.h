@@ -1,0 +1,70 @@
+// The binary operator vocabulary of the paper (Sec. 5.1).
+//
+// Besides the fully reorderable inner join B, the paper handles: full outer
+// join, left outer join, left antijoin, left semijoin, left nestjoin, and
+// the dependent (lateral) counterparts of the left-linear operators. LOP is
+// the set of left-linear operators; B is both left- and right-linear; the
+// full outer join is neither.
+#ifndef DPHYP_CATALOG_OPERATOR_TYPE_H_
+#define DPHYP_CATALOG_OPERATOR_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dphyp {
+
+/// Binary plan operators. Dependent variants evaluate their right input once
+/// per left tuple, with the left tuple's attributes in scope.
+enum class OpType : uint8_t {
+  kJoin,             ///< inner join (B) — commutative, left+right linear
+  kLeftSemijoin,     ///< G
+  kLeftAntijoin,     ///< I
+  kLeftOuterjoin,    ///< P
+  kFullOuterjoin,    ///< M — commutative, not linear
+  kLeftNestjoin,     ///< T (binary grouping / MD-join)
+  kDepJoin,          ///< C (d-join / cross apply)
+  kDepLeftSemijoin,  ///< H
+  kDepLeftAntijoin,  ///< J
+  kDepLeftOuterjoin, ///< Q (outer apply)
+  kDepLeftNestjoin,  ///< U
+};
+
+/// Number of distinct operator types.
+inline constexpr int kNumOpTypes = 11;
+
+/// True for operators where `A op B == B op A` (inner and full outer join).
+bool IsCommutative(OpType op);
+
+/// True for the dependent (lateral) variants.
+bool IsDependent(OpType op);
+
+/// True for every operator in the paper's LOP set (left-linear operators);
+/// false for inner join and full outer join.
+bool IsLeftLinearOnly(OpType op);
+
+/// True if the operator's output contains only left-side attributes —
+/// semijoin, antijoin, nestjoin (whose right side is folded into computed
+/// aggregates) and their dependent variants. Ancestor predicates must not
+/// reference tables hidden by such operators.
+bool LeftOnlyOutput(OpType op);
+
+/// Maps a regular operator to its dependent counterpart (Sec. 5.6).
+/// Full outer join has no dependent variant; passing it is an error.
+OpType DependentVariant(OpType op);
+
+/// Maps a dependent operator back to its regular counterpart; identity for
+/// regular operators.
+OpType RegularVariant(OpType op);
+
+/// Long name, e.g. "leftouterjoin".
+const char* OpName(OpType op);
+
+/// Compact algebra-style symbol, e.g. "LOJ", "JOIN", "DSEMI".
+const char* OpSymbol(OpType op);
+
+/// Parses the result of OpName(); returns false on unknown names.
+bool ParseOpName(const std::string& name, OpType* out);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_CATALOG_OPERATOR_TYPE_H_

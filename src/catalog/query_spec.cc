@@ -1,0 +1,95 @@
+#include "catalog/query_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dphyp {
+
+int QuerySpec::AddRelation(std::string name, double cardinality, int num_columns) {
+  RelationInfo info;
+  info.name = std::move(name);
+  info.cardinality = cardinality;
+  info.num_columns = num_columns;
+  relations.push_back(std::move(info));
+  return static_cast<int>(relations.size()) - 1;
+}
+
+int QuerySpec::AddSimplePredicate(int left, int right, double selectivity,
+                                  OpType op) {
+  return AddComplexPredicate(NodeSet::Single(left), NodeSet::Single(right),
+                             selectivity, op);
+}
+
+int QuerySpec::AddComplexPredicate(NodeSet left, NodeSet right, double selectivity,
+                                   OpType op, NodeSet flex) {
+  Predicate p;
+  p.left = left;
+  p.right = right;
+  p.flex = flex;
+  p.selectivity = selectivity;
+  p.op = op;
+  predicates.push_back(std::move(p));
+  return static_cast<int>(predicates.size()) - 1;
+}
+
+Result<bool> QuerySpec::Validate() const {
+  const NodeSet all = AllRelations();
+  if (relations.empty()) return Err("query has no relations");
+  if (NumRelations() > NodeSet::kMaxNodes) {
+    return Err("more than 64 relations are not supported");
+  }
+  for (int i = 0; i < NumRelations(); ++i) {
+    const RelationInfo& r = relations[i];
+    if (r.cardinality <= 0) {
+      return Err("relation " + r.name + " has non-positive cardinality");
+    }
+    if (!r.free_tables.IsSubsetOf(all)) {
+      return Err("relation " + r.name + " references unknown free tables");
+    }
+    if (r.free_tables.Contains(i)) {
+      return Err("relation " + r.name + " lists itself as a free table");
+    }
+  }
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    const Predicate& p = predicates[i];
+    std::string tag = "predicate #" + std::to_string(i);
+    if (p.left.Empty() || p.right.Empty()) {
+      return Err(tag + " has an empty side");
+    }
+    if (p.left.Intersects(p.right) || p.left.Intersects(p.flex) ||
+        p.right.Intersects(p.flex)) {
+      return Err(tag + " sides are not pairwise disjoint");
+    }
+    if (!p.AllTables().IsSubsetOf(all)) {
+      return Err(tag + " references unknown relations");
+    }
+    if (!(p.selectivity > 0.0) || p.selectivity > 1.0) {
+      return Err(tag + " selectivity outside (0, 1]");
+    }
+    for (const ColumnRef& ref : p.refs) {
+      if (ref.table < 0 || ref.table >= NumRelations()) {
+        return Err(tag + " payload references unknown table");
+      }
+      if (ref.column < 0 || ref.column >= relations[ref.table].num_columns) {
+        return Err(tag + " payload references unknown column");
+      }
+    }
+    if (p.modulus < 1) return Err(tag + " has modulus < 1");
+  }
+  return true;
+}
+
+void QuerySpec::FillDefaultPayloads() {
+  for (Predicate& p : predicates) {
+    if (!p.refs.empty()) continue;
+    for (int t : p.AllTables()) {
+      p.refs.push_back(ColumnRef{t, 0});
+    }
+    // A sum-mod-k predicate over independently uniform columns matches about
+    // 1/k of combinations; pick k ~= 1/selectivity.
+    double inv = 1.0 / std::max(1e-6, p.selectivity);
+    p.modulus = std::max<int64_t>(1, static_cast<int64_t>(std::llround(inv)));
+  }
+}
+
+}  // namespace dphyp

@@ -1,0 +1,103 @@
+// QuerySpec: the logical description of a join-ordering problem.
+//
+// A query consists of relations (with cardinalities, and — for table-valued
+// functions / lateral subqueries — free-variable table sets) and predicates.
+// Each predicate names the two hypernode sides it anchors (Def. 1) plus an
+// optional "flexible" set whose members may move to either side
+// (generalized hyperedges, Def. 6), the operator it belongs to, and a
+// selectivity. Predicates also carry an executable payload (column
+// references + modulus) so the mini executor can evaluate them on data.
+#ifndef DPHYP_CATALOG_QUERY_SPEC_H_
+#define DPHYP_CATALOG_QUERY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/operator_type.h"
+#include "util/node_set.h"
+#include "util/result.h"
+
+namespace dphyp {
+
+/// A column reference `R.c` inside an executable predicate.
+struct ColumnRef {
+  int table = 0;
+  int column = 0;
+  bool operator==(const ColumnRef&) const = default;
+};
+
+/// One base relation or table-valued function.
+struct RelationInfo {
+  std::string name;
+  /// Estimated row count used by the cardinality model.
+  double cardinality = 1000.0;
+  /// Tables referenced freely by this leaf's defining expression; non-empty
+  /// marks a table-valued function / lateral leaf (Sec. 5.6).
+  NodeSet free_tables;
+  /// Number of integer columns the executor materializes for this relation.
+  int num_columns = 2;
+  /// Executable correlation payload for lateral leaves: the leaf's output
+  /// keeps a base row iff the sum of the referenced columns (own columns
+  /// plus columns of the bound free tables) is divisible by `corr_modulus`.
+  std::vector<ColumnRef> corr_refs;
+  int64_t corr_modulus = 1;
+};
+
+/// One join predicate. `left`/`right`/`flex` partition the referenced tables
+/// into must-be-left, must-be-right, and either-side groups (Sec. 6). For a
+/// simple binary equality both sides are singletons and `flex` is empty.
+struct Predicate {
+  NodeSet left;
+  NodeSet right;
+  NodeSet flex;
+  /// Join selectivity in (0, 1]; the fraction of the cross product kept.
+  double selectivity = 0.1;
+  /// Operator this predicate belongs to. Plain inner joins use kJoin.
+  OpType op = OpType::kJoin;
+  /// Executable payload: the predicate holds iff the sum of the referenced
+  /// column values is divisible by `modulus` (NULL in any input -> false,
+  /// which makes every predicate "strong" in the sense of Sec. 5.2).
+  std::vector<ColumnRef> refs;
+  int64_t modulus = 2;
+
+  /// All tables this predicate references.
+  NodeSet AllTables() const { return left | right | flex; }
+  bool IsSimple() const {
+    return left.IsSingleton() && right.IsSingleton() && flex.Empty();
+  }
+};
+
+/// The full problem description consumed by the hypergraph builder, the
+/// workload generators, the QDL parser and the executor.
+struct QuerySpec {
+  std::vector<RelationInfo> relations;
+  std::vector<Predicate> predicates;
+
+  int NumRelations() const { return static_cast<int>(relations.size()); }
+  NodeSet AllRelations() const { return NodeSet::FullSet(NumRelations()); }
+
+  /// Adds a relation, returning its node index.
+  int AddRelation(std::string name, double cardinality, int num_columns = 2);
+
+  /// Adds a simple binary predicate between two relations.
+  int AddSimplePredicate(int left, int right, double selectivity,
+                         OpType op = OpType::kJoin);
+
+  /// Adds a complex (hyper) predicate.
+  int AddComplexPredicate(NodeSet left, NodeSet right, double selectivity,
+                          OpType op = OpType::kJoin, NodeSet flex = NodeSet());
+
+  /// Structural validation: sides non-empty & pairwise disjoint, node
+  /// indices in range, selectivities in (0, 1], free-table sets exclude the
+  /// relation itself.
+  Result<bool> Validate() const;
+
+  /// Fills in default executable payloads for predicates that have none:
+  /// one column reference per referenced table (column 0) and a modulus
+  /// derived from the requested selectivity.
+  void FillDefaultPayloads();
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_CATALOG_QUERY_SPEC_H_

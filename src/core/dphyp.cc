@@ -1,0 +1,100 @@
+#include "core/dphyp.h"
+
+#include "util/subset.h"
+
+namespace dphyp {
+
+namespace {
+
+/// One enumeration run; holds the shared context plus the graph shortcut.
+class DphypSolver {
+ public:
+  DphypSolver(const Hypergraph& graph, OptimizerContext& ctx)
+      : graph_(graph), ctx_(ctx) {}
+
+  void Run() {
+    ctx_.InitLeaves();
+    // Second loop of Solve: descending node order; B_v forbids all nodes
+    // ordered before v so every csg is started from its minimal node once.
+    for (int v = graph_.NumNodes() - 1; v >= 0; --v) {
+      NodeSet single = NodeSet::Single(v);
+      EmitCsg(single);
+      EnumerateCsgRec(single, NodeSet::UpTo(v));
+    }
+  }
+
+ private:
+  void EnumerateCsgRec(NodeSet S1, NodeSet X) {
+    NodeSet nbh = graph_.Neighborhood(S1, X);
+    if (nbh.Empty()) return;
+    // Emit before recursing so smaller sets are finished first (the DP
+    // enumeration-order requirement of Sec. 2.2). The DP table lookup is
+    // the connectivity oracle: S1 ∪ N has a table entry iff some earlier
+    // csg-cmp-pair produced it, i.e. iff it is connected.
+    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+      NodeSet grown = S1 | n;
+      if (ctx_.table().Contains(grown)) EmitCsg(grown);
+    }
+    NodeSet x2 = X | nbh;
+    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+      EnumerateCsgRec(S1 | n, x2);
+    }
+  }
+
+  void EmitCsg(NodeSet S1) {
+    NodeSet X = S1 | NodeSet::Below(S1.Min());
+    NodeSet nbh = graph_.Neighborhood(S1, X);
+    // Process neighbors in descending order; each seed forbids the seeds
+    // still to come (B_v(N), see header note) to avoid duplicate
+    // complements.
+    NodeSet remaining = nbh;
+    while (!remaining.Empty()) {
+      int v = remaining.Max();
+      remaining -= NodeSet::Single(v);
+      NodeSet S2 = NodeSet::Single(v);
+      if (graph_.ConnectsSets(S1, S2)) {
+        ctx_.EmitCsgCmp(S1, S2);
+      }
+      EnumerateCmpRec(S1, S2, X | (nbh & NodeSet::UpTo(v)));
+    }
+  }
+
+  void EnumerateCmpRec(NodeSet S1, NodeSet S2, NodeSet X) {
+    NodeSet nbh = graph_.Neighborhood(S2, X);
+    if (nbh.Empty()) return;
+    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+      NodeSet grown = S2 | n;
+      // Valid complement: connected (DP table oracle) and joined to S1 by
+      // some hyperedge.
+      if (ctx_.table().Contains(grown) && graph_.ConnectsSets(S1, grown)) {
+        ctx_.EmitCsgCmp(S1, grown);
+      }
+    }
+    NodeSet x2 = X | nbh;
+    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+      EnumerateCmpRec(S1, S2 | n, x2);
+    }
+  }
+
+  const Hypergraph& graph_;
+  OptimizerContext& ctx_;
+};
+
+}  // namespace
+
+OptimizeResult OptimizeDphyp(const Hypergraph& graph,
+                             const CardinalityEstimator& est,
+                             const CostModel& cost_model,
+                             const OptimizerOptions& options) {
+  OptimizerContext ctx(graph, est, cost_model, options);
+  DphypSolver solver(graph, ctx);
+  solver.Run();
+  return ctx.Finish(graph.AllNodes());
+}
+
+OptimizeResult OptimizeDphyp(const Hypergraph& graph) {
+  CardinalityEstimator est(graph);
+  return OptimizeDphyp(graph, est, DefaultCostModel(), {});
+}
+
+}  // namespace dphyp

@@ -1,0 +1,40 @@
+// DPhyp — the paper's contribution (Sec. 3): dynamic-programming join
+// enumeration over (generalized) hypergraphs that visits exactly the
+// csg-cmp-pairs of the query graph.
+//
+// Structure follows the paper's five member functions:
+//   Solve            — seeds single relations, drives enumeration in
+//                      descending node order
+//   EnumerateCsgRec  — grows connected subgraphs through the neighborhood
+//   EmitCsg          — seeds complements for a finished csg
+//   EnumerateCmpRec  — grows connected complements
+//   EmitCsgCmp       — combine step (shared with all other algorithms; see
+//                      core/optimizer.h)
+//
+// One deviation from the SIGMOD pseudocode, documented in DESIGN.md:
+// EmitCsg must forbid, for each complement seed v, the neighbors still to
+// be processed (X ∪ B_v(N)); otherwise complements reachable from two seeds
+// are enumerated twice. This matches DPccp [17] and the book version of
+// DPhyp. A test asserts the emit count equals the csg-cmp-pair lower bound.
+#ifndef DPHYP_CORE_DPHYP_H_
+#define DPHYP_CORE_DPHYP_H_
+
+#include "core/optimizer.h"
+
+namespace dphyp {
+
+/// Runs DPhyp over `graph`. Returns the optimal bushy, cross-product-free
+/// plan under the given cost model, or failure if the graph is not
+/// Def.-3-connected.
+OptimizeResult OptimizeDphyp(const Hypergraph& graph,
+                             const CardinalityEstimator& est,
+                             const CostModel& cost_model,
+                             const OptimizerOptions& options = {});
+
+/// Convenience overload with the default (C_out) cost model and a fresh
+/// estimator.
+OptimizeResult OptimizeDphyp(const Hypergraph& graph);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_CORE_DPHYP_H_

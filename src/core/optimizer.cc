@@ -1,0 +1,166 @@
+#include "core/optimizer.h"
+
+#include "util/check.h"
+
+namespace dphyp {
+
+OptimizerContext::OptimizerContext(const Hypergraph& graph,
+                                   const CardinalityEstimator& est,
+                                   const CostModel& cost_model,
+                                   const OptimizerOptions& options)
+    : graph_(&graph),
+      est_(&est),
+      cost_model_(&cost_model),
+      tes_(options.tes_constraints),
+      table_(static_cast<size_t>(graph.NumNodes()) * 8) {
+  if (tes_ != nullptr) {
+    DPHYP_CHECK_MSG(static_cast<int>(tes_->size()) == graph.NumEdges(),
+                    "TES constraint list must cover every edge");
+  }
+}
+
+void OptimizerContext::InitLeaves() {
+  for (int v = 0; v < graph_->NumNodes(); ++v) {
+    PlanEntry* entry = table_.Insert(NodeSet::Single(v));
+    entry->cost = 0.0;
+    entry->cardinality = graph_->node(v).cardinality;
+    entry->edge_id = -1;
+  }
+}
+
+void OptimizerContext::EmitCsgCmp(NodeSet S1, NodeSet S2) {
+  ++stats_.ccp_pairs;
+  TryOrientation(S1, S2);
+  TryOrientation(S2, S1);
+}
+
+void OptimizerContext::EmitOrdered(NodeSet S1, NodeSet S2) {
+  ++stats_.ccp_pairs;
+  TryOrientation(S1, S2);
+}
+
+bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right) {
+  // Scan connecting edges to recover the operator (Sec. 5.4). Exactly one
+  // non-inner edge may cross a valid csg-cmp-pair; its stored orientation
+  // determines the build direction. Inner edges are commutative and merely
+  // contribute conjuncts (their selectivity is already part of the
+  // product-form class cardinality).
+  int primary_edge = -1;
+  OpType op = OpType::kJoin;
+  bool valid = true;
+  bool benign_reject = false;  // reverse orientation of a non-commutative op
+  bool any = false;
+  int inner_edge = -1;
+  graph_->ForEachConnectingEdge(left, right, [&](int id, bool left_in_s1) {
+    if (!valid || benign_reject) return;
+    any = true;
+    const Hyperedge& e = graph_->edge(id);
+    if (tes_ != nullptr) {
+      const TesConstraint& c = (*tes_)[id];
+      if (e.op == OpType::kJoin) {
+        // Commutative: only containment of the full TES matters.
+        if (!(c.left | c.right).IsSubsetOf(left | right)) {
+          valid = false;
+          return;
+        }
+      } else if (!(c.left.IsSubsetOf(left) && c.right.IsSubsetOf(right))) {
+        valid = false;
+        return;
+      }
+    }
+    if (e.op == OpType::kJoin) {
+      if (inner_edge < 0) inner_edge = id;
+      return;
+    }
+    // Non-inner operator: orientation is dictated by the edge.
+    if (primary_edge >= 0) {
+      // Two distinct non-inner operators cannot be applied at once.
+      valid = false;
+      return;
+    }
+    if (!IsCommutative(e.op) && !left_in_s1) {
+      benign_reject = true;  // the symmetric emission covers this pair
+      return;
+    }
+    primary_edge = id;
+    op = e.op;
+  });
+  if (!any || benign_reject) return false;
+  if (!valid) {
+    ++stats_.discarded;
+    return false;
+  }
+  if (primary_edge < 0) primary_edge = inner_edge;
+
+  // Lateral ordering (Sec. 5.6): a plan whose *left* input references
+  // tables on the right cannot be evaluated (only right inputs may be
+  // dependent); switch the operator to its dependent variant when the right
+  // input references tables provided by the left.
+  if (graph_->HasDependentLeaves()) {
+    NodeSet free_left = graph_->FreeTables(left);
+    if (free_left.Intersects(right)) {
+      ++stats_.discarded;
+      return false;
+    }
+    NodeSet free_right = graph_->FreeTables(right);
+    if (free_right.Intersects(left)) {
+      if (op == OpType::kFullOuterjoin) {
+        ++stats_.discarded;  // no dependent full outer join exists
+        return false;
+      }
+      op = DependentVariant(op);
+    }
+  }
+
+  const PlanEntry* left_entry = table_.Find(left);
+  const PlanEntry* right_entry = table_.Find(right);
+  DPHYP_DCHECK(left_entry != nullptr && right_entry != nullptr);
+  const PlanSide left_side{left_entry->cost, left_entry->cardinality};
+  const PlanSide right_side{right_entry->cost, right_entry->cardinality};
+
+  const NodeSet combined = left | right;
+  PlanEntry* target = table_.Find(combined);
+  const double out_card =
+      target != nullptr ? target->cardinality : est_->Estimate(combined);
+
+  ++stats_.cost_evaluations;
+  const double cost =
+      cost_model_->OperatorCost(op, left_side, right_side, out_card);
+
+  if (target == nullptr) {
+    target = table_.Insert(combined);
+    target->cardinality = out_card;
+    target->cost = std::numeric_limits<double>::infinity();
+  }
+  if (cost < target->cost) {
+    target->cost = cost;
+    target->left = left;
+    target->right = right;
+    target->op = op;
+    target->edge_id = primary_edge;
+  }
+  return true;
+}
+
+OptimizeResult OptimizerContext::Finish(NodeSet root) {
+  OptimizeResult result;
+  result.root_set = root;
+  stats_.dp_entries = table_.size();
+  stats_.table_bytes = table_.MemoryBytes();
+  const PlanEntry* best = table_.Find(root);
+  if (best == nullptr) {
+    result.success = false;
+    result.error =
+        "no plan found: the hypergraph is not connected under Def. 3 "
+        "(or all candidate orderings were invalid)";
+  } else {
+    result.success = true;
+    result.cost = best->cost;
+    result.cardinality = best->cardinality;
+  }
+  result.table = std::move(table_);
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace dphyp

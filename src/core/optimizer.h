@@ -1,0 +1,118 @@
+// Shared optimizer infrastructure: statistics, results, and the candidate
+// combine step (the paper's EmitCsgCmp, Sec. 3.5) used by every enumeration
+// algorithm in this repository so that costing, operator recovery
+// (Sec. 5.4), dependent conversion (Sec. 5.6), and the generate-and-test TES
+// checks (Sec. 5.8) behave identically across DPhyp, DPsize, DPsub, DPccp
+// and TDbasic.
+#ifndef DPHYP_CORE_OPTIMIZER_H_
+#define DPHYP_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "hypergraph/hypergraph.h"
+#include "plan/dp_table.h"
+#include "plan/plan_tree.h"
+#include "util/node_set.h"
+
+namespace dphyp {
+
+/// Per-edge validity constraint for the generate-and-test TES mode: the
+/// operator's TES split into its left/right parts (Sec. 5.5/5.7). In this
+/// mode the enumeration runs on the plain SES graph and candidates are
+/// validated — and often discarded — at combine time, which is exactly the
+/// inefficiency Fig. 8a quantifies.
+struct TesConstraint {
+  NodeSet left;
+  NodeSet right;
+};
+
+/// Counters every algorithm maintains.
+struct OptimizerStats {
+  /// Pairs submitted to the combine step. For DPhyp this equals the number
+  /// of csg-cmp-pairs (each unordered pair once); DPsize submits ordered
+  /// pairs, so its count is roughly twice the lower bound.
+  uint64_t ccp_pairs = 0;
+  /// Candidate pairs tested by the outer enumeration including failures of
+  /// the (*) tests (DPsize/DPsub/TDbasic only; DPhyp generates no failures).
+  uint64_t pairs_tested = 0;
+  /// Orientations rejected at combine time (TES-mode discards, invalid
+  /// operator constellations, lateral-ordering violations).
+  uint64_t discarded = 0;
+  /// Calls into the cost model.
+  uint64_t cost_evaluations = 0;
+  /// Final number of DP table entries (== number of connected subgraphs
+  /// reached; Sec. 3.6).
+  uint64_t dp_entries = 0;
+  /// Approximate DP table footprint in bytes (Sec. 3.6).
+  uint64_t table_bytes = 0;
+};
+
+/// Outcome of one optimization run. The DP table is kept so callers can
+/// extract plan trees or inspect plan classes.
+struct OptimizeResult {
+  bool success = false;
+  std::string error;
+  double cost = 0.0;
+  double cardinality = 0.0;
+  NodeSet root_set;
+  DpTable table{64};
+  OptimizerStats stats;
+
+  /// Materializes the chosen plan. Requires success.
+  PlanTree ExtractPlan(const Hypergraph& graph) const {
+    return ExtractPlanTree(graph, table, root_set);
+  }
+};
+
+/// Options shared by all algorithms.
+struct OptimizerOptions {
+  /// When set, enables generate-and-test TES validation at combine time
+  /// (size must equal the number of hypergraph edges).
+  const std::vector<TesConstraint>* tes_constraints = nullptr;
+};
+
+/// Mutable state threaded through one optimization run.
+class OptimizerContext {
+ public:
+  OptimizerContext(const Hypergraph& graph, const CardinalityEstimator& est,
+                   const CostModel& cost_model, const OptimizerOptions& options);
+
+  const Hypergraph& graph() const { return *graph_; }
+  DpTable& table() { return table_; }
+  OptimizerStats& stats() { return stats_; }
+
+  /// Inserts the single-relation access plans (first loop of Solve).
+  void InitLeaves();
+
+  /// The paper's EmitCsgCmp: considers both orientations of the csg-cmp-pair
+  /// (S1, S2); commutativity is honoured per operator. Updates the DP table.
+  void EmitCsgCmp(NodeSet S1, NodeSet S2);
+
+  /// DPsize-style combine for one ordered pair only (the symmetric pair
+  /// arrives separately from the size loop).
+  void EmitOrdered(NodeSet S1, NodeSet S2);
+
+  /// Packages the final result for the class `root`.
+  OptimizeResult Finish(NodeSet root);
+
+ private:
+  /// Tries to build `left op right`; returns false if no valid operator
+  /// applies in this orientation.
+  bool TryOrientation(NodeSet left, NodeSet right);
+
+  const Hypergraph* graph_;
+  const CardinalityEstimator* est_;
+  const CostModel* cost_model_;
+  const std::vector<TesConstraint>* tes_;
+  DpTable table_;
+  OptimizerStats stats_;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_CORE_OPTIMIZER_H_

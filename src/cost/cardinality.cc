@@ -1,0 +1,38 @@
+#include "cost/cardinality.h"
+
+#include "cost/factors.h"
+
+namespace dphyp {
+
+CardinalityEstimator::CardinalityEstimator(const Hypergraph& graph)
+    : graph_(&graph) {
+  base_.reserve(graph.NumNodes());
+  for (int i = 0; i < graph.NumNodes(); ++i) {
+    base_.push_back(graph.node(i).cardinality);
+  }
+  factors_.reserve(graph.NumEdges());
+  for (int i = 0; i < graph.NumEdges(); ++i) {
+    const Hyperedge& e = graph.edge(i);
+    // Flexible (either-side) nodes are split between the sides only at plan
+    // time; for factor derivation we charge them to the right side, which
+    // keeps the factor deterministic.
+    double left_card = 1.0;
+    for (int v : e.left) left_card *= base_[v];
+    double right_card = 1.0;
+    for (int v : e.right | e.flex) right_card *= base_[v];
+    factors_.push_back(
+        EdgeCardinalityFactor(e.op, e.selectivity, left_card, right_card));
+  }
+}
+
+double CardinalityEstimator::Estimate(NodeSet S) const {
+  double card = 1.0;
+  for (int v : S) card *= base_[v];
+  for (int i = 0; i < graph_->NumEdges(); ++i) {
+    const Hyperedge& e = graph_->edge(i);
+    if (e.AllNodes().IsSubsetOf(S)) card *= factors_[i];
+  }
+  return card;
+}
+
+}  // namespace dphyp

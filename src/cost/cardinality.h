@@ -1,0 +1,36 @@
+// Product-form cardinality estimator over a hypergraph.
+#ifndef DPHYP_COST_CARDINALITY_H_
+#define DPHYP_COST_CARDINALITY_H_
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/node_set.h"
+
+namespace dphyp {
+
+/// Estimates |result(S)| for plan classes S. Factors are fixed at
+/// construction, so estimates are join-order independent (see
+/// cost/factors.h for why that matters).
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Hypergraph& graph);
+
+  /// Estimated cardinality of the (connected) class S.
+  double Estimate(NodeSet S) const;
+
+  /// Base cardinality of a single relation.
+  double BaseCardinality(int node) const { return base_[node]; }
+
+  /// The multiplicative factor assigned to an edge.
+  double EdgeFactor(int edge_id) const { return factors_[edge_id]; }
+
+ private:
+  const Hypergraph* graph_;
+  std::vector<double> base_;
+  std::vector<double> factors_;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_COST_CARDINALITY_H_

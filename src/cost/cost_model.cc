@@ -1,0 +1,29 @@
+#include "cost/cost_model.h"
+
+namespace dphyp {
+
+double CoutModel::OperatorCost(OpType /*op*/, const PlanSide& left,
+                               const PlanSide& right, double out_card) const {
+  return out_card + left.cost + right.cost;
+}
+
+double HashJoinModel::OperatorCost(OpType op, const PlanSide& left,
+                                   const PlanSide& right, double out_card) const {
+  double local;
+  if (IsDependent(op)) {
+    // Right side recomputed per left tuple.
+    local = left.cardinality * (right.cost + right.cardinality + 1.0) +
+            kOutputCostPerTuple * out_card;
+    return local + left.cost;
+  }
+  local = kBuildCostPerTuple * right.cardinality +
+          kProbeCostPerTuple * left.cardinality + kOutputCostPerTuple * out_card;
+  return local + left.cost + right.cost;
+}
+
+const CostModel& DefaultCostModel() {
+  static const CoutModel model;
+  return model;
+}
+
+}  // namespace dphyp

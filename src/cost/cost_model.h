@@ -1,0 +1,63 @@
+// Cost models. The paper abstracts costs behind `cost()`; we provide the
+// classical C_out model (sum of intermediate-result cardinalities — the
+// standard model in the join-ordering literature, including [17]) and a
+// simple hash-join model for ablation. Both are of the form
+//   cost(S1 op S2) = local(op, |S1|, |S2|, |S|) + cost(S1) + cost(S2)
+// with leaf cost 0, so Bellman's principle holds for any of them.
+#ifndef DPHYP_COST_COST_MODEL_H_
+#define DPHYP_COST_COST_MODEL_H_
+
+#include "catalog/operator_type.h"
+
+namespace dphyp {
+
+/// Inputs describing one side of a candidate join.
+struct PlanSide {
+  double cost = 0.0;
+  double cardinality = 0.0;
+};
+
+/// Abstract cost function.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Cost of `left op right` producing `out_card` tuples.
+  virtual double OperatorCost(OpType op, const PlanSide& left,
+                              const PlanSide& right, double out_card) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// C_out: the cost of a plan is the sum of the cardinalities of all
+/// intermediate results; leaves are free.
+class CoutModel final : public CostModel {
+ public:
+  double OperatorCost(OpType op, const PlanSide& left, const PlanSide& right,
+                      double out_card) const override;
+  const char* name() const override { return "Cout"; }
+};
+
+/// A simple main-memory hash-join model: build on the right input, probe
+/// with the left, pay for the output. Dependent operators re-evaluate their
+/// right side per left tuple (nested-loop-like), which makes the model
+/// prefer converting laterals late — a useful ablation contrast to C_out.
+class HashJoinModel final : public CostModel {
+ public:
+  double OperatorCost(OpType op, const PlanSide& left, const PlanSide& right,
+                      double out_card) const override;
+  const char* name() const override { return "Hash"; }
+
+ private:
+  static constexpr double kBuildCostPerTuple = 1.5;
+  static constexpr double kProbeCostPerTuple = 1.0;
+  static constexpr double kOutputCostPerTuple = 0.5;
+};
+
+/// Returns a process-lifetime singleton C_out model (the default used by
+/// examples and benchmarks).
+const CostModel& DefaultCostModel();
+
+}  // namespace dphyp
+
+#endif  // DPHYP_COST_COST_MODEL_H_

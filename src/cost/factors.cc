@@ -1,0 +1,33 @@
+#include "cost/factors.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dphyp {
+
+double EdgeCardinalityFactor(OpType op, double selectivity, double left_card,
+                             double right_card) {
+  DPHYP_CHECK(selectivity > 0.0 && selectivity <= 1.0);
+  const double l = std::max(1.0, left_card);
+  const double r = std::max(1.0, right_card);
+  switch (RegularVariant(op)) {
+    case OpType::kJoin:
+      return selectivity;
+    case OpType::kLeftSemijoin:
+      return std::min(1.0, selectivity * r) / r;
+    case OpType::kLeftAntijoin:
+      return std::max(1.0 - selectivity * r, kMinAntijoinKeep) / r;
+    case OpType::kLeftOuterjoin:
+      return std::max(selectivity, 1.0 / r);
+    case OpType::kFullOuterjoin:
+      return selectivity + 1.0 / r + 1.0 / l;
+    case OpType::kLeftNestjoin:
+      return 1.0 / r;
+    default:
+      DPHYP_CHECK_MSG(false, "unhandled operator in EdgeCardinalityFactor");
+  }
+  return selectivity;
+}
+
+}  // namespace dphyp

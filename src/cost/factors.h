@@ -1,0 +1,43 @@
+// Operator-specific cardinality factors.
+//
+// The estimator uses canonical product form
+//     card(S) = Π_{i ∈ S} card(i) × Π_{edge e, nodes(e) ⊆ S} factor(e)
+// which is independent of the join order used to reach S, so Bellman's
+// principle holds exactly and all DP variants (DPhyp, DPsize, DPsub, DPccp,
+// brute force) provably find the same optimum — a property the test suite
+// checks. Non-inner operators are folded into the product by computing a
+// per-edge factor from the operator, the predicate selectivity, and the
+// base cardinalities of the edge's two sides (fixed at estimator build
+// time). See DESIGN.md §2 "Canonical cardinality".
+#ifndef DPHYP_COST_FACTORS_H_
+#define DPHYP_COST_FACTORS_H_
+
+#include "catalog/operator_type.h"
+
+namespace dphyp {
+
+/// Smallest fraction of left-side tuples an antijoin is assumed to keep,
+/// so estimates never collapse to zero.
+inline constexpr double kMinAntijoinKeep = 0.05;
+
+/// Computes the multiplicative cardinality factor of an edge.
+///
+/// `selectivity` is the predicate selectivity; `left_card`/`right_card` are
+/// the products of base cardinalities of the edge's left/right hypernodes
+/// (including flexible nodes counted on the side they were assigned for
+/// estimation — callers split w evenly).
+///
+/// Derivations (L = left_card, R = right_card, s = selectivity):
+///   join:        |L ⋈ R|  = L·R·s                  -> s
+///   semijoin:    |L ⋉ R|  ≈ L·min(1, s·R)          -> min(1, s·R)/R
+///   antijoin:    |L ▷ R|  ≈ L·max(1-s·R, ε)        -> max(1-s·R, ε)/R
+///   left outer:  |L ⟕ R|  = max(L·R·s, L)          -> max(s, 1/R)
+///   full outer:  ≈ inner + unmatched both sides     -> s + 1/R + 1/L
+///   nestjoin:    |L T R|  = L                       -> 1/R
+/// Dependent variants estimate like their regular counterparts.
+double EdgeCardinalityFactor(OpType op, double selectivity, double left_card,
+                             double right_card);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_COST_FACTORS_H_

@@ -1,0 +1,32 @@
+#include "exec/dataset.h"
+
+#include "util/rng.h"
+
+namespace dphyp {
+
+Dataset Dataset::FromTables(std::vector<ExecRelation> tables) {
+  Dataset ds;
+  ds.tables_ = std::move(tables);
+  return ds;
+}
+
+Dataset Dataset::Generate(const std::vector<RelationInfo>& relations,
+                          int rows_per_table, uint64_t seed) {
+  Dataset ds;
+  Rng rng(seed);
+  for (const RelationInfo& rel : relations) {
+    ExecRelation table;
+    table.num_columns = rel.num_columns;
+    table.rows.resize(rows_per_table);
+    for (auto& row : table.rows) {
+      row.resize(rel.num_columns);
+      for (auto& value : row) {
+        value = static_cast<int64_t>(rng.Uniform(97));
+      }
+    }
+    ds.tables_.push_back(std::move(table));
+  }
+  return ds;
+}
+
+}  // namespace dphyp

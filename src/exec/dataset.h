@@ -1,0 +1,47 @@
+// Synthetic datasets for semantic plan verification.
+//
+// Each relation is a small table of int64 columns with deterministic,
+// seed-derived values. The executor uses them to check that an optimized
+// plan computes exactly the same multiset of tuples as the original
+// operator tree — the end-to-end validation of Theorem 1 and the Sec. 5
+// conflict machinery.
+#ifndef DPHYP_EXEC_DATASET_H_
+#define DPHYP_EXEC_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/query_spec.h"
+
+namespace dphyp {
+
+/// One materialized relation: rows × columns of int64.
+struct ExecRelation {
+  int num_columns = 0;
+  std::vector<std::vector<int64_t>> rows;
+
+  int64_t Value(int row, int column) const { return rows[row][column]; }
+  int NumRows() const { return static_cast<int>(rows.size()); }
+};
+
+/// All base relations of a query.
+class Dataset {
+ public:
+  /// Generates `rows_per_table` rows per relation with values in [0, 97),
+  /// deterministically from `seed`.
+  static Dataset Generate(const std::vector<RelationInfo>& relations,
+                          int rows_per_table, uint64_t seed);
+
+  /// Wraps explicitly provided tables (tests with hand-checked contents).
+  static Dataset FromTables(std::vector<ExecRelation> tables);
+
+  const ExecRelation& table(int i) const { return tables_[i]; }
+  int NumTables() const { return static_cast<int>(tables_.size()); }
+
+ private:
+  std::vector<ExecRelation> tables_;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_EXEC_DATASET_H_

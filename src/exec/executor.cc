@@ -1,0 +1,280 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dphyp {
+
+EdgeConjuncts ConjunctsFromSpec(const QuerySpec& spec, const Hypergraph& graph) {
+  EdgeConjuncts out(graph.NumEdges());
+  for (int e = 0; e < graph.NumEdges(); ++e) {
+    int pred = graph.edge(e).predicate_id;
+    if (pred < 0) continue;  // repair edge: TRUE
+    const Predicate& p = spec.predicates[pred];
+    DPHYP_CHECK_MSG(!p.refs.empty(),
+                    "predicate has no payload; call FillDefaultPayloads");
+    out[e].push_back(ExecPredicate{p.refs, p.modulus});
+  }
+  return out;
+}
+
+EdgeConjuncts ConjunctsFromTree(const OperatorTree& tree,
+                                const std::vector<int>& edge_to_op) {
+  EdgeConjuncts out(edge_to_op.size());
+  for (size_t e = 0; e < edge_to_op.size(); ++e) {
+    const TreeNode& node = tree.nodes[edge_to_op[e]];
+    for (int p : node.predicates) {
+      const TreePredicate& pred = tree.predicates[p];
+      DPHYP_CHECK_MSG(!pred.refs.empty(),
+                      "predicate has no payload; call FillDefaultPayloads");
+      out[e].push_back(ExecPredicate{pred.refs, pred.modulus});
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ExecResult::Canonical() const {
+  std::vector<std::string> lines;
+  lines.reserve(tuples.size());
+  for (const ExecTuple& t : tuples) {
+    std::string line;
+    for (int32_t r : t.rows) {
+      line += std::to_string(r);
+      line += ',';
+    }
+    auto extras = t.extras;
+    std::sort(extras.begin(), extras.end());
+    for (const auto& [key, value] : extras) {
+      line += "|x" + std::to_string(key) + "=" + std::to_string(value);
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+namespace {
+
+/// Looks up the value of a column reference across (left, right, context);
+/// returns false if the owning table is NULL-padded (strong predicates).
+bool LookupValue(const Dataset& dataset, const ColumnRef& ref,
+                 const ExecTuple& left, const ExecTuple& right,
+                 const ExecTuple& context, int64_t* out) {
+  int32_t row = ExecTuple::kAbsent;
+  if (left.rows[ref.table] != ExecTuple::kAbsent) {
+    row = left.rows[ref.table];
+  } else if (!right.rows.empty() && right.rows[ref.table] != ExecTuple::kAbsent) {
+    row = right.rows[ref.table];
+  } else {
+    row = context.rows[ref.table];
+  }
+  DPHYP_CHECK_MSG(row != ExecTuple::kAbsent,
+                  "predicate references a table that is not in scope — "
+                  "the plan is invalid");
+  if (row == ExecTuple::kNull) return false;
+  *out = dataset.table(ref.table).Value(row, ref.column);
+  return true;
+}
+
+bool EvalConjunct(const Dataset& dataset, const ExecPredicate& pred,
+                  const ExecTuple& left, const ExecTuple& right,
+                  const ExecTuple& context) {
+  int64_t sum = 0;
+  for (const ColumnRef& ref : pred.refs) {
+    int64_t value = 0;
+    if (!LookupValue(dataset, ref, left, right, context, &value)) return false;
+    sum += value;
+  }
+  return sum % pred.modulus == 0;
+}
+
+ExecTuple MergeTuples(const ExecTuple& left, const ExecTuple& right) {
+  ExecTuple out = left;
+  for (size_t t = 0; t < out.rows.size(); ++t) {
+    if (out.rows[t] == ExecTuple::kAbsent) out.rows[t] = right.rows[t];
+  }
+  out.extras.insert(out.extras.end(), right.extras.begin(), right.extras.end());
+  return out;
+}
+
+ExecTuple PadNull(const ExecTuple& tuple, NodeSet tables) {
+  ExecTuple out = tuple;
+  for (int t : tables) out.rows[t] = ExecTuple::kNull;
+  return out;
+}
+
+ExecTuple BindContext(const ExecTuple& context, const ExecTuple& left) {
+  ExecTuple out = context;
+  for (size_t t = 0; t < out.rows.size(); ++t) {
+    if (left.rows[t] != ExecTuple::kAbsent) out.rows[t] = left.rows[t];
+  }
+  return out;
+}
+
+}  // namespace
+
+ExecResult Executor::Execute(const PlanTree& plan) const {
+  DPHYP_CHECK(plan.Valid());
+  ExecTuple context;
+  context.rows.assign(graph_.NumNodes(), ExecTuple::kAbsent);
+  ExecResult result;
+  result.tuples = Evaluate(plan.root(), context);
+  return result;
+}
+
+std::vector<ExecTuple> Executor::Evaluate(const PlanTreeNode* node,
+                                          const ExecTuple& context) const {
+  if (node->IsLeaf()) return EvaluateLeaf(node, context);
+  std::vector<ExecTuple> left_rows = Evaluate(node->left, context);
+  return Combine(node, left_rows, context);
+}
+
+std::vector<ExecTuple> Executor::EvaluateLeaf(const PlanTreeNode* node,
+                                              const ExecTuple& context) const {
+  const int rel = node->relation;
+  const RelationInfo& info = relations_[rel];
+  const ExecRelation& table = dataset_.table(rel);
+  std::vector<ExecTuple> out;
+  for (int row = 0; row < table.NumRows(); ++row) {
+    if (!info.free_tables.Empty()) {
+      // Lateral leaf: apply the correlation predicate against the context.
+      int64_t sum = 0;
+      bool null_seen = false;
+      for (const ColumnRef& ref : info.corr_refs) {
+        int32_t src = ref.table == rel ? row : context.rows[ref.table];
+        DPHYP_CHECK_MSG(src != ExecTuple::kAbsent,
+                        "lateral leaf evaluated without its binding — "
+                        "the plan is invalid");
+        if (src == ExecTuple::kNull) {
+          null_seen = true;
+          break;
+        }
+        sum += dataset_.table(ref.table).Value(src, ref.column);
+      }
+      if (null_seen || sum % info.corr_modulus != 0) continue;
+    }
+    ExecTuple t;
+    t.rows.assign(graph_.NumNodes(), ExecTuple::kAbsent);
+    t.rows[rel] = row;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<ExecTuple> Executor::Combine(const PlanTreeNode* node,
+                                         const std::vector<ExecTuple>& left_rows,
+                                         const ExecTuple& context) const {
+  // Gather the conjuncts of all edges applied at this operator, and locate
+  // the nestjoin edge (if the operator is a nestjoin) for aggregate keying.
+  std::vector<const ExecPredicate*> preds;
+  int nest_edge = -1;
+  for (int e : node->edge_ids) {
+    for (const ExecPredicate& p : conjuncts_[e]) preds.push_back(&p);
+    if (RegularVariant(graph_.edge(e).op) == OpType::kLeftNestjoin) {
+      nest_edge = e;
+    }
+  }
+  const OpType op = node->op;
+  const OpType regular = RegularVariant(op);
+  const bool dependent = IsDependent(op);
+  const NodeSet left_tables = node->left->set;
+  const NodeSet right_tables = node->right->set;
+
+  // Nestjoin aggregate anchor: the minimal table of the nestjoin edge's
+  // right hypernode — stable across valid reorderings.
+  int anchor_table = -1;
+  if (regular == OpType::kLeftNestjoin) {
+    DPHYP_CHECK_MSG(nest_edge >= 0, "nestjoin operator without nestjoin edge");
+    anchor_table = graph_.edge(nest_edge).right.Min();
+  }
+
+  std::vector<ExecTuple> right_static;
+  if (!dependent) right_static = Evaluate(node->right, context);
+  std::vector<bool> right_matched(right_static.size(), false);
+
+  auto match = [&](const ExecTuple& l, const ExecTuple& r) {
+    for (const ExecPredicate* p : preds) {
+      if (!EvalConjunct(dataset_, *p, l, r, context)) return false;
+    }
+    return true;
+  };
+
+  std::vector<ExecTuple> out;
+  for (const ExecTuple& l : left_rows) {
+    std::vector<ExecTuple> dep_rows;
+    const std::vector<ExecTuple>* right_rows = &right_static;
+    if (dependent) {
+      dep_rows = Evaluate(node->right, BindContext(context, l));
+      right_rows = &dep_rows;
+    }
+
+    bool matched = false;
+    int64_t agg_count = 0;
+    int64_t agg_sum = 0;
+    for (size_t j = 0; j < right_rows->size(); ++j) {
+      const ExecTuple& r = (*right_rows)[j];
+      if (!match(l, r)) continue;
+      matched = true;
+      if (!dependent) right_matched[j] = true;
+      switch (regular) {
+        case OpType::kJoin:
+        case OpType::kLeftOuterjoin:
+        case OpType::kFullOuterjoin:
+          out.push_back(MergeTuples(l, r));
+          break;
+        case OpType::kLeftSemijoin:
+        case OpType::kLeftAntijoin:
+          break;  // existence only
+        case OpType::kLeftNestjoin: {
+          ++agg_count;
+          int32_t row = r.rows[anchor_table];
+          if (row >= 0) agg_sum += dataset_.table(anchor_table).Value(row, 0);
+          break;
+        }
+        default:
+          DPHYP_CHECK_MSG(false, "unexpected operator in Combine");
+      }
+      if (regular == OpType::kLeftSemijoin || regular == OpType::kLeftAntijoin) {
+        break;  // existence decided by the first match
+      }
+    }
+
+    switch (regular) {
+      case OpType::kJoin:
+        break;
+      case OpType::kLeftSemijoin:
+        if (matched) out.push_back(l);
+        break;
+      case OpType::kLeftAntijoin:
+        if (!matched) out.push_back(l);
+        break;
+      case OpType::kLeftOuterjoin:
+      case OpType::kFullOuterjoin:
+        if (!matched) out.push_back(PadNull(l, right_tables));
+        break;
+      case OpType::kLeftNestjoin: {
+        ExecTuple t = l;
+        t.extras.emplace_back(nest_edge, agg_count * 1000003 + agg_sum);
+        out.push_back(std::move(t));
+        break;
+      }
+      default:
+        DPHYP_CHECK_MSG(false, "unexpected operator in Combine");
+    }
+  }
+
+  if (regular == OpType::kFullOuterjoin) {
+    DPHYP_CHECK_MSG(!dependent, "full outer join has no dependent variant");
+    // Unmatched left rows were padded in the per-left loop; unmatched right
+    // rows are NULL-padded on the left side here.
+    for (size_t j = 0; j < right_static.size(); ++j) {
+      if (!right_matched[j]) {
+        out.push_back(PadNull(right_static[j], left_tables));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dphyp

@@ -1,0 +1,107 @@
+// Tuple-at-a-time reference executor for plan trees.
+//
+// Supports every operator of Sec. 5.1: inner join, left semi/anti/outer
+// join, full outer join, nestjoin, and the dependent (lateral) variants.
+// Semantics notes:
+//   * Predicates are conjunctions of sum-mod conjuncts over column refs;
+//     a NULL input makes a conjunct false, so every predicate is *strong*
+//     w.r.t. every side (the standing assumption of Sec. 5.2).
+//   * Outer joins pad the missing side with NULL row markers.
+//   * Semijoin/antijoin output only the left side's columns.
+//   * Nestjoins append one computed value per left tuple:
+//     count(group) * 1000003 + sum(non-NULL anchor-column values of the
+//     group), keyed by the nestjoin's hyperedge id so results from
+//     different (valid) orderings remain comparable.
+//   * Dependent operators re-evaluate their right child per left tuple with
+//     the left tuple bound in the evaluation context; lateral leaves filter
+//     their base table with their correlation predicate against the context.
+#ifndef DPHYP_EXEC_EXECUTOR_H_
+#define DPHYP_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/dataset.h"
+#include "hypergraph/hypergraph.h"
+#include "plan/plan_tree.h"
+#include "reorder/operator_tree.h"
+
+namespace dphyp {
+
+/// One executable conjunct.
+struct ExecPredicate {
+  std::vector<ColumnRef> refs;
+  int64_t modulus = 1;
+};
+
+/// Conjunct lists per hypergraph edge id. Plan operators evaluate the union
+/// of conjuncts of all edges attached to them (the conjunction EmitCsgCmp
+/// assembles, Sec. 3.5).
+using EdgeConjuncts = std::vector<std::vector<ExecPredicate>>;
+
+/// Conjuncts for a predicate-derived graph (edge i <-> QuerySpec predicate;
+/// synthetic repair edges get the empty conjunction, i.e. TRUE).
+EdgeConjuncts ConjunctsFromSpec(const QuerySpec& spec, const Hypergraph& graph);
+
+/// Conjuncts for an operator-tree-derived graph (edge <-> operator node,
+/// via DerivedQuery::edge_to_op).
+EdgeConjuncts ConjunctsFromTree(const OperatorTree& tree,
+                                const std::vector<int>& edge_to_op);
+
+/// A tuple: one row id per table (kAbsent if the table is not part of the
+/// tuple, kNull if NULL-padded by an outer join), plus computed nestjoin
+/// values keyed by hyperedge id.
+struct ExecTuple {
+  static constexpr int32_t kAbsent = -1;
+  static constexpr int32_t kNull = -2;
+  std::vector<int32_t> rows;
+  std::vector<std::pair<int32_t, int64_t>> extras;  // (nestjoin edge id, value)
+};
+
+/// A result: multiset of tuples. Use Canonical() for comparisons.
+struct ExecResult {
+  std::vector<ExecTuple> tuples;
+
+  /// Sorted textual form; two results are equal iff their canonical forms
+  /// are equal.
+  std::vector<std::string> Canonical() const;
+  bool SameAs(const ExecResult& other) const {
+    return Canonical() == other.Canonical();
+  }
+};
+
+/// Executes plan trees against a dataset.
+class Executor {
+ public:
+  /// `graph` provides edge operators (nestjoin aggregate anchoring);
+  /// `relations` supplies lateral correlation payloads; `conjuncts` maps
+  /// edge ids (as referenced by PlanTreeNode::edge_ids) to predicates.
+  Executor(const Dataset& dataset, const Hypergraph& graph,
+           const std::vector<RelationInfo>& relations, EdgeConjuncts conjuncts)
+      : dataset_(dataset),
+        graph_(graph),
+        relations_(relations),
+        conjuncts_(std::move(conjuncts)) {}
+
+  /// Runs the plan and returns its result multiset.
+  ExecResult Execute(const PlanTree& plan) const;
+
+ private:
+  std::vector<ExecTuple> Evaluate(const PlanTreeNode* node,
+                                  const ExecTuple& context) const;
+  std::vector<ExecTuple> EvaluateLeaf(const PlanTreeNode* node,
+                                      const ExecTuple& context) const;
+  std::vector<ExecTuple> Combine(const PlanTreeNode* node,
+                                 const std::vector<ExecTuple>& left_rows,
+                                 const ExecTuple& context) const;
+
+  const Dataset& dataset_;
+  const Hypergraph& graph_;
+  const std::vector<RelationInfo>& relations_;
+  EdgeConjuncts conjuncts_;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_EXEC_EXECUTOR_H_

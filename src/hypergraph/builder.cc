@@ -1,0 +1,58 @@
+#include "hypergraph/builder.h"
+
+#include <utility>
+
+#include "hypergraph/connectivity.h"
+#include "util/check.h"
+
+namespace dphyp {
+
+Result<Hypergraph> BuildHypergraph(const QuerySpec& spec) {
+  Result<bool> valid = spec.Validate();
+  if (!valid.ok()) return valid.error();
+
+  Hypergraph graph;
+  for (int i = 0; i < spec.NumRelations(); ++i) {
+    const RelationInfo& rel = spec.relations[i];
+    HypergraphNode node;
+    node.name = rel.name;
+    node.cardinality = rel.cardinality;
+    node.free_tables = rel.free_tables;
+    graph.AddNode(std::move(node));
+  }
+  for (size_t i = 0; i < spec.predicates.size(); ++i) {
+    const Predicate& p = spec.predicates[i];
+    Hyperedge edge;
+    edge.left = p.left;
+    edge.right = p.right;
+    edge.flex = p.flex;
+    edge.selectivity = p.selectivity;
+    edge.op = p.op;
+    edge.predicate_id = static_cast<int>(i);
+    graph.AddEdge(edge);
+  }
+
+  // Connectivity repair (Sec. 2.1): one selectivity-1 inner-join hyperedge
+  // per component pair.
+  std::vector<NodeSet> components = UnionFindComponents(graph);
+  for (size_t a = 0; a + 1 < components.size(); ++a) {
+    for (size_t b = a + 1; b < components.size(); ++b) {
+      Hyperedge repair;
+      repair.left = components[a];
+      repair.right = components[b];
+      repair.selectivity = 1.0;
+      repair.op = OpType::kJoin;
+      repair.predicate_id = -1;
+      graph.AddEdge(repair);
+    }
+  }
+  return graph;
+}
+
+Hypergraph BuildHypergraphOrDie(const QuerySpec& spec) {
+  Result<Hypergraph> result = BuildHypergraph(spec);
+  DPHYP_CHECK_MSG(result.ok(), result.error().message.c_str());
+  return std::move(result).value();
+}
+
+}  // namespace dphyp

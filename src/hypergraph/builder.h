@@ -1,0 +1,25 @@
+// Builds a Hypergraph from a QuerySpec, including the connectivity repair
+// described in Sec. 2.1: if the predicate-induced hypergraph has several
+// connected components, a selectivity-1 hyperedge whose hypernodes are
+// exactly the components is added for every component pair, yielding an
+// equivalent connected hypergraph (the cross product is forced to the top).
+#ifndef DPHYP_HYPERGRAPH_BUILDER_H_
+#define DPHYP_HYPERGRAPH_BUILDER_H_
+
+#include "catalog/query_spec.h"
+#include "hypergraph/hypergraph.h"
+#include "util/result.h"
+
+namespace dphyp {
+
+/// Converts a validated QuerySpec into a connected Hypergraph.
+/// Fails if the spec does not validate.
+Result<Hypergraph> BuildHypergraph(const QuerySpec& spec);
+
+/// Same, but aborts on invalid specs. Convenience for tests and generators
+/// whose specs are correct by construction.
+Hypergraph BuildHypergraphOrDie(const QuerySpec& spec);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_HYPERGRAPH_BUILDER_H_

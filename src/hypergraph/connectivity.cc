@@ -1,0 +1,118 @@
+#include "hypergraph/connectivity.h"
+
+#include <numeric>
+
+#include "util/check.h"
+#include "util/subset.h"
+
+namespace dphyp {
+
+bool ConnectivityTester::IsConnected(NodeSet S) {
+  DPHYP_CHECK(!S.Empty());
+  if (S.IsSingleton()) return true;
+  auto it = memo_.find(S.bits());
+  if (it != memo_.end()) return it->second;
+
+  bool connected = false;
+  // Enumerate partitions (S1, S2) with min(S) in S1 (each unordered
+  // partition once). S1 ranges over subsets of S \ min(S), unioned with min.
+  NodeSet rest = S.MinusMin();
+  NodeSet min_set = S.MinSet();
+  for (NodeSet part : ProperSubsetsOf(rest)) {
+    NodeSet S1 = min_set | part;
+    NodeSet S2 = S - S1;
+    if (graph_.ConnectsSets(S1, S2) && IsConnected(S1) && IsConnected(S2)) {
+      connected = true;
+      break;
+    }
+  }
+  if (!connected) {
+    // The partition ({min}, rest) is not produced by ProperSubsetsOf(rest)
+    // (empty part), so test it explicitly.
+    NodeSet S2 = rest;
+    if (graph_.ConnectsSets(min_set, S2) && IsConnected(S2)) connected = true;
+  }
+  memo_[S.bits()] = connected;
+  return connected;
+}
+
+std::vector<NodeSet> UnionFindComponents(const Hypergraph& graph) {
+  int n = graph.NumNodes();
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) { parent[find(a)] = find(b); };
+  for (const Hyperedge& e : graph.edges()) {
+    NodeSet all = e.AllNodes();
+    int first = all.Min();
+    for (int v : all) unite(first, v);
+  }
+  std::vector<NodeSet> components;
+  for (int root = 0; root < n; ++root) {
+    if (find(root) != root) continue;
+    NodeSet comp;
+    for (int v = 0; v < n; ++v) {
+      if (find(v) == root) comp |= NodeSet::Single(v);
+    }
+    components.push_back(comp);
+  }
+  return components;
+}
+
+std::vector<NodeSet> EnumerateConnectedSubgraphs(const Hypergraph& graph) {
+  DPHYP_CHECK_MSG(graph.NumNodes() <= 24, "exponential oracle limited to 24 nodes");
+  ConnectivityTester tester(graph);
+  std::vector<NodeSet> out;
+  uint64_t full = graph.AllNodes().bits();
+  for (uint64_t bits = 1; bits <= full; ++bits) {
+    NodeSet s(bits);
+    if (tester.IsConnected(s)) out.push_back(s);
+  }
+  return out;
+}
+
+uint64_t CountConnectedSubgraphs(const Hypergraph& graph) {
+  return EnumerateConnectedSubgraphs(graph).size();
+}
+
+std::vector<std::pair<NodeSet, NodeSet>> EnumerateCsgCmpPairs(
+    const Hypergraph& graph) {
+  ConnectivityTester tester(graph);
+  std::vector<std::pair<NodeSet, NodeSet>> out;
+  uint64_t full = graph.AllNodes().bits();
+  for (uint64_t bits = 1; bits <= full; ++bits) {
+    NodeSet s(bits);
+    if (!tester.IsConnected(s) || s.IsSingleton()) continue;
+    // Partitions of s into (S1, S2) with min(s) in S1 give each unordered
+    // pair once; we normalize to min(S1) < min(S2), which holds since S1
+    // contains the global minimum of s.
+    NodeSet rest = s.MinusMin();
+    NodeSet min_set = s.MinSet();
+    for (NodeSet part : NonEmptySubsetsOf(rest)) {
+      if (part == rest) break;  // S2 must be non-empty
+      NodeSet S1 = min_set | part;
+      NodeSet S2 = s - S1;
+      if (tester.IsConnected(S1) && tester.IsConnected(S2) &&
+          graph.ConnectsSets(S1, S2)) {
+        out.emplace_back(S1, S2);
+      }
+    }
+    // The partition ({min}, rest).
+    if (tester.IsConnected(rest) && graph.ConnectsSets(min_set, rest)) {
+      out.emplace_back(min_set, rest);
+    }
+  }
+  return out;
+}
+
+uint64_t CountCsgCmpPairs(const Hypergraph& graph) {
+  return EnumerateCsgCmpPairs(graph).size();
+}
+
+}  // namespace dphyp

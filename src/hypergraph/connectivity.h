@@ -1,0 +1,61 @@
+// Reference implementations of Def. 3 connectivity and csg / csg-cmp-pair
+// counting.
+//
+// These are intentionally exponential, definition-faithful oracles: the
+// enumeration algorithms are validated against them, and the ccp count is
+// the proven lower bound on cost-function calls of any DP join-ordering
+// algorithm (Sec. 2.2), which bench_ccp_counts compares against measured
+// emit counts.
+#ifndef DPHYP_HYPERGRAPH_CONNECTIVITY_H_
+#define DPHYP_HYPERGRAPH_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/node_set.h"
+
+namespace dphyp {
+
+/// Memoizing Def. 3 connectivity oracle. A node set S is connected iff
+/// |S| = 1 or S splits into two connected parts joined by an edge whose
+/// hypernodes are fully contained in the respective parts.
+class ConnectivityTester {
+ public:
+  explicit ConnectivityTester(const Hypergraph& graph) : graph_(graph) {}
+
+  /// True iff S induces a connected subgraph (Def. 3). Exponential in |S|;
+  /// use only in tests, counting, and graph setup.
+  bool IsConnected(NodeSet S);
+
+ private:
+  const Hypergraph& graph_;
+  std::unordered_map<uint64_t, bool> memo_;
+};
+
+/// Union-find style components: every edge merges all nodes of u ∪ v ∪ w.
+/// This over-approximates Def. 3 connectivity (Def.-3-connected implies
+/// same component) and is used for connectivity repair in the builder.
+std::vector<NodeSet> UnionFindComponents(const Hypergraph& graph);
+
+/// Number of connected subgraphs (csg) — the number of DP table entries any
+/// of the DP variants materializes (Sec. 3.6). O(2^n) with n = #nodes.
+uint64_t CountConnectedSubgraphs(const Hypergraph& graph);
+
+/// Number of csg-cmp-pairs, counting (S1, S2) and (S2, S1) once — the
+/// minimal number of cost-function calls of any DP algorithm (Sec. 2.2).
+/// O(3^n).
+uint64_t CountCsgCmpPairs(const Hypergraph& graph);
+
+/// All connected subgraphs, ascending by numeric set value. O(2^n).
+std::vector<NodeSet> EnumerateConnectedSubgraphs(const Hypergraph& graph);
+
+/// All csg-cmp-pairs as (S1, S2) with min(S1) < min(S2), in an unspecified
+/// but deterministic order. O(3^n). Used to validate DPhyp's emissions.
+std::vector<std::pair<NodeSet, NodeSet>> EnumerateCsgCmpPairs(
+    const Hypergraph& graph);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_HYPERGRAPH_CONNECTIVITY_H_

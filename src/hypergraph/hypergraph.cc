@@ -1,0 +1,126 @@
+#include "hypergraph/hypergraph.h"
+
+#include "util/check.h"
+
+namespace dphyp {
+
+std::string Hyperedge::ToString() const {
+  std::string out = "(" + left.ToString() + ", " + right.ToString();
+  if (!flex.Empty()) out += ", flex=" + flex.ToString();
+  out += ") op=" + std::string(OpSymbol(op)) +
+         " sel=" + std::to_string(selectivity);
+  return out;
+}
+
+int Hypergraph::AddNode(HypergraphNode node) {
+  DPHYP_CHECK_MSG(NumNodes() < NodeSet::kMaxNodes, "too many nodes (max 64)");
+  if (!node.free_tables.Empty()) has_dependent_leaves_ = true;
+  nodes_.push_back(std::move(node));
+  simple_neighbors_.push_back(NodeSet());
+  return NumNodes() - 1;
+}
+
+int Hypergraph::AddEdge(Hyperedge edge) {
+  DPHYP_CHECK(!edge.left.Empty() && !edge.right.Empty());
+  DPHYP_CHECK(!edge.left.Intersects(edge.right));
+  DPHYP_CHECK(!edge.left.Intersects(edge.flex) && !edge.right.Intersects(edge.flex));
+  DPHYP_CHECK(edge.AllNodes().IsSubsetOf(AllNodes()));
+  int id = NumEdges();
+  if (edge.IsSimple()) {
+    int l = edge.left.Min();
+    int r = edge.right.Min();
+    simple_neighbors_[l] |= NodeSet::Single(r);
+    simple_neighbors_[r] |= NodeSet::Single(l);
+  } else {
+    complex_edge_ids_.push_back(id);
+  }
+  edges_.push_back(edge);
+  return id;
+}
+
+NodeSet Hypergraph::Neighborhood(NodeSet S, NodeSet X) const {
+  const NodeSet forbidden = S | X;
+
+  // Simple edges: far sides are singletons, inherently minimal hypernodes.
+  NodeSet simple;
+  for (int v : S) simple |= simple_neighbors_[v];
+  simple -= forbidden;
+
+  // Complex edges: collect candidate far-side hypernodes E#'(S, X), then
+  // prune subsumed candidates to obtain E#(S, X) (Sec. 2.3). A candidate is
+  // subsumed if it has a (strict or equal) subset among the other candidates
+  // or contains one of the simple singleton neighbors.
+  NodeSet result = simple;
+  if (!complex_edge_ids_.empty()) {
+    NodeSet candidates[128];
+    int num_candidates = 0;
+    auto consider = [&](NodeSet near_side, NodeSet far_side, NodeSet flex) {
+      if (!near_side.IsSubsetOf(S)) return;
+      NodeSet target = far_side | (flex - S);
+      if (target.Intersects(forbidden)) return;
+      if (num_candidates < 128) candidates[num_candidates++] = target;
+    };
+    for (int id : complex_edge_ids_) {
+      const Hyperedge& e = edges_[id];
+      consider(e.left, e.right, e.flex);
+      consider(e.right, e.left, e.flex);
+    }
+    for (int i = 0; i < num_candidates; ++i) {
+      // Subsumed by a simple neighbor?
+      if (candidates[i].Intersects(simple)) continue;
+      bool subsumed = false;
+      for (int j = 0; j < num_candidates && !subsumed; ++j) {
+        if (i == j) continue;
+        // Keep only inclusion-minimal candidates; break ties (equal sets)
+        // in favor of the earlier index.
+        if (candidates[j].IsSubsetOf(candidates[i]) &&
+            (candidates[j] != candidates[i] || j < i)) {
+          subsumed = true;
+        }
+      }
+      if (!subsumed) result |= candidates[i].MinSet();
+    }
+  }
+  return result;
+}
+
+bool Hypergraph::ConnectsSets(NodeSet S1, NodeSet S2) const {
+  DPHYP_DCHECK(!S1.Intersects(S2));
+  // Simple edges: test adjacency bitsets from the smaller side.
+  NodeSet probe = S1.Count() <= S2.Count() ? S1 : S2;
+  NodeSet other = probe == S1 ? S2 : S1;
+  for (int v : probe) {
+    if (simple_neighbors_[v].Intersects(other)) return true;
+  }
+  NodeSet both = S1 | S2;
+  for (int id : complex_edge_ids_) {
+    const Hyperedge& e = edges_[id];
+    if (!e.flex.IsSubsetOf(both)) continue;
+    if ((e.left.IsSubsetOf(S1) && e.right.IsSubsetOf(S2)) ||
+        (e.left.IsSubsetOf(S2) && e.right.IsSubsetOf(S1))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+NodeSet Hypergraph::FreeTables(NodeSet S) const {
+  if (!has_dependent_leaves_) return NodeSet();
+  NodeSet free;
+  for (int v : S) free |= nodes_[v].free_tables;
+  return free - S;
+}
+
+std::string Hypergraph::ToString() const {
+  std::string out = "Hypergraph(" + std::to_string(NumNodes()) + " nodes)\n";
+  for (int i = 0; i < NumNodes(); ++i) {
+    out += "  R" + std::to_string(i) + " " + nodes_[i].name +
+           " card=" + std::to_string(nodes_[i].cardinality) + "\n";
+  }
+  for (const Hyperedge& e : edges_) {
+    out += "  edge " + e.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace dphyp

@@ -1,0 +1,122 @@
+// Query hypergraph (Def. 1) with generalized hyperedges (Def. 6) and the
+// neighborhood computation of Sec. 2.3.
+//
+// Nodes are relations, edges abstract join predicates. An edge is a triple
+// (u, v, w): `u` must appear on one side of the join, `v` on the other, and
+// the members of `w` may go to either side. Simple edges (|u| = |v| = 1,
+// w = {}) are stored as per-node adjacency bitsets for speed; complex edges
+// are scanned linearly (query graphs have few of them).
+#ifndef DPHYP_HYPERGRAPH_HYPERGRAPH_H_
+#define DPHYP_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/operator_type.h"
+#include "util/node_set.h"
+
+namespace dphyp {
+
+/// One hyperedge. `left`/`right` are the hypernodes u and v; `flex` is the
+/// either-side set w of generalized hyperedges (empty for Def. 1 edges).
+struct Hyperedge {
+  NodeSet left;
+  NodeSet right;
+  NodeSet flex;
+  /// Raw predicate selectivity (fraction of cross product kept).
+  double selectivity = 1.0;
+  /// Operator the edge was derived from (Sec. 5.4 attaches operators to
+  /// edges so EmitCsgCmp can recover them). Plain inner joins use kJoin.
+  OpType op = OpType::kJoin;
+  /// Index of the originating predicate in the QuerySpec, or -1 for
+  /// synthetic edges (e.g. connectivity repair).
+  int predicate_id = -1;
+
+  bool IsSimple() const {
+    return left.IsSingleton() && right.IsSingleton() && flex.Empty();
+  }
+  NodeSet AllNodes() const { return left | right | flex; }
+  std::string ToString() const;
+};
+
+/// Node payload: display name, base cardinality, and — for table-valued
+/// function leaves — the set of tables the leaf references freely.
+struct HypergraphNode {
+  std::string name;
+  double cardinality = 1000.0;
+  NodeSet free_tables;
+};
+
+/// The query hypergraph. Immutable after construction (use
+/// HypergraphBuilder or AddNode/AddEdge during setup only).
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Adds a node; returns its index (also its position in the total node
+  /// order `<` of Def. 1).
+  int AddNode(HypergraphNode node);
+
+  /// Adds an edge; returns its index. Sides must be non-empty, pairwise
+  /// disjoint, and within range.
+  int AddEdge(Hyperedge edge);
+
+  int NumNodes() const { return static_cast<int>(nodes_.size()); }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+  NodeSet AllNodes() const { return NodeSet::FullSet(NumNodes()); }
+
+  const HypergraphNode& node(int i) const { return nodes_[i]; }
+  const Hyperedge& edge(int i) const { return edges_[i]; }
+  const std::vector<Hyperedge>& edges() const { return edges_; }
+  /// Indices of edges that are not simple.
+  const std::vector<int>& complex_edge_ids() const { return complex_edge_ids_; }
+  /// Union of simple-edge neighbors of `node`.
+  NodeSet SimpleNeighbors(int node) const { return simple_neighbors_[node]; }
+
+  /// The paper's N(S, X) (Eq. 1): for every non-subsumed hyperedge reachable
+  /// from S whose far side avoids S and X, the minimal node of the far side
+  /// is included. Simple edges contribute their (singleton) far sides
+  /// directly. Generalized edges contribute v ∪ (w \ S).
+  NodeSet Neighborhood(NodeSet S, NodeSet X) const;
+
+  /// True iff some edge connects S1 and S2 per Def. 7: u ⊆ S1, v ⊆ S2 (or
+  /// swapped) and w ⊆ S1 ∪ S2. S1 and S2 must be disjoint.
+  bool ConnectsSets(NodeSet S1, NodeSet S2) const;
+
+  /// Invokes `fn(edge_index, left_side_in_s1)` for every edge connecting S1
+  /// and S2. `left_side_in_s1` tells which orientation matched, which
+  /// EmitCsgCmp uses to rebuild non-commutative operators correctly.
+  template <typename Fn>
+  void ForEachConnectingEdge(NodeSet S1, NodeSet S2, Fn&& fn) const {
+    NodeSet both = S1 | S2;
+    for (int i = 0; i < NumEdges(); ++i) {
+      const Hyperedge& e = edges_[i];
+      if (!e.flex.IsSubsetOf(both)) continue;
+      if (e.left.IsSubsetOf(S1) && e.right.IsSubsetOf(S2)) {
+        fn(i, true);
+      } else if (e.left.IsSubsetOf(S2) && e.right.IsSubsetOf(S1)) {
+        fn(i, false);
+      }
+    }
+  }
+
+  /// Union of free-table sets of the nodes in S (used for the dependent-
+  /// operator conversion rule of Sec. 5.6).
+  NodeSet FreeTables(NodeSet S) const;
+
+  /// True if any node carries a non-empty free-table set.
+  bool HasDependentLeaves() const { return has_dependent_leaves_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<HypergraphNode> nodes_;
+  std::vector<Hyperedge> edges_;
+  std::vector<NodeSet> simple_neighbors_;
+  std::vector<int> complex_edge_ids_;
+  bool has_dependent_leaves_ = false;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,0 +1,50 @@
+#include "plan/dp_table.h"
+
+#include <bit>
+
+namespace dphyp {
+
+DpTable::DpTable(size_t expected_entries) {
+  size_t capacity = std::bit_ceil(expected_entries * 2 + 16);
+  slots_.assign(capacity, 0);
+  mask_ = capacity - 1;
+  entries_.reserve(expected_entries);
+}
+
+const PlanEntry* DpTable::Find(NodeSet s) const {
+  DPHYP_DCHECK(!s.Empty());
+  size_t idx = HashNodeSet(s) & mask_;
+  for (;;) {
+    uint32_t slot = slots_[idx];
+    if (slot == 0) return nullptr;
+    const PlanEntry& e = entries_[slot - 1];
+    if (e.set == s) return &e;
+    idx = (idx + 1) & mask_;
+  }
+}
+
+PlanEntry* DpTable::Insert(NodeSet s) {
+  DPHYP_DCHECK(!s.Empty());
+  DPHYP_DCHECK(Find(s) == nullptr);
+  if ((entries_.size() + 1) * 10 >= slots_.size() * 7) Grow();
+  entries_.emplace_back();
+  PlanEntry* e = &entries_.back();
+  e->set = s;
+  size_t idx = HashNodeSet(s) & mask_;
+  while (slots_[idx] != 0) idx = (idx + 1) & mask_;
+  slots_[idx] = static_cast<uint32_t>(entries_.size());
+  return e;
+}
+
+void DpTable::Grow() {
+  size_t capacity = slots_.size() * 2;
+  slots_.assign(capacity, 0);
+  mask_ = capacity - 1;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    size_t idx = HashNodeSet(entries_[i].set) & mask_;
+    while (slots_[idx] != 0) idx = (idx + 1) & mask_;
+    slots_[idx] = static_cast<uint32_t>(i + 1);
+  }
+}
+
+}  // namespace dphyp

@@ -1,0 +1,85 @@
+// The dynamic-programming table: best plan per connected subgraph.
+//
+// Keys are NodeSets (never empty), values are PlanEntry records. Lookups are
+// the single hottest operation in every enumeration algorithm — DPhyp uses
+// the table as its connectivity oracle (Sec. 3) — so we use a flat
+// open-addressing hash table with linear probing instead of
+// std::unordered_map. Entries are stored in insertion order, which DPsize
+// exploits to bucket plans by size.
+#ifndef DPHYP_PLAN_DP_TABLE_H_
+#define DPHYP_PLAN_DP_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/operator_type.h"
+#include "util/check.h"
+#include "util/node_set.h"
+
+namespace dphyp {
+
+/// The best known plan for one plan class (set of relations).
+struct PlanEntry {
+  NodeSet set;
+  /// Children classes; both empty for base-relation leaves.
+  NodeSet left;
+  NodeSet right;
+  double cost = 0.0;
+  double cardinality = 0.0;
+  /// Operator combining left and right (possibly a dependent variant after
+  /// the Sec. 5.6 conversion); meaningless for leaves.
+  OpType op = OpType::kJoin;
+  /// Primary connecting edge the plan was built from; -1 for leaves.
+  int32_t edge_id = -1;
+
+  bool IsLeaf() const { return left.Empty(); }
+};
+
+/// Flat hash table NodeSet -> PlanEntry.
+class DpTable {
+ public:
+  explicit DpTable(size_t expected_entries = 64);
+
+  DpTable(DpTable&&) = default;
+  DpTable& operator=(DpTable&&) = default;
+  DpTable(const DpTable&) = delete;
+  DpTable& operator=(const DpTable&) = delete;
+
+  /// Returns the entry for `s`, or nullptr. The pointer is invalidated by
+  /// the next Insert.
+  PlanEntry* Find(NodeSet s) {
+    return const_cast<PlanEntry*>(
+        static_cast<const DpTable*>(this)->Find(s));
+  }
+  const PlanEntry* Find(NodeSet s) const;
+
+  /// True iff a plan for `s` exists — the paper's `dpTable[S] != empty` test.
+  bool Contains(NodeSet s) const { return Find(s) != nullptr; }
+
+  /// Inserts a new entry for `s` (must not already exist) and returns it.
+  PlanEntry* Insert(NodeSet s);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entries in insertion order.
+  const std::vector<PlanEntry>& entries() const { return entries_; }
+
+  /// Approximate heap footprint, for the Sec. 3.6 memory accounting.
+  size_t MemoryBytes() const {
+    return entries_.capacity() * sizeof(PlanEntry) +
+           slots_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  void Grow();
+
+  std::vector<PlanEntry> entries_;
+  /// Open-addressing slots storing entry_index + 1; 0 marks empty.
+  std::vector<uint32_t> slots_;
+  size_t mask_ = 0;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_PLAN_DP_TABLE_H_

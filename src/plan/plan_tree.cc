@@ -1,0 +1,139 @@
+#include "plan/plan_tree.h"
+
+#include <functional>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace dphyp {
+
+int PlanTree::NumNodes() const { return static_cast<int>(nodes_.size()); }
+
+namespace {
+
+void RenderAlgebra(const PlanTreeNode* node, const Hypergraph& graph,
+                   std::string* out) {
+  if (node->IsLeaf()) {
+    const std::string& name = graph.node(node->relation).name;
+    *out += name.empty() ? "R" + std::to_string(node->relation) : name;
+    return;
+  }
+  *out += "(";
+  RenderAlgebra(node->left, graph, out);
+  *out += " ";
+  *out += OpSymbol(node->op);
+  *out += " ";
+  RenderAlgebra(node->right, graph, out);
+  *out += ")";
+}
+
+void RenderExplain(const PlanTreeNode* node, const Hypergraph& graph,
+                   const std::string& prefix, bool last, bool is_root,
+                   std::string* out) {
+  *out += prefix;
+  if (!is_root) *out += last ? "└─ " : "├─ ";
+  if (node->IsLeaf()) {
+    const std::string& name = graph.node(node->relation).name;
+    *out += (name.empty() ? "R" + std::to_string(node->relation) : name) +
+            "  card=" + FormatDouble(node->cardinality) + "\n";
+    return;
+  }
+  *out += std::string(OpSymbol(node->op)) + " " + node->set.ToString() +
+          "  cost=" + FormatDouble(node->cost) +
+          " card=" + FormatDouble(node->cardinality);
+  if (!node->edge_ids.empty()) {
+    *out += " preds=[";
+    for (size_t i = 0; i < node->edge_ids.size(); ++i) {
+      if (i) *out += ",";
+      *out += "e" + std::to_string(node->edge_ids[i]);
+    }
+    *out += "]";
+  }
+  *out += "\n";
+  std::string child_prefix =
+      prefix + (is_root ? "" : (last ? "   " : "│  "));
+  RenderExplain(node->left, graph, child_prefix, false, false, out);
+  RenderExplain(node->right, graph, child_prefix, true, false, out);
+}
+
+}  // namespace
+
+std::string PlanTree::ToAlgebraString(const Hypergraph& graph) const {
+  DPHYP_CHECK(Valid());
+  std::string out;
+  RenderAlgebra(root_, graph, &out);
+  return out;
+}
+
+std::string PlanTree::Explain(const Hypergraph& graph) const {
+  DPHYP_CHECK(Valid());
+  std::string out;
+  RenderExplain(root_, graph, "", true, /*is_root=*/true, &out);
+  return out;
+}
+
+PlanTree ExtractPlanTree(const Hypergraph& graph, const DpTable& table,
+                         NodeSet root_set) {
+  PlanTree tree;
+  std::function<const PlanTreeNode*(NodeSet)> build =
+      [&](NodeSet set) -> const PlanTreeNode* {
+    const PlanEntry* entry = table.Find(set);
+    DPHYP_CHECK_MSG(entry != nullptr, "plan class missing from DP table");
+    auto node = std::make_unique<PlanTreeNode>();
+    node->set = set;
+    node->cost = entry->cost;
+    node->cardinality = entry->cardinality;
+    if (entry->IsLeaf()) {
+      node->relation = set.Min();
+    } else {
+      node->op = entry->op;
+      node->left = build(entry->left);
+      node->right = build(entry->right);
+      graph.ForEachConnectingEdge(entry->left, entry->right,
+                                  [&](int edge_id, bool /*left_in_s1*/) {
+                                    node->edge_ids.push_back(edge_id);
+                                  });
+    }
+    const PlanTreeNode* ptr = node.get();
+    tree.nodes_.push_back(std::move(node));
+    return ptr;
+  };
+  tree.root_ = build(root_set);
+  return tree;
+}
+
+const PlanTreeNode* PlanBuilder::Leaf(int relation, double cardinality) {
+  auto node = std::make_unique<PlanTreeNode>();
+  node->set = NodeSet::Single(relation);
+  node->relation = relation;
+  node->cardinality = cardinality;
+  const PlanTreeNode* ptr = node.get();
+  nodes_.push_back(std::move(node));
+  return ptr;
+}
+
+const PlanTreeNode* PlanBuilder::Op(OpType op, const PlanTreeNode* left,
+                                    const PlanTreeNode* right,
+                                    std::vector<int> edge_ids) {
+  DPHYP_CHECK(left != nullptr && right != nullptr);
+  DPHYP_CHECK(!left->set.Intersects(right->set));
+  auto node = std::make_unique<PlanTreeNode>();
+  node->set = left->set | right->set;
+  node->op = op;
+  node->left = left;
+  node->right = right;
+  node->edge_ids = std::move(edge_ids);
+  const PlanTreeNode* ptr = node.get();
+  nodes_.push_back(std::move(node));
+  return ptr;
+}
+
+PlanTree PlanBuilder::Build(const PlanTreeNode* root) {
+  DPHYP_CHECK(root != nullptr);
+  PlanTree tree;
+  tree.nodes_ = std::move(nodes_);
+  tree.root_ = root;
+  return tree;
+}
+
+}  // namespace dphyp

@@ -1,0 +1,87 @@
+// Materialized operator trees extracted from a DP table, plus EXPLAIN-style
+// rendering. The executor consumes these trees to verify plan semantics.
+#ifndef DPHYP_PLAN_PLAN_TREE_H_
+#define DPHYP_PLAN_PLAN_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/operator_type.h"
+#include "hypergraph/hypergraph.h"
+#include "plan/dp_table.h"
+#include "util/node_set.h"
+
+namespace dphyp {
+
+/// One node of a materialized plan tree.
+struct PlanTreeNode {
+  NodeSet set;
+  OpType op = OpType::kJoin;
+  /// Base relation index for leaves; -1 for inner nodes.
+  int relation = -1;
+  const PlanTreeNode* left = nullptr;
+  const PlanTreeNode* right = nullptr;
+  double cost = 0.0;
+  double cardinality = 0.0;
+  /// Indices of hypergraph edges whose predicates are applied at this
+  /// operator (the conjunction EmitCsgCmp assembles).
+  std::vector<int> edge_ids;
+
+  bool IsLeaf() const { return relation >= 0; }
+};
+
+/// Owning wrapper for a plan tree. Movable; nodes stay valid across moves.
+class PlanTree {
+ public:
+  PlanTree() = default;
+  PlanTree(PlanTree&&) = default;
+  PlanTree& operator=(PlanTree&&) = default;
+
+  const PlanTreeNode* root() const { return root_; }
+  bool Valid() const { return root_ != nullptr; }
+
+  /// Total number of nodes.
+  int NumNodes() const;
+
+  /// Single-line algebra rendering, e.g. "((R0 JOIN R1) LOJ R2)".
+  std::string ToAlgebraString(const Hypergraph& graph) const;
+
+  /// Multi-line EXPLAIN rendering with costs and cardinalities.
+  std::string Explain(const Hypergraph& graph) const;
+
+ private:
+  friend PlanTree ExtractPlanTree(const Hypergraph&, const DpTable&, NodeSet);
+  friend class PlanBuilder;
+
+  std::vector<std::unique_ptr<PlanTreeNode>> nodes_;
+  const PlanTreeNode* root_ = nullptr;
+};
+
+/// Rebuilds the best plan tree for `root_set` from a populated DP table.
+/// The predicate lists per operator are recomputed from the hypergraph
+/// (all edges connecting the two child sets — the conjunction of Sec. 3.5).
+/// Requires the table to contain `root_set`.
+PlanTree ExtractPlanTree(const Hypergraph& graph, const DpTable& table,
+                         NodeSet root_set);
+
+/// Hand-construction helper used by tests and the executor to build
+/// reference trees without running an optimizer.
+class PlanBuilder {
+ public:
+  PlanBuilder() = default;
+
+  const PlanTreeNode* Leaf(int relation, double cardinality = 0.0);
+  const PlanTreeNode* Op(OpType op, const PlanTreeNode* left,
+                         const PlanTreeNode* right, std::vector<int> edge_ids = {});
+
+  /// Finalizes the tree with the given root.
+  PlanTree Build(const PlanTreeNode* root);
+
+ private:
+  std::vector<std::unique_ptr<PlanTreeNode>> nodes_;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_PLAN_PLAN_TREE_H_

@@ -1,0 +1,96 @@
+#include "plan/validate.h"
+
+#include <functional>
+
+namespace dphyp {
+
+Result<bool> ValidatePlanTree(const Hypergraph& graph, const PlanTree& plan) {
+  if (!plan.Valid()) return Err("plan has no root");
+  NodeSet seen_leaves;
+  std::function<Result<bool>(const PlanTreeNode*)> walk =
+      [&](const PlanTreeNode* node) -> Result<bool> {
+    if (node->IsLeaf()) {
+      if (node->relation < 0 || node->relation >= graph.NumNodes()) {
+        return Err("leaf names unknown relation");
+      }
+      if (node->set != NodeSet::Single(node->relation)) {
+        return Err("leaf set does not match its relation");
+      }
+      if (seen_leaves.Contains(node->relation)) {
+        return Err("relation appears in two leaves");
+      }
+      seen_leaves |= node->set;
+      return true;
+    }
+    if (node->left == nullptr || node->right == nullptr) {
+      return Err("operator with missing child");
+    }
+    const NodeSet ls = node->left->set;
+    const NodeSet rs = node->right->set;
+    if (ls.Intersects(rs)) return Err("children overlap: " + node->set.ToString());
+    if ((ls | rs) != node->set) return Err("children do not partition parent");
+    if (!graph.ConnectsSets(ls, rs)) {
+      return Err("cross product: no edge connects " + ls.ToString() + " and " +
+                 rs.ToString());
+    }
+
+    // Operator consistency with the connecting edges.
+    int non_inner = -1;
+    bool orientation_ok = false;
+    bool any_inner = false;
+    graph.ForEachConnectingEdge(ls, rs, [&](int id, bool left_in_s1) {
+      const Hyperedge& e = graph.edge(id);
+      if (e.op == OpType::kJoin) {
+        any_inner = true;
+        return;
+      }
+      if (non_inner < 0) {
+        non_inner = id;
+        orientation_ok = IsCommutative(e.op) || left_in_s1;
+      }
+    });
+    const OpType regular = RegularVariant(node->op);
+    if (non_inner >= 0) {
+      const OpType edge_op = graph.edge(non_inner).op;
+      if (regular != edge_op) {
+        return Err(std::string("operator mismatch: plan has ") +
+                   OpName(node->op) + ", edge demands " + OpName(edge_op));
+      }
+      if (!orientation_ok) {
+        return Err("non-commutative operator applied against its edge "
+                   "orientation at " +
+                   node->set.ToString());
+      }
+    } else {
+      if (!any_inner) return Err("no usable edge at " + node->set.ToString());
+      if (regular != OpType::kJoin) {
+        return Err(std::string("plan applies ") + OpName(node->op) +
+                   " but only inner edges connect the children");
+      }
+    }
+
+    // Lateral rule (Sec. 5.6).
+    const NodeSet free_right = graph.FreeTables(rs);
+    const bool needs_dependent = free_right.Intersects(ls);
+    if (needs_dependent != IsDependent(node->op)) {
+      return Err(needs_dependent
+                     ? "right child is lateral but operator is not dependent"
+                     : "dependent operator without a lateral right child");
+    }
+    if (graph.FreeTables(ls).Intersects(rs)) {
+      return Err("left child depends on right child — not executable");
+    }
+
+    Result<bool> l = walk(node->left);
+    if (!l.ok()) return l;
+    return walk(node->right);
+  };
+  Result<bool> ok = walk(plan.root());
+  if (!ok.ok()) return ok;
+  if (plan.root()->set != seen_leaves) {
+    return Err("root set does not equal the union of leaves");
+  }
+  return true;
+}
+
+}  // namespace dphyp

@@ -1,0 +1,27 @@
+// Structural plan validation: checks a plan tree against its hypergraph.
+// Used by the test suite to assert that every plan an optimizer emits is
+// well-formed, and available to library users as a debugging aid.
+#ifndef DPHYP_PLAN_VALIDATE_H_
+#define DPHYP_PLAN_VALIDATE_H_
+
+#include "hypergraph/hypergraph.h"
+#include "plan/plan_tree.h"
+#include "util/result.h"
+
+namespace dphyp {
+
+/// Validates:
+///  * every leaf is a distinct base relation and the root covers a set
+///    consistent with its subtree,
+///  * children of every operator partition the parent's set,
+///  * some hyperedge connects the children (no cross products),
+///  * the operator matches the connecting edges: the unique non-inner edge
+///    (or inner join if none) with the orientation the edge dictates,
+///  * dependent variants appear exactly when the right child's free tables
+///    intersect the left child (Sec. 5.6).
+/// Returns an error describing the first violation, or true.
+Result<bool> ValidatePlanTree(const Hypergraph& graph, const PlanTree& plan);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_PLAN_VALIDATE_H_

@@ -1,0 +1,215 @@
+#include "reorder/operator_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/check.h"
+
+namespace dphyp {
+
+int OperatorTree::AddLeaf(int relation) {
+  DPHYP_CHECK(relation >= 0 && relation < NumRelations());
+  TreeNode node;
+  node.relation = relation;
+  nodes.push_back(std::move(node));
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+int OperatorTree::AddOp(OpType op, int left, int right,
+                        std::vector<int> predicate_ids, NodeSet agg_tables) {
+  DPHYP_CHECK(left >= 0 && left < static_cast<int>(nodes.size()));
+  DPHYP_CHECK(right >= 0 && right < static_cast<int>(nodes.size()));
+  TreeNode node;
+  node.op = op;
+  node.left = left;
+  node.right = right;
+  node.predicates = std::move(predicate_ids);
+  node.agg_tables = agg_tables;
+  nodes.push_back(std::move(node));
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+int OperatorTree::AddPredicate(NodeSet tables, double selectivity) {
+  TreePredicate p;
+  p.tables = tables;
+  p.selectivity = selectivity;
+  predicates.push_back(std::move(p));
+  return static_cast<int>(predicates.size()) - 1;
+}
+
+NodeSet OperatorTree::OperatorFreeTables(int node) const {
+  const TreeNode& n = nodes[node];
+  NodeSet ft = n.agg_tables;
+  for (int p : n.predicates) ft |= predicates[p].tables;
+  return ft;
+}
+
+Result<bool> OperatorTree::Finalize() {
+  const int num_nodes = static_cast<int>(nodes.size());
+  if (root < 0 || root >= num_nodes) return Err("invalid root");
+  tables_under_.assign(num_nodes, NodeSet());
+  visible_.assign(num_nodes, NodeSet());
+  parent_.assign(num_nodes, -1);
+
+  std::vector<int> leaf_order;
+  // In-order traversal computing subtree tables, visibility, parents.
+  std::function<Result<bool>(int)> visit = [&](int id) -> Result<bool> {
+    const TreeNode& n = nodes[id];
+    if (n.IsLeaf()) {
+      if (n.relation >= NumRelations()) return Err("leaf names unknown relation");
+      leaf_order.push_back(n.relation);
+      tables_under_[id] = NodeSet::Single(n.relation);
+      visible_[id] = tables_under_[id];
+      return true;
+    }
+    if (n.left < 0 || n.right < 0) return Err("inner node missing children");
+    parent_[n.left] = id;
+    parent_[n.right] = id;
+    Result<bool> l = visit(n.left);
+    if (!l.ok()) return l;
+    Result<bool> r = visit(n.right);
+    if (!r.ok()) return r;
+    NodeSet lt = tables_under_[n.left];
+    NodeSet rt = tables_under_[n.right];
+    if (lt.Intersects(rt)) return Err("children overlap");
+    tables_under_[id] = lt | rt;
+    NodeSet lv = visible_[n.left];
+    NodeSet rv = visible_[n.right];
+    visible_[id] = LeftOnlyOutput(n.op) ? lv : lv | rv;
+    if (n.predicates.empty()) return Err("operator without predicates");
+    for (int p : n.predicates) {
+      if (p < 0 || p >= static_cast<int>(predicates.size())) {
+        return Err("bad predicate index");
+      }
+      const TreePredicate& pred = predicates[p];
+      if (!pred.tables.Intersects(lv) || !pred.tables.Intersects(rv)) {
+        return Err("predicate must reference both sides of its operator");
+      }
+      if (!pred.tables.IsSubsetOf(lv | rv)) {
+        return Err("predicate references tables that are not visible here");
+      }
+    }
+    if (n.op == OpType::kLeftNestjoin || n.op == OpType::kDepLeftNestjoin) {
+      if (!n.agg_tables.IsSubsetOf(rv)) {
+        return Err("nestjoin aggregate must read visible right-side tables");
+      }
+    } else if (!n.agg_tables.Empty()) {
+      return Err("agg_tables only valid on nestjoins");
+    }
+    return true;
+  };
+  Result<bool> ok = visit(root);
+  if (!ok.ok()) return ok;
+
+  if (static_cast<int>(leaf_order.size()) != NumRelations()) {
+    return Err("every relation must appear in exactly one leaf");
+  }
+  for (int i = 0; i < static_cast<int>(leaf_order.size()); ++i) {
+    if (leaf_order[i] != i) {
+      return Err("leaves must be numbered left-to-right (Sec. 5.4)");
+    }
+  }
+
+  // Lateral scoping: a leaf's free tables must lie strictly to its left and
+  // be bound by the left subtree of some enclosing operator; the operator
+  // directly above a lateral right side must be a dependent variant (the
+  // *initial* tree must be executable as written).
+  for (int id = 0; id < num_nodes; ++id) {
+    const TreeNode& n = nodes[id];
+    if (n.IsLeaf()) {
+      NodeSet free = relations[n.relation].free_tables;
+      if (free.Empty()) continue;
+      if (free.Intersects(tables_under_[id])) {
+        return Err("leaf free tables overlap itself");
+      }
+      for (int t : free) {
+        if (t >= n.relation) {
+          return Err("lateral leaf may only reference tables to its left");
+        }
+      }
+    }
+  }
+  for (int id = 0; id < num_nodes; ++id) {
+    const TreeNode& n = nodes[id];
+    if (n.IsLeaf()) continue;
+    NodeSet right_free;
+    for (int t : tables_under_[n.right]) {
+      right_free |= relations[t].free_tables;
+    }
+    right_free -= tables_under_[n.right];
+    bool lateral_right = right_free.Intersects(tables_under_[n.left]);
+    if (lateral_right && !IsDependent(n.op)) {
+      return Err("operator above a lateral right side must be dependent");
+    }
+    if (!lateral_right && IsDependent(n.op)) {
+      return Err("dependent operator without a lateral right side");
+    }
+    if (lateral_right && !right_free.IsSubsetOf(visible_[n.left])) {
+      return Err("lateral free tables must be visible in the binding scope");
+    }
+  }
+  return true;
+}
+
+void OperatorTree::FillDefaultPayloads() {
+  for (TreePredicate& p : predicates) {
+    if (!p.refs.empty()) continue;
+    for (int t : p.tables) p.refs.push_back(ColumnRef{t, 0});
+    double inv = 1.0 / std::max(1e-6, p.selectivity);
+    p.modulus = std::max<int64_t>(1, static_cast<int64_t>(std::llround(inv)));
+  }
+  for (int r = 0; r < NumRelations(); ++r) {
+    RelationInfo& rel = relations[r];
+    if (rel.free_tables.Empty() || !rel.corr_refs.empty()) continue;
+    rel.corr_refs.push_back(ColumnRef{r, 0});
+    for (int t : rel.free_tables) rel.corr_refs.push_back(ColumnRef{t, 0});
+    rel.corr_modulus = 2;
+  }
+}
+
+std::string OperatorTree::RenderNode(int id) const {
+  const TreeNode& n = nodes[id];
+  if (n.IsLeaf()) {
+    const std::string& name = relations[n.relation].name;
+    return name.empty() ? "R" + std::to_string(n.relation) : name;
+  }
+  return "(" + RenderNode(n.left) + " " + OpSymbol(n.op) + " " +
+         RenderNode(n.right) + ")";
+}
+
+std::string OperatorTree::ToString() const {
+  if (root < 0) return "(empty)";
+  return RenderNode(root);
+}
+
+void NormalizeCommutativeChildren(OperatorTree* tree) {
+  // For every commutative child c of an operator with predicate set p:
+  // ensure FT(p) touches the child subtree that stays adjacent in the
+  // nesting pattern (right subtree for left children, left subtree for
+  // right children); swap c's children otherwise. See Appendix A.1/A.2.
+  for (int id = 0; id < static_cast<int>(tree->nodes.size()); ++id) {
+    TreeNode& parent = tree->nodes[id];
+    if (parent.IsLeaf()) continue;
+    NodeSet ft = tree->OperatorFreeTables(id);
+    auto maybe_swap = [&](int child_id, bool child_is_left) {
+      TreeNode& child = tree->nodes[child_id];
+      if (child.IsLeaf() || !IsCommutative(child.op)) return;
+      NodeSet inner_left = tree->TablesUnder(child.left);
+      NodeSet inner_right = tree->TablesUnder(child.right);
+      bool want_swap;
+      if (child_is_left) {
+        // Case L1 -> L2: parent predicate should touch right(child).
+        want_swap = !ft.Intersects(inner_right) && ft.Intersects(inner_left);
+      } else {
+        // Case R1 -> R2: parent predicate should touch left(child).
+        want_swap = !ft.Intersects(inner_left) && ft.Intersects(inner_right);
+      }
+      if (want_swap) std::swap(child.left, child.right);
+    };
+    maybe_swap(parent.left, /*child_is_left=*/true);
+    maybe_swap(parent.right, /*child_is_left=*/false);
+  }
+}
+
+}  // namespace dphyp

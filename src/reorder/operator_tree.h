@@ -1,0 +1,116 @@
+// Operator trees: the initial, simplified operator tree of a query with
+// non-inner joins (Sec. 5.3 — "a query hypergraph alone does not capture the
+// semantics of a query; what is needed is an initial operator tree").
+//
+// Conventions (Sec. 5.4): leaves are numbered left-to-right, i.e. an
+// in-order traversal visits relations 0, 1, 2, ... in ascending order. This
+// gives derived hyperedges the property min(l) < min(r) and lets EmitCsgCmp
+// rebuild non-commutative operators without re-deriving sides.
+#ifndef DPHYP_REORDER_OPERATOR_TREE_H_
+#define DPHYP_REORDER_OPERATOR_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/query_spec.h"
+#include "util/node_set.h"
+#include "util/result.h"
+
+namespace dphyp {
+
+/// One predicate conjunct attached to an operator.
+struct TreePredicate {
+  /// Tables referenced by the conjunct: FT(p).
+  NodeSet tables;
+  double selectivity = 0.1;
+  /// Executable payload (see catalog/query_spec.h): sum of the referenced
+  /// columns modulo `modulus` == 0; NULL makes the conjunct false (strong).
+  std::vector<ColumnRef> refs;
+  int64_t modulus = 2;
+  /// Nestjoin operators (node ids) whose computed attributes this conjunct
+  /// references; drives the third CalcTES rule.
+  std::vector<int> nestjoin_refs;
+};
+
+/// One node of the operator tree. Leaves name a relation; inner nodes carry
+/// an operator and its conjuncts.
+struct TreeNode {
+  /// Relation index for leaves, -1 for inner nodes.
+  int relation = -1;
+  OpType op = OpType::kJoin;
+  int left = -1;
+  int right = -1;
+  /// Indices into OperatorTree::predicates (conjuncts of this operator).
+  std::vector<int> predicates;
+  /// For nestjoins: tables whose columns the aggregate expressions e_i read
+  /// (contributes to SES per the paper's nestjoin rule).
+  NodeSet agg_tables;
+
+  bool IsLeaf() const { return relation >= 0; }
+};
+
+/// The initial operator tree. Owns relations (leaf payloads), predicates
+/// and nodes. Build with AddLeaf/AddOp, then call Finalize().
+class OperatorTree {
+ public:
+  std::vector<RelationInfo> relations;
+  std::vector<TreePredicate> predicates;
+  std::vector<TreeNode> nodes;
+  int root = -1;
+
+  /// Adds a leaf for `relation` (must be registered in `relations`).
+  int AddLeaf(int relation);
+
+  /// Adds an operator over two existing nodes.
+  int AddOp(OpType op, int left, int right, std::vector<int> predicate_ids,
+            NodeSet agg_tables = NodeSet());
+
+  /// Adds a predicate conjunct; returns its index.
+  int AddPredicate(NodeSet tables, double selectivity);
+
+  int NumRelations() const { return static_cast<int>(relations.size()); }
+
+  /// Tables (leaf relations) under `node`. Valid after Finalize().
+  NodeSet TablesUnder(int node) const { return tables_under_[node]; }
+
+  /// Tables whose columns are visible in `node`'s output: semijoins,
+  /// antijoins and nestjoins hide their right side. Valid after Finalize().
+  NodeSet VisibleTables(int node) const { return visible_[node]; }
+
+  /// Parent node id, or -1 for the root. Valid after Finalize().
+  int Parent(int node) const { return parent_[node]; }
+
+  /// Computes cached table sets and parents, and validates the structure:
+  /// every relation appears in exactly one leaf, the in-order leaf sequence
+  /// is 0, 1, 2, ... (Sec. 5.4 numbering), predicates reference both sides,
+  /// dependent-leaf free tables are bound by enclosing left scopes, and
+  /// dependent operators appear exactly where their right side is lateral.
+  Result<bool> Finalize();
+
+  /// FT of the operator at `node`: union of its conjuncts' tables plus, for
+  /// nestjoins, the aggregate input tables.
+  NodeSet OperatorFreeTables(int node) const;
+
+  /// Fills missing predicate payloads (like QuerySpec::FillDefaultPayloads)
+  /// and missing lateral-correlation payloads on relations.
+  void FillDefaultPayloads();
+
+  /// Algebra-style rendering for diagnostics, e.g. "((R0 LOJ R1) JOIN R2)".
+  std::string ToString() const;
+
+ private:
+  std::string RenderNode(int node) const;
+
+  std::vector<NodeSet> tables_under_;
+  std::vector<NodeSet> visible_;
+  std::vector<int> parent_;
+};
+
+/// Swaps children of commutative operators so every conflict is of the
+/// appendix's Case L2/R2 form before SES/TES computation (Sec. A.1/A.2
+/// normalization). Semantics-preserving (only B and M are swapped).
+void NormalizeCommutativeChildren(OperatorTree* tree);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_REORDER_OPERATOR_TREE_H_

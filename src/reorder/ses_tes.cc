@@ -1,0 +1,247 @@
+#include "reorder/ses_tes.h"
+
+#include <functional>
+
+#include "util/check.h"
+
+namespace dphyp {
+
+bool OperatorConflict(OpType lower, OpType upper) {
+  // OC(◦1, ◦2) with ◦1 = lower, ◦2 = upper (Appendix A.3):
+  //   (◦1 = B ∧ ◦2 = M)
+  //   ∨ (◦1 ≠ B ∧ ¬(◦1 = ◦2 = P) ∧ ¬(◦1 = M ∧ ◦2 ∈ {P, M}))
+  // where every operator stands for its dependent counterpart as well.
+  const OpType l = RegularVariant(lower);
+  const OpType u = RegularVariant(upper);
+  if (l == OpType::kJoin) return u == OpType::kFullOuterjoin;
+  if (l == OpType::kLeftOuterjoin && u == OpType::kLeftOuterjoin) return false;
+  if (l == OpType::kFullOuterjoin &&
+      (u == OpType::kLeftOuterjoin || u == OpType::kFullOuterjoin)) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Collects all operator (inner) node ids in the subtree rooted at `id`.
+void CollectOperators(const OperatorTree& tree, int id, std::vector<int>* out) {
+  const TreeNode& n = tree.nodes[id];
+  if (n.IsLeaf()) return;
+  out->push_back(id);
+  CollectOperators(tree, n.left, out);
+  CollectOperators(tree, n.right, out);
+}
+
+/// RightTables(◦1, ◦2) for ◦2 in STO(left(◦1)): union of T(right(◦3)) for
+/// all ◦3 on the path from ◦2 (inclusive) up to ◦1 (exclusive), plus
+/// T(left(◦2)) if ◦2 is commutative (Sec. 5.5).
+NodeSet RightTables(const OperatorTree& tree, int upper, int lower) {
+  NodeSet acc;
+  for (int walk = lower; walk != upper; walk = tree.Parent(walk)) {
+    DPHYP_DCHECK(walk >= 0);
+    acc |= tree.TablesUnder(tree.nodes[walk].right);
+  }
+  if (IsCommutative(tree.nodes[lower].op)) {
+    acc |= tree.TablesUnder(tree.nodes[lower].left);
+  }
+  return acc;
+}
+
+/// LeftTables(◦1, ◦2) for ◦2 in STO(right(◦1)), symmetric to RightTables.
+NodeSet LeftTables(const OperatorTree& tree, int upper, int lower) {
+  NodeSet acc;
+  for (int walk = lower; walk != upper; walk = tree.Parent(walk)) {
+    DPHYP_DCHECK(walk >= 0);
+    acc |= tree.TablesUnder(tree.nodes[walk].left);
+  }
+  if (IsCommutative(tree.nodes[lower].op)) {
+    acc |= tree.TablesUnder(tree.nodes[lower].right);
+  }
+  return acc;
+}
+
+/// Post-order operator ids (children before parents).
+std::vector<int> PostOrderOperators(const OperatorTree& tree) {
+  std::vector<int> order;
+  std::function<void(int)> walk = [&](int id) {
+    const TreeNode& n = tree.nodes[id];
+    if (n.IsLeaf()) return;
+    walk(n.left);
+    walk(n.right);
+    order.push_back(id);
+  };
+  walk(tree.root);
+  return order;
+}
+
+}  // namespace
+
+TesAnalysis ComputeTes(const OperatorTree& tree) {
+  const int num_nodes = static_cast<int>(tree.nodes.size());
+  TesAnalysis analysis;
+  analysis.ses.assign(num_nodes, NodeSet());
+  analysis.tes.assign(num_nodes, NodeSet());
+
+  // SES: leaves contribute themselves; operators the tables their conjuncts
+  // (and, for nestjoins, aggregate expressions) reference inside T(◦).
+  for (int id = 0; id < num_nodes; ++id) {
+    const TreeNode& n = tree.nodes[id];
+    if (n.IsLeaf()) {
+      analysis.ses[id] = NodeSet::Single(n.relation);
+      continue;
+    }
+    analysis.ses[id] = tree.OperatorFreeTables(id) & tree.TablesUnder(id);
+  }
+
+  // CalcTES bottom-up.
+  for (int op1 : PostOrderOperators(tree)) {
+    const TreeNode& n1 = tree.nodes[op1];
+    analysis.tes[op1] = analysis.ses[op1];
+    const NodeSet ft1 = tree.OperatorFreeTables(op1);
+
+    std::vector<int> left_ops, right_ops;
+    CollectOperators(tree, n1.left, &left_ops);
+    CollectOperators(tree, n1.right, &right_ops);
+
+    for (int op2 : left_ops) {
+      // LeftConflict(◦(p2), ◦p1) = LC ∧ OC(◦p2, ◦p1).
+      const bool lc = ft1.Intersects(RightTables(tree, op1, op2));
+      if (lc && OperatorConflict(tree.nodes[op2].op, n1.op)) {
+        analysis.tes[op1] |= analysis.tes[op2];
+      }
+    }
+    for (int op2 : right_ops) {
+      // The paper uses RightConflict(◦p1, ◦(p2)) = RC ∧ OC(◦p1, ◦p2) with
+      // RC = FT(p1) ∩ LeftTables ≠ ∅. The RC gate is incomplete (the same
+      // family of gaps Moerkotte/Neumann repaired in their SIGMOD'13
+      // follow-up; our executor property tests reproduce concrete
+      // counterexamples): a descendant in the *right* subtree always
+      // interacts with ◦1's padding/projection when it escapes above ◦1 —
+      // an inner join floating out of an outer join's null-producing side
+      // drops the padded rows, and nothing can escape a semijoin/antijoin/
+      // nestjoin's hidden side. We therefore apply OC unconditionally, and
+      // additionally flag the Case-R1 predicate pattern (p1 references
+      // ◦2's subtree while missing all of its LeftTables) for the
+      // OC-exempt families (4.46/4.50/4.51 are only valid in the R2
+      // pattern). Commutative descendants are exempt from the R1 term:
+      // the normalization pass recasts them to Case R2, and inner joins
+      // must stay freely reorderable.
+      const OpType lower_op = tree.nodes[op2].op;
+      bool conflict;
+      if (OperatorConflict(n1.op, lower_op)) {
+        conflict = true;
+      } else {
+        const bool rc = ft1.Intersects(LeftTables(tree, op1, op2));
+        conflict = !rc && !IsCommutative(lower_op) &&
+                   ft1.Intersects(tree.TablesUnder(op2));
+      }
+      if (conflict) analysis.tes[op1] |= analysis.tes[op2];
+    }
+    // Nestjoin attribute dependencies: if a conjunct of ◦p1 references an
+    // attribute computed by a nestjoin below, the nestjoin must complete
+    // first.
+    for (int p : n1.predicates) {
+      for (int nest : tree.predicates[p].nestjoin_refs) {
+        DPHYP_CHECK(nest >= 0 && nest < num_nodes);
+        bool below = false;
+        for (int walk = tree.Parent(nest); walk >= 0; walk = tree.Parent(walk)) {
+          if (walk == op1) {
+            below = true;
+            break;
+          }
+        }
+        if (below) analysis.tes[op1] |= analysis.tes[nest];
+      }
+    }
+  }
+  return analysis;
+}
+
+DerivedQuery DeriveQuery(const OperatorTree& original, OperatorTree* tree_out) {
+  OperatorTree tree = original;  // normalize a copy
+  NormalizeCommutativeChildren(&tree);
+
+  DerivedQuery out;
+  out.analysis = ComputeTes(tree);
+
+  for (int r = 0; r < tree.NumRelations(); ++r) {
+    const RelationInfo& rel = tree.relations[r];
+    HypergraphNode node;
+    node.name = rel.name;
+    node.cardinality = rel.cardinality;
+    node.free_tables = rel.free_tables;
+    out.graph.AddNode(node);
+    out.ses_graph.AddNode(node);
+  }
+
+  for (int id : PostOrderOperators(tree)) {
+    const TreeNode& n = tree.nodes[id];
+    const NodeSet tes = out.analysis.tes[id];
+    const NodeSet ses = out.analysis.ses[id];
+    const NodeSet right_tables = tree.TablesUnder(n.right);
+    const NodeSet left_tables = tree.TablesUnder(n.left);
+
+    double selectivity = 1.0;
+    for (int p : n.predicates) selectivity *= tree.predicates[p].selectivity;
+
+    // Hypernode form (Sec. 5.7): r = TES ∩ T(right), l = TES \ r. Edges
+    // carry the *regular* operator; EmitCsgCmp re-derives laterality.
+    Hyperedge hyper;
+    hyper.right = tes & right_tables;
+    hyper.left = tes - hyper.right;
+    hyper.selectivity = selectivity;
+    hyper.op = RegularVariant(n.op);
+    hyper.predicate_id = id;
+    DPHYP_CHECK(!hyper.left.Empty() && !hyper.right.Empty());
+    int edge_id = out.graph.AddEdge(hyper);
+
+    // SES form for the generate-and-test mode.
+    Hyperedge ses_edge;
+    ses_edge.left = ses & left_tables;
+    ses_edge.right = ses & right_tables;
+    ses_edge.selectivity = selectivity;
+    ses_edge.op = RegularVariant(n.op);
+    ses_edge.predicate_id = id;
+    DPHYP_CHECK(!ses_edge.left.Empty() && !ses_edge.right.Empty());
+    int ses_id = out.ses_graph.AddEdge(ses_edge);
+    DPHYP_CHECK(edge_id == ses_id);
+
+    out.tes_constraints.push_back(TesConstraint{hyper.left, hyper.right});
+    out.edge_to_op.push_back(id);
+  }
+
+  if (tree_out != nullptr) *tree_out = std::move(tree);
+  return out;
+}
+
+PlanTree ReferencePlan(const OperatorTree& tree, const DerivedQuery& derived,
+                       const CardinalityEstimator& est, const CostModel& model) {
+  // Map operator node id -> derived edge id.
+  std::vector<int> op_to_edge(tree.nodes.size(), -1);
+  for (size_t e = 0; e < derived.edge_to_op.size(); ++e) {
+    op_to_edge[derived.edge_to_op[e]] = static_cast<int>(e);
+  }
+
+  PlanBuilder builder;
+  std::function<const PlanTreeNode*(int)> build =
+      [&](int id) -> const PlanTreeNode* {
+    const TreeNode& n = tree.nodes[id];
+    if (n.IsLeaf()) {
+      return builder.Leaf(n.relation, tree.relations[n.relation].cardinality);
+    }
+    const PlanTreeNode* left = build(n.left);
+    const PlanTreeNode* right = build(n.right);
+    const PlanTreeNode* node =
+        builder.Op(n.op, left, right, {op_to_edge[id]});
+    PlanTreeNode* mut = const_cast<PlanTreeNode*>(node);
+    mut->cardinality = est.Estimate(node->set);
+    mut->cost = model.OperatorCost(n.op, PlanSide{left->cost, left->cardinality},
+                                   PlanSide{right->cost, right->cardinality},
+                                   mut->cardinality);
+    return node;
+  };
+  return builder.Build(build(tree.root));
+}
+
+}  // namespace dphyp

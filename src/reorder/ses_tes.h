@@ -1,0 +1,67 @@
+// SES / TES computation and conflict analysis (Sec. 5.5, Appendix A), plus
+// the two hypergraph derivations of Sec. 5.7/5.8:
+//   * the "hypernode" form — one TES-derived hyperedge per operator, which
+//     prunes invalid orderings during enumeration, and
+//   * the "TES test" form — SES-based edges plus per-edge TES constraints
+//     checked (and often failed) at combine time, the slower
+//     generate-and-test alternative Fig. 8a compares against.
+#ifndef DPHYP_REORDER_SES_TES_H_
+#define DPHYP_REORDER_SES_TES_H_
+
+#include <vector>
+
+#include "core/optimizer.h"
+#include "hypergraph/hypergraph.h"
+#include "plan/plan_tree.h"
+#include "reorder/operator_tree.h"
+
+namespace dphyp {
+
+/// Per-operator analysis results (indexed by tree node id; leaves hold their
+/// singleton table sets).
+struct TesAnalysis {
+  std::vector<NodeSet> ses;
+  std::vector<NodeSet> tes;
+};
+
+/// The operator-conflict predicate OC of Sec. 5.5 / Appendix A.3.
+/// `lower` is the descendant operator (the appendix's ◦1), `upper` the
+/// ancestor (◦2); dependent variants behave like their regular forms.
+/// Returns true iff reordering the two operators is *invalid*.
+bool OperatorConflict(OpType lower, OpType upper);
+
+/// Computes SES and TES for every operator of a finalized, normalized tree.
+TesAnalysis ComputeTes(const OperatorTree& tree);
+
+/// Everything the optimizer needs for a non-inner-join query.
+struct DerivedQuery {
+  /// TES-derived hypergraph: one hyperedge (l, r) per operator with
+  /// r = TES ∩ T(right), l = TES \ r (Sec. 5.7).
+  Hypergraph graph;
+  /// SES-based graph for the generate-and-test mode: one edge per operator
+  /// with sides SES ∩ T(left) / SES ∩ T(right).
+  Hypergraph ses_graph;
+  /// TES constraints parallel to ses_graph's edges.
+  std::vector<TesConstraint> tes_constraints;
+  /// Edge id -> operator tree node id (identical for both graphs).
+  std::vector<int> edge_to_op;
+  /// The analysis itself, for inspection and tests.
+  TesAnalysis analysis;
+};
+
+/// Normalizes (copy), analyses and derives both graphs from an initial
+/// operator tree. The returned `tree_out`, if non-null, receives the
+/// normalized copy (needed to build the reference plan the executor runs).
+DerivedQuery DeriveQuery(const OperatorTree& tree,
+                         OperatorTree* tree_out = nullptr);
+
+/// Builds the plan tree corresponding to the (normalized) initial operator
+/// tree itself, with costs/cardinalities from the estimator — the reference
+/// both for semantics (executor comparison) and for the "optimized cost
+/// must not exceed original cost" sanity check.
+PlanTree ReferencePlan(const OperatorTree& tree, const DerivedQuery& derived,
+                       const CardinalityEstimator& est, const CostModel& model);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_REORDER_SES_TES_H_

@@ -1,0 +1,101 @@
+#include "reorder/simplify.h"
+
+#include <functional>
+
+#include "util/check.h"
+
+namespace dphyp {
+
+namespace {
+
+/// Does `op` eliminate (or render irrelevant) left-child tuples that fail
+/// its predicate? Inner join and semijoin: yes. Antijoin keeps failing
+/// tuples; outer joins pad them; nestjoin keeps every left tuple.
+bool RejectsFailingLeft(OpType op) {
+  switch (RegularVariant(op)) {
+    case OpType::kJoin:
+    case OpType::kLeftSemijoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Does `op` eliminate (or render irrelevant) right-child tuples that fail
+/// its predicate? True for everything except the full outer join, whose
+/// right-failing tuples survive as left-padded output.
+bool RejectsFailingRight(OpType op) {
+  return RegularVariant(op) != OpType::kFullOuterjoin;
+}
+
+}  // namespace
+
+int SimplifyOperatorTree(OperatorTree* tree) {
+  DPHYP_CHECK(tree->root >= 0);
+  int rewrites = 0;
+
+  // Top-down: `rejected` carries the tables whose NULL-padded tuples are
+  // guaranteed to be eliminated by some ancestor predicate before reaching
+  // the result.
+  std::function<void(int, NodeSet)> walk = [&](int id, NodeSet rejected) {
+    TreeNode& node = tree->nodes[id];
+    if (node.IsLeaf()) return;
+
+    const NodeSet right_tables = tree->TablesUnder(node.right);
+    const NodeSet left_tables = tree->TablesUnder(node.left);
+
+    if (RegularVariant(node.op) == OpType::kLeftOuterjoin &&
+        rejected.Intersects(right_tables)) {
+      // Padded right-side NULLs never survive: LOJ degenerates to a join
+      // (dependent LOJ to a dependent join).
+      node.op = IsDependent(node.op) ? OpType::kDepJoin : OpType::kJoin;
+      ++rewrites;
+    } else if (node.op == OpType::kFullOuterjoin) {
+      const bool right_padding_dies = rejected.Intersects(right_tables);
+      const bool left_padding_dies = rejected.Intersects(left_tables);
+      if (right_padding_dies && left_padding_dies) {
+        node.op = OpType::kJoin;
+        ++rewrites;
+      } else if (right_padding_dies) {
+        // Only the left-preserved part (right side padded) dies... no:
+        // rejected ∩ right kills tuples whose *right* side is NULL, i.e.
+        // the left-preserved padding; the right-preserved part survives —
+        // swap children and keep a left outer join.
+        std::swap(node.left, node.right);
+        node.op = OpType::kLeftOuterjoin;
+        ++rewrites;
+      } else if (left_padding_dies) {
+        // Tuples with NULL left side die: right-preserved padding dies,
+        // left-preserved survives — plain left outer join.
+        node.op = OpType::kLeftOuterjoin;
+        ++rewrites;
+      }
+    }
+
+    // Extend the rejection set for the children. (Use the possibly
+    // rewritten operator — a LOJ that just became a join now rejects on
+    // both sides.)
+    NodeSet predicate_tables = tree->OperatorFreeTables(id);
+    NodeSet down_left = rejected;
+    NodeSet down_right = rejected;
+    if (RejectsFailingLeft(node.op)) {
+      down_left |= predicate_tables & tree->TablesUnder(node.left);
+    }
+    if (RejectsFailingRight(node.op)) {
+      down_right |= predicate_tables & tree->TablesUnder(node.right);
+    }
+    walk(node.left, down_left);
+    walk(node.right, down_right);
+  };
+  walk(tree->root, NodeSet());
+
+  // No cache refresh is needed: per-node table sets, visibility and parents
+  // are keyed by node id and unaffected by the rewrites (a swapped FOJ was
+  // commutative, and join/LOJ/FOJ neither hide nor reveal columns). Note
+  // that a swap may break the cosmetic left-to-right leaf numbering;
+  // downstream consumers rely on edge-carried orientation, not on global
+  // order, so this is safe (the same holds for NormalizeCommutativeChildren).
+  return rewrites;
+}
+
+}  // namespace dphyp

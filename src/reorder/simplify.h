@@ -1,0 +1,38 @@
+// Outer-join simplification (Galindo-Legaria/Rosenthal; Bhargava et al.).
+//
+// The paper *assumes* simplified input trees (Sec. 5.2: "we assume that all
+// proposed simplifications have been applied — this is a typical
+// assumption"). This pass provides that preprocessing: since every
+// predicate in this library is strong w.r.t. every table it references
+// (NULL makes it false), an outer join whose padded tuples are always
+// rejected by an ancestor predicate degenerates:
+//
+//   * LOJ -> JOIN   if an ancestor strong predicate rejects NULLs of the
+//                   null-supplying (right) side,
+//   * FOJ -> LOJ    if ancestor predicates reject NULLs of the left side's
+//                   padding (the right-preserved part survives: swap), or
+//                   of the right side's padding (left-preserved survives),
+//   * FOJ -> JOIN   if both sides' paddings are rejected.
+//
+// Null-rejection propagates down the tree: a predicate at an operator
+// rejects NULLs of the tables it references on a given child side iff that
+// operator eliminates (or renders irrelevant) child tuples failing the
+// predicate — true for both sides of inner joins, the left side of
+// semijoins, and the right side of every operator except the full outer
+// join (whose right-failing tuples are preserved by padding).
+#ifndef DPHYP_REORDER_SIMPLIFY_H_
+#define DPHYP_REORDER_SIMPLIFY_H_
+
+#include "reorder/operator_tree.h"
+
+namespace dphyp {
+
+/// Applies all simplifications; returns the number of operators rewritten.
+/// The tree must be finalized; it is re-finalized after rewriting (a FOJ
+/// degenerating to a right-preserving LOJ swaps its children, which is
+/// legal because the FOJ was commutative).
+int SimplifyOperatorTree(OperatorTree* tree);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_REORDER_SIMPLIFY_H_

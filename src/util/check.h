@@ -1,0 +1,41 @@
+// Lightweight invariant-checking macros.
+//
+// DPHYP_CHECK is always on and used on cold paths (construction, parsing,
+// public API boundaries). DPHYP_DCHECK compiles away in release builds and
+// guards hot enumeration loops.
+#ifndef DPHYP_UTIL_CHECK_H_
+#define DPHYP_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dphyp {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "DPHYP_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace dphyp
+
+#define DPHYP_CHECK(expr)                                       \
+  do {                                                          \
+    if (!(expr)) ::dphyp::CheckFailed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DPHYP_CHECK_MSG(expr, msg)                               \
+  do {                                                           \
+    if (!(expr)) ::dphyp::CheckFailed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define DPHYP_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define DPHYP_DCHECK(expr) DPHYP_CHECK(expr)
+#endif
+
+#endif  // DPHYP_UTIL_CHECK_H_

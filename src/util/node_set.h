@@ -1,0 +1,154 @@
+// NodeSet: a set of query-graph nodes (relations) encoded as a 64-bit bitset.
+//
+// All enumeration algorithms in this library (DPhyp, DPccp, DPsize, DPsub)
+// manipulate sets of relations; a single machine word supports queries of up
+// to 64 relations, which covers the paper's evaluation (<= 17 relations) with
+// plenty of headroom. The total order `<` required by the paper (Def. 1) is
+// the natural order of bit indices: node i precedes node j iff i < j.
+#ifndef DPHYP_UTIL_NODE_SET_H_
+#define DPHYP_UTIL_NODE_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "util/check.h"
+
+namespace dphyp {
+
+/// A set of up to 64 nodes, one bit per node. Value type; cheap to copy.
+class NodeSet {
+ public:
+  /// Maximum number of nodes representable.
+  static constexpr int kMaxNodes = 64;
+
+  constexpr NodeSet() : bits_(0) {}
+  constexpr explicit NodeSet(uint64_t bits) : bits_(bits) {}
+
+  /// The singleton set {node}.
+  static constexpr NodeSet Single(int node) {
+    return NodeSet(uint64_t{1} << node);
+  }
+
+  /// The set {0, 1, ..., n-1}; the full node set of an n-relation query.
+  static constexpr NodeSet FullSet(int n) {
+    return n >= kMaxNodes ? NodeSet(~uint64_t{0})
+                          : NodeSet((uint64_t{1} << n) - 1);
+  }
+
+  /// B_v of the paper: all nodes ordered before or equal to `node`,
+  /// i.e. {w | w <= node}.
+  static constexpr NodeSet UpTo(int node) {
+    return NodeSet((uint64_t{1} << node) | ((uint64_t{1} << node) - 1));
+  }
+
+  /// Nodes strictly below `node`: {w | w < node}.
+  static constexpr NodeSet Below(int node) {
+    return NodeSet((uint64_t{1} << node) - 1);
+  }
+
+  constexpr uint64_t bits() const { return bits_; }
+  constexpr bool Empty() const { return bits_ == 0; }
+  constexpr int Count() const { return std::popcount(bits_); }
+  constexpr bool IsSingleton() const { return bits_ != 0 && (bits_ & (bits_ - 1)) == 0; }
+
+  constexpr bool Contains(int node) const {
+    return (bits_ >> node) & uint64_t{1};
+  }
+  constexpr bool IsSubsetOf(NodeSet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  constexpr bool IsSupersetOf(NodeSet other) const {
+    return other.IsSubsetOf(*this);
+  }
+  constexpr bool Intersects(NodeSet other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  /// Index of the minimal node (the paper's min(S)). Requires non-empty set.
+  int Min() const {
+    DPHYP_DCHECK(!Empty());
+    return std::countr_zero(bits_);
+  }
+
+  /// Index of the maximal node. Requires non-empty set.
+  int Max() const {
+    DPHYP_DCHECK(!Empty());
+    return 63 - std::countl_zero(bits_);
+  }
+
+  /// The singleton {min(S)} — the canonical representative used when a
+  /// hypernode is seeded into a neighborhood (Eq. 1 of the paper).
+  constexpr NodeSet MinSet() const { return NodeSet(bits_ & (~bits_ + 1)); }
+
+  /// The paper's \overline{min}(S) = S \ min(S).
+  constexpr NodeSet MinusMin() const { return NodeSet(bits_ & (bits_ - 1)); }
+
+  constexpr NodeSet operator|(NodeSet o) const { return NodeSet(bits_ | o.bits_); }
+  constexpr NodeSet operator&(NodeSet o) const { return NodeSet(bits_ & o.bits_); }
+  /// Set difference.
+  constexpr NodeSet operator-(NodeSet o) const { return NodeSet(bits_ & ~o.bits_); }
+  NodeSet& operator|=(NodeSet o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  NodeSet& operator&=(NodeSet o) {
+    bits_ &= o.bits_;
+    return *this;
+  }
+  NodeSet& operator-=(NodeSet o) {
+    bits_ &= ~o.bits_;
+    return *this;
+  }
+
+  constexpr bool operator==(const NodeSet&) const = default;
+
+  /// Iterates the node indices of the set in ascending order.
+  class Iterator {
+   public:
+    explicit Iterator(uint64_t bits) : bits_(bits) {}
+    int operator*() const { return std::countr_zero(bits_); }
+    Iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return bits_ != o.bits_; }
+
+   private:
+    uint64_t bits_;
+  };
+  Iterator begin() const { return Iterator(bits_); }
+  Iterator end() const { return Iterator(0); }
+
+  /// Renders as e.g. "{R0, R3, R5}" for diagnostics.
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (int v : *this) {
+      if (!first) out += ", ";
+      out += "R" + std::to_string(v);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  uint64_t bits_;
+};
+
+/// Hash suitable for open-addressing tables keyed by NodeSet
+/// (splitmix64 finalizer; empty sets never occur as keys).
+inline uint64_t HashNodeSet(NodeSet s) {
+  uint64_t x = s.bits();
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace dphyp
+
+#endif  // DPHYP_UTIL_NODE_SET_H_

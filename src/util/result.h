@@ -1,0 +1,56 @@
+// Minimal Result<T> for fallible, exception-free APIs (parsers, validators).
+#ifndef DPHYP_UTIL_RESULT_H_
+#define DPHYP_UTIL_RESULT_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace dphyp {
+
+/// Error payload: a human-readable message.
+struct Error {
+  std::string message;
+};
+
+/// Either a value or an error. Modeled after absl::StatusOr but minimal.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    DPHYP_CHECK_MSG(ok(), error().message.c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    DPHYP_CHECK_MSG(ok(), error().message.c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    DPHYP_CHECK_MSG(ok(), error().message.c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    static const Error kNoError{"(no error)"};
+    return ok() ? kNoError : std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Convenience factory: `return Err("bad token '%s'", tok)` style formatting
+/// is intentionally omitted; callers build the message with std::string ops.
+inline Error Err(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace dphyp
+
+#endif  // DPHYP_UTIL_RESULT_H_

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Workload generators must be reproducible across platforms and standard
+// library versions, so we ship our own small generator instead of relying on
+// std::mt19937 distributions (whose std::uniform_* mappings are
+// implementation-defined).
+#ifndef DPHYP_UTIL_RNG_H_
+#define DPHYP_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace dphyp {
+
+/// xoshiro256** seeded via splitmix64. Deterministic for a given seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 stream to spread the seed over the full state.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    DPHYP_DCHECK(bound > 0);
+    // Debiased modulo via rejection on the top of the range.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    DPHYP_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_UTIL_RNG_H_

@@ -1,0 +1,61 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace dphyp {
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) pos = text.size();
+    std::string_view piece = Trim(text.substr(start, pos - start));
+    if (!piece.empty()) out.emplace_back(piece);
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string FormatMillis(double ms) {
+  char buf[64];
+  if (ms < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  } else if (ms < 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f", ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", ms);
+  }
+  return buf;
+}
+
+std::string PadLeft(const std::string& s, int width) {
+  if (static_cast<int>(s.size()) >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string PadRight(const std::string& s, int width) {
+  if (static_cast<int>(s.size()) >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace dphyp

@@ -1,0 +1,37 @@
+// Small string helpers shared by the QDL parser, EXPLAIN output, and the
+// benchmark table printers.
+#ifndef DPHYP_UTIL_STRING_UTIL_H_
+#define DPHYP_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dphyp {
+
+/// Splits `text` on `sep`, trimming ASCII whitespace from each piece;
+/// empty pieces are dropped.
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+/// Trims leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `%.6g` semantics.
+std::string FormatDouble(double v);
+
+/// Formats a duration in milliseconds with sensible precision for tables
+/// (3 significant decimals below 1ms, 2 below 100ms, whole numbers above).
+std::string FormatMillis(double ms);
+
+/// Left-pads `s` to `width` columns.
+std::string PadLeft(const std::string& s, int width);
+
+/// Right-pads `s` to `width` columns.
+std::string PadRight(const std::string& s, int width);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_UTIL_STRING_UTIL_H_

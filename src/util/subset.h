@@ -1,0 +1,84 @@
+// Fast subset enumeration after Vance and Maier (SIGMOD'96).
+//
+// The identity `next = (current - mask) & mask` walks all subsets of `mask`
+// in increasing numeric order. The paper's EnumerateCsgRec/EnumerateCmpRec
+// iterate "for each N subset of the neighborhood, N != empty"; this header
+// provides that loop as a range.
+#ifndef DPHYP_UTIL_SUBSET_H_
+#define DPHYP_UTIL_SUBSET_H_
+
+#include <cstdint>
+
+#include "util/node_set.h"
+
+namespace dphyp {
+
+/// Range over all non-empty subsets of `mask`, including `mask` itself,
+/// in increasing numeric (and therefore subset-before-superset-compatible)
+/// order. Usage: `for (NodeSet n : NonEmptySubsetsOf(nbh)) ...`.
+class NonEmptySubsetsOf {
+ public:
+  explicit NonEmptySubsetsOf(NodeSet mask) : mask_(mask.bits()) {}
+
+  class Iterator {
+   public:
+    Iterator(uint64_t state, uint64_t mask) : state_(state), mask_(mask) {}
+    NodeSet operator*() const { return NodeSet(state_); }
+    Iterator& operator++() {
+      state_ = (state_ - mask_) & mask_;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return state_ != o.state_; }
+
+   private:
+    uint64_t state_;
+    uint64_t mask_;
+  };
+
+  Iterator begin() const {
+    // First non-empty subset: lowest bit of the mask. Empty mask yields an
+    // empty range because begin() == end() == {0, mask}.
+    return Iterator(mask_ & (~mask_ + 1), mask_);
+  }
+  Iterator end() const { return Iterator(0, mask_); }
+
+ private:
+  uint64_t mask_;
+};
+
+/// Range over all non-empty *proper* subsets of `mask` (excludes `mask`).
+/// Used by DPsub-style algorithms that split a set into two halves.
+class ProperSubsetsOf {
+ public:
+  explicit ProperSubsetsOf(NodeSet mask) : mask_(mask.bits()) {}
+
+  class Iterator {
+   public:
+    Iterator(uint64_t state, uint64_t mask) : state_(state), mask_(mask) {}
+    NodeSet operator*() const { return NodeSet(state_); }
+    Iterator& operator++() {
+      state_ = (state_ - mask_) & mask_;
+      if (state_ == mask_) state_ = 0;  // skip the improper subset, then stop
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return state_ != o.state_; }
+
+   private:
+    uint64_t state_;
+    uint64_t mask_;
+  };
+
+  Iterator begin() const {
+    uint64_t first = mask_ & (~mask_ + 1);
+    if (first == mask_) first = 0;  // singleton mask has no proper subset
+    return Iterator(first, mask_);
+  }
+  Iterator end() const { return Iterator(0, mask_); }
+
+ private:
+  uint64_t mask_;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_UTIL_SUBSET_H_

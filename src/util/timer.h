@@ -1,0 +1,58 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+#ifndef DPHYP_UTIL_TIMER_H_
+#define DPHYP_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dphyp {
+
+/// Steady-clock stopwatch with millisecond/microsecond accessors.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly until at least `min_total_ms` of wall time or
+/// `max_reps` repetitions have elapsed and returns the *median-of-means*
+/// per-call time in milliseconds. Used by the figure/table harnesses so that
+/// sub-millisecond optimizations are measured stably while multi-second ones
+/// run only once.
+template <typename Fn>
+double MeasureMillis(Fn&& fn, double min_total_ms = 50.0, int max_reps = 1000) {
+  // One untimed warmup call to populate caches/allocators.
+  fn();
+  Timer total;
+  int reps = 0;
+  double elapsed = 0.0;
+  do {
+    Timer t;
+    fn();
+    elapsed += t.ElapsedMillis();
+    ++reps;
+  } while (elapsed < min_total_ms && reps < max_reps &&
+           total.ElapsedMillis() < 4.0 * min_total_ms);
+  return elapsed / reps;
+}
+
+}  // namespace dphyp
+
+#endif  // DPHYP_UTIL_TIMER_H_

@@ -1,0 +1,116 @@
+#include "workload/analytics.h"
+
+namespace dphyp {
+
+namespace {
+
+/// Shared schema: lineorder fact plus dimensions. Returns the spec with
+/// relations only; queries add their predicates.
+struct Schema {
+  QuerySpec spec;
+  int lineorder, date, customer, supplier, part;
+};
+
+Schema MakeSchema() {
+  Schema s;
+  s.lineorder = s.spec.AddRelation("lineorder", 6'000'000);
+  s.date = s.spec.AddRelation("date", 2'556);
+  s.customer = s.spec.AddRelation("customer", 30'000);
+  s.supplier = s.spec.AddRelation("supplier", 2'000);
+  s.part = s.spec.AddRelation("part", 200'000);
+  return s;
+}
+
+}  // namespace
+
+std::vector<AnalyticsQuery> AnalyticsQueries() {
+  std::vector<AnalyticsQuery> queries;
+
+  {
+    // Q1: revenue per year — fact x date only, the date selection folded
+    // into an effective cardinality of one year.
+    QuerySpec spec;
+    spec.AddRelation("lineorder", 6'000'000);
+    spec.AddRelation("date", 365);
+    spec.AddSimplePredicate(0, 1, 1.0 / 2'556);
+    spec.FillDefaultPayloads();
+    queries.push_back({"Q1", "fact-date slice", std::move(spec)});
+  }
+  {
+    // Q2: three-dimension star.
+    Schema s = MakeSchema();
+    s.spec.AddSimplePredicate(s.lineorder, s.date, 1.0 / 2'556);
+    s.spec.AddSimplePredicate(s.lineorder, s.supplier, 1.0 / 2'000);
+    s.spec.AddSimplePredicate(s.lineorder, s.part, 1.0 / 200'000);
+    s.spec.AddSimplePredicate(s.lineorder, s.customer, 1.0 / 30'000);
+    s.spec.FillDefaultPayloads();
+    queries.push_back({"Q2", "four-dimension star", std::move(s.spec)});
+  }
+  {
+    // Q3: star with a customer-supplier region correlation — a complex
+    // predicate over two dimensions (same-region test), i.e. a hyperedge
+    // anchored at {customer} x {supplier} … here made ternary by including
+    // the part's brand group on the right to force a true hypernode.
+    Schema s = MakeSchema();
+    s.spec.AddSimplePredicate(s.lineorder, s.date, 1.0 / 2'556);
+    s.spec.AddSimplePredicate(s.lineorder, s.customer, 1.0 / 30'000);
+    s.spec.AddSimplePredicate(s.lineorder, s.supplier, 1.0 / 2'000);
+    s.spec.AddSimplePredicate(s.lineorder, s.part, 1.0 / 200'000);
+    s.spec.AddComplexPredicate(
+        NodeSet::Single(s.customer),
+        NodeSet::Single(s.supplier) | NodeSet::Single(s.part), 0.04);
+    s.spec.FillDefaultPayloads();
+    queries.push_back(
+        {"Q3", "star + cross-dimension hyperedge", std::move(s.spec)});
+  }
+  {
+    // Q4: star with an optional dimension (LOJ to promotion-like part) and
+    // an anti-joined denylist folded in as a non-inner edge.
+    Schema s = MakeSchema();
+    s.spec.AddSimplePredicate(s.lineorder, s.date, 1.0 / 2'556);
+    s.spec.AddSimplePredicate(s.lineorder, s.customer, 1.0 / 30'000);
+    s.spec.AddSimplePredicate(s.lineorder, s.part, 1.0 / 200'000,
+                              OpType::kLeftOuterjoin);
+    s.spec.AddSimplePredicate(s.lineorder, s.supplier, 1.0 / 2'000,
+                              OpType::kLeftAntijoin);
+    s.spec.FillDefaultPayloads();
+    queries.push_back(
+        {"Q4", "star with outer join and antijoin edges", std::move(s.spec)});
+  }
+  {
+    // Q5: lateral flavour — a per-customer top-k subquery as a table
+    // function over customer.
+    QuerySpec spec;
+    spec.AddRelation("lineorder", 6'000'000);
+    spec.AddRelation("customer", 30'000);
+    RelationInfo topk;
+    topk.name = "recent_orders";  // lateral over customer
+    topk.cardinality = 10;
+    topk.free_tables = NodeSet::Single(1);
+    spec.relations.push_back(topk);
+    spec.AddSimplePredicate(0, 1, 1.0 / 30'000);
+    spec.AddSimplePredicate(1, 2, 0.5);
+    spec.FillDefaultPayloads();
+    queries.push_back({"Q5", "lateral per-customer subquery", std::move(spec)});
+  }
+  {
+    // Q6: the stress case — all dimensions plus two hyperedges, one of
+    // them generalized (the part group may be checked on either side).
+    Schema s = MakeSchema();
+    s.spec.AddSimplePredicate(s.lineorder, s.date, 1.0 / 2'556);
+    s.spec.AddSimplePredicate(s.lineorder, s.customer, 1.0 / 30'000);
+    s.spec.AddSimplePredicate(s.lineorder, s.supplier, 1.0 / 2'000);
+    s.spec.AddSimplePredicate(s.lineorder, s.part, 1.0 / 200'000);
+    s.spec.AddComplexPredicate(
+        NodeSet::Single(s.customer), NodeSet::Single(s.supplier), 0.04,
+        OpType::kJoin, /*flex=*/NodeSet::Single(s.part));
+    s.spec.AddComplexPredicate(
+        NodeSet::Single(s.date) | NodeSet::Single(s.supplier),
+        NodeSet::Single(s.part), 0.01);
+    s.spec.FillDefaultPayloads();
+    queries.push_back({"Q6", "two hyperedges, one generalized", std::move(s.spec)});
+  }
+  return queries;
+}
+
+}  // namespace dphyp

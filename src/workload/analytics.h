@@ -1,0 +1,30 @@
+// A small analytics (star-schema) workload in the spirit of the Star Schema
+// Benchmark: one fact table, four dimensions, and a set of named queries of
+// increasing complexity — including variants with non-inner joins and a
+// cross-dimension hyperedge. Used by tests and examples as a "realistic"
+// counterpart to the synthetic families of Sec. 4.
+#ifndef DPHYP_WORKLOAD_ANALYTICS_H_
+#define DPHYP_WORKLOAD_ANALYTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/query_spec.h"
+
+namespace dphyp {
+
+/// A named query of the analytics workload.
+struct AnalyticsQuery {
+  std::string name;
+  std::string description;
+  QuerySpec spec;
+};
+
+/// All queries of the workload. Selections are folded into effective
+/// cardinalities/selectivities, as a real optimizer's cardinality model
+/// would provide them.
+std::vector<AnalyticsQuery> AnalyticsQueries();
+
+}  // namespace dphyp
+
+#endif  // DPHYP_WORKLOAD_ANALYTICS_H_

@@ -1,0 +1,219 @@
+#include "workload/generators.h"
+
+#include <deque>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dphyp {
+
+namespace {
+
+/// Shared helper: adds n relations with seeded random cardinalities.
+Rng AddRelations(QuerySpec* spec, int n, const WorkloadOptions& opts) {
+  Rng rng(opts.seed);
+  for (int i = 0; i < n; ++i) {
+    double card = rng.UniformDouble(opts.min_cardinality, opts.max_cardinality);
+    spec->AddRelation("R" + std::to_string(i), card);
+  }
+  return rng;
+}
+
+double RandomSelectivity(Rng& rng, const WorkloadOptions& opts) {
+  return rng.UniformDouble(opts.min_selectivity, opts.max_selectivity);
+}
+
+NodeSet SetOf(const std::vector<int>& nodes) {
+  NodeSet s;
+  for (int v : nodes) s |= NodeSet::Single(v);
+  return s;
+}
+
+/// A hyperedge under construction: ordered node lists per side.
+struct SplitEdge {
+  std::vector<int> u;
+  std::vector<int> v;
+  bool IsSimple() const { return u.size() == 1 && v.size() == 1; }
+};
+
+/// Applies `splits` FIFO split operations to the initial edge and returns
+/// the resulting edge list (see header for the pairing rule).
+std::vector<SplitEdge> SplitSeries(SplitEdge initial, int splits) {
+  std::deque<SplitEdge> queue{std::move(initial)};
+  for (int i = 0; i < splits; ++i) {
+    // Find the first non-simple edge.
+    size_t pos = 0;
+    while (pos < queue.size() && queue[pos].IsSimple()) ++pos;
+    DPHYP_CHECK_MSG(pos < queue.size(), "more splits requested than possible");
+    SplitEdge edge = queue[pos];
+    queue.erase(queue.begin() + pos);
+    size_t hu = edge.u.size() / 2;
+    size_t hv = edge.v.size() / 2;
+    std::vector<int> u_lo(edge.u.begin(), edge.u.begin() + hu);
+    std::vector<int> u_hi(edge.u.begin() + hu, edge.u.end());
+    std::vector<int> v_lo(edge.v.begin(), edge.v.begin() + hv);
+    std::vector<int> v_hi(edge.v.begin() + hv, edge.v.end());
+    SplitEdge a, b;
+    if (u_lo.size() >= 2) {
+      // Crosswise pairing while halves are hypernodes.
+      a = SplitEdge{u_lo, v_hi};
+      b = SplitEdge{u_hi, v_lo};
+    } else {
+      // Index-aligned pairing for singletons (avoids duplicating the base
+      // graph's simple edges).
+      a = SplitEdge{u_lo, v_lo};
+      b = SplitEdge{u_hi, v_hi};
+    }
+    queue.push_back(std::move(a));
+    queue.push_back(std::move(b));
+  }
+  return {queue.begin(), queue.end()};
+}
+
+}  // namespace
+
+QuerySpec MakeChainQuery(int n, const WorkloadOptions& opts) {
+  DPHYP_CHECK(n >= 1);
+  QuerySpec spec;
+  Rng rng = AddRelations(&spec, n, opts);
+  for (int i = 0; i + 1 < n; ++i) {
+    spec.AddSimplePredicate(i, i + 1, RandomSelectivity(rng, opts));
+  }
+  spec.FillDefaultPayloads();
+  return spec;
+}
+
+QuerySpec MakeCycleQuery(int n, const WorkloadOptions& opts) {
+  DPHYP_CHECK(n >= 3);
+  QuerySpec spec;
+  Rng rng = AddRelations(&spec, n, opts);
+  for (int i = 0; i + 1 < n; ++i) {
+    spec.AddSimplePredicate(i, i + 1, RandomSelectivity(rng, opts));
+  }
+  spec.AddSimplePredicate(0, n - 1, RandomSelectivity(rng, opts));
+  spec.FillDefaultPayloads();
+  return spec;
+}
+
+QuerySpec MakeStarQuery(int satellites, const WorkloadOptions& opts) {
+  DPHYP_CHECK(satellites >= 1);
+  QuerySpec spec;
+  Rng rng = AddRelations(&spec, satellites + 1, opts);
+  // Make the hub the largest relation, as in a warehouse fact table.
+  spec.relations[0].cardinality = opts.max_cardinality * 10;
+  for (int i = 1; i <= satellites; ++i) {
+    spec.AddSimplePredicate(0, i, RandomSelectivity(rng, opts));
+  }
+  spec.FillDefaultPayloads();
+  return spec;
+}
+
+QuerySpec MakeCliqueQuery(int n, const WorkloadOptions& opts) {
+  DPHYP_CHECK(n >= 2);
+  QuerySpec spec;
+  Rng rng = AddRelations(&spec, n, opts);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      spec.AddSimplePredicate(i, j, RandomSelectivity(rng, opts));
+    }
+  }
+  spec.FillDefaultPayloads();
+  return spec;
+}
+
+int MaxHyperedgeSplits(int side) { return side - 1; }
+
+QuerySpec MakeCycleHypergraphQuery(int n, int splits, const WorkloadOptions& opts) {
+  DPHYP_CHECK(n >= 4 && n % 4 == 0);
+  DPHYP_CHECK(splits >= 0 && splits <= MaxHyperedgeSplits(n / 2));
+  QuerySpec spec = MakeCycleQuery(n, opts);
+  Rng rng(opts.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  SplitEdge initial;
+  for (int i = 0; i < n / 2; ++i) initial.u.push_back(i);
+  for (int i = n / 2; i < n; ++i) initial.v.push_back(i);
+  for (const SplitEdge& e : SplitSeries(initial, splits)) {
+    spec.AddComplexPredicate(SetOf(e.u), SetOf(e.v),
+                             RandomSelectivity(rng, opts));
+  }
+  spec.FillDefaultPayloads();
+  return spec;
+}
+
+QuerySpec MakeStarHypergraphQuery(int satellites, int splits,
+                                  const WorkloadOptions& opts) {
+  DPHYP_CHECK(satellites >= 4 && satellites % 4 == 0);
+  DPHYP_CHECK(splits >= 0 && splits <= MaxHyperedgeSplits(satellites / 2));
+  QuerySpec spec = MakeStarQuery(satellites, opts);
+  Rng rng(opts.seed ^ 0xbf58476d1ce4e5b9ULL);
+
+  SplitEdge initial;
+  for (int i = 1; i <= satellites / 2; ++i) initial.u.push_back(i);
+  for (int i = satellites / 2 + 1; i <= satellites; ++i) initial.v.push_back(i);
+  for (const SplitEdge& e : SplitSeries(initial, splits)) {
+    spec.AddComplexPredicate(SetOf(e.u), SetOf(e.v),
+                             RandomSelectivity(rng, opts));
+  }
+  spec.FillDefaultPayloads();
+  return spec;
+}
+
+QuerySpec MakeRandomGraphQuery(int n, double extra_edge_prob, uint64_t seed,
+                               const WorkloadOptions& opts) {
+  DPHYP_CHECK(n >= 1);
+  WorkloadOptions local = opts;
+  local.seed = seed;
+  QuerySpec spec;
+  Rng rng = AddRelations(&spec, n, local);
+  // Random spanning tree: attach each node to a random earlier node.
+  for (int i = 1; i < n; ++i) {
+    int parent = static_cast<int>(rng.Uniform(i));
+    spec.AddSimplePredicate(parent, i, RandomSelectivity(rng, local));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(extra_edge_prob)) {
+        spec.AddSimplePredicate(i, j, RandomSelectivity(rng, local));
+      }
+    }
+  }
+  spec.FillDefaultPayloads();
+  return spec;
+}
+
+QuerySpec MakeRandomHypergraphQuery(int n, int num_complex_edges, uint64_t seed,
+                                    const WorkloadOptions& opts) {
+  DPHYP_CHECK(n >= 3);
+  WorkloadOptions local = opts;
+  local.seed = seed;
+  QuerySpec spec;
+  Rng rng = AddRelations(&spec, n, local);
+  for (int i = 1; i < n; ++i) {
+    int parent = static_cast<int>(rng.Uniform(i));
+    spec.AddSimplePredicate(parent, i, RandomSelectivity(rng, local));
+  }
+  for (int e = 0; e < num_complex_edges; ++e) {
+    // Draw two disjoint sides; ensure at least one side has >= 2 nodes.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      int lsize = static_cast<int>(rng.Uniform(3)) + 1;
+      int rsize = static_cast<int>(rng.Uniform(3)) + 1;
+      if (lsize == 1 && rsize == 1) rsize = 2;
+      if (lsize + rsize > n) continue;
+      NodeSet left, right;
+      while (left.Count() < lsize) {
+        left |= NodeSet::Single(static_cast<int>(rng.Uniform(n)));
+      }
+      while (right.Count() < rsize) {
+        int v = static_cast<int>(rng.Uniform(n));
+        if (!left.Contains(v)) right |= NodeSet::Single(v);
+      }
+      spec.AddComplexPredicate(left, right, RandomSelectivity(rng, local));
+      break;
+    }
+  }
+  spec.FillDefaultPayloads();
+  return spec;
+}
+
+}  // namespace dphyp

@@ -1,0 +1,81 @@
+// Workload generators for the paper's evaluation (Sec. 4) and for property
+// testing.
+//
+// The Sec. 4 construction: start from a chain/cycle/star/clique graph, add
+// one big hyperedge whose hypernodes each cover half of the relations
+// (Fig. 4), then repeatedly *split* hyperedges — each hypernode is halved
+// and the halves re-paired — until only simple edges remain. Splits are
+// applied FIFO over the non-simple edges, which reproduces the paper's
+// split counts exactly (cycle n=8: splits 0..3; n=16: splits 0..7; star
+// with 8 satellites: 0..3; 16 satellites: 0..7).
+//
+// Pairing rule (matches the published G0..G3 sequence for the 8-cycle):
+// when the halves still contain >= 2 nodes they are re-paired crosswise
+// (first-with-second), producing e.g. ({R0,R1},{R6,R7}) and
+// ({R2,R3},{R4,R5}); singleton halves are paired index-aligned, producing
+// ({R0},{R6}), ({R1},{R7}) — crossing singletons would duplicate existing
+// cycle edges (e.g. R0–R7).
+//
+// Cardinalities and selectivities are not specified by the paper (they do
+// not affect enumeration time); we draw them deterministically from a
+// seeded RNG so every run is reproducible.
+#ifndef DPHYP_WORKLOAD_GENERATORS_H_
+#define DPHYP_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "catalog/query_spec.h"
+
+namespace dphyp {
+
+/// Knobs for all generators.
+struct WorkloadOptions {
+  uint64_t seed = 42;
+  double min_cardinality = 100.0;
+  double max_cardinality = 10000.0;
+  double min_selectivity = 0.001;
+  double max_selectivity = 0.2;
+};
+
+/// Chain R0 - R1 - ... - R(n-1).
+QuerySpec MakeChainQuery(int n, const WorkloadOptions& opts = {});
+
+/// Cycle: chain plus the closing edge (R(n-1), R0).
+QuerySpec MakeCycleQuery(int n, const WorkloadOptions& opts = {});
+
+/// Star: hub R0 with edges to satellites R1..Rk (k = `satellites`).
+QuerySpec MakeStarQuery(int satellites, const WorkloadOptions& opts = {});
+
+/// Clique: every pair connected.
+QuerySpec MakeCliqueQuery(int n, const WorkloadOptions& opts = {});
+
+/// Fig. 4a: cycle over n relations (n a multiple of 4) plus the hyperedge
+/// ({R0..R(n/2-1)}, {R(n/2)..R(n-1)}), with `splits` FIFO split operations
+/// applied. splits must be in [0, n/2 - 1].
+QuerySpec MakeCycleHypergraphQuery(int n, int splits,
+                                   const WorkloadOptions& opts = {});
+
+/// Fig. 4b: star with `satellites` satellites (a multiple of 4) plus the
+/// hyperedge over the two satellite halves, with `splits` split operations.
+/// splits must be in [0, satellites/2 - 1].
+QuerySpec MakeStarHypergraphQuery(int satellites, int splits,
+                                  const WorkloadOptions& opts = {});
+
+/// Maximum number of split operations for an initial hyperedge whose sides
+/// contain `side` relations each (side a power of two): side - 1.
+int MaxHyperedgeSplits(int side);
+
+/// Random connected simple graph: a random spanning tree plus each extra
+/// edge with probability `extra_edge_prob`.
+QuerySpec MakeRandomGraphQuery(int n, double extra_edge_prob, uint64_t seed,
+                               const WorkloadOptions& opts = {});
+
+/// Random connected hypergraph: random spanning tree plus
+/// `num_complex_edges` random hyperedges with side sizes in [1, 3]
+/// (at least one side with >= 2 nodes).
+QuerySpec MakeRandomHypergraphQuery(int n, int num_complex_edges, uint64_t seed,
+                                    const WorkloadOptions& opts = {});
+
+}  // namespace dphyp
+
+#endif  // DPHYP_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,223 @@
+#include "workload/optree_gen.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dphyp {
+
+namespace {
+
+void AddRelationsToTree(OperatorTree* tree, int n, Rng& rng,
+                        const WorkloadOptions& opts) {
+  for (int i = 0; i < n; ++i) {
+    RelationInfo rel;
+    rel.name = "R" + std::to_string(i);
+    rel.cardinality = rng.UniformDouble(opts.min_cardinality, opts.max_cardinality);
+    tree->relations.push_back(std::move(rel));
+  }
+}
+
+}  // namespace
+
+OperatorTree MakeStarAntijoinTree(int satellites, int num_antijoins,
+                                  const WorkloadOptions& opts) {
+  DPHYP_CHECK(satellites >= 1);
+  DPHYP_CHECK(num_antijoins >= 0 && num_antijoins <= satellites);
+  OperatorTree tree;
+  Rng rng(opts.seed);
+  AddRelationsToTree(&tree, satellites + 1, rng, opts);
+  tree.relations[0].cardinality = opts.max_cardinality * 10;  // fact table
+
+  int current = tree.AddLeaf(0);
+  for (int i = 1; i <= satellites; ++i) {
+    int leaf = tree.AddLeaf(i);
+    int pred = tree.AddPredicate(
+        NodeSet::Single(0) | NodeSet::Single(i),
+        rng.UniformDouble(opts.min_selectivity, opts.max_selectivity));
+    // Topmost `num_antijoins` operators are antijoins.
+    OpType op = (i > satellites - num_antijoins) ? OpType::kLeftAntijoin
+                                                 : OpType::kJoin;
+    current = tree.AddOp(op, current, leaf, {pred});
+  }
+  tree.root = current;
+  Result<bool> ok = tree.Finalize();
+  DPHYP_CHECK_MSG(ok.ok(), ok.error().message.c_str());
+  tree.FillDefaultPayloads();
+  return tree;
+}
+
+OperatorTree MakeCycleOuterjoinTree(int n, int num_outerjoins,
+                                    const WorkloadOptions& opts) {
+  DPHYP_CHECK(n >= 3);
+  DPHYP_CHECK(num_outerjoins >= 0 && num_outerjoins <= n - 1);
+  OperatorTree tree;
+  Rng rng(opts.seed);
+  AddRelationsToTree(&tree, n, rng, opts);
+
+  int current = tree.AddLeaf(0);
+  for (int i = 1; i < n; ++i) {
+    int leaf = tree.AddLeaf(i);
+    std::vector<int> preds;
+    preds.push_back(tree.AddPredicate(
+        NodeSet::Single(i - 1) | NodeSet::Single(i),
+        rng.UniformDouble(opts.min_selectivity, opts.max_selectivity)));
+    if (i == n - 1) {
+      // Closing predicate of the cycle, evaluated at the last operator.
+      preds.push_back(tree.AddPredicate(
+          NodeSet::Single(0) | NodeSet::Single(n - 1),
+          rng.UniformDouble(opts.min_selectivity, opts.max_selectivity)));
+    }
+    // Bottommost operators are the outer joins (see header).
+    OpType op = (i <= num_outerjoins) ? OpType::kLeftOuterjoin : OpType::kJoin;
+    current = tree.AddOp(op, current, leaf, preds);
+  }
+  tree.root = current;
+  Result<bool> ok = tree.Finalize();
+  DPHYP_CHECK_MSG(ok.ok(), ok.error().message.c_str());
+  tree.FillDefaultPayloads();
+  return tree;
+}
+
+namespace {
+
+struct SubtreeInfo {
+  int node = -1;
+  /// Tables whose columns survive to this subtree's output (semijoins,
+  /// antijoins and nestjoins hide their right side).
+  NodeSet visible;
+};
+
+/// Picks a uniformly random element of a non-empty set.
+int PickFrom(NodeSet set, Rng& rng) {
+  int idx = static_cast<int>(rng.Uniform(set.Count()));
+  for (int v : set) {
+    if (idx-- == 0) return v;
+  }
+  DPHYP_CHECK(false);
+  return -1;
+}
+
+/// Recursively builds a random tree over the contiguous relation range
+/// [lo, hi). Predicates and laterals reference only *visible* tables so the
+/// tree passes validation.
+SubtreeInfo BuildRandomSubtree(OperatorTree* tree, int lo, int hi, Rng& rng,
+                               const RandomTreeOptions& opts) {
+  if (hi - lo == 1) {
+    return SubtreeInfo{tree->AddLeaf(lo), NodeSet::Single(lo)};
+  }
+  // Random split keeps leaf order ascending (Sec. 5.4).
+  int split = lo + 1 + static_cast<int>(rng.Uniform(hi - lo - 1));
+  SubtreeInfo left = BuildRandomSubtree(tree, lo, split, rng, opts);
+  SubtreeInfo right = BuildRandomSubtree(tree, split, hi, rng, opts);
+
+  // Predicate over one visible table from each side, biased toward the
+  // boundary (chain-like queries).
+  int lt = rng.Bernoulli(0.7) ? left.visible.Max() : PickFrom(left.visible, rng);
+  int rt = rng.Bernoulli(0.7) ? right.visible.Min() : PickFrom(right.visible, rng);
+  const WorkloadOptions& w = opts.workload;
+  std::vector<int> preds;
+  preds.push_back(tree->AddPredicate(
+      NodeSet::Single(lt) | NodeSet::Single(rt),
+      rng.UniformDouble(w.min_selectivity, w.max_selectivity)));
+  if (rng.Bernoulli(opts.extra_conjunct_prob)) {
+    preds.push_back(tree->AddPredicate(
+        NodeSet::Single(PickFrom(left.visible, rng)) |
+            NodeSet::Single(PickFrom(right.visible, rng)),
+        rng.UniformDouble(w.min_selectivity, w.max_selectivity)));
+  }
+
+  // Lateral right leaf? Only for single-relation right sides.
+  bool lateral = false;
+  if (hi - split == 1 && rng.Bernoulli(opts.lateral_prob)) {
+    lateral = true;
+    RelationInfo& rel = tree->relations[split];
+    rel.free_tables = NodeSet::Single(PickFrom(left.visible, rng));
+    rel.name = "F" + std::to_string(split);  // mark table functions
+  }
+
+  OpType op = OpType::kJoin;
+  if (rng.Bernoulli(opts.non_inner_prob)) {
+    static const OpType kChoices[] = {
+        OpType::kLeftSemijoin, OpType::kLeftAntijoin, OpType::kLeftOuterjoin,
+        OpType::kFullOuterjoin, OpType::kLeftNestjoin};
+    op = kChoices[rng.Uniform(5)];
+    // No dependent full outer join exists; laterals exclude it.
+    if (lateral && op == OpType::kFullOuterjoin) op = OpType::kLeftOuterjoin;
+  }
+  NodeSet agg_tables;
+  if (op == OpType::kLeftNestjoin) {
+    agg_tables = NodeSet::Single(PickFrom(right.visible, rng));
+  }
+  if (lateral) op = DependentVariant(op);
+  SubtreeInfo info;
+  info.node = tree->AddOp(op, left.node, right.node, preds, agg_tables);
+  info.visible = LeftOnlyOutput(op) ? left.visible : left.visible | right.visible;
+  return info;
+}
+
+}  // namespace
+
+SyntheticNonInnerWorkload MakeStarAntijoinWorkload(int satellites,
+                                                   int num_antijoins,
+                                                   const WorkloadOptions& opts) {
+  DPHYP_CHECK(satellites >= 1);
+  DPHYP_CHECK(num_antijoins >= 0 && num_antijoins <= satellites);
+  SyntheticNonInnerWorkload out;
+  Rng rng(opts.seed);
+  const int n = satellites;            // satellites 1..n, hub 0
+  const int first_anti = n - num_antijoins + 1;
+
+  for (int i = 0; i <= n; ++i) {
+    HypergraphNode node;
+    node.name = "R" + std::to_string(i);
+    node.cardinality =
+        i == 0 ? opts.max_cardinality * 10
+               : rng.UniformDouble(opts.min_cardinality, opts.max_cardinality);
+    out.graph.AddNode(node);
+    out.ses_graph.AddNode(node);
+  }
+
+  for (int i = 1; i <= n; ++i) {
+    const double sel =
+        rng.UniformDouble(opts.min_selectivity, opts.max_selectivity);
+    const bool anti = i >= first_anti;
+    // SES edge: the plain star shape (hub predicates). The generate-and-test
+    // mode therefore enumerates the *unrestricted* star search space and
+    // pays for every candidate the TES constraints discard — the exact
+    // inefficiency Fig. 8a quantifies.
+    Hyperedge ses;
+    ses.left = NodeSet::Single(0);
+    ses.right = NodeSet::Single(i);
+    ses.selectivity = sel;
+    ses.op = anti ? OpType::kLeftAntijoin : OpType::kJoin;
+    ses.predicate_id = i - 1;
+    out.ses_graph.AddEdge(ses);
+
+    // Hypernode edge: TES of an antijoin accumulates the whole antijoin
+    // block built so far (mutual conflicts), i.e. l = {0, first..i-1}.
+    Hyperedge hyper = ses;
+    if (anti) {
+      NodeSet l = NodeSet::Single(0);
+      for (int j = first_anti; j < i; ++j) l |= NodeSet::Single(j);
+      hyper.left = l;
+    }
+    out.graph.AddEdge(hyper);
+    out.tes_constraints.push_back(TesConstraint{hyper.left, hyper.right});
+  }
+  return out;
+}
+
+OperatorTree MakeRandomOperatorTree(int n, uint64_t seed,
+                                    const RandomTreeOptions& opts) {
+  DPHYP_CHECK(n >= 2);
+  OperatorTree tree;
+  Rng rng(seed);
+  AddRelationsToTree(&tree, n, rng, opts.workload);
+  tree.root = BuildRandomSubtree(&tree, 0, n, rng, opts).node;
+  Result<bool> ok = tree.Finalize();
+  DPHYP_CHECK_MSG(ok.ok(), ok.error().message.c_str());
+  tree.FillDefaultPayloads();
+  return tree;
+}
+
+}  // namespace dphyp

@@ -1,0 +1,70 @@
+// Operator-tree workloads for the non-inner-join experiments (Sec. 5.8) and
+// for randomized semantic property testing.
+#ifndef DPHYP_WORKLOAD_OPTREE_GEN_H_
+#define DPHYP_WORKLOAD_OPTREE_GEN_H_
+
+#include "core/optimizer.h"
+#include "reorder/operator_tree.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+
+/// Fig. 8a workload: a left-deep operator tree over a star query with
+/// 1 + `satellites` relations (hub R0), predicate i joining the hub with
+/// satellite Ri. The topmost `num_antijoins` operators are left antijoins,
+/// the rest inner joins.
+OperatorTree MakeStarAntijoinTree(int satellites, int num_antijoins,
+                                  const WorkloadOptions& opts = {});
+
+/// Fig. 8b workload: a left-deep operator tree over a cycle query with n
+/// relations; operator i joins the prefix with R(i) via predicate
+/// (R(i-1), R(i)); the closing predicate (R0, R(n-1)) is an extra conjunct
+/// of the final operator. The bottommost `num_outerjoins` operators are
+/// left outer joins, the rest inner joins — inner joins above outer joins
+/// conflict (Fig. 9 row 4.48), so the search space first shrinks with the
+/// outer-join count and then grows again once the (mutually associative,
+/// 4.46) outer joins dominate: exactly the curve shape of Fig. 8b.
+OperatorTree MakeCycleOuterjoinTree(int n, int num_outerjoins,
+                                    const WorkloadOptions& opts = {});
+
+/// Fig. 8a workload, built directly as (hypergraph, SES graph, TES
+/// constraints). The paper under-specifies the antijoin predicates: with
+/// hub-only predicates its own conflict rules leave all antijoins freely
+/// reorderable (Case L1 / Theorem 1 eq. 2) and the search space would not
+/// shrink. We therefore chain each antijoin's predicate to the previous
+/// antijoin's satellite — the structure produced by unnesting nested
+/// NOT EXISTS subqueries — which makes the antijoin block mutually
+/// conflicting and reproduces the experiment: a TES prefix per antijoin,
+/// search space collapsing from O(n * 2^n) towards O(n) as
+/// `num_antijoins` grows. This is a pure timing workload (never executed).
+struct SyntheticNonInnerWorkload {
+  Hypergraph graph;      ///< hypernode form (Sec. 5.7)
+  Hypergraph ses_graph;  ///< SES form for generate-and-test (Sec. 5.8)
+  std::vector<TesConstraint> tes_constraints;  ///< parallel to ses_graph
+};
+SyntheticNonInnerWorkload MakeStarAntijoinWorkload(
+    int satellites, int num_antijoins, const WorkloadOptions& opts = {});
+
+/// Knobs for the random tree generator.
+struct RandomTreeOptions {
+  WorkloadOptions workload;
+  /// Probability that an operator is non-inner (uniform over semi, anti,
+  /// left outer, full outer, nestjoin where legal).
+  double non_inner_prob = 0.5;
+  /// Probability that a right-leaf becomes a lateral (table-function) leaf
+  /// referencing a table from the left subtree.
+  double lateral_prob = 0.15;
+  /// Probability of a second conjunct on an operator.
+  double extra_conjunct_prob = 0.2;
+};
+
+/// Random valid operator tree over n relations: random shape (contiguous
+/// splits keep the Sec. 5.4 left-to-right numbering), random operators,
+/// optional lateral leaves under dependent operators. Always passes
+/// OperatorTree::Finalize().
+OperatorTree MakeRandomOperatorTree(int n, uint64_t seed,
+                                    const RandomTreeOptions& opts = {});
+
+}  // namespace dphyp
+
+#endif  // DPHYP_WORKLOAD_OPTREE_GEN_H_

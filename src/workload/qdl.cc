@@ -1,0 +1,221 @@
+#include "workload/qdl.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace dphyp {
+
+namespace {
+
+/// One "key=value" or bare token on a line.
+struct Token {
+  std::string key;    // empty for bare tokens
+  std::string value;
+};
+
+std::vector<Token> Tokenize(std::string_view line) {
+  std::vector<Token> tokens;
+  for (const std::string& piece : SplitAndTrim(line, ' ')) {
+    size_t eq = piece.find('=');
+    if (eq == std::string::npos) {
+      tokens.push_back({"", piece});
+    } else {
+      tokens.push_back({piece.substr(0, eq), piece.substr(eq + 1)});
+    }
+  }
+  return tokens;
+}
+
+class Parser {
+ public:
+  Result<QuerySpec> Parse(const std::string& text) {
+    std::istringstream stream(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(stream, line)) {
+      ++line_no;
+      std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      std::vector<Token> tokens = Tokenize(trimmed);
+      if (tokens.empty()) continue;
+      const std::string& kind = tokens[0].value;
+      Result<bool> ok =
+          kind == "relation"    ? ParseRelation(tokens)
+          : kind == "predicate" ? ParsePredicate(tokens)
+                                : Result<bool>(Err("unknown directive '" + kind + "'"));
+      if (!ok.ok()) {
+        return Err("line " + std::to_string(line_no) + ": " +
+                   ok.error().message);
+      }
+    }
+    // Resolve free-table names now that all relations are known.
+    for (auto& [rel, names] : pending_free_) {
+      for (const std::string& name : names) {
+        Result<int> id = Lookup(name);
+        if (!id.ok()) return id.error();
+        spec_.relations[rel].free_tables |= NodeSet::Single(id.value());
+      }
+    }
+    Result<bool> valid = spec_.Validate();
+    if (!valid.ok()) return valid.error();
+    spec_.FillDefaultPayloads();
+    return std::move(spec_);
+  }
+
+ private:
+  Result<int> Lookup(const std::string& name) const {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) return Err("unknown relation '" + name + "'");
+    return it->second;
+  }
+
+  Result<NodeSet> LookupSet(const std::string& csv) const {
+    NodeSet set;
+    for (const std::string& name : SplitAndTrim(csv, ',')) {
+      Result<int> id = Lookup(name);
+      if (!id.ok()) return id.error();
+      set |= NodeSet::Single(id.value());
+    }
+    return set;
+  }
+
+  Result<bool> ParseRelation(const std::vector<Token>& tokens) {
+    if (tokens.size() < 2 || !tokens[1].key.empty()) {
+      return Err("relation needs a name");
+    }
+    const std::string& name = tokens[1].value;
+    if (by_name_.count(name)) return Err("duplicate relation '" + name + "'");
+    RelationInfo rel;
+    rel.name = name;
+    bool have_card = false;
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.key == "card") {
+        rel.cardinality = std::atof(t.value.c_str());
+        have_card = true;
+      } else if (t.key == "cols") {
+        rel.num_columns = std::atoi(t.value.c_str());
+      } else if (t.key == "free") {
+        pending_free_.emplace_back(spec_.NumRelations(),
+                                   SplitAndTrim(t.value, ','));
+      } else {
+        return Err("unknown relation attribute '" + t.key + "'");
+      }
+    }
+    if (!have_card) return Err("relation '" + name + "' needs card=");
+    by_name_[name] = spec_.NumRelations();
+    spec_.relations.push_back(std::move(rel));
+    return true;
+  }
+
+  Result<bool> ParsePredicate(const std::vector<Token>& tokens) {
+    Predicate pred;
+    bool have_left = false, have_right = false, have_sel = false;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.key == "left" || t.key == "right" || t.key == "flex") {
+        Result<NodeSet> set = LookupSet(t.value);
+        if (!set.ok()) return set.error();
+        if (t.key == "left") {
+          pred.left = set.value();
+          have_left = true;
+        } else if (t.key == "right") {
+          pred.right = set.value();
+          have_right = true;
+        } else {
+          pred.flex = set.value();
+        }
+      } else if (t.key == "sel") {
+        pred.selectivity = std::atof(t.value.c_str());
+        have_sel = true;
+      } else if (t.key == "op") {
+        OpType op;
+        if (!ParseOpName(t.value, &op)) {
+          return Err("unknown operator '" + t.value + "'");
+        }
+        pred.op = op;
+      } else if (t.key == "mod") {
+        pred.modulus = std::atoll(t.value.c_str());
+      } else if (t.key == "refs") {
+        for (const std::string& ref : SplitAndTrim(t.value, ',')) {
+          size_t dot = ref.find('.');
+          if (dot == std::string::npos) {
+            return Err("ref '" + ref + "' must be <relation>.<column>");
+          }
+          Result<int> id = Lookup(ref.substr(0, dot));
+          if (!id.ok()) return id.error();
+          pred.refs.push_back(
+              ColumnRef{id.value(), std::atoi(ref.c_str() + dot + 1)});
+        }
+      } else {
+        return Err("unknown predicate attribute '" + t.key + "'");
+      }
+    }
+    if (!have_left || !have_right) return Err("predicate needs left= and right=");
+    if (!have_sel) return Err("predicate needs sel=");
+    spec_.predicates.push_back(std::move(pred));
+    return true;
+  }
+
+  QuerySpec spec_;
+  std::map<std::string, int> by_name_;
+  std::vector<std::pair<int, std::vector<std::string>>> pending_free_;
+};
+
+std::string NamesOf(const QuerySpec& spec, NodeSet set) {
+  std::string out;
+  for (int v : set) {
+    if (!out.empty()) out += ",";
+    out += spec.relations[v].name;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<QuerySpec> ParseQdl(const std::string& text) {
+  Parser parser;
+  return parser.Parse(text);
+}
+
+Result<QuerySpec> LoadQdlFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Err("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseQdl(buffer.str());
+}
+
+std::string WriteQdl(const QuerySpec& spec) {
+  std::string out = "# dphyp query description\n";
+  for (const RelationInfo& rel : spec.relations) {
+    out += "relation " + rel.name + " card=" + FormatDouble(rel.cardinality);
+    if (rel.num_columns != 2) out += " cols=" + std::to_string(rel.num_columns);
+    if (!rel.free_tables.Empty()) out += " free=" + NamesOf(spec, rel.free_tables);
+    out += "\n";
+  }
+  for (const Predicate& p : spec.predicates) {
+    out += "predicate left=" + NamesOf(spec, p.left) +
+           " right=" + NamesOf(spec, p.right);
+    if (!p.flex.Empty()) out += " flex=" + NamesOf(spec, p.flex);
+    out += " sel=" + FormatDouble(p.selectivity);
+    if (p.op != OpType::kJoin) out += " op=" + std::string(OpName(p.op));
+    if (p.modulus != 2) out += " mod=" + std::to_string(p.modulus);
+    if (!p.refs.empty()) {
+      out += " refs=";
+      for (size_t i = 0; i < p.refs.size(); ++i) {
+        if (i) out += ",";
+        out += spec.relations[p.refs[i].table].name + "." +
+               std::to_string(p.refs[i].column);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dphyp

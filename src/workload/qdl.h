@@ -1,0 +1,38 @@
+// QDL ("query description language"): a small line-based text format for
+// join-ordering problems, so examples and tools can load and save workloads.
+//
+//   # comment / blank lines ignored
+//   relation <name> card=<double> [cols=<int>] [free=<name,name,...>]
+//   predicate left=<names> right=<names> [flex=<names>] sel=<double>
+//             [op=<operator-name>] [mod=<int>] [refs=<name.col,...>]
+//
+// Relations are numbered in declaration order (this is the node order `<`
+// of Def. 1). Example:
+//
+//   relation R0 card=1000
+//   relation R1 card=200
+//   relation R2 card=5000
+//   predicate left=R0 right=R1 sel=0.01
+//   predicate left=R0,R1 right=R2 sel=0.002 op=leftouterjoin
+#ifndef DPHYP_WORKLOAD_QDL_H_
+#define DPHYP_WORKLOAD_QDL_H_
+
+#include <string>
+
+#include "catalog/query_spec.h"
+#include "util/result.h"
+
+namespace dphyp {
+
+/// Parses QDL text into a validated QuerySpec (payloads filled).
+Result<QuerySpec> ParseQdl(const std::string& text);
+
+/// Reads and parses a QDL file.
+Result<QuerySpec> LoadQdlFile(const std::string& path);
+
+/// Serializes a QuerySpec to QDL text (round-trips through ParseQdl).
+std::string WriteQdl(const QuerySpec& spec);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_WORKLOAD_QDL_H_

@@ -1,0 +1,91 @@
+// Cross-algorithm agreement: every algorithm must report the same optimal
+// cost and final cardinality on the same input (the canonical product-form
+// estimator guarantees a unique well-defined optimum).
+#include <gtest/gtest.h>
+
+#include "baselines/all_algorithms.h"
+#include "hypergraph/builder.h"
+#include "test_helpers.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+using testing_helpers::CostsClose;
+
+struct AgreementCase {
+  std::string name;
+  QuerySpec spec;
+  bool simple = true;  // DPccp participates only on simple graphs
+};
+
+std::vector<AgreementCase> AgreementCases() {
+  std::vector<AgreementCase> cases;
+  cases.push_back({"chain7", MakeChainQuery(7), true});
+  cases.push_back({"cycle7", MakeCycleQuery(7), true});
+  cases.push_back({"star6", MakeStarQuery(6), true});
+  cases.push_back({"clique6", MakeCliqueQuery(6), true});
+  for (int splits = 0; splits <= 3; ++splits) {
+    cases.push_back({"cycle8s" + std::to_string(splits),
+                     MakeCycleHypergraphQuery(8, splits), splits == 3});
+    cases.push_back({"star8s" + std::to_string(splits),
+                     MakeStarHypergraphQuery(8, splits), false});
+  }
+  for (uint64_t seed = 20; seed < 28; ++seed) {
+    cases.push_back({"randh" + std::to_string(seed),
+                     MakeRandomHypergraphQuery(8, 2, seed), false});
+    cases.push_back({"randg" + std::to_string(seed),
+                     MakeRandomGraphQuery(8, 0.25, seed), true});
+  }
+  return cases;
+}
+
+class AllAlgorithmsAgree : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(AllAlgorithmsAgree, SameOptimalCost) {
+  const AgreementCase& c = GetParam();
+  Hypergraph g = BuildHypergraphOrDie(c.spec);
+  CardinalityEstimator est(g);
+
+  OptimizeResult reference = Optimize(Algorithm::kDphyp, g, est,
+                                      DefaultCostModel());
+  ASSERT_TRUE(reference.success) << reference.error;
+
+  for (Algorithm algo : kAllAlgorithms) {
+    if (algo == Algorithm::kDphyp) continue;
+    if (algo == Algorithm::kDpccp && !c.simple) continue;
+    OptimizeResult r = Optimize(algo, g, est, DefaultCostModel());
+    ASSERT_TRUE(r.success) << AlgorithmName(algo) << ": " << r.error;
+    EXPECT_TRUE(CostsClose(r.cost, reference.cost))
+        << AlgorithmName(algo) << " cost " << r.cost << " vs "
+        << reference.cost;
+    EXPECT_DOUBLE_EQ(r.cardinality, reference.cardinality)
+        << AlgorithmName(algo);
+    EXPECT_EQ(r.stats.dp_entries, reference.stats.dp_entries)
+        << AlgorithmName(algo);
+  }
+}
+
+TEST_P(AllAlgorithmsAgree, SameOptimalCostUnderHashModel) {
+  const AgreementCase& c = GetParam();
+  Hypergraph g = BuildHypergraphOrDie(c.spec);
+  CardinalityEstimator est(g);
+  HashJoinModel model;
+
+  OptimizeResult reference = Optimize(Algorithm::kDphyp, g, est, model);
+  ASSERT_TRUE(reference.success);
+  for (Algorithm algo : {Algorithm::kDpsize, Algorithm::kDpsub}) {
+    OptimizeResult r = Optimize(algo, g, est, model);
+    ASSERT_TRUE(r.success) << AlgorithmName(algo);
+    EXPECT_TRUE(CostsClose(r.cost, reference.cost)) << AlgorithmName(algo);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, AllAlgorithmsAgree,
+                         ::testing::ValuesIn(AgreementCases()),
+                         [](const ::testing::TestParamInfo<AgreementCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace dphyp

@@ -1,0 +1,93 @@
+// The analytics (star-schema) workload: every query must validate, solve
+// under every applicable algorithm with agreeing costs, match brute force,
+// and produce structurally valid plans.
+#include "workload/analytics.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/all_algorithms.h"
+#include "hypergraph/builder.h"
+#include "plan/validate.h"
+#include "test_helpers.h"
+
+namespace dphyp {
+namespace {
+
+using testing_helpers::BruteForceOptimizer;
+using testing_helpers::CostsClose;
+
+class AnalyticsWorkload : public ::testing::TestWithParam<AnalyticsQuery> {};
+
+TEST_P(AnalyticsWorkload, SpecValidates) {
+  EXPECT_TRUE(GetParam().spec.Validate().ok());
+}
+
+TEST_P(AnalyticsWorkload, DphypSolvesAndPlanValidates) {
+  Hypergraph g = BuildHypergraphOrDie(GetParam().spec);
+  OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+  ASSERT_TRUE(r.success) << r.error;
+  PlanTree plan = r.ExtractPlan(g);
+  Result<bool> valid = ValidatePlanTree(g, plan);
+  EXPECT_TRUE(valid.ok()) << valid.error().message;
+}
+
+TEST_P(AnalyticsWorkload, AllAlgorithmsAgree) {
+  Hypergraph g = BuildHypergraphOrDie(GetParam().spec);
+  CardinalityEstimator est(g);
+  OptimizeResult reference =
+      Optimize(Algorithm::kDphyp, g, est, DefaultCostModel());
+  ASSERT_TRUE(reference.success);
+  for (Algorithm algo :
+       {Algorithm::kDpsize, Algorithm::kDpsub, Algorithm::kTdBasic,
+        Algorithm::kTdPartition}) {
+    OptimizeResult r = Optimize(algo, g, est, DefaultCostModel());
+    ASSERT_TRUE(r.success) << AlgorithmName(algo);
+    EXPECT_TRUE(CostsClose(r.cost, reference.cost)) << AlgorithmName(algo);
+  }
+}
+
+TEST_P(AnalyticsWorkload, MatchesBruteForceWhenInnerOnly) {
+  const QuerySpec& spec = GetParam().spec;
+  bool inner_only = true;
+  for (const Predicate& p : spec.predicates) {
+    if (p.op != OpType::kJoin) inner_only = false;
+  }
+  for (const RelationInfo& r : spec.relations) {
+    if (!r.free_tables.Empty()) inner_only = false;
+  }
+  if (!inner_only) GTEST_SKIP() << "brute-force oracle is inner-join only";
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  CardinalityEstimator est(g);
+  BruteForceOptimizer brute(g, est, DefaultCostModel());
+  OptimizeResult r = OptimizeDphyp(g, est, DefaultCostModel());
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(CostsClose(r.cost, brute.BestCost(g.AllNodes())));
+}
+
+TEST_P(AnalyticsWorkload, FactTableJoinsLate) {
+  // Sanity on plan quality: with a 6M-row fact table and tiny dimensions,
+  // C_out must be far below the fact-first worst case.
+  Hypergraph g = BuildHypergraphOrDie(GetParam().spec);
+  OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+  ASSERT_TRUE(r.success);
+  EXPECT_LT(r.cost, 1e13) << "optimal plan unexpectedly expensive";
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, AnalyticsWorkload,
+                         ::testing::ValuesIn(AnalyticsQueries()),
+                         [](const ::testing::TestParamInfo<AnalyticsQuery>& i) {
+                           return i.param.name;
+                         });
+
+TEST(AnalyticsCatalog, HasDistinctQueries) {
+  auto queries = AnalyticsQueries();
+  EXPECT_GE(queries.size(), 6u);
+  for (const AnalyticsQuery& q : queries) {
+    EXPECT_FALSE(q.name.empty());
+    EXPECT_FALSE(q.description.empty());
+    EXPECT_GE(q.spec.NumRelations(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace dphyp

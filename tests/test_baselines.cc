@@ -1,0 +1,126 @@
+// Baseline-specific behaviour: DPsize/DPsub/TDbasic correctness against the
+// brute-force oracle, DPccp's simple-graph precondition, and the
+// Sec. 4.4 claim that DPhyp degenerates to DPccp on regular graphs.
+#include <gtest/gtest.h>
+
+#include "baselines/all_algorithms.h"
+#include "hypergraph/builder.h"
+#include "test_helpers.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+using testing_helpers::BruteForceOptimizer;
+using testing_helpers::CostsClose;
+
+class BaselineOptimality
+    : public ::testing::TestWithParam<std::tuple<Algorithm, int>> {};
+
+TEST_P(BaselineOptimality, MatchesBruteForceOnRandomGraphs) {
+  auto [algo, seed] = GetParam();
+  QuerySpec spec = MakeRandomGraphQuery(7, 0.35, seed);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  CardinalityEstimator est(g);
+  BruteForceOptimizer brute(g, est, DefaultCostModel());
+  OptimizeResult r = Optimize(algo, g, est, DefaultCostModel());
+  ASSERT_TRUE(r.success) << AlgorithmName(algo) << ": " << r.error;
+  EXPECT_TRUE(CostsClose(r.cost, brute.BestCost(g.AllNodes())))
+      << AlgorithmName(algo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoSeeds, BaselineOptimality,
+    ::testing::Combine(::testing::Values(Algorithm::kDpsize, Algorithm::kDpsub,
+                                         Algorithm::kDpccp, Algorithm::kTdBasic,
+                                         Algorithm::kTdPartition),
+                       ::testing::Range(1, 9)),
+    [](const ::testing::TestParamInfo<std::tuple<Algorithm, int>>& info) {
+      return std::string(AlgorithmName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class HyperBaselineOptimality
+    : public ::testing::TestWithParam<std::tuple<Algorithm, int>> {};
+
+TEST_P(HyperBaselineOptimality, MatchesBruteForceOnHypergraphs) {
+  auto [algo, seed] = GetParam();
+  QuerySpec spec = MakeRandomHypergraphQuery(7, 3, seed);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  CardinalityEstimator est(g);
+  BruteForceOptimizer brute(g, est, DefaultCostModel());
+  OptimizeResult r = Optimize(algo, g, est, DefaultCostModel());
+  ASSERT_TRUE(r.success) << AlgorithmName(algo) << ": " << r.error;
+  EXPECT_TRUE(CostsClose(r.cost, brute.BestCost(g.AllNodes())))
+      << AlgorithmName(algo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoSeeds, HyperBaselineOptimality,
+    ::testing::Combine(::testing::Values(Algorithm::kDpsize, Algorithm::kDpsub,
+                                         Algorithm::kTdBasic,
+                                         Algorithm::kTdPartition),
+                       ::testing::Range(1, 9)),
+    [](const ::testing::TestParamInfo<std::tuple<Algorithm, int>>& info) {
+      return std::string(AlgorithmName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Dpccp, RejectsHypergraphs) {
+  Hypergraph g = BuildHypergraphOrDie(MakeCycleHypergraphQuery(8, 0));
+  OptimizeResult r = Optimize(Algorithm::kDpccp, g);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.error.find("simple"), std::string::npos);
+}
+
+TEST(Dpccp, DphypDegeneratesToDpccpOnRegularGraphs) {
+  // Sec. 4.4: "DPhyp performs exactly like DPccp on regular graphs" — same
+  // emitted pairs, same table, same cost.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    QuerySpec spec = MakeRandomGraphQuery(8, 0.3, seed);
+    Hypergraph g = BuildHypergraphOrDie(spec);
+    OptimizeResult hyp = Optimize(Algorithm::kDphyp, g);
+    OptimizeResult ccp = Optimize(Algorithm::kDpccp, g);
+    ASSERT_TRUE(hyp.success && ccp.success);
+    EXPECT_EQ(hyp.stats.ccp_pairs, ccp.stats.ccp_pairs) << seed;
+    EXPECT_EQ(hyp.stats.dp_entries, ccp.stats.dp_entries) << seed;
+    EXPECT_TRUE(CostsClose(hyp.cost, ccp.cost)) << seed;
+  }
+}
+
+TEST(TdBasic, MemoizesFailedSets) {
+  // A chain has many disconnected subsets; TDbasic must still terminate
+  // quickly and find the optimum (regression guard for the failed-set memo).
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(10));
+  CardinalityEstimator est(g);
+  BruteForceOptimizer brute(g, est, DefaultCostModel());
+  OptimizeResult r = Optimize(Algorithm::kTdBasic, g, est, DefaultCostModel());
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(CostsClose(r.cost, brute.BestCost(g.AllNodes())));
+}
+
+TEST(TdPartition, AvoidsMostFailingTests) {
+  // The point of graph-aware top-down partitioning: far fewer candidate
+  // tests than the naive 2^|S| split enumeration of TDbasic.
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(12));
+  OptimizeResult basic = Optimize(Algorithm::kTdBasic, g);
+  OptimizeResult part = Optimize(Algorithm::kTdPartition, g);
+  ASSERT_TRUE(basic.success && part.success);
+  EXPECT_TRUE(CostsClose(basic.cost, part.cost));
+  EXPECT_LT(part.stats.pairs_tested, basic.stats.pairs_tested / 10)
+      << "TDpartition should test an order of magnitude fewer candidates";
+  EXPECT_EQ(part.stats.dp_entries, basic.stats.dp_entries);
+}
+
+TEST(Dpsize, HandlesHyperedgesViaConnectivityTest) {
+  // Sec. 4.1: DPsize needs no structural changes for hypergraphs, only a
+  // hyperedge-aware (*) test.
+  Hypergraph g = BuildHypergraphOrDie(MakeStarHypergraphQuery(8, 1));
+  OptimizeResult size = Optimize(Algorithm::kDpsize, g);
+  OptimizeResult hyp = Optimize(Algorithm::kDphyp, g);
+  ASSERT_TRUE(size.success && hyp.success);
+  EXPECT_TRUE(CostsClose(size.cost, hyp.cost));
+}
+
+}  // namespace
+}  // namespace dphyp

@@ -1,0 +1,125 @@
+#include "catalog/query_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/operator_type.h"
+
+namespace dphyp {
+namespace {
+
+TEST(OperatorType, Commutativity) {
+  EXPECT_TRUE(IsCommutative(OpType::kJoin));
+  EXPECT_TRUE(IsCommutative(OpType::kFullOuterjoin));
+  EXPECT_FALSE(IsCommutative(OpType::kLeftOuterjoin));
+  EXPECT_FALSE(IsCommutative(OpType::kLeftSemijoin));
+  EXPECT_FALSE(IsCommutative(OpType::kLeftAntijoin));
+  EXPECT_FALSE(IsCommutative(OpType::kLeftNestjoin));
+  EXPECT_FALSE(IsCommutative(OpType::kDepJoin));
+}
+
+TEST(OperatorType, DependentRoundTrip) {
+  const OpType regulars[] = {OpType::kJoin, OpType::kLeftSemijoin,
+                             OpType::kLeftAntijoin, OpType::kLeftOuterjoin,
+                             OpType::kLeftNestjoin};
+  for (OpType op : regulars) {
+    OpType dep = DependentVariant(op);
+    EXPECT_TRUE(IsDependent(dep)) << OpName(op);
+    EXPECT_FALSE(IsDependent(op)) << OpName(op);
+    EXPECT_EQ(RegularVariant(dep), op);
+    // DependentVariant is idempotent on dependent ops.
+    EXPECT_EQ(DependentVariant(dep), dep);
+  }
+}
+
+TEST(OperatorType, LeftLinearSet) {
+  // LOP of Sec. 5.1: everything except B and M.
+  int lop_count = 0;
+  for (int i = 0; i < kNumOpTypes; ++i) {
+    OpType op = static_cast<OpType>(i);
+    if (IsLeftLinearOnly(op)) ++lop_count;
+  }
+  EXPECT_EQ(lop_count, kNumOpTypes - 2);
+}
+
+TEST(OperatorType, LeftOnlyOutput) {
+  EXPECT_TRUE(LeftOnlyOutput(OpType::kLeftSemijoin));
+  EXPECT_TRUE(LeftOnlyOutput(OpType::kDepLeftAntijoin));
+  EXPECT_FALSE(LeftOnlyOutput(OpType::kLeftOuterjoin));
+  EXPECT_FALSE(LeftOnlyOutput(OpType::kJoin));
+}
+
+TEST(OperatorType, NamesRoundTrip) {
+  for (int i = 0; i < kNumOpTypes; ++i) {
+    OpType op = static_cast<OpType>(i);
+    OpType parsed;
+    ASSERT_TRUE(ParseOpName(OpName(op), &parsed)) << OpName(op);
+    EXPECT_EQ(parsed, op);
+  }
+  OpType dummy;
+  EXPECT_FALSE(ParseOpName("frobnicate", &dummy));
+}
+
+TEST(QuerySpec, AddAndValidate) {
+  QuerySpec spec;
+  int a = spec.AddRelation("A", 100.0);
+  int b = spec.AddRelation("B", 200.0);
+  int c = spec.AddRelation("C", 300.0);
+  spec.AddSimplePredicate(a, b, 0.1);
+  spec.AddComplexPredicate(NodeSet::Single(a) | NodeSet::Single(b),
+                           NodeSet::Single(c), 0.05);
+  EXPECT_TRUE(spec.Validate().ok());
+  EXPECT_EQ(spec.NumRelations(), 3);
+  EXPECT_TRUE(spec.predicates[0].IsSimple());
+  EXPECT_FALSE(spec.predicates[1].IsSimple());
+}
+
+TEST(QuerySpec, ValidateRejectsBadInputs) {
+  {
+    QuerySpec spec;
+    EXPECT_FALSE(spec.Validate().ok()) << "no relations";
+  }
+  {
+    QuerySpec spec;
+    spec.AddRelation("A", -5.0);
+    EXPECT_FALSE(spec.Validate().ok()) << "negative cardinality";
+  }
+  {
+    QuerySpec spec;
+    spec.AddRelation("A", 10.0);
+    spec.AddRelation("B", 10.0);
+    spec.AddSimplePredicate(0, 1, 0.0);
+    EXPECT_FALSE(spec.Validate().ok()) << "zero selectivity";
+  }
+  {
+    QuerySpec spec;
+    spec.AddRelation("A", 10.0);
+    spec.AddRelation("B", 10.0);
+    Predicate p;
+    p.left = NodeSet::Single(0);
+    p.right = NodeSet::Single(0);  // overlapping sides
+    p.selectivity = 0.5;
+    spec.predicates.push_back(p);
+    EXPECT_FALSE(spec.Validate().ok()) << "overlapping sides";
+  }
+  {
+    QuerySpec spec;
+    spec.AddRelation("A", 10.0);
+    spec.relations[0].free_tables = NodeSet::Single(0);  // self-reference
+    EXPECT_FALSE(spec.Validate().ok()) << "self free table";
+  }
+}
+
+TEST(QuerySpec, FillDefaultPayloads) {
+  QuerySpec spec;
+  spec.AddRelation("A", 10.0);
+  spec.AddRelation("B", 10.0);
+  spec.AddSimplePredicate(0, 1, 0.25);
+  spec.FillDefaultPayloads();
+  const Predicate& p = spec.predicates[0];
+  ASSERT_EQ(p.refs.size(), 2u);
+  EXPECT_EQ(p.modulus, 4);  // 1/0.25
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+}  // namespace
+}  // namespace dphyp

@@ -1,0 +1,92 @@
+// The operator-conflict predicate OC (Sec. 5.5 / Appendix A.3) checked
+// against every row of the Fig. 9 equivalence table. OC(lower, upper) must
+// be FALSE exactly for the valid equivalences:
+//   (R B S)  ◦2 T = R B (S ◦2 T)   for ◦2 ∈ {B, G, I, T, P}   (not M)
+//   (R P S)  P T  = R P (S P T)                                (4.46)
+//   (R M S)  P T  = R M (S P T)                                (4.51)
+//   (R M S)  M T  = R M (S M T)                                (4.50)
+// and TRUE for every other combination (including all "lhs not possible"
+// rows, which are conservatively conflicting).
+#include <gtest/gtest.h>
+
+#include "reorder/ses_tes.h"
+
+namespace dphyp {
+namespace {
+
+struct OcCase {
+  OpType lower;   // ◦1: the operator nested below
+  OpType upper;   // ◦2: the ancestor
+  bool conflict;  // expected OC value
+};
+
+std::vector<OcCase> Figure9Rows() {
+  using enum OpType;
+  std::vector<OcCase> rows;
+  const OpType all[] = {kJoin,          kLeftSemijoin, kLeftAntijoin,
+                        kLeftNestjoin,  kLeftOuterjoin, kFullOuterjoin};
+  for (OpType lower : all) {
+    for (OpType upper : all) {
+      bool valid = false;
+      if (lower == kJoin && upper != kFullOuterjoin) valid = true;           // 4.44/45, linearity
+      if (lower == kLeftOuterjoin && upper == kLeftOuterjoin) valid = true;  // 4.46
+      if (lower == kFullOuterjoin && upper == kLeftOuterjoin) valid = true;  // 4.51
+      if (lower == kFullOuterjoin && upper == kFullOuterjoin) valid = true;  // 4.50
+      rows.push_back({lower, upper, !valid});
+    }
+  }
+  return rows;
+}
+
+TEST(ConflictRules, MatchesFigure9) {
+  for (const OcCase& row : Figure9Rows()) {
+    EXPECT_EQ(OperatorConflict(row.lower, row.upper), row.conflict)
+        << OpName(row.lower) << " below " << OpName(row.upper);
+  }
+}
+
+TEST(ConflictRules, DependentVariantsBehaveLikeRegular) {
+  // "each operator also stands for its dependent counterpart" (Sec. 5.5).
+  using enum OpType;
+  const std::pair<OpType, OpType> pairs[] = {
+      {kJoin, kDepJoin},
+      {kLeftSemijoin, kDepLeftSemijoin},
+      {kLeftAntijoin, kDepLeftAntijoin},
+      {kLeftOuterjoin, kDepLeftOuterjoin},
+      {kLeftNestjoin, kDepLeftNestjoin},
+  };
+  const OpType all[] = {kJoin,         kLeftSemijoin,  kLeftAntijoin,
+                        kLeftNestjoin, kLeftOuterjoin, kFullOuterjoin};
+  for (auto [regular, dependent] : pairs) {
+    for (OpType other : all) {
+      EXPECT_EQ(OperatorConflict(regular, other), OperatorConflict(dependent, other))
+          << OpName(dependent) << " as lower vs " << OpName(other);
+      EXPECT_EQ(OperatorConflict(other, regular), OperatorConflict(other, dependent))
+          << OpName(dependent) << " as upper vs " << OpName(other);
+    }
+  }
+}
+
+TEST(ConflictRules, SpecificRows) {
+  using enum OpType;
+  // Join below full outer join: GOJ 4.54, conflicting both ways.
+  EXPECT_TRUE(OperatorConflict(kJoin, kFullOuterjoin));
+  EXPECT_TRUE(OperatorConflict(kFullOuterjoin, kJoin));
+  // Join associativity: no conflict.
+  EXPECT_FALSE(OperatorConflict(kJoin, kJoin));
+  // LOJ chain (4.46): no conflict.
+  EXPECT_FALSE(OperatorConflict(kLeftOuterjoin, kLeftOuterjoin));
+  // LOJ below join: conflict (lhs simplifiable, 4.48).
+  EXPECT_TRUE(OperatorConflict(kLeftOuterjoin, kJoin));
+  // Antijoin below anything: conflict.
+  EXPECT_TRUE(OperatorConflict(kLeftAntijoin, kJoin));
+  EXPECT_TRUE(OperatorConflict(kLeftAntijoin, kLeftAntijoin));
+  // M below M / M below P: fine (4.50 / 4.51).
+  EXPECT_FALSE(OperatorConflict(kFullOuterjoin, kFullOuterjoin));
+  EXPECT_FALSE(OperatorConflict(kFullOuterjoin, kLeftOuterjoin));
+  // P below M: conflict (third clause).
+  EXPECT_TRUE(OperatorConflict(kLeftOuterjoin, kFullOuterjoin));
+}
+
+}  // namespace
+}  // namespace dphyp

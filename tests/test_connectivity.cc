@@ -1,0 +1,179 @@
+// Def. 3 connectivity oracle and csg / csg-cmp-pair counting, including the
+// closed forms from [17] that the DESIGN.md test plan lists.
+#include "hypergraph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+NodeSet Set(std::initializer_list<int> nodes) {
+  NodeSet s;
+  for (int v : nodes) s |= NodeSet::Single(v);
+  return s;
+}
+
+TEST(Connectivity, SingletonsAlwaysConnected) {
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(4));
+  ConnectivityTester t(g);
+  for (int v = 0; v < 4; ++v) EXPECT_TRUE(t.IsConnected(NodeSet::Single(v)));
+}
+
+TEST(Connectivity, ChainSubsets) {
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(5));
+  ConnectivityTester t(g);
+  EXPECT_TRUE(t.IsConnected(Set({1, 2, 3})));
+  EXPECT_FALSE(t.IsConnected(Set({0, 2})));
+  EXPECT_FALSE(t.IsConnected(Set({0, 1, 3})));
+  EXPECT_TRUE(t.IsConnected(NodeSet::FullSet(5)));
+}
+
+TEST(Connectivity, HypernodeSidesMustBeInternallyConnected) {
+  // Def. 3 subtlety: a single hyperedge ({0,1},{2}) does NOT make {0,1,2}
+  // connected, because {0,1} has no internal edge.
+  Hypergraph g;
+  for (int i = 0; i < 3; ++i) g.AddNode(HypergraphNode{"", 10.0, NodeSet()});
+  Hyperedge e;
+  e.left = Set({0, 1});
+  e.right = Set({2});
+  g.AddEdge(e);
+  ConnectivityTester t(g);
+  EXPECT_FALSE(t.IsConnected(Set({0, 1})));
+  EXPECT_FALSE(t.IsConnected(Set({0, 1, 2})));
+}
+
+TEST(Connectivity, HyperedgeWithInternalSupport) {
+  // Adding the simple edge 0-1 makes the previous example connected.
+  Hypergraph g;
+  for (int i = 0; i < 3; ++i) g.AddNode(HypergraphNode{"", 10.0, NodeSet()});
+  Hyperedge s;
+  s.left = Set({0});
+  s.right = Set({1});
+  g.AddEdge(s);
+  Hyperedge e;
+  e.left = Set({0, 1});
+  e.right = Set({2});
+  g.AddEdge(e);
+  ConnectivityTester t(g);
+  EXPECT_TRUE(t.IsConnected(Set({0, 1})));
+  EXPECT_TRUE(t.IsConnected(Set({0, 1, 2})));
+  EXPECT_FALSE(t.IsConnected(Set({0, 2})));
+}
+
+TEST(Connectivity, UnionFindOverApproximates) {
+  // Same single-hyperedge graph: union-find sees one component even though
+  // Def. 3 says disconnected — that is exactly why it is only used for
+  // repair, not as the connectivity oracle.
+  Hypergraph g;
+  for (int i = 0; i < 3; ++i) g.AddNode(HypergraphNode{"", 10.0, NodeSet()});
+  Hyperedge e;
+  e.left = Set({0, 1});
+  e.right = Set({2});
+  g.AddEdge(e);
+  EXPECT_EQ(UnionFindComponents(g).size(), 1u);
+}
+
+TEST(Connectivity, UnionFindComponents) {
+  QuerySpec spec;
+  for (int i = 0; i < 5; ++i) spec.AddRelation("R", 10.0);
+  spec.AddSimplePredicate(0, 1, 0.5);
+  spec.AddSimplePredicate(3, 4, 0.5);
+  Hypergraph g;  // build without repair: use raw graph
+  for (int i = 0; i < 5; ++i) g.AddNode(HypergraphNode{"", 10.0, NodeSet()});
+  Hyperedge e1;
+  e1.left = Set({0});
+  e1.right = Set({1});
+  g.AddEdge(e1);
+  Hyperedge e2;
+  e2.left = Set({3});
+  e2.right = Set({4});
+  g.AddEdge(e2);
+  auto comps = UnionFindComponents(g);
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], Set({0, 1}));
+  EXPECT_EQ(comps[1], Set({2}));
+  EXPECT_EQ(comps[2], Set({3, 4}));
+}
+
+// Closed-form counts from [17]:
+//   chain:  #csg = n(n+1)/2,          #ccp = (n^3 - n)/6
+//   cycle:  #csg = n^2 - n + 1,       #ccp = (n^3 - 2n^2 + n)/2
+//   star:   #csg = 2^(n-1) + n - 1,   #ccp = (n-1) * 2^(n-2)
+//   clique: #csg = 2^n - 1,           #ccp = (3^n - 2^(n+1) + 1)/2
+class ClosedFormCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosedFormCounts, Chain) {
+  const uint64_t n = GetParam();
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(static_cast<int>(n)));
+  EXPECT_EQ(CountConnectedSubgraphs(g), n * (n + 1) / 2);
+  EXPECT_EQ(CountCsgCmpPairs(g), (n * n * n - n) / 6);
+}
+
+TEST_P(ClosedFormCounts, Cycle) {
+  const uint64_t n = GetParam();
+  if (n < 3) GTEST_SKIP();
+  Hypergraph g = BuildHypergraphOrDie(MakeCycleQuery(static_cast<int>(n)));
+  EXPECT_EQ(CountConnectedSubgraphs(g), n * n - n + 1);
+  EXPECT_EQ(CountCsgCmpPairs(g), (n * n * n - 2 * n * n + n) / 2);
+}
+
+TEST_P(ClosedFormCounts, Star) {
+  const uint64_t n = GetParam();  // total relations incl. hub
+  if (n < 2) GTEST_SKIP();
+  Hypergraph g =
+      BuildHypergraphOrDie(MakeStarQuery(static_cast<int>(n) - 1));
+  EXPECT_EQ(CountConnectedSubgraphs(g), (uint64_t{1} << (n - 1)) + n - 1);
+  EXPECT_EQ(CountCsgCmpPairs(g), (n - 1) * (uint64_t{1} << (n - 2)));
+}
+
+TEST_P(ClosedFormCounts, Clique) {
+  const uint64_t n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  Hypergraph g = BuildHypergraphOrDie(MakeCliqueQuery(static_cast<int>(n)));
+  uint64_t pow3 = 1;
+  for (uint64_t i = 0; i < n; ++i) pow3 *= 3;
+  EXPECT_EQ(CountConnectedSubgraphs(g), (uint64_t{1} << n) - 1);
+  EXPECT_EQ(CountCsgCmpPairs(g), (pow3 - (uint64_t{1} << (n + 1)) + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClosedFormCounts, ::testing::Range(2, 11));
+
+TEST(Counting, EnumerationMatchesCounts) {
+  Hypergraph g = BuildHypergraphOrDie(MakeCycleHypergraphQuery(8, 1));
+  auto csgs = EnumerateConnectedSubgraphs(g);
+  auto ccps = EnumerateCsgCmpPairs(g);
+  EXPECT_EQ(csgs.size(), CountConnectedSubgraphs(g));
+  EXPECT_EQ(ccps.size(), CountCsgCmpPairs(g));
+  ConnectivityTester t(g);
+  for (auto& [s1, s2] : ccps) {
+    EXPECT_TRUE(t.IsConnected(s1));
+    EXPECT_TRUE(t.IsConnected(s2));
+    EXPECT_FALSE(s1.Intersects(s2));
+    EXPECT_TRUE(g.ConnectsSets(s1, s2));
+    EXPECT_LT(s1.Min(), s2.Min());
+  }
+}
+
+TEST(Counting, HyperedgesShrinkSearchSpace) {
+  // Splitting hyperedges weakens constraints, so csg/ccp counts must grow
+  // monotonically with the number of splits (the Sec. 4 series).
+  uint64_t prev_csg = 0, prev_ccp = 0;
+  for (int splits = 0; splits <= 3; ++splits) {
+    Hypergraph g = BuildHypergraphOrDie(MakeCycleHypergraphQuery(8, splits));
+    uint64_t csg = CountConnectedSubgraphs(g);
+    uint64_t ccp = CountCsgCmpPairs(g);
+    EXPECT_GE(csg, prev_csg);
+    EXPECT_GE(ccp, prev_ccp);
+    prev_csg = csg;
+    prev_ccp = ccp;
+  }
+  // The fully split graph (simple edges only) strictly exceeds the G0 graph.
+  EXPECT_GT(prev_ccp,
+            CountCsgCmpPairs(BuildHypergraphOrDie(MakeCycleHypergraphQuery(8, 0))));
+}
+
+}  // namespace
+}  // namespace dphyp

@@ -1,0 +1,127 @@
+#include "cost/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/factors.h"
+#include "hypergraph/builder.h"
+
+namespace dphyp {
+namespace {
+
+NodeSet Set(std::initializer_list<int> nodes) {
+  NodeSet s;
+  for (int v : nodes) s |= NodeSet::Single(v);
+  return s;
+}
+
+TEST(Factors, InnerJoinIsSelectivity) {
+  EXPECT_DOUBLE_EQ(EdgeCardinalityFactor(OpType::kJoin, 0.1, 100, 200), 0.1);
+  EXPECT_DOUBLE_EQ(EdgeCardinalityFactor(OpType::kDepJoin, 0.1, 100, 200), 0.1);
+}
+
+TEST(Factors, SemijoinBoundedByLeft) {
+  // |L ⋉ R| <= |L|: factor * R <= 1.
+  double f = EdgeCardinalityFactor(OpType::kLeftSemijoin, 0.5, 100, 200);
+  EXPECT_LE(f * 200, 1.0 + 1e-12);
+  // Low selectivity: |L ⋉ R| ≈ |L| * s * R.
+  double f2 = EdgeCardinalityFactor(OpType::kLeftSemijoin, 0.001, 100, 200);
+  EXPECT_NEAR(f2 * 200, 0.001 * 200, 1e-9);
+}
+
+TEST(Factors, AntijoinComplementsSemijoin) {
+  double anti = EdgeCardinalityFactor(OpType::kLeftAntijoin, 0.001, 100, 200);
+  EXPECT_NEAR(anti * 200, 1.0 - 0.001 * 200, 1e-9);
+  // Very selective predicate: clamp at the minimum keep fraction.
+  double clamped = EdgeCardinalityFactor(OpType::kLeftAntijoin, 1.0, 100, 200);
+  EXPECT_NEAR(clamped * 200, kMinAntijoinKeep, 1e-9);
+}
+
+TEST(Factors, OuterJoinAtLeastLeft) {
+  // |L ⟕ R| >= |L|: factor >= 1/R.
+  double f = EdgeCardinalityFactor(OpType::kLeftOuterjoin, 1e-9, 100, 200);
+  EXPECT_GE(f, 1.0 / 200 - 1e-15);
+  // Non-degenerate selectivity behaves like a join.
+  EXPECT_DOUBLE_EQ(EdgeCardinalityFactor(OpType::kLeftOuterjoin, 0.1, 100, 200),
+                   0.1);
+}
+
+TEST(Factors, FullOuterAtLeastBothSides) {
+  double f = EdgeCardinalityFactor(OpType::kFullOuterjoin, 1e-9, 100, 200);
+  // card = f * L * R >= L and >= R.
+  EXPECT_GE(f * 100 * 200, 200.0 - 1e-6);
+}
+
+TEST(Factors, NestjoinPreservesLeft) {
+  double f = EdgeCardinalityFactor(OpType::kLeftNestjoin, 0.3, 100, 200);
+  EXPECT_DOUBLE_EQ(f * 200, 1.0);  // card = |L|
+}
+
+TEST(Cardinality, ProductFormSimple) {
+  QuerySpec spec;
+  spec.AddRelation("A", 10.0);
+  spec.AddRelation("B", 20.0);
+  spec.AddRelation("C", 30.0);
+  spec.AddSimplePredicate(0, 1, 0.5);
+  spec.AddSimplePredicate(1, 2, 0.1);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  CardinalityEstimator est(g);
+  EXPECT_DOUBLE_EQ(est.Estimate(Set({0})), 10.0);
+  EXPECT_DOUBLE_EQ(est.Estimate(Set({0, 1})), 10.0 * 20.0 * 0.5);
+  // Edge (1,2) not contained in {0,1}: factor not applied.
+  EXPECT_DOUBLE_EQ(est.Estimate(Set({0, 2})), 10.0 * 30.0);
+  EXPECT_DOUBLE_EQ(est.Estimate(Set({0, 1, 2})), 10.0 * 20.0 * 30.0 * 0.5 * 0.1);
+}
+
+TEST(Cardinality, HyperedgeAppliedOnlyWhenCovered) {
+  QuerySpec spec;
+  for (int i = 0; i < 4; ++i) spec.AddRelation("R", 10.0);
+  spec.AddSimplePredicate(0, 1, 1.0);
+  spec.AddSimplePredicate(2, 3, 1.0);
+  spec.AddComplexPredicate(Set({0, 1}), Set({2, 3}), 0.01);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  CardinalityEstimator est(g);
+  EXPECT_DOUBLE_EQ(est.Estimate(Set({0, 1, 2})), 1000.0);
+  EXPECT_DOUBLE_EQ(est.Estimate(NodeSet::FullSet(4)), 10000.0 * 0.01);
+}
+
+TEST(Cardinality, OrderIndependence) {
+  // The whole point of product form: the estimate for a class is the same
+  // no matter how it is assembled (Bellman validity).
+  QuerySpec spec;
+  for (int i = 0; i < 3; ++i) spec.AddRelation("R", 100.0);
+  spec.AddSimplePredicate(0, 1, 0.2);
+  spec.AddSimplePredicate(1, 2, 0.3);
+  spec.AddSimplePredicate(0, 2, 0.4);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  CardinalityEstimator est(g);
+  // All three edges inside the full set: every factor applied exactly once.
+  EXPECT_DOUBLE_EQ(est.Estimate(NodeSet::FullSet(3)),
+                   100.0 * 100.0 * 100.0 * 0.2 * 0.3 * 0.4);
+}
+
+TEST(CostModel, CoutSumsIntermediates) {
+  CoutModel model;
+  PlanSide left{0.0, 100.0};
+  PlanSide right{0.0, 200.0};
+  EXPECT_DOUBLE_EQ(model.OperatorCost(OpType::kJoin, left, right, 500.0), 500.0);
+  PlanSide withCost{500.0, 500.0};
+  EXPECT_DOUBLE_EQ(model.OperatorCost(OpType::kJoin, withCost, right, 50.0),
+                   550.0);
+}
+
+TEST(CostModel, HashModelChargesDependentReplay) {
+  HashJoinModel model;
+  PlanSide left{0.0, 100.0};
+  PlanSide right{10.0, 50.0};
+  double regular = model.OperatorCost(OpType::kJoin, left, right, 10.0);
+  double dependent = model.OperatorCost(OpType::kDepJoin, left, right, 10.0);
+  EXPECT_GT(dependent, regular);  // re-evaluation per left tuple must hurt
+}
+
+TEST(CostModel, DefaultIsCout) {
+  EXPECT_STREQ(DefaultCostModel().name(), "Cout");
+}
+
+}  // namespace
+}  // namespace dphyp

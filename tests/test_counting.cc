@@ -1,0 +1,117 @@
+// The paper's central counting claims: any DP algorithm must evaluate at
+// least #ccp pairs (Sec. 2.2); DPhyp meets that bound exactly and its table
+// holds exactly the connected subgraphs (Sec. 3.6); DPsize/DPsub test far
+// more candidates than they keep — the motivation for the whole line of
+// work.
+#include <gtest/gtest.h>
+
+#include "baselines/all_algorithms.h"
+#include "hypergraph/builder.h"
+#include "hypergraph/connectivity.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+struct GraphCase {
+  std::string name;
+  QuerySpec spec;
+};
+
+std::vector<GraphCase> CountingCases() {
+  std::vector<GraphCase> cases;
+  cases.push_back({"chain6", MakeChainQuery(6)});
+  cases.push_back({"cycle6", MakeCycleQuery(6)});
+  cases.push_back({"star5", MakeStarQuery(5)});
+  cases.push_back({"clique5", MakeCliqueQuery(5)});
+  cases.push_back({"cycle8s0", MakeCycleHypergraphQuery(8, 0)});
+  cases.push_back({"cycle8s1", MakeCycleHypergraphQuery(8, 1)});
+  cases.push_back({"cycle8s2", MakeCycleHypergraphQuery(8, 2)});
+  cases.push_back({"cycle8s3", MakeCycleHypergraphQuery(8, 3)});
+  cases.push_back({"star8s0", MakeStarHypergraphQuery(8, 0)});
+  cases.push_back({"star8s2", MakeStarHypergraphQuery(8, 2)});
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    cases.push_back({"rand" + std::to_string(seed),
+                     MakeRandomHypergraphQuery(7, 2, seed)});
+  }
+  return cases;
+}
+
+class CcpLowerBound : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(CcpLowerBound, DphypEmitsExactlyTheCsgCmpPairs) {
+  Hypergraph g = BuildHypergraphOrDie(GetParam().spec);
+  OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.stats.ccp_pairs, CountCsgCmpPairs(g));
+}
+
+TEST_P(CcpLowerBound, DphypTableHoldsExactlyTheCsgs) {
+  Hypergraph g = BuildHypergraphOrDie(GetParam().spec);
+  OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.stats.dp_entries, CountConnectedSubgraphs(g));
+}
+
+TEST_P(CcpLowerBound, BaselinesReachTheSameTableButTestMore) {
+  Hypergraph g = BuildHypergraphOrDie(GetParam().spec);
+  const uint64_t ccp = CountCsgCmpPairs(g);
+  const uint64_t csg = CountConnectedSubgraphs(g);
+
+  OptimizeResult sub = Optimize(Algorithm::kDpsub, g);
+  ASSERT_TRUE(sub.success);
+  EXPECT_EQ(sub.stats.dp_entries, csg);
+  EXPECT_EQ(sub.stats.ccp_pairs, ccp);  // DPsub submits each split once
+  EXPECT_GE(sub.stats.pairs_tested, ccp);
+
+  OptimizeResult size = Optimize(Algorithm::kDpsize, g);
+  ASSERT_TRUE(size.success);
+  EXPECT_EQ(size.stats.dp_entries, csg);
+  // DPsize submits ordered pairs: 2x the unordered count.
+  EXPECT_EQ(size.stats.ccp_pairs, 2 * ccp);
+  EXPECT_GE(size.stats.pairs_tested, 2 * ccp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, CcpLowerBound,
+                         ::testing::ValuesIn(CountingCases()),
+                         [](const ::testing::TestParamInfo<GraphCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(Counting, DpsizeFailureRatioGrowsOnStars) {
+  // [17]'s observation: DPsize's (*) tests fail increasingly often. On a
+  // star, tested pairs grow much faster than kept pairs.
+  Hypergraph small = BuildHypergraphOrDie(MakeStarQuery(5));
+  Hypergraph large = BuildHypergraphOrDie(MakeStarQuery(9));
+  OptimizeResult rs = Optimize(Algorithm::kDpsize, small);
+  OptimizeResult rl = Optimize(Algorithm::kDpsize, large);
+  ASSERT_TRUE(rs.success && rl.success);
+  double ratio_small =
+      static_cast<double>(rs.stats.pairs_tested) / rs.stats.ccp_pairs;
+  double ratio_large =
+      static_cast<double>(rl.stats.pairs_tested) / rl.stats.ccp_pairs;
+  EXPECT_GT(ratio_large, ratio_small);
+}
+
+TEST(Counting, DphypNeverDiscardsWithoutTesMode) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Hypergraph g =
+        BuildHypergraphOrDie(MakeRandomHypergraphQuery(7, 2, seed));
+    OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.stats.discarded, 0u) << seed;
+  }
+}
+
+TEST(Counting, MemoryAccountingPopulated) {
+  Hypergraph g = BuildHypergraphOrDie(MakeCycleHypergraphQuery(8, 1));
+  OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.stats.table_bytes, 0u);
+  // Sec. 3.6: memory ~ one entry per connected subgraph; all variants agree.
+  OptimizeResult r2 = Optimize(Algorithm::kDpsub, g);
+  EXPECT_EQ(r.stats.dp_entries, r2.stats.dp_entries);
+}
+
+}  // namespace
+}  // namespace dphyp

@@ -1,0 +1,209 @@
+// DPhyp correctness: optimality against an independent brute force, the
+// Fig. 2 running example, plan validity, and structural properties.
+#include "core/dphyp.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "hypergraph/builder.h"
+#include "hypergraph/connectivity.h"
+#include "test_helpers.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+using testing_helpers::BruteForceOptimizer;
+using testing_helpers::CostsClose;
+
+NodeSet Set(std::initializer_list<int> nodes) {
+  NodeSet s;
+  for (int v : nodes) s |= NodeSet::Single(v);
+  return s;
+}
+
+QuerySpec Figure2Spec() {
+  QuerySpec spec;
+  for (int i = 0; i < 6; ++i) spec.AddRelation("R" + std::to_string(i + 1), 100.0);
+  spec.AddSimplePredicate(0, 1, 0.1);
+  spec.AddSimplePredicate(1, 2, 0.2);
+  spec.AddSimplePredicate(3, 4, 0.1);
+  spec.AddSimplePredicate(4, 5, 0.2);
+  spec.AddComplexPredicate(Set({0, 1, 2}), Set({3, 4, 5}), 0.01);
+  return spec;
+}
+
+TEST(Dphyp, SingleRelation) {
+  QuerySpec spec;
+  spec.AddRelation("only", 42.0);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  OptimizeResult r = OptimizeDphyp(g);
+  ASSERT_TRUE(r.success);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+  EXPECT_DOUBLE_EQ(r.cardinality, 42.0);
+}
+
+TEST(Dphyp, TwoRelations) {
+  QuerySpec spec;
+  spec.AddRelation("A", 10.0);
+  spec.AddRelation("B", 50.0);
+  spec.AddSimplePredicate(0, 1, 0.1);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  OptimizeResult r = OptimizeDphyp(g);
+  ASSERT_TRUE(r.success);
+  EXPECT_DOUBLE_EQ(r.cardinality, 10.0 * 50.0 * 0.1);
+  EXPECT_DOUBLE_EQ(r.cost, 50.0);  // C_out: one intermediate result
+  EXPECT_EQ(r.stats.ccp_pairs, 1u);
+}
+
+TEST(Dphyp, Figure2ExampleSolves) {
+  Hypergraph g = BuildHypergraphOrDie(Figure2Spec());
+  OptimizeResult r = OptimizeDphyp(g);
+  ASSERT_TRUE(r.success) << r.error;
+  // The trace in Fig. 3 shows the table reaching the full set; the plan must
+  // assemble both chains before crossing the hyperedge.
+  PlanTree tree = r.ExtractPlan(g);
+  EXPECT_EQ(tree.root()->set, NodeSet::FullSet(6));
+  // Root operator must carry the hyperedge predicate (edge 4).
+  ASSERT_FALSE(tree.root()->edge_ids.empty());
+  EXPECT_EQ(tree.root()->edge_ids[0], 4);
+  // Its children are exactly the two chains.
+  EXPECT_TRUE((tree.root()->left->set == Set({0, 1, 2}) &&
+               tree.root()->right->set == Set({3, 4, 5})) ||
+              (tree.root()->left->set == Set({3, 4, 5}) &&
+               tree.root()->right->set == Set({0, 1, 2})));
+}
+
+TEST(Dphyp, Figure2TableContainsOnlyConnectedSets) {
+  Hypergraph g = BuildHypergraphOrDie(Figure2Spec());
+  OptimizeResult r = OptimizeDphyp(g);
+  ASSERT_TRUE(r.success);
+  ConnectivityTester tester(g);
+  for (const PlanEntry& e : r.table.entries()) {
+    EXPECT_TRUE(tester.IsConnected(e.set)) << e.set.ToString();
+  }
+  EXPECT_EQ(r.stats.dp_entries, CountConnectedSubgraphs(g));
+}
+
+TEST(Dphyp, DisconnectedWithoutRepairFails) {
+  Hypergraph g;
+  g.AddNode(HypergraphNode{"A", 10.0, NodeSet()});
+  g.AddNode(HypergraphNode{"B", 10.0, NodeSet()});
+  // No edges: not connected, no repair (raw graph, not via builder).
+  OptimizeResult r = OptimizeDphyp(g);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Dphyp, PlanIsValidTree) {
+  Hypergraph g = BuildHypergraphOrDie(MakeCycleHypergraphQuery(8, 2));
+  OptimizeResult r = OptimizeDphyp(g);
+  ASSERT_TRUE(r.success);
+  PlanTree tree = r.ExtractPlan(g);
+  // Every inner node: children partition the set, and some edge connects
+  // them.
+  std::function<void(const PlanTreeNode*)> walk = [&](const PlanTreeNode* n) {
+    if (n->IsLeaf()) {
+      EXPECT_TRUE(n->set.IsSingleton());
+      return;
+    }
+    EXPECT_EQ(n->left->set | n->right->set, n->set);
+    EXPECT_FALSE(n->left->set.Intersects(n->right->set));
+    EXPECT_TRUE(g.ConnectsSets(n->left->set, n->right->set));
+    EXPECT_FALSE(n->edge_ids.empty());
+    walk(n->left);
+    walk(n->right);
+  };
+  walk(tree.root());
+}
+
+// Optimality against the independent brute force, over the classic graph
+// shapes at several sizes.
+struct ShapeCase {
+  const char* shape;
+  int n;
+};
+
+class DphypOptimality : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(DphypOptimality, MatchesBruteForce) {
+  const auto& param = GetParam();
+  QuerySpec spec;
+  std::string shape = param.shape;
+  if (shape == "chain") {
+    spec = MakeChainQuery(param.n);
+  } else if (shape == "cycle") {
+    spec = MakeCycleQuery(param.n);
+  } else if (shape == "star") {
+    spec = MakeStarQuery(param.n - 1);
+  } else {
+    spec = MakeCliqueQuery(param.n);
+  }
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  CardinalityEstimator est(g);
+  BruteForceOptimizer brute(g, est, DefaultCostModel());
+  OptimizeResult r = OptimizeDphyp(g, est, DefaultCostModel());
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_TRUE(CostsClose(r.cost, brute.BestCost(g.AllNodes())))
+      << r.cost << " vs " << brute.BestCost(g.AllNodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DphypOptimality,
+    ::testing::Values(ShapeCase{"chain", 2}, ShapeCase{"chain", 5},
+                      ShapeCase{"chain", 8}, ShapeCase{"cycle", 3},
+                      ShapeCase{"cycle", 6}, ShapeCase{"cycle", 9},
+                      ShapeCase{"star", 4}, ShapeCase{"star", 7},
+                      ShapeCase{"star", 10}, ShapeCase{"clique", 4},
+                      ShapeCase{"clique", 6}, ShapeCase{"clique", 8}),
+    [](const ::testing::TestParamInfo<ShapeCase>& info) {
+      return std::string(info.param.shape) + std::to_string(info.param.n);
+    });
+
+// Optimality on random hypergraphs — the paper's actual subject matter.
+class DphypHypergraphOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(DphypHypergraphOptimality, MatchesBruteForceOnRandomHypergraphs) {
+  const uint64_t seed = GetParam();
+  QuerySpec spec = MakeRandomHypergraphQuery(7, 3, seed);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  CardinalityEstimator est(g);
+  BruteForceOptimizer brute(g, est, DefaultCostModel());
+  OptimizeResult r = OptimizeDphyp(g, est, DefaultCostModel());
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_TRUE(CostsClose(r.cost, brute.BestCost(g.AllNodes())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DphypHypergraphOptimality,
+                         ::testing::Range(1, 26));
+
+// Optimality under the alternative cost model as well.
+TEST(Dphyp, OptimalUnderHashModel) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    QuerySpec spec = MakeRandomGraphQuery(7, 0.3, seed);
+    Hypergraph g = BuildHypergraphOrDie(spec);
+    CardinalityEstimator est(g);
+    HashJoinModel model;
+    BruteForceOptimizer brute(g, est, model);
+    OptimizeResult r = OptimizeDphyp(g, est, model);
+    ASSERT_TRUE(r.success);
+    EXPECT_TRUE(CostsClose(r.cost, brute.BestCost(g.AllNodes()))) << seed;
+  }
+}
+
+TEST(Dphyp, SplitSeriesAllSolve) {
+  for (int splits = 0; splits <= 3; ++splits) {
+    Hypergraph g = BuildHypergraphOrDie(MakeCycleHypergraphQuery(8, splits));
+    OptimizeResult r = OptimizeDphyp(g);
+    ASSERT_TRUE(r.success) << "cycle splits=" << splits;
+  }
+  for (int splits = 0; splits <= 3; ++splits) {
+    Hypergraph g = BuildHypergraphOrDie(MakeStarHypergraphQuery(8, splits));
+    OptimizeResult r = OptimizeDphyp(g);
+    ASSERT_TRUE(r.success) << "star splits=" << splits;
+  }
+}
+
+}  // namespace
+}  // namespace dphyp

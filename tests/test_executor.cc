@@ -1,0 +1,188 @@
+// Operator semantics of the mini executor on hand-checked inputs.
+//
+// Fixture data (single column each):
+//   R0 = [0, 1, 2, 3]        R1 = [0, 2, 4, 5]
+// Predicate: R0.c0 + R1.c0 ≡ 0 (mod 2), i.e. equal parity.
+//   R0 row matches: 0 -> {0,2,4}, 1 -> {5}, 2 -> {0,2,4}, 3 -> {5}.
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+
+namespace dphyp {
+namespace {
+
+ExecRelation Table(std::vector<int64_t> column) {
+  ExecRelation t;
+  t.num_columns = 1;
+  for (int64_t v : column) t.rows.push_back({v});
+  return t;
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() {
+    spec_.AddRelation("R0", 4.0, 1);
+    spec_.AddRelation("R1", 4.0, 1);
+    int p = spec_.AddSimplePredicate(0, 1, 0.5);
+    spec_.predicates[p].refs = {{0, 0}, {1, 0}};
+    spec_.predicates[p].modulus = 2;
+    graph_ = BuildHypergraphOrDie(spec_);
+    dataset_ = Dataset::FromTables({Table({0, 1, 2, 3}), Table({0, 2, 4, 5})});
+  }
+
+  ExecResult Run(OpType op) {
+    // The hypergraph edge must carry the operator under test (nestjoins
+    // anchor their aggregate on their edge's right side).
+    spec_.predicates[0].op = op;
+    graph_ = BuildHypergraphOrDie(spec_);
+    PlanBuilder builder;
+    const PlanTreeNode* l = builder.Leaf(0, 4);
+    const PlanTreeNode* r = builder.Leaf(1, 4);
+    PlanTree plan = builder.Build(builder.Op(op, l, r, {0}));
+    Executor exec(dataset_, graph_, spec_.relations,
+                  ConjunctsFromSpec(spec_, graph_));
+    return exec.Execute(plan);
+  }
+
+  QuerySpec spec_;
+  Hypergraph graph_;
+  Dataset dataset_;
+};
+
+TEST_F(ExecutorTest, InnerJoin) {
+  ExecResult r = Run(OpType::kJoin);
+  // Even R0 rows (0,2) x even R1 rows (0,2,4) + odd x odd (1,3)x(5).
+  EXPECT_EQ(r.tuples.size(), 2u * 3 + 2 * 1);
+}
+
+TEST_F(ExecutorTest, LeftSemijoin) {
+  ExecResult r = Run(OpType::kLeftSemijoin);
+  ASSERT_EQ(r.tuples.size(), 4u);  // every R0 row has a match
+  for (const ExecTuple& t : r.tuples) {
+    EXPECT_EQ(t.rows[1], ExecTuple::kAbsent);  // right side projected away
+    EXPECT_GE(t.rows[0], 0);
+  }
+}
+
+TEST_F(ExecutorTest, LeftAntijoin) {
+  ExecResult r = Run(OpType::kLeftAntijoin);
+  EXPECT_TRUE(r.tuples.empty());  // every R0 row matches something
+}
+
+TEST_F(ExecutorTest, LeftOuterjoinNoUnmatched) {
+  ExecResult outer = Run(OpType::kLeftOuterjoin);
+  ExecResult inner = Run(OpType::kJoin);
+  EXPECT_TRUE(outer.SameAs(inner));  // all rows match: LOJ == join
+}
+
+TEST_F(ExecutorTest, FullOuterPadsUnmatchedRight) {
+  // R1 row 5 (value 5, odd) matches R0 rows 1,3 — everything matches, so
+  // first check equality with inner; then remove odd R0 rows via a second
+  // dataset to create unmatched right rows.
+  ExecResult foj = Run(OpType::kFullOuterjoin);
+  ExecResult inner = Run(OpType::kJoin);
+  EXPECT_TRUE(foj.SameAs(inner));
+
+  dataset_ = Dataset::FromTables({Table({0, 2}), Table({0, 2, 4, 5})});
+  ExecResult foj2 = Run(OpType::kFullOuterjoin);
+  // matches: 2 x {0,2,4} = 6; unmatched right: row 3 (value 5) -> 1 padded.
+  EXPECT_EQ(foj2.tuples.size(), 7u);
+  int padded = 0;
+  for (const ExecTuple& t : foj2.tuples) {
+    if (t.rows[0] == ExecTuple::kNull) ++padded;
+  }
+  EXPECT_EQ(padded, 1);
+}
+
+TEST_F(ExecutorTest, LeftOuterjoinPadsUnmatchedLeft) {
+  dataset_ = Dataset::FromTables({Table({0, 1}), Table({0})});
+  ExecResult r = Run(OpType::kLeftOuterjoin);
+  // R0 value 0 matches R1 value 0; R0 value 1 unmatched -> NULL-padded.
+  ASSERT_EQ(r.tuples.size(), 2u);
+  int padded = 0;
+  for (const ExecTuple& t : r.tuples) {
+    if (t.rows[1] == ExecTuple::kNull) ++padded;
+  }
+  EXPECT_EQ(padded, 1);
+}
+
+TEST_F(ExecutorTest, NestjoinAggregatesPerLeftTuple) {
+  ExecResult r = Run(OpType::kLeftNestjoin);
+  ASSERT_EQ(r.tuples.size(), 4u);  // one output per R0 row, always
+  for (const ExecTuple& t : r.tuples) {
+    ASSERT_EQ(t.extras.size(), 1u);
+    EXPECT_EQ(t.extras[0].first, 0);  // keyed by edge 0
+    int64_t value = t.extras[0].second;
+    int64_t count = value / 1000003;
+    int64_t sum = value % 1000003;
+    if (dataset_.table(0).Value(t.rows[0], 0) % 2 == 0) {
+      EXPECT_EQ(count, 3);      // matches {0,2,4}
+      EXPECT_EQ(sum, 0 + 2 + 4);
+    } else {
+      EXPECT_EQ(count, 1);      // matches {5}
+      EXPECT_EQ(sum, 5);
+    }
+  }
+}
+
+TEST_F(ExecutorTest, StrongPredicateRejectsNull) {
+  // (R0 LOJ R1) with an unmatched left row, then joined again: the NULL
+  // side must fail the predicate (strongness).
+  dataset_ = Dataset::FromTables({Table({0, 1}), Table({0})});
+  ExecResult loj = Run(OpType::kLeftOuterjoin);
+  ASSERT_EQ(loj.tuples.size(), 2u);
+  // Simulate predicate evaluation against the padded tuple by running a
+  // semijoin on top conceptually: here we just assert padding exists; the
+  // reorder_semantics tests exercise full NULL flows.
+  bool has_null = false;
+  for (const ExecTuple& t : loj.tuples) {
+    if (t.rows[1] == ExecTuple::kNull) has_null = true;
+  }
+  EXPECT_TRUE(has_null);
+}
+
+TEST(ExecutorLateral, DependentJoinFiltersPerOuterRow) {
+  // R0 = [0,1,2]; F1 = lateral leaf over R0 with correlation
+  // R0.c0 + F1.c0 ≡ 0 (mod 2); join predicate TRUE (modulus 1).
+  QuerySpec spec;
+  spec.AddRelation("R0", 3.0, 1);
+  spec.AddRelation("F1", 4.0, 1);
+  spec.relations[1].free_tables = NodeSet::Single(0);
+  spec.relations[1].corr_refs = {{1, 0}, {0, 0}};
+  spec.relations[1].corr_modulus = 2;
+  int p = spec.AddSimplePredicate(0, 1, 1.0);
+  spec.predicates[p].refs = {{0, 0}, {1, 0}};
+  spec.predicates[p].modulus = 1;  // always true
+  Hypergraph graph = BuildHypergraphOrDie(spec);
+  Dataset ds = Dataset::FromTables({
+      ExecRelation{1, {{0}, {1}, {2}}},
+      ExecRelation{1, {{0}, {1}, {2}, {3}}},
+  });
+
+  PlanBuilder builder;
+  const PlanTreeNode* l = builder.Leaf(0, 3);
+  const PlanTreeNode* r = builder.Leaf(1, 4);
+  PlanTree plan = builder.Build(builder.Op(OpType::kDepJoin, l, r, {0}));
+  Executor exec(ds, graph, spec.relations, ConjunctsFromSpec(spec, graph));
+  ExecResult result = exec.Execute(plan);
+  // Each outer row keeps the F1 rows of equal parity: 2 per outer row.
+  EXPECT_EQ(result.tuples.size(), 6u);
+}
+
+TEST(ExecResultTest, CanonicalDetectsDifferences) {
+  ExecResult a, b;
+  ExecTuple t1;
+  t1.rows = {0, 1};
+  ExecTuple t2;
+  t2.rows = {1, 0};
+  a.tuples = {t1, t2};
+  b.tuples = {t2, t1};  // order must not matter
+  EXPECT_TRUE(a.SameAs(b));
+  b.tuples = {t1, t1};
+  EXPECT_FALSE(a.SameAs(b));
+}
+
+}  // namespace
+}  // namespace dphyp

@@ -1,0 +1,108 @@
+// Broad randomized stress sweep tying every invariant together: for many
+// random hypergraphs (plain and generalized), check in one pass that
+//   * DPhyp's emit count equals the definitional csg-cmp-pair count,
+//   * its table holds exactly the connected subgraphs,
+//   * every algorithm agrees on the optimal cost and table size,
+//   * the extracted plan validates structurally,
+//   * and no duplicate csg-cmp-pair is ever emitted (checked via the
+//     counting identity: pairs == |distinct pairs| == lower bound).
+#include <gtest/gtest.h>
+
+#include "baselines/all_algorithms.h"
+#include "hypergraph/builder.h"
+#include "hypergraph/connectivity.h"
+#include "plan/validate.h"
+#include "test_helpers.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+using testing_helpers::CostsClose;
+
+struct FuzzCase {
+  uint64_t seed;
+  int relations;
+  int complex_edges;
+};
+
+class FuzzSweep : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FuzzSweep, AllInvariantsHold) {
+  const FuzzCase& c = GetParam();
+  QuerySpec spec =
+      MakeRandomHypergraphQuery(c.relations, c.complex_edges, c.seed);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  CardinalityEstimator est(g);
+
+  OptimizeResult reference = Optimize(Algorithm::kDphyp, g, est,
+                                      DefaultCostModel());
+  ASSERT_TRUE(reference.success) << reference.error;
+
+  // Counting invariants against the definitional oracle.
+  EXPECT_EQ(reference.stats.ccp_pairs, CountCsgCmpPairs(g));
+  EXPECT_EQ(reference.stats.dp_entries, CountConnectedSubgraphs(g));
+  EXPECT_EQ(reference.stats.discarded, 0u);
+
+  // Structural plan validity.
+  PlanTree plan = reference.ExtractPlan(g);
+  Result<bool> valid = ValidatePlanTree(g, plan);
+  EXPECT_TRUE(valid.ok()) << valid.error().message;
+  EXPECT_DOUBLE_EQ(plan.root()->cost, reference.cost);
+
+  // Cross-algorithm agreement.
+  for (Algorithm algo : {Algorithm::kDpsize, Algorithm::kDpsub,
+                         Algorithm::kTdBasic, Algorithm::kTdPartition}) {
+    OptimizeResult r = Optimize(algo, g, est, DefaultCostModel());
+    ASSERT_TRUE(r.success) << AlgorithmName(algo);
+    EXPECT_TRUE(CostsClose(r.cost, reference.cost)) << AlgorithmName(algo);
+    EXPECT_EQ(r.stats.dp_entries, reference.stats.dp_entries)
+        << AlgorithmName(algo);
+    EXPECT_DOUBLE_EQ(r.cardinality, reference.cardinality)
+        << AlgorithmName(algo);
+  }
+}
+
+std::vector<FuzzCase> FuzzCases() {
+  std::vector<FuzzCase> cases;
+  for (uint64_t seed = 100; seed < 130; ++seed) {
+    cases.push_back({seed, 6, 2});
+  }
+  for (uint64_t seed = 200; seed < 220; ++seed) {
+    cases.push_back({seed, 8, 3});
+  }
+  for (uint64_t seed = 300; seed < 310; ++seed) {
+    cases.push_back({seed, 9, 4});
+  }
+  // Edge-heavy small graphs (subsumption-prone neighborhoods).
+  for (uint64_t seed = 400; seed < 410; ++seed) {
+    cases.push_back({seed, 5, 5});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FuzzSweep, ::testing::ValuesIn(FuzzCases()),
+                         [](const ::testing::TestParamInfo<FuzzCase>& info) {
+                           return "s" + std::to_string(info.param.seed) + "n" +
+                                  std::to_string(info.param.relations);
+                         });
+
+TEST(FuzzSweep, LargeQuerySmoke) {
+  // 20 relations — beyond every exponential oracle, exercising only the
+  // production path: DPhyp must solve a 20-relation chain+hyperedge query
+  // quickly and agree with DPccp-free baselines on the final class.
+  QuerySpec spec = MakeChainQuery(20);
+  spec.AddComplexPredicate(NodeSet::FullSet(3),
+                           NodeSet::Single(17) | NodeSet::Single(18) |
+                               NodeSet::Single(19),
+                           0.01);
+  spec.FillDefaultPayloads();
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.stats.dp_entries,
+            Optimize(Algorithm::kTdPartition, g).stats.dp_entries);
+}
+
+}  // namespace
+}  // namespace dphyp

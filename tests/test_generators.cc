@@ -1,0 +1,179 @@
+// Workload generator structure tests, including the exact G0..G3 hyperedge
+// split sequence the paper describes for the 8-cycle (Sec. 4).
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hypergraph/builder.h"
+#include "hypergraph/connectivity.h"
+
+namespace dphyp {
+namespace {
+
+NodeSet Set(std::initializer_list<int> nodes) {
+  NodeSet s;
+  for (int v : nodes) s |= NodeSet::Single(v);
+  return s;
+}
+
+TEST(Generators, ChainStructure) {
+  QuerySpec spec = MakeChainQuery(5);
+  EXPECT_EQ(spec.NumRelations(), 5);
+  ASSERT_EQ(spec.predicates.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(spec.predicates[i].left, NodeSet::Single(i));
+    EXPECT_EQ(spec.predicates[i].right, NodeSet::Single(i + 1));
+  }
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(Generators, CycleClosesTheLoop) {
+  QuerySpec spec = MakeCycleQuery(6);
+  ASSERT_EQ(spec.predicates.size(), 6u);
+  const Predicate& closing = spec.predicates.back();
+  EXPECT_EQ(closing.left | closing.right, Set({0, 5}));
+}
+
+TEST(Generators, StarHubCenter) {
+  QuerySpec spec = MakeStarQuery(8);
+  EXPECT_EQ(spec.NumRelations(), 9);
+  ASSERT_EQ(spec.predicates.size(), 8u);
+  for (const Predicate& p : spec.predicates) {
+    EXPECT_TRUE(p.left.Contains(0));
+    EXPECT_EQ(p.right.Count(), 1);
+  }
+}
+
+TEST(Generators, CliqueEdgeCount) {
+  QuerySpec spec = MakeCliqueQuery(6);
+  EXPECT_EQ(spec.predicates.size(), 15u);  // C(6,2)
+}
+
+TEST(Generators, Deterministic) {
+  QuerySpec a = MakeChainQuery(6, {.seed = 7});
+  QuerySpec b = MakeChainQuery(6, {.seed = 7});
+  QuerySpec c = MakeChainQuery(6, {.seed = 8});
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(a.relations[i].cardinality, b.relations[i].cardinality);
+  }
+  bool any_diff = false;
+  for (int i = 0; i < 6; ++i) {
+    if (a.relations[i].cardinality != c.relations[i].cardinality)
+      any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, CycleHypergraphG0MatchesFigure4a) {
+  QuerySpec spec = MakeCycleHypergraphQuery(8, 0);
+  ASSERT_EQ(spec.predicates.size(), 9u);  // 8 cycle edges + 1 hyperedge
+  const Predicate& hyper = spec.predicates.back();
+  EXPECT_EQ(hyper.left, Set({0, 1, 2, 3}));
+  EXPECT_EQ(hyper.right, Set({4, 5, 6, 7}));
+}
+
+TEST(Generators, CycleHypergraphSplitSequenceMatchesPaper) {
+  // G1: ({R0,R1},{R6,R7}) and ({R2,R3},{R4,R5}).
+  {
+    QuerySpec spec = MakeCycleHypergraphQuery(8, 1);
+    ASSERT_EQ(spec.predicates.size(), 10u);
+    std::set<std::pair<uint64_t, uint64_t>> got;
+    for (size_t i = 8; i < spec.predicates.size(); ++i) {
+      got.insert({spec.predicates[i].left.bits(), spec.predicates[i].right.bits()});
+    }
+    std::set<std::pair<uint64_t, uint64_t>> want = {
+        {Set({0, 1}).bits(), Set({6, 7}).bits()},
+        {Set({2, 3}).bits(), Set({4, 5}).bits()}};
+    EXPECT_EQ(got, want);
+  }
+  // G2 additionally splits the first hyperedge into ({R0},{R6}), ({R1},{R7}).
+  {
+    QuerySpec spec = MakeCycleHypergraphQuery(8, 2);
+    ASSERT_EQ(spec.predicates.size(), 11u);
+    std::set<std::pair<uint64_t, uint64_t>> got;
+    for (size_t i = 8; i < spec.predicates.size(); ++i) {
+      got.insert({spec.predicates[i].left.bits(), spec.predicates[i].right.bits()});
+    }
+    std::set<std::pair<uint64_t, uint64_t>> want = {
+        {Set({2, 3}).bits(), Set({4, 5}).bits()},
+        {Set({0}).bits(), Set({6}).bits()},
+        {Set({1}).bits(), Set({7}).bits()}};
+    EXPECT_EQ(got, want);
+  }
+  // G3: everything simple: (R0,R6), (R1,R7), (R2,R4), (R3,R5).
+  {
+    QuerySpec spec = MakeCycleHypergraphQuery(8, 3);
+    std::set<std::pair<uint64_t, uint64_t>> got;
+    for (size_t i = 8; i < spec.predicates.size(); ++i) {
+      const Predicate& p = spec.predicates[i];
+      EXPECT_TRUE(p.IsSimple());
+      got.insert({p.left.bits(), p.right.bits()});
+    }
+    std::set<std::pair<uint64_t, uint64_t>> want = {
+        {Set({0}).bits(), Set({6}).bits()},
+        {Set({1}).bits(), Set({7}).bits()},
+        {Set({2}).bits(), Set({4}).bits()},
+        {Set({3}).bits(), Set({5}).bits()}};
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(Generators, SplitEdgesNeverDuplicateBaseEdges) {
+  for (int n : {8, 16}) {
+    for (int splits = 0; splits <= MaxHyperedgeSplits(n / 2); ++splits) {
+      QuerySpec spec = MakeCycleHypergraphQuery(n, splits);
+      std::set<std::pair<uint64_t, uint64_t>> seen;
+      for (const Predicate& p : spec.predicates) {
+        uint64_t a = p.left.bits(), b = p.right.bits();
+        if (a > b) std::swap(a, b);
+        EXPECT_TRUE(seen.insert({a, b}).second)
+            << "duplicate edge at n=" << n << " splits=" << splits;
+      }
+    }
+  }
+}
+
+TEST(Generators, StarHypergraphMatchesFigure4b) {
+  QuerySpec spec = MakeStarHypergraphQuery(8, 0);
+  EXPECT_EQ(spec.NumRelations(), 9);
+  ASSERT_EQ(spec.predicates.size(), 9u);
+  const Predicate& hyper = spec.predicates.back();
+  EXPECT_EQ(hyper.left, Set({1, 2, 3, 4}));
+  EXPECT_EQ(hyper.right, Set({5, 6, 7, 8}));
+}
+
+TEST(Generators, MaxSplitCountsMatchPaperAxes) {
+  // Fig. 5/6 x-axes: cycle-8 and star-8 go to 3 splits; the 16-relation
+  // variants go to 7.
+  EXPECT_EQ(MaxHyperedgeSplits(8 / 2), 3);
+  EXPECT_EQ(MaxHyperedgeSplits(16 / 2), 7);
+  // The last split yields an all-simple graph; one more must be impossible.
+  QuerySpec spec = MakeCycleHypergraphQuery(8, 3);
+  for (const Predicate& p : spec.predicates) EXPECT_TRUE(p.IsSimple());
+}
+
+TEST(Generators, RandomGraphsAreConnectedAndValid) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    QuerySpec spec = MakeRandomGraphQuery(9, 0.2, seed);
+    ASSERT_TRUE(spec.Validate().ok());
+    Hypergraph g = BuildHypergraphOrDie(spec);
+    ConnectivityTester t(g);
+    EXPECT_TRUE(t.IsConnected(g.AllNodes())) << seed;
+  }
+}
+
+TEST(Generators, RandomHypergraphsAreConnectedAndValid) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    QuerySpec spec = MakeRandomHypergraphQuery(8, 3, seed);
+    ASSERT_TRUE(spec.Validate().ok());
+    Hypergraph g = BuildHypergraphOrDie(spec);
+    ConnectivityTester t(g);
+    EXPECT_TRUE(t.IsConnected(g.AllNodes())) << seed;
+    EXPECT_FALSE(g.complex_edge_ids().empty()) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dphyp

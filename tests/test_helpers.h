@@ -1,0 +1,73 @@
+// Shared helpers for algorithm tests: an independent brute-force optimizer
+// used as the ground-truth reference.
+#ifndef DPHYP_TESTS_TEST_HELPERS_H_
+#define DPHYP_TESTS_TEST_HELPERS_H_
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "hypergraph/hypergraph.h"
+#include "util/node_set.h"
+#include "util/subset.h"
+
+namespace dphyp {
+namespace testing_helpers {
+
+/// Plain memoized recursion over all set splits; deliberately written
+/// independently of the library's enumeration machinery (no DP table, no
+/// csg-cmp logic) so it can serve as an oracle for inner-join-only queries.
+class BruteForceOptimizer {
+ public:
+  BruteForceOptimizer(const Hypergraph& graph, const CardinalityEstimator& est,
+                      const CostModel& model)
+      : graph_(graph), est_(est), model_(model) {}
+
+  /// Optimal cost for the class S, or +inf if S is not connected.
+  double BestCost(NodeSet S) {
+    if (S.IsSingleton()) return 0.0;
+    auto it = memo_.find(S.bits());
+    if (it != memo_.end()) return it->second;
+    double best = std::numeric_limits<double>::infinity();
+    const double out_card = est_.Estimate(S);
+    NodeSet rest = S.MinusMin();
+    auto consider = [&](NodeSet S1, NodeSet S2) {
+      if (!graph_.ConnectsSets(S1, S2)) return;
+      double c1 = BestCost(S1);
+      double c2 = BestCost(S2);
+      if (std::isinf(c1) || std::isinf(c2)) return;
+      PlanSide a{c1, est_.Estimate(S1)};
+      PlanSide b{c2, est_.Estimate(S2)};
+      // Inner joins only: both orientations are valid.
+      best = std::min(best, model_.OperatorCost(OpType::kJoin, a, b, out_card));
+      best = std::min(best, model_.OperatorCost(OpType::kJoin, b, a, out_card));
+    };
+    for (NodeSet part : NonEmptySubsetsOf(rest)) {
+      if (part == rest) break;
+      consider(S.MinSet() | part, S - (S.MinSet() | part));
+    }
+    consider(S.MinSet(), rest);
+    memo_[S.bits()] = best;
+    return best;
+  }
+
+ private:
+  const Hypergraph& graph_;
+  const CardinalityEstimator& est_;
+  const CostModel& model_;
+  std::unordered_map<uint64_t, double> memo_;
+};
+
+/// Relative-tolerance comparison for costs accumulated in different orders.
+inline bool CostsClose(double a, double b, double rel = 1e-9) {
+  if (a == b) return true;
+  double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= rel * scale;
+}
+
+}  // namespace testing_helpers
+}  // namespace dphyp
+
+#endif  // DPHYP_TESTS_TEST_HELPERS_H_

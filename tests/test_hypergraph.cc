@@ -1,0 +1,159 @@
+#include "hypergraph/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+NodeSet Set(std::initializer_list<int> nodes) {
+  NodeSet s;
+  for (int v : nodes) s |= NodeSet::Single(v);
+  return s;
+}
+
+/// The paper's running example (Fig. 2): simple edges R1-R2, R2-R3, R4-R5,
+/// R5-R6 and the hyperedge ({R1,R2,R3},{R4,R5,R6}). Our node indices are
+/// zero-based: Ri -> i-1.
+Hypergraph Figure2Graph() {
+  Hypergraph g;
+  for (int i = 0; i < 6; ++i) {
+    g.AddNode(HypergraphNode{"R" + std::to_string(i + 1), 100.0, NodeSet()});
+  }
+  auto simple = [&](int a, int b) {
+    Hyperedge e;
+    e.left = NodeSet::Single(a);
+    e.right = NodeSet::Single(b);
+    e.selectivity = 0.1;
+    g.AddEdge(e);
+  };
+  simple(0, 1);  // R1-R2
+  simple(1, 2);  // R2-R3
+  simple(3, 4);  // R4-R5
+  simple(4, 5);  // R5-R6
+  Hyperedge hyper;
+  hyper.left = Set({0, 1, 2});
+  hyper.right = Set({3, 4, 5});
+  hyper.selectivity = 0.01;
+  g.AddEdge(hyper);
+  return g;
+}
+
+TEST(Hypergraph, BasicAccessors) {
+  Hypergraph g = Figure2Graph();
+  EXPECT_EQ(g.NumNodes(), 6);
+  EXPECT_EQ(g.NumEdges(), 5);
+  EXPECT_EQ(g.complex_edge_ids().size(), 1u);
+  EXPECT_EQ(g.SimpleNeighbors(1), Set({0, 2}));
+  EXPECT_EQ(g.SimpleNeighbors(4), Set({3, 5}));
+  EXPECT_FALSE(g.edge(4).IsSimple());
+  EXPECT_TRUE(g.edge(0).IsSimple());
+}
+
+TEST(Hypergraph, ConnectsSetsSimple) {
+  Hypergraph g = Figure2Graph();
+  EXPECT_TRUE(g.ConnectsSets(Set({0}), Set({1})));
+  EXPECT_FALSE(g.ConnectsSets(Set({0}), Set({2})));
+  EXPECT_TRUE(g.ConnectsSets(Set({0, 1}), Set({2})));
+}
+
+TEST(Hypergraph, ConnectsSetsHyper) {
+  Hypergraph g = Figure2Graph();
+  // The hyperedge connects only sets that fully contain its hypernodes.
+  EXPECT_TRUE(g.ConnectsSets(Set({0, 1, 2}), Set({3, 4, 5})));
+  EXPECT_FALSE(g.ConnectsSets(Set({0, 1}), Set({3, 4, 5})));
+  EXPECT_FALSE(g.ConnectsSets(Set({0, 1, 2}), Set({3, 4})));
+  // Supersets on the complement side are fine.
+  EXPECT_TRUE(g.ConnectsSets(Set({0, 1, 2}), Set({3, 4, 5})));
+}
+
+TEST(Hypergraph, ConnectsSetsBothOrientations) {
+  Hypergraph g = Figure2Graph();
+  EXPECT_TRUE(g.ConnectsSets(Set({3, 4, 5}), Set({0, 1, 2})));
+}
+
+TEST(Hypergraph, ForEachConnectingEdgeReportsOrientation) {
+  Hypergraph g = Figure2Graph();
+  int count = 0;
+  bool left_in_s1 = false;
+  g.ForEachConnectingEdge(Set({0, 1, 2}), Set({3, 4, 5}), [&](int id, bool lis) {
+    ++count;
+    EXPECT_EQ(id, 4);
+    left_in_s1 = lis;
+  });
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(left_in_s1);
+
+  g.ForEachConnectingEdge(Set({3, 4, 5}), Set({0, 1, 2}),
+                          [&](int id, bool lis) {
+                            EXPECT_EQ(id, 4);
+                            EXPECT_FALSE(lis);
+                          });
+}
+
+TEST(Hypergraph, GeneralizedEdgeConnectsWithFlexSplit) {
+  // Edge ({0}, {2}, w={1}): node 1 may sit on either side (Def. 6/7).
+  Hypergraph g;
+  for (int i = 0; i < 3; ++i) g.AddNode(HypergraphNode{"", 10.0, NodeSet()});
+  Hyperedge e;
+  e.left = Set({0});
+  e.right = Set({2});
+  e.flex = Set({1});
+  g.AddEdge(e);
+  EXPECT_TRUE(g.ConnectsSets(Set({0, 1}), Set({2})));
+  EXPECT_TRUE(g.ConnectsSets(Set({0}), Set({1, 2})));
+  // w must be covered by the union.
+  EXPECT_FALSE(g.ConnectsSets(Set({0}), Set({2})));
+}
+
+TEST(Hypergraph, FreeTables) {
+  Hypergraph g;
+  g.AddNode(HypergraphNode{"R0", 10.0, NodeSet()});
+  g.AddNode(HypergraphNode{"F1", 10.0, Set({0})});  // lateral leaf over R0
+  Hyperedge e;
+  e.left = Set({0});
+  e.right = Set({1});
+  g.AddEdge(e);
+  EXPECT_TRUE(g.HasDependentLeaves());
+  EXPECT_EQ(g.FreeTables(Set({1})), Set({0}));
+  // Free tables inside the set are already bound.
+  EXPECT_TRUE(g.FreeTables(Set({0, 1})).Empty());
+}
+
+TEST(HypergraphBuilder, FromQuerySpec) {
+  QuerySpec spec = MakeCycleQuery(5);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  EXPECT_EQ(g.NumNodes(), 5);
+  EXPECT_EQ(g.NumEdges(), 5);
+  EXPECT_TRUE(g.complex_edge_ids().empty());
+}
+
+TEST(HypergraphBuilder, RejectsInvalidSpec) {
+  QuerySpec spec;
+  spec.AddRelation("A", 10.0);
+  spec.AddRelation("B", 10.0);
+  spec.AddSimplePredicate(0, 1, /*selectivity=*/2.0);  // out of range
+  Result<Hypergraph> result = BuildHypergraph(spec);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(HypergraphBuilder, RepairsDisconnectedGraphs) {
+  // Two components {0,1} and {2,3}: the builder must add a selectivity-1
+  // hyperedge between them (Sec. 2.1).
+  QuerySpec spec;
+  for (int i = 0; i < 4; ++i) spec.AddRelation("R" + std::to_string(i), 10.0);
+  spec.AddSimplePredicate(0, 1, 0.1);
+  spec.AddSimplePredicate(2, 3, 0.1);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  EXPECT_EQ(g.NumEdges(), 3);
+  const Hyperedge& repair = g.edge(2);
+  EXPECT_EQ(repair.predicate_id, -1);
+  EXPECT_DOUBLE_EQ(repair.selectivity, 1.0);
+  EXPECT_EQ(repair.left | repair.right, NodeSet::FullSet(4));
+  EXPECT_TRUE(g.ConnectsSets(Set({0, 1}), Set({2, 3})));
+}
+
+}  // namespace
+}  // namespace dphyp

@@ -1,0 +1,143 @@
+// Tests of N(S, X) (Sec. 2.3), including the worked examples from the paper.
+#include <gtest/gtest.h>
+
+#include "hypergraph/hypergraph.h"
+
+namespace dphyp {
+namespace {
+
+NodeSet Set(std::initializer_list<int> nodes) {
+  NodeSet s;
+  for (int v : nodes) s |= NodeSet::Single(v);
+  return s;
+}
+
+Hypergraph Figure2Graph() {
+  Hypergraph g;
+  for (int i = 0; i < 6; ++i) g.AddNode(HypergraphNode{"", 100.0, NodeSet()});
+  auto simple = [&](int a, int b) {
+    Hyperedge e;
+    e.left = NodeSet::Single(a);
+    e.right = NodeSet::Single(b);
+    g.AddEdge(e);
+  };
+  simple(0, 1);
+  simple(1, 2);
+  simple(3, 4);
+  simple(4, 5);
+  Hyperedge hyper;
+  hyper.left = Set({0, 1, 2});
+  hyper.right = Set({3, 4, 5});
+  g.AddEdge(hyper);
+  return g;
+}
+
+TEST(Neighborhood, PaperExampleSeedsMinOfFarSide) {
+  // "For our hypergraph in Fig. 2 and with X = S = {R1,R2,R3}, we have
+  //  N(S,X) = {R4}" — zero-based: S = {0,1,2}, N = {3}.
+  Hypergraph g = Figure2Graph();
+  EXPECT_EQ(g.Neighborhood(Set({0, 1, 2}), Set({0, 1, 2})), Set({3}));
+}
+
+TEST(Neighborhood, SimpleEdgesOnly) {
+  Hypergraph g = Figure2Graph();
+  // From {R5} (index 4) with nothing forbidden: simple neighbors 3 and 5.
+  EXPECT_EQ(g.Neighborhood(Set({4}), NodeSet()), Set({3, 5}));
+  // Forbidding 3 leaves only 5.
+  EXPECT_EQ(g.Neighborhood(Set({4}), Set({3})), Set({5}));
+}
+
+TEST(Neighborhood, HyperedgeRequiresFullNearSide) {
+  Hypergraph g = Figure2Graph();
+  // {R1} alone does not cover the hyperedge's near side {0,1,2}; only the
+  // simple neighbor R2 (index 1) is reachable.
+  EXPECT_EQ(g.Neighborhood(Set({0}), NodeSet()), Set({1}));
+}
+
+TEST(Neighborhood, FarSideBlockedByX) {
+  Hypergraph g = Figure2Graph();
+  // Far side {3,4,5}: forbidding any of its nodes suppresses the candidate
+  // (the entire hypernode must stay available).
+  EXPECT_EQ(g.Neighborhood(Set({0, 1, 2}), Set({0, 1, 2}) | Set({5})),
+            NodeSet());
+}
+
+TEST(Neighborhood, SubsumedHypernodeEliminated) {
+  // Two hyperedges from {0}: far sides {2,3} and {2,3,4}. E# keeps only the
+  // minimal {2,3}; both contribute representative 2 either way, but the
+  // subsumption check must not add 2 twice or pick 4.
+  Hypergraph g;
+  for (int i = 0; i < 5; ++i) g.AddNode(HypergraphNode{"", 10.0, NodeSet()});
+  Hyperedge a;
+  a.left = Set({0, 1});
+  a.right = Set({2, 3});
+  g.AddEdge(a);
+  Hyperedge b;
+  b.left = Set({0, 1});
+  b.right = Set({2, 3, 4});
+  g.AddEdge(b);
+  EXPECT_EQ(g.Neighborhood(Set({0, 1}), NodeSet()), Set({2}));
+}
+
+TEST(Neighborhood, SimpleNeighborSubsumesHypernode) {
+  // Simple edge 0-2 plus hyperedge ({0},{2,3}): the hypernode {2,3}
+  // contains the simple neighbor 2, so it is subsumed; N = {2} only.
+  Hypergraph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(HypergraphNode{"", 10.0, NodeSet()});
+  Hyperedge s;
+  s.left = Set({0});
+  s.right = Set({2});
+  g.AddEdge(s);
+  Hyperedge h;
+  h.left = Set({0});
+  h.right = Set({2, 3});
+  g.AddEdge(h);
+  EXPECT_EQ(g.Neighborhood(Set({0}), NodeSet()), Set({2}));
+}
+
+TEST(Neighborhood, IncomparableHypernodesBothRepresented) {
+  // Far sides {2,3} and {3,4} overlap but neither subsumes the other.
+  // Processing order matters only for which representative appears first;
+  // both candidates must be covered (min of each that survives).
+  Hypergraph g;
+  for (int i = 0; i < 5; ++i) g.AddNode(HypergraphNode{"", 10.0, NodeSet()});
+  Hyperedge a;
+  a.left = Set({0, 1});
+  a.right = Set({2, 3});
+  g.AddEdge(a);
+  Hyperedge b;
+  b.left = Set({0, 1});
+  b.right = Set({3, 4});
+  g.AddEdge(b);
+  NodeSet n = g.Neighborhood(Set({0, 1}), NodeSet());
+  // {2,3} contributes 2; {3,4} contributes 3 (2 not inside it).
+  EXPECT_EQ(n, Set({2, 3}));
+}
+
+TEST(Neighborhood, GeneralizedEdgeFlexMovesToFarSide) {
+  // Edge ({0}, {3}, w={1,2}): from S={0}, far hypernode is {3} ∪ w = {1,2,3},
+  // represented by its minimum 1. From S={0,1}, w\S = {2}: candidate {2,3},
+  // representative 2.
+  Hypergraph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(HypergraphNode{"", 10.0, NodeSet()});
+  Hyperedge e;
+  e.left = Set({0});
+  e.right = Set({3});
+  e.flex = Set({1, 2});
+  g.AddEdge(e);
+  EXPECT_EQ(g.Neighborhood(Set({0}), NodeSet()), Set({1}));
+  EXPECT_EQ(g.Neighborhood(Set({0, 1}), NodeSet()), Set({2}));
+  EXPECT_EQ(g.Neighborhood(Set({0, 1, 2}), NodeSet()), Set({3}));
+}
+
+TEST(Neighborhood, ExcludesForbiddenAndSelf) {
+  Hypergraph g = Figure2Graph();
+  for (int v = 0; v < 6; ++v) {
+    NodeSet n = g.Neighborhood(NodeSet::Single(v), NodeSet::UpTo(v));
+    EXPECT_FALSE(n.Contains(v));
+    for (int w : n) EXPECT_GT(w, v);
+  }
+}
+
+}  // namespace
+}  // namespace dphyp

@@ -1,0 +1,107 @@
+#include "util/node_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dphyp {
+namespace {
+
+TEST(NodeSet, EmptyAndSingleton) {
+  NodeSet empty;
+  EXPECT_TRUE(empty.Empty());
+  EXPECT_EQ(empty.Count(), 0);
+  EXPECT_FALSE(empty.IsSingleton());
+
+  NodeSet s = NodeSet::Single(5);
+  EXPECT_FALSE(s.Empty());
+  EXPECT_TRUE(s.IsSingleton());
+  EXPECT_EQ(s.Count(), 1);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Min(), 5);
+  EXPECT_EQ(s.Max(), 5);
+}
+
+TEST(NodeSet, HighBitSingleton) {
+  NodeSet s = NodeSet::Single(63);
+  EXPECT_TRUE(s.IsSingleton());
+  EXPECT_EQ(s.Min(), 63);
+  EXPECT_EQ(s.Max(), 63);
+}
+
+TEST(NodeSet, FullSet) {
+  EXPECT_EQ(NodeSet::FullSet(0).Count(), 0);
+  EXPECT_EQ(NodeSet::FullSet(1).Count(), 1);
+  EXPECT_EQ(NodeSet::FullSet(17).Count(), 17);
+  EXPECT_EQ(NodeSet::FullSet(64).Count(), 64);
+  EXPECT_TRUE(NodeSet::FullSet(17).Contains(16));
+  EXPECT_FALSE(NodeSet::FullSet(17).Contains(17));
+}
+
+TEST(NodeSet, UpToAndBelow) {
+  // B_v of the paper: {w | w <= v}.
+  NodeSet b3 = NodeSet::UpTo(3);
+  EXPECT_EQ(b3.Count(), 4);
+  EXPECT_TRUE(b3.Contains(0) && b3.Contains(3));
+  EXPECT_FALSE(b3.Contains(4));
+
+  NodeSet below3 = NodeSet::Below(3);
+  EXPECT_EQ(below3.Count(), 3);
+  EXPECT_FALSE(below3.Contains(3));
+  EXPECT_TRUE(NodeSet::Below(0).Empty());
+}
+
+TEST(NodeSet, SetAlgebra) {
+  NodeSet a = NodeSet::Single(1) | NodeSet::Single(3) | NodeSet::Single(5);
+  NodeSet b = NodeSet::Single(3) | NodeSet::Single(6);
+  EXPECT_EQ((a & b), NodeSet::Single(3));
+  EXPECT_EQ((a - b), NodeSet::Single(1) | NodeSet::Single(5));
+  EXPECT_EQ((a | b).Count(), 4);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE((a - b).Intersects(b));
+}
+
+TEST(NodeSet, SubsetRelations) {
+  NodeSet a = NodeSet::Single(2) | NodeSet::Single(4);
+  NodeSet big = a | NodeSet::Single(7);
+  EXPECT_TRUE(a.IsSubsetOf(big));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_FALSE(big.IsSubsetOf(a));
+  EXPECT_TRUE(big.IsSupersetOf(a));
+  EXPECT_TRUE(NodeSet().IsSubsetOf(a));
+}
+
+TEST(NodeSet, MinRepresentatives) {
+  // The paper's min(S) and \overline{min}(S) = S \ min(S).
+  NodeSet s = NodeSet::Single(4) | NodeSet::Single(5) | NodeSet::Single(6);
+  EXPECT_EQ(s.Min(), 4);
+  EXPECT_EQ(s.MinSet(), NodeSet::Single(4));
+  EXPECT_EQ(s.MinusMin(), NodeSet::Single(5) | NodeSet::Single(6));
+  EXPECT_TRUE(NodeSet().MinSet().Empty());
+}
+
+TEST(NodeSet, IterationAscending) {
+  NodeSet s = NodeSet::Single(9) | NodeSet::Single(0) | NodeSet::Single(33);
+  std::vector<int> seen;
+  for (int v : s) seen.push_back(v);
+  EXPECT_EQ(seen, (std::vector<int>{0, 9, 33}));
+}
+
+TEST(NodeSet, ToString) {
+  NodeSet s = NodeSet::Single(1) | NodeSet::Single(4);
+  EXPECT_EQ(s.ToString(), "{R1, R4}");
+  EXPECT_EQ(NodeSet().ToString(), "{}");
+}
+
+TEST(NodeSet, HashDistinguishesSets) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 64; ++i) {
+    hashes.insert(HashNodeSet(NodeSet::Single(i)));
+  }
+  EXPECT_EQ(hashes.size(), 64u);
+}
+
+}  // namespace
+}  // namespace dphyp

@@ -1,0 +1,186 @@
+#include "reorder/operator_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace dphyp {
+namespace {
+
+NodeSet Set(std::initializer_list<int> nodes) {
+  NodeSet s;
+  for (int v : nodes) s |= NodeSet::Single(v);
+  return s;
+}
+
+/// (R0 JOIN R1) LOJ R2, join pred (R0,R1), loj pred (R1,R2).
+OperatorTree SimpleTree() {
+  OperatorTree tree;
+  for (int i = 0; i < 3; ++i) {
+    RelationInfo rel;
+    rel.name = "R" + std::to_string(i);
+    rel.cardinality = 100.0 * (i + 1);
+    tree.relations.push_back(rel);
+  }
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  int p01 = tree.AddPredicate(Set({0, 1}), 0.1);
+  int join = tree.AddOp(OpType::kJoin, l0, l1, {p01});
+  int l2 = tree.AddLeaf(2);
+  int p12 = tree.AddPredicate(Set({1, 2}), 0.2);
+  tree.root = tree.AddOp(OpType::kLeftOuterjoin, join, l2, {p12});
+  return tree;
+}
+
+TEST(OperatorTree, FinalizeComputesSets) {
+  OperatorTree tree = SimpleTree();
+  ASSERT_TRUE(tree.Finalize().ok());
+  EXPECT_EQ(tree.TablesUnder(tree.root), Set({0, 1, 2}));
+  EXPECT_EQ(tree.VisibleTables(tree.root), Set({0, 1, 2}));
+  const TreeNode& root = tree.nodes[tree.root];
+  EXPECT_EQ(tree.TablesUnder(root.left), Set({0, 1}));
+  EXPECT_EQ(tree.Parent(root.left), tree.root);
+  EXPECT_EQ(tree.Parent(tree.root), -1);
+  EXPECT_EQ(tree.ToString(), "((R0 JOIN R1) LOJ R2)");
+}
+
+TEST(OperatorTree, SemijoinHidesRightSide) {
+  OperatorTree tree;
+  for (int i = 0; i < 3; ++i) {
+    RelationInfo rel;
+    rel.name = "R" + std::to_string(i);
+    tree.relations.push_back(rel);
+  }
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  int semi = tree.AddOp(OpType::kLeftSemijoin, l0, l1,
+                        {tree.AddPredicate(Set({0, 1}), 0.1)});
+  int l2 = tree.AddLeaf(2);
+  // Predicate referencing R1 above the semijoin: invalid (projected away).
+  int bad = tree.AddPredicate(Set({1, 2}), 0.1);
+  tree.root = tree.AddOp(OpType::kJoin, semi, l2, {bad});
+  EXPECT_FALSE(tree.Finalize().ok());
+
+  // Referencing R0 instead is fine.
+  tree.nodes[tree.root].predicates = {tree.AddPredicate(Set({0, 2}), 0.1)};
+  ASSERT_TRUE(tree.Finalize().ok());
+  EXPECT_EQ(tree.VisibleTables(semi), Set({0}));
+  EXPECT_EQ(tree.VisibleTables(tree.root), Set({0, 2}));
+}
+
+TEST(OperatorTree, RejectsBadLeafOrder) {
+  OperatorTree tree;
+  for (int i = 0; i < 2; ++i) {
+    RelationInfo rel;
+    rel.name = "R";
+    tree.relations.push_back(rel);
+  }
+  int l1 = tree.AddLeaf(1);
+  int l0 = tree.AddLeaf(0);
+  tree.root = tree.AddOp(OpType::kJoin, l1, l0,
+                         {tree.AddPredicate(Set({0, 1}), 0.1)});
+  EXPECT_FALSE(tree.Finalize().ok());  // leaves must read 0,1 left-to-right
+}
+
+TEST(OperatorTree, RejectsPredicateOnOneSide) {
+  OperatorTree tree;
+  for (int i = 0; i < 2; ++i) tree.relations.push_back(RelationInfo{});
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  tree.root =
+      tree.AddOp(OpType::kJoin, l0, l1, {tree.AddPredicate(Set({0}), 0.1)});
+  EXPECT_FALSE(tree.Finalize().ok());
+}
+
+TEST(OperatorTree, DependentOpRequiredForLateralRight) {
+  OperatorTree tree;
+  tree.relations.push_back(RelationInfo{.name = "R0"});
+  RelationInfo tvf;
+  tvf.name = "F1";
+  tvf.free_tables = Set({0});
+  tree.relations.push_back(tvf);
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  int pred = tree.AddPredicate(Set({0, 1}), 0.1);
+  // Regular join over a lateral right side: invalid.
+  tree.root = tree.AddOp(OpType::kJoin, l0, l1, {pred});
+  EXPECT_FALSE(tree.Finalize().ok());
+  // D-join: valid.
+  tree.nodes[tree.root].op = OpType::kDepJoin;
+  EXPECT_TRUE(tree.Finalize().ok());
+}
+
+TEST(OperatorTree, RejectsDependentWithoutLateral) {
+  OperatorTree tree;
+  for (int i = 0; i < 2; ++i) tree.relations.push_back(RelationInfo{});
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  tree.root = tree.AddOp(OpType::kDepJoin, l0, l1,
+                         {tree.AddPredicate(Set({0, 1}), 0.1)});
+  EXPECT_FALSE(tree.Finalize().ok());
+}
+
+TEST(OperatorTree, LateralMayOnlyReferenceLeftTables) {
+  OperatorTree tree;
+  tree.relations.push_back(RelationInfo{.name = "R0"});
+  RelationInfo tvf;
+  tvf.name = "F1";
+  tvf.free_tables = Set({2});  // references a table to its right
+  tree.relations.push_back(tvf);
+  tree.relations.push_back(RelationInfo{.name = "R2"});
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  int inner = tree.AddOp(OpType::kDepJoin, l0, l1,
+                         {tree.AddPredicate(Set({0, 1}), 0.1)});
+  int l2 = tree.AddLeaf(2);
+  tree.root = tree.AddOp(OpType::kJoin, inner, l2,
+                         {tree.AddPredicate(Set({1, 2}), 0.1)});
+  EXPECT_FALSE(tree.Finalize().ok());
+}
+
+TEST(OperatorTree, NormalizationSwapsCommutativeChild) {
+  // Parent predicate references only the *left* child of a commutative
+  // child: Case L1. Normalization must swap the child's children.
+  OperatorTree tree;
+  for (int i = 0; i < 3; ++i) {
+    RelationInfo rel;
+    rel.name = "R" + std::to_string(i);
+    tree.relations.push_back(rel);
+  }
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  int join = tree.AddOp(OpType::kJoin, l0, l1,
+                        {tree.AddPredicate(Set({0, 1}), 0.1)});
+  int l2 = tree.AddLeaf(2);
+  // Parent predicate touches R0 only (plus R2).
+  tree.root = tree.AddOp(OpType::kLeftOuterjoin, join, l2,
+                         {tree.AddPredicate(Set({0, 2}), 0.1)});
+  ASSERT_TRUE(tree.Finalize().ok());
+  const TreeNode& child_before = tree.nodes[join];
+  EXPECT_EQ(tree.nodes[child_before.left].relation, 0);
+  NormalizeCommutativeChildren(&tree);
+  const TreeNode& child_after = tree.nodes[join];
+  // R0 must now be on the right of the inner join (Case L2 form).
+  EXPECT_EQ(tree.nodes[child_after.right].relation, 0);
+}
+
+TEST(OperatorTree, NormalizationLeavesNonCommutativeAlone) {
+  OperatorTree tree = SimpleTree();
+  ASSERT_TRUE(tree.Finalize().ok());
+  // Root predicate touches R1 (right child of inner join): already L2.
+  int join = tree.nodes[tree.root].left;
+  int left_before = tree.nodes[join].left;
+  NormalizeCommutativeChildren(&tree);
+  EXPECT_EQ(tree.nodes[join].left, left_before);
+}
+
+TEST(OperatorTree, FillDefaultPayloads) {
+  OperatorTree tree = SimpleTree();
+  ASSERT_TRUE(tree.Finalize().ok());
+  tree.FillDefaultPayloads();
+  for (const TreePredicate& p : tree.predicates) {
+    EXPECT_FALSE(p.refs.empty());
+    EXPECT_GE(p.modulus, 1);
+  }
+}
+
+}  // namespace
+}  // namespace dphyp

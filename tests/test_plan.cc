@@ -1,0 +1,123 @@
+#include "plan/dp_table.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dphyp.h"
+#include "hypergraph/builder.h"
+#include "plan/plan_tree.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+TEST(DpTable, InsertAndFind) {
+  DpTable table(4);
+  EXPECT_TRUE(table.empty());
+  PlanEntry* e = table.Insert(NodeSet::Single(3));
+  e->cost = 7.0;
+  ASSERT_NE(table.Find(NodeSet::Single(3)), nullptr);
+  EXPECT_DOUBLE_EQ(table.Find(NodeSet::Single(3))->cost, 7.0);
+  EXPECT_EQ(table.Find(NodeSet::Single(4)), nullptr);
+  EXPECT_TRUE(table.Contains(NodeSet::Single(3)));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(DpTable, GrowsPastInitialCapacity) {
+  DpTable table(2);
+  for (int i = 0; i < 40; ++i) {
+    PlanEntry* e = table.Insert(NodeSet(uint64_t{1} << i));
+    e->cost = i;
+  }
+  for (int i = 0; i < 40; ++i) {
+    const PlanEntry* e = table.Find(NodeSet(uint64_t{1} << i));
+    ASSERT_NE(e, nullptr) << i;
+    EXPECT_DOUBLE_EQ(e->cost, i);
+  }
+  EXPECT_EQ(table.size(), 40u);
+}
+
+TEST(DpTable, DenseCompositeKeys) {
+  // All 255 non-empty subsets of 8 nodes — collision stress for the
+  // open-addressing probe.
+  DpTable table(16);
+  for (uint64_t bits = 1; bits < 256; ++bits) {
+    table.Insert(NodeSet(bits))->cost = static_cast<double>(bits);
+  }
+  for (uint64_t bits = 1; bits < 256; ++bits) {
+    const PlanEntry* e = table.Find(NodeSet(bits));
+    ASSERT_NE(e, nullptr);
+    EXPECT_DOUBLE_EQ(e->cost, static_cast<double>(bits));
+  }
+  EXPECT_GE(table.MemoryBytes(), 255 * sizeof(PlanEntry));
+}
+
+TEST(DpTable, EntriesInInsertionOrder) {
+  DpTable table(4);
+  table.Insert(NodeSet::Single(5));
+  table.Insert(NodeSet::Single(1));
+  table.Insert(NodeSet::Single(9));
+  ASSERT_EQ(table.entries().size(), 3u);
+  EXPECT_EQ(table.entries()[0].set, NodeSet::Single(5));
+  EXPECT_EQ(table.entries()[1].set, NodeSet::Single(1));
+  EXPECT_EQ(table.entries()[2].set, NodeSet::Single(9));
+}
+
+TEST(PlanTree, ExtractFromOptimizedChain) {
+  QuerySpec spec = MakeChainQuery(4);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  OptimizeResult result = OptimizeDphyp(g);
+  ASSERT_TRUE(result.success) << result.error;
+  PlanTree tree = result.ExtractPlan(g);
+  ASSERT_TRUE(tree.Valid());
+  EXPECT_EQ(tree.root()->set, NodeSet::FullSet(4));
+  EXPECT_EQ(tree.NumNodes(), 7);  // 4 leaves + 3 joins
+  EXPECT_DOUBLE_EQ(tree.root()->cost, result.cost);
+}
+
+TEST(PlanTree, AlgebraStringAndExplain) {
+  QuerySpec spec = MakeChainQuery(3);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  OptimizeResult result = OptimizeDphyp(g);
+  ASSERT_TRUE(result.success);
+  PlanTree tree = result.ExtractPlan(g);
+  std::string algebra = tree.ToAlgebraString(g);
+  EXPECT_NE(algebra.find("JOIN"), std::string::npos);
+  EXPECT_NE(algebra.find("R0"), std::string::npos);
+  std::string explain = tree.Explain(g);
+  EXPECT_NE(explain.find("cost="), std::string::npos);
+  EXPECT_NE(explain.find("card="), std::string::npos);
+}
+
+TEST(PlanTree, PredicatesAttachedToJoins) {
+  QuerySpec spec = MakeCycleQuery(4);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  OptimizeResult result = OptimizeDphyp(g);
+  ASSERT_TRUE(result.success);
+  PlanTree tree = result.ExtractPlan(g);
+  // A cycle has n edges; every edge's predicate must be applied exactly once
+  // across the plan's operators.
+  int total_preds = 0;
+  std::function<void(const PlanTreeNode*)> walk = [&](const PlanTreeNode* n) {
+    if (n->IsLeaf()) return;
+    total_preds += static_cast<int>(n->edge_ids.size());
+    walk(n->left);
+    walk(n->right);
+  };
+  walk(tree.root());
+  EXPECT_EQ(total_preds, 4);
+}
+
+TEST(PlanBuilder, ManualTree) {
+  PlanBuilder builder;
+  const PlanTreeNode* r0 = builder.Leaf(0, 10.0);
+  const PlanTreeNode* r1 = builder.Leaf(1, 20.0);
+  const PlanTreeNode* join = builder.Op(OpType::kLeftOuterjoin, r0, r1, {0});
+  PlanTree tree = builder.Build(join);
+  ASSERT_TRUE(tree.Valid());
+  EXPECT_EQ(tree.root()->op, OpType::kLeftOuterjoin);
+  EXPECT_EQ(tree.root()->set, NodeSet::FullSet(2));
+  EXPECT_EQ(tree.NumNodes(), 3);
+}
+
+}  // namespace
+}  // namespace dphyp

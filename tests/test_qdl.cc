@@ -1,0 +1,141 @@
+#include "workload/qdl.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+TEST(Qdl, ParsesMinimalQuery) {
+  Result<QuerySpec> result = ParseQdl(R"(
+# a two-relation query
+relation A card=100
+relation B card=200 cols=3
+predicate left=A right=B sel=0.05
+)");
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const QuerySpec& spec = result.value();
+  EXPECT_EQ(spec.NumRelations(), 2);
+  EXPECT_DOUBLE_EQ(spec.relations[0].cardinality, 100.0);
+  EXPECT_EQ(spec.relations[1].num_columns, 3);
+  ASSERT_EQ(spec.predicates.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.predicates[0].selectivity, 0.05);
+  EXPECT_FALSE(spec.predicates[0].refs.empty());  // payload auto-filled
+}
+
+TEST(Qdl, ParsesHyperedgesAndOperators) {
+  Result<QuerySpec> result = ParseQdl(R"(
+relation R0 card=10
+relation R1 card=20
+relation R2 card=30
+relation R3 card=40
+predicate left=R0 right=R1 sel=0.1
+predicate left=R0,R1 right=R2,R3 sel=0.01 op=leftouterjoin
+predicate left=R2 right=R3 sel=0.2 flex=R1
+)");
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const QuerySpec& spec = result.value();
+  ASSERT_EQ(spec.predicates.size(), 3u);
+  EXPECT_EQ(spec.predicates[1].left.Count(), 2);
+  EXPECT_EQ(spec.predicates[1].op, OpType::kLeftOuterjoin);
+  EXPECT_EQ(spec.predicates[2].flex, NodeSet::Single(1));
+}
+
+TEST(Qdl, ParsesLateralRelations) {
+  Result<QuerySpec> result = ParseQdl(R"(
+relation R0 card=10
+relation F1 card=20 free=R0
+predicate left=R0 right=F1 sel=0.5
+)");
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().relations[1].free_tables, NodeSet::Single(0));
+}
+
+TEST(Qdl, ParsesExplicitRefsAndModulus) {
+  Result<QuerySpec> result = ParseQdl(R"(
+relation A card=10 cols=2
+relation B card=10 cols=2
+predicate left=A right=B sel=0.25 mod=4 refs=A.1,B.0
+)");
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const Predicate& p = result.value().predicates[0];
+  EXPECT_EQ(p.modulus, 4);
+  ASSERT_EQ(p.refs.size(), 2u);
+  EXPECT_EQ(p.refs[0], (ColumnRef{0, 1}));
+  EXPECT_EQ(p.refs[1], (ColumnRef{1, 0}));
+}
+
+TEST(Qdl, ErrorsAreDescriptive) {
+  auto expect_error = [](const std::string& text, const std::string& needle) {
+    Result<QuerySpec> r = ParseQdl(text);
+    ASSERT_FALSE(r.ok()) << text;
+    EXPECT_NE(r.error().message.find(needle), std::string::npos)
+        << r.error().message;
+  };
+  expect_error("frobnicate x\n", "unknown directive");
+  expect_error("relation A\n", "needs card=");
+  expect_error("relation A card=1\nrelation A card=2\n", "duplicate");
+  expect_error("relation A card=1\npredicate left=A right=B sel=0.1\n",
+               "unknown relation");
+  expect_error("relation A card=1\nrelation B card=1\n"
+               "predicate left=A right=B\n",
+               "needs sel=");
+  expect_error("relation A card=1\nrelation B card=1\n"
+               "predicate left=A right=B sel=0.1 zap=1\n",
+               "unknown predicate attribute");
+}
+
+TEST(Qdl, RejectsInvalidSpecs) {
+  // Parses syntactically but fails QuerySpec validation (overlapping sides).
+  Result<QuerySpec> r = ParseQdl(R"(
+relation A card=10
+relation B card=10
+predicate left=A,B right=B sel=0.1
+)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Qdl, RoundTripsGeneratedWorkloads) {
+  for (int splits = 0; splits <= 3; ++splits) {
+    QuerySpec original = MakeCycleHypergraphQuery(8, splits);
+    Result<QuerySpec> reparsed = ParseQdl(WriteQdl(original));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error().message;
+    const QuerySpec& spec = reparsed.value();
+    ASSERT_EQ(spec.NumRelations(), original.NumRelations());
+    ASSERT_EQ(spec.predicates.size(), original.predicates.size());
+    for (size_t i = 0; i < original.predicates.size(); ++i) {
+      EXPECT_EQ(spec.predicates[i].left, original.predicates[i].left) << i;
+      EXPECT_EQ(spec.predicates[i].right, original.predicates[i].right) << i;
+      EXPECT_EQ(spec.predicates[i].op, original.predicates[i].op) << i;
+      EXPECT_EQ(spec.predicates[i].modulus, original.predicates[i].modulus) << i;
+      EXPECT_EQ(spec.predicates[i].refs, original.predicates[i].refs) << i;
+    }
+    for (int r = 0; r < original.NumRelations(); ++r) {
+      EXPECT_EQ(spec.relations[r].name, original.relations[r].name);
+    }
+  }
+}
+
+TEST(Qdl, RoundTrippedSpecsBuildIdenticalGraphs) {
+  QuerySpec original = MakeStarHypergraphQuery(8, 2);
+  Result<QuerySpec> reparsed = ParseQdl(WriteQdl(original));
+  ASSERT_TRUE(reparsed.ok());
+  Hypergraph a = BuildHypergraphOrDie(original);
+  Hypergraph b = BuildHypergraphOrDie(reparsed.value());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (int e = 0; e < a.NumEdges(); ++e) {
+    EXPECT_EQ(a.edge(e).left, b.edge(e).left);
+    EXPECT_EQ(a.edge(e).right, b.edge(e).right);
+    EXPECT_EQ(a.edge(e).flex, b.edge(e).flex);
+  }
+}
+
+TEST(Qdl, LoadMissingFileFails) {
+  Result<QuerySpec> r = LoadQdlFile("/nonexistent/path.qdl");
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace dphyp

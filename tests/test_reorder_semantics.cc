@@ -1,0 +1,166 @@
+// The strongest end-to-end property in the suite: for random operator trees
+// with mixed non-inner and dependent operators, every plan chosen by the
+// optimizer (hypernode mode, TES generate-and-test mode, and the DPsize /
+// DPsub baselines) must produce exactly the same result multiset as the
+// original operator tree. This validates Theorem 1, the Fig. 9 conflict
+// table, the SES/TES machinery, hyperedge derivation, operator recovery,
+// and the dependent-conversion rule all at once.
+#include <gtest/gtest.h>
+
+#include "baselines/all_algorithms.h"
+#include "exec/executor.h"
+#include "hypergraph/builder.h"
+#include "plan/validate.h"
+#include "reorder/ses_tes.h"
+#include "test_helpers.h"
+#include "workload/optree_gen.h"
+
+namespace dphyp {
+namespace {
+
+using testing_helpers::CostsClose;
+
+struct SemanticsCase {
+  uint64_t seed;
+  int relations;
+  double non_inner_prob;
+  double lateral_prob;
+};
+
+class ReorderSemantics : public ::testing::TestWithParam<SemanticsCase> {};
+
+TEST_P(ReorderSemantics, OptimizedPlansMatchOriginalTree) {
+  const SemanticsCase& param = GetParam();
+  RandomTreeOptions opts;
+  opts.non_inner_prob = param.non_inner_prob;
+  opts.lateral_prob = param.lateral_prob;
+  OperatorTree tree =
+      MakeRandomOperatorTree(param.relations, param.seed, opts);
+
+  OperatorTree normalized;
+  DerivedQuery dq = DeriveQuery(tree, &normalized);
+  CardinalityEstimator est(dq.graph);
+  const CostModel& model = DefaultCostModel();
+
+  Dataset dataset =
+      Dataset::Generate(normalized.relations, /*rows_per_table=*/6, param.seed);
+  EdgeConjuncts conjuncts = ConjunctsFromTree(normalized, dq.edge_to_op);
+  Executor exec(dataset, dq.graph, normalized.relations, conjuncts);
+
+  PlanTree reference = ReferencePlan(normalized, dq, est, model);
+  ExecResult expected = exec.Execute(reference);
+
+  // Hypernode mode with several algorithms.
+  for (Algorithm algo :
+       {Algorithm::kDphyp, Algorithm::kDpsize, Algorithm::kDpsub}) {
+    OptimizeResult r = Optimize(algo, dq.graph, est, model);
+    ASSERT_TRUE(r.success) << AlgorithmName(algo) << ": " << r.error;
+    EXPECT_LE(r.cost, reference.root()->cost * (1 + 1e-9))
+        << AlgorithmName(algo) << " found a worse plan than the input tree";
+    PlanTree plan = r.ExtractPlan(dq.graph);
+    Result<bool> structurally_valid = ValidatePlanTree(dq.graph, plan);
+    EXPECT_TRUE(structurally_valid.ok())
+        << AlgorithmName(algo) << ": " << structurally_valid.error().message;
+    ExecResult actual = exec.Execute(plan);
+    EXPECT_TRUE(actual.SameAs(expected))
+        << AlgorithmName(algo) << " changed the query result!\noriginal:  "
+        << tree.ToString() << "\noptimized: " << plan.ToAlgebraString(dq.graph);
+  }
+
+  // TES generate-and-test mode on the SES graph must agree as well.
+  CardinalityEstimator ses_est(dq.ses_graph);
+  OptimizerOptions tes_opts;
+  tes_opts.tes_constraints = &dq.tes_constraints;
+  OptimizeResult tes = OptimizeDphyp(dq.ses_graph, ses_est, model, tes_opts);
+  ASSERT_TRUE(tes.success) << tes.error;
+  EdgeConjuncts ses_conjuncts = ConjunctsFromTree(normalized, dq.edge_to_op);
+  Executor ses_exec(dataset, dq.ses_graph, normalized.relations, ses_conjuncts);
+  PlanTree tes_plan = tes.ExtractPlan(dq.ses_graph);
+  ExecResult tes_result = ses_exec.Execute(tes_plan);
+  EXPECT_TRUE(tes_result.SameAs(expected))
+      << "TES mode changed the query result!\noriginal:  " << tree.ToString()
+      << "\noptimized: " << tes_plan.ToAlgebraString(dq.ses_graph);
+}
+
+std::vector<SemanticsCase> SemanticsCases() {
+  std::vector<SemanticsCase> cases;
+  // Pure inner joins (control group).
+  for (uint64_t s = 1; s <= 5; ++s) cases.push_back({s, 5, 0.0, 0.0});
+  // Mixed non-inner operators.
+  for (uint64_t s = 10; s < 30; ++s) cases.push_back({s, 5, 0.5, 0.0});
+  // Heavy non-inner.
+  for (uint64_t s = 40; s < 55; ++s) cases.push_back({s, 6, 0.8, 0.0});
+  // With laterals (dependent operators).
+  for (uint64_t s = 60; s < 80; ++s) cases.push_back({s, 5, 0.4, 0.5});
+  // Larger trees, everything enabled.
+  for (uint64_t s = 90; s < 100; ++s) cases.push_back({s, 7, 0.6, 0.3});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ReorderSemantics,
+                         ::testing::ValuesIn(SemanticsCases()),
+                         [](const ::testing::TestParamInfo<SemanticsCase>& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+TEST(ReorderSemantics, Fig8bTreesSolveAndAgreeAcrossModes) {
+  for (int outer = 0; outer <= 7; ++outer) {
+    OperatorTree tree = MakeCycleOuterjoinTree(8, outer);
+    OperatorTree normalized;
+    DerivedQuery dq = DeriveQuery(tree, &normalized);
+    CardinalityEstimator est(dq.graph);
+    OptimizeResult hyp = OptimizeDphyp(dq.graph, est, DefaultCostModel());
+    ASSERT_TRUE(hyp.success) << "outer=" << outer << ": " << hyp.error;
+
+    OptimizeResult size =
+        OptimizeDpsize(dq.graph, est, DefaultCostModel());
+    ASSERT_TRUE(size.success);
+    EXPECT_TRUE(CostsClose(hyp.cost, size.cost)) << "outer=" << outer;
+
+    // Execute DPhyp's plan against the original tree.
+    Dataset dataset = Dataset::Generate(normalized.relations, 5, 7);
+    EdgeConjuncts conjuncts = ConjunctsFromTree(normalized, dq.edge_to_op);
+    Executor exec(dataset, dq.graph, normalized.relations, conjuncts);
+    ExecResult expected =
+        exec.Execute(ReferencePlan(normalized, dq, est, DefaultCostModel()));
+    ExecResult actual = exec.Execute(hyp.ExtractPlan(dq.graph));
+    EXPECT_TRUE(actual.SameAs(expected)) << "outer=" << outer;
+  }
+}
+
+TEST(ReorderSemantics, Fig8aWorkloadBothModesSolve) {
+  for (int anti : {0, 3, 6}) {
+    SyntheticNonInnerWorkload w = MakeStarAntijoinWorkload(6, anti);
+    CardinalityEstimator est(w.graph);
+    OptimizeResult hyper = OptimizeDphyp(w.graph, est, DefaultCostModel());
+    ASSERT_TRUE(hyper.success) << "anti=" << anti;
+
+    CardinalityEstimator ses_est(w.ses_graph);
+    OptimizerOptions opts;
+    opts.tes_constraints = &w.tes_constraints;
+    OptimizeResult tes =
+        OptimizeDphyp(w.ses_graph, ses_est, DefaultCostModel(), opts);
+    ASSERT_TRUE(tes.success) << "anti=" << anti;
+    // Same plan space — the TES mode merely pays for discarded candidates.
+    EXPECT_GT(tes.stats.discarded + tes.stats.ccp_pairs, 0u);
+    if (anti > 0) {
+      EXPECT_LT(hyper.stats.ccp_pairs, tes.stats.ccp_pairs + tes.stats.discarded)
+          << "hypernode mode should consider fewer candidates";
+    }
+  }
+}
+
+TEST(ReorderSemantics, MoreAntijoinsShrinkTheSearchSpace) {
+  uint64_t prev = UINT64_MAX;
+  for (int anti : {0, 2, 4, 6}) {
+    SyntheticNonInnerWorkload w = MakeStarAntijoinWorkload(6, anti);
+    CardinalityEstimator est(w.graph);
+    OptimizeResult r = OptimizeDphyp(w.graph, est, DefaultCostModel());
+    ASSERT_TRUE(r.success);
+    EXPECT_LT(r.stats.ccp_pairs, prev) << "anti=" << anti;
+    prev = r.stats.ccp_pairs;
+  }
+}
+
+}  // namespace
+}  // namespace dphyp

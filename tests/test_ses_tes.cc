@@ -1,0 +1,240 @@
+// SES/TES computation and hyperedge derivation (Sec. 5.5-5.7) on hand-built
+// trees with known expected outcomes.
+#include "reorder/ses_tes.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/optree_gen.h"
+
+namespace dphyp {
+namespace {
+
+NodeSet Set(std::initializer_list<int> nodes) {
+  NodeSet s;
+  for (int v : nodes) s |= NodeSet::Single(v);
+  return s;
+}
+
+OperatorTree ThreeRelTree(OpType lower, OpType upper) {
+  // (R0 lower R1) upper R2 with predicates (R0,R1) and (R1,R2).
+  OperatorTree tree;
+  for (int i = 0; i < 3; ++i) {
+    RelationInfo rel;
+    rel.name = "R" + std::to_string(i);
+    rel.cardinality = 100;
+    tree.relations.push_back(rel);
+  }
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  int inner = tree.AddOp(lower, l0, l1, {tree.AddPredicate(Set({0, 1}), 0.1)});
+  int l2 = tree.AddLeaf(2);
+  tree.root = tree.AddOp(upper, inner, l2, {tree.AddPredicate(Set({1, 2}), 0.2)});
+  EXPECT_TRUE(tree.Finalize().ok());
+  tree.FillDefaultPayloads();
+  return tree;
+}
+
+TEST(SesTes, SesIsPredicateTables) {
+  OperatorTree tree = ThreeRelTree(OpType::kJoin, OpType::kLeftOuterjoin);
+  TesAnalysis a = ComputeTes(tree);
+  int inner = tree.nodes[tree.root].left;
+  EXPECT_EQ(a.ses[inner], Set({0, 1}));
+  EXPECT_EQ(a.ses[tree.root], Set({1, 2}));
+}
+
+TEST(SesTes, NoConflictKeepsTesEqualSes) {
+  // Join below LOJ with the LOJ predicate on (R1,R2): Case L2, but
+  // OC(join, LOJ) = false, so TES stays SES and both orderings remain open.
+  OperatorTree tree = ThreeRelTree(OpType::kJoin, OpType::kLeftOuterjoin);
+  TesAnalysis a = ComputeTes(tree);
+  EXPECT_EQ(a.tes[tree.root], a.ses[tree.root]);
+}
+
+TEST(SesTes, ConflictGrowsTes) {
+  // LOJ below join (4.48): conflict. TES of the join must absorb the LOJ's
+  // TES, forcing the LOJ to complete first.
+  OperatorTree tree = ThreeRelTree(OpType::kLeftOuterjoin, OpType::kJoin);
+  TesAnalysis a = ComputeTes(tree);
+  EXPECT_EQ(a.tes[tree.root], Set({0, 1, 2}));
+}
+
+TEST(SesTes, SemijoinAboveLojConflicts) {
+  // (R0 P R1) G R2 with pred (R1,R2): Fig. 9 "(R P S) G T ≠ ..." — conflict.
+  OperatorTree tree = ThreeRelTree(OpType::kLeftOuterjoin, OpType::kLeftSemijoin);
+  TesAnalysis a = ComputeTes(tree);
+  EXPECT_EQ(a.tes[tree.root], Set({0, 1, 2}));
+}
+
+TEST(SesTes, AntijoinAboveLojConflicts) {
+  // (R0 P R1) I R2: Fig. 9 "(R P S) I T ≠ ..." — conflict.
+  OperatorTree tree = ThreeRelTree(OpType::kLeftOuterjoin, OpType::kLeftAntijoin);
+  TesAnalysis a = ComputeTes(tree);
+  EXPECT_EQ(a.tes[tree.root], Set({0, 1, 2}));
+}
+
+TEST(SesTes, R1SoundnessFixAbsorbsRightNestedDescendant) {
+  // R0 P (R1 P R2) where the outer predicate references R0 and R2 only —
+  // Case R1 with a non-commutative descendant. The published rules would
+  // leave TES = {0,2}; the soundness fix must absorb the inner LOJ's TES.
+  OperatorTree tree;
+  for (int i = 0; i < 3; ++i) {
+    RelationInfo rel;
+    rel.cardinality = 100;
+    tree.relations.push_back(rel);
+  }
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  int l2 = tree.AddLeaf(2);
+  int inner = tree.AddOp(OpType::kLeftOuterjoin, l1, l2,
+                         {tree.AddPredicate(Set({1, 2}), 0.1)});
+  tree.root = tree.AddOp(OpType::kLeftOuterjoin, l0, inner,
+                         {tree.AddPredicate(Set({0, 2}), 0.2)});
+  ASSERT_TRUE(tree.Finalize().ok());
+  tree.FillDefaultPayloads();
+  TesAnalysis a = ComputeTes(tree);
+  EXPECT_EQ(a.tes[tree.root], Set({0, 1, 2}));
+}
+
+TEST(SesTes, LojChainStaysReorderable) {
+  // (R0 P R1) P R2 with pST strong: 4.46, no conflict.
+  OperatorTree tree =
+      ThreeRelTree(OpType::kLeftOuterjoin, OpType::kLeftOuterjoin);
+  TesAnalysis a = ComputeTes(tree);
+  EXPECT_EQ(a.tes[tree.root], Set({1, 2}));
+}
+
+TEST(SesTes, LcConditionRequiresRightTablesOverlap) {
+  // LOJ below join, but the join predicate references R0 and R2 only —
+  // RightTables(join, loj) = {R1}, FT(p) ∩ {R1} = ∅, so no conflict applies
+  // even though OC(loj, join) would be true (this is Case L1 handled by
+  // Theorem 1 eq. (2): joins commute past LOP operators on the left arg).
+  OperatorTree tree;
+  for (int i = 0; i < 3; ++i) {
+    RelationInfo rel;
+    rel.cardinality = 100;
+    tree.relations.push_back(rel);
+  }
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  int loj = tree.AddOp(OpType::kLeftOuterjoin, l0, l1,
+                       {tree.AddPredicate(Set({0, 1}), 0.1)});
+  int l2 = tree.AddLeaf(2);
+  tree.root = tree.AddOp(OpType::kJoin, loj, l2,
+                         {tree.AddPredicate(Set({0, 2}), 0.2)});
+  ASSERT_TRUE(tree.Finalize().ok());
+  tree.FillDefaultPayloads();
+  TesAnalysis a = ComputeTes(tree);
+  EXPECT_EQ(a.tes[tree.root], Set({0, 2}));
+}
+
+TEST(SesTes, DerivedHyperedgesSplitTes) {
+  OperatorTree tree = ThreeRelTree(OpType::kLeftOuterjoin, OpType::kJoin);
+  DerivedQuery dq = DeriveQuery(tree);
+  ASSERT_EQ(dq.graph.NumEdges(), 2);
+  // Post-order: the LOJ edge first, then the conflicted join edge.
+  const Hyperedge& loj = dq.graph.edge(0);
+  EXPECT_EQ(loj.op, OpType::kLeftOuterjoin);
+  EXPECT_EQ(loj.left, Set({0}));
+  EXPECT_EQ(loj.right, Set({1}));
+  const Hyperedge& join = dq.graph.edge(1);
+  EXPECT_EQ(join.op, OpType::kJoin);
+  EXPECT_EQ(join.left, Set({0, 1}));  // TES \ r — the LOJ must finish first
+  EXPECT_EQ(join.right, Set({2}));
+}
+
+TEST(SesTes, SesGraphStaysSimple) {
+  OperatorTree tree = ThreeRelTree(OpType::kLeftOuterjoin, OpType::kJoin);
+  DerivedQuery dq = DeriveQuery(tree);
+  // The generate-and-test form keeps SES edges (simple here) and records
+  // the TES split as a constraint instead.
+  EXPECT_TRUE(dq.ses_graph.edge(1).IsSimple());
+  EXPECT_EQ(dq.tes_constraints[1].left, Set({0, 1}));
+  EXPECT_EQ(dq.tes_constraints[1].right, Set({2}));
+}
+
+TEST(SesTes, NestjoinAttributeReferenceForcesCompletion) {
+  // R0 NEST R1 below a join whose predicate references the nestjoin's
+  // computed attribute: third CalcTES rule.
+  OperatorTree tree;
+  for (int i = 0; i < 3; ++i) {
+    RelationInfo rel;
+    rel.cardinality = 100;
+    tree.relations.push_back(rel);
+  }
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  int nest = tree.AddOp(OpType::kLeftNestjoin, l0, l1,
+                        {tree.AddPredicate(Set({0, 1}), 0.1)},
+                        /*agg_tables=*/Set({1}));
+  int l2 = tree.AddLeaf(2);
+  int p = tree.AddPredicate(Set({0, 2}), 0.2);
+  tree.predicates[p].nestjoin_refs.push_back(nest);
+  tree.root = tree.AddOp(OpType::kJoin, nest, l2, {p});
+  ASSERT_TRUE(tree.Finalize().ok());
+  tree.FillDefaultPayloads();
+  TesAnalysis a = ComputeTes(tree);
+  EXPECT_TRUE(Set({0, 1}).IsSubsetOf(a.tes[tree.root]));
+}
+
+TEST(SesTes, Fig8aStarEdgesShrinkSearchSpaceWithAntijoins) {
+  // With all antijoins, every derived edge's left side is the full prefix:
+  // the plan space collapses to the original left-deep chain (O(n), Sec 5.7).
+  SyntheticNonInnerWorkload w = MakeStarAntijoinWorkload(6, 6);
+  for (int e = 0; e < w.graph.NumEdges(); ++e) {
+    const Hyperedge& edge = w.graph.edge(e);
+    EXPECT_EQ(edge.left, NodeSet::FullSet(e + 1)) << e;
+    EXPECT_EQ(edge.right, NodeSet::Single(e + 1)) << e;
+    EXPECT_TRUE(w.ses_graph.edge(e).IsSimple()) << e;
+  }
+}
+
+TEST(SesTes, Fig8aStarAllInnerStaysSimple) {
+  SyntheticNonInnerWorkload w = MakeStarAntijoinWorkload(6, 0);
+  for (int e = 0; e < w.graph.NumEdges(); ++e) {
+    EXPECT_TRUE(w.graph.edge(e).IsSimple()) << e;
+    EXPECT_EQ(w.graph.edge(e).op, OpType::kJoin);
+  }
+}
+
+TEST(SesTes, Fig8aHubPredicateAntijoinsStayIndependent) {
+  // Counterpoint to the synthetic workload: with hub-only predicates the
+  // paper's own conflict rules leave antijoins mutually reorderable (Case
+  // L1 / Theorem 1 eq. 2), so the executable optree version keeps TES = SES.
+  OperatorTree tree = MakeStarAntijoinTree(6, 6);
+  DerivedQuery dq = DeriveQuery(tree);
+  for (size_t op = 0; op < dq.edge_to_op.size(); ++op) {
+    int node = dq.edge_to_op[op];
+    EXPECT_EQ(dq.analysis.tes[node], dq.analysis.ses[node]);
+  }
+}
+
+TEST(SesTes, Fig8bMixedOuterJoinsConflictButPureOnesDoNot) {
+  // Inner joins above outer joins conflict (4.48): mixed trees derive true
+  // hyperedges. Pure inner and pure outer trees keep exactly one complex
+  // edge — the final operator merges the chain and cycle-closing conjuncts
+  // into one per-operator hyperedge (Sec. 5.7 derives edges per operator).
+  auto count_complex = [](int n, int k) {
+    OperatorTree tree = MakeCycleOuterjoinTree(n, k);
+    DerivedQuery dq = DeriveQuery(tree);
+    return static_cast<int>(dq.graph.complex_edge_ids().size());
+  };
+  EXPECT_EQ(count_complex(8, 0), 1);
+  EXPECT_EQ(count_complex(8, 7), 1);
+  EXPECT_GT(count_complex(8, 3), 1);
+}
+
+TEST(SesTes, ReferencePlanMatchesTreeShape) {
+  OperatorTree tree = ThreeRelTree(OpType::kLeftOuterjoin, OpType::kJoin);
+  OperatorTree normalized;
+  DerivedQuery dq = DeriveQuery(tree, &normalized);
+  CardinalityEstimator est(dq.graph);
+  PlanTree ref = ReferencePlan(normalized, dq, est, DefaultCostModel());
+  ASSERT_TRUE(ref.Valid());
+  EXPECT_EQ(ref.root()->set, NodeSet::FullSet(3));
+  EXPECT_EQ(ref.root()->op, OpType::kJoin);
+  EXPECT_EQ(ref.root()->left->op, OpType::kLeftOuterjoin);
+  EXPECT_GT(ref.root()->cost, 0.0);
+}
+
+}  // namespace
+}  // namespace dphyp

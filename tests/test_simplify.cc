@@ -1,0 +1,197 @@
+// Outer-join simplification tests: structural rewrites on hand-built trees
+// plus the semantic property that simplification never changes results.
+#include "reorder/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dphyp.h"
+#include "exec/executor.h"
+#include "reorder/ses_tes.h"
+#include "workload/optree_gen.h"
+
+namespace dphyp {
+namespace {
+
+NodeSet Set(std::initializer_list<int> nodes) {
+  NodeSet s;
+  for (int v : nodes) s |= NodeSet::Single(v);
+  return s;
+}
+
+OperatorTree TwoOpTree(OpType lower, OpType upper, NodeSet upper_pred) {
+  OperatorTree tree;
+  for (int i = 0; i < 3; ++i) {
+    RelationInfo rel;
+    rel.name = "R" + std::to_string(i);
+    rel.cardinality = 50;
+    tree.relations.push_back(rel);
+  }
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  int inner = tree.AddOp(lower, l0, l1, {tree.AddPredicate(Set({0, 1}), 0.1)});
+  int l2 = tree.AddLeaf(2);
+  tree.root = tree.AddOp(upper, inner, l2, {tree.AddPredicate(upper_pred, 0.2)});
+  EXPECT_TRUE(tree.Finalize().ok());
+  tree.FillDefaultPayloads();
+  return tree;
+}
+
+TEST(Simplify, LojUnderStrongJoinBecomesJoin) {
+  // (R0 LOJ R1) JOIN_{p(R1,R2)} R2: the join predicate is strong on R1, so
+  // padded tuples never survive — classic 4.48 simplification.
+  OperatorTree tree =
+      TwoOpTree(OpType::kLeftOuterjoin, OpType::kJoin, Set({1, 2}));
+  EXPECT_EQ(SimplifyOperatorTree(&tree), 1);
+  int inner = tree.nodes[tree.root].left;
+  EXPECT_EQ(tree.nodes[inner].op, OpType::kJoin);
+}
+
+TEST(Simplify, LojUnderJoinOnPreservedSideStays) {
+  // (R0 LOJ R1) JOIN_{p(R0,R2)} R2: predicate only touches the preserved
+  // side; padding survives — no rewrite.
+  OperatorTree tree =
+      TwoOpTree(OpType::kLeftOuterjoin, OpType::kJoin, Set({0, 2}));
+  EXPECT_EQ(SimplifyOperatorTree(&tree), 0);
+  int inner = tree.nodes[tree.root].left;
+  EXPECT_EQ(tree.nodes[inner].op, OpType::kLeftOuterjoin);
+}
+
+TEST(Simplify, LojUnderOuterJoinStays) {
+  // (R0 LOJ R1) LOJ_{p(R1,R2)} R2: the upper operator pads instead of
+  // rejecting; the inner padding survives — no rewrite.
+  OperatorTree tree =
+      TwoOpTree(OpType::kLeftOuterjoin, OpType::kLeftOuterjoin, Set({1, 2}));
+  EXPECT_EQ(SimplifyOperatorTree(&tree), 0);
+}
+
+TEST(Simplify, LojUnderSemijoinBecomesJoin) {
+  // Semijoins reject failing left tuples just like joins.
+  OperatorTree tree =
+      TwoOpTree(OpType::kLeftOuterjoin, OpType::kLeftSemijoin, Set({1, 2}));
+  EXPECT_EQ(SimplifyOperatorTree(&tree), 1);
+}
+
+TEST(Simplify, LojUnderAntijoinStays) {
+  // Antijoins *keep* tuples that fail the predicate — padding survives.
+  OperatorTree tree =
+      TwoOpTree(OpType::kLeftOuterjoin, OpType::kLeftAntijoin, Set({1, 2}));
+  EXPECT_EQ(SimplifyOperatorTree(&tree), 0);
+}
+
+TEST(Simplify, FojDegeneratesPerSide) {
+  // FOJ under a join predicate strong on the right side: the left-preserved
+  // padding dies, right-preserved survives -> children swapped, LOJ.
+  {
+    OperatorTree tree =
+        TwoOpTree(OpType::kFullOuterjoin, OpType::kJoin, Set({1, 2}));
+    EXPECT_EQ(SimplifyOperatorTree(&tree), 1);
+    int inner = tree.nodes[tree.root].left;
+    EXPECT_EQ(tree.nodes[inner].op, OpType::kLeftOuterjoin);
+    // Swapped: R1 is now the preserved (left) child.
+    EXPECT_EQ(tree.nodes[tree.nodes[inner].left].relation, 1);
+  }
+  // Strong on the left side: right-preserved padding dies -> LOJ, no swap.
+  {
+    OperatorTree tree =
+        TwoOpTree(OpType::kFullOuterjoin, OpType::kJoin, Set({0, 2}));
+    EXPECT_EQ(SimplifyOperatorTree(&tree), 1);
+    int inner = tree.nodes[tree.root].left;
+    EXPECT_EQ(tree.nodes[inner].op, OpType::kLeftOuterjoin);
+    EXPECT_EQ(tree.nodes[tree.nodes[inner].left].relation, 0);
+  }
+}
+
+TEST(Simplify, FojUnderBothSidedPredicatesBecomesJoin) {
+  // Two conjuncts covering both sides: all padding dies.
+  OperatorTree tree;
+  for (int i = 0; i < 3; ++i) {
+    RelationInfo rel;
+    rel.cardinality = 50;
+    tree.relations.push_back(rel);
+  }
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  int inner = tree.AddOp(OpType::kFullOuterjoin, l0, l1,
+                         {tree.AddPredicate(Set({0, 1}), 0.1)});
+  int l2 = tree.AddLeaf(2);
+  tree.root = tree.AddOp(OpType::kJoin, inner, l2,
+                         {tree.AddPredicate(Set({0, 2}), 0.2),
+                          tree.AddPredicate(Set({1, 2}), 0.2)});
+  ASSERT_TRUE(tree.Finalize().ok());
+  tree.FillDefaultPayloads();
+  EXPECT_EQ(SimplifyOperatorTree(&tree), 1);
+  EXPECT_EQ(tree.nodes[inner].op, OpType::kJoin);
+}
+
+TEST(Simplify, RejectionPropagatesThroughDeepTrees) {
+  // ((R0 LOJ R1) JOIN_{p01?} R2) JOIN_{p(R1,R3)} R3 — the rejection comes
+  // from the *grand*parent's predicate.
+  OperatorTree tree;
+  for (int i = 0; i < 4; ++i) {
+    RelationInfo rel;
+    rel.cardinality = 50;
+    tree.relations.push_back(rel);
+  }
+  int l0 = tree.AddLeaf(0);
+  int l1 = tree.AddLeaf(1);
+  int loj = tree.AddOp(OpType::kLeftOuterjoin, l0, l1,
+                       {tree.AddPredicate(Set({0, 1}), 0.1)});
+  int l2 = tree.AddLeaf(2);
+  int join1 = tree.AddOp(OpType::kJoin, loj, l2,
+                         {tree.AddPredicate(Set({0, 2}), 0.2)});
+  int l3 = tree.AddLeaf(3);
+  tree.root = tree.AddOp(OpType::kJoin, join1, l3,
+                         {tree.AddPredicate(Set({1, 3}), 0.2)});
+  ASSERT_TRUE(tree.Finalize().ok());
+  tree.FillDefaultPayloads();
+  EXPECT_EQ(SimplifyOperatorTree(&tree), 1);
+  EXPECT_EQ(tree.nodes[loj].op, OpType::kJoin);
+}
+
+// Property: simplification preserves semantics on data, and the simplified
+// tree still optimizes to an equivalent plan.
+class SimplifySemantics : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplifySemantics, SimplificationPreservesResults) {
+  RandomTreeOptions opts;
+  opts.non_inner_prob = 0.6;
+  opts.lateral_prob = 0.0;
+  OperatorTree original = MakeRandomOperatorTree(5, GetParam(), opts);
+  OperatorTree simplified = original;
+  SimplifyOperatorTree(&simplified);
+
+  // Execute both original trees directly (reference plans on their own
+  // derived graphs) and compare.
+  OperatorTree norm_a, norm_b;
+  DerivedQuery dq_a = DeriveQuery(original, &norm_a);
+  DerivedQuery dq_b = DeriveQuery(simplified, &norm_b);
+  CardinalityEstimator est_a(dq_a.graph);
+  CardinalityEstimator est_b(dq_b.graph);
+
+  Dataset data = Dataset::Generate(norm_a.relations, 6, GetParam());
+  Executor exec_a(data, dq_a.graph, norm_a.relations,
+                  ConjunctsFromTree(norm_a, dq_a.edge_to_op));
+  Executor exec_b(data, dq_b.graph, norm_b.relations,
+                  ConjunctsFromTree(norm_b, dq_b.edge_to_op));
+
+  ExecResult res_a =
+      exec_a.Execute(ReferencePlan(norm_a, dq_a, est_a, DefaultCostModel()));
+  ExecResult res_b =
+      exec_b.Execute(ReferencePlan(norm_b, dq_b, est_b, DefaultCostModel()));
+  EXPECT_TRUE(res_a.SameAs(res_b))
+      << "simplification changed semantics!\noriginal:   "
+      << original.ToString() << "\nsimplified: " << simplified.ToString();
+
+  // And the optimizer on the simplified tree still agrees with the
+  // original tree's results.
+  OptimizeResult r = OptimizeDphyp(dq_b.graph, est_b, DefaultCostModel());
+  ASSERT_TRUE(r.success) << r.error;
+  ExecResult optimized = exec_b.Execute(r.ExtractPlan(dq_b.graph));
+  EXPECT_TRUE(optimized.SameAs(res_a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifySemantics,
+                         ::testing::Range<uint64_t>(200, 230));
+
+}  // namespace
+}  // namespace dphyp

@@ -1,0 +1,69 @@
+#include "util/subset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dphyp {
+namespace {
+
+TEST(Subsets, EmptyMaskYieldsNothing) {
+  int count = 0;
+  for (NodeSet s : NonEmptySubsetsOf(NodeSet())) {
+    (void)s;
+    ++count;
+  }
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Subsets, SingletonMask) {
+  std::vector<NodeSet> seen;
+  for (NodeSet s : NonEmptySubsetsOf(NodeSet::Single(3))) seen.push_back(s);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], NodeSet::Single(3));
+}
+
+TEST(Subsets, IncreasingNumericOrder) {
+  NodeSet mask = NodeSet::Single(0) | NodeSet::Single(2) | NodeSet::Single(5);
+  uint64_t prev = 0;
+  for (NodeSet s : NonEmptySubsetsOf(mask)) {
+    EXPECT_GT(s.bits(), prev);
+    prev = s.bits();
+  }
+}
+
+// Property: the Vance-Maier walk enumerates every non-empty subset exactly
+// once, for masks of any popcount.
+class SubsetCompleteness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubsetCompleteness, AllSubsetsOnce) {
+  NodeSet mask(GetParam());
+  std::set<uint64_t> seen;
+  for (NodeSet s : NonEmptySubsetsOf(mask)) {
+    EXPECT_TRUE(s.IsSubsetOf(mask));
+    EXPECT_FALSE(s.Empty());
+    EXPECT_TRUE(seen.insert(s.bits()).second) << "duplicate subset";
+  }
+  EXPECT_EQ(seen.size(), (uint64_t{1} << mask.Count()) - 1);
+}
+
+TEST_P(SubsetCompleteness, ProperSubsetsExcludeMask) {
+  NodeSet mask(GetParam());
+  std::set<uint64_t> seen;
+  for (NodeSet s : ProperSubsetsOf(mask)) {
+    EXPECT_TRUE(s.IsSubsetOf(mask));
+    EXPECT_NE(s, mask);
+    EXPECT_TRUE(seen.insert(s.bits()).second);
+  }
+  uint64_t expected = mask.Empty() ? 0 : (uint64_t{1} << mask.Count()) - 2;
+  EXPECT_EQ(seen.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Masks, SubsetCompleteness,
+    ::testing::Values(0b1ULL, 0b11ULL, 0b1010ULL, 0b110110ULL, 0xFFULL,
+                      0b10000000001ULL, 0x8000000000000001ULL, 0x3FFULL));
+
+}  // namespace
+}  // namespace dphyp

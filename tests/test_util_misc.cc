@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "util/arena.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace dphyp {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true;
+  bool any_diff_seed_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    if (va != b.Next()) all_equal = false;
+    if (va != c.Next()) any_diff_seed_diff = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed_diff);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Arena, AllocatesAlignedAndGrows) {
+  Arena arena(128);  // tiny blocks to force growth
+  void* p1 = arena.Allocate(100, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p1) % 8, 0u);
+  void* p2 = arena.Allocate(100, 16);  // forces a second block
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p2) % 16, 0u);
+  std::memset(p1, 0xAB, 100);
+  std::memset(p2, 0xCD, 100);
+  EXPECT_GE(arena.bytes_used(), 200u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+TEST(Arena, NewConstructsObjects) {
+  Arena arena;
+  struct Pod {
+    int a;
+    double b;
+  };
+  Pod* p = arena.New<Pod>(Pod{3, 2.5});
+  EXPECT_EQ(p->a, 3);
+  EXPECT_DOUBLE_EQ(p->b, 2.5);
+  int* arr = arena.NewArray<int>(100);
+  for (int i = 0; i < 100; ++i) arr[i] = i;
+  EXPECT_EQ(arr[99], 99);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+
+  Result<int> bad(Err("boom"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message, "boom");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtil, SplitAndTrim) {
+  auto parts = SplitAndTrim(" a , b ,, c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtil, Padding) {
+  EXPECT_EQ(PadLeft("x", 3), "  x");
+  EXPECT_EQ(PadRight("x", 3), "x  ");
+  EXPECT_EQ(PadLeft("xyz", 2), "xyz");
+}
+
+TEST(StringUtil, FormatMillis) {
+  EXPECT_EQ(FormatMillis(0.1234), "0.123");
+  EXPECT_EQ(FormatMillis(12.344), "12.34");
+  EXPECT_EQ(FormatMillis(1234.2), "1234");
+}
+
+TEST(Timer, MeasuresSomething) {
+  Timer t;
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.ElapsedMicros(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), 0.0);
+}
+
+TEST(Timer, MeasureMillisRepeats) {
+  int calls = 0;
+  double ms = MeasureMillis([&] { ++calls; }, /*min_total_ms=*/1.0,
+                            /*max_reps=*/50);
+  EXPECT_GE(ms, 0.0);
+  EXPECT_GE(calls, 2);  // warmup + at least one measured call
+}
+
+}  // namespace
+}  // namespace dphyp

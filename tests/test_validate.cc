@@ -1,0 +1,113 @@
+// Plan validator tests: every optimizer output must validate; hand-built
+// broken plans must be rejected with the right diagnostics.
+#include "plan/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/all_algorithms.h"
+#include "hypergraph/builder.h"
+#include "reorder/ses_tes.h"
+#include "workload/generators.h"
+#include "workload/optree_gen.h"
+
+namespace dphyp {
+namespace {
+
+TEST(Validate, AcceptsOptimizerOutput) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Hypergraph g = BuildHypergraphOrDie(MakeRandomHypergraphQuery(8, 3, seed));
+    for (Algorithm algo : {Algorithm::kDphyp, Algorithm::kDpsize,
+                           Algorithm::kTdPartition}) {
+      OptimizeResult r = Optimize(algo, g);
+      ASSERT_TRUE(r.success) << AlgorithmName(algo);
+      PlanTree plan = r.ExtractPlan(g);
+      Result<bool> valid = ValidatePlanTree(g, plan);
+      EXPECT_TRUE(valid.ok()) << AlgorithmName(algo) << " seed " << seed
+                              << ": " << valid.error().message;
+    }
+  }
+}
+
+TEST(Validate, AcceptsNonInnerPlans) {
+  for (uint64_t seed = 60; seed < 75; ++seed) {
+    RandomTreeOptions opts;
+    opts.non_inner_prob = 0.6;
+    opts.lateral_prob = 0.3;
+    OperatorTree tree = MakeRandomOperatorTree(5, seed, opts);
+    DerivedQuery dq = DeriveQuery(tree);
+    CardinalityEstimator est(dq.graph);
+    OptimizeResult r = OptimizeDphyp(dq.graph, est, DefaultCostModel());
+    ASSERT_TRUE(r.success);
+    PlanTree plan = r.ExtractPlan(dq.graph);
+    Result<bool> valid = ValidatePlanTree(dq.graph, plan);
+    EXPECT_TRUE(valid.ok()) << "seed " << seed << ": "
+                            << valid.error().message;
+  }
+}
+
+TEST(Validate, RejectsCrossProduct) {
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(3));
+  PlanBuilder builder;
+  const PlanTreeNode* r0 = builder.Leaf(0);
+  const PlanTreeNode* r2 = builder.Leaf(2);
+  const PlanTreeNode* cross = builder.Op(OpType::kJoin, r0, r2);
+  const PlanTreeNode* r1 = builder.Leaf(1);
+  PlanTree plan = builder.Build(builder.Op(OpType::kJoin, cross, r1));
+  Result<bool> valid = ValidatePlanTree(g, plan);
+  ASSERT_FALSE(valid.ok());
+  EXPECT_NE(valid.error().message.find("cross product"), std::string::npos);
+}
+
+TEST(Validate, RejectsWrongOperator) {
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(2));
+  PlanBuilder builder;
+  PlanTree plan = builder.Build(builder.Op(OpType::kLeftAntijoin,
+                                           builder.Leaf(0), builder.Leaf(1)));
+  Result<bool> valid = ValidatePlanTree(g, plan);
+  ASSERT_FALSE(valid.ok());
+  EXPECT_NE(valid.error().message.find("inner edges"), std::string::npos);
+}
+
+TEST(Validate, RejectsWrongOrientation) {
+  QuerySpec spec;
+  spec.AddRelation("A", 10);
+  spec.AddRelation("B", 10);
+  spec.AddSimplePredicate(0, 1, 0.1, OpType::kLeftAntijoin);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  PlanBuilder builder;
+  // Antijoin the wrong way round: B ANTI A while the edge demands A ANTI B.
+  PlanTree plan = builder.Build(builder.Op(OpType::kLeftAntijoin,
+                                           builder.Leaf(1), builder.Leaf(0)));
+  Result<bool> valid = ValidatePlanTree(g, plan);
+  ASSERT_FALSE(valid.ok());
+  EXPECT_NE(valid.error().message.find("orientation"), std::string::npos);
+}
+
+TEST(Validate, RejectsMissingDependentConversion) {
+  QuerySpec spec;
+  spec.AddRelation("R0", 10);
+  spec.AddRelation("F1", 10);
+  spec.relations[1].free_tables = NodeSet::Single(0);
+  spec.AddSimplePredicate(0, 1, 0.1);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  PlanBuilder builder;
+  // Lateral right side but a plain join.
+  PlanTree plan = builder.Build(
+      builder.Op(OpType::kJoin, builder.Leaf(0), builder.Leaf(1)));
+  Result<bool> valid = ValidatePlanTree(g, plan);
+  ASSERT_FALSE(valid.ok());
+  EXPECT_NE(valid.error().message.find("dependent"), std::string::npos);
+}
+
+TEST(Validate, AcceptsHonestHandBuiltPlan) {
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(3));
+  PlanBuilder builder;
+  const PlanTreeNode* r01 =
+      builder.Op(OpType::kJoin, builder.Leaf(0), builder.Leaf(1));
+  PlanTree plan = builder.Build(builder.Op(OpType::kJoin, r01, builder.Leaf(2)));
+  Result<bool> valid = ValidatePlanTree(g, plan);
+  EXPECT_TRUE(valid.ok()) << valid.error().message;
+}
+
+}  // namespace
+}  // namespace dphyp
