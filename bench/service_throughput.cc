@@ -1,0 +1,121 @@
+// Service throughput: queries/sec for single- vs multi-thread and cold vs
+// warm cache on the mixed chain/star/cycle/clique traffic, plus a
+// determinism check (concurrent batch costs must be bit-identical to the
+// single-threaded, cache-less reference).
+//
+// Environment knobs: DPHYP_SERVICE_QUERIES (default 400),
+// DPHYP_SERVICE_THREADS (default hardware concurrency).
+#include <thread>
+
+#include "bench/harness.h"
+#include "service/plan_service.h"
+#include "workload/generators.h"
+
+using namespace dphyp;
+using namespace dphyp::bench;
+
+namespace {
+
+struct Row {
+  const char* config;
+  ServiceStats stats;
+};
+
+BatchOutcome RunConfig(const std::vector<QuerySpec>& traffic, int threads,
+                       bool warm_first) {
+  ServiceOptions opts;
+  opts.num_threads = threads;
+  opts.cache_byte_budget = 16 << 20;
+  PlanService service(opts);
+  if (warm_first) {
+    BatchOutcome warmup = service.OptimizeBatch(traffic);
+    if (warmup.stats.failures > 0) {
+      std::fprintf(stderr, "warmup failures\n");
+      std::exit(1);
+    }
+  }
+  return service.OptimizeBatch(traffic);
+}
+
+}  // namespace
+
+int main() {
+  int num_queries = EnvInt("DPHYP_SERVICE_QUERIES", 400);
+  if (num_queries < 1) num_queries = 1;
+  int threads = EnvInt("DPHYP_SERVICE_THREADS", 0);
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+
+  TrafficMixOptions mix;
+  mix.seed = 99;
+  mix.min_relations = 6;
+  mix.max_relations = 22;
+  mix.clique_max_relations = 13;
+  mix.distinct_templates = 32;
+  const std::vector<QuerySpec> traffic = GenerateTrafficMix(num_queries, mix);
+
+  // Reference: single thread, no cache. Also the determinism baseline.
+  ServiceOptions ref_opts;
+  ref_opts.num_threads = 1;
+  ref_opts.cache_byte_budget = 0;
+  PlanService reference(ref_opts);
+  BatchOutcome ref = reference.OptimizeBatch(traffic);
+  if (ref.stats.failures > 0) {
+    std::fprintf(stderr, "reference run had failures\n");
+    return 1;
+  }
+
+  std::vector<Row> rows;
+  rows.push_back({"1 thread, no cache", ref.stats});
+  rows.push_back({"1 thread, cold cache",
+                  RunConfig(traffic, 1, /*warm_first=*/false).stats});
+  rows.push_back({"1 thread, warm cache",
+                  RunConfig(traffic, 1, /*warm_first=*/true).stats});
+  BatchOutcome multi_cold = RunConfig(traffic, threads, /*warm_first=*/false);
+  rows.push_back({"N threads, cold cache", multi_cold.stats});
+  BatchOutcome multi_warm = RunConfig(traffic, threads, /*warm_first=*/true);
+  rows.push_back({"N threads, warm cache", multi_warm.stats});
+
+  // Determinism: concurrency and caching must not change a single cost bit.
+  for (const BatchOutcome* out : {&multi_cold, &multi_warm}) {
+    for (size_t i = 0; i < traffic.size(); ++i) {
+      if (out->results[i].cost != ref.results[i].cost) {
+        std::fprintf(stderr, "cost mismatch at query %zu\n", i);
+        return 1;
+      }
+    }
+  }
+
+  std::printf("service throughput, %d queries, N = %d threads\n\n", num_queries,
+              threads);
+  TablePrinter table({"config", "qps", "p50 ms", "p99 ms", "hit rate"});
+  char buf[64];
+  for (const Row& row : rows) {
+    std::vector<std::string> cells;
+    cells.push_back(row.config);
+    std::snprintf(buf, sizeof(buf), "%.0f", row.stats.queries_per_sec);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3f", row.stats.p50_latency_ms);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3f", row.stats.p99_latency_ms);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  row.stats.queries == 0
+                      ? 0.0
+                      : static_cast<double>(row.stats.cache_hits) /
+                            row.stats.queries);
+    cells.push_back(buf);
+    table.AddRow(cells);
+  }
+  table.Print();
+
+  const double speedup = multi_warm.stats.queries_per_sec /
+                         rows[1].stats.queries_per_sec;
+  std::printf(
+      "\nmulti-thread warm-cache vs single-thread cold-cache: %.1fx "
+      "(determinism check passed)\n",
+      speedup);
+  return speedup >= 2.0 ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+#include "baselines/goo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace dphyp {
+
+namespace {
+
+struct Candidate {
+  int i = 0;
+  int j = 0;
+  double out_card = 0.0;
+};
+
+}  // namespace
+
+OptimizeResult OptimizeGoo(const Hypergraph& graph,
+                           const CardinalityEstimator& est,
+                           const CostModel& cost_model,
+                           const OptimizerOptions& options) {
+  OptimizerContext ctx(graph, est, cost_model, options);
+  ctx.InitLeaves();
+
+  std::vector<NodeSet> comps;
+  comps.reserve(graph.NumNodes());
+  for (int v = 0; v < graph.NumNodes(); ++v) comps.push_back(NodeSet::Single(v));
+
+  // Component pairs are re-examined every round, but connectivity and the
+  // estimated join size of a pair never change while both components
+  // survive; memoizing them keeps GOO at O(n^2) estimator calls overall
+  // (NaN marks a disconnected pair).
+  std::map<std::pair<uint64_t, uint64_t>, double> pair_cache;
+  auto pair_card = [&](NodeSet a, NodeSet b) {
+    std::pair<uint64_t, uint64_t> key{std::min(a.bits(), b.bits()),
+                                      std::max(a.bits(), b.bits())};
+    auto it = pair_cache.find(key);
+    if (it != pair_cache.end()) return it->second;
+    double card = graph.ConnectsSets(a, b)
+                      ? est.Estimate(a | b)
+                      : std::numeric_limits<double>::quiet_NaN();
+    pair_cache.emplace(key, card);
+    return card;
+  };
+
+  while (comps.size() > 1) {
+    std::vector<Candidate> candidates;
+    for (size_t i = 0; i < comps.size(); ++i) {
+      for (size_t j = i + 1; j < comps.size(); ++j) {
+        double card = pair_card(comps[i], comps[j]);
+        if (std::isnan(card)) continue;
+        candidates.push_back({static_cast<int>(i), static_cast<int>(j), card});
+      }
+    }
+    // Smallest intermediate result first; ties resolved by component
+    // position, which is itself deterministic (merge order is deterministic).
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.out_card != b.out_card) return a.out_card < b.out_card;
+                if (a.i != b.i) return a.i < b.i;
+                return a.j < b.j;
+              });
+    // The greedy pick may be rejected by the combine step (TES violations,
+    // invalid operator constellations, lateral ordering), so fall through to
+    // the next-best pair until one merge sticks.
+    bool merged = false;
+    for (const Candidate& c : candidates) {
+      const NodeSet combined = comps[c.i] | comps[c.j];
+      ctx.EmitCsgCmp(comps[c.i], comps[c.j]);
+      // Require a real inner node, not just a table entry: a combine whose
+      // cost stayed +inf (cardinality overflow) records no children.
+      const PlanEntry* entry = ctx.table().Find(combined);
+      if (entry == nullptr || entry->IsLeaf()) continue;
+      comps[c.i] = combined;
+      comps.erase(comps.begin() + c.j);
+      merged = true;
+      break;
+    }
+    if (!merged) break;  // disconnected graph or no valid merge left
+  }
+
+  return ctx.Finish(graph.AllNodes());
+}
+
+OptimizeResult OptimizeGoo(const Hypergraph& graph) {
+  CardinalityEstimator est(graph);
+  return OptimizeGoo(graph, est, DefaultCostModel());
+}
+
+}  // namespace dphyp

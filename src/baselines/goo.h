@@ -1,0 +1,33 @@
+// Greedy operator ordering (GOO, Fegaras '98): a polynomial-time heuristic
+// fallback for graphs whose connected-subgraph count makes exhaustive DP
+// infeasible (Sec. 3.6 motivates bounding DP table growth). Starting from
+// the single-relation components, GOO repeatedly merges the connected
+// component pair whose join produces the smallest intermediate result,
+// until one component covers the whole query.
+//
+// GOO runs through the shared OptimizerContext combine step, so operator
+// recovery, TES validation, dependent conversion and costing behave exactly
+// as in the exhaustive algorithms; the result is a regular OptimizeResult
+// whose DP table holds one entry per merge (2n - 1 entries total), from
+// which ExtractPlan materializes a valid plan tree. The plan is *not*
+// guaranteed optimal — this is the price of handling 64-relation cliques.
+#ifndef DPHYP_BASELINES_GOO_H_
+#define DPHYP_BASELINES_GOO_H_
+
+#include "core/optimizer.h"
+
+namespace dphyp {
+
+/// Runs greedy operator ordering. Deterministic: ties between candidate
+/// merges are broken by the smaller (min-node, min-node) component pair.
+OptimizeResult OptimizeGoo(const Hypergraph& graph,
+                           const CardinalityEstimator& est,
+                           const CostModel& cost_model,
+                           const OptimizerOptions& options = {});
+
+/// Convenience wrapper with default estimator and cost model.
+OptimizeResult OptimizeGoo(const Hypergraph& graph);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_BASELINES_GOO_H_

@@ -92,4 +92,25 @@ void QuerySpec::FillDefaultPayloads() {
   }
 }
 
+bool QuerySpec::HasComplexPredicates() const {
+  for (const Predicate& p : predicates) {
+    if (!p.IsSimple()) return true;
+  }
+  return false;
+}
+
+bool QuerySpec::HasNonInnerPredicates() const {
+  for (const Predicate& p : predicates) {
+    if (p.op != OpType::kJoin) return true;
+  }
+  return false;
+}
+
+bool QuerySpec::HasDependentLeaves() const {
+  for (const RelationInfo& r : relations) {
+    if (!r.free_tables.Empty()) return true;
+  }
+  return false;
+}
+
 }  // namespace dphyp

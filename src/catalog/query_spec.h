@@ -96,6 +96,20 @@ struct QuerySpec {
   /// one column reference per referenced table (column 0) and a modulus
   /// derived from the requested selectivity.
   void FillDefaultPayloads();
+
+  // Spec-level shape accessors, for callers that want to classify a query
+  // before (or without) building its hypergraph — traffic tooling, demos,
+  // logging. The service itself inspects the built Hypergraph directly.
+
+  /// True if any predicate is a hyper predicate (non-singleton side or a
+  /// non-empty flex set).
+  bool HasComplexPredicates() const;
+
+  /// True if any predicate belongs to an operator other than inner join.
+  bool HasNonInnerPredicates() const;
+
+  /// True if any relation is a lateral leaf (non-empty free-table set).
+  bool HasDependentLeaves() const;
 };
 
 }  // namespace dphyp

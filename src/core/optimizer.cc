@@ -145,8 +145,13 @@ bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right) {
 OptimizeResult OptimizerContext::Finish(NodeSet root) {
   OptimizeResult result;
   result.root_set = root;
+  // Memory accounting (Sec. 3.6): sample the real table footprint exactly
+  // once, here, so every algorithm path — all of which exit through
+  // Finish() — reports consistent numbers. The DCHECK pins the invariant
+  // the accounting rests on: the footprint covers at least the live entries.
   stats_.dp_entries = table_.size();
   stats_.table_bytes = table_.MemoryBytes();
+  DPHYP_DCHECK(stats_.table_bytes >= stats_.dp_entries * sizeof(PlanEntry));
   const PlanEntry* best = table_.Find(root);
   if (best == nullptr) {
     result.success = false;

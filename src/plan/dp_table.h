@@ -65,7 +65,11 @@ class DpTable {
   /// Entries in insertion order.
   const std::vector<PlanEntry>& entries() const { return entries_; }
 
-  /// Approximate heap footprint, for the Sec. 3.6 memory accounting.
+  /// Heap footprint of the table as allocated right now: the entry array's
+  /// reserved capacity plus the open-addressing slot array (Sec. 3.6 memory
+  /// accounting). Every algorithm's OptimizerStats::table_bytes is this
+  /// value sampled at Finish() time; it is always at least
+  /// size() * sizeof(PlanEntry).
   size_t MemoryBytes() const {
     return entries_.capacity() * sizeof(PlanEntry) +
            slots_.capacity() * sizeof(uint32_t);

@@ -1,0 +1,71 @@
+// Adaptive enumerator dispatch: inspects the hypergraph's shape and routes
+// it to the cheapest algorithm that can handle it exactly — or to the GOO
+// heuristic when exhaustive DP would explode (the Sec. 3.6 table-growth
+// concern). The policy mirrors what production optimizers do: Hyrise
+// switches between EnumerateCcp-based DP and greedy ordering by query size,
+// PostgreSQL falls back to GEQO beyond geqo_threshold.
+#ifndef DPHYP_SERVICE_DISPATCH_H_
+#define DPHYP_SERVICE_DISPATCH_H_
+
+#include "baselines/all_algorithms.h"
+#include "baselines/goo.h"
+
+namespace dphyp {
+
+/// Where a query can be routed.
+enum class Route {
+  kDphyp,  ///< generalized hypergraphs, non-inner operators, laterals
+  kDpccp,  ///< simple inner graphs of moderate subgraph count
+  kDpsub,  ///< small dense simple graphs (the 2^n loop wins on cliques)
+  kGoo,    ///< heuristic fallback past the exact-DP feasibility frontier
+};
+
+inline constexpr int kNumRoutes = 4;
+
+const char* RouteName(Route route);
+
+/// Thresholds steering the routing decision. The defaults keep every exact
+/// route under a few hundred thousand DP entries (see README).
+struct DispatchPolicy {
+  /// Hard node-count ceiling for exhaustive DP on graphs that are not
+  /// chains/cycles (whose subgraph count is only quadratic).
+  int exact_node_limit = 22;
+  /// Exhaustive DP also requires the max simple-edge degree to stay below
+  /// this: a hub of degree d induces >= 2^d connected subgraphs (stars).
+  int max_exact_degree = 16;
+  /// DPsub is chosen for simple graphs up to this size when density is at
+  /// least `min_dpsub_density` (its 2^n loop has tiny constants).
+  int dpsub_node_limit = 12;
+  double min_dpsub_density = 0.8;
+  /// Dense graphs (edge density >= `min_dense_density`) get a stricter node
+  /// ceiling: their csg-cmp pair count grows like 3^n even when the table
+  /// itself (2^n entries) would still fit.
+  int dense_node_limit = 12;
+  double min_dense_density = 0.4;
+};
+
+/// The routing verdict plus a human-readable justification.
+struct DispatchDecision {
+  Route route = Route::kDphyp;
+  const char* reason = "";
+};
+
+/// Pure shape inspection; does not run anything.
+DispatchDecision ChooseRoute(const Hypergraph& graph,
+                             const DispatchPolicy& policy = {});
+
+/// Routes and runs. The returned result is exactly what the routed
+/// algorithm produced.
+OptimizeResult OptimizeAdaptive(const Hypergraph& graph,
+                                const CardinalityEstimator& est,
+                                const CostModel& cost_model,
+                                const DispatchPolicy& policy = {},
+                                const OptimizerOptions& options = {});
+
+/// Convenience wrapper with default estimator and cost model.
+OptimizeResult OptimizeAdaptive(const Hypergraph& graph,
+                                const DispatchPolicy& policy = {});
+
+}  // namespace dphyp
+
+#endif  // DPHYP_SERVICE_DISPATCH_H_

@@ -1,0 +1,132 @@
+#include "service/fingerprint.h"
+
+#include <bit>
+#include <vector>
+
+#include "hypergraph/builder.h"
+
+namespace dphyp {
+
+namespace {
+
+/// splitmix64 finalizer: the avalanche mixer used throughout the repo.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Order-sensitive combine (a then b != b then a).
+uint64_t Combine(uint64_t a, uint64_t b) {
+  return Mix(a + 0x9e3779b97f4a7c15ULL + (b ^ (a << 6) ^ (a >> 2)));
+}
+
+uint64_t DoubleBits(double d) { return std::bit_cast<uint64_t>(d); }
+
+// Domain-separation constants so e.g. a selectivity and a cardinality with
+// the same bit pattern cannot cancel out.
+constexpr uint64_t kCardTag = 0x5ca1ab1e0ddba11ULL;
+constexpr uint64_t kEdgeTag = 0xed6edULL * 0x10001ULL;
+constexpr uint64_t kFreeTag = 0xf4eeULL;
+constexpr uint64_t kNodeTag = 0x90deULL;
+
+/// Commutative digest of the colors of the members of `s`: wrapping sum of
+/// mixed colors, so any relabeling of the members yields the same value.
+uint64_t SideDigest(NodeSet s, const std::vector<uint64_t>& color) {
+  uint64_t acc = Mix(static_cast<uint64_t>(s.Count()) + 1);
+  for (int v : s) acc += Mix(color[v]);
+  return acc;
+}
+
+/// Digest of one edge under the current coloring. For commutative operators
+/// the two hypernode digests are aggregated symmetrically (left/right roles
+/// are interchangeable under relabeling); non-commutative operators keep
+/// their orientation.
+uint64_t EdgeDigest(const Hyperedge& e, const std::vector<uint64_t>& color) {
+  uint64_t l = SideDigest(e.left, color);
+  uint64_t r = SideDigest(e.right, color);
+  uint64_t f = SideDigest(e.flex, color);
+  uint64_t attrs = Combine(DoubleBits(e.selectivity),
+                           static_cast<uint64_t>(e.op) + kEdgeTag);
+  uint64_t sides = IsCommutative(e.op) ? Mix(l) + Mix(r) : Combine(l, r);
+  return Combine(Combine(sides, f), attrs);
+}
+
+}  // namespace
+
+std::string Fingerprint::ToString() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = kHex[(hi >> (4 * i)) & 0xf];
+    out[31 - i] = kHex[(lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+Fingerprint FingerprintHypergraph(const Hypergraph& graph) {
+  const int n = graph.NumNodes();
+  const int m = graph.NumEdges();
+
+  // Initial colors: node attributes only (no identity), so two nodes that
+  // are locally indistinguishable start with the same color.
+  std::vector<uint64_t> color(n);
+  for (int v = 0; v < n; ++v) {
+    const HypergraphNode& node = graph.node(v);
+    color[v] = Combine(DoubleBits(node.cardinality) + kCardTag,
+                       static_cast<uint64_t>(node.free_tables.Count()));
+  }
+
+  // Color refinement: each round folds the digests of a node's incident
+  // edges (computed with the previous round's colors) and of its free-table
+  // set into its color. Three rounds distinguish nodes up to WL-1, which is
+  // exact for the simple graph shapes the workload generators emit.
+  std::vector<uint64_t> next(n);
+  for (int round = 0; round < 3; ++round) {
+    for (int v = 0; v < n; ++v) next[v] = Mix(color[v] + kNodeTag);
+    for (int i = 0; i < m; ++i) {
+      const Hyperedge& e = graph.edge(i);
+      const uint64_t digest = EdgeDigest(e, color);
+      // Wrapping sums keep per-node accumulation order-independent.
+      const bool sym = IsCommutative(e.op);
+      for (int v : e.left) next[v] += Mix(digest + (sym ? 1 : 2));
+      for (int v : e.right) next[v] += Mix(digest + (sym ? 1 : 3));
+      for (int v : e.flex) next[v] += Mix(digest + 4);
+    }
+    for (int v = 0; v < n; ++v) {
+      if (!graph.node(v).free_tables.Empty()) {
+        next[v] += Mix(SideDigest(graph.node(v).free_tables, color) + kFreeTag);
+      }
+    }
+    color.swap(next);
+  }
+
+  // Final aggregation: commutative over nodes and over edges, with two
+  // independent mixes so hi and lo do not degenerate together.
+  uint64_t node_sum = 0, node_alt = 0;
+  for (int v = 0; v < n; ++v) {
+    node_sum += Mix(color[v]);
+    node_alt ^= Mix(color[v] + 0x517cc1b727220a95ULL);
+  }
+  uint64_t edge_sum = 0, edge_alt = 0;
+  for (int i = 0; i < m; ++i) {
+    const uint64_t digest = EdgeDigest(graph.edge(i), color);
+    edge_sum += Mix(digest);
+    edge_alt ^= Mix(digest + 0x2545f4914f6cdd1dULL);
+  }
+
+  Fingerprint fp;
+  fp.hi = Combine(Combine(node_sum, edge_sum),
+                  (static_cast<uint64_t>(n) << 32) | static_cast<uint64_t>(m));
+  fp.lo = Combine(Combine(node_alt, edge_alt), Mix(fp.hi));
+  return fp;
+}
+
+Fingerprint FingerprintQuery(const QuerySpec& spec) {
+  return FingerprintHypergraph(BuildHypergraphOrDie(spec));
+}
+
+}  // namespace dphyp

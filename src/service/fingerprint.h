@@ -1,0 +1,57 @@
+// Canonical query fingerprints for the plan cache.
+//
+// A fingerprint is a 128-bit digest of everything that determines the
+// optimizer's output for a hypergraph: node cardinalities, free-table sets
+// (laterals), every edge with its hypernode structure, selectivity and
+// operator type. Two structurally identical queries must collide, and — for
+// simple graphs — the digest is invariant under node *relabeling*: a chain
+// R0-R1-R2 hashes the same as the relabeled chain R2-R0-R1 with permuted
+// attributes. Invariance comes from a cheap canonicalization pass
+// (Weisfeiler-Leman-style color refinement on node attributes and incident
+// edges) followed by order-independent (commutative) aggregation of node and
+// edge digests, so no explicit canonical form is ever materialized.
+//
+// Relation *names* are deliberately excluded: they do not affect plans.
+#ifndef DPHYP_SERVICE_FINGERPRINT_H_
+#define DPHYP_SERVICE_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "catalog/query_spec.h"
+#include "hypergraph/hypergraph.h"
+
+namespace dphyp {
+
+/// 128-bit cache key. Value type; compared bitwise.
+struct Fingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+
+  /// 32 hex digits, e.g. for logs and the demo output.
+  std::string ToString() const;
+};
+
+/// Hash functor for hash maps keyed by Fingerprint.
+struct FingerprintHasher {
+  size_t operator()(const Fingerprint& fp) const {
+    // hi and lo are already well-mixed; fold them.
+    return static_cast<size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Digest of a built hypergraph (the form the service caches on, since the
+/// optimizer consumes hypergraphs).
+Fingerprint FingerprintHypergraph(const Hypergraph& graph);
+
+/// Convenience: builds the hypergraph for `spec` and digests it. Aborts on
+/// invalid specs (callers wanting error handling should build the graph via
+/// BuildHypergraph themselves and use FingerprintHypergraph).
+Fingerprint FingerprintQuery(const QuerySpec& spec);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_SERVICE_FINGERPRINT_H_

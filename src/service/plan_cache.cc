@@ -1,0 +1,254 @@
+#include "service/plan_cache.h"
+
+#include <bit>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dphyp {
+
+namespace {
+
+void CollectEntries(const DpTable& table, NodeSet s,
+                    std::vector<PlanEntry>* out) {
+  const PlanEntry* e = table.Find(s);
+  DPHYP_CHECK_MSG(e != nullptr, "plan serialization: missing DP entry");
+  if (!e->IsLeaf()) {
+    CollectEntries(table, e->left, out);
+    CollectEntries(table, e->right, out);
+  }
+  out->push_back(*e);
+}
+
+}  // namespace
+
+CachedPlan SerializePlan(const OptimizeResult& result) {
+  DPHYP_CHECK_MSG(result.success, "cannot serialize a failed optimization");
+  CachedPlan plan;
+  plan.root_set = result.root_set;
+  plan.cost = result.cost;
+  plan.cardinality = result.cardinality;
+  plan.stats = result.stats;
+  CollectEntries(result.table, result.root_set, &plan.entries);
+  plan.entries.shrink_to_fit();
+  return plan;
+}
+
+OptimizeResult MaterializePlan(const CachedPlan& plan) {
+  OptimizeResult result;
+  result.success = true;
+  result.cost = plan.cost;
+  result.cardinality = plan.cardinality;
+  result.root_set = plan.root_set;
+  DpTable table(plan.entries.size());
+  for (const PlanEntry& entry : plan.entries) {
+    *table.Insert(entry.set) = entry;
+  }
+  result.table = std::move(table);
+  result.stats = plan.stats;
+  return result;
+}
+
+bool PlanConsistentWithGraph(const CachedPlan& plan, const Hypergraph& graph,
+                             const CardinalityEstimator& est) {
+  if (plan.root_set != graph.AllNodes()) return false;
+  for (const PlanEntry& entry : plan.entries) {
+    if (entry.set.Empty() || !entry.set.IsSubsetOf(graph.AllNodes())) {
+      return false;
+    }
+    if (entry.IsLeaf()) {
+      if (!entry.set.IsSingleton()) return false;
+      if (entry.cardinality != graph.node(entry.set.Min()).cardinality) {
+        return false;
+      }
+      continue;
+    }
+    if ((entry.left | entry.right) != entry.set ||
+        entry.left.Intersects(entry.right)) {
+      return false;
+    }
+    if (!graph.ConnectsSets(entry.left, entry.right)) return false;
+    // The estimator is deterministic, so a genuine hit matches bit-for-bit;
+    // an attribute or structure mismatch shows up as a differing product.
+    if (entry.cardinality != est.Estimate(entry.set)) return false;
+  }
+  return true;
+}
+
+/// One cache shard: open-addressing index over a dense entry array, in the
+/// style of DpTable, plus LRU stamps and local counters. `slots_` stores
+/// entry_index + 1; 0 marks empty, kTombstone a deleted slot that probing
+/// must walk through.
+struct PlanCache::Shard {
+  static constexpr uint32_t kTombstone = std::numeric_limits<uint32_t>::max();
+
+  struct Entry {
+    Fingerprint key;
+    CachedPlan plan;
+    uint64_t last_used = 0;
+  };
+
+  mutable std::mutex mu;
+  std::vector<Entry> entries;
+  std::vector<uint32_t> slots;
+  size_t mask = 0;
+  size_t tombstones = 0;
+  size_t bytes = 0;
+  uint64_t clock = 0;
+  size_t budget = 0;
+  Stats stats;
+
+  explicit Shard(size_t byte_budget) : budget(byte_budget) {
+    slots.assign(64, 0);
+    mask = slots.size() - 1;
+  }
+
+  size_t Hash(const Fingerprint& key) const {
+    return FingerprintHasher()(key);
+  }
+
+  /// Returns the slot index holding `key`, or the first insertable slot
+  /// (empty or tombstone) if absent. `*found` tells which.
+  size_t Probe(const Fingerprint& key, bool* found) const {
+    size_t idx = Hash(key) & mask;
+    size_t first_free = SIZE_MAX;
+    for (;;) {
+      uint32_t slot = slots[idx];
+      if (slot == 0) {
+        *found = false;
+        return first_free != SIZE_MAX ? first_free : idx;
+      }
+      if (slot == kTombstone) {
+        if (first_free == SIZE_MAX) first_free = idx;
+      } else if (entries[slot - 1].key == key) {
+        *found = true;
+        return idx;
+      }
+      idx = (idx + 1) & mask;
+    }
+  }
+
+  void Rehash(size_t capacity) {
+    slots.assign(capacity, 0);
+    mask = capacity - 1;
+    tombstones = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      size_t idx = Hash(entries[i].key) & mask;
+      while (slots[idx] != 0) idx = (idx + 1) & mask;
+      slots[idx] = static_cast<uint32_t>(i + 1);
+    }
+  }
+
+  /// Removes the entry at dense index `i` (swap-with-last + slot fixup).
+  void RemoveEntry(size_t i) {
+    bool found = false;
+    size_t idx = Probe(entries[i].key, &found);
+    DPHYP_CHECK_MSG(found, "cache invariant: entry missing from index");
+    slots[idx] = kTombstone;
+    ++tombstones;
+    bytes -= entries[i].plan.ByteSize();
+    if (i + 1 != entries.size()) {
+      size_t moved_idx = Probe(entries.back().key, &found);
+      DPHYP_CHECK_MSG(found, "cache invariant: moved entry missing");
+      entries[i] = std::move(entries.back());
+      slots[moved_idx] = static_cast<uint32_t>(i + 1);
+    }
+    entries.pop_back();
+  }
+
+  /// Evicts least-recently-used entries until the shard fits its budget.
+  void EvictToBudget() {
+    while (bytes > budget && !entries.empty()) {
+      size_t victim = 0;
+      for (size_t i = 1; i < entries.size(); ++i) {
+        if (entries[i].last_used < entries[victim].last_used) victim = i;
+      }
+      RemoveEntry(victim);
+      ++stats.evictions;
+    }
+  }
+};
+
+PlanCache::PlanCache(size_t byte_budget, int shards) : byte_budget_(byte_budget) {
+  size_t n = std::bit_ceil(static_cast<size_t>(shards < 1 ? 1 : shards));
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(byte_budget / n));
+  }
+}
+
+PlanCache::~PlanCache() = default;
+
+PlanCache::Shard& PlanCache::ShardFor(const Fingerprint& key) {
+  // hi is avalanche-mixed; use its top bits so the shard choice is
+  // independent of the slot index bits used inside the shard.
+  size_t idx = static_cast<size_t>(key.hi >> 32) & (shards_.size() - 1);
+  return *shards_[idx];
+}
+
+bool PlanCache::Lookup(const Fingerprint& key, CachedPlan* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  bool found = false;
+  size_t idx = shard.Probe(key, &found);
+  if (!found) {
+    ++shard.stats.misses;
+    return false;
+  }
+  Shard::Entry& entry = shard.entries[shard.slots[idx] - 1];
+  entry.last_used = ++shard.clock;
+  ++shard.stats.hits;
+  if (out != nullptr) *out = entry.plan;
+  return true;
+}
+
+void PlanCache::Insert(const Fingerprint& key, CachedPlan plan) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  bool found = false;
+  size_t idx = shard.Probe(key, &found);
+  if (found) {
+    // Deterministic optimizers: same key => same plan. Refresh recency only.
+    shard.entries[shard.slots[idx] - 1].last_used = ++shard.clock;
+    return;
+  }
+  if ((shard.entries.size() + shard.tombstones + 1) * 10 >=
+      shard.slots.size() * 7) {
+    shard.Rehash(std::bit_ceil((shard.entries.size() + 1) * 2));
+    idx = shard.Probe(key, &found);
+  }
+  shard.bytes += plan.ByteSize();
+  shard.entries.push_back(
+      {key, std::move(plan), ++shard.clock});
+  if (shard.slots[idx] == Shard::kTombstone) --shard.tombstones;
+  shard.slots[idx] = static_cast<uint32_t>(shard.entries.size());
+  ++shard.stats.insertions;
+  shard.EvictToBudget();
+}
+
+PlanCache::Stats PlanCache::GetStats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.insertions += shard->stats.insertions;
+    total.evictions += shard->stats.evictions;
+    total.bytes += shard->bytes;
+    total.entries += shard->entries.size();
+  }
+  return total;
+}
+
+void PlanCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->slots.assign(64, 0);
+    shard->mask = shard->slots.size() - 1;
+    shard->tombstones = 0;
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace dphyp

@@ -1,0 +1,117 @@
+// Sharded, byte-budgeted plan cache keyed by query fingerprint.
+//
+// The cache stores *serialized* plans: the subset of DP-table entries
+// reachable from the winning root (children before parents), plus the final
+// cost/cardinality and the stats of the original optimization. A hit
+// rehydrates a full OptimizeResult — including a DP table ExtractPlan can
+// walk — without re-running any enumeration, so a cached plan's cost is
+// bit-identical to the freshly optimized one.
+//
+// Concurrency: the key space is split across N shards (fingerprints are
+// uniformly mixed, so shard load balances); each shard is an open-addressing
+// table guarded by its own mutex, in the style of DpTable. Eviction is
+// LRU-ish: when a shard exceeds its slice of the byte budget, the
+// least-recently-used entries are dropped until it fits. Hit/miss/eviction
+// counters are maintained per shard and aggregated on demand.
+#ifndef DPHYP_SERVICE_PLAN_CACHE_H_
+#define DPHYP_SERVICE_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "service/fingerprint.h"
+
+namespace dphyp {
+
+/// A serialized plan: the reachable DP entries of one optimization winner.
+struct CachedPlan {
+  NodeSet root_set;
+  double cost = 0.0;
+  double cardinality = 0.0;
+  /// Entries of the winning plan tree, children strictly before parents.
+  std::vector<PlanEntry> entries;
+  /// Stats of the optimization that produced the plan (for observability;
+  /// a rehydrated result reports these, not a fresh enumeration's).
+  OptimizerStats stats;
+
+  /// Approximate heap footprint used for the cache byte budget.
+  size_t ByteSize() const {
+    return sizeof(CachedPlan) + entries.capacity() * sizeof(PlanEntry);
+  }
+};
+
+/// Serializes the winning plan of a successful optimization (the entries
+/// reachable from `result.root_set`). Requires `result.success`.
+CachedPlan SerializePlan(const OptimizeResult& result);
+
+/// Rebuilds a full OptimizeResult (success, costs, DP table) from a cached
+/// plan. The rehydrated table contains exactly the serialized entries.
+OptimizeResult MaterializePlan(const CachedPlan& plan);
+
+/// True iff the cached plan is exactly the plan an optimization of `graph`
+/// could have produced: the root covers the graph, every join's children
+/// are connected in `graph`, and every entry's cardinality equals the
+/// estimator's (deterministic) estimate for its set. Fingerprints are WL-1
+/// color refinement, which systematically collides for non-isomorphic
+/// regular graphs with identical attributes (e.g. K3,3 vs. the 3-prism),
+/// so a hit must pass this check before being served; a false hit fails it
+/// and is treated as a miss.
+bool PlanConsistentWithGraph(const CachedPlan& plan, const Hypergraph& graph,
+                             const CardinalityEstimator& est);
+
+/// Thread-safe sharded cache: Fingerprint -> CachedPlan.
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t bytes = 0;
+    size_t entries = 0;
+
+    double HitRate() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  /// `byte_budget` bounds the summed ByteSize of cached plans; `shards` is
+  /// rounded up to a power of two.
+  explicit PlanCache(size_t byte_budget = 8 << 20, int shards = 8);
+  ~PlanCache();  // out of line: Shard is an incomplete type here
+
+  /// On hit copies the plan into `*out`, refreshes its LRU stamp and returns
+  /// true. `out` may be nullptr to probe without copying.
+  bool Lookup(const Fingerprint& key, CachedPlan* out);
+
+  /// Inserts (or refreshes) the plan, then evicts LRU entries while the
+  /// shard is over budget. Re-inserting an existing key only bumps its LRU
+  /// stamp: plans are deterministic, so the stored value is already correct.
+  void Insert(const Fingerprint& key, CachedPlan plan);
+
+  /// Aggregated counters across all shards.
+  Stats GetStats() const;
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  size_t byte_budget() const { return byte_budget_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard;
+
+  Shard& ShardFor(const Fingerprint& key);
+
+  size_t byte_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_SERVICE_PLAN_CACHE_H_

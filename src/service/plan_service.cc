@@ -1,0 +1,208 @@
+#include "service/plan_service.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "hypergraph/builder.h"
+#include "util/timer.h"
+
+namespace dphyp {
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted_latencies, double p) {
+  if (sorted_latencies.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * (sorted_latencies.size() - 1) + 0.5);
+  return sorted_latencies[std::min(idx, sorted_latencies.size() - 1)];
+}
+
+std::string Fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ServiceStats::ToString() const {
+  std::string out;
+  out += "queries=" + std::to_string(queries);
+  out += " failures=" + std::to_string(failures);
+  out += " qps=" + Fixed(queries_per_sec, 1);
+  out += " cache_hit_rate=" +
+         Fixed(queries == 0 ? 0.0
+                            : static_cast<double>(cache_hits) / queries,
+               3);
+  out += " p50_ms=" + Fixed(p50_latency_ms, 3);
+  out += " p99_ms=" + Fixed(p99_latency_ms, 3);
+  for (int r = 0; r < kNumRoutes; ++r) {
+    out += " ";
+    out += RouteName(static_cast<Route>(r));
+    out += "=" + std::to_string(route_counts[r]);
+  }
+  return out;
+}
+
+PlanService::PlanService(ServiceOptions options)
+    : options_(options),
+      cache_(options.cache_byte_budget == 0 ? 1 : options.cache_byte_budget,
+             options.cache_shards),
+      cache_enabled_(options.cache_byte_budget > 0) {
+  int threads = options_.num_threads > 0
+                    ? options_.num_threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  workers_.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+PlanService::~PlanService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void PlanService::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ServiceResult PlanService::OptimizeOne(const QuerySpec& spec) {
+  Timer timer;
+  ServiceResult out;
+
+  Result<Hypergraph> built = BuildHypergraph(spec);
+  if (!built.ok()) {
+    out.error = built.error().message;
+    out.latency_ms = timer.ElapsedMillis();
+    return out;
+  }
+  const Hypergraph& graph = built.value();
+
+  CardinalityEstimator est(graph);
+
+  Fingerprint key;
+  if (cache_enabled_) {
+    key = FingerprintHypergraph(graph);
+    CachedPlan cached;
+    // A hit is only served after the structural consistency check: the
+    // WL-1 fingerprint can collide for non-isomorphic regular graphs, and
+    // serving a colliding entry would hand out another query's plan. A
+    // false hit falls through to the miss path (and its insert then
+    // overwrites nothing — the colliding key keeps the older plan).
+    if (cache_.Lookup(key, &cached) &&
+        PlanConsistentWithGraph(cached, graph, est)) {
+      out.result = MaterializePlan(cached);
+      out.success = true;
+      out.cost = cached.cost;
+      out.cardinality = cached.cardinality;
+      out.cache_hit = true;
+      out.route = ChooseRoute(graph, options_.dispatch).route;
+      out.latency_ms = timer.ElapsedMillis();
+      return out;
+    }
+  }
+  const DispatchDecision decision = ChooseRoute(graph, options_.dispatch);
+  out.route = decision.route;
+  OptimizeResult result;
+  switch (decision.route) {
+    case Route::kDphyp:
+      result = OptimizeDphyp(graph, est, DefaultCostModel(), {});
+      break;
+    case Route::kDpccp:
+      result = OptimizeDpccp(graph, est, DefaultCostModel(), {});
+      break;
+    case Route::kDpsub:
+      result = OptimizeDpsub(graph, est, DefaultCostModel(), {});
+      break;
+    case Route::kGoo:
+      result = OptimizeGoo(graph, est, DefaultCostModel(), {});
+      break;
+  }
+
+  out.success = result.success;
+  out.error = result.error;
+  out.cost = result.cost;
+  out.cardinality = result.cardinality;
+  if (result.success && cache_enabled_) {
+    cache_.Insert(key, SerializePlan(result));
+  }
+  out.result = std::move(result);
+  out.latency_ms = timer.ElapsedMillis();
+  return out;
+}
+
+BatchOutcome PlanService::OptimizeBatch(const std::vector<QuerySpec>& specs) {
+  BatchOutcome outcome;
+  outcome.results.resize(specs.size());
+
+  Timer wall;
+
+  // Completion latch shared by the batch's tasks; workers signal `done`
+  // when the last task finishes.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = specs.size();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      queue_.push_back([this, &specs, &outcome, &done_mu, &done_cv, &remaining,
+                        i] {
+        ServiceResult r = OptimizeOne(specs[i]);
+        outcome.results[i] = std::move(r);
+        std::lock_guard<std::mutex> done_lock(done_mu);
+        if (--remaining == 0) done_cv.notify_all();
+      });
+    }
+  }
+  work_available_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  }
+
+  ServiceStats& stats = outcome.stats;
+  stats.wall_ms = wall.ElapsedMillis();
+  stats.queries = specs.size();
+  std::vector<double> latencies;
+  latencies.reserve(specs.size());
+  for (const ServiceResult& r : outcome.results) {
+    if (!r.success) ++stats.failures;
+    if (r.cache_hit) ++stats.cache_hits;
+    // Only served queries count as routed: a spec that failed hypergraph
+    // construction never reached the dispatcher.
+    if (r.success) ++stats.route_counts[static_cast<int>(r.route)];
+    latencies.push_back(r.latency_ms);
+    stats.max_latency_ms = std::max(stats.max_latency_ms, r.latency_ms);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  stats.p50_latency_ms = Percentile(latencies, 0.50);
+  stats.p99_latency_ms = Percentile(latencies, 0.99);
+  stats.queries_per_sec =
+      stats.wall_ms > 0.0 ? 1000.0 * stats.queries / stats.wall_ms : 0.0;
+
+  // `cache` is a snapshot of the shared cache's lifetime counters, not a
+  // per-batch delta: batches may run concurrently, so a delta would
+  // cross-attribute their activity. The batch-local hit count is
+  // `cache_hits` above.
+  stats.cache = cache_.GetStats();
+  return outcome;
+}
+
+}  // namespace dphyp

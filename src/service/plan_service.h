@@ -1,0 +1,113 @@
+// The plan-serving front end: a fixed thread pool draining a work queue of
+// QuerySpecs through the cache-lookup -> adaptive-dispatch -> cache-fill
+// pipeline, returning per-query results plus aggregate service statistics
+// (throughput, cache hit rate, latency percentiles).
+//
+// Every stage is deterministic — graph construction, fingerprinting,
+// routing and each enumeration algorithm are pure functions of the spec —
+// so a concurrent batch produces costs bit-identical to a serial run of the
+// same specs, whatever the interleaving; the cache can only substitute a
+// plan that an identical spec would have produced anyway.
+#ifndef DPHYP_SERVICE_PLAN_SERVICE_H_
+#define DPHYP_SERVICE_PLAN_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/query_spec.h"
+#include "service/dispatch.h"
+#include "service/plan_cache.h"
+
+namespace dphyp {
+
+/// Service construction knobs.
+struct ServiceOptions {
+  /// Worker threads; 0 means hardware concurrency.
+  int num_threads = 0;
+  /// Plan cache byte budget; 0 disables caching entirely.
+  size_t cache_byte_budget = 8 << 20;
+  int cache_shards = 8;
+  DispatchPolicy dispatch;
+};
+
+/// Outcome for one query of a batch.
+struct ServiceResult {
+  bool success = false;
+  std::string error;
+  double cost = 0.0;
+  double cardinality = 0.0;
+  Route route = Route::kDphyp;
+  bool cache_hit = false;
+  double latency_ms = 0.0;
+  /// Full optimizer result (rehydrated from the cache on hits); holds the
+  /// DP table needed for ExtractPlan.
+  OptimizeResult result;
+};
+
+/// Aggregate statistics for one batch.
+struct ServiceStats {
+  uint64_t queries = 0;
+  uint64_t failures = 0;
+  uint64_t cache_hits = 0;
+  uint64_t route_counts[kNumRoutes] = {};
+  double wall_ms = 0.0;
+  double queries_per_sec = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  /// Lifetime snapshot of the shared cache at batch end (not a per-batch
+  /// delta — batches may run concurrently). Batch-local hits are
+  /// `cache_hits`.
+  PlanCache::Stats cache;
+
+  std::string ToString() const;
+};
+
+/// A batch's results (positionally aligned with the input specs) and stats.
+struct BatchOutcome {
+  std::vector<ServiceResult> results;
+  ServiceStats stats;
+};
+
+class PlanService {
+ public:
+  explicit PlanService(ServiceOptions options = {});
+  ~PlanService();
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// Optimizes one spec on the calling thread (cache-integrated).
+  ServiceResult OptimizeOne(const QuerySpec& spec);
+
+  /// Runs the whole batch across the worker pool and blocks until done.
+  /// Safe to call from multiple threads (batches share the queue fairly).
+  BatchOutcome OptimizeBatch(const std::vector<QuerySpec>& specs);
+
+  PlanCache& cache() { return cache_; }
+  const ServiceOptions& options() const { return options_; }
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  ServiceOptions options_;
+  PlanCache cache_;
+  bool cache_enabled_ = true;
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_SERVICE_PLAN_SERVICE_H_

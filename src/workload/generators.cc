@@ -1,5 +1,6 @@
 #include "workload/generators.h"
 
+#include <algorithm>
 #include <deque>
 #include <vector>
 
@@ -214,6 +215,68 @@ QuerySpec MakeRandomHypergraphQuery(int n, int num_complex_edges, uint64_t seed,
   }
   spec.FillDefaultPayloads();
   return spec;
+}
+
+std::vector<QuerySpec> GenerateTrafficMix(int count,
+                                          const TrafficMixOptions& opts) {
+  DPHYP_CHECK(count >= 0);
+  DPHYP_CHECK(opts.min_relations >= 1);
+  DPHYP_CHECK(opts.max_relations >= opts.min_relations);
+  Rng rng(opts.seed);
+
+  double weights[4] = {opts.chain_weight, opts.star_weight, opts.cycle_weight,
+                       opts.clique_weight};
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+  if (total_weight <= 0.0) {
+    for (double& w : weights) w = 1.0;
+    total_weight = 4.0;
+  }
+
+  auto make_template = [&](uint64_t template_seed) {
+    double pick = rng.UniformDouble(0.0, total_weight);
+    int shape = 0;
+    while (shape < 3 && pick >= weights[shape]) pick -= weights[shape], ++shape;
+    WorkloadOptions wopts = opts.workload;
+    wopts.seed = template_seed;
+    int n = static_cast<int>(
+        rng.UniformInt(opts.min_relations, opts.max_relations));
+    switch (shape) {
+      case 0:
+        return MakeChainQuery(n, wopts);
+      case 1:
+        // MakeStarQuery takes the satellite count; keep total relations in
+        // the configured range.
+        return MakeStarQuery(std::max(1, n - 1), wopts);
+      case 2:
+        return MakeCycleQuery(std::max(3, n), wopts);
+      default:
+        return MakeCliqueQuery(
+            std::min(n, std::max(opts.min_relations, opts.clique_max_relations)),
+            wopts);
+    }
+  };
+
+  // A finite template pool, then traffic sampled from it.
+  const int pool_size = opts.distinct_templates > 0
+                            ? std::min(opts.distinct_templates, count)
+                            : count;
+  std::vector<QuerySpec> pool;
+  pool.reserve(pool_size);
+  for (int i = 0; i < pool_size; ++i) {
+    pool.push_back(make_template(opts.seed * 0x9e3779b97f4a7c15ULL + i + 1));
+  }
+
+  std::vector<QuerySpec> traffic;
+  traffic.reserve(count);
+  if (opts.distinct_templates <= 0) {
+    traffic = std::move(pool);
+  } else {
+    for (int i = 0; i < count; ++i) {
+      traffic.push_back(pool[rng.Uniform(pool.size())]);
+    }
+  }
+  return traffic;
 }
 
 }  // namespace dphyp

@@ -76,6 +76,34 @@ QuerySpec MakeRandomGraphQuery(int n, double extra_edge_prob, uint64_t seed,
 QuerySpec MakeRandomHypergraphQuery(int n, int num_complex_edges, uint64_t seed,
                                     const WorkloadOptions& opts = {});
 
+/// Knobs for the mixed-traffic generator feeding the plan service.
+struct TrafficMixOptions {
+  uint64_t seed = 42;
+  /// Relative shape weights (need not sum to 1; all-zero means uniform).
+  double chain_weight = 0.35;
+  double star_weight = 0.25;
+  double cycle_weight = 0.25;
+  double clique_weight = 0.15;
+  /// Total-relation-count range for all shapes (a star drawn at size n has
+  /// n - 1 satellites plus the hub) with a separate, tighter cap for
+  /// cliques.
+  int min_relations = 4;
+  int max_relations = 12;
+  int clique_max_relations = 10;
+  /// Size of the pool of distinct queries the traffic is drawn from. Real
+  /// workloads repeat templates heavily; a finite pool gives the plan cache
+  /// something to hit. <= 0 makes every query distinct.
+  int distinct_templates = 32;
+  /// Per-template workload knobs (cardinality/selectivity ranges).
+  WorkloadOptions workload;
+};
+
+/// Emits `count` specs drawn from a seeded pool of mixed chain/star/cycle/
+/// clique templates. Deterministic for a given option set: two calls yield
+/// identical traffic, which the service tests rely on.
+std::vector<QuerySpec> GenerateTrafficMix(int count,
+                                          const TrafficMixOptions& opts = {});
+
 }  // namespace dphyp
 
 #endif  // DPHYP_WORKLOAD_GENERATORS_H_

@@ -113,5 +113,22 @@ TEST(Counting, MemoryAccountingPopulated) {
   EXPECT_EQ(r.stats.dp_entries, r2.stats.dp_entries);
 }
 
+TEST(Counting, MemoryAccountingExactOnEveryAlgorithmPath) {
+  // Simple cycle: every algorithm (including the simple-graph-only DPccp)
+  // can run it.
+  Hypergraph g = BuildHypergraphOrDie(MakeCycleQuery(8));
+  for (Algorithm algo : kAllAlgorithms) {
+    OptimizeResult r = Optimize(algo, g);
+    ASSERT_TRUE(r.success) << AlgorithmName(algo);
+    // table_bytes is sampled from the actual DpTable at Finish() time: it
+    // must match the footprint of the table the result carries and cover at
+    // least the live entries.
+    EXPECT_EQ(r.stats.table_bytes, r.table.MemoryBytes()) << AlgorithmName(algo);
+    EXPECT_EQ(r.stats.dp_entries, r.table.size()) << AlgorithmName(algo);
+    EXPECT_GE(r.stats.table_bytes, r.stats.dp_entries * sizeof(PlanEntry))
+        << AlgorithmName(algo);
+  }
+}
+
 }  // namespace
 }  // namespace dphyp

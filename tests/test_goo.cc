@@ -1,0 +1,102 @@
+// GOO fallback: plan validity on every workload shape, sane cost relative
+// to exhaustive DP where DP is feasible, and feasibility on graphs where it
+// is not (64-relation cliques).
+#include "baselines/goo.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dphyp.h"
+#include "hypergraph/builder.h"
+#include "plan/validate.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+TEST(Goo, ValidPlansOnSmallShapes) {
+  struct Case {
+    const char* name;
+    QuerySpec spec;
+  };
+  std::vector<Case> cases;
+  for (int n = 3; n <= 10; ++n) {
+    cases.push_back({"chain", MakeChainQuery(n)});
+    cases.push_back({"cycle", MakeCycleQuery(n)});
+    cases.push_back({"star", MakeStarQuery(n - 1)});
+    cases.push_back({"clique", MakeCliqueQuery(n)});
+  }
+  for (const Case& c : cases) {
+    Hypergraph g = BuildHypergraphOrDie(c.spec);
+    OptimizeResult goo = OptimizeGoo(g);
+    ASSERT_TRUE(goo.success) << c.name << ": " << goo.error;
+    PlanTree plan = goo.ExtractPlan(g);
+    Result<bool> valid = ValidatePlanTree(g, plan);
+    EXPECT_TRUE(valid.ok()) << c.name << ": " << valid.error().message;
+    // One DP entry per leaf plus one per merge.
+    EXPECT_EQ(goo.stats.dp_entries,
+              static_cast<uint64_t>(2 * g.NumNodes() - 1))
+        << c.name;
+  }
+}
+
+TEST(Goo, CostWithinSaneFactorOfDphyp) {
+  // GOO is a heuristic: it must never beat the optimum, and on small
+  // generator shapes it should stay within a modest factor of it.
+  constexpr double kSaneFactor = 10.0;
+  for (int n = 4; n <= 10; ++n) {
+    for (const QuerySpec& spec :
+         {MakeChainQuery(n), MakeCycleQuery(n), MakeStarQuery(n - 1),
+          MakeCliqueQuery(n)}) {
+      Hypergraph g = BuildHypergraphOrDie(spec);
+      OptimizeResult exact = OptimizeDphyp(g);
+      OptimizeResult goo = OptimizeGoo(g);
+      ASSERT_TRUE(exact.success);
+      ASSERT_TRUE(goo.success);
+      EXPECT_GE(goo.cost, exact.cost * (1.0 - 1e-9)) << "n=" << n;
+      EXPECT_LE(goo.cost, exact.cost * kSaneFactor) << "n=" << n;
+    }
+  }
+}
+
+TEST(Goo, HandlesNonInnerOperators) {
+  // A mixed-operator chain: inner joins plus a left outer join. The shared
+  // combine step must keep the non-commutative orientation legal.
+  QuerySpec spec;
+  for (int i = 0; i < 5; ++i) spec.AddRelation("R" + std::to_string(i), 200.0);
+  spec.AddSimplePredicate(0, 1, 0.1);
+  spec.AddSimplePredicate(1, 2, 0.05);
+  spec.AddSimplePredicate(2, 3, 0.1, OpType::kLeftOuterjoin);
+  spec.AddSimplePredicate(3, 4, 0.2);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  OptimizeResult goo = OptimizeGoo(g);
+  ASSERT_TRUE(goo.success) << goo.error;
+  PlanTree plan = goo.ExtractPlan(g);
+  Result<bool> valid = ValidatePlanTree(g, plan);
+  EXPECT_TRUE(valid.ok()) << valid.error().message;
+}
+
+TEST(Goo, SixtyFourRelationCliqueIsFeasible) {
+  // 2^64 connected subgraphs make exhaustive DP unthinkable here; GOO must
+  // return a valid plan with its linear-size table.
+  QuerySpec spec = MakeCliqueQuery(64);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  OptimizeResult goo = OptimizeGoo(g);
+  ASSERT_TRUE(goo.success) << goo.error;
+  EXPECT_EQ(goo.stats.dp_entries, 127u);
+  PlanTree plan = goo.ExtractPlan(g);
+  EXPECT_EQ(plan.NumNodes(), 127);
+  Result<bool> valid = ValidatePlanTree(g, plan);
+  EXPECT_TRUE(valid.ok()) << valid.error().message;
+}
+
+TEST(Goo, DeterministicAcrossRuns) {
+  Hypergraph g = BuildHypergraphOrDie(MakeCliqueQuery(12));
+  OptimizeResult a = OptimizeGoo(g);
+  OptimizeResult b = OptimizeGoo(g);
+  ASSERT_TRUE(a.success && b.success);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.stats.dp_entries, b.stats.dp_entries);
+}
+
+}  // namespace
+}  // namespace dphyp

@@ -1,0 +1,374 @@
+// The plan-serving subsystem: fingerprint canonicalization, the sharded
+// plan cache, adaptive dispatch, and the batch service's concurrency
+// guarantees (concurrent costs bit-identical to serial).
+#include "service/plan_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hypergraph/builder.h"
+#include "plan/validate.h"
+#include "service/dispatch.h"
+#include "service/fingerprint.h"
+#include "service/plan_cache.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+// --- Fingerprint -----------------------------------------------------------
+
+TEST(Fingerprint, StableAcrossRuns) {
+  QuerySpec spec = MakeStarQuery(6);
+  Fingerprint a = FingerprintQuery(spec);
+  Fingerprint b = FingerprintQuery(spec);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString().size(), 32u);
+}
+
+TEST(Fingerprint, InvariantUnderNodeRelabeling) {
+  // The same 4-chain under the identity labeling and under the permutation
+  // (0 1 2 3) -> (2 0 3 1): cardinalities and selectivities move with the
+  // relabeling, so the queries are structurally identical.
+  const double cards[4] = {100.0, 2000.0, 550.0, 40.0};
+  const double sels[3] = {0.05, 0.01, 0.2};
+
+  QuerySpec original;
+  for (int i = 0; i < 4; ++i) original.AddRelation("A", cards[i]);
+  for (int i = 0; i < 3; ++i) original.AddSimplePredicate(i, i + 1, sels[i]);
+
+  const int perm[4] = {2, 0, 3, 1};  // node i becomes perm[i]
+  QuerySpec relabeled;
+  double permuted_cards[4];
+  for (int i = 0; i < 4; ++i) permuted_cards[perm[i]] = cards[i];
+  for (int i = 0; i < 4; ++i) relabeled.AddRelation("B", permuted_cards[i]);
+  for (int i = 0; i < 3; ++i) {
+    relabeled.AddSimplePredicate(perm[i], perm[i + 1], sels[i]);
+  }
+
+  EXPECT_EQ(FingerprintQuery(original), FingerprintQuery(relabeled));
+}
+
+TEST(Fingerprint, RelabelInvarianceOnGeneratorShapes) {
+  // Reversing a chain is a relabeling; the fingerprint must agree.
+  WorkloadOptions opts;
+  QuerySpec chain = MakeChainQuery(7, opts);
+  QuerySpec reversed;
+  const int n = chain.NumRelations();
+  std::vector<double> cards(n);
+  for (int i = 0; i < n; ++i) cards[n - 1 - i] = chain.relations[i].cardinality;
+  for (int i = 0; i < n; ++i) reversed.AddRelation("R", cards[i]);
+  for (const Predicate& p : chain.predicates) {
+    reversed.AddSimplePredicate(n - 1 - p.left.Min(), n - 1 - p.right.Min(),
+                                p.selectivity, p.op);
+  }
+  EXPECT_EQ(FingerprintQuery(chain), FingerprintQuery(reversed));
+}
+
+TEST(Fingerprint, DistinguishesStructuralDifferences) {
+  QuerySpec base = MakeChainQuery(5);
+  Fingerprint fp_base = FingerprintQuery(base);
+
+  QuerySpec different_card = base;
+  different_card.relations[2].cardinality *= 2.0;
+  EXPECT_NE(fp_base, FingerprintQuery(different_card));
+
+  QuerySpec different_sel = base;
+  different_sel.predicates[1].selectivity *= 0.5;
+  EXPECT_NE(fp_base, FingerprintQuery(different_sel));
+
+  QuerySpec different_op = base;
+  different_op.predicates[0].op = OpType::kLeftOuterjoin;
+  EXPECT_NE(fp_base, FingerprintQuery(different_op));
+
+  EXPECT_NE(fp_base, FingerprintQuery(MakeChainQuery(6)));
+  EXPECT_NE(fp_base, FingerprintQuery(MakeCycleQuery(5)));
+}
+
+TEST(Fingerprint, NamesDoNotMatter) {
+  QuerySpec a = MakeCycleQuery(5);
+  QuerySpec b = a;
+  for (auto& r : b.relations) r.name = "renamed_" + r.name;
+  EXPECT_EQ(FingerprintQuery(a), FingerprintQuery(b));
+}
+
+// Two non-isomorphic 3-regular graphs on 6 nodes with identical attributes:
+// K3,3 and the 3-prism. WL-1 color refinement cannot tell them apart, so
+// their fingerprints collide — the canonical stress case for the cache's
+// consistency check.
+QuerySpec MakeRegularSpec(const std::vector<std::pair<int, int>>& edges) {
+  QuerySpec spec;
+  for (int i = 0; i < 6; ++i) spec.AddRelation("R" + std::to_string(i), 1000.0);
+  for (const auto& [u, v] : edges) spec.AddSimplePredicate(u, v, 0.1);
+  return spec;
+}
+
+QuerySpec MakeK33Spec() {
+  return MakeRegularSpec(
+      {{0, 3}, {0, 4}, {0, 5}, {1, 3}, {1, 4}, {1, 5}, {2, 3}, {2, 4}, {2, 5}});
+}
+
+QuerySpec MakePrismSpec() {
+  return MakeRegularSpec(
+      {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {0, 3}, {1, 4}, {2, 5}});
+}
+
+TEST(PlanService, FingerprintCollisionIsNotServedAsAHit) {
+  // WL-1 genuinely collides here; if a refinement upgrade ever separates
+  // these graphs, this guard (and the consistency check's last line of
+  // defense) can be revisited.
+  ASSERT_EQ(FingerprintQuery(MakeK33Spec()), FingerprintQuery(MakePrismSpec()));
+
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  PlanService service(opts);
+  ServiceResult prism = service.OptimizeOne(MakePrismSpec());
+  ServiceResult k33 = service.OptimizeOne(MakeK33Spec());
+  ASSERT_TRUE(prism.success);
+  ASSERT_TRUE(k33.success);
+  // The colliding entry must not be served: the K3,3 query is re-optimized
+  // and its plan must be valid for K3,3, not the prism.
+  EXPECT_FALSE(k33.cache_hit);
+  Hypergraph k33_graph = BuildHypergraphOrDie(MakeK33Spec());
+  OptimizeResult fresh = OptimizeDphyp(k33_graph);
+  EXPECT_EQ(k33.cost, fresh.cost);
+  EXPECT_TRUE(
+      ValidatePlanTree(k33_graph, k33.result.ExtractPlan(k33_graph)).ok());
+}
+
+// --- Catalog shape accessors ------------------------------------------------
+
+TEST(QuerySpecAccessors, ReportShapeFeatures) {
+  QuerySpec simple = MakeChainQuery(4);
+  EXPECT_FALSE(simple.HasComplexPredicates());
+  EXPECT_FALSE(simple.HasNonInnerPredicates());
+  EXPECT_FALSE(simple.HasDependentLeaves());
+
+  QuerySpec hyper = MakeCycleHypergraphQuery(8, 0);
+  EXPECT_TRUE(hyper.HasComplexPredicates());
+
+  QuerySpec outer = MakeChainQuery(4);
+  outer.predicates[0].op = OpType::kLeftOuterjoin;
+  EXPECT_TRUE(outer.HasNonInnerPredicates());
+
+  QuerySpec lateral = MakeChainQuery(4);
+  lateral.relations[2].free_tables = NodeSet::Single(0);
+  EXPECT_TRUE(lateral.HasDependentLeaves());
+}
+
+// --- Plan cache -------------------------------------------------------------
+
+TEST(PlanCache, HitAfterMissRehydratesIdenticalPlan) {
+  QuerySpec spec = MakeStarQuery(7);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  Fingerprint key = FingerprintHypergraph(g);
+
+  PlanCache cache(1 << 20, 4);
+  EXPECT_FALSE(cache.Lookup(key, nullptr));
+
+  OptimizeResult fresh = OptimizeDphyp(g);
+  ASSERT_TRUE(fresh.success);
+  cache.Insert(key, SerializePlan(fresh));
+
+  CachedPlan cached;
+  ASSERT_TRUE(cache.Lookup(key, &cached));
+  OptimizeResult rehydrated = MaterializePlan(cached);
+  ASSERT_TRUE(rehydrated.success);
+  // Bit-identical determinism, not approximate agreement.
+  EXPECT_EQ(rehydrated.cost, fresh.cost);
+  EXPECT_EQ(rehydrated.cardinality, fresh.cardinality);
+
+  // The rehydrated table supports plan extraction, and the plan matches.
+  PlanTree fresh_plan = fresh.ExtractPlan(g);
+  PlanTree cached_plan = rehydrated.ExtractPlan(g);
+  EXPECT_EQ(fresh_plan.ToAlgebraString(g), cached_plan.ToAlgebraString(g));
+  EXPECT_TRUE(ValidatePlanTree(g, cached_plan).ok());
+
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCache, EvictsToByteBudget) {
+  // A budget small enough that a few dozen 10-relation plans overflow it.
+  PlanCache cache(16 << 10, 2);
+  for (int i = 0; i < 64; ++i) {
+    WorkloadOptions opts;
+    opts.seed = 1000 + i;
+    QuerySpec spec = MakeChainQuery(10, opts);
+    Hypergraph g = BuildHypergraphOrDie(spec);
+    OptimizeResult r = OptimizeDphyp(g);
+    ASSERT_TRUE(r.success);
+    cache.Insert(FingerprintHypergraph(g), SerializePlan(r));
+  }
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.insertions, 64u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 16u << 10);
+  EXPECT_LT(stats.entries, 64u);
+}
+
+TEST(PlanCache, LruKeepsRecentlyTouchedEntries) {
+  PlanCache cache(8 << 10, 1);
+  std::vector<Fingerprint> keys;
+  std::vector<QuerySpec> specs;
+  for (int i = 0; i < 16; ++i) {
+    WorkloadOptions opts;
+    opts.seed = 2000 + i;
+    specs.push_back(MakeChainQuery(8, opts));
+    Hypergraph g = BuildHypergraphOrDie(specs.back());
+    keys.push_back(FingerprintHypergraph(g));
+    OptimizeResult r = OptimizeDphyp(g);
+    ASSERT_TRUE(r.success);
+    cache.Insert(keys.back(), SerializePlan(r));
+    // Keep the first key hot throughout.
+    cache.Lookup(keys.front(), nullptr);
+  }
+  EXPECT_TRUE(cache.Lookup(keys.front(), nullptr));
+}
+
+// --- Dispatch ---------------------------------------------------------------
+
+TEST(Dispatch, RoutesByShape) {
+  // Chains/cycles stay exact at any size: quadratic subgraph count.
+  EXPECT_EQ(ChooseRoute(BuildHypergraphOrDie(MakeChainQuery(40))).route,
+            Route::kDpccp);
+  EXPECT_EQ(ChooseRoute(BuildHypergraphOrDie(MakeCycleQuery(32))).route,
+            Route::kDpccp);
+  // Small dense graphs go to DPsub; big cliques to GOO.
+  EXPECT_EQ(ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(10))).route,
+            Route::kDpsub);
+  EXPECT_EQ(ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(30))).route,
+            Route::kGoo);
+  // Hyperedges are DPhyp's home turf (when exact is feasible at all).
+  EXPECT_EQ(
+      ChooseRoute(BuildHypergraphOrDie(MakeCycleHypergraphQuery(12, 2))).route,
+      Route::kDphyp);
+  // Big stars blow past the degree frontier.
+  EXPECT_EQ(ChooseRoute(BuildHypergraphOrDie(MakeStarQuery(24))).route,
+            Route::kGoo);
+}
+
+TEST(Dispatch, AdaptiveProducesValidPlansEverywhere) {
+  std::vector<QuerySpec> specs = {MakeChainQuery(30), MakeCliqueQuery(9),
+                                  MakeCliqueQuery(26),
+                                  MakeCycleHypergraphQuery(8, 1),
+                                  MakeStarQuery(10)};
+  for (const QuerySpec& spec : specs) {
+    Hypergraph g = BuildHypergraphOrDie(spec);
+    OptimizeResult r = OptimizeAdaptive(g);
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_TRUE(ValidatePlanTree(g, r.ExtractPlan(g)).ok());
+  }
+}
+
+// --- Service ----------------------------------------------------------------
+
+std::vector<QuerySpec> TestTraffic(int count, uint64_t seed = 7) {
+  TrafficMixOptions opts;
+  opts.seed = seed;
+  opts.distinct_templates = 12;
+  opts.min_relations = 4;
+  opts.max_relations = 10;
+  return GenerateTrafficMix(count, opts);
+}
+
+TEST(PlanService, ConcurrentBatchMatchesSerialBitIdentically) {
+  std::vector<QuerySpec> traffic = TestTraffic(80);
+
+  ServiceOptions serial_opts;
+  serial_opts.num_threads = 1;
+  serial_opts.cache_byte_budget = 0;  // pure computation, no caching
+  PlanService serial(serial_opts);
+  BatchOutcome serial_out = serial.OptimizeBatch(traffic);
+
+  ServiceOptions conc_opts;
+  conc_opts.num_threads = 8;
+  conc_opts.cache_byte_budget = 0;
+  PlanService concurrent(conc_opts);
+  BatchOutcome conc_out = concurrent.OptimizeBatch(traffic);
+
+  ASSERT_EQ(serial_out.results.size(), conc_out.results.size());
+  for (size_t i = 0; i < traffic.size(); ++i) {
+    ASSERT_TRUE(serial_out.results[i].success) << serial_out.results[i].error;
+    ASSERT_TRUE(conc_out.results[i].success);
+    EXPECT_EQ(serial_out.results[i].cost, conc_out.results[i].cost) << i;
+    EXPECT_EQ(serial_out.results[i].cardinality,
+              conc_out.results[i].cardinality)
+        << i;
+    EXPECT_EQ(serial_out.results[i].route, conc_out.results[i].route) << i;
+  }
+  EXPECT_EQ(serial_out.stats.failures, 0u);
+  EXPECT_EQ(conc_out.stats.failures, 0u);
+}
+
+TEST(PlanService, CachedCostsEqualUncachedCosts) {
+  std::vector<QuerySpec> traffic = TestTraffic(60, /*seed=*/21);
+
+  ServiceOptions opts;
+  opts.num_threads = 4;
+  PlanService service(opts);
+  BatchOutcome cold = service.OptimizeBatch(traffic);
+  BatchOutcome warm = service.OptimizeBatch(traffic);
+
+  EXPECT_EQ(warm.stats.cache_hits, warm.stats.queries);
+  for (size_t i = 0; i < traffic.size(); ++i) {
+    ASSERT_TRUE(cold.results[i].success);
+    ASSERT_TRUE(warm.results[i].success);
+    EXPECT_EQ(cold.results[i].cost, warm.results[i].cost) << i;
+    EXPECT_TRUE(warm.results[i].cache_hit) << i;
+  }
+  // The traffic repeats templates, so even the cold batch sees hits.
+  EXPECT_GT(cold.stats.cache_hits, 0u);
+  EXPECT_LT(cold.stats.cache.insertions, cold.stats.queries);
+}
+
+TEST(PlanService, ServesMixedTrafficIncludingGooFallback) {
+  TrafficMixOptions mix;
+  mix.seed = 33;
+  mix.min_relations = 20;
+  mix.max_relations = 30;
+  mix.clique_max_relations = 26;
+  mix.distinct_templates = 8;
+  std::vector<QuerySpec> traffic = GenerateTrafficMix(24, mix);
+
+  ServiceOptions opts;
+  opts.num_threads = 4;
+  PlanService service(opts);
+  BatchOutcome out = service.OptimizeBatch(traffic);
+  EXPECT_EQ(out.stats.failures, 0u);
+  uint64_t exact = out.stats.route_counts[static_cast<int>(Route::kDpccp)] +
+                   out.stats.route_counts[static_cast<int>(Route::kDphyp)] +
+                   out.stats.route_counts[static_cast<int>(Route::kDpsub)];
+  uint64_t goo = out.stats.route_counts[static_cast<int>(Route::kGoo)];
+  // Traffic this size must exercise both exact DP and the fallback.
+  EXPECT_GT(exact, 0u);
+  EXPECT_GT(goo, 0u);
+  // Every plan extracted from a batch result must validate.
+  for (size_t i = 0; i < traffic.size(); ++i) {
+    Hypergraph g = BuildHypergraphOrDie(traffic[i]);
+    PlanTree plan = out.results[i].result.ExtractPlan(g);
+    EXPECT_TRUE(ValidatePlanTree(g, plan).ok()) << i;
+  }
+}
+
+TEST(PlanService, StatsAreCoherent) {
+  std::vector<QuerySpec> traffic = TestTraffic(40);
+  PlanService service{ServiceOptions{}};
+  BatchOutcome out = service.OptimizeBatch(traffic);
+  EXPECT_EQ(out.stats.queries, 40u);
+  EXPECT_GT(out.stats.queries_per_sec, 0.0);
+  EXPECT_LE(out.stats.p50_latency_ms, out.stats.p99_latency_ms);
+  EXPECT_LE(out.stats.p99_latency_ms, out.stats.max_latency_ms * 1.0001);
+  uint64_t routed = 0;
+  for (int r = 0; r < kNumRoutes; ++r) routed += out.stats.route_counts[r];
+  EXPECT_EQ(routed, out.stats.queries);
+  EXPECT_FALSE(out.stats.ToString().empty());
+}
+
+}  // namespace
+}  // namespace dphyp
