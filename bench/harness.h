@@ -15,10 +15,19 @@
 
 namespace dphyp::bench {
 
-/// Times one optimizer run (median-of-means over adaptive repetitions for
-/// fast cases, single run for slow ones) and returns milliseconds.
-inline double TimeOptimize(Algorithm algo, const Hypergraph& graph,
-                           const OptimizerOptions& options = {}) {
+/// Order statistics for one benchmark configuration.
+struct TimingStats {
+  double median_ms = 0.0;
+  double p99_ms = 0.0;
+  int samples = 0;
+};
+
+/// Like TimeOptimize but returns median/p99 over the measured repetitions
+/// (a single-sample result for multi-second cases, same rule as
+/// TimeOptimize). Used by the machine-readable benchmark runner.
+inline TimingStats TimeOptimizeStats(Algorithm algo, const Hypergraph& graph,
+                                     const OptimizerOptions& options = {},
+                                     OptimizerStats* stats_out = nullptr) {
   CardinalityEstimator est(graph);
   const CostModel& model = DefaultCostModel();
   // Probe run: validates success and, for slow cases, doubles as the
@@ -31,13 +40,24 @@ inline double TimeOptimize(Algorithm algo, const Hypergraph& graph,
                  probe.error.c_str());
     std::exit(1);
   }
-  if (probe_ms > 1000.0) return probe_ms;
-  return MeasureMillis(
+  if (stats_out != nullptr) *stats_out = probe.stats;
+  if (probe_ms > 1000.0) return {probe_ms, probe_ms, 1};
+  std::vector<double> samples = MeasureSamplesMillis(
       [&] {
         OptimizeResult r = Optimize(algo, graph, est, model, options);
         (void)r;
       },
       /*min_total_ms=*/30.0, /*max_reps=*/200);
+  return {QuantileMillis(samples, 0.5), QuantileMillis(samples, 0.99),
+          static_cast<int>(samples.size())};
+}
+
+/// Times one optimizer run and returns the median milliseconds (single run
+/// for slow cases) — the figure binaries' single-number view of
+/// TimeOptimizeStats, so both measurement protocols stay one.
+inline double TimeOptimize(Algorithm algo, const Hypergraph& graph,
+                           const OptimizerOptions& options = {}) {
+  return TimeOptimizeStats(algo, graph, options).median_ms;
 }
 
 /// Simple aligned table printer.

@@ -1,0 +1,123 @@
+// Minimal JSON emission for the machine-readable benchmark record
+// (BENCH_dphyp.json). Hand-rolled on purpose: the schema is flat (objects,
+// arrays, numbers, strings) and the repository takes no third-party
+// dependencies.
+#ifndef DPHYP_BENCH_JSON_WRITER_H_
+#define DPHYP_BENCH_JSON_WRITER_H_
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dphyp::bench {
+
+/// Streaming JSON writer with automatic comma placement. Values are
+/// appended depth-first; the caller is responsible for balanced
+/// Begin*/End* calls (DCHECK-free by design — the bench runner is the only
+/// client and its structure is static).
+class JsonWriter {
+ public:
+  std::string TakeString() { return std::move(out_); }
+
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Key(const std::string& name) {
+    MaybeComma();
+    AppendString(name);
+    out_ += ':';
+    just_keyed_ = true;
+  }
+
+  void String(const std::string& value) {
+    MaybeComma();
+    AppendString(value);
+  }
+  void Number(double value) {
+    MaybeComma();
+    char buf[48];
+    if (std::isfinite(value)) {
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+    } else {
+      // JSON has no Infinity/NaN; the schema documents null as "absent".
+      std::snprintf(buf, sizeof(buf), "null");
+    }
+    out_ += buf;
+  }
+  void Int(uint64_t value) {
+    MaybeComma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out_ += buf;
+  }
+  void Bool(bool value) {
+    MaybeComma();
+    out_ += value ? "true" : "false";
+  }
+
+  /// Shorthands for the common key/value cases.
+  void Field(const std::string& key, const std::string& value) {
+    Key(key);
+    String(value);
+  }
+  void Field(const std::string& key, double value) {
+    Key(key);
+    Number(value);
+  }
+  void Field(const std::string& key, uint64_t value) {
+    Key(key);
+    Int(value);
+  }
+  void Field(const std::string& key, int value) {
+    Key(key);
+    Int(static_cast<uint64_t>(value));
+  }
+
+ private:
+  void Open(char c) {
+    MaybeComma();
+    out_ += c;
+    need_comma_ = false;
+  }
+  void Close(char c) {
+    out_ += c;
+    need_comma_ = true;
+    just_keyed_ = false;
+  }
+  void MaybeComma() {
+    if (need_comma_ && !just_keyed_) out_ += ',';
+    need_comma_ = true;
+    just_keyed_ = false;
+  }
+  void AppendString(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        default:
+          out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+  bool just_keyed_ = false;
+};
+
+}  // namespace dphyp::bench
+
+#endif  // DPHYP_BENCH_JSON_WRITER_H_

@@ -1,0 +1,341 @@
+// Machine-readable benchmark runner: re-executes the paper-figure benches
+// (fig5 cycles, fig6 stars, fig7 regular graphs, fig8a antijoins, fig8b
+// outer joins), the plan-service throughput configurations, and the
+// pruned-vs-unpruned DPhyp comparison, and writes one JSON record —
+// BENCH_dphyp.json by default — with per-shape median/p99 timings and
+// csg-cmp-pair counts. Run it from the repo root so the perf trajectory
+// lands next to the sources:
+//
+//   ./build/bench_run_all            # writes ./BENCH_dphyp.json
+//   ./build/bench_run_all out.json   # explicit output path
+//
+// Environment knobs (all optional):
+//   DPHYP_BENCH_MAX_N           largest cycle/regular size (default 16)
+//   DPHYP_BENCH_MAX_SATELLITES  largest star size (default 16)
+//   DPHYP_SERVICE_QUERIES       traffic-mix batch size (default 400)
+//   DPHYP_SERVICE_THREADS       service worker threads (default hw)
+//   DPHYP_BENCH_REQUIRE_SPEEDUP exit non-zero unless pruned DPhyp beats
+//                               unpruned by this factor (median, on the
+//                               16-satellite fig6 stars); 0 disables the
+//                               gate (default: 0 — CI runners are noisy)
+//
+// Output schema (BENCH_dphyp.json):
+//   schema_version  int, currently 1
+//   config          the knob values the run used
+//   results[]       one record per (figure, shape, params, algorithm):
+//     figure        "fig5" | "fig6" | "fig7" | "fig8a" | "fig8b"
+//                   | "service" | "pruning_fig6"
+//     shape         workload family ("cycle-hyper", "star", ...)
+//     algorithm     enumeration algorithm (or service config name)
+//     pruned        whether branch-and-bound pruning was on
+//     median_ms/p99_ms/samples   order statistics over the timed reps
+//     ccp_pairs/dp_entries/...   OptimizerStats of one probe run
+//   service records instead carry qps, p50_ms, p99_ms, cache_hit_rate
+//   pruning_fig6 records carry speedup_median (unpruned / pruned)
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/json_writer.h"
+#include "reorder/ses_tes.h"
+#include "service/plan_service.h"
+#include "workload/generators.h"
+#include "workload/optree_gen.h"
+
+using namespace dphyp;
+using namespace dphyp::bench;
+
+namespace {
+
+JsonWriter json;
+
+void OpenRecord(const char* figure, const char* shape) {
+  json.BeginObject();
+  json.Field("figure", figure);
+  json.Field("shape", shape);
+}
+
+void TimingFields(const TimingStats& t) {
+  json.Field("median_ms", t.median_ms);
+  json.Field("p99_ms", t.p99_ms);
+  json.Field("samples", t.samples);
+}
+
+void StatsFields(const OptimizerStats& s) {
+  json.Field("ccp_pairs", s.ccp_pairs);
+  json.Field("pairs_tested", s.pairs_tested);
+  json.Field("cost_evaluations", s.cost_evaluations);
+  json.Field("pruned_pairs", s.pruned);
+  json.Field("dominated_pairs", s.dominated);
+  json.Field("dp_entries", s.dp_entries);
+  json.Field("table_bytes", s.table_bytes);
+}
+
+/// Times `algo` on `graph` and appends one result record; `param`/`value`
+/// add the sweep field (splits/antijoins/...) when `param` is non-null.
+void RecordWithParam(const char* figure, const char* shape, const char* param,
+                     int value, Algorithm algo, const Hypergraph& graph,
+                     const OptimizerOptions& options = {},
+                     const char* algo_label = nullptr) {
+  OptimizerStats stats;
+  TimingStats timing = TimeOptimizeStats(algo, graph, options, &stats);
+  const char* label = algo_label != nullptr ? algo_label : AlgorithmName(algo);
+  OpenRecord(figure, shape);
+  json.Field("n", graph.NumNodes());
+  if (param != nullptr) json.Field(param, value);
+  json.Field("algorithm", label);
+  json.Key("pruned");
+  json.Bool(options.enable_pruning);
+  TimingFields(timing);
+  StatsFields(stats);
+  json.EndObject();
+  if (param != nullptr) {
+    std::printf("  %-18s %s=%d %-12s median %10.3f ms  p99 %10.3f ms\n",
+                shape, param, value, label, timing.median_ms, timing.p99_ms);
+  } else {
+    std::printf("  %-24s %-12s median %10.3f ms  p99 %10.3f ms  ccp %llu\n",
+                shape, label, timing.median_ms, timing.p99_ms,
+                static_cast<unsigned long long>(stats.ccp_pairs));
+  }
+}
+
+void Record(const char* figure, const char* shape, Algorithm algo,
+            const Hypergraph& graph, const OptimizerOptions& options = {},
+            const char* algo_label = nullptr) {
+  RecordWithParam(figure, shape, /*param=*/nullptr, 0, algo, graph, options,
+                  algo_label);
+}
+
+void RunFig5(int max_n) {
+  std::printf("== fig5: cycle hypergraphs ==\n");
+  for (int n : {8, 16}) {
+    if (n > max_n) continue;
+    for (int splits = 0; splits <= MaxHyperedgeSplits(n / 2); ++splits) {
+      Hypergraph g = BuildHypergraphOrDie(MakeCycleHypergraphQuery(n, splits));
+      for (Algorithm a :
+           {Algorithm::kDphyp, Algorithm::kDpsize, Algorithm::kDpsub}) {
+        RecordWithParam("fig5", "cycle-hyper", "splits", splits, a, g);
+      }
+    }
+  }
+}
+
+void RunFig6(int max_sats) {
+  std::printf("== fig6: star hypergraphs ==\n");
+  for (int sats : {8, 16}) {
+    if (sats > max_sats) continue;
+    for (int splits = 0; splits <= MaxHyperedgeSplits(sats / 2); ++splits) {
+      Hypergraph g =
+          BuildHypergraphOrDie(MakeStarHypergraphQuery(sats, splits));
+      for (Algorithm a :
+           {Algorithm::kDphyp, Algorithm::kDpsize, Algorithm::kDpsub}) {
+        RecordWithParam("fig6", "star-hyper", "splits", splits, a, g);
+      }
+    }
+  }
+}
+
+void RunFig7(int max_n) {
+  std::printf("== fig7: regular star graphs ==\n");
+  for (int n = 3; n <= max_n; ++n) {
+    Hypergraph g = BuildHypergraphOrDie(MakeStarQuery(n - 1));
+    for (Algorithm a : {Algorithm::kDphyp, Algorithm::kDpsize,
+                        Algorithm::kDpsub, Algorithm::kDpccp,
+                        Algorithm::kTdBasic}) {
+      Record("fig7", "star", a, g);
+    }
+  }
+}
+
+void RunFig8a() {
+  std::printf("== fig8a: star antijoins, hypernodes vs TES tests ==\n");
+  const int satellites = 15;
+  for (int anti = 0; anti <= satellites; ++anti) {
+    SyntheticNonInnerWorkload w = MakeStarAntijoinWorkload(satellites, anti);
+    RecordWithParam("fig8a", "star-antijoin", "antijoins", anti,
+                    Algorithm::kDphyp, w.graph, {}, "DPhyp-hypernodes");
+    OptimizerOptions tes_options;
+    tes_options.tes_constraints = &w.tes_constraints;
+    RecordWithParam("fig8a", "star-antijoin", "antijoins", anti,
+                    Algorithm::kDphyp, w.ses_graph, tes_options,
+                    "DPhyp-TES-tests");
+  }
+}
+
+void RunFig8b() {
+  std::printf("== fig8b: cycle outer joins ==\n");
+  const int n = 16;
+  for (int outer = 0; outer <= n - 1; ++outer) {
+    OperatorTree tree = MakeCycleOuterjoinTree(n, outer);
+    DerivedQuery dq = DeriveQuery(tree);
+    for (Algorithm a :
+         {Algorithm::kDphyp, Algorithm::kDpsize, Algorithm::kDpsub}) {
+      RecordWithParam("fig8b", "cycle-outerjoin", "outerjoins", outer, a,
+                      dq.graph);
+    }
+  }
+}
+
+void ServiceRecord(const char* config, const ServiceStats& stats) {
+  OpenRecord("service", "traffic-mix");
+  json.Field("algorithm", config);
+  json.Field("queries", stats.queries);
+  json.Field("qps", stats.queries_per_sec);
+  json.Field("p50_ms", stats.p50_latency_ms);
+  json.Field("p99_ms", stats.p99_latency_ms);
+  json.Field("cache_hit_rate",
+             stats.queries > 0 ? static_cast<double>(stats.cache_hits) /
+                                     static_cast<double>(stats.queries)
+                               : 0.0);
+  json.EndObject();
+  std::printf("  %-24s %10.0f qps  p50 %8.3f ms  p99 %8.3f ms\n", config,
+              stats.queries_per_sec, stats.p50_latency_ms,
+              stats.p99_latency_ms);
+}
+
+int RunService() {
+  std::printf("== service: mixed-traffic throughput ==\n");
+  int num_queries = EnvInt("DPHYP_SERVICE_QUERIES", 400);
+  if (num_queries < 1) num_queries = 1;
+  int threads = EnvInt("DPHYP_SERVICE_THREADS", 0);
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+  TrafficMixOptions mix;
+  mix.seed = 99;
+  mix.min_relations = 6;
+  mix.max_relations = 22;
+  mix.clique_max_relations = 13;
+  mix.distinct_templates = 32;
+  const std::vector<QuerySpec> traffic = GenerateTrafficMix(num_queries, mix);
+
+  struct Config {
+    const char* name;
+    int threads;
+    bool warm;
+  };
+  const Config configs[] = {
+      {"cold-1-thread", 1, false},
+      {"cold-multi-thread", threads, false},
+      {"warm-multi-thread", threads, true},
+  };
+  for (const Config& c : configs) {
+    ServiceOptions opts;
+    opts.num_threads = c.threads;
+    opts.cache_byte_budget = 16 << 20;
+    PlanService service(opts);
+    if (c.warm) {
+      BatchOutcome warmup = service.OptimizeBatch(traffic);
+      if (warmup.stats.failures > 0) {
+        std::fprintf(stderr, "bench: service warmup failures\n");
+        return 1;
+      }
+    }
+    BatchOutcome out = service.OptimizeBatch(traffic);
+    if (out.stats.failures > 0) {
+      std::fprintf(stderr, "bench: service failures\n");
+      return 1;
+    }
+    ServiceRecord(c.name, out.stats);
+  }
+  return 0;
+}
+
+/// Pruned vs. unpruned DPhyp on the fig6 star workloads (the acceptance
+/// sweep: 16 satellites -> 17 relations). Returns the worst median speedup.
+double RunPruningComparison(int max_sats) {
+  std::printf("== pruning_fig6: DPhyp pruned vs unpruned ==\n");
+  if (max_sats < 8) {
+    std::printf("  skipped: DPHYP_BENCH_MAX_SATELLITES=%d < 8\n", max_sats);
+    return -1.0;
+  }
+  const int sats = max_sats >= 16 ? 16 : 8;
+  double worst_speedup = -1.0;
+  for (int splits = 0; splits <= MaxHyperedgeSplits(sats / 2); ++splits) {
+    Hypergraph g = BuildHypergraphOrDie(MakeStarHypergraphQuery(sats, splits));
+    OptimizerOptions pruned;
+    pruned.enable_pruning = true;
+    OptimizerStats pruned_stats;
+    TimingStats unpruned_t = TimeOptimizeStats(Algorithm::kDphyp, g);
+    TimingStats pruned_t =
+        TimeOptimizeStats(Algorithm::kDphyp, g, pruned, &pruned_stats);
+    const double speedup = pruned_t.median_ms > 0.0
+                               ? unpruned_t.median_ms / pruned_t.median_ms
+                               : 0.0;
+    if (worst_speedup < 0.0 || speedup < worst_speedup) {
+      worst_speedup = speedup;
+    }
+    OpenRecord("pruning_fig6", "star-hyper");
+    json.Field("n", g.NumNodes());
+    json.Field("splits", splits);
+    json.Field("algorithm", "DPhyp");
+    json.Field("unpruned_median_ms", unpruned_t.median_ms);
+    json.Field("pruned_median_ms", pruned_t.median_ms);
+    json.Field("speedup_median", speedup);
+    json.Field("pruned_pairs", pruned_stats.pruned);
+    json.Field("dominated_pairs", pruned_stats.dominated);
+    json.EndObject();
+    std::printf(
+        "  star-hyper sats=%d splits=%d  unpruned %8.3f ms  pruned %8.3f ms "
+        " speedup %.2fx\n",
+        sats, splits, unpruned_t.median_ms, pruned_t.median_ms, speedup);
+  }
+  return worst_speedup;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_dphyp.json";
+  const int max_n = EnvInt("DPHYP_BENCH_MAX_N", 16);
+  const int max_sats = EnvInt("DPHYP_BENCH_MAX_SATELLITES", 16);
+  const int require_speedup_pct =
+      EnvInt("DPHYP_BENCH_REQUIRE_SPEEDUP", 0);
+
+  json.BeginObject();
+  json.Field("schema_version", 1);
+  json.Field("suite", "dphyp-paper-figures");
+  json.Key("config");
+  json.BeginObject();
+  json.Field("max_n", max_n);
+  json.Field("max_satellites", max_sats);
+  json.EndObject();
+  json.Key("results");
+  json.BeginArray();
+
+  RunFig5(max_n);
+  RunFig6(max_sats);
+  RunFig7(max_n);
+  if (max_n >= 16) RunFig8a();
+  if (max_n >= 16) RunFig8b();
+  if (RunService() != 0) return 1;
+  const double worst_speedup = RunPruningComparison(max_sats);
+
+  json.EndArray();
+  json.Field("worst_pruning_speedup_median", worst_speedup);
+  json.EndObject();
+
+  std::string payload = json.TakeString();
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fwrite(payload.data(), 1, payload.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu bytes)\n", out_path.c_str(), payload.size());
+
+  if (require_speedup_pct > 0 &&
+      worst_speedup * 100.0 < static_cast<double>(require_speedup_pct)) {
+    std::fprintf(stderr,
+                 "bench: pruning speedup %.2fx below required %.2fx\n",
+                 worst_speedup, require_speedup_pct / 100.0);
+    return 1;
+  }
+  return 0;
+}

@@ -19,7 +19,7 @@ OptimizeResult OptimizeDpsize(const Hypergraph& graph,
   auto refresh_buckets = [&] {
     const auto& entries = ctx.table().entries();
     for (; scanned < entries.size(); ++scanned) {
-      NodeSet s = entries[scanned].set;
+      NodeSet s = entries[scanned]->set;
       by_size[s.Count()].push_back(s);
     }
   };

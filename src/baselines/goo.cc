@@ -23,7 +23,12 @@ OptimizeResult OptimizeGoo(const Hypergraph& graph,
                            const CardinalityEstimator& est,
                            const CostModel& cost_model,
                            const OptimizerOptions& options) {
-  OptimizerContext ctx(graph, est, cost_model, options);
+  // GOO must keep every merge it emits (pruning a merge would abort the
+  // greedy chain) and is itself the pruning-bound provider — recursing into
+  // another GOO run from the context constructor would never terminate.
+  OptimizerOptions effective = options;
+  effective.enable_pruning = false;
+  OptimizerContext ctx(graph, est, cost_model, effective);
   ctx.InitLeaves();
 
   std::vector<NodeSet> comps;
@@ -89,6 +94,14 @@ OptimizeResult OptimizeGoo(const Hypergraph& graph,
 OptimizeResult OptimizeGoo(const Hypergraph& graph) {
   CardinalityEstimator est(graph);
   return OptimizeGoo(graph, est, DefaultCostModel());
+}
+
+double GooCostUpperBound(const Hypergraph& graph,
+                         const CardinalityEstimator& est,
+                         const CostModel& cost_model,
+                         const OptimizerOptions& base_options) {
+  OptimizeResult r = OptimizeGoo(graph, est, cost_model, base_options);
+  return r.success ? r.cost : std::numeric_limits<double>::infinity();
 }
 
 }  // namespace dphyp

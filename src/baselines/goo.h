@@ -28,6 +28,17 @@ OptimizeResult OptimizeGoo(const Hypergraph& graph,
 /// Convenience wrapper with default estimator and cost model.
 OptimizeResult OptimizeGoo(const Hypergraph& graph);
 
+/// Cost of the GOO plan for `graph`, or +inf when GOO finds no valid plan
+/// (disconnected graph, all merges rejected). This is the branch-and-bound
+/// seed used by the pruned exact enumerators: any valid plan's cost is an
+/// upper bound on the optimum. `base_options` carries the TES constraints
+/// of the caller so the bound is valid for the same search space; its
+/// pruning fields are ignored (GOO never prunes — it *is* the bound).
+double GooCostUpperBound(const Hypergraph& graph,
+                         const CardinalityEstimator& est,
+                         const CostModel& cost_model,
+                         const OptimizerOptions& base_options = {});
+
 }  // namespace dphyp
 
 #endif  // DPHYP_BASELINES_GOO_H_

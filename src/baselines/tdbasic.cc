@@ -56,7 +56,12 @@ OptimizeResult OptimizeTdBasic(const Hypergraph& graph,
                                const CardinalityEstimator& est,
                                const CostModel& cost_model,
                                const OptimizerOptions& options) {
-  OptimizerContext ctx(graph, est, cost_model, options);
+  // The memoization above treats table membership as "subproblem solved";
+  // branch-and-bound pruning removes entries and would re-derive failures,
+  // so the top-down algorithms always run unpruned.
+  OptimizerOptions effective = options;
+  effective.enable_pruning = false;
+  OptimizerContext ctx(graph, est, cost_model, effective);
   TdBasicSolver solver(graph, ctx);
   solver.Run();
   return ctx.Finish(graph.AllNodes());

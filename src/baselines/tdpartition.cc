@@ -64,7 +64,11 @@ OptimizeResult OptimizeTdPartition(const Hypergraph& graph,
                                    const CardinalityEstimator& est,
                                    const CostModel& cost_model,
                                    const OptimizerOptions& options) {
-  OptimizerContext ctx(graph, est, cost_model, options);
+  // Same reasoning as TDbasic: table membership is the top-down "solved"
+  // memo, so pruning must stay off.
+  OptimizerOptions effective = options;
+  effective.enable_pruning = false;
+  OptimizerContext ctx(graph, est, cost_model, effective);
   TdPartitionSolver solver(graph, ctx);
   solver.Run();
   return ctx.Finish(graph.AllNodes());

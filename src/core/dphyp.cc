@@ -1,5 +1,6 @@
 #include "core/dphyp.h"
 
+#include "core/neighborhood_cache.h"
 #include "util/subset.h"
 
 namespace dphyp {
@@ -10,7 +11,7 @@ namespace {
 class DphypSolver {
  public:
   DphypSolver(const Hypergraph& graph, OptimizerContext& ctx)
-      : graph_(graph), ctx_(ctx) {}
+      : graph_(graph), nbh_(graph), ctx_(ctx) {}
 
   void Run() {
     ctx_.InitLeaves();
@@ -25,7 +26,7 @@ class DphypSolver {
 
  private:
   void EnumerateCsgRec(NodeSet S1, NodeSet X) {
-    NodeSet nbh = graph_.Neighborhood(S1, X);
+    NodeSet nbh = nbh_.Neighborhood(S1, X);
     if (nbh.Empty()) return;
     // Emit before recursing so smaller sets are finished first (the DP
     // enumeration-order requirement of Sec. 2.2). The DP table lookup is
@@ -43,7 +44,7 @@ class DphypSolver {
 
   void EmitCsg(NodeSet S1) {
     NodeSet X = S1 | NodeSet::Below(S1.Min());
-    NodeSet nbh = graph_.Neighborhood(S1, X);
+    NodeSet nbh = nbh_.Neighborhood(S1, X);
     // Process neighbors in descending order; each seed forbids the seeds
     // still to come (B_v(N), see header note) to avoid duplicate
     // complements.
@@ -60,7 +61,7 @@ class DphypSolver {
   }
 
   void EnumerateCmpRec(NodeSet S1, NodeSet S2, NodeSet X) {
-    NodeSet nbh = graph_.Neighborhood(S2, X);
+    NodeSet nbh = nbh_.Neighborhood(S2, X);
     if (nbh.Empty()) return;
     for (NodeSet n : NonEmptySubsetsOf(nbh)) {
       NodeSet grown = S2 | n;
@@ -77,6 +78,10 @@ class DphypSolver {
   }
 
   const Hypergraph& graph_;
+  /// Sec. 2.3 neighborhoods, memoized by node set (see
+  /// core/neighborhood_cache.h): complements recur under many csgs, so the
+  /// per-set union/candidate work is paid once per distinct set.
+  NeighborhoodCache nbh_;
   OptimizerContext& ctx_;
 };
 

@@ -1,0 +1,87 @@
+#include "core/neighborhood_cache.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace dphyp {
+
+NeighborhoodCache::NeighborhoodCache(const Hypergraph& graph)
+    : graph_(&graph) {
+  const size_t expected = static_cast<size_t>(graph.NumNodes()) * 8;
+  size_t capacity = std::bit_ceil(expected * 2 + 16);
+  slots_.assign(capacity, 0);
+  mask_ = capacity - 1;
+  entries_.reserve(expected);
+}
+
+const NeighborhoodCache::Entry& NeighborhoodCache::Lookup(NodeSet S) {
+  size_t idx = HashNodeSet(S) & mask_;
+  for (;;) {
+    uint32_t slot = slots_[idx];
+    if (slot == 0) break;
+    if (entries_[slot - 1].key == S) {
+      ++hits_;
+      return entries_[slot - 1];
+    }
+    idx = (idx + 1) & mask_;
+  }
+
+  ++misses_;
+  Entry entry;
+  entry.key = S;
+  for (int v : S) entry.simple_union |= graph_->SimpleNeighbors(v);
+  entry.pool_begin = static_cast<uint32_t>(candidate_pool_.size());
+  auto consider = [&](NodeSet near_side, NodeSet far_side, NodeSet flex) {
+    if (!near_side.IsSubsetOf(S)) return;
+    candidate_pool_.push_back(far_side | (flex - S));
+  };
+  for (int id : graph_->complex_edge_ids()) {
+    const Hyperedge& e = graph_->edge(id);
+    consider(e.left, e.right, e.flex);
+    consider(e.right, e.left, e.flex);
+  }
+  entry.pool_end = static_cast<uint32_t>(candidate_pool_.size());
+
+  if ((entries_.size() + 1) * 10 >= slots_.size() * 7) Grow();
+  entries_.push_back(entry);
+  idx = HashNodeSet(S) & mask_;
+  while (slots_[idx] != 0) idx = (idx + 1) & mask_;
+  slots_[idx] = static_cast<uint32_t>(entries_.size());
+  return entries_.back();
+}
+
+void NeighborhoodCache::Grow() {
+  size_t capacity = slots_.size() * 2;
+  slots_.assign(capacity, 0);
+  mask_ = capacity - 1;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    size_t idx = HashNodeSet(entries_[i].key) & mask_;
+    while (slots_[idx] != 0) idx = (idx + 1) & mask_;
+    slots_[idx] = static_cast<uint32_t>(i + 1);
+  }
+}
+
+NodeSet NeighborhoodCache::Neighborhood(NodeSet S, NodeSet X) {
+  const Entry& entry = Lookup(S);
+  const NodeSet forbidden = S | X;
+  const NodeSet simple = entry.simple_union - forbidden;
+  if (entry.pool_begin == entry.pool_end) return simple;
+  // X-dependent tail: filter the memoized candidates by the forbidden set
+  // (same cap over the *surviving* candidates as the uncached path), then
+  // run the shared subsumption step — bit-for-bit what
+  // Hypergraph::Neighborhood computes.
+  NodeSet candidates[internal::kMaxNeighborhoodCandidates];
+  int num_candidates = 0;
+  for (uint32_t p = entry.pool_begin; p != entry.pool_end; ++p) {
+    NodeSet target = candidate_pool_[p];
+    if (target.Intersects(forbidden)) continue;
+    if (num_candidates < internal::kMaxNeighborhoodCandidates) {
+      candidates[num_candidates++] = target;
+    }
+  }
+  return internal::ResolveCandidateNeighborhood(candidates, num_candidates,
+                                                simple);
+}
+
+}  // namespace dphyp

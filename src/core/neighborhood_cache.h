@@ -1,0 +1,73 @@
+// Memoized neighborhood computation for DPhyp (Sec. 2.3, Eq. 1).
+//
+// N(S, X) depends on both the subgraph S and the forbidden set X, but its
+// expensive ingredients depend on S alone: the union of simple-edge
+// neighbors of S's nodes (a loop over S per call in the uncached form) and
+// the candidate far sides of the complex hyperedges reachable from S
+// (a scan over every complex edge per call). DPhyp revisits the same node
+// sets many times with different X — every connected set reappears as a
+// complement candidate under many different csgs — so the cache keys those
+// ingredients by S in a flat open-addressing table and leaves only the
+// cheap X-dependent filtering (bitset subtraction, subsumption among the
+// few surviving complex candidates) on the per-call path.
+//
+// The result is exactly Hypergraph::Neighborhood(S, X), bit for bit — the
+// candidate order, the 128-candidate cap, and the subsumption tie-breaks
+// are preserved. tests/test_neighborhood.cc asserts the equivalence on
+// randomized hypergraphs.
+#ifndef DPHYP_CORE_NEIGHBORHOOD_CACHE_H_
+#define DPHYP_CORE_NEIGHBORHOOD_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/node_set.h"
+
+namespace dphyp {
+
+/// One enumeration run's neighborhood memo. Not thread-safe; create one per
+/// solver (the graph it caches must outlive it).
+class NeighborhoodCache {
+ public:
+  explicit NeighborhoodCache(const Hypergraph& graph);
+
+  /// The paper's N(S, X); equals graph.Neighborhood(S, X).
+  NodeSet Neighborhood(NodeSet S, NodeSet X);
+
+  /// Distinct node sets memoized so far.
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  /// X-independent ingredients for one node set.
+  struct Entry {
+    NodeSet key;
+    /// Union of simple-edge neighbors over the nodes of `key` (unfiltered;
+    /// may intersect key itself).
+    NodeSet simple_union;
+    /// Range [begin, end) in `candidate_pool_`: far-side candidates
+    /// far | (flex - S) of complex edges whose near side lies in `key`, in
+    /// complex-edge scan order.
+    uint32_t pool_begin = 0;
+    uint32_t pool_end = 0;
+  };
+
+  const Entry& Lookup(NodeSet S);
+  void Grow();
+
+  const Hypergraph* graph_;
+  std::vector<Entry> entries_;
+  /// Open-addressing slots storing entry_index + 1; 0 marks empty.
+  std::vector<uint32_t> slots_;
+  size_t mask_ = 0;
+  /// Backing store for every entry's complex-edge candidates.
+  std::vector<NodeSet> candidate_pool_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_CORE_NEIGHBORHOOD_CACHE_H_

@@ -1,5 +1,8 @@
 #include "core/optimizer.h"
 
+#include <cmath>
+
+#include "baselines/goo.h"
 #include "util/check.h"
 
 namespace dphyp {
@@ -12,10 +15,28 @@ OptimizerContext::OptimizerContext(const Hypergraph& graph,
       est_(&est),
       cost_model_(&cost_model),
       tes_(options.tes_constraints),
-      table_(static_cast<size_t>(graph.NumNodes()) * 8) {
+      table_(static_cast<size_t>(graph.NumNodes()) * 8),
+      all_nodes_(graph.AllNodes()) {
   if (tes_ != nullptr) {
     DPHYP_CHECK_MSG(static_cast<int>(tes_->size()) == graph.NumEdges(),
                     "TES constraint list must cover every edge");
+  }
+  if (options.enable_pruning && cost_model.SupportsPruning()) {
+    pruning_ = true;
+    bound_ = options.initial_upper_bound;
+    if (!std::isfinite(bound_)) {
+      // Seed the incumbent from the greedy baseline: one GOO pass is
+      // O(n^2) estimator calls — negligible against the exponential
+      // enumeration it bounds — and its plan cost is a valid upper bound
+      // on the optimum under any cost model.
+      bound_ = GooCostUpperBound(graph, est, cost_model, options);
+    }
+    stats_.initial_upper_bound = bound_;
+    // Every full plan produces the same root class with the same estimated
+    // cardinality, so partial plans compete against the incumbent minus
+    // this completion bound (for C_out: the root output every plan pays).
+    completion_ =
+        cost_model.CompletionLowerBound(est.Estimate(graph.AllNodes()));
   }
 }
 
@@ -30,16 +51,80 @@ void OptimizerContext::InitLeaves() {
 
 void OptimizerContext::EmitCsgCmp(NodeSet S1, NodeSet S2) {
   ++stats_.ccp_pairs;
-  TryOrientation(S1, S2);
-  TryOrientation(S2, S1);
+  const PlanEntry* left = nullptr;
+  const PlanEntry* right = nullptr;
+  PlanEntry* target = nullptr;
+  if (pruning_ && PruneCandidatePair(S1, S2, &left, &right, &target)) return;
+  const bool inserted = TryOrientation(S1, S2, left, right, target);
+  // The first orientation may have created the combined class; a stale
+  // null hint would make the second orientation insert a duplicate.
+  if (inserted && target == nullptr) target = table_.Find(S1 | S2);
+  TryOrientation(S2, S1, right, left, target);
 }
 
 void OptimizerContext::EmitOrdered(NodeSet S1, NodeSet S2) {
   ++stats_.ccp_pairs;
-  TryOrientation(S1, S2);
+  const PlanEntry* left = nullptr;
+  const PlanEntry* right = nullptr;
+  PlanEntry* target = nullptr;
+  if (pruning_ && PruneCandidatePair(S1, S2, &left, &right, &target)) return;
+  TryOrientation(S1, S2, left, right, target);
 }
 
-bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right) {
+bool OptimizerContext::PruneCandidatePair(NodeSet S1, NodeSet S2,
+                                          const PlanEntry** left_out,
+                                          const PlanEntry** right_out,
+                                          PlanEntry** target_out) {
+  // Two branch-and-bound cuts, both fired before the connecting-edge scan,
+  // the cardinality estimate, and the cost evaluation. Both use strict
+  // comparisons against *valid plan costs*, which together with the
+  // first-strictly-better update rule in TryOrientation makes the pruned
+  // run's surviving table entries — and the final plan cost — bit-identical
+  // to the unpruned run (tests/test_pruning.cc).
+  const PlanEntry* left = table_.Find(S1);
+  const PlanEntry* right = table_.Find(S2);
+  // A side with no table entry was itself pruned away (every construction
+  // exceeded the bound — DPccp emits pairs without consulting the table, so
+  // this does occur); any plan on top of it is above the bound too.
+  if (left == nullptr || right == nullptr) {
+    ++stats_.pruned;
+    return true;
+  }
+  *left_out = left;
+  *right_out = right;
+  const PlanSide l{left->cost, left->cardinality};
+  const PlanSide r{right->cost, right->cardinality};
+
+  // Global cut: with a superadditive cost model every plan built from these
+  // inputs costs at least PairLowerBound, and every *full* plan on top of a
+  // strict subplan additionally pays the completion bound — above the
+  // incumbent, the pair can never be part of a plan that beats it.
+  double lower = cost_model_->PairLowerBound(l, r);
+  if ((S1 | S2) != all_nodes_) lower += completion_;
+  if (lower > bound_) {
+    ++stats_.pruned;
+    return true;
+  }
+
+  // Per-class dominance cut: the class's output cardinality is fixed, so a
+  // construction that cannot cost less than the class's incumbent plan can
+  // be skipped outright. `>=` matches the strict-< update rule — a tie
+  // would not have replaced the incumbent either.
+  PlanEntry* target = table_.Find(S1 | S2);
+  if (target != nullptr &&
+      cost_model_->CandidateLowerBound(l, r, target->cardinality) >=
+          target->cost) {
+    ++stats_.dominated;
+    return true;
+  }
+  *target_out = target;
+  return false;
+}
+
+bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right,
+                                      const PlanEntry* left_entry,
+                                      const PlanEntry* right_entry,
+                                      PlanEntry* target_hint) {
   // Scan connecting edges to recover the operator (Sec. 5.4). Exactly one
   // non-inner edge may cross a valid csg-cmp-pair; its stored orientation
   // determines the build direction. Inner edges are commutative and merely
@@ -112,20 +197,33 @@ bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right) {
     }
   }
 
-  const PlanEntry* left_entry = table_.Find(left);
-  const PlanEntry* right_entry = table_.Find(right);
+  if (left_entry == nullptr) left_entry = table_.Find(left);
+  if (right_entry == nullptr) right_entry = table_.Find(right);
   DPHYP_DCHECK(left_entry != nullptr && right_entry != nullptr);
   const PlanSide left_side{left_entry->cost, left_entry->cardinality};
   const PlanSide right_side{right_entry->cost, right_entry->cardinality};
 
   const NodeSet combined = left | right;
-  PlanEntry* target = table_.Find(combined);
+  PlanEntry* target =
+      target_hint != nullptr ? target_hint : table_.Find(combined);
   const double out_card =
       target != nullptr ? target->cardinality : est_->Estimate(combined);
 
   ++stats_.cost_evaluations;
   const double cost =
       cost_model_->OperatorCost(op, left_side, right_side, out_card);
+
+  // Post-cost branch-and-bound cut: a candidate whose cost plus the
+  // completion bound exceeds the incumbent cannot be part of any plan that
+  // beats it (monotone cost model), so neither inserting the class nor
+  // improving it matters for the final optimum. Classes left unreached this
+  // way also vanish from the DP-table connectivity oracle, which prunes
+  // every enumeration subtree above them.
+  if (pruning_ &&
+      cost + (combined != all_nodes_ ? completion_ : 0.0) > bound_) {
+    ++stats_.pruned;
+    return false;
+  }
 
   if (target == nullptr) {
     target = table_.Insert(combined);
@@ -138,6 +236,9 @@ bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right) {
     target->right = right;
     target->op = op;
     target->edge_id = primary_edge;
+    // A completed full plan is itself a valid upper bound: tighten the
+    // incumbent so later candidates prune against the best plan seen.
+    if (pruning_ && combined == all_nodes_) TightenCostBound(cost);
   }
   return true;
 }

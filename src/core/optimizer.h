@@ -45,6 +45,18 @@ struct OptimizerStats {
   uint64_t discarded = 0;
   /// Calls into the cost model.
   uint64_t cost_evaluations = 0;
+  /// Csg-cmp pairs (or single candidate plans) discarded by accumulated-cost
+  /// branch-and-bound pruning because their partial cost already exceeded
+  /// the incumbent upper bound. Zero when pruning is disabled.
+  uint64_t pruned = 0;
+  /// Candidate pairs skipped by the per-class dominance cut: their cost
+  /// lower bound could not beat the class's incumbent plan, so the edge
+  /// scan and cost evaluation were never paid. Zero when pruning is
+  /// disabled.
+  uint64_t dominated = 0;
+  /// The initial upper bound pruning started from (the GOO seed unless a
+  /// caller supplied a tighter one); +inf when pruning is disabled.
+  double initial_upper_bound = std::numeric_limits<double>::infinity();
   /// Final number of DP table entries (== number of connected subgraphs
   /// reached; Sec. 3.6).
   uint64_t dp_entries = 0;
@@ -74,6 +86,21 @@ struct OptimizerOptions {
   /// When set, enables generate-and-test TES validation at combine time
   /// (size must equal the number of hypergraph edges).
   const std::vector<TesConstraint>* tes_constraints = nullptr;
+
+  /// Accumulated-cost branch-and-bound pruning in the combine step. Only
+  /// takes effect when the cost model is monotone
+  /// (CostModel::SupportsPruning); admissible, i.e. the final plan cost is
+  /// bit-identical to the unpruned run (tests/test_pruning.cc). Honoured by
+  /// the bottom-up enumerators (DPhyp/DPccp/DPsub/DPsize); the top-down
+  /// algorithms and GOO strip it — TDbasic uses table membership as a
+  /// "subproblem solved" memo, which pruning would corrupt, and GOO is
+  /// itself the bound provider.
+  bool enable_pruning = false;
+  /// Incumbent the pruning starts from. Non-finite means "seed it from a
+  /// GOO run over the same graph/estimator/cost model" (the usual mode);
+  /// callers that already hold a valid plan cost (e.g. the plan service on
+  /// a near-identical query) may pass it here to start tighter.
+  double initial_upper_bound = std::numeric_limits<double>::infinity();
 };
 
 /// Mutable state threaded through one optimization run.
@@ -100,10 +127,37 @@ class OptimizerContext {
   /// Packages the final result for the class `root`.
   OptimizeResult Finish(NodeSet root);
 
+  /// True when branch-and-bound pruning is active for this run.
+  bool pruning() const { return pruning_; }
+  /// Current incumbent (upper bound on the optimal full-plan cost); +inf
+  /// when pruning is disabled.
+  double cost_bound() const { return bound_; }
+  /// Tightens the incumbent. Callers must guarantee `bound` is the cost of
+  /// some valid full plan (or pruning becomes inadmissible).
+  void TightenCostBound(double bound) {
+    if (bound < bound_) bound_ = bound;
+  }
+
  private:
   /// Tries to build `left op right`; returns false if no valid operator
-  /// applies in this orientation.
-  bool TryOrientation(NodeSet left, NodeSet right);
+  /// applies in this orientation. `left_entry`/`right_entry`/`target_hint`
+  /// may carry the already-probed table entries (the pruning pre-check
+  /// fetches them; entry pointers are stable) — pass nullptr to look them
+  /// up here. `target_hint` must only be non-null when the combined class
+  /// is known to exist.
+  bool TryOrientation(NodeSet left, NodeSet right,
+                      const PlanEntry* left_entry = nullptr,
+                      const PlanEntry* right_entry = nullptr,
+                      PlanEntry* target_hint = nullptr);
+
+  /// Pre-cost branch-and-bound tests (global incumbent + per-class
+  /// dominance): true when the pair can be skipped without affecting the
+  /// final optimum. On false, `*left_out`/`*right_out`/`*target_out` hold
+  /// the probed entries (`*target_out` stays null when the combined class
+  /// has no entry yet) so callers need not repeat the table lookups.
+  bool PruneCandidatePair(NodeSet S1, NodeSet S2, const PlanEntry** left_out,
+                          const PlanEntry** right_out,
+                          PlanEntry** target_out);
 
   const Hypergraph* graph_;
   const CardinalityEstimator* est_;
@@ -111,6 +165,14 @@ class OptimizerContext {
   const std::vector<TesConstraint>* tes_;
   DpTable table_;
   OptimizerStats stats_;
+  /// Branch-and-bound state: active flag, incumbent, and the full node set
+  /// whose completed plans tighten the incumbent.
+  bool pruning_ = false;
+  double bound_ = std::numeric_limits<double>::infinity();
+  /// CostModel::CompletionLowerBound for this query's root class; added to
+  /// partial-plan costs before they are compared against the incumbent.
+  double completion_ = 0.0;
+  NodeSet all_nodes_;
 };
 
 }  // namespace dphyp

@@ -26,6 +26,49 @@ class CostModel {
   virtual double OperatorCost(OpType op, const PlanSide& left,
                               const PlanSide& right, double out_card) const = 0;
 
+  /// Whether accumulated-cost branch-and-bound pruning is admissible under
+  /// this model. Requires *superadditivity*: OperatorCost(op, l, r, out)
+  /// must never be smaller than left.cost + right.cost, for every operator
+  /// and either orientation — then a partial plan whose cost exceeds a
+  /// known full-plan upper bound can never be a subtree of an optimal plan,
+  /// and pruning it cannot change the optimum (see
+  /// OptimizerContext::EmitCsgCmp). The *LowerBound defaults below assume
+  /// exactly this property.
+  virtual bool SupportsPruning() const { return false; }
+
+  /// A lower bound on OperatorCost(op, left, right, out_card) over every
+  /// operator and output cardinality, used to discard csg-cmp pairs before
+  /// the cardinality estimate and cost evaluation are paid. Only consulted
+  /// when SupportsPruning() is true; overrides must stay a true lower bound
+  /// or pruning becomes inadmissible.
+  virtual double PairLowerBound(const PlanSide& left,
+                                const PlanSide& right) const {
+    return left.cost + right.cost;
+  }
+
+  /// A lower bound on the cost every *full* plan must pay on top of any
+  /// strict subplan's accumulated cost. `root_card` is the cardinality of
+  /// the full query's result class (identical for all plans under the
+  /// product-form estimator). For C_out this is root_card itself: the root
+  /// join's output is an intermediate result of every complete plan. This
+  /// is what makes branch-and-bound bite — the incumbent is a *full*-plan
+  /// cost, so partial plans compete against it minus the completion bound.
+  /// Must stay a true lower bound; 0 is always safe.
+  virtual double CompletionLowerBound(double root_card) const { return 0.0; }
+
+  /// A lower bound on OperatorCost over every operator and *both*
+  /// orientations of the pair, for the known output cardinality `out_card`
+  /// (fixed per plan class under the product-form estimator). Used for the
+  /// per-class dominance cut: when this bound cannot beat the class's
+  /// incumbent cost, the candidate pair is skipped before the connecting-
+  /// edge scan. For C_out the bound is the exact cost, so the cut admits
+  /// exactly the constructions that improve the class.
+  virtual double CandidateLowerBound(const PlanSide& left,
+                                     const PlanSide& right,
+                                     double out_card) const {
+    return left.cost + right.cost;
+  }
+
   virtual const char* name() const = 0;
 };
 
@@ -35,6 +78,23 @@ class CoutModel final : public CostModel {
  public:
   double OperatorCost(OpType op, const PlanSide& left, const PlanSide& right,
                       double out_card) const override;
+  /// C_out is monotone: cost = out_card + cost(S1) + cost(S2) with
+  /// out_card >= 0, so every plan is at least as expensive as each subplan.
+  bool SupportsPruning() const override { return true; }
+  double CompletionLowerBound(double root_card) const override {
+    return root_card;
+  }
+  double CandidateLowerBound(const PlanSide& left, const PlanSide& right,
+                             double out_card) const override {
+    // Exact: C_out ignores the operator and orientation — but floating-
+    // point addition does not associate, so the two orientations' costs
+    // can differ by an ULP. Take the minimum of both summation orders
+    // (each mirroring OperatorCost exactly) so the bound never lands above
+    // the cheaper orientation and prunes a candidate that would have won.
+    const double a = out_card + left.cost + right.cost;
+    const double b = out_card + right.cost + left.cost;
+    return a < b ? a : b;
+  }
   const char* name() const override { return "Cout"; }
 };
 
@@ -42,6 +102,9 @@ class CoutModel final : public CostModel {
 /// with the left, pay for the output. Dependent operators re-evaluate their
 /// right side per left tuple (nested-loop-like), which makes the model
 /// prefer converting laterals late — a useful ablation contrast to C_out.
+/// SupportsPruning stays false: the dependent-operator cost drops
+/// right.cost from the sum (it is scaled by the left cardinality, which may
+/// be below one), so the monotonicity pruning relies on does not hold.
 class HashJoinModel final : public CostModel {
  public:
   double OperatorCost(OpType op, const PlanSide& left, const PlanSide& right,

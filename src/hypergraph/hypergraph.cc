@@ -38,6 +38,31 @@ int Hypergraph::AddEdge(Hyperedge edge) {
   return id;
 }
 
+namespace internal {
+
+NodeSet ResolveCandidateNeighborhood(const NodeSet* candidates,
+                                     int num_candidates, NodeSet simple) {
+  NodeSet result = simple;
+  for (int i = 0; i < num_candidates; ++i) {
+    // Subsumed by a simple neighbor?
+    if (candidates[i].Intersects(simple)) continue;
+    bool subsumed = false;
+    for (int j = 0; j < num_candidates && !subsumed; ++j) {
+      if (i == j) continue;
+      // Keep only inclusion-minimal candidates; break ties (equal sets)
+      // in favor of the earlier index.
+      if (candidates[j].IsSubsetOf(candidates[i]) &&
+          (candidates[j] != candidates[i] || j < i)) {
+        subsumed = true;
+      }
+    }
+    if (!subsumed) result |= candidates[i].MinSet();
+  }
+  return result;
+}
+
+}  // namespace internal
+
 NodeSet Hypergraph::Neighborhood(NodeSet S, NodeSet X) const {
   const NodeSet forbidden = S | X;
 
@@ -45,43 +70,29 @@ NodeSet Hypergraph::Neighborhood(NodeSet S, NodeSet X) const {
   NodeSet simple;
   for (int v : S) simple |= simple_neighbors_[v];
   simple -= forbidden;
+  if (complex_edge_ids_.empty()) return simple;
 
   // Complex edges: collect candidate far-side hypernodes E#'(S, X), then
   // prune subsumed candidates to obtain E#(S, X) (Sec. 2.3). A candidate is
   // subsumed if it has a (strict or equal) subset among the other candidates
   // or contains one of the simple singleton neighbors.
-  NodeSet result = simple;
-  if (!complex_edge_ids_.empty()) {
-    NodeSet candidates[128];
-    int num_candidates = 0;
-    auto consider = [&](NodeSet near_side, NodeSet far_side, NodeSet flex) {
-      if (!near_side.IsSubsetOf(S)) return;
-      NodeSet target = far_side | (flex - S);
-      if (target.Intersects(forbidden)) return;
-      if (num_candidates < 128) candidates[num_candidates++] = target;
-    };
-    for (int id : complex_edge_ids_) {
-      const Hyperedge& e = edges_[id];
-      consider(e.left, e.right, e.flex);
-      consider(e.right, e.left, e.flex);
+  NodeSet candidates[internal::kMaxNeighborhoodCandidates];
+  int num_candidates = 0;
+  auto consider = [&](NodeSet near_side, NodeSet far_side, NodeSet flex) {
+    if (!near_side.IsSubsetOf(S)) return;
+    NodeSet target = far_side | (flex - S);
+    if (target.Intersects(forbidden)) return;
+    if (num_candidates < internal::kMaxNeighborhoodCandidates) {
+      candidates[num_candidates++] = target;
     }
-    for (int i = 0; i < num_candidates; ++i) {
-      // Subsumed by a simple neighbor?
-      if (candidates[i].Intersects(simple)) continue;
-      bool subsumed = false;
-      for (int j = 0; j < num_candidates && !subsumed; ++j) {
-        if (i == j) continue;
-        // Keep only inclusion-minimal candidates; break ties (equal sets)
-        // in favor of the earlier index.
-        if (candidates[j].IsSubsetOf(candidates[i]) &&
-            (candidates[j] != candidates[i] || j < i)) {
-          subsumed = true;
-        }
-      }
-      if (!subsumed) result |= candidates[i].MinSet();
-    }
+  };
+  for (int id : complex_edge_ids_) {
+    const Hyperedge& e = edges_[id];
+    consider(e.left, e.right, e.flex);
+    consider(e.right, e.left, e.flex);
   }
-  return result;
+  return internal::ResolveCandidateNeighborhood(candidates, num_candidates,
+                                                simple);
 }
 
 bool Hypergraph::ConnectsSets(NodeSet S1, NodeSet S2) const {

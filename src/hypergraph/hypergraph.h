@@ -117,6 +117,23 @@ class Hypergraph {
   bool has_dependent_leaves_ = false;
 };
 
+namespace internal {
+
+/// Maximum complex-edge candidates one neighborhood computation considers.
+inline constexpr int kMaxNeighborhoodCandidates = 128;
+
+/// Shared tail of the Sec. 2.3 neighborhood computation, used by both
+/// Hypergraph::Neighborhood and the memoized NeighborhoodCache so the two
+/// stay bit-for-bit equivalent: given the forbidden-filtered complex-edge
+/// candidates and the (already-filtered) simple neighborhood, drop every
+/// candidate subsumed by a simple neighbor or by an inclusion-smaller
+/// candidate (equal sets: the earlier index wins) and return `simple`
+/// united with the survivors' minimal nodes.
+NodeSet ResolveCandidateNeighborhood(const NodeSet* candidates,
+                                     int num_candidates, NodeSet simple);
+
+}  // namespace internal
+
 }  // namespace dphyp
 
 #endif  // DPHYP_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,14 +1,17 @@
 #include "plan/dp_table.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace dphyp {
 
-DpTable::DpTable(size_t expected_entries) {
+DpTable::DpTable(size_t expected_entries)
+    : arena_(/*block_size=*/std::max<size_t>(expected_entries, 64) *
+             sizeof(PlanEntry)) {
   size_t capacity = std::bit_ceil(expected_entries * 2 + 16);
   slots_.assign(capacity, 0);
   mask_ = capacity - 1;
-  entries_.reserve(expected_entries);
+  order_.reserve(expected_entries);
 }
 
 const PlanEntry* DpTable::Find(NodeSet s) const {
@@ -17,8 +20,8 @@ const PlanEntry* DpTable::Find(NodeSet s) const {
   for (;;) {
     uint32_t slot = slots_[idx];
     if (slot == 0) return nullptr;
-    const PlanEntry& e = entries_[slot - 1];
-    if (e.set == s) return &e;
+    const PlanEntry* e = order_[slot - 1];
+    if (e->set == s) return e;
     idx = (idx + 1) & mask_;
   }
 }
@@ -26,13 +29,13 @@ const PlanEntry* DpTable::Find(NodeSet s) const {
 PlanEntry* DpTable::Insert(NodeSet s) {
   DPHYP_DCHECK(!s.Empty());
   DPHYP_DCHECK(Find(s) == nullptr);
-  if ((entries_.size() + 1) * 10 >= slots_.size() * 7) Grow();
-  entries_.emplace_back();
-  PlanEntry* e = &entries_.back();
+  if ((order_.size() + 1) * 10 >= slots_.size() * 7) Grow();
+  PlanEntry* e = arena_.New<PlanEntry>();
   e->set = s;
+  order_.push_back(e);
   size_t idx = HashNodeSet(s) & mask_;
   while (slots_[idx] != 0) idx = (idx + 1) & mask_;
-  slots_[idx] = static_cast<uint32_t>(entries_.size());
+  slots_[idx] = static_cast<uint32_t>(order_.size());
   return e;
 }
 
@@ -40,8 +43,8 @@ void DpTable::Grow() {
   size_t capacity = slots_.size() * 2;
   slots_.assign(capacity, 0);
   mask_ = capacity - 1;
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    size_t idx = HashNodeSet(entries_[i].set) & mask_;
+  for (size_t i = 0; i < order_.size(); ++i) {
+    size_t idx = HashNodeSet(order_[i]->set) & mask_;
     while (slots_[idx] != 0) idx = (idx + 1) & mask_;
     slots_[idx] = static_cast<uint32_t>(i + 1);
   }

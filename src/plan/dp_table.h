@@ -4,7 +4,11 @@
 // the single hottest operation in every enumeration algorithm — DPhyp uses
 // the table as its connectivity oracle (Sec. 3) — so we use a flat
 // open-addressing hash table with linear probing instead of
-// std::unordered_map. Entries are stored in insertion order, which DPsize
+// std::unordered_map. Entries themselves live in a bump-pointer arena
+// (util/arena.h): insertion is a pointer bump, entry pointers are stable for
+// the lifetime of the table (no reallocation-and-copy on growth — only the
+// small slot/index arrays rehash), and teardown is a handful of block frees
+// instead of one per entry. Insertion order is preserved, which DPsize
 // exploits to bucket plans by size.
 #ifndef DPHYP_PLAN_DP_TABLE_H_
 #define DPHYP_PLAN_DP_TABLE_H_
@@ -13,6 +17,7 @@
 #include <vector>
 
 #include "catalog/operator_type.h"
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/node_set.h"
 
@@ -35,7 +40,7 @@ struct PlanEntry {
   bool IsLeaf() const { return left.Empty(); }
 };
 
-/// Flat hash table NodeSet -> PlanEntry.
+/// Flat hash table NodeSet -> PlanEntry with arena-backed entry storage.
 class DpTable {
  public:
   explicit DpTable(size_t expected_entries = 64);
@@ -45,8 +50,8 @@ class DpTable {
   DpTable(const DpTable&) = delete;
   DpTable& operator=(const DpTable&) = delete;
 
-  /// Returns the entry for `s`, or nullptr. The pointer is invalidated by
-  /// the next Insert.
+  /// Returns the entry for `s`, or nullptr. Entry pointers are stable:
+  /// entries live in the arena, so Insert never invalidates them.
   PlanEntry* Find(NodeSet s) {
     return const_cast<PlanEntry*>(
         static_cast<const DpTable*>(this)->Find(s));
@@ -59,26 +64,28 @@ class DpTable {
   /// Inserts a new entry for `s` (must not already exist) and returns it.
   PlanEntry* Insert(NodeSet s);
 
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  size_t size() const { return order_.size(); }
+  bool empty() const { return order_.empty(); }
 
-  /// Entries in insertion order.
-  const std::vector<PlanEntry>& entries() const { return entries_; }
+  /// Entry pointers in insertion order.
+  const std::vector<PlanEntry*>& entries() const { return order_; }
 
-  /// Heap footprint of the table as allocated right now: the entry array's
-  /// reserved capacity plus the open-addressing slot array (Sec. 3.6 memory
-  /// accounting). Every algorithm's OptimizerStats::table_bytes is this
-  /// value sampled at Finish() time; it is always at least
-  /// size() * sizeof(PlanEntry).
+  /// Heap footprint of the table as allocated right now: the arena blocks
+  /// holding the entries plus the open-addressing slot array and the
+  /// insertion-order index (Sec. 3.6 memory accounting). Every algorithm's
+  /// OptimizerStats::table_bytes is this value sampled at Finish() time; it
+  /// is always at least size() * sizeof(PlanEntry).
   size_t MemoryBytes() const {
-    return entries_.capacity() * sizeof(PlanEntry) +
-           slots_.capacity() * sizeof(uint32_t);
+    return arena_.bytes_used() + slots_.capacity() * sizeof(uint32_t) +
+           order_.capacity() * sizeof(PlanEntry*);
   }
 
  private:
   void Grow();
 
-  std::vector<PlanEntry> entries_;
+  Arena arena_;
+  /// Entries in insertion order; the pointees live in `arena_`.
+  std::vector<PlanEntry*> order_;
   /// Open-addressing slots storing entry_index + 1; 0 marks empty.
   std::vector<uint32_t> slots_;
   size_t mask_ = 0;

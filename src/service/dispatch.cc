@@ -76,15 +76,21 @@ OptimizeResult OptimizeAdaptive(const Hypergraph& graph,
                                 const CostModel& cost_model,
                                 const DispatchPolicy& policy,
                                 const OptimizerOptions& options) {
+  // Bound-aware routing: exact routes run under a GOO-seeded cost bound
+  // (the seeding happens inside OptimizerContext). The route decision
+  // itself stays shape-only — the bound changes how much of the search
+  // space an exact route visits, never which plan it returns.
+  OptimizerOptions effective = options;
+  if (policy.enable_pruning) effective.enable_pruning = true;
   switch (ChooseRoute(graph, policy).route) {
     case Route::kDphyp:
-      return OptimizeDphyp(graph, est, cost_model, options);
+      return OptimizeDphyp(graph, est, cost_model, effective);
     case Route::kDpccp:
-      return OptimizeDpccp(graph, est, cost_model, options);
+      return OptimizeDpccp(graph, est, cost_model, effective);
     case Route::kDpsub:
-      return OptimizeDpsub(graph, est, cost_model, options);
+      return OptimizeDpsub(graph, est, cost_model, effective);
     case Route::kGoo:
-      return OptimizeGoo(graph, est, cost_model, options);
+      return OptimizeGoo(graph, est, cost_model, effective);
   }
   OptimizeResult result;
   result.error = "unknown route";

@@ -42,6 +42,12 @@ struct DispatchPolicy {
   /// itself (2^n entries) would still fit.
   int dense_node_limit = 12;
   double min_dense_density = 0.4;
+  /// Bound-aware routing: when an exact route is chosen, run it with
+  /// accumulated-cost branch-and-bound pruning seeded from a GOO pass over
+  /// the same graph (OptimizerOptions::enable_pruning). Admissible under
+  /// monotone cost models — the served plan cost is bit-identical to the
+  /// unpruned run — and a no-op for routes that cannot prune (GOO itself).
+  bool enable_pruning = true;
 };
 
 /// The routing verdict plus a human-readable justification.

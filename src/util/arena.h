@@ -25,6 +25,14 @@ class Arena {
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
 
+  /// Movable so arena-backed containers (DpTable) stay movable; the
+  /// moved-from arena is left empty and reusable.
+  Arena(Arena&& other) noexcept { MoveFrom(other); }
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) MoveFrom(other);
+    return *this;
+  }
+
   /// Allocates `size` bytes aligned to `align`.
   void* Allocate(size_t size, size_t align = alignof(std::max_align_t)) {
     size_t offset = (cursor_ + align - 1) & ~(align - 1);
@@ -65,6 +73,17 @@ class Arena {
   }
 
  private:
+  void MoveFrom(Arena& other) {
+    block_size_ = other.block_size_;
+    blocks_ = std::move(other.blocks_);
+    base_ = other.base_;
+    cursor_ = other.cursor_;
+    limit_ = other.limit_;
+    total_before_ = other.total_before_;
+    bytes_used_ = other.bytes_used_;
+    other.Reset();
+  }
+
   void NewBlock(size_t min_size) {
     size_t size = min_size > block_size_ ? min_size : block_size_;
     blocks_.push_back(std::make_unique<char[]>(size));

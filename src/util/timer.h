@@ -2,8 +2,10 @@
 #ifndef DPHYP_UTIL_TIMER_H_
 #define DPHYP_UTIL_TIMER_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <vector>
 
 namespace dphyp {
 
@@ -31,26 +33,53 @@ class Timer {
   Clock::time_point start_;
 };
 
-/// Runs `fn` repeatedly until at least `min_total_ms` of wall time or
-/// `max_reps` repetitions have elapsed and returns the *median-of-means*
-/// per-call time in milliseconds. Used by the figure/table harnesses so that
-/// sub-millisecond optimizations are measured stably while multi-second ones
-/// run only once.
+/// Runs `fn` repeatedly — one untimed warmup call to populate caches and
+/// allocators, then timed repetitions until at least `min_total_ms` of
+/// measured time, `max_reps` repetitions, or 4x `min_total_ms` of wall time
+/// have elapsed — and returns every per-call time in milliseconds, so
+/// callers can compute order statistics (median/p99). Used by the
+/// figure/table harnesses so that sub-millisecond optimizations are
+/// measured stably while multi-second ones run only once.
 template <typename Fn>
-double MeasureMillis(Fn&& fn, double min_total_ms = 50.0, int max_reps = 1000) {
-  // One untimed warmup call to populate caches/allocators.
+std::vector<double> MeasureSamplesMillis(Fn&& fn, double min_total_ms = 50.0,
+                                         int max_reps = 1000) {
   fn();
+  std::vector<double> samples;
   Timer total;
-  int reps = 0;
   double elapsed = 0.0;
   do {
     Timer t;
     fn();
-    elapsed += t.ElapsedMillis();
-    ++reps;
-  } while (elapsed < min_total_ms && reps < max_reps &&
+    samples.push_back(t.ElapsedMillis());
+    elapsed += samples.back();
+  } while (elapsed < min_total_ms &&
+           static_cast<int>(samples.size()) < max_reps &&
            total.ElapsedMillis() < 4.0 * min_total_ms);
-  return elapsed / reps;
+  return samples;
+}
+
+/// Mean per-call time in milliseconds over one MeasureSamplesMillis run —
+/// the single-number view of the same measurement protocol.
+template <typename Fn>
+double MeasureMillis(Fn&& fn, double min_total_ms = 50.0, int max_reps = 1000) {
+  std::vector<double> samples =
+      MeasureSamplesMillis(fn, min_total_ms, max_reps);
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+/// The q-quantile (q in [0, 1]) of `samples`, linearly interpolated between
+/// order statistics of a sorted copy; 0 for an empty vector. q = 0.5 is the
+/// median, q = 0.99 the p99.
+inline double QuantileMillis(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  double rank = q * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
 }
 
 }  // namespace dphyp

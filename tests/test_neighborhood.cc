@@ -1,7 +1,12 @@
-// Tests of N(S, X) (Sec. 2.3), including the worked examples from the paper.
+// Tests of N(S, X) (Sec. 2.3), including the worked examples from the paper
+// and the memoized NeighborhoodCache's bit-for-bit equivalence.
 #include <gtest/gtest.h>
 
+#include "core/neighborhood_cache.h"
+#include "hypergraph/builder.h"
 #include "hypergraph/hypergraph.h"
+#include "util/rng.h"
+#include "workload/generators.h"
 
 namespace dphyp {
 namespace {
@@ -136,6 +141,38 @@ TEST(Neighborhood, ExcludesForbiddenAndSelf) {
     NodeSet n = g.Neighborhood(NodeSet::Single(v), NodeSet::UpTo(v));
     EXPECT_FALSE(n.Contains(v));
     for (int w : n) EXPECT_GT(w, v);
+  }
+}
+
+TEST(NeighborhoodCache, MatchesUncachedOnPaperExamples) {
+  Hypergraph g = Figure2Graph();
+  NeighborhoodCache cache(g);
+  EXPECT_EQ(cache.Neighborhood(Set({0, 1, 2}), Set({0, 1, 2})), Set({3}));
+  EXPECT_EQ(cache.Neighborhood(Set({4}), NodeSet()), Set({3, 5}));
+  EXPECT_EQ(cache.Neighborhood(Set({4}), Set({3})), Set({5}));
+  // Same S with a different X must hit the memo yet respect the new X.
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(NeighborhoodCache, MatchesUncachedOnRandomHypergraphs) {
+  // Exhaustive-ish equivalence: random (S, X) probes on random hypergraphs,
+  // repeating each S with several X values so cache hits are exercised as
+  // hard as misses.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Hypergraph g =
+        BuildHypergraphOrDie(MakeRandomHypergraphQuery(10, 3, seed));
+    NeighborhoodCache cache(g);
+    Rng rng(seed * 7919);
+    for (int probe = 0; probe < 2000; ++probe) {
+      NodeSet S(rng.Next() & 0x3ffu);
+      if (S.Empty()) S = NodeSet::Single(0);
+      NodeSet X = NodeSet(rng.Next() & 0x3ffu) - S;
+      EXPECT_EQ(cache.Neighborhood(S, X), g.Neighborhood(S, X))
+          << "seed=" << seed << " S=" << S.ToString()
+          << " X=" << X.ToString();
+    }
+    EXPECT_GT(cache.hits(), 0u);
+    EXPECT_GT(cache.misses(), 0u);
   }
 }
 

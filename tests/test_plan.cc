@@ -57,9 +57,9 @@ TEST(DpTable, EntriesInInsertionOrder) {
   table.Insert(NodeSet::Single(1));
   table.Insert(NodeSet::Single(9));
   ASSERT_EQ(table.entries().size(), 3u);
-  EXPECT_EQ(table.entries()[0].set, NodeSet::Single(5));
-  EXPECT_EQ(table.entries()[1].set, NodeSet::Single(1));
-  EXPECT_EQ(table.entries()[2].set, NodeSet::Single(9));
+  EXPECT_EQ(table.entries()[0]->set, NodeSet::Single(5));
+  EXPECT_EQ(table.entries()[1]->set, NodeSet::Single(1));
+  EXPECT_EQ(table.entries()[2]->set, NodeSet::Single(9));
 }
 
 TEST(PlanTree, ExtractFromOptimizedChain) {

@@ -1,0 +1,171 @@
+// Branch-and-bound pruning agreement: the pruned enumerators must return
+// *bit-identical* final plan costs to their unpruned runs — pruning is
+// admissible (only plans provably unable to beat the GOO-seeded incumbent
+// are skipped; strict comparisons keep ties) — across every workload
+// generator shape. Also pins that pruning actually fires where it should
+// and that the pruned table still extracts a valid plan.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/all_algorithms.h"
+#include "baselines/goo.h"
+#include "hypergraph/builder.h"
+#include "service/dispatch.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+struct PruningCase {
+  std::string name;
+  QuerySpec spec;
+};
+
+std::vector<PruningCase> PruningCases() {
+  std::vector<PruningCase> cases;
+  for (int n = 2; n <= 14; ++n) {
+    cases.push_back({"chain" + std::to_string(n), MakeChainQuery(n)});
+    if (n >= 3) {
+      cases.push_back({"cycle" + std::to_string(n), MakeCycleQuery(n)});
+    }
+    cases.push_back({"star" + std::to_string(n), MakeStarQuery(n - 1)});
+    // Cliques grow as 3^n csg-cmp pairs; 12 relations keeps the whole
+    // sweep fast while still covering the dense regime.
+    if (n <= 12) {
+      cases.push_back({"clique" + std::to_string(n), MakeCliqueQuery(n)});
+    }
+  }
+  // Hyperedge-split sweeps (the Sec. 4 generator): every split count from
+  // the intact hyperedge to all-simple.
+  for (int splits = 0; splits <= MaxHyperedgeSplits(4); ++splits) {
+    cases.push_back({"cycle8s" + std::to_string(splits),
+                     MakeCycleHypergraphQuery(8, splits)});
+    cases.push_back({"star8s" + std::to_string(splits),
+                     MakeStarHypergraphQuery(8, splits)});
+  }
+  for (int splits = 0; splits <= MaxHyperedgeSplits(6); ++splits) {
+    cases.push_back({"cycle12s" + std::to_string(splits),
+                     MakeCycleHypergraphQuery(12, splits)});
+    cases.push_back({"star12s" + std::to_string(splits),
+                     MakeStarHypergraphQuery(12, splits)});
+  }
+  for (uint64_t seed = 50; seed < 56; ++seed) {
+    cases.push_back({"randh" + std::to_string(seed),
+                     MakeRandomHypergraphQuery(10, 2, seed)});
+  }
+  return cases;
+}
+
+class PrunedMatchesUnpruned : public ::testing::TestWithParam<PruningCase> {};
+
+TEST_P(PrunedMatchesUnpruned, BitIdenticalCosts) {
+  Hypergraph g = BuildHypergraphOrDie(GetParam().spec);
+  CardinalityEstimator est(g);
+  OptimizerOptions pruned_options;
+  pruned_options.enable_pruning = true;
+
+  for (Algorithm algo :
+       {Algorithm::kDphyp, Algorithm::kDpccp, Algorithm::kDpsub}) {
+    if (algo == Algorithm::kDpccp && !g.complex_edge_ids().empty()) continue;
+    OptimizeResult unpruned = Optimize(algo, g, est, DefaultCostModel());
+    OptimizeResult pruned =
+        Optimize(algo, g, est, DefaultCostModel(), pruned_options);
+    ASSERT_TRUE(unpruned.success) << AlgorithmName(algo) << unpruned.error;
+    ASSERT_TRUE(pruned.success) << AlgorithmName(algo) << pruned.error;
+    // Bit-identical, not merely close: admissible pruning must leave the
+    // winning plan's cost chain untouched.
+    EXPECT_EQ(pruned.cost, unpruned.cost) << AlgorithmName(algo);
+    EXPECT_EQ(pruned.cardinality, unpruned.cardinality) << AlgorithmName(algo);
+    // Pruning can only remove table entries, never add them.
+    EXPECT_LE(pruned.stats.dp_entries, unpruned.stats.dp_entries)
+        << AlgorithmName(algo);
+    // The pruned table must still materialize a plan for the root.
+    PlanTree tree = pruned.ExtractPlan(g);
+    EXPECT_EQ(tree.root()->set, g.AllNodes()) << AlgorithmName(algo);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PrunedMatchesUnpruned,
+                         ::testing::ValuesIn(PruningCases()),
+                         [](const ::testing::TestParamInfo<PruningCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(Pruning, ActuallyPrunesOnStars) {
+  // A 12-satellite star has enough dominated constructions that both cuts
+  // must fire; otherwise the bench speedups would be measurement noise.
+  Hypergraph g = BuildHypergraphOrDie(MakeStarQuery(12));
+  CardinalityEstimator est(g);
+  OptimizerOptions options;
+  options.enable_pruning = true;
+  OptimizeResult r = OptimizeDphyp(g, est, DefaultCostModel(), options);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.stats.dominated, 0u);
+  EXPECT_GT(r.stats.pruned + r.stats.dominated, r.stats.ccp_pairs / 3)
+      << "expected a large share of candidate pairs to be cut on a star";
+  // The seed recorded in stats must be the GOO plan's cost.
+  EXPECT_EQ(r.stats.initial_upper_bound, GooCostUpperBound(g, est, DefaultCostModel()));
+  EXPECT_GE(r.stats.initial_upper_bound, r.cost);
+}
+
+TEST(Pruning, SeededBoundTightensSearch) {
+  // Passing the known optimal cost as the initial incumbent must keep the
+  // result identical while pruning at least as much as the GOO seed.
+  Hypergraph g = BuildHypergraphOrDie(MakeStarQuery(10));
+  CardinalityEstimator est(g);
+  OptimizeResult reference = OptimizeDphyp(g, est, DefaultCostModel(), {});
+  ASSERT_TRUE(reference.success);
+
+  OptimizerOptions seeded;
+  seeded.enable_pruning = true;
+  seeded.initial_upper_bound = reference.cost;
+  OptimizeResult r = OptimizeDphyp(g, est, DefaultCostModel(), seeded);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.cost, reference.cost);
+  EXPECT_EQ(r.stats.initial_upper_bound, reference.cost);
+}
+
+TEST(Pruning, UnsupportedCostModelRunsUnpruned) {
+  // HashJoinModel does not declare pruning-safety; the flag must be a
+  // no-op rather than a wrong answer.
+  Hypergraph g = BuildHypergraphOrDie(MakeCycleQuery(7));
+  CardinalityEstimator est(g);
+  HashJoinModel model;
+  OptimizerOptions options;
+  options.enable_pruning = true;
+  OptimizeResult pruned = OptimizeDphyp(g, est, model, options);
+  OptimizeResult unpruned = OptimizeDphyp(g, est, model, {});
+  ASSERT_TRUE(pruned.success);
+  EXPECT_EQ(pruned.cost, unpruned.cost);
+  EXPECT_EQ(pruned.stats.pruned, 0u);
+  EXPECT_EQ(pruned.stats.dominated, 0u);
+}
+
+TEST(Pruning, AdaptiveDispatchMatchesUnprunedCosts) {
+  // Bound-aware routing is on by default in the service dispatch; served
+  // costs must equal a direct unpruned run of the same route.
+  for (int n : {6, 9, 12}) {
+    for (int shape = 0; shape < 3; ++shape) {
+      QuerySpec spec = shape == 0   ? MakeChainQuery(n)
+                       : shape == 1 ? MakeStarQuery(n - 1)
+                                    : MakeCycleQuery(n);
+      Hypergraph g = BuildHypergraphOrDie(spec);
+      CardinalityEstimator est(g);
+      DispatchPolicy pruned_policy;
+      DispatchPolicy unpruned_policy;
+      unpruned_policy.enable_pruning = false;
+      OptimizeResult pruned =
+          OptimizeAdaptive(g, est, DefaultCostModel(), pruned_policy);
+      OptimizeResult unpruned =
+          OptimizeAdaptive(g, est, DefaultCostModel(), unpruned_policy);
+      ASSERT_TRUE(pruned.success);
+      ASSERT_TRUE(unpruned.success);
+      EXPECT_EQ(pruned.cost, unpruned.cost) << "n=" << n << " shape=" << shape;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dphyp
