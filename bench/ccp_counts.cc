@@ -34,12 +34,14 @@ void Report(const Case& c) {
               static_cast<unsigned long long>(ccp));
   TablePrinter table({"algorithm", "pairs submitted", "pairs tested",
                       "cost evals", "dp entries", "table KiB"});
-  for (Algorithm algo : kAllAlgorithms) {
-    if (algo == Algorithm::kDpccp && !g.complex_edge_ids().empty()) continue;
+  // Registry sweep: every exact enumerator that can handle this graph —
+  // a newly registered algorithm shows up in the ablation automatically.
+  for (const Enumerator* e : EnumeratorRegistry::Global().All()) {
+    if (!e->Exact() || !e->CanHandle(g)) continue;
     CardinalityEstimator est(g);
-    OptimizeResult r = Optimize(algo, g, est, DefaultCostModel());
+    OptimizeResult r = e->Optimize(g, est, DefaultCostModel());
     if (!r.success) continue;
-    table.AddRow({AlgorithmName(algo), std::to_string(r.stats.ccp_pairs),
+    table.AddRow({e->Name(), std::to_string(r.stats.ccp_pairs),
                   std::to_string(r.stats.pairs_tested),
                   std::to_string(r.stats.cost_evaluations),
                   std::to_string(r.stats.dp_entries),

@@ -24,9 +24,9 @@ void RunSweep(int n) {
   for (int splits = 0; splits <= max_splits; ++splits) {
     Hypergraph g = BuildHypergraphOrDie(MakeCycleHypergraphQuery(n, splits));
     table.AddRow({std::to_string(splits),
-                  FormatMillis(TimeOptimize(Algorithm::kDphyp, g)),
-                  FormatMillis(TimeOptimize(Algorithm::kDpsize, g)),
-                  FormatMillis(TimeOptimize(Algorithm::kDpsub, g))});
+                  FormatMillis(TimeOptimize("DPhyp", g)),
+                  FormatMillis(TimeOptimize("DPsize", g)),
+                  FormatMillis(TimeOptimize("DPsub", g))});
   }
   table.Print();
   std::printf("\n");

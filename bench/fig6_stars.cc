@@ -25,9 +25,9 @@ void RunSweep(int satellites) {
     Hypergraph g =
         BuildHypergraphOrDie(MakeStarHypergraphQuery(satellites, splits));
     table.AddRow({std::to_string(splits),
-                  FormatMillis(TimeOptimize(Algorithm::kDphyp, g)),
-                  FormatMillis(TimeOptimize(Algorithm::kDpsize, g)),
-                  FormatMillis(TimeOptimize(Algorithm::kDpsub, g))});
+                  FormatMillis(TimeOptimize("DPhyp", g)),
+                  FormatMillis(TimeOptimize("DPsize", g)),
+                  FormatMillis(TimeOptimize("DPsub", g))});
   }
   table.Print();
   std::printf("\n");

@@ -23,11 +23,11 @@ int main() {
   for (int n = 3; n <= max_n; ++n) {
     Hypergraph g = BuildHypergraphOrDie(MakeStarQuery(n - 1));
     table.AddRow({std::to_string(n),
-                  FormatMillis(TimeOptimize(Algorithm::kDphyp, g)),
-                  FormatMillis(TimeOptimize(Algorithm::kDpsize, g)),
-                  FormatMillis(TimeOptimize(Algorithm::kDpsub, g)),
-                  FormatMillis(TimeOptimize(Algorithm::kDpccp, g)),
-                  FormatMillis(TimeOptimize(Algorithm::kTdBasic, g))});
+                  FormatMillis(TimeOptimize("DPhyp", g)),
+                  FormatMillis(TimeOptimize("DPsize", g)),
+                  FormatMillis(TimeOptimize("DPsub", g)),
+                  FormatMillis(TimeOptimize("DPccp", g)),
+                  FormatMillis(TimeOptimize("TDbasic", g))});
   }
   table.Print();
   return 0;

@@ -15,6 +15,7 @@
 // produces the mutually-conflicting antijoin block this experiment needs.
 #include <cstdio>
 
+#include "core/dphyp.h"
 #include "harness.h"
 #include "workload/optree_gen.h"
 
@@ -30,11 +31,11 @@ int main() {
   for (int anti = 0; anti <= satellites; ++anti) {
     SyntheticNonInnerWorkload w = MakeStarAntijoinWorkload(satellites, anti);
 
-    double hyper_ms = TimeOptimize(Algorithm::kDphyp, w.graph);
+    double hyper_ms = TimeOptimize("DPhyp", w.graph);
 
     OptimizerOptions tes_options;
     tes_options.tes_constraints = &w.tes_constraints;
-    double tes_ms = TimeOptimize(Algorithm::kDphyp, w.ses_graph, tes_options);
+    double tes_ms = TimeOptimize("DPhyp", w.ses_graph, tes_options);
 
     // Stats snapshot (single run) for the candidate counts.
     CardinalityEstimator hyper_est(w.graph);

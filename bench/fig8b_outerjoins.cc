@@ -11,6 +11,7 @@
 // reduction (ratio slowest/fastest ≈ 2.88 vs 1.96 in the paper).
 #include <cstdio>
 
+#include "core/dphyp.h"
 #include "harness.h"
 #include "reorder/ses_tes.h"
 #include "workload/optree_gen.h"
@@ -29,9 +30,9 @@ int main() {
     OperatorTree tree = MakeCycleOuterjoinTree(n, outer);
     DerivedQuery dq = DeriveQuery(tree);
 
-    double hyp = TimeOptimize(Algorithm::kDphyp, dq.graph);
-    double size = TimeOptimize(Algorithm::kDpsize, dq.graph);
-    double sub = TimeOptimize(Algorithm::kDpsub, dq.graph);
+    double hyp = TimeOptimize("DPhyp", dq.graph);
+    double size = TimeOptimize("DPsize", dq.graph);
+    double sub = TimeOptimize("DPsub", dq.graph);
     hyp_min = std::min(hyp_min, hyp);
     hyp_max = std::max(hyp_max, hyp);
     size_min = std::min(size_min, size);

@@ -8,7 +8,8 @@
 #include <string>
 #include <vector>
 
-#include "baselines/all_algorithms.h"
+#include "core/enumerator.h"
+#include "core/workspace.h"
 #include "hypergraph/builder.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -22,21 +23,42 @@ struct TimingStats {
   int samples = 0;
 };
 
+/// Registry lookup that exits the bench on unknown names, so figure
+/// binaries can select enumerators by plain string.
+inline const Enumerator& EnumeratorOrDie(std::string_view name) {
+  Result<const Enumerator*> found = EnumeratorRegistry::Global().Find(name);
+  if (!found.ok()) {
+    std::fprintf(stderr, "bench: %s\n", found.error().message.c_str());
+    std::exit(1);
+  }
+  return *found.value();
+}
+
 /// Like TimeOptimize but returns median/p99 over the measured repetitions
 /// (a single-sample result for multi-second cases, same rule as
-/// TimeOptimize). Used by the machine-readable benchmark runner.
-inline TimingStats TimeOptimizeStats(Algorithm algo, const Hypergraph& graph,
+/// TimeOptimize). Used by the machine-readable benchmark runner. All
+/// repetitions run on one reused workspace — the steady-state serving
+/// configuration, which is also what keeps allocator noise out of the
+/// measurement.
+inline TimingStats TimeOptimizeStats(std::string_view algo,
+                                     const Hypergraph& graph,
                                      const OptimizerOptions& options = {},
                                      OptimizerStats* stats_out = nullptr) {
+  const Enumerator& enumerator = EnumeratorOrDie(algo);
   CardinalityEstimator est(graph);
-  const CostModel& model = DefaultCostModel();
+  OptimizationRequest request;
+  request.graph = &graph;
+  request.estimator = &est;
+  request.cost_model = &DefaultCostModel();
+  request.options = options;
+  OptimizerWorkspace workspace;
   // Probe run: validates success and, for slow cases, doubles as the
   // measurement (a multi-second enumeration does not need repetitions).
   Timer probe_timer;
-  OptimizeResult probe = Optimize(algo, graph, est, model, options);
+  OptimizeResult probe = enumerator.Run(request, workspace);
   double probe_ms = probe_timer.ElapsedMillis();
   if (!probe.success) {
-    std::fprintf(stderr, "bench: %s failed: %s\n", AlgorithmName(algo),
+    std::fprintf(stderr, "bench: %s failed: %s\n", enumerator.Name(),
                  probe.error.c_str());
     std::exit(1);
   }
@@ -44,7 +66,7 @@ inline TimingStats TimeOptimizeStats(Algorithm algo, const Hypergraph& graph,
   if (probe_ms > 1000.0) return {probe_ms, probe_ms, 1};
   std::vector<double> samples = MeasureSamplesMillis(
       [&] {
-        OptimizeResult r = Optimize(algo, graph, est, model, options);
+        OptimizeResult r = enumerator.Run(request, workspace);
         (void)r;
       },
       /*min_total_ms=*/30.0, /*max_reps=*/200);
@@ -55,7 +77,7 @@ inline TimingStats TimeOptimizeStats(Algorithm algo, const Hypergraph& graph,
 /// Times one optimizer run and returns the median milliseconds (single run
 /// for slow cases) — the figure binaries' single-number view of
 /// TimeOptimizeStats, so both measurement protocols stay one.
-inline double TimeOptimize(Algorithm algo, const Hypergraph& graph,
+inline double TimeOptimize(std::string_view algo, const Hypergraph& graph,
                            const OptimizerOptions& options = {}) {
   return TimeOptimizeStats(algo, graph, options).median_ms;
 }

@@ -4,7 +4,8 @@
 // DPhyp-vs-DPccp constant-factor comparison on regular graphs (Sec. 4.4).
 #include <benchmark/benchmark.h>
 
-#include "baselines/all_algorithms.h"
+#include "core/enumerator.h"
+#include "core/workspace.h"
 #include "hypergraph/builder.h"
 #include "hypergraph/connectivity.h"
 #include "util/subset.h"
@@ -69,44 +70,49 @@ void BM_CardinalityEstimate(benchmark::State& state) {
 }
 BENCHMARK(BM_CardinalityEstimate);
 
-template <Algorithm algo>
-void BM_OptimizeShape(benchmark::State& state, const QuerySpec& spec) {
+void BM_OptimizeShape(benchmark::State& state, const char* algo,
+                      const QuerySpec& spec) {
+  const Enumerator* e = EnumeratorRegistry::Global().FindOrNull(algo);
+  if (e == nullptr) {
+    state.SkipWithError("unknown enumerator");
+    return;
+  }
   Hypergraph g = BuildHypergraphOrDie(spec);
   CardinalityEstimator est(g);
+  OptimizationRequest request;
+  request.graph = &g;
+  request.estimator = &est;
+  request.cost_model = &DefaultCostModel();
+  OptimizerWorkspace workspace;  // steady-state: reused across iterations
   for (auto _ : state) {
-    OptimizeResult r = Optimize(algo, g, est, DefaultCostModel());
+    OptimizeResult r = e->Run(request, workspace);
     benchmark::DoNotOptimize(r.cost);
   }
 }
 
 void BM_DphypChain(benchmark::State& state) {
-  BM_OptimizeShape<Algorithm::kDphyp>(
-      state, MakeChainQuery(static_cast<int>(state.range(0))));
+  BM_OptimizeShape(state, "DPhyp", MakeChainQuery(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_DphypChain)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
 
 void BM_DphypClique(benchmark::State& state) {
-  BM_OptimizeShape<Algorithm::kDphyp>(
-      state, MakeCliqueQuery(static_cast<int>(state.range(0))));
+  BM_OptimizeShape(state, "DPhyp", MakeCliqueQuery(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_DphypClique)->Arg(8)->Arg(10)->Arg(12);
 
 void BM_DphypCycleHyper(benchmark::State& state) {
-  BM_OptimizeShape<Algorithm::kDphyp>(
-      state, MakeCycleHypergraphQuery(16, static_cast<int>(state.range(0))));
+  BM_OptimizeShape(state, "DPhyp", MakeCycleHypergraphQuery(16, static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_DphypCycleHyper)->Arg(0)->Arg(3)->Arg(7);
 
 // Sec. 4.4: DPhyp's constant-factor overhead over DPccp on regular graphs.
 void BM_DphypRegularStar(benchmark::State& state) {
-  BM_OptimizeShape<Algorithm::kDphyp>(
-      state, MakeStarQuery(static_cast<int>(state.range(0))));
+  BM_OptimizeShape(state, "DPhyp", MakeStarQuery(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_DphypRegularStar)->Arg(8)->Arg(12);
 
 void BM_DpccpRegularStar(benchmark::State& state) {
-  BM_OptimizeShape<Algorithm::kDpccp>(
-      state, MakeStarQuery(static_cast<int>(state.range(0))));
+  BM_OptimizeShape(state, "DPccp", MakeStarQuery(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_DpccpRegularStar)->Arg(8)->Arg(12);
 

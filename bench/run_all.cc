@@ -41,6 +41,7 @@
 #include "bench/json_writer.h"
 #include "reorder/ses_tes.h"
 #include "service/plan_service.h"
+#include "service/session.h"
 #include "workload/generators.h"
 #include "workload/optree_gen.h"
 
@@ -76,12 +77,12 @@ void StatsFields(const OptimizerStats& s) {
 /// Times `algo` on `graph` and appends one result record; `param`/`value`
 /// add the sweep field (splits/antijoins/...) when `param` is non-null.
 void RecordWithParam(const char* figure, const char* shape, const char* param,
-                     int value, Algorithm algo, const Hypergraph& graph,
+                     int value, const char* algo, const Hypergraph& graph,
                      const OptimizerOptions& options = {},
                      const char* algo_label = nullptr) {
   OptimizerStats stats;
   TimingStats timing = TimeOptimizeStats(algo, graph, options, &stats);
-  const char* label = algo_label != nullptr ? algo_label : AlgorithmName(algo);
+  const char* label = algo_label != nullptr ? algo_label : algo;
   OpenRecord(figure, shape);
   json.Field("n", graph.NumNodes());
   if (param != nullptr) json.Field(param, value);
@@ -101,7 +102,7 @@ void RecordWithParam(const char* figure, const char* shape, const char* param,
   }
 }
 
-void Record(const char* figure, const char* shape, Algorithm algo,
+void Record(const char* figure, const char* shape, const char* algo,
             const Hypergraph& graph, const OptimizerOptions& options = {},
             const char* algo_label = nullptr) {
   RecordWithParam(figure, shape, /*param=*/nullptr, 0, algo, graph, options,
@@ -114,8 +115,7 @@ void RunFig5(int max_n) {
     if (n > max_n) continue;
     for (int splits = 0; splits <= MaxHyperedgeSplits(n / 2); ++splits) {
       Hypergraph g = BuildHypergraphOrDie(MakeCycleHypergraphQuery(n, splits));
-      for (Algorithm a :
-           {Algorithm::kDphyp, Algorithm::kDpsize, Algorithm::kDpsub}) {
+      for (const char* a : {"DPhyp", "DPsize", "DPsub"}) {
         RecordWithParam("fig5", "cycle-hyper", "splits", splits, a, g);
       }
     }
@@ -129,8 +129,7 @@ void RunFig6(int max_sats) {
     for (int splits = 0; splits <= MaxHyperedgeSplits(sats / 2); ++splits) {
       Hypergraph g =
           BuildHypergraphOrDie(MakeStarHypergraphQuery(sats, splits));
-      for (Algorithm a :
-           {Algorithm::kDphyp, Algorithm::kDpsize, Algorithm::kDpsub}) {
+      for (const char* a : {"DPhyp", "DPsize", "DPsub"}) {
         RecordWithParam("fig6", "star-hyper", "splits", splits, a, g);
       }
     }
@@ -141,9 +140,8 @@ void RunFig7(int max_n) {
   std::printf("== fig7: regular star graphs ==\n");
   for (int n = 3; n <= max_n; ++n) {
     Hypergraph g = BuildHypergraphOrDie(MakeStarQuery(n - 1));
-    for (Algorithm a : {Algorithm::kDphyp, Algorithm::kDpsize,
-                        Algorithm::kDpsub, Algorithm::kDpccp,
-                        Algorithm::kTdBasic}) {
+    for (const char* a :
+         {"DPhyp", "DPsize", "DPsub", "DPccp", "TDbasic"}) {
       Record("fig7", "star", a, g);
     }
   }
@@ -154,13 +152,12 @@ void RunFig8a() {
   const int satellites = 15;
   for (int anti = 0; anti <= satellites; ++anti) {
     SyntheticNonInnerWorkload w = MakeStarAntijoinWorkload(satellites, anti);
-    RecordWithParam("fig8a", "star-antijoin", "antijoins", anti,
-                    Algorithm::kDphyp, w.graph, {}, "DPhyp-hypernodes");
+    RecordWithParam("fig8a", "star-antijoin", "antijoins", anti, "DPhyp",
+                    w.graph, {}, "DPhyp-hypernodes");
     OptimizerOptions tes_options;
     tes_options.tes_constraints = &w.tes_constraints;
-    RecordWithParam("fig8a", "star-antijoin", "antijoins", anti,
-                    Algorithm::kDphyp, w.ses_graph, tes_options,
-                    "DPhyp-TES-tests");
+    RecordWithParam("fig8a", "star-antijoin", "antijoins", anti, "DPhyp",
+                    w.ses_graph, tes_options, "DPhyp-TES-tests");
   }
 }
 
@@ -170,8 +167,7 @@ void RunFig8b() {
   for (int outer = 0; outer <= n - 1; ++outer) {
     OperatorTree tree = MakeCycleOuterjoinTree(n, outer);
     DerivedQuery dq = DeriveQuery(tree);
-    for (Algorithm a :
-         {Algorithm::kDphyp, Algorithm::kDpsize, Algorithm::kDpsub}) {
+    for (const char* a : {"DPhyp", "DPsize", "DPsub"}) {
       RecordWithParam("fig8b", "cycle-outerjoin", "outerjoins", outer, a,
                       dq.graph);
     }
@@ -259,9 +255,9 @@ double RunPruningComparison(int max_sats) {
     OptimizerOptions pruned;
     pruned.enable_pruning = true;
     OptimizerStats pruned_stats;
-    TimingStats unpruned_t = TimeOptimizeStats(Algorithm::kDphyp, g);
+    TimingStats unpruned_t = TimeOptimizeStats("DPhyp", g);
     TimingStats pruned_t =
-        TimeOptimizeStats(Algorithm::kDphyp, g, pruned, &pruned_stats);
+        TimeOptimizeStats("DPhyp", g, pruned, &pruned_stats);
     const double speedup = pruned_t.median_ms > 0.0
                                ? unpruned_t.median_ms / pruned_t.median_ms
                                : 0.0;
@@ -284,6 +280,56 @@ double RunPruningComparison(int max_sats) {
         sats, splits, unpruned_t.median_ms, pruned_t.median_ms, speedup);
   }
   return worst_speedup;
+}
+
+/// Deadline compliance on the fig6 star-24 shape: force the exact DPhyp
+/// enumerator (dispatch would route this hub to GOO outright) under a
+/// session deadline and record how far past the budget the abort landed.
+/// The served plan is the GOO fallback; the acceptance bar is abort
+/// latency <= 1.1x budget.
+bool RunDeadlineCompliance(bool enforce) {
+  std::printf("== deadline: star-24 exact-DP abort latency ==\n");
+  Hypergraph g = BuildHypergraphOrDie(MakeStarQuery(24));
+  CardinalityEstimator est(g);
+  bool ok = true;
+  // Budgets large enough that the 10% bar leaves milliseconds of slack:
+  // the poll granularity itself bounds overshoot to microseconds, so any
+  // miss here is scheduler noise, not the mechanism.
+  for (double budget_ms : {20.0, 50.0}) {
+    OptimizationSession session;
+    OptimizationRequest request;
+    request.graph = &g;
+    request.estimator = &est;
+    request.cost_model = &DefaultCostModel();
+    request.enumerator = "DPhyp";
+    request.deadline_ms = budget_ms;
+    Result<OptimizeResult> served = session.Optimize(request);
+    if (!served.ok() || !served.value().success ||
+        !served.value().stats.aborted) {
+      std::fprintf(stderr, "bench: deadline run did not abort-and-serve\n");
+      return false;
+    }
+    const double abort_ms = served.value().stats.abort_latency_ms;
+    const double overshoot = abort_ms / budget_ms;
+    OpenRecord("deadline", "star");
+    json.Field("n", g.NumNodes());
+    json.Field("algorithm", "DPhyp+GOO-fallback");
+    json.Field("budget_ms", budget_ms);
+    json.Field("abort_latency_ms", abort_ms);
+    json.Field("overshoot", overshoot);
+    json.EndObject();
+    std::printf("  star-24 budget %6.1f ms  abort at %8.3f ms  (%.2fx)\n",
+                budget_ms, abort_ms, overshoot);
+    if (overshoot > 1.10) {
+      std::fprintf(stderr,
+                   "bench: abort latency %.3f ms exceeds budget %.1f ms by "
+                   ">10%%%s\n",
+                   abort_ms, budget_ms,
+                   enforce ? "" : " (advisory: gate disabled)");
+      if (enforce) ok = false;
+    }
+  }
+  return ok;
 }
 
 }  // namespace
@@ -312,6 +358,12 @@ int main(int argc, char** argv) {
   if (max_n >= 16) RunFig8a();
   if (max_n >= 16) RunFig8b();
   if (RunService() != 0) return 1;
+  // DPHYP_BENCH_REQUIRE_DEADLINE=0 downgrades the 10% overshoot gate to
+  // advisory for heavily loaded machines; the tier-1 session tests still
+  // enforce the bound.
+  if (!RunDeadlineCompliance(EnvInt("DPHYP_BENCH_REQUIRE_DEADLINE", 1) != 0)) {
+    return 1;
+  }
   const double worst_speedup = RunPruningComparison(max_sats);
 
   json.EndArray();

@@ -8,7 +8,9 @@
 #include <thread>
 
 #include "bench/harness.h"
+#include "hypergraph/builder.h"
 #include "service/plan_service.h"
+#include "service/session.h"
 #include "workload/generators.h"
 
 using namespace dphyp;
@@ -22,10 +24,11 @@ struct Row {
 };
 
 BatchOutcome RunConfig(const std::vector<QuerySpec>& traffic, int threads,
-                       bool warm_first) {
+                       bool warm_first, double deadline_ms = 0.0) {
   ServiceOptions opts;
   opts.num_threads = threads;
   opts.cache_byte_budget = 16 << 20;
+  opts.deadline_ms = deadline_ms;
   PlanService service(opts);
   if (warm_first) {
     BatchOutcome warmup = service.OptimizeBatch(traffic);
@@ -77,15 +80,33 @@ int main() {
   rows.push_back({"N threads, cold cache", multi_cold.stats});
   BatchOutcome multi_warm = RunConfig(traffic, threads, /*warm_first=*/true);
   rows.push_back({"N threads, warm cache", multi_warm.stats});
+  // Deadline-bounded serving: a generous per-query budget must not change
+  // results on this traffic (every exact run finishes well inside it).
+  BatchOutcome bounded =
+      RunConfig(traffic, threads, /*warm_first=*/false, /*deadline_ms=*/250.0);
+  rows.push_back({"N threads, 250ms deadline", bounded.stats});
 
-  // Determinism: concurrency and caching must not change a single cost bit.
-  for (const BatchOutcome* out : {&multi_cold, &multi_warm}) {
+  // Determinism: concurrency, caching, pooled workspaces and an unexceeded
+  // deadline must not change a single cost bit. A query the bounded config
+  // actually aborted (possible under sanitizer slowdown or an oversubscribed
+  // machine — wall-clock, not a property of the code) is exempt: it was
+  // legitimately served the GOO fallback.
+  size_t deadline_fallbacks = 0;
+  for (const BatchOutcome* out : {&multi_cold, &multi_warm, &bounded}) {
     for (size_t i = 0; i < traffic.size(); ++i) {
+      if (out == &bounded && out->results[i].result.stats.aborted) {
+        ++deadline_fallbacks;
+        continue;
+      }
       if (out->results[i].cost != ref.results[i].cost) {
         std::fprintf(stderr, "cost mismatch at query %zu\n", i);
         return 1;
       }
     }
+  }
+  if (deadline_fallbacks > 0) {
+    std::printf("note: %zu deadline fallbacks in the 250ms-bounded config\n",
+                deadline_fallbacks);
   }
 
   std::printf("service throughput, %d queries, N = %d threads\n\n", num_queries,
@@ -117,5 +138,35 @@ int main() {
       "\nmulti-thread warm-cache vs single-thread cold-cache: %.1fx "
       "(determinism check passed)\n",
       speedup);
+
+  // Deadline compliance on the fig6 star-24 shape: force exact DPhyp under
+  // a tight budget; the session must abort within 10% of it and serve the
+  // GOO fallback.
+  {
+    Hypergraph g = BuildHypergraphOrDie(MakeStarQuery(24));
+    CardinalityEstimator est(g);
+    OptimizationSession session;
+    OptimizationRequest request;
+    request.graph = &g;
+    request.estimator = &est;
+    request.cost_model = &DefaultCostModel();
+    request.enumerator = "DPhyp";
+    request.deadline_ms = 50.0;
+    Result<OptimizeResult> served = session.Optimize(request);
+    if (!served.ok() || !served.value().success ||
+        !served.value().stats.aborted) {
+      std::fprintf(stderr, "deadline run did not abort-and-serve\n");
+      return 1;
+    }
+    const double abort_ms = served.value().stats.abort_latency_ms;
+    std::printf(
+        "star-24 deadline 50 ms: exact DPhyp aborted at %.3f ms, GOO plan "
+        "served (cost %g)\n",
+        abort_ms, served.value().cost);
+    if (abort_ms > 50.0 * 1.10) {
+      std::fprintf(stderr, "abort latency exceeds budget by >10%%\n");
+      return 1;
+    }
+  }
   return speedup >= 2.0 ? 0 : 1;
 }

@@ -23,9 +23,9 @@ int main() {
       Hypergraph g =
           BuildHypergraphOrDie(MakeCycleHypergraphQuery(4, splits));
       table.AddRow({std::to_string(splits),
-                    FormatMillis(TimeOptimize(Algorithm::kDphyp, g)),
-                    FormatMillis(TimeOptimize(Algorithm::kDpsize, g)),
-                    FormatMillis(TimeOptimize(Algorithm::kDpsub, g))});
+                    FormatMillis(TimeOptimize("DPhyp", g)),
+                    FormatMillis(TimeOptimize("DPsize", g)),
+                    FormatMillis(TimeOptimize("DPsub", g))});
     }
     table.Print();
   }
@@ -36,9 +36,9 @@ int main() {
     for (int splits = 0; splits <= 1; ++splits) {
       Hypergraph g = BuildHypergraphOrDie(MakeStarHypergraphQuery(4, splits));
       table.AddRow({std::to_string(splits),
-                    FormatMillis(TimeOptimize(Algorithm::kDphyp, g)),
-                    FormatMillis(TimeOptimize(Algorithm::kDpsize, g)),
-                    FormatMillis(TimeOptimize(Algorithm::kDpsub, g))});
+                    FormatMillis(TimeOptimize("DPhyp", g)),
+                    FormatMillis(TimeOptimize("DPsize", g)),
+                    FormatMillis(TimeOptimize("DPsub", g))});
     }
     table.Print();
   }

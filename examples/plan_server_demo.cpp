@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
   Hypergraph g = BuildHypergraphOrDie(sample_spec);
   ServiceResult sample = service.OptimizeOne(sample_spec);
   std::printf("\nsample query (%d relations, served via %s, cache_hit=%s):\n",
-              sample_spec.NumRelations(), RouteName(sample.route),
+              sample_spec.NumRelations(), sample.algorithm.c_str(),
               sample.cache_hit ? "yes" : "no");
   std::printf("%s\n", sample.result.ExtractPlan(g).Explain(g).c_str());
   return 0;

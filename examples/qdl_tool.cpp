@@ -1,16 +1,26 @@
 // Command-line optimizer: load a QDL query description, run a chosen
-// algorithm, print the plan with statistics.
+// enumerator, print the plan with statistics.
 //
 // Usage:
-//   qdl_tool <file.qdl> [--algo=dphyp|dpsize|dpsub|dpccp|tdbasic]
-//            [--cost=cout|hash] [--quiet]
+//   qdl_tool <file.qdl> [--algo=<name>] [--cost=cout|hash]
+//            [--deadline-ms=<n>] [--quiet]
 //   qdl_tool --demo            # runs a built-in sample query
+//   qdl_tool --list-algos      # prints the registered enumerators
+//
+// --algo resolves through the Enumerator registry (case-insensitive), so
+// every registered strategy — DPhyp, DPccp, DPsub, DPsize, TDbasic,
+// TDpartition, GOO, and anything registered by embedding code — is
+// selectable by name; without it the shape-based dispatcher picks.
+// --deadline-ms bounds the exact attempt: past the budget the session
+// aborts it and serves the GOO fallback, reporting the abort.
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <string>
 
-#include "baselines/all_algorithms.h"
+#include "core/enumerator.h"
 #include "hypergraph/builder.h"
+#include "service/dispatch.h"
+#include "service/session.h"
 #include "util/timer.h"
 #include "workload/qdl.h"
 
@@ -41,8 +51,9 @@ int Fail(const std::string& message) {
 
 int main(int argc, char** argv) {
   std::string path;
-  std::string algo_name = "dphyp";
+  std::string algo_name;  // empty = adaptive dispatch
   std::string cost_name = "cout";
+  double deadline_ms = 0.0;
   bool quiet = false;
   bool demo = false;
   for (int i = 1; i < argc; ++i) {
@@ -51,12 +62,23 @@ int main(int argc, char** argv) {
       algo_name = arg.substr(7);
     } else if (arg.rfind("--cost=", 0) == 0) {
       cost_name = arg.substr(7);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::atof(arg.c_str() + 14);
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--list-algos") {
+      for (const Enumerator* e : EnumeratorRegistry::Global().All()) {
+        std::printf("%-12s %s\n", e->Name(),
+                    e->Exact() ? "exact" : "heuristic");
+      }
+      return 0;
     } else if (arg == "--help") {
-      std::printf("usage: qdl_tool <file.qdl> [--algo=...] [--cost=...]\n");
+      std::printf(
+          "usage: qdl_tool <file.qdl> [--algo=<name>] [--cost=cout|hash]\n"
+          "                [--deadline-ms=<n>] [--quiet]\n"
+          "       qdl_tool --demo | --list-algos\n");
       return 0;
     } else {
       path = arg;
@@ -69,21 +91,6 @@ int main(int argc, char** argv) {
                            : LoadQdlFile(path));
   if (!parsed.ok()) return Fail(parsed.error().message);
   const QuerySpec& spec = parsed.value();
-
-  Algorithm algo;
-  if (algo_name == "dphyp") {
-    algo = Algorithm::kDphyp;
-  } else if (algo_name == "dpsize") {
-    algo = Algorithm::kDpsize;
-  } else if (algo_name == "dpsub") {
-    algo = Algorithm::kDpsub;
-  } else if (algo_name == "dpccp") {
-    algo = Algorithm::kDpccp;
-  } else if (algo_name == "tdbasic") {
-    algo = Algorithm::kTdBasic;
-  } else {
-    return Fail("unknown algorithm '" + algo_name + "'");
-  }
 
   Result<Hypergraph> graph = BuildHypergraph(spec);
   if (!graph.ok()) return Fail(graph.error().message);
@@ -98,13 +105,33 @@ int main(int argc, char** argv) {
     return Fail("unknown cost model '" + cost_name + "'");
   }
 
+  OptimizationRequest request;
+  request.graph = &graph.value();
+  request.estimator = &est;
+  request.cost_model = model;
+  request.enumerator = algo_name;  // registry-resolved; empty = dispatch
+  request.deadline_ms = deadline_ms;
+
+  OptimizationSession session;
   Timer timer;
-  OptimizeResult result = Optimize(algo, graph.value(), est, *model);
+  Result<OptimizeResult> served = session.Optimize(request);
   double ms = timer.ElapsedMillis();
+  if (!served.ok()) return Fail(served.error().message);
+  const OptimizeResult& result = served.value();
   if (!result.success) return Fail(result.error);
 
-  std::printf("algorithm:        %s  (cost model %s)\n", AlgorithmName(algo),
-              model->name());
+  std::printf("algorithm:        %s  (cost model %s)\n",
+              result.stats.algorithm, model->name());
+  if (algo_name.empty()) {
+    std::printf("routed because:   %s\n", ChooseRoute(graph.value()).reason);
+  }
+  if (result.stats.aborted) {
+    std::printf(
+        "deadline:         %s aborted after %.3f ms (budget %.1f ms); "
+        "GOO fallback served\n",
+        result.stats.aborted_algorithm, result.stats.abort_latency_ms,
+        deadline_ms);
+  }
   std::printf("optimization:     %.3f ms\n", ms);
   std::printf("plan cost:        %g\n", result.cost);
   std::printf("result estimate:  %g tuples\n", result.cardinality);

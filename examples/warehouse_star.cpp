@@ -9,7 +9,9 @@
 // a miniature of the paper's Fig. 6 — followed by the chosen plan.
 #include <cstdio>
 
-#include "baselines/all_algorithms.h"
+#include <cstring>
+
+#include "core/enumerator.h"
 #include "hypergraph/builder.h"
 #include "util/timer.h"
 
@@ -53,21 +55,25 @@ int main() {
   std::printf("%-10s %12s %16s %14s %12s\n", "algorithm", "time [ms]",
               "pairs submitted", "pairs tested", "dp entries");
   OptimizeResult best;
-  for (Algorithm algo : {Algorithm::kDphyp, Algorithm::kDpsize,
-                         Algorithm::kDpsub, Algorithm::kTdBasic}) {
+  for (const char* algo : {"DPhyp", "DPsize", "DPsub", "TDbasic"}) {
     Timer timer;
-    OptimizeResult r = Optimize(algo, graph, est, DefaultCostModel());
+    Result<OptimizeResult> served = OptimizeByName(algo, graph, est,
+                                                   DefaultCostModel());
     double ms = timer.ElapsedMillis();
-    if (!r.success) {
-      std::fprintf(stderr, "%s failed: %s\n", AlgorithmName(algo),
-                   r.error.c_str());
+    if (!served.ok()) {
+      std::fprintf(stderr, "%s\n", served.error().message.c_str());
       return 1;
     }
-    std::printf("%-10s %12.3f %16llu %14llu %12llu\n", AlgorithmName(algo), ms,
+    OptimizeResult r = std::move(served).value();
+    if (!r.success) {
+      std::fprintf(stderr, "%s failed: %s\n", algo, r.error.c_str());
+      return 1;
+    }
+    std::printf("%-10s %12.3f %16llu %14llu %12llu\n", algo, ms,
                 static_cast<unsigned long long>(r.stats.ccp_pairs),
                 static_cast<unsigned long long>(r.stats.pairs_tested),
                 static_cast<unsigned long long>(r.stats.dp_entries));
-    if (algo == Algorithm::kDphyp) best = std::move(r);
+    if (std::strcmp(algo, "DPhyp") == 0) best = std::move(r);
   }
 
   PlanTree plan = best.ExtractPlan(graph);

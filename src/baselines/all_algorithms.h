@@ -1,21 +1,32 @@
-// Uniform dispatch over every enumeration algorithm in the repository.
-// Tests sweep this list to assert cost agreement; benches use it to run the
-// paper's competitor lineups.
+// Deprecated compatibility shim over the Enumerator registry
+// (core/enumerator.h). The Algorithm enum and the Optimize(Algorithm, ...)
+// entry point predate the registry; they are kept for one release so
+// downstream code migrates incrementally, but they no longer contain any
+// per-algorithm dispatch — the enum maps to a registry name and everything
+// routes through EnumeratorRegistry. Prefer OptimizeByName / the registry /
+// OptimizationSession in new code (see docs/api.md for the migration
+// table).
 #ifndef DPHYP_BASELINES_ALL_ALGORITHMS_H_
 #define DPHYP_BASELINES_ALL_ALGORITHMS_H_
 
+#include <cstddef>
+#include <iterator>
 #include <string>
 
 #include "baselines/dpccp.h"
 #include "baselines/dpsize.h"
 #include "baselines/dpsub.h"
+#include "baselines/goo.h"
 #include "baselines/tdbasic.h"
 #include "baselines/tdpartition.h"
 #include "core/dphyp.h"
+#include "core/enumerator.h"
+#include "util/result.h"
 
 namespace dphyp {
 
-/// All join-enumeration algorithms.
+/// Deprecated: enumerators are registry entries now; this enum survives as
+/// a name shorthand for the original six exact algorithms.
 enum class Algorithm {
   kDphyp,
   kDpsize,
@@ -29,50 +40,32 @@ inline constexpr Algorithm kAllAlgorithms[] = {
     Algorithm::kDphyp,   Algorithm::kDpsize,  Algorithm::kDpsub,
     Algorithm::kDpccp,   Algorithm::kTdBasic, Algorithm::kTdPartition};
 
+/// Registry names indexed by enum value (the enum is a closed historical
+/// set, so a lookup table replaces the old switch).
+inline constexpr const char* kAlgorithmNames[] = {
+    "DPhyp", "DPsize", "DPsub", "DPccp", "TDbasic", "TDpartition"};
+
 inline const char* AlgorithmName(Algorithm algo) {
-  switch (algo) {
-    case Algorithm::kDphyp:
-      return "DPhyp";
-    case Algorithm::kDpsize:
-      return "DPsize";
-    case Algorithm::kDpsub:
-      return "DPsub";
-    case Algorithm::kDpccp:
-      return "DPccp";
-    case Algorithm::kTdBasic:
-      return "TDbasic";
-    case Algorithm::kTdPartition:
-      return "TDpartition";
-  }
-  return "?";
+  const size_t index = static_cast<size_t>(algo);
+  return index < std::size(kAlgorithmNames) ? kAlgorithmNames[index] : "?";
 }
 
-/// Runs the selected algorithm.
-inline OptimizeResult Optimize(Algorithm algo, const Hypergraph& graph,
-                               const CardinalityEstimator& est,
-                               const CostModel& cost_model,
-                               const OptimizerOptions& options = {}) {
-  switch (algo) {
-    case Algorithm::kDphyp:
-      return OptimizeDphyp(graph, est, cost_model, options);
-    case Algorithm::kDpsize:
-      return OptimizeDpsize(graph, est, cost_model, options);
-    case Algorithm::kDpsub:
-      return OptimizeDpsub(graph, est, cost_model, options);
-    case Algorithm::kDpccp:
-      return OptimizeDpccp(graph, est, cost_model, options);
-    case Algorithm::kTdBasic:
-      return OptimizeTdBasic(graph, est, cost_model, options);
-    case Algorithm::kTdPartition:
-      return OptimizeTdPartition(graph, est, cost_model, options);
-  }
-  OptimizeResult result;
-  result.error = "unknown algorithm";
-  return result;
+/// Deprecated: runs the selected algorithm through the registry. An
+/// out-of-range enum value (or an unregistered name) yields a structured
+/// error instead of the old default-constructed OptimizeResult.
+inline Result<OptimizeResult> Optimize(Algorithm algo, const Hypergraph& graph,
+                                       const CardinalityEstimator& est,
+                                       const CostModel& cost_model,
+                                       const OptimizerOptions& options = {},
+                                       OptimizerWorkspace* workspace =
+                                           nullptr) {
+  return OptimizeByName(AlgorithmName(algo), graph, est, cost_model, options,
+                        workspace);
 }
 
-/// Convenience wrapper with default estimator and cost model.
-inline OptimizeResult Optimize(Algorithm algo, const Hypergraph& graph) {
+/// Deprecated convenience wrapper with default estimator and cost model.
+inline Result<OptimizeResult> Optimize(Algorithm algo,
+                                       const Hypergraph& graph) {
   CardinalityEstimator est(graph);
   return Optimize(algo, graph, est, DefaultCostModel());
 }

@@ -1,5 +1,6 @@
 #include "baselines/dpccp.h"
 
+#include "core/workspace.h"
 #include "util/subset.h"
 
 namespace dphyp {
@@ -63,22 +64,59 @@ class DpccpSolver {
   OptimizerContext& ctx_;
 };
 
+class DpccpEnumerator : public Enumerator {
+ public:
+  const char* Name() const override { return "DPccp"; }
+  bool CanHandle(const Hypergraph& graph) const override {
+    return graph.complex_edge_ids().empty();
+  }
+  DispatchBid Bid(const GraphShape& shape,
+                  const DispatchPolicy& policy) const override {
+    if (shape.has_complex_edges) return {};
+    if (shape.num_nodes <= 2) return {100.0, "trivial"};
+    // Chains and cycles have only O(n^2) connected subgraphs: exact DP is
+    // always feasible, whatever n.
+    if (!shape.generalized && shape.max_simple_degree <= 2) {
+      return {100.0, "chain/cycle: quadratic subgraph count"};
+    }
+    // Generalized-but-simple graphs (non-inner ops, laterals) are DPhyp's
+    // home turf; DPccp stays the preferred exact route for plain inner
+    // graphs only.
+    if (shape.generalized || !ExactDpFeasible(shape, policy)) return {};
+    return {50.0, "simple inner graph"};
+  }
+  OptimizeResult Run(const OptimizationRequest& request,
+                     OptimizerWorkspace& workspace) const override {
+    return OptimizeDpccp(*request.graph, *request.estimator,
+                         *request.cost_model, request.options, &workspace);
+  }
+};
+
 }  // namespace
 
 OptimizeResult OptimizeDpccp(const Hypergraph& graph,
                              const CardinalityEstimator& est,
                              const CostModel& cost_model,
-                             const OptimizerOptions& options) {
+                             const OptimizerOptions& options,
+                             OptimizerWorkspace* workspace) {
   if (!graph.complex_edge_ids().empty()) {
     OptimizeResult result;
     result.success = false;
     result.error = "DPccp handles only simple graphs; use DPhyp";
+    result.stats.algorithm = "DPccp";
     return result;
   }
-  OptimizerContext ctx(graph, est, cost_model, options);
+  OptimizerOptions effective =
+      ResolvePruningSeed(graph, est, cost_model, options, workspace);
+  OptimizerContext ctx(graph, est, cost_model, effective,
+                       workspace != nullptr ? &workspace->table() : nullptr);
+  if (workspace != nullptr) workspace->CountRun();
   DpccpSolver solver(graph, ctx);
-  solver.Run();
-  return ctx.Finish(graph.AllNodes());
+  return RunGuarded("DPccp", ctx, graph.AllNodes(), [&] { solver.Run(); });
+}
+
+std::unique_ptr<Enumerator> MakeDpccpEnumerator() {
+  return std::make_unique<DpccpEnumerator>();
 }
 
 }  // namespace dphyp

@@ -7,16 +7,25 @@
 #ifndef DPHYP_BASELINES_DPCCP_H_
 #define DPHYP_BASELINES_DPCCP_H_
 
+#include <memory>
+
+#include "core/enumerator.h"
 #include "core/optimizer.h"
 
 namespace dphyp {
 
 /// Runs DPccp. Requires a simple graph (no complex hyperedges); fails
-/// cleanly otherwise.
+/// cleanly otherwise. Deprecated as a public entry point: prefer
+/// OptimizeByName("DPccp", ...) or an OptimizationSession.
 OptimizeResult OptimizeDpccp(const Hypergraph& graph,
                              const CardinalityEstimator& est,
                              const CostModel& cost_model,
-                             const OptimizerOptions& options = {});
+                             const OptimizerOptions& options = {},
+                             OptimizerWorkspace* workspace = nullptr);
+
+/// The registry entry for DPccp (bids on simple inner graphs; refuses
+/// complex hyperedges).
+std::unique_ptr<Enumerator> MakeDpccpEnumerator();
 
 }  // namespace dphyp
 

@@ -2,53 +2,87 @@
 
 #include <vector>
 
+#include "core/workspace.h"
+
 namespace dphyp {
+
+namespace {
+
+class DpsizeEnumerator : public Enumerator {
+ public:
+  const char* Name() const override { return "DPsize"; }
+  bool CanHandle(const Hypergraph&) const override { return true; }
+  // Never bids: DPsize exists as the Selinger-style measured baseline
+  // (Figs. 5-7); DPccp/DPsub dominate it everywhere dispatch could send it.
+  OptimizeResult Run(const OptimizationRequest& request,
+                     OptimizerWorkspace& workspace) const override {
+    return OptimizeDpsize(*request.graph, *request.estimator,
+                          *request.cost_model, request.options, &workspace);
+  }
+};
+
+}  // namespace
 
 OptimizeResult OptimizeDpsize(const Hypergraph& graph,
                               const CardinalityEstimator& est,
                               const CostModel& cost_model,
-                              const OptimizerOptions& options) {
-  OptimizerContext ctx(graph, est, cost_model, options);
-  ctx.InitLeaves();
-  const int n = graph.NumNodes();
+                              const OptimizerOptions& options,
+                              OptimizerWorkspace* workspace) {
+  OptimizerOptions effective =
+      ResolvePruningSeed(graph, est, cost_model, options, workspace);
+  OptimizerContext ctx(graph, est, cost_model, effective,
+                       workspace != nullptr ? &workspace->table() : nullptr);
+  if (workspace != nullptr) workspace->CountRun();
+  auto run = [&] {
+    ctx.InitLeaves();
+    const int n = graph.NumNodes();
 
-  // Plans bucketed by size. Buckets are filled lazily from the DP table's
-  // insertion-ordered entry list; `scanned` tracks how far we've consumed it.
-  std::vector<std::vector<NodeSet>> by_size(n + 1);
-  size_t scanned = 0;
-  auto refresh_buckets = [&] {
-    const auto& entries = ctx.table().entries();
-    for (; scanned < entries.size(); ++scanned) {
-      NodeSet s = entries[scanned]->set;
-      by_size[s.Count()].push_back(s);
-    }
-  };
-  refresh_buckets();
+    // Plans bucketed by size. Buckets are filled lazily from the DP table's
+    // insertion-ordered entry list; `scanned` tracks how far we've consumed
+    // it.
+    std::vector<std::vector<NodeSet>> by_size(n + 1);
+    size_t scanned = 0;
+    auto refresh_buckets = [&] {
+      const auto& entries = ctx.table().entries();
+      for (; scanned < entries.size(); ++scanned) {
+        NodeSet s = entries[scanned]->set;
+        by_size[s.Count()].push_back(s);
+      }
+    };
+    refresh_buckets();
 
-  for (int size = 2; size <= n; ++size) {
-    for (int size1 = 1; size1 < size; ++size1) {
-      const int size2 = size - size1;
-      refresh_buckets();
-      // Snapshot sizes: plans of size `size` created during this loop must
-      // not be joined again within the same iteration (they would exceed
-      // `size` anyway, but the snapshot also keeps iterators stable).
-      const auto& bucket1 = by_size[size1];
-      const auto& bucket2 = by_size[size2];
-      const size_t n1 = bucket1.size();
-      const size_t n2 = bucket2.size();
-      for (size_t i = 0; i < n1; ++i) {
-        for (size_t j = 0; j < n2; ++j) {
-          NodeSet S1 = bucket1[i];
-          NodeSet S2 = bucket2[j];
-          ++ctx.stats().pairs_tested;
-          if (S1.Intersects(S2)) continue;            // test (*) 1
-          if (!graph.ConnectsSets(S1, S2)) continue;  // test (*) 2
-          ctx.EmitOrdered(S1, S2);
+    for (int size = 2; size <= n; ++size) {
+      for (int size1 = 1; size1 < size; ++size1) {
+        const int size2 = size - size1;
+        refresh_buckets();
+        // Snapshot sizes: plans of size `size` created during this loop must
+        // not be joined again within the same iteration (they would exceed
+        // `size` anyway, but the snapshot also keeps iterators stable).
+        const auto& bucket1 = by_size[size1];
+        const auto& bucket2 = by_size[size2];
+        const size_t n1 = bucket1.size();
+        const size_t n2 = bucket2.size();
+        for (size_t i = 0; i < n1; ++i) {
+          for (size_t j = 0; j < n2; ++j) {
+            NodeSet S1 = bucket1[i];
+            NodeSet S2 = bucket2[j];
+            ++ctx.stats().pairs_tested;
+            // Deadline poll per candidate: the (*) tests fail far more often
+            // than they succeed, so emit-side polling alone would starve.
+            ctx.Tick();
+            if (S1.Intersects(S2)) continue;            // test (*) 1
+            if (!graph.ConnectsSets(S1, S2)) continue;  // test (*) 2
+            ctx.EmitOrdered(S1, S2);
+          }
         }
       }
     }
-  }
-  return ctx.Finish(graph.AllNodes());
+  };
+  return RunGuarded("DPsize", ctx, graph.AllNodes(), run);
+}
+
+std::unique_ptr<Enumerator> MakeDpsizeEnumerator() {
+  return std::make_unique<DpsizeEnumerator>();
 }
 
 }  // namespace dphyp

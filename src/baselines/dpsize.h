@@ -8,15 +8,24 @@
 #ifndef DPHYP_BASELINES_DPSIZE_H_
 #define DPHYP_BASELINES_DPSIZE_H_
 
+#include <memory>
+
+#include "core/enumerator.h"
 #include "core/optimizer.h"
 
 namespace dphyp {
 
-/// Runs DPsize over `graph`.
+/// Runs DPsize over `graph`. Deprecated as a public entry point: prefer
+/// OptimizeByName("DPsize", ...) or an OptimizationSession.
 OptimizeResult OptimizeDpsize(const Hypergraph& graph,
                               const CardinalityEstimator& est,
                               const CostModel& cost_model,
-                              const OptimizerOptions& options = {});
+                              const OptimizerOptions& options = {},
+                              OptimizerWorkspace* workspace = nullptr);
+
+/// The registry entry for DPsize (never auto-routed — a measured baseline,
+/// selectable by name).
+std::unique_ptr<Enumerator> MakeDpsizeEnumerator();
 
 }  // namespace dphyp
 

@@ -1,38 +1,80 @@
 #include "baselines/dpsub.h"
 
+#include "core/workspace.h"
 #include "util/subset.h"
 
 namespace dphyp {
 
+namespace {
+
+class DpsubEnumerator : public Enumerator {
+ public:
+  const char* Name() const override { return "DPsub"; }
+  bool CanHandle(const Hypergraph&) const override { return true; }
+  DispatchBid Bid(const GraphShape& shape,
+                  const DispatchPolicy& policy) const override {
+    // DPsub pays Θ(3^n) splits whatever the shape, so it only wins where
+    // almost every split succeeds: small dense simple graphs (its loop has
+    // tiny constants there).
+    if (shape.generalized || !ExactDpFeasible(shape, policy)) return {};
+    if (shape.num_nodes <= policy.dpsub_node_limit &&
+        shape.density >= policy.min_dpsub_density) {
+      return {60.0, "small dense graph: 2^n loop wins"};
+    }
+    return {};
+  }
+  OptimizeResult Run(const OptimizationRequest& request,
+                     OptimizerWorkspace& workspace) const override {
+    return OptimizeDpsub(*request.graph, *request.estimator,
+                         *request.cost_model, request.options, &workspace);
+  }
+};
+
+}  // namespace
+
 OptimizeResult OptimizeDpsub(const Hypergraph& graph,
                              const CardinalityEstimator& est,
                              const CostModel& cost_model,
-                             const OptimizerOptions& options) {
-  OptimizerContext ctx(graph, est, cost_model, options);
-  ctx.InitLeaves();
-  const uint64_t full = graph.AllNodes().bits();
+                             const OptimizerOptions& options,
+                             OptimizerWorkspace* workspace) {
+  OptimizerOptions effective =
+      ResolvePruningSeed(graph, est, cost_model, options, workspace);
+  OptimizerContext ctx(graph, est, cost_model, effective,
+                       workspace != nullptr ? &workspace->table() : nullptr);
+  if (workspace != nullptr) workspace->CountRun();
+  auto run = [&] {
+    ctx.InitLeaves();
+    const uint64_t full = graph.AllNodes().bits();
 
-  for (uint64_t bits = 3; bits <= full; ++bits) {
-    NodeSet S(bits);
-    if (S.IsSingleton()) continue;
-    // Each unordered split once: S1 contains min(S). EmitCsgCmp tries both
-    // orientations, covering commutativity.
-    const NodeSet min_set = S.MinSet();
-    const NodeSet rest = S.MinusMin();
-    auto try_split = [&](NodeSet S1, NodeSet S2) {
-      ++ctx.stats().pairs_tested;
-      if (!ctx.table().Contains(S1)) return;          // S1 connected?
-      if (!ctx.table().Contains(S2)) return;          // S2 connected?
-      if (!graph.ConnectsSets(S1, S2)) return;        // joined by an edge?
-      ctx.EmitCsgCmp(S1, S2);
-    };
-    for (NodeSet part : NonEmptySubsetsOf(rest)) {
-      if (part == rest) break;  // S2 would be empty
-      try_split(min_set | part, S - (min_set | part));
+    for (uint64_t bits = 3; bits <= full; ++bits) {
+      NodeSet S(bits);
+      if (S.IsSingleton()) continue;
+      // Deadline poll per subset: on emit-starved shapes (most subsets
+      // disconnected) the combine step's own poll would never run.
+      ctx.Tick();
+      // Each unordered split once: S1 contains min(S). EmitCsgCmp tries
+      // both orientations, covering commutativity.
+      const NodeSet min_set = S.MinSet();
+      const NodeSet rest = S.MinusMin();
+      auto try_split = [&](NodeSet S1, NodeSet S2) {
+        ++ctx.stats().pairs_tested;
+        if (!ctx.table().Contains(S1)) return;          // S1 connected?
+        if (!ctx.table().Contains(S2)) return;          // S2 connected?
+        if (!graph.ConnectsSets(S1, S2)) return;        // joined by an edge?
+        ctx.EmitCsgCmp(S1, S2);
+      };
+      for (NodeSet part : NonEmptySubsetsOf(rest)) {
+        if (part == rest) break;  // S2 would be empty
+        try_split(min_set | part, S - (min_set | part));
+      }
+      try_split(min_set, rest);
     }
-    try_split(min_set, rest);
-  }
-  return ctx.Finish(graph.AllNodes());
+  };
+  return RunGuarded("DPsub", ctx, graph.AllNodes(), run);
+}
+
+std::unique_ptr<Enumerator> MakeDpsubEnumerator() {
+  return std::make_unique<DpsubEnumerator>();
 }
 
 }  // namespace dphyp

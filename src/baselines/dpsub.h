@@ -8,15 +8,23 @@
 #ifndef DPHYP_BASELINES_DPSUB_H_
 #define DPHYP_BASELINES_DPSUB_H_
 
+#include <memory>
+
+#include "core/enumerator.h"
 #include "core/optimizer.h"
 
 namespace dphyp {
 
-/// Runs DPsub over `graph`.
+/// Runs DPsub over `graph`. Deprecated as a public entry point: prefer
+/// OptimizeByName("DPsub", ...) or an OptimizationSession.
 OptimizeResult OptimizeDpsub(const Hypergraph& graph,
                              const CardinalityEstimator& est,
                              const CostModel& cost_model,
-                             const OptimizerOptions& options = {});
+                             const OptimizerOptions& options = {},
+                             OptimizerWorkspace* workspace = nullptr);
+
+/// The registry entry for DPsub (bids on small dense simple graphs).
+std::unique_ptr<Enumerator> MakeDpsubEnumerator();
 
 }  // namespace dphyp
 

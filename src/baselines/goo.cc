@@ -3,18 +3,128 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
+#include <optional>
 #include <utility>
 #include <vector>
+
+#include "core/workspace.h"
 
 namespace dphyp {
 
 namespace {
 
-struct Candidate {
-  int i = 0;
-  int j = 0;
-  double out_card = 0.0;
+using Candidate = GooScratch::Candidate;
+
+/// The shared implementation behind both public entry points: `table`
+/// routes the run onto an external DP table slot (workspace primary table
+/// for a routed/fallback GOO run, the *seed* slot when bootstrapping an
+/// exact run's pruning bound), `scratch` reuses the component/candidate/
+/// memo storage. Either may be null for self-contained behavior.
+OptimizeResult RunGoo(const Hypergraph& graph, const CardinalityEstimator& est,
+                      const CostModel& cost_model,
+                      const OptimizerOptions& options, DpTable* table,
+                      GooScratch* scratch) {
+  // GOO must keep every merge it emits (pruning a merge would abort the
+  // greedy chain) and is itself the pruning-bound provider — recursing into
+  // another GOO run from the seed resolution would never terminate. It is
+  // also the system's deadline fallback, so the cancellation token is
+  // stripped: the polynomial pass always completes.
+  OptimizerOptions effective = options;
+  effective.enable_pruning = false;
+  effective.cancellation = nullptr;
+  OptimizerContext ctx(graph, est, cost_model, effective, table);
+
+  std::optional<GooScratch> local_scratch;
+  GooScratch& s = scratch != nullptr ? *scratch : local_scratch.emplace();
+  s.Clear();
+
+  auto run = [&] {
+    ctx.InitLeaves();
+
+    std::vector<NodeSet>& comps = s.components;
+    comps.reserve(graph.NumNodes());
+    for (int v = 0; v < graph.NumNodes(); ++v) {
+      comps.push_back(NodeSet::Single(v));
+    }
+
+    // Component pairs are re-examined every round, but connectivity and the
+    // estimated join size of a pair never change while both components
+    // survive; memoizing them keeps GOO at O(n^2) estimator calls overall
+    // (NaN marks a disconnected pair).
+    auto pair_card = [&](NodeSet a, NodeSet b) {
+      std::pair<uint64_t, uint64_t> key{std::min(a.bits(), b.bits()),
+                                        std::max(a.bits(), b.bits())};
+      auto it = s.pair_cardinality.find(key);
+      if (it != s.pair_cardinality.end()) return it->second;
+      double card = graph.ConnectsSets(a, b)
+                        ? est.Estimate(a | b)
+                        : std::numeric_limits<double>::quiet_NaN();
+      s.pair_cardinality.emplace(key, card);
+      return card;
+    };
+
+    while (comps.size() > 1) {
+      std::vector<Candidate>& candidates = s.candidates;
+      candidates.clear();
+      for (size_t i = 0; i < comps.size(); ++i) {
+        for (size_t j = i + 1; j < comps.size(); ++j) {
+          double card = pair_card(comps[i], comps[j]);
+          if (std::isnan(card)) continue;
+          candidates.push_back(
+              {static_cast<int>(i), static_cast<int>(j), card});
+        }
+      }
+      // Smallest intermediate result first; ties resolved by component
+      // position, which is itself deterministic (merge order is
+      // deterministic).
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  if (a.out_card != b.out_card) return a.out_card < b.out_card;
+                  if (a.i != b.i) return a.i < b.i;
+                  return a.j < b.j;
+                });
+      // The greedy pick may be rejected by the combine step (TES violations,
+      // invalid operator constellations, lateral ordering), so fall through
+      // to the next-best pair until one merge sticks.
+      bool merged = false;
+      for (const Candidate& c : candidates) {
+        const NodeSet combined = comps[c.i] | comps[c.j];
+        ctx.EmitCsgCmp(comps[c.i], comps[c.j]);
+        // Require a real inner node, not just a table entry: a combine whose
+        // cost stayed +inf (cardinality overflow) records no children.
+        const PlanEntry* entry = ctx.table().Find(combined);
+        if (entry == nullptr || entry->IsLeaf()) continue;
+        comps[c.i] = combined;
+        comps.erase(comps.begin() + c.j);
+        merged = true;
+        break;
+      }
+      if (!merged) break;  // disconnected graph or no valid merge left
+    }
+  };
+  return RunGuarded("GOO", ctx, graph.AllNodes(), run);
+}
+
+class GooEnumerator : public Enumerator {
+ public:
+  const char* Name() const override { return "GOO"; }
+  bool CanHandle(const Hypergraph&) const override { return true; }
+  bool Exact() const override { return false; }
+  DispatchBid Bid(const GraphShape& shape,
+                  const DispatchPolicy& policy) const override {
+    // The floor bid: GOO handles everything in polynomial time, so it wins
+    // exactly when every exact enumerator refused (infeasible shapes).
+    if (shape.density >= policy.min_dense_density &&
+        shape.num_nodes > policy.dense_node_limit) {
+      return {0.0, "dense graph: csg-cmp pairs ~3^n"};
+    }
+    return {0.0, "past exact-DP feasibility frontier"};
+  }
+  OptimizeResult Run(const OptimizationRequest& request,
+                     OptimizerWorkspace& workspace) const override {
+    return OptimizeGoo(*request.graph, *request.estimator, *request.cost_model,
+                       request.options, &workspace);
+  }
 };
 
 }  // namespace
@@ -22,73 +132,12 @@ struct Candidate {
 OptimizeResult OptimizeGoo(const Hypergraph& graph,
                            const CardinalityEstimator& est,
                            const CostModel& cost_model,
-                           const OptimizerOptions& options) {
-  // GOO must keep every merge it emits (pruning a merge would abort the
-  // greedy chain) and is itself the pruning-bound provider — recursing into
-  // another GOO run from the context constructor would never terminate.
-  OptimizerOptions effective = options;
-  effective.enable_pruning = false;
-  OptimizerContext ctx(graph, est, cost_model, effective);
-  ctx.InitLeaves();
-
-  std::vector<NodeSet> comps;
-  comps.reserve(graph.NumNodes());
-  for (int v = 0; v < graph.NumNodes(); ++v) comps.push_back(NodeSet::Single(v));
-
-  // Component pairs are re-examined every round, but connectivity and the
-  // estimated join size of a pair never change while both components
-  // survive; memoizing them keeps GOO at O(n^2) estimator calls overall
-  // (NaN marks a disconnected pair).
-  std::map<std::pair<uint64_t, uint64_t>, double> pair_cache;
-  auto pair_card = [&](NodeSet a, NodeSet b) {
-    std::pair<uint64_t, uint64_t> key{std::min(a.bits(), b.bits()),
-                                      std::max(a.bits(), b.bits())};
-    auto it = pair_cache.find(key);
-    if (it != pair_cache.end()) return it->second;
-    double card = graph.ConnectsSets(a, b)
-                      ? est.Estimate(a | b)
-                      : std::numeric_limits<double>::quiet_NaN();
-    pair_cache.emplace(key, card);
-    return card;
-  };
-
-  while (comps.size() > 1) {
-    std::vector<Candidate> candidates;
-    for (size_t i = 0; i < comps.size(); ++i) {
-      for (size_t j = i + 1; j < comps.size(); ++j) {
-        double card = pair_card(comps[i], comps[j]);
-        if (std::isnan(card)) continue;
-        candidates.push_back({static_cast<int>(i), static_cast<int>(j), card});
-      }
-    }
-    // Smallest intermediate result first; ties resolved by component
-    // position, which is itself deterministic (merge order is deterministic).
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& a, const Candidate& b) {
-                if (a.out_card != b.out_card) return a.out_card < b.out_card;
-                if (a.i != b.i) return a.i < b.i;
-                return a.j < b.j;
-              });
-    // The greedy pick may be rejected by the combine step (TES violations,
-    // invalid operator constellations, lateral ordering), so fall through to
-    // the next-best pair until one merge sticks.
-    bool merged = false;
-    for (const Candidate& c : candidates) {
-      const NodeSet combined = comps[c.i] | comps[c.j];
-      ctx.EmitCsgCmp(comps[c.i], comps[c.j]);
-      // Require a real inner node, not just a table entry: a combine whose
-      // cost stayed +inf (cardinality overflow) records no children.
-      const PlanEntry* entry = ctx.table().Find(combined);
-      if (entry == nullptr || entry->IsLeaf()) continue;
-      comps[c.i] = combined;
-      comps.erase(comps.begin() + c.j);
-      merged = true;
-      break;
-    }
-    if (!merged) break;  // disconnected graph or no valid merge left
-  }
-
-  return ctx.Finish(graph.AllNodes());
+                           const OptimizerOptions& options,
+                           OptimizerWorkspace* workspace) {
+  if (workspace != nullptr) workspace->CountRun();
+  return RunGoo(graph, est, cost_model, options,
+                workspace != nullptr ? &workspace->table() : nullptr,
+                workspace != nullptr ? &workspace->goo() : nullptr);
 }
 
 OptimizeResult OptimizeGoo(const Hypergraph& graph) {
@@ -99,9 +148,19 @@ OptimizeResult OptimizeGoo(const Hypergraph& graph) {
 double GooCostUpperBound(const Hypergraph& graph,
                          const CardinalityEstimator& est,
                          const CostModel& cost_model,
-                         const OptimizerOptions& base_options) {
-  OptimizeResult r = OptimizeGoo(graph, est, cost_model, base_options);
+                         const OptimizerOptions& base_options,
+                         OptimizerWorkspace* workspace) {
+  // The seed run must not claim the workspace's primary table: the exact
+  // run it bootstraps is about to run there.
+  OptimizeResult r =
+      RunGoo(graph, est, cost_model, base_options,
+             workspace != nullptr ? &workspace->seed_table() : nullptr,
+             workspace != nullptr ? &workspace->goo() : nullptr);
   return r.success ? r.cost : std::numeric_limits<double>::infinity();
+}
+
+std::unique_ptr<Enumerator> MakeGooEnumerator() {
+  return std::make_unique<GooEnumerator>();
 }
 
 }  // namespace dphyp

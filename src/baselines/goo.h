@@ -11,19 +11,31 @@
 // whose DP table holds one entry per merge (2n - 1 entries total), from
 // which ExtractPlan materializes a valid plan tree. The plan is *not*
 // guaranteed optimal — this is the price of handling 64-relation cliques.
+//
+// GOO is the system's bounded-latency escape hatch twice over: adaptive
+// dispatch routes infeasible shapes here, and OptimizationSession re-runs
+// it when an exact enumerator blows its deadline. It therefore strips both
+// pruning (it *is* the bound provider) and the cancellation token (the
+// fallback must always complete) from its options.
 #ifndef DPHYP_BASELINES_GOO_H_
 #define DPHYP_BASELINES_GOO_H_
 
+#include <memory>
+
+#include "core/enumerator.h"
 #include "core/optimizer.h"
 
 namespace dphyp {
 
 /// Runs greedy operator ordering. Deterministic: ties between candidate
 /// merges are broken by the smaller (min-node, min-node) component pair.
+/// Deprecated as a public entry point: prefer OptimizeByName("GOO", ...)
+/// or an OptimizationSession.
 OptimizeResult OptimizeGoo(const Hypergraph& graph,
                            const CardinalityEstimator& est,
                            const CostModel& cost_model,
-                           const OptimizerOptions& options = {});
+                           const OptimizerOptions& options = {},
+                           OptimizerWorkspace* workspace = nullptr);
 
 /// Convenience wrapper with default estimator and cost model.
 OptimizeResult OptimizeGoo(const Hypergraph& graph);
@@ -34,10 +46,17 @@ OptimizeResult OptimizeGoo(const Hypergraph& graph);
 /// upper bound on the optimum. `base_options` carries the TES constraints
 /// of the caller so the bound is valid for the same search space; its
 /// pruning fields are ignored (GOO never prunes — it *is* the bound).
+/// With a workspace, the seed run uses the workspace's *seed* table slot —
+/// the primary table belongs to the exact run being seeded — and its GOO
+/// scratch, keeping pooled serving allocation-free.
 double GooCostUpperBound(const Hypergraph& graph,
                          const CardinalityEstimator& est,
                          const CostModel& cost_model,
-                         const OptimizerOptions& base_options = {});
+                         const OptimizerOptions& base_options = {},
+                         OptimizerWorkspace* workspace = nullptr);
+
+/// The registry entry for GOO (the always-feasible fallback bid).
+std::unique_ptr<Enumerator> MakeGooEnumerator();
 
 }  // namespace dphyp
 

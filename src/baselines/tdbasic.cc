@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "core/workspace.h"
 #include "util/subset.h"
 
 namespace dphyp {
@@ -29,6 +30,9 @@ class TdBasicSolver {
     const NodeSet rest = S.MinusMin();
     auto try_split = [&](NodeSet S1, NodeSet S2) {
       ++ctx_.stats().pairs_tested;
+      // Deadline poll per candidate split: the generate-and-test failures
+      // never reach the combine step's own poll.
+      ctx_.Tick();
       if (!graph_.ConnectsSets(S1, S2)) return;  // generate-and-test
       if (!Solve(S1) || !Solve(S2)) return;
       ctx_.EmitCsgCmp(S1, S2);
@@ -50,21 +54,40 @@ class TdBasicSolver {
   std::unordered_set<uint64_t> failed_;
 };
 
+class TdBasicEnumerator : public Enumerator {
+ public:
+  const char* Name() const override { return "TDbasic"; }
+  bool CanHandle(const Hypergraph&) const override { return true; }
+  // Never bids: the naive memoization school the paper argues against is
+  // kept as a comparison point, not a serving route.
+  OptimizeResult Run(const OptimizationRequest& request,
+                     OptimizerWorkspace& workspace) const override {
+    return OptimizeTdBasic(*request.graph, *request.estimator,
+                           *request.cost_model, request.options, &workspace);
+  }
+};
+
 }  // namespace
 
 OptimizeResult OptimizeTdBasic(const Hypergraph& graph,
                                const CardinalityEstimator& est,
                                const CostModel& cost_model,
-                               const OptimizerOptions& options) {
+                               const OptimizerOptions& options,
+                               OptimizerWorkspace* workspace) {
   // The memoization above treats table membership as "subproblem solved";
   // branch-and-bound pruning removes entries and would re-derive failures,
   // so the top-down algorithms always run unpruned.
   OptimizerOptions effective = options;
   effective.enable_pruning = false;
-  OptimizerContext ctx(graph, est, cost_model, effective);
+  OptimizerContext ctx(graph, est, cost_model, effective,
+                       workspace != nullptr ? &workspace->table() : nullptr);
+  if (workspace != nullptr) workspace->CountRun();
   TdBasicSolver solver(graph, ctx);
-  solver.Run();
-  return ctx.Finish(graph.AllNodes());
+  return RunGuarded("TDbasic", ctx, graph.AllNodes(), [&] { solver.Run(); });
+}
+
+std::unique_ptr<Enumerator> MakeTdBasicEnumerator() {
+  return std::make_unique<TdBasicEnumerator>();
 }
 
 }  // namespace dphyp

@@ -7,15 +7,25 @@
 #ifndef DPHYP_BASELINES_TDBASIC_H_
 #define DPHYP_BASELINES_TDBASIC_H_
 
+#include <memory>
+
+#include "core/enumerator.h"
 #include "core/optimizer.h"
 
 namespace dphyp {
 
-/// Runs naive top-down memoization over `graph`.
+/// Runs naive top-down memoization over `graph`. Deprecated as a public
+/// entry point: prefer OptimizeByName("TDbasic", ...) or an
+/// OptimizationSession.
 OptimizeResult OptimizeTdBasic(const Hypergraph& graph,
                                const CardinalityEstimator& est,
                                const CostModel& cost_model,
-                               const OptimizerOptions& options = {});
+                               const OptimizerOptions& options = {},
+                               OptimizerWorkspace* workspace = nullptr);
+
+/// The registry entry for TDbasic (never auto-routed — a measured
+/// baseline, selectable by name).
+std::unique_ptr<Enumerator> MakeTdBasicEnumerator();
 
 }  // namespace dphyp
 

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "core/workspace.h"
 #include "util/subset.h"
 
 namespace dphyp {
@@ -47,6 +48,9 @@ class TdPartitionSolver {
   void TrySplit(NodeSet S, NodeSet S1) {
     NodeSet S2 = S - S1;
     ++ctx_.stats().pairs_tested;
+    // Deadline poll per candidate split (failed splits bypass the combine
+    // step's poll).
+    ctx_.Tick();
     if (!graph_.ConnectsSets(S1, S2)) return;
     if (!Solve(S1) || !Solve(S2)) return;
     ctx_.EmitCsgCmp(S1, S2);
@@ -58,20 +62,41 @@ class TdPartitionSolver {
   std::unordered_set<uint64_t> failed_;
 };
 
+class TdPartitionEnumerator : public Enumerator {
+ public:
+  const char* Name() const override { return "TDpartition"; }
+  bool CanHandle(const Hypergraph&) const override { return true; }
+  // Never bids: kept as the memoization competitor for the paper's
+  // comparisons, selectable by name.
+  OptimizeResult Run(const OptimizationRequest& request,
+                     OptimizerWorkspace& workspace) const override {
+    return OptimizeTdPartition(*request.graph, *request.estimator,
+                               *request.cost_model, request.options,
+                               &workspace);
+  }
+};
+
 }  // namespace
 
 OptimizeResult OptimizeTdPartition(const Hypergraph& graph,
                                    const CardinalityEstimator& est,
                                    const CostModel& cost_model,
-                                   const OptimizerOptions& options) {
+                                   const OptimizerOptions& options,
+                                   OptimizerWorkspace* workspace) {
   // Same reasoning as TDbasic: table membership is the top-down "solved"
   // memo, so pruning must stay off.
   OptimizerOptions effective = options;
   effective.enable_pruning = false;
-  OptimizerContext ctx(graph, est, cost_model, effective);
+  OptimizerContext ctx(graph, est, cost_model, effective,
+                       workspace != nullptr ? &workspace->table() : nullptr);
+  if (workspace != nullptr) workspace->CountRun();
   TdPartitionSolver solver(graph, ctx);
-  solver.Run();
-  return ctx.Finish(graph.AllNodes());
+  return RunGuarded("TDpartition", ctx, graph.AllNodes(),
+                    [&] { solver.Run(); });
+}
+
+std::unique_ptr<Enumerator> MakeTdPartitionEnumerator() {
+  return std::make_unique<TdPartitionEnumerator>();
 }
 
 }  // namespace dphyp

@@ -14,15 +14,25 @@
 #ifndef DPHYP_BASELINES_TDPARTITION_H_
 #define DPHYP_BASELINES_TDPARTITION_H_
 
+#include <memory>
+
+#include "core/enumerator.h"
 #include "core/optimizer.h"
 
 namespace dphyp {
 
 /// Runs top-down partition search over `graph` (hyperedge-aware).
+/// Deprecated as a public entry point: prefer
+/// OptimizeByName("TDpartition", ...) or an OptimizationSession.
 OptimizeResult OptimizeTdPartition(const Hypergraph& graph,
                                    const CardinalityEstimator& est,
                                    const CostModel& cost_model,
-                                   const OptimizerOptions& options = {});
+                                   const OptimizerOptions& options = {},
+                                   OptimizerWorkspace* workspace = nullptr);
+
+/// The registry entry for TDpartition (never auto-routed — the top-down
+/// competitor, selectable by name).
+std::unique_ptr<Enumerator> MakeTdPartitionEnumerator();
 
 }  // namespace dphyp
 

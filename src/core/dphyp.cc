@@ -1,6 +1,9 @@
 #include "core/dphyp.h"
 
+#include <optional>
+
 #include "core/neighborhood_cache.h"
+#include "core/workspace.h"
 #include "util/subset.h"
 
 namespace dphyp {
@@ -10,8 +13,9 @@ namespace {
 /// One enumeration run; holds the shared context plus the graph shortcut.
 class DphypSolver {
  public:
-  DphypSolver(const Hypergraph& graph, OptimizerContext& ctx)
-      : graph_(graph), nbh_(graph), ctx_(ctx) {}
+  DphypSolver(const Hypergraph& graph, OptimizerContext& ctx,
+              NeighborhoodCache& nbh)
+      : graph_(graph), nbh_(nbh), ctx_(ctx) {}
 
   void Run() {
     ctx_.InitLeaves();
@@ -81,8 +85,28 @@ class DphypSolver {
   /// Sec. 2.3 neighborhoods, memoized by node set (see
   /// core/neighborhood_cache.h): complements recur under many csgs, so the
   /// per-set union/candidate work is paid once per distinct set.
-  NeighborhoodCache nbh_;
+  NeighborhoodCache& nbh_;
   OptimizerContext& ctx_;
+};
+
+class DphypEnumerator : public Enumerator {
+ public:
+  const char* Name() const override { return "DPhyp"; }
+  bool CanHandle(const Hypergraph&) const override { return true; }
+  DispatchBid Bid(const GraphShape& shape,
+                  const DispatchPolicy& policy) const override {
+    if (!ExactDpFeasible(shape, policy)) return {};
+    // Generalized features (hyperedges, non-inner operators, laterals) are
+    // DPhyp's home turf — the other exact enumerators only stay competitive
+    // on plain inner-join graphs, where DPccp's leaner neighborhood wins.
+    if (shape.generalized) return {80.0, "hyperedges/non-inner/lateral"};
+    return {40.0, "simple inner graph (DPccp preferred)"};
+  }
+  OptimizeResult Run(const OptimizationRequest& request,
+                     OptimizerWorkspace& workspace) const override {
+    return OptimizeDphyp(*request.graph, *request.estimator,
+                         *request.cost_model, request.options, &workspace);
+  }
 };
 
 }  // namespace
@@ -90,16 +114,28 @@ class DphypSolver {
 OptimizeResult OptimizeDphyp(const Hypergraph& graph,
                              const CardinalityEstimator& est,
                              const CostModel& cost_model,
-                             const OptimizerOptions& options) {
-  OptimizerContext ctx(graph, est, cost_model, options);
-  DphypSolver solver(graph, ctx);
-  solver.Run();
-  return ctx.Finish(graph.AllNodes());
+                             const OptimizerOptions& options,
+                             OptimizerWorkspace* workspace) {
+  std::optional<NeighborhoodCache> local_nbh;
+  NeighborhoodCache& nbh = workspace != nullptr
+                               ? workspace->neighborhood(graph)
+                               : local_nbh.emplace(graph);
+  OptimizerOptions effective =
+      ResolvePruningSeed(graph, est, cost_model, options, workspace);
+  OptimizerContext ctx(graph, est, cost_model, effective,
+                       workspace != nullptr ? &workspace->table() : nullptr);
+  if (workspace != nullptr) workspace->CountRun();
+  DphypSolver solver(graph, ctx, nbh);
+  return RunGuarded("DPhyp", ctx, graph.AllNodes(), [&] { solver.Run(); });
 }
 
 OptimizeResult OptimizeDphyp(const Hypergraph& graph) {
   CardinalityEstimator est(graph);
   return OptimizeDphyp(graph, est, DefaultCostModel(), {});
+}
+
+std::unique_ptr<Enumerator> MakeDphypEnumerator() {
+  return std::make_unique<DphypEnumerator>();
 }
 
 }  // namespace dphyp

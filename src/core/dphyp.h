@@ -19,21 +19,35 @@
 #ifndef DPHYP_CORE_DPHYP_H_
 #define DPHYP_CORE_DPHYP_H_
 
+#include <memory>
+
+#include "core/enumerator.h"
 #include "core/optimizer.h"
 
 namespace dphyp {
 
 /// Runs DPhyp over `graph`. Returns the optimal bushy, cross-product-free
 /// plan under the given cost model, or failure if the graph is not
-/// Def.-3-connected.
+/// Def.-3-connected. With a workspace the run reuses its table/neighborhood
+/// memo and the result borrows the table (valid until the workspace's next
+/// run); without one the result is self-contained.
+///
+/// Deprecated as a public entry point: prefer the registry
+/// (OptimizeByName("DPhyp", ...)) or an OptimizationSession; this free
+/// function is the registry implementation and remains for one release.
 OptimizeResult OptimizeDphyp(const Hypergraph& graph,
                              const CardinalityEstimator& est,
                              const CostModel& cost_model,
-                             const OptimizerOptions& options = {});
+                             const OptimizerOptions& options = {},
+                             OptimizerWorkspace* workspace = nullptr);
 
 /// Convenience overload with the default (C_out) cost model and a fresh
 /// estimator.
 OptimizeResult OptimizeDphyp(const Hypergraph& graph);
+
+/// The registry entry for DPhyp (bids on generalized graphs, handles
+/// everything).
+std::unique_ptr<Enumerator> MakeDphypEnumerator();
 
 }  // namespace dphyp
 

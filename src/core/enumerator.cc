@@ -1,0 +1,204 @@
+#include "core/enumerator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <mutex>
+
+#include "baselines/dpccp.h"
+#include "baselines/dpsize.h"
+#include "baselines/dpsub.h"
+#include "baselines/goo.h"
+#include "baselines/tdbasic.h"
+#include "baselines/tdpartition.h"
+#include "core/dphyp.h"
+#include "core/workspace.h"
+
+namespace dphyp {
+
+namespace {
+
+bool NameEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+GraphShape AnalyzeGraphShape(const Hypergraph& graph) {
+  GraphShape shape;
+  shape.num_nodes = graph.NumNodes();
+  shape.num_edges = graph.NumEdges();
+  bool non_inner = false;
+  for (const Hyperedge& e : graph.edges()) {
+    if (e.op != OpType::kJoin) {
+      non_inner = true;
+      break;
+    }
+  }
+  shape.has_complex_edges = !graph.complex_edge_ids().empty();
+  shape.generalized =
+      shape.has_complex_edges || non_inner || graph.HasDependentLeaves();
+  for (int v = 0; v < shape.num_nodes; ++v) {
+    shape.max_simple_degree =
+        std::max(shape.max_simple_degree, graph.SimpleNeighbors(v).Count());
+  }
+  if (shape.num_nodes > 1) {
+    shape.density = static_cast<double>(2 * shape.num_edges) /
+                    (static_cast<double>(shape.num_nodes) *
+                     (shape.num_nodes - 1));
+  }
+  return shape;
+}
+
+bool ExactDpFeasible(const GraphShape& shape, const DispatchPolicy& policy) {
+  // Chains and cycles have only O(n^2) connected subgraphs: exact DP is
+  // always feasible, whatever n (<= NodeSet::kMaxNodes).
+  if (!shape.generalized && shape.max_simple_degree <= 2) return true;
+  if (shape.num_nodes <= 2) return true;
+  // Feasibility frontier: a degree-d hub alone induces 2^d connected
+  // subgraphs, and past the node ceiling even sparse shapes can blow up
+  // the table.
+  if (shape.num_nodes > policy.exact_node_limit ||
+      shape.max_simple_degree > policy.max_exact_degree) {
+    return false;
+  }
+  // Dense graphs hit the csg-cmp pair wall (~3^n on cliques) long before
+  // the table-entry wall, so they get a stricter ceiling.
+  if (shape.density >= policy.min_dense_density &&
+      shape.num_nodes > policy.dense_node_limit) {
+    return false;
+  }
+  return true;
+}
+
+OptimizeResult Enumerator::Optimize(const Hypergraph& graph,
+                                    const CardinalityEstimator& est,
+                                    const CostModel& cost_model,
+                                    const OptimizerOptions& options) const {
+  OptimizerWorkspace workspace;
+  OptimizationRequest request;
+  request.graph = &graph;
+  request.estimator = &est;
+  request.cost_model = &cost_model;
+  request.options = options;
+  OptimizeResult result = Run(request, workspace);
+  // The workspace dies with this frame: hand its table to the result so
+  // the caller keeps the original self-contained lifetime.
+  if (result.has_table() && !result.owns_table()) {
+    result.AdoptTable(workspace.DetachTable());
+  }
+  return result;
+}
+
+struct EnumeratorRegistry::Impl {
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<Enumerator>> entries;
+};
+
+EnumeratorRegistry::EnumeratorRegistry() : impl_(new Impl) {
+  // Built-ins, in display/sweep order. Registration here (instead of
+  // per-translation-unit static initializers) keeps the set deterministic
+  // and immune to static-library dead-stripping.
+  impl_->entries.push_back(MakeDphypEnumerator());
+  impl_->entries.push_back(MakeDpccpEnumerator());
+  impl_->entries.push_back(MakeDpsubEnumerator());
+  impl_->entries.push_back(MakeDpsizeEnumerator());
+  impl_->entries.push_back(MakeTdBasicEnumerator());
+  impl_->entries.push_back(MakeTdPartitionEnumerator());
+  impl_->entries.push_back(MakeGooEnumerator());
+}
+
+EnumeratorRegistry& EnumeratorRegistry::Global() {
+  static EnumeratorRegistry* registry = new EnumeratorRegistry();
+  return *registry;
+}
+
+void EnumeratorRegistry::Register(std::unique_ptr<Enumerator> enumerator) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& existing : impl_->entries) {
+    if (NameEquals(existing->Name(), enumerator->Name())) {
+      existing = std::move(enumerator);  // last registration wins
+      return;
+    }
+  }
+  impl_->entries.push_back(std::move(enumerator));
+}
+
+bool EnumeratorRegistry::Unregister(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto it = impl_->entries.begin(); it != impl_->entries.end(); ++it) {
+    if (NameEquals((*it)->Name(), name)) {
+      impl_->entries.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+const Enumerator* EnumeratorRegistry::FindOrNull(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& e : impl_->entries) {
+    if (NameEquals(e->Name(), name)) return e.get();
+  }
+  return nullptr;
+}
+
+Result<const Enumerator*> EnumeratorRegistry::Find(
+    std::string_view name) const {
+  const Enumerator* found = FindOrNull(name);
+  if (found != nullptr) return found;
+  std::string message = "unknown enumerator '";
+  message.append(name);
+  message += "'; registered:";
+  for (const Enumerator* e : All()) {
+    message += ' ';
+    message += e->Name();
+  }
+  return Err(std::move(message));
+}
+
+std::vector<const Enumerator*> EnumeratorRegistry::All() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<const Enumerator*> snapshot;
+  snapshot.reserve(impl_->entries.size());
+  for (const auto& e : impl_->entries) snapshot.push_back(e.get());
+  return snapshot;
+}
+
+Result<OptimizeResult> OptimizeByName(std::string_view name,
+                                      const Hypergraph& graph,
+                                      const CardinalityEstimator& est,
+                                      const CostModel& cost_model,
+                                      const OptimizerOptions& options,
+                                      OptimizerWorkspace* workspace) {
+  Result<const Enumerator*> found = EnumeratorRegistry::Global().Find(name);
+  if (!found.ok()) return found.error();
+  const Enumerator& enumerator = *found.value();
+  if (!enumerator.CanHandle(graph)) {
+    return Err(std::string(enumerator.Name()) +
+               " cannot handle this graph (e.g. complex hyperedges)");
+  }
+  if (workspace == nullptr) {
+    return enumerator.Optimize(graph, est, cost_model, options);
+  }
+  OptimizationRequest request;
+  request.graph = &graph;
+  request.estimator = &est;
+  request.cost_model = &cost_model;
+  request.options = options;
+  return enumerator.Run(request, *workspace);
+}
+
+Result<OptimizeResult> OptimizeByName(std::string_view name,
+                                      const Hypergraph& graph) {
+  CardinalityEstimator est(graph);
+  return OptimizeByName(name, graph, est, DefaultCostModel());
+}
+
+}  // namespace dphyp

@@ -1,0 +1,209 @@
+// The unified enumeration interface: every join-ordering algorithm in the
+// repository — DPhyp, DPccp, DPsub, DPsize, TDbasic, TDpartition, GOO — is
+// an Enumerator behind one registry. This is the paper's central structural
+// claim turned into API: one combine step (EmitCsgCmp) serves every
+// enumeration strategy, so the strategies themselves are interchangeable
+// values, not switch cases. Production optimizers expose the same shape
+// (Hyrise's AbstractJoinOrderingAlgorithm hierarchy, PostgreSQL's
+// join_search_hook + GEQO fallback); adding an enumerator here requires
+// only a registration — dispatch, benchmarks, and the agreement test suite
+// pick it up from the registry.
+#ifndef DPHYP_CORE_ENUMERATOR_H_
+#define DPHYP_CORE_ENUMERATOR_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "hypergraph/hypergraph.h"
+#include "util/result.h"
+
+namespace dphyp {
+
+class OptimizerWorkspace;
+
+/// The shape features routing decisions are made from, computed once per
+/// query (AnalyzeGraphShape) and shared by every enumerator's Bid.
+struct GraphShape {
+  int num_nodes = 0;
+  int num_edges = 0;
+  /// Maximum simple-edge degree over all nodes; a hub of degree d alone
+  /// induces >= 2^d connected subgraphs (stars).
+  int max_simple_degree = 0;
+  /// 2|E| / (n(n-1)); >= 1 on cliques.
+  double density = 0.0;
+  /// Hyperedges, non-inner operators, or lateral (dependent) leaves —
+  /// anything beyond a plain inner-join simple graph.
+  bool generalized = false;
+  bool has_complex_edges = false;
+};
+
+GraphShape AnalyzeGraphShape(const Hypergraph& graph);
+
+/// Thresholds steering the routing decision. The defaults keep every exact
+/// route under a few hundred thousand DP entries (see README).
+struct DispatchPolicy {
+  /// Hard node-count ceiling for exhaustive DP on graphs that are not
+  /// chains/cycles (whose subgraph count is only quadratic).
+  int exact_node_limit = 22;
+  /// Exhaustive DP also requires the max simple-edge degree to stay below
+  /// this: a hub of degree d induces >= 2^d connected subgraphs (stars).
+  int max_exact_degree = 16;
+  /// DPsub is chosen for simple graphs up to this size when density is at
+  /// least `min_dpsub_density` (its 2^n loop has tiny constants).
+  int dpsub_node_limit = 12;
+  double min_dpsub_density = 0.8;
+  /// Dense graphs (edge density >= `min_dense_density`) get a stricter node
+  /// ceiling: their csg-cmp pair count grows like 3^n even when the table
+  /// itself (2^n entries) would still fit.
+  int dense_node_limit = 12;
+  double min_dense_density = 0.4;
+  /// Bound-aware routing: when an exact route is chosen, run it with
+  /// accumulated-cost branch-and-bound pruning seeded from a GOO pass over
+  /// the same graph (OptimizerOptions::enable_pruning). Admissible under
+  /// monotone cost models — the served plan cost is bit-identical to the
+  /// unpruned run — and a no-op for routes that cannot prune (GOO itself).
+  bool enable_pruning = true;
+};
+
+/// True when exhaustive DP is feasible for this shape under `policy`:
+/// chains/cycles always are (quadratic subgraph count); anything else must
+/// stay inside the node/degree frontier and, when dense, inside the
+/// stricter dense ceiling (csg-cmp pairs grow like 3^n on cliques).
+bool ExactDpFeasible(const GraphShape& shape, const DispatchPolicy& policy);
+
+/// One enumerator's claim on a query during adaptive dispatch: the highest
+/// finite preference wins. A default-constructed bid (-inf) means "never
+/// auto-route to me" — the enumerator stays selectable by name.
+struct DispatchBid {
+  double preference = -std::numeric_limits<double>::infinity();
+  const char* reason = "no bid";
+
+  bool Valid() const {
+    return preference > -std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Everything one optimization needs, bundled so sessions, services, and
+/// tools hand a single value through the stack. `graph`, `estimator`, and
+/// `cost_model` must outlive the call and be non-null.
+struct OptimizationRequest {
+  const Hypergraph* graph = nullptr;
+  const CardinalityEstimator* estimator = nullptr;
+  const CostModel* cost_model = nullptr;
+  OptimizerOptions options;
+
+  /// Session-level fields (ignored by Enumerator::Run itself):
+  /// enumerator to use, by registry name (case-insensitive); empty means
+  /// adaptive dispatch over the registry.
+  std::string enumerator;
+  /// Wall-clock budget for the exact attempt; <= 0 means unbounded. When an
+  /// exact enumerator exceeds it the session aborts the run and transparently
+  /// serves the GOO fallback (stats.aborted records the event).
+  double deadline_ms = 0.0;
+  DispatchPolicy policy;
+};
+
+/// Abstract enumeration strategy. Implementations are stateless — all
+/// per-run state lives in the OptimizerContext/OptimizerWorkspace — so one
+/// registered instance serves concurrent runs.
+class Enumerator {
+ public:
+  virtual ~Enumerator() = default;
+
+  /// Registry name (a static string, e.g. "DPhyp"). Lookup is
+  /// case-insensitive.
+  virtual const char* Name() const = 0;
+
+  /// True when this strategy can optimize `graph` at all (e.g. DPccp
+  /// refuses complex hyperedges). Dispatch and sessions check this before
+  /// Run; running an un-handled graph returns a failed result.
+  virtual bool CanHandle(const Hypergraph& graph) const = 0;
+
+  /// True for exhaustive strategies whose plan is optimal under the cost
+  /// model; false for heuristics (GOO). The agreement test suite sweeps
+  /// exact registry entries, so a new exact enumerator is verified against
+  /// DPhyp by registering it.
+  virtual bool Exact() const { return true; }
+
+  /// Adaptive-dispatch claim for a query of this shape. The default never
+  /// bids: an enumerator that is registered but not routed (DPsize, the
+  /// top-down pair) remains selectable by name.
+  virtual DispatchBid Bid(const GraphShape& shape,
+                          const DispatchPolicy& policy) const {
+    (void)shape;
+    (void)policy;
+    return {};
+  }
+
+  /// Runs the strategy on `workspace` (table, neighborhood memo, GOO
+  /// scratch all come from there; the result *borrows* the workspace's
+  /// table and stays valid until the workspace's next run). Honours
+  /// request.options including the cancellation token — on a fired token
+  /// exact strategies return an aborted result (stats.aborted).
+  virtual OptimizeResult Run(const OptimizationRequest& request,
+                             OptimizerWorkspace& workspace) const = 0;
+
+  /// Convenience for one-shot callers: runs on a private workspace and
+  /// returns a self-contained result (owned table), the lifetime contract
+  /// of the original free functions.
+  OptimizeResult Optimize(const Hypergraph& graph,
+                          const CardinalityEstimator& est,
+                          const CostModel& cost_model,
+                          const OptimizerOptions& options = {}) const;
+};
+
+/// The global enumerator registry. The seven built-in strategies are
+/// registered on first access; tests and extensions may Register/Unregister
+/// additional ones at runtime. Thread-safe.
+class EnumeratorRegistry {
+ public:
+  /// The process-wide registry, with built-ins already registered.
+  static EnumeratorRegistry& Global();
+
+  /// Registers `enumerator` under its Name(). A later registration with an
+  /// existing name replaces the earlier one (last wins) — the mechanism
+  /// tests use to shadow a built-in with a stub.
+  void Register(std::unique_ptr<Enumerator> enumerator);
+
+  /// Removes the enumerator named `name`; true when something was removed.
+  bool Unregister(std::string_view name);
+
+  /// Case-insensitive lookup; structured error listing the registered
+  /// names when `name` is unknown.
+  Result<const Enumerator*> Find(std::string_view name) const;
+  const Enumerator* FindOrNull(std::string_view name) const;
+
+  /// Snapshot of the registered enumerators, in registration order.
+  /// Entries stay valid until Unregister/Register-replace; callers holding
+  /// a snapshot across registration changes (tests only) must re-list.
+  std::vector<const Enumerator*> All() const;
+
+ private:
+  EnumeratorRegistry();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Registry-driven one-shot optimization: resolves `name` (structured error
+/// on unknown names or graphs the enumerator cannot handle) and runs it.
+/// With a workspace the result borrows its table (valid until the
+/// workspace's next run); without one it is self-contained.
+Result<OptimizeResult> OptimizeByName(std::string_view name,
+                                      const Hypergraph& graph,
+                                      const CardinalityEstimator& est,
+                                      const CostModel& cost_model,
+                                      const OptimizerOptions& options = {},
+                                      OptimizerWorkspace* workspace = nullptr);
+
+/// Convenience overload with default estimator and cost model.
+Result<OptimizeResult> OptimizeByName(std::string_view name,
+                                      const Hypergraph& graph);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_CORE_ENUMERATOR_H_

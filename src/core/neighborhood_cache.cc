@@ -1,5 +1,6 @@
 #include "core/neighborhood_cache.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/check.h"
@@ -13,6 +14,24 @@ NeighborhoodCache::NeighborhoodCache(const Hypergraph& graph)
   slots_.assign(capacity, 0);
   mask_ = capacity - 1;
   entries_.reserve(expected);
+}
+
+void NeighborhoodCache::Reset(const Hypergraph& graph) {
+  graph_ = &graph;
+  entries_.clear();
+  candidate_pool_.clear();
+  const size_t expected = static_cast<size_t>(graph.NumNodes()) * 8;
+  const size_t wanted = std::bit_ceil(expected * 2 + 16);
+  // Same retention policy as DpTable::Reset: re-zero in place unless the
+  // slot array is grossly oversized for this graph.
+  if (slots_.size() < wanted || slots_.size() > wanted * 8) {
+    slots_.assign(wanted, 0);
+  } else {
+    std::fill(slots_.begin(), slots_.end(), 0);
+  }
+  mask_ = slots_.size() - 1;
+  hits_ = 0;
+  misses_ = 0;
 }
 
 const NeighborhoodCache::Entry& NeighborhoodCache::Lookup(NodeSet S) {

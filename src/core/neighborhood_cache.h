@@ -35,6 +35,11 @@ class NeighborhoodCache {
   /// The paper's N(S, X); equals graph.Neighborhood(S, X).
   NodeSet Neighborhood(NodeSet S, NodeSet X);
 
+  /// Rebinds the cache to `graph` and empties it while retaining its memory
+  /// (entry/slot/pool capacity), so a workspace-pooled cache runs
+  /// allocation-free in the steady state.
+  void Reset(const Hypergraph& graph);
+
   /// Distinct node sets memoized so far.
   size_t size() const { return entries_.size(); }
   uint64_t hits() const { return hits_; }

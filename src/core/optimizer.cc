@@ -1,8 +1,10 @@
 #include "core/optimizer.h"
 
 #include <cmath>
+#include <utility>
 
 #include "baselines/goo.h"
+#include "core/workspace.h"
 #include "util/check.h"
 
 namespace dphyp {
@@ -10,13 +12,22 @@ namespace dphyp {
 OptimizerContext::OptimizerContext(const Hypergraph& graph,
                                    const CardinalityEstimator& est,
                                    const CostModel& cost_model,
-                                   const OptimizerOptions& options)
+                                   const OptimizerOptions& options,
+                                   DpTable* borrowed_table)
     : graph_(&graph),
       est_(&est),
       cost_model_(&cost_model),
       tes_(options.tes_constraints),
-      table_(static_cast<size_t>(graph.NumNodes()) * 8),
+      cancel_(options.cancellation),
       all_nodes_(graph.AllNodes()) {
+  const size_t expected = static_cast<size_t>(graph.NumNodes()) * 8;
+  if (borrowed_table != nullptr) {
+    borrowed_table->Reset(expected);
+    table_ = borrowed_table;
+  } else {
+    owned_table_ = std::make_unique<DpTable>(expected);
+    table_ = owned_table_.get();
+  }
   if (tes_ != nullptr) {
     DPHYP_CHECK_MSG(static_cast<int>(tes_->size()) == graph.NumEdges(),
                     "TES constraint list must cover every edge");
@@ -28,7 +39,10 @@ OptimizerContext::OptimizerContext(const Hypergraph& graph,
       // Seed the incumbent from the greedy baseline: one GOO pass is
       // O(n^2) estimator calls — negligible against the exponential
       // enumeration it bounds — and its plan cost is a valid upper bound
-      // on the optimum under any cost model.
+      // on the optimum under any cost model. (Workspace-aware entry points
+      // resolve the seed *before* constructing the context — see
+      // ResolvePruningSeed — so this fallback only runs for direct
+      // constructions, on a private table.)
       bound_ = GooCostUpperBound(graph, est, cost_model, options);
     }
     stats_.initial_upper_bound = bound_;
@@ -40,9 +54,24 @@ OptimizerContext::OptimizerContext(const Hypergraph& graph,
   }
 }
 
+OptimizerOptions ResolvePruningSeed(const Hypergraph& graph,
+                                    const CardinalityEstimator& est,
+                                    const CostModel& cost_model,
+                                    const OptimizerOptions& options,
+                                    OptimizerWorkspace* ws) {
+  if (!options.enable_pruning || !cost_model.SupportsPruning() ||
+      std::isfinite(options.initial_upper_bound)) {
+    return options;
+  }
+  OptimizerOptions resolved = options;
+  resolved.initial_upper_bound =
+      GooCostUpperBound(graph, est, cost_model, options, ws);
+  return resolved;
+}
+
 void OptimizerContext::InitLeaves() {
   for (int v = 0; v < graph_->NumNodes(); ++v) {
-    PlanEntry* entry = table_.Insert(NodeSet::Single(v));
+    PlanEntry* entry = table_->Insert(NodeSet::Single(v));
     entry->cost = 0.0;
     entry->cardinality = graph_->node(v).cardinality;
     entry->edge_id = -1;
@@ -50,6 +79,7 @@ void OptimizerContext::InitLeaves() {
 }
 
 void OptimizerContext::EmitCsgCmp(NodeSet S1, NodeSet S2) {
+  Tick();
   ++stats_.ccp_pairs;
   const PlanEntry* left = nullptr;
   const PlanEntry* right = nullptr;
@@ -58,11 +88,12 @@ void OptimizerContext::EmitCsgCmp(NodeSet S1, NodeSet S2) {
   const bool inserted = TryOrientation(S1, S2, left, right, target);
   // The first orientation may have created the combined class; a stale
   // null hint would make the second orientation insert a duplicate.
-  if (inserted && target == nullptr) target = table_.Find(S1 | S2);
+  if (inserted && target == nullptr) target = table_->Find(S1 | S2);
   TryOrientation(S2, S1, right, left, target);
 }
 
 void OptimizerContext::EmitOrdered(NodeSet S1, NodeSet S2) {
+  Tick();
   ++stats_.ccp_pairs;
   const PlanEntry* left = nullptr;
   const PlanEntry* right = nullptr;
@@ -81,8 +112,8 @@ bool OptimizerContext::PruneCandidatePair(NodeSet S1, NodeSet S2,
   // first-strictly-better update rule in TryOrientation makes the pruned
   // run's surviving table entries — and the final plan cost — bit-identical
   // to the unpruned run (tests/test_pruning.cc).
-  const PlanEntry* left = table_.Find(S1);
-  const PlanEntry* right = table_.Find(S2);
+  const PlanEntry* left = table_->Find(S1);
+  const PlanEntry* right = table_->Find(S2);
   // A side with no table entry was itself pruned away (every construction
   // exceeded the bound — DPccp emits pairs without consulting the table, so
   // this does occur); any plan on top of it is above the bound too.
@@ -110,7 +141,7 @@ bool OptimizerContext::PruneCandidatePair(NodeSet S1, NodeSet S2,
   // construction that cannot cost less than the class's incumbent plan can
   // be skipped outright. `>=` matches the strict-< update rule — a tie
   // would not have replaced the incumbent either.
-  PlanEntry* target = table_.Find(S1 | S2);
+  PlanEntry* target = table_->Find(S1 | S2);
   if (target != nullptr &&
       cost_model_->CandidateLowerBound(l, r, target->cardinality) >=
           target->cost) {
@@ -197,15 +228,15 @@ bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right,
     }
   }
 
-  if (left_entry == nullptr) left_entry = table_.Find(left);
-  if (right_entry == nullptr) right_entry = table_.Find(right);
+  if (left_entry == nullptr) left_entry = table_->Find(left);
+  if (right_entry == nullptr) right_entry = table_->Find(right);
   DPHYP_DCHECK(left_entry != nullptr && right_entry != nullptr);
   const PlanSide left_side{left_entry->cost, left_entry->cardinality};
   const PlanSide right_side{right_entry->cost, right_entry->cardinality};
 
   const NodeSet combined = left | right;
   PlanEntry* target =
-      target_hint != nullptr ? target_hint : table_.Find(combined);
+      target_hint != nullptr ? target_hint : table_->Find(combined);
   const double out_card =
       target != nullptr ? target->cardinality : est_->Estimate(combined);
 
@@ -226,7 +257,7 @@ bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right,
   }
 
   if (target == nullptr) {
-    target = table_.Insert(combined);
+    target = table_->Insert(combined);
     target->cardinality = out_card;
     target->cost = std::numeric_limits<double>::infinity();
   }
@@ -250,10 +281,10 @@ OptimizeResult OptimizerContext::Finish(NodeSet root) {
   // once, here, so every algorithm path — all of which exit through
   // Finish() — reports consistent numbers. The DCHECK pins the invariant
   // the accounting rests on: the footprint covers at least the live entries.
-  stats_.dp_entries = table_.size();
-  stats_.table_bytes = table_.MemoryBytes();
+  stats_.dp_entries = table_->size();
+  stats_.table_bytes = table_->MemoryBytes();
   DPHYP_DCHECK(stats_.table_bytes >= stats_.dp_entries * sizeof(PlanEntry));
-  const PlanEntry* best = table_.Find(root);
+  const PlanEntry* best = table_->Find(root);
   if (best == nullptr) {
     result.success = false;
     result.error =
@@ -264,7 +295,27 @@ OptimizeResult OptimizerContext::Finish(NodeSet root) {
     result.cost = best->cost;
     result.cardinality = best->cardinality;
   }
-  result.table = std::move(table_);
+  if (owned_table_ != nullptr) {
+    result.AdoptTable(std::move(*owned_table_));
+  } else {
+    result.BorrowTable(table_);
+  }
+  result.stats = stats_;
+  return result;
+}
+
+OptimizeResult OptimizerContext::FinishAborted(const char* algorithm) {
+  stats_.aborted = true;
+  stats_.algorithm = algorithm;
+  stats_.aborted_algorithm = algorithm;
+  OptimizeResult result = Finish(graph_->AllNodes());
+  // Finish may have found a (partial-search) full plan; an aborted run must
+  // not be served as one — the search was cut short, so optimality claims
+  // and agreement guarantees are void.
+  result.success = false;
+  result.error = std::string("optimization aborted: deadline/cancellation "
+                             "fired during ") +
+                 algorithm;
   result.stats = stats_;
   return result;
 }

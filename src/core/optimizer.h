@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,9 +18,13 @@
 #include "hypergraph/hypergraph.h"
 #include "plan/dp_table.h"
 #include "plan/plan_tree.h"
+#include "util/cancellation.h"
+#include "util/check.h"
 #include "util/node_set.h"
 
 namespace dphyp {
+
+class OptimizerWorkspace;
 
 /// Per-edge validity constraint for the generate-and-test TES mode: the
 /// operator's TES split into its left/right parts (Sec. 5.5/5.7). In this
@@ -62,23 +67,83 @@ struct OptimizerStats {
   uint64_t dp_entries = 0;
   /// Approximate DP table footprint in bytes (Sec. 3.6).
   uint64_t table_bytes = 0;
+  /// Name of the enumerator that produced this result (a static string;
+  /// "" for results assembled outside the registry, e.g. hand-built ones).
+  const char* algorithm = "";
+  /// True when an exact enumeration hit its deadline / cancellation token.
+  /// On a session result the remaining counters then describe the GOO
+  /// fallback run that actually produced the served plan.
+  bool aborted = false;
+  /// The enumerator that was aborted (set together with `aborted`).
+  const char* aborted_algorithm = "";
+  /// Wall-clock milliseconds from the session's start until the abort was
+  /// detected — the deadline-compliance metric (poll granularity keeps it
+  /// within a few hundred emits of the budget). Zero when nothing aborted.
+  double abort_latency_ms = 0.0;
 };
 
-/// Outcome of one optimization run. The DP table is kept so callers can
-/// extract plan trees or inspect plan classes.
+/// Thrown by OptimizerContext::Tick when the run's cancellation token has
+/// fired; caught by the Optimize* entry points, which convert it into an
+/// aborted OptimizeResult. Never escapes the optimizer API.
+struct EnumerationAborted {};
+
+/// Outcome of one optimization run.
+///
+/// The DP table backing ExtractPlan is either *borrowed* from the
+/// OptimizerWorkspace the run used (valid until that workspace starts its
+/// next run) or *owned* by the result (detached / rehydrated; valid for the
+/// result's lifetime). Runs without a workspace — the legacy free-function
+/// path — always own their table, so existing call sites keep their
+/// lifetime behavior; workspace runs borrow, which is what lets a pooled
+/// workspace serve steady-state traffic without per-query table churn.
 struct OptimizeResult {
   bool success = false;
   std::string error;
   double cost = 0.0;
   double cardinality = 0.0;
   NodeSet root_set;
-  DpTable table{64};
   OptimizerStats stats;
 
-  /// Materializes the chosen plan. Requires success.
-  PlanTree ExtractPlan(const Hypergraph& graph) const {
-    return ExtractPlanTree(graph, table, root_set);
+  bool has_table() const { return borrowed_ != nullptr || owned_ != nullptr; }
+  bool owns_table() const { return owned_ != nullptr; }
+
+  /// The DP table of the run (borrowed or owned). Callers that keep the
+  /// result past the workspace's next run must DetachTable-style own it.
+  const DpTable& table() const {
+    DPHYP_CHECK_MSG(has_table(),
+                    "OptimizeResult has no DP table (failed run or table "
+                    "dropped)");
+    return borrowed_ != nullptr ? *borrowed_ : *owned_;
   }
+
+  /// Points the result at a table owned elsewhere (workspace runs).
+  void BorrowTable(const DpTable* table) {
+    borrowed_ = table;
+    owned_.reset();
+  }
+
+  /// Takes ownership of `table` (detached from a workspace or rebuilt from
+  /// a serialized plan).
+  void AdoptTable(DpTable table) {
+    owned_ = std::make_unique<DpTable>(std::move(table));
+    borrowed_ = nullptr;
+  }
+
+  /// Severs the result from any table (e.g. before storing a failed result
+  /// beyond the workspace's lease). ExtractPlan becomes invalid.
+  void DropTable() {
+    borrowed_ = nullptr;
+    owned_.reset();
+  }
+
+  /// Materializes the chosen plan. Requires success (and a live table).
+  PlanTree ExtractPlan(const Hypergraph& graph) const {
+    return ExtractPlanTree(graph, table(), root_set);
+  }
+
+ private:
+  const DpTable* borrowed_ = nullptr;
+  std::unique_ptr<DpTable> owned_;
 };
 
 /// Options shared by all algorithms.
@@ -101,16 +166,35 @@ struct OptimizerOptions {
   /// callers that already hold a valid plan cost (e.g. the plan service on
   /// a near-identical query) may pass it here to start tighter.
   double initial_upper_bound = std::numeric_limits<double>::infinity();
+
+  /// Deadline / cancellation for this run, polled every
+  /// kCancellationPollPeriod candidate pairs (OptimizerContext::Tick). When
+  /// it fires, the exact enumerators return an aborted result
+  /// (stats.aborted); OptimizationSession then falls back to GOO, which
+  /// strips this field — the polynomial fallback must always complete.
+  /// Null disables polling entirely.
+  const CancellationToken* cancellation = nullptr;
 };
+
+/// How many candidate pairs are processed between cancellation polls. At
+/// typical combine-step costs (sub-microsecond) this bounds deadline
+/// overshoot to well under a tenth of a millisecond.
+inline constexpr uint64_t kCancellationPollPeriod = 256;
 
 /// Mutable state threaded through one optimization run.
 class OptimizerContext {
  public:
+  /// `borrowed_table` routes the run onto an externally owned DP table (an
+  /// OptimizerWorkspace slot), which is Reset for this graph; Finish then
+  /// returns a result *borrowing* that table. With the default null, the
+  /// context allocates a private table and Finish moves it into the result
+  /// (the legacy self-contained behavior).
   OptimizerContext(const Hypergraph& graph, const CardinalityEstimator& est,
-                   const CostModel& cost_model, const OptimizerOptions& options);
+                   const CostModel& cost_model, const OptimizerOptions& options,
+                   DpTable* borrowed_table = nullptr);
 
   const Hypergraph& graph() const { return *graph_; }
-  DpTable& table() { return table_; }
+  DpTable& table() { return *table_; }
   OptimizerStats& stats() { return stats_; }
 
   /// Inserts the single-relation access plans (first loop of Solve).
@@ -124,8 +208,25 @@ class OptimizerContext {
   /// arrives separately from the size loop).
   void EmitOrdered(NodeSet S1, NodeSet S2);
 
+  /// Cancellation poll, amortized behind a counter: checks the token every
+  /// kCancellationPollPeriod calls and throws EnumerationAborted when it
+  /// has fired. The combine steps call it on every candidate pair;
+  /// enumerators whose outer loops can spin many iterations *without*
+  /// emitting (DPsize/DPsub/TD* failing the (*) tests) call it per tested
+  /// pair as well, so a deadline binds even on emit-starved shapes.
+  void Tick() {
+    if (cancel_ == nullptr) return;
+    if (++ticks_ % kCancellationPollPeriod != 0) return;
+    if (cancel_->StopRequested()) throw EnumerationAborted{};
+  }
+
   /// Packages the final result for the class `root`.
   OptimizeResult Finish(NodeSet root);
+
+  /// Packages an aborted run: success=false, stats.aborted set, and the
+  /// partial table attached the same way Finish would (callers usually
+  /// discard it and re-run GOO on the same workspace).
+  OptimizeResult FinishAborted(const char* algorithm);
 
   /// True when branch-and-bound pruning is active for this run.
   bool pruning() const { return pruning_; }
@@ -163,8 +264,13 @@ class OptimizerContext {
   const CardinalityEstimator* est_;
   const CostModel* cost_model_;
   const std::vector<TesConstraint>* tes_;
-  DpTable table_;
+  /// The run's DP table: either `owned_table_` (legacy self-contained runs)
+  /// or a workspace slot the caller lent us.
+  std::unique_ptr<DpTable> owned_table_;
+  DpTable* table_;
   OptimizerStats stats_;
+  const CancellationToken* cancel_ = nullptr;
+  uint64_t ticks_ = 0;
   /// Branch-and-bound state: active flag, incumbent, and the full node set
   /// whose completed plans tighten the incumbent.
   bool pruning_ = false;
@@ -174,6 +280,35 @@ class OptimizerContext {
   double completion_ = 0.0;
   NodeSet all_nodes_;
 };
+
+/// Implementation helper shared by the enumerator entry points: runs
+/// `solve()` inside the cancellation guard, converting a fired token into
+/// an aborted result, and stamps the algorithm name on whatever comes out.
+template <typename Solve>
+OptimizeResult RunGuarded(const char* algorithm, OptimizerContext& ctx,
+                          NodeSet root, Solve&& solve) {
+  try {
+    solve();
+  } catch (const EnumerationAborted&) {
+    return ctx.FinishAborted(algorithm);
+  }
+  OptimizeResult result = ctx.Finish(root);
+  result.stats.algorithm = algorithm;
+  return result;
+}
+
+/// Resolves the branch-and-bound seed before a run: when `options` request
+/// pruning under a monotone cost model but carry no finite incumbent, runs
+/// GOO over the same graph (on `ws`'s seed slot when given, so pooled
+/// serving stays allocation-free) and returns options with
+/// initial_upper_bound filled in. Otherwise returns `options` unchanged.
+/// The Optimize* entry points call this so the seed GOO never competes with
+/// the main run for the workspace's primary table.
+OptimizerOptions ResolvePruningSeed(const Hypergraph& graph,
+                                    const CardinalityEstimator& est,
+                                    const CostModel& cost_model,
+                                    const OptimizerOptions& options,
+                                    OptimizerWorkspace* ws);
 
 }  // namespace dphyp
 

@@ -1,0 +1,181 @@
+// Reusable per-run optimizer state, pooled across queries.
+//
+// Every optimization run needs the same large, short-lived structures: the
+// DP table (arena + slot array), the DPhyp neighborhood memo, a small seed
+// table for the GOO pass that bootstraps branch-and-bound pruning, and
+// GOO's own scratch vectors. Allocating them afresh per query is pure
+// overhead in a serving loop — the shapes repeat, so the capacities
+// converge after a handful of queries. An OptimizerWorkspace owns all of
+// them and Reset()s instead of reallocating (see Arena::Rewind,
+// DpTable::Reset, NeighborhoodCache::Reset), so a pooled workspace serves
+// steady-state traffic with zero large allocations.
+//
+// A workspace is single-threaded state: one optimization run at a time.
+// PlanService keeps a WorkspacePool and leases one workspace per in-flight
+// query; standalone callers can hand one to the Optimize* free functions
+// or let an OptimizationSession own a private one.
+#ifndef DPHYP_CORE_WORKSPACE_H_
+#define DPHYP_CORE_WORKSPACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/neighborhood_cache.h"
+#include "plan/dp_table.h"
+#include "util/node_set.h"
+
+namespace dphyp {
+
+/// GOO's per-run scratch: the component list, the candidate-merge buffer,
+/// and the memo of per-pair join cardinalities. Reused across runs so the
+/// greedy fallback stops allocating once its capacities have converged.
+struct GooScratch {
+  struct Candidate {
+    int i = 0;
+    int j = 0;
+    double out_card = 0.0;
+  };
+  struct PairHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
+      // Same mixing idea as HashNodeSet: multiply-shift over both halves.
+      uint64_t h = p.first * 0x9E3779B97F4A7C15ull;
+      h ^= p.second + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  std::vector<NodeSet> components;
+  std::vector<Candidate> candidates;
+  /// (min bits, max bits) -> estimated join cardinality; NaN marks a
+  /// disconnected pair. unordered_map keeps its bucket array across
+  /// clear(), so reuse at least spares the rehash churn.
+  std::unordered_map<std::pair<uint64_t, uint64_t>, double, PairHash>
+      pair_cardinality;
+
+  void Clear() {
+    components.clear();
+    candidates.clear();
+    pair_cardinality.clear();
+  }
+};
+
+/// Owns every large allocation an optimization run needs. Not thread-safe;
+/// lease one per in-flight query (see WorkspacePool).
+class OptimizerWorkspace {
+ public:
+  OptimizerWorkspace() = default;
+  OptimizerWorkspace(const OptimizerWorkspace&) = delete;
+  OptimizerWorkspace& operator=(const OptimizerWorkspace&) = delete;
+
+  /// The main DP table. OptimizerContext Reset()s it at the start of every
+  /// run, which invalidates all entry pointers from the previous run —
+  /// results borrowed from this workspace are valid only until the next run.
+  DpTable& table() { return table_; }
+
+  /// A second, small table for the GOO pass that seeds the pruning bound:
+  /// it runs *nested inside* an exact run's setup, while `table()` is
+  /// already claimed by the outer OptimizerContext.
+  DpTable& seed_table() { return seed_table_; }
+
+  /// The DPhyp/Sec.-2.3 neighborhood memo, rebound (and emptied, capacity
+  /// retained) to `graph` on every call.
+  NeighborhoodCache& neighborhood(const Hypergraph& graph) {
+    if (nbh_.has_value()) {
+      nbh_->Reset(graph);
+    } else {
+      nbh_.emplace(graph);
+    }
+    return *nbh_;
+  }
+
+  GooScratch& goo() { return goo_; }
+
+  /// Moves the main table out (e.g. to hand a detached, caller-owned table
+  /// to an OptimizeResult that must outlive this workspace) and leaves a
+  /// fresh empty table behind.
+  DpTable DetachTable() {
+    DpTable detached = std::move(table_);
+    table_ = DpTable();
+    return detached;
+  }
+
+  /// Total runs served through this workspace (diagnostics for reuse tests).
+  uint64_t runs() const { return runs_; }
+  void CountRun() { ++runs_; }
+
+ private:
+  DpTable table_{64};
+  DpTable seed_table_{64};
+  std::optional<NeighborhoodCache> nbh_;
+  GooScratch goo_;
+  uint64_t runs_ = 0;
+};
+
+/// A mutex-guarded free list of workspaces. Acquire() pops an idle
+/// workspace (or creates one — the pool grows to the peak concurrency and
+/// then stops allocating); the returned lease gives it back on destruction.
+class WorkspacePool {
+ public:
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, std::unique_ptr<OptimizerWorkspace> ws)
+        : pool_(pool), ws_(std::move(ws)) {}
+    ~Lease() {
+      if (ws_ != nullptr) pool_->Release(std::move(ws_));
+    }
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    OptimizerWorkspace& operator*() { return *ws_; }
+    OptimizerWorkspace* operator->() { return ws_.get(); }
+    OptimizerWorkspace* get() { return ws_.get(); }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<OptimizerWorkspace> ws_;
+  };
+
+  Lease Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!idle_.empty()) {
+        std::unique_ptr<OptimizerWorkspace> ws = std::move(idle_.back());
+        idle_.pop_back();
+        return Lease(this, std::move(ws));
+      }
+      ++created_;
+    }
+    return Lease(this, std::make_unique<OptimizerWorkspace>());
+  }
+
+  /// Workspaces ever created (== peak concurrency once warmed up).
+  size_t created() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return created_;
+  }
+  size_t idle() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_.size();
+  }
+
+ private:
+  void Release(std::unique_ptr<OptimizerWorkspace> ws) {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.push_back(std::move(ws));
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<OptimizerWorkspace>> idle_;
+  size_t created_ = 0;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_CORE_WORKSPACE_H_

@@ -39,6 +39,21 @@ PlanEntry* DpTable::Insert(NodeSet s) {
   return e;
 }
 
+void DpTable::Reset(size_t expected_entries) {
+  arena_.Rewind();
+  order_.clear();
+  const size_t wanted = std::bit_ceil(expected_entries * 2 + 16);
+  // Keep the grown slot array (re-zeroing beats reallocating) unless it is
+  // more than 8x what this run needs — then a huge historical query would
+  // tax every later small one with an oversized memset.
+  if (slots_.size() < wanted || slots_.size() > wanted * 8) {
+    slots_.assign(wanted, 0);
+  } else {
+    std::fill(slots_.begin(), slots_.end(), 0);
+  }
+  mask_ = slots_.size() - 1;
+}
+
 void DpTable::Grow() {
   size_t capacity = slots_.size() * 2;
   slots_.assign(capacity, 0);

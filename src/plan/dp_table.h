@@ -64,6 +64,13 @@ class DpTable {
   /// Inserts a new entry for `s` (must not already exist) and returns it.
   PlanEntry* Insert(NodeSet s);
 
+  /// Empties the table for a fresh run while *retaining* its memory: the
+  /// arena rewinds over its blocks and the slot array is re-zeroed in place
+  /// (shrunk only when grossly oversized for `expected_entries`), so a
+  /// workspace-pooled table serves steady-state traffic allocation-free.
+  /// Every previously returned entry pointer becomes invalid.
+  void Reset(size_t expected_entries);
+
   size_t size() const { return order_.size(); }
   bool empty() const { return order_.empty(); }
 

@@ -1,100 +1,51 @@
 #include "service/dispatch.h"
 
-#include <algorithm>
+#include "core/workspace.h"
+#include "util/check.h"
 
 namespace dphyp {
 
-const char* RouteName(Route route) {
-  switch (route) {
-    case Route::kDphyp:
-      return "DPhyp";
-    case Route::kDpccp:
-      return "DPccp";
-    case Route::kDpsub:
-      return "DPsub";
-    case Route::kGoo:
-      return "GOO";
-  }
-  return "?";
-}
-
 DispatchDecision ChooseRoute(const Hypergraph& graph,
                              const DispatchPolicy& policy) {
-  const int n = graph.NumNodes();
-  if (n <= 2) return {Route::kDpccp, "trivial"};
-
-  bool non_inner = false;
-  for (const Hyperedge& e : graph.edges()) {
-    if (e.op != OpType::kJoin) {
-      non_inner = true;
-      break;
-    }
+  const GraphShape shape = AnalyzeGraphShape(graph);
+  DispatchDecision best;
+  double best_preference = -std::numeric_limits<double>::infinity();
+  for (const Enumerator* e : EnumeratorRegistry::Global().All()) {
+    if (!e->CanHandle(graph)) continue;
+    const DispatchBid bid = e->Bid(shape, policy);
+    if (!bid.Valid() || bid.preference <= best_preference) continue;
+    best_preference = bid.preference;
+    best.enumerator = e;
+    best.reason = bid.reason;
   }
-  const bool generalized = !graph.complex_edge_ids().empty() || non_inner ||
-                           graph.HasDependentLeaves();
-
-  int max_degree = 0;
-  for (int v = 0; v < n; ++v) {
-    max_degree = std::max(max_degree, graph.SimpleNeighbors(v).Count());
-  }
-
-  // Chains and cycles have only O(n^2) connected subgraphs: exact DP is
-  // always feasible, whatever n (<= NodeSet::kMaxNodes).
-  const bool linear_shape = !generalized && max_degree <= 2;
-  if (linear_shape) return {Route::kDpccp, "chain/cycle: quadratic subgraph count"};
-
-  // Feasibility frontier for exhaustive DP: a degree-d hub alone induces
-  // 2^d connected subgraphs, and past the node ceiling even sparse shapes
-  // can blow up the table.
-  const bool exact_feasible =
-      n <= policy.exact_node_limit && max_degree <= policy.max_exact_degree;
-  if (!exact_feasible) {
-    return {Route::kGoo, "past exact-DP feasibility frontier"};
-  }
-
-  // Dense graphs hit the csg-cmp pair wall (~3^n on cliques) long before
-  // the table-entry wall, so they get a stricter ceiling.
-  const double density =
-      static_cast<double>(2 * graph.NumEdges()) / (static_cast<double>(n) * (n - 1));
-  if (density >= policy.min_dense_density && n > policy.dense_node_limit) {
-    return {Route::kGoo, "dense graph: csg-cmp pairs ~3^n"};
-  }
-
-  // Generalized features (hyperedges, non-inner operators, laterals) are
-  // DPhyp's home turf — the other exact enumerators only stay competitive
-  // on plain inner-join graphs.
-  if (generalized) return {Route::kDphyp, "hyperedges/non-inner/lateral"};
-
-  if (n <= policy.dpsub_node_limit && density >= policy.min_dpsub_density) {
-    return {Route::kDpsub, "small dense graph: 2^n loop wins"};
-  }
-  return {Route::kDpccp, "simple inner graph"};
+  // GOO's floor bid handles every shape, so an empty auction means the
+  // registry was stripped below the built-ins — a configuration error.
+  DPHYP_CHECK_MSG(best.enumerator != nullptr,
+                  "no registered enumerator bid on this graph");
+  return best;
 }
 
 OptimizeResult OptimizeAdaptive(const Hypergraph& graph,
                                 const CardinalityEstimator& est,
                                 const CostModel& cost_model,
                                 const DispatchPolicy& policy,
-                                const OptimizerOptions& options) {
-  // Bound-aware routing: exact routes run under a GOO-seeded cost bound
-  // (the seeding happens inside OptimizerContext). The route decision
-  // itself stays shape-only — the bound changes how much of the search
-  // space an exact route visits, never which plan it returns.
+                                const OptimizerOptions& options,
+                                OptimizerWorkspace* workspace) {
+  // Bound-aware routing: exact routes run under a GOO-seeded cost bound.
+  // The route decision itself stays shape-only — the bound changes how much
+  // of the search space an exact route visits, never which plan it returns.
   OptimizerOptions effective = options;
   if (policy.enable_pruning) effective.enable_pruning = true;
-  switch (ChooseRoute(graph, policy).route) {
-    case Route::kDphyp:
-      return OptimizeDphyp(graph, est, cost_model, effective);
-    case Route::kDpccp:
-      return OptimizeDpccp(graph, est, cost_model, effective);
-    case Route::kDpsub:
-      return OptimizeDpsub(graph, est, cost_model, effective);
-    case Route::kGoo:
-      return OptimizeGoo(graph, est, cost_model, effective);
+  const DispatchDecision decision = ChooseRoute(graph, policy);
+  if (workspace != nullptr) {
+    OptimizationRequest request;
+    request.graph = &graph;
+    request.estimator = &est;
+    request.cost_model = &cost_model;
+    request.options = effective;
+    return decision.enumerator->Run(request, *workspace);
   }
-  OptimizeResult result;
-  result.error = "unknown route";
-  return result;
+  return decision.enumerator->Optimize(graph, est, cost_model, effective);
 }
 
 OptimizeResult OptimizeAdaptive(const Hypergraph& graph,

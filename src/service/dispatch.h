@@ -1,72 +1,47 @@
-// Adaptive enumerator dispatch: inspects the hypergraph's shape and routes
-// it to the cheapest algorithm that can handle it exactly — or to the GOO
-// heuristic when exhaustive DP would explode (the Sec. 3.6 table-growth
-// concern). The policy mirrors what production optimizers do: Hyrise
-// switches between EnumerateCcp-based DP and greedy ordering by query size,
-// PostgreSQL falls back to GEQO beyond geqo_threshold.
+// Adaptive enumerator dispatch: inspects the hypergraph's shape once and
+// lets every registered enumerator bid on it (Enumerator::Bid); the highest
+// bid wins. There is no per-algorithm switch anywhere in the dispatch path
+// — adding an enumerator to the system is a registration, after which it is
+// routable, benchable, and testable. The built-in bids mirror what
+// production optimizers do: Hyrise switches between EnumerateCcp-based DP
+// and greedy ordering by query size, PostgreSQL falls back to GEQO beyond
+// geqo_threshold; here GOO is the always-feasible floor bid that wins
+// exactly when every exact enumerator refuses (the Sec. 3.6 table-growth
+// concern).
+//
+// DispatchPolicy (the routing thresholds) lives in core/enumerator.h next
+// to the Bid interface.
 #ifndef DPHYP_SERVICE_DISPATCH_H_
 #define DPHYP_SERVICE_DISPATCH_H_
 
-#include "baselines/all_algorithms.h"
-#include "baselines/goo.h"
+#include "core/enumerator.h"
 
 namespace dphyp {
 
-/// Where a query can be routed.
-enum class Route {
-  kDphyp,  ///< generalized hypergraphs, non-inner operators, laterals
-  kDpccp,  ///< simple inner graphs of moderate subgraph count
-  kDpsub,  ///< small dense simple graphs (the 2^n loop wins on cliques)
-  kGoo,    ///< heuristic fallback past the exact-DP feasibility frontier
-};
-
-inline constexpr int kNumRoutes = 4;
-
-const char* RouteName(Route route);
-
-/// Thresholds steering the routing decision. The defaults keep every exact
-/// route under a few hundred thousand DP entries (see README).
-struct DispatchPolicy {
-  /// Hard node-count ceiling for exhaustive DP on graphs that are not
-  /// chains/cycles (whose subgraph count is only quadratic).
-  int exact_node_limit = 22;
-  /// Exhaustive DP also requires the max simple-edge degree to stay below
-  /// this: a hub of degree d induces >= 2^d connected subgraphs (stars).
-  int max_exact_degree = 16;
-  /// DPsub is chosen for simple graphs up to this size when density is at
-  /// least `min_dpsub_density` (its 2^n loop has tiny constants).
-  int dpsub_node_limit = 12;
-  double min_dpsub_density = 0.8;
-  /// Dense graphs (edge density >= `min_dense_density`) get a stricter node
-  /// ceiling: their csg-cmp pair count grows like 3^n even when the table
-  /// itself (2^n entries) would still fit.
-  int dense_node_limit = 12;
-  double min_dense_density = 0.4;
-  /// Bound-aware routing: when an exact route is chosen, run it with
-  /// accumulated-cost branch-and-bound pruning seeded from a GOO pass over
-  /// the same graph (OptimizerOptions::enable_pruning). Admissible under
-  /// monotone cost models — the served plan cost is bit-identical to the
-  /// unpruned run — and a no-op for routes that cannot prune (GOO itself).
-  bool enable_pruning = true;
-};
-
-/// The routing verdict plus a human-readable justification.
+/// The routing verdict: the winning enumerator plus a human-readable
+/// justification (a static string from the winning bid).
 struct DispatchDecision {
-  Route route = Route::kDphyp;
+  const Enumerator* enumerator = nullptr;
   const char* reason = "";
+
+  const char* Name() const {
+    return enumerator != nullptr ? enumerator->Name() : "?";
+  }
 };
 
-/// Pure shape inspection; does not run anything.
+/// Pure shape inspection + registry auction; does not run anything.
 DispatchDecision ChooseRoute(const Hypergraph& graph,
                              const DispatchPolicy& policy = {});
 
 /// Routes and runs. The returned result is exactly what the routed
-/// algorithm produced.
+/// enumerator produced (self-contained without a workspace; borrowing the
+/// workspace's table with one).
 OptimizeResult OptimizeAdaptive(const Hypergraph& graph,
                                 const CardinalityEstimator& est,
                                 const CostModel& cost_model,
                                 const DispatchPolicy& policy = {},
-                                const OptimizerOptions& options = {});
+                                const OptimizerOptions& options = {},
+                                OptimizerWorkspace* workspace = nullptr);
 
 /// Convenience wrapper with default estimator and cost model.
 OptimizeResult OptimizeAdaptive(const Hypergraph& graph,

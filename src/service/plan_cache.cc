@@ -29,7 +29,7 @@ CachedPlan SerializePlan(const OptimizeResult& result) {
   plan.cost = result.cost;
   plan.cardinality = result.cardinality;
   plan.stats = result.stats;
-  CollectEntries(result.table, result.root_set, &plan.entries);
+  CollectEntries(result.table(), result.root_set, &plan.entries);
   plan.entries.shrink_to_fit();
   return plan;
 }
@@ -44,7 +44,7 @@ OptimizeResult MaterializePlan(const CachedPlan& plan) {
   for (const PlanEntry& entry : plan.entries) {
     *table.Insert(entry.set) = entry;
   }
-  result.table = std::move(table);
+  result.AdoptTable(std::move(table));
   result.stats = plan.stats;
   return result;
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "hypergraph/builder.h"
+#include "service/session.h"
 #include "util/timer.h"
 
 namespace dphyp {
@@ -35,10 +37,11 @@ std::string ServiceStats::ToString() const {
                3);
   out += " p50_ms=" + Fixed(p50_latency_ms, 3);
   out += " p99_ms=" + Fixed(p99_latency_ms, 3);
-  for (int r = 0; r < kNumRoutes; ++r) {
-    out += " ";
-    out += RouteName(static_cast<Route>(r));
-    out += "=" + std::to_string(route_counts[r]);
+  if (deadline_aborts > 0) {
+    out += " deadline_aborts=" + std::to_string(deadline_aborts);
+  }
+  for (const auto& [name, count] : route_counts) {
+    out += " " + name + "=" + std::to_string(count);
   }
   return out;
 }
@@ -112,37 +115,54 @@ ServiceResult PlanService::OptimizeOne(const QuerySpec& spec) {
       out.cost = cached.cost;
       out.cardinality = cached.cardinality;
       out.cache_hit = true;
-      out.route = ChooseRoute(graph, options_.dispatch).route;
+      out.algorithm = cached.stats.algorithm;
       out.latency_ms = timer.ElapsedMillis();
       return out;
     }
   }
-  const DispatchDecision decision = ChooseRoute(graph, options_.dispatch);
-  out.route = decision.route;
-  OptimizeResult result;
-  switch (decision.route) {
-    case Route::kDphyp:
-      result = OptimizeDphyp(graph, est, DefaultCostModel(), {});
-      break;
-    case Route::kDpccp:
-      result = OptimizeDpccp(graph, est, DefaultCostModel(), {});
-      break;
-    case Route::kDpsub:
-      result = OptimizeDpsub(graph, est, DefaultCostModel(), {});
-      break;
-    case Route::kGoo:
-      result = OptimizeGoo(graph, est, DefaultCostModel(), {});
-      break;
+
+  // Miss path: optimize on a pooled workspace through a deadline-aware
+  // session. The session result borrows the workspace's table, so
+  // everything that needs it (serialization) happens before the lease is
+  // released at function end.
+  WorkspacePool::Lease lease = workspaces_.Acquire();
+  OptimizationSession session(lease.get());
+  OptimizationRequest request;
+  request.graph = &graph;
+  request.estimator = &est;
+  request.cost_model = &DefaultCostModel();
+  request.policy = options_.dispatch;
+  request.deadline_ms = options_.deadline_ms;
+  Result<OptimizeResult> optimized = session.Optimize(request);
+  if (!optimized.ok()) {
+    out.error = optimized.error().message;
+    out.latency_ms = timer.ElapsedMillis();
+    return out;
   }
+  OptimizeResult& result = optimized.value();
 
   out.success = result.success;
   out.error = result.error;
   out.cost = result.cost;
   out.cardinality = result.cardinality;
-  if (result.success && cache_enabled_) {
-    cache_.Insert(key, SerializePlan(result));
+  out.algorithm = result.stats.algorithm;
+  if (result.success) {
+    // Rehydrating from the compact serialized plan gives the caller a
+    // durable result (owned table, winning entries only) without tearing
+    // the full-size table out of the pooled workspace.
+    CachedPlan serialized = SerializePlan(result);
+    out.result = MaterializePlan(serialized);
+    // Deadline-aborted fallback plans are timing-dependent — caching one
+    // would pin a heuristic plan for a fingerprint the exact enumerator
+    // usually finishes, and break the cache's "same plan an identical
+    // spec would produce" invariant. Serve it, don't remember it.
+    if (cache_enabled_ && !result.stats.aborted) {
+      cache_.Insert(key, std::move(serialized));
+    }
+  } else {
+    out.result = std::move(result);
+    out.result.DropTable();  // the borrowed table dies with the lease
   }
-  out.result = std::move(result);
   out.latency_ms = timer.ElapsedMillis();
   return out;
 }
@@ -186,8 +206,11 @@ BatchOutcome PlanService::OptimizeBatch(const std::vector<QuerySpec>& specs) {
     if (!r.success) ++stats.failures;
     if (r.cache_hit) ++stats.cache_hits;
     // Only served queries count as routed: a spec that failed hypergraph
-    // construction never reached the dispatcher.
-    if (r.success) ++stats.route_counts[static_cast<int>(r.route)];
+    // construction never reached an enumerator.
+    if (r.success) ++stats.route_counts[r.algorithm];
+    // Only fresh aborts count: a cache hit ran no enumerator (and aborted
+    // plans are not cached anyway — the guard is belt and braces).
+    if (!r.cache_hit && r.result.stats.aborted) ++stats.deadline_aborts;
     latencies.push_back(r.latency_ms);
     stats.max_latency_ms = std::max(stats.max_latency_ms, r.latency_ms);
   }

@@ -1,5 +1,5 @@
 // The plan-serving front end: a fixed thread pool draining a work queue of
-// QuerySpecs through the cache-lookup -> adaptive-dispatch -> cache-fill
+// QuerySpecs through the cache-lookup -> session-optimize -> cache-fill
 // pipeline, returning per-query results plus aggregate service statistics
 // (throughput, cache hit rate, latency percentiles).
 //
@@ -8,6 +8,12 @@
 // so a concurrent batch produces costs bit-identical to a serial run of the
 // same specs, whatever the interleaving; the cache can only substitute a
 // plan that an identical spec would have produced anyway.
+//
+// Steady-state allocation discipline: each in-flight query leases an
+// OptimizerWorkspace from a pool (the pool grows to peak concurrency, then
+// stops allocating), the enumeration runs entirely in the workspace's
+// retained memory, and the served result is rehydrated from the compact
+// serialized plan — so warm-path serving performs no large allocations.
 #ifndef DPHYP_SERVICE_PLAN_SERVICE_H_
 #define DPHYP_SERVICE_PLAN_SERVICE_H_
 
@@ -15,12 +21,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "catalog/query_spec.h"
+#include "core/workspace.h"
 #include "service/dispatch.h"
 #include "service/plan_cache.h"
 
@@ -34,6 +42,11 @@ struct ServiceOptions {
   size_t cache_byte_budget = 8 << 20;
   int cache_shards = 8;
   DispatchPolicy dispatch;
+  /// Per-query optimization deadline in milliseconds; <= 0 means
+  /// unbounded. Queries whose exact enumeration exceeds the budget are
+  /// served the GOO fallback (ServiceResult::result.stats.aborted records
+  /// it) — the tail-latency bound for the Sec. 3.6 explosion risk.
+  double deadline_ms = 0.0;
 };
 
 /// Outcome for one query of a batch.
@@ -42,11 +55,14 @@ struct ServiceResult {
   std::string error;
   double cost = 0.0;
   double cardinality = 0.0;
-  Route route = Route::kDphyp;
+  /// Registry name of the enumerator that produced (or originally
+  /// produced, for cache hits) the served plan.
+  std::string algorithm;
   bool cache_hit = false;
   double latency_ms = 0.0;
-  /// Full optimizer result (rehydrated from the cache on hits); holds the
-  /// DP table needed for ExtractPlan.
+  /// Full optimizer result, rehydrated from the serialized plan (both on
+  /// cache hits and fresh optimizations), so it owns its DP table and
+  /// outlives the pooled workspace; holds what ExtractPlan needs.
   OptimizeResult result;
 };
 
@@ -55,7 +71,11 @@ struct ServiceStats {
   uint64_t queries = 0;
   uint64_t failures = 0;
   uint64_t cache_hits = 0;
-  uint64_t route_counts[kNumRoutes] = {};
+  /// Served queries per enumerator name ("DPhyp", "GOO", ...).
+  std::map<std::string, uint64_t> route_counts;
+  /// Queries whose exact attempt hit the deadline and were served the GOO
+  /// fallback.
+  uint64_t deadline_aborts = 0;
   double wall_ms = 0.0;
   double queries_per_sec = 0.0;
   double p50_latency_ms = 0.0;
@@ -83,7 +103,8 @@ class PlanService {
   PlanService(const PlanService&) = delete;
   PlanService& operator=(const PlanService&) = delete;
 
-  /// Optimizes one spec on the calling thread (cache-integrated).
+  /// Optimizes one spec on the calling thread (cache-integrated, runs on a
+  /// pooled workspace).
   ServiceResult OptimizeOne(const QuerySpec& spec);
 
   /// Runs the whole batch across the worker pool and blocks until done.
@@ -91,6 +112,7 @@ class PlanService {
   BatchOutcome OptimizeBatch(const std::vector<QuerySpec>& specs);
 
   PlanCache& cache() { return cache_; }
+  WorkspacePool& workspaces() { return workspaces_; }
   const ServiceOptions& options() const { return options_; }
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -100,6 +122,7 @@ class PlanService {
   ServiceOptions options_;
   PlanCache cache_;
   bool cache_enabled_ = true;
+  WorkspacePool workspaces_;
 
   std::mutex mu_;
   std::condition_variable work_available_;

@@ -1,0 +1,83 @@
+#include "service/session.h"
+
+#include "baselines/goo.h"
+#include "service/dispatch.h"
+#include "util/cancellation.h"
+#include "util/timer.h"
+
+namespace dphyp {
+
+OptimizationSession::OptimizationSession(OptimizerWorkspace* workspace)
+    : ws_(workspace) {}
+
+OptimizerWorkspace& OptimizationSession::workspace() {
+  if (ws_ != nullptr) return *ws_;
+  if (owned_ == nullptr) owned_ = std::make_unique<OptimizerWorkspace>();
+  return *owned_;
+}
+
+Result<OptimizeResult> OptimizationSession::Optimize(
+    const OptimizationRequest& request) {
+  if (request.graph == nullptr || request.estimator == nullptr ||
+      request.cost_model == nullptr) {
+    return Err("OptimizationRequest requires graph, estimator and cost model");
+  }
+
+  // Resolve the enumerator: explicit name through the registry, otherwise
+  // the shape auction.
+  const Enumerator* enumerator = nullptr;
+  if (!request.enumerator.empty()) {
+    Result<const Enumerator*> found =
+        EnumeratorRegistry::Global().Find(request.enumerator);
+    if (!found.ok()) return found.error();
+    enumerator = found.value();
+    if (!enumerator->CanHandle(*request.graph)) {
+      return Err(std::string(enumerator->Name()) +
+                 " cannot handle this graph (e.g. complex hyperedges)");
+    }
+  } else {
+    enumerator = ChooseRoute(*request.graph, request.policy).enumerator;
+  }
+
+  OptimizationRequest effective = request;
+  if (request.policy.enable_pruning) effective.options.enable_pruning = true;
+
+  // Arm the deadline. The token lives on this frame; enumerators only poll
+  // it inside Run, which completes before we return.
+  CancellationToken token =
+      request.deadline_ms > 0.0
+          ? CancellationToken::AfterMillis(request.deadline_ms)
+          : CancellationToken();
+  if (request.deadline_ms > 0.0) effective.options.cancellation = &token;
+
+  Timer timer;
+  OptimizeResult result = enumerator->Run(effective, workspace());
+  if (!result.stats.aborted) return result;
+
+  // The exact attempt blew its budget: serve the polynomial fallback on
+  // the same workspace (its table Reset discards the partial exact run).
+  // GOO strips the token internally, so the fallback always completes.
+  const double abort_latency_ms = timer.ElapsedMillis();
+  const char* aborted_algorithm = result.stats.aborted_algorithm;
+  effective.options.cancellation = nullptr;
+  OptimizeResult fallback = OptimizeGoo(*request.graph, *request.estimator,
+                                        *request.cost_model, effective.options,
+                                        &workspace());
+  fallback.stats.aborted = true;
+  fallback.stats.aborted_algorithm = aborted_algorithm;
+  fallback.stats.abort_latency_ms = abort_latency_ms;
+  return fallback;
+}
+
+Result<OptimizeResult> OptimizationSession::Optimize(const Hypergraph& graph,
+                                                     double deadline_ms) {
+  CardinalityEstimator est(graph);
+  OptimizationRequest request;
+  request.graph = &graph;
+  request.estimator = &est;
+  request.cost_model = &DefaultCostModel();
+  request.deadline_ms = deadline_ms;
+  return Optimize(request);
+}
+
+}  // namespace dphyp

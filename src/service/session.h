@@ -1,0 +1,68 @@
+// Deadline-aware optimization sessions.
+//
+// An OptimizationSession turns one OptimizationRequest into a served plan
+// with *bounded tail latency*: it resolves the enumerator (by name through
+// the registry, or by the shape auction in service/dispatch.h), arms a
+// CancellationToken for the request's deadline, and — when the exact
+// attempt aborts past its budget — transparently re-runs GOO on the same
+// workspace and serves the heuristic plan, recording the abort in the
+// result's stats. This converts the paper's Sec. 3.6 table-explosion risk
+// from an unbounded stall into a deadline miss of at most one poll period
+// plus a polynomial GOO pass (the same escape hatch PostgreSQL's GEQO
+// threshold provides, but per-request and time-based).
+//
+// The session also owns the workspace story for standalone callers: give it
+// a pooled workspace to serve traffic allocation-free (PlanService does),
+// or let it lazily create a private one that amortizes across the
+// session's lifetime.
+#ifndef DPHYP_SERVICE_SESSION_H_
+#define DPHYP_SERVICE_SESSION_H_
+
+#include <memory>
+
+#include "core/enumerator.h"
+#include "core/workspace.h"
+#include "util/result.h"
+
+namespace dphyp {
+
+class OptimizationSession {
+ public:
+  /// Borrows `workspace` when non-null (the caller keeps ownership — the
+  /// pooled-serving mode); otherwise the session creates a private
+  /// workspace on first use.
+  explicit OptimizationSession(OptimizerWorkspace* workspace = nullptr);
+
+  /// Optimizes one request. Err() covers request-level failures — unknown
+  /// enumerator name, an enumerator that cannot handle the graph, a
+  /// missing graph/estimator/cost model. A returned OptimizeResult may
+  /// still have success=false for optimization-level failures
+  /// (disconnected graphs), exactly like the underlying enumerators.
+  ///
+  /// Deadline semantics (request.deadline_ms > 0): the exact attempt is
+  /// aborted once the budget expires (polled every kCancellationPollPeriod
+  /// candidate pairs) and GOO is re-run without a deadline; the served
+  /// result then carries stats.aborted = true, stats.aborted_algorithm =
+  /// the exact enumerator, and stats.abort_latency_ms = wall time until
+  /// the abort fired — the deadline-compliance metric
+  /// (tests/test_session.cc asserts it stays within 10% of the budget).
+  ///
+  /// The result borrows the session workspace's DP table: it is valid
+  /// until the next Optimize call on this session (or workspace). Callers
+  /// needing durability serialize the plan or detach the table.
+  Result<OptimizeResult> Optimize(const OptimizationRequest& request);
+
+  /// Convenience: adaptive routing with default estimator/cost model.
+  Result<OptimizeResult> Optimize(const Hypergraph& graph,
+                                  double deadline_ms = 0.0);
+
+  OptimizerWorkspace& workspace();
+
+ private:
+  OptimizerWorkspace* ws_;
+  std::unique_ptr<OptimizerWorkspace> owned_;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_SERVICE_SESSION_H_

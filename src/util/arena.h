@@ -3,6 +3,9 @@
 // Join enumeration allocates many small objects with identical lifetime (one
 // optimizer run); an arena makes allocation a pointer bump and deallocation a
 // single free, which is the standard idiom in query-optimizer hot paths.
+// Rewind() additionally retains the allocated blocks between runs, so a
+// pooled OptimizerWorkspace serves its steady state without touching the
+// system allocator at all.
 #ifndef DPHYP_UTIL_ARENA_H_
 #define DPHYP_UTIL_ARENA_H_
 
@@ -58,13 +61,15 @@ class Arena {
     return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
   }
 
-  /// Total bytes handed out (upper bound on live memory). Reproduces the
-  /// Sec. 3.6 memory-requirements accounting.
+  /// Total bytes handed out since construction or the last Rewind (upper
+  /// bound on live memory). Reproduces the Sec. 3.6 memory-requirements
+  /// accounting.
   size_t bytes_used() const { return bytes_used_; }
 
   /// Releases all blocks; previously returned pointers become invalid.
   void Reset() {
     blocks_.clear();
+    next_block_ = 0;
     base_ = 0;
     cursor_ = 0;
     limit_ = 0;
@@ -72,10 +77,36 @@ class Arena {
     bytes_used_ = 0;
   }
 
+  /// Invalidates every previously returned pointer but *retains* the
+  /// allocated blocks: subsequent allocations bump through the retained
+  /// blocks before asking the system allocator for new ones. This is what
+  /// lets a reused workspace serve its steady state allocation-free.
+  void Rewind() {
+    next_block_ = 0;
+    base_ = 0;
+    cursor_ = 0;
+    limit_ = 0;
+    total_before_ = 0;
+    bytes_used_ = 0;
+  }
+
+  /// Bytes resident in retained blocks (>= bytes_used after a Rewind).
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
  private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
   void MoveFrom(Arena& other) {
     block_size_ = other.block_size_;
     blocks_ = std::move(other.blocks_);
+    next_block_ = other.next_block_;
     base_ = other.base_;
     cursor_ = other.cursor_;
     limit_ = other.limit_;
@@ -85,16 +116,31 @@ class Arena {
   }
 
   void NewBlock(size_t min_size) {
-    size_t size = min_size > block_size_ ? min_size : block_size_;
-    blocks_.push_back(std::make_unique<char[]>(size));
     total_before_ += cursor_;
-    base_ = reinterpret_cast<uintptr_t>(blocks_.back().get());
+    // After a Rewind, reuse retained blocks in order; a block too small for
+    // this request is skipped (it stays available for later cycles).
+    while (next_block_ < blocks_.size()) {
+      Block& b = blocks_[next_block_++];
+      if (b.size >= min_size) {
+        base_ = reinterpret_cast<uintptr_t>(b.data.get());
+        cursor_ = 0;
+        limit_ = b.size;
+        return;
+      }
+    }
+    size_t size = min_size > block_size_ ? min_size : block_size_;
+    blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+    next_block_ = blocks_.size();
+    base_ = reinterpret_cast<uintptr_t>(blocks_.back().data.get());
     cursor_ = 0;
     limit_ = size;
   }
 
   size_t block_size_;
-  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::vector<Block> blocks_;
+  /// Blocks [0, next_block_) have been (re)entered since the last Rewind;
+  /// the bump cursor lives in blocks_[next_block_ - 1].
+  size_t next_block_ = 0;
   uintptr_t base_ = 0;
   size_t cursor_ = 0;
   size_t limit_ = 0;

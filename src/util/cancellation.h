@@ -1,0 +1,69 @@
+// Deadline + cancellation token for bounding optimization latency.
+//
+// Exhaustive join enumeration is worst-case exponential (the Sec. 3.6
+// table-explosion risk), so a serving system must be able to abandon an
+// exact run that blows past its budget and fall back to a polynomial
+// heuristic. The token is the cheap, shared signal: enumeration loops poll
+// it every few hundred candidate pairs (see OptimizerContext::Tick), which
+// keeps the poll overhead unmeasurable while bounding how far past the
+// deadline a run can drift to a few microseconds of enumeration work.
+#ifndef DPHYP_UTIL_CANCELLATION_H_
+#define DPHYP_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace dphyp {
+
+/// A stop signal combining an optional wall-clock deadline with an optional
+/// manual cancellation flag. Default-constructed tokens never fire.
+///
+/// Thread-safety: RequestStop/StopRequested may race freely (the flag is
+/// atomic; the deadline is immutable after construction). The token must
+/// outlive every optimization run polling it.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// A token that fires `ms` milliseconds from now (and when RequestStop is
+  /// called, whichever comes first). Non-positive budgets fire immediately.
+  static CancellationToken AfterMillis(double ms) {
+    CancellationToken token;
+    token.has_deadline_ = true;
+    token.deadline_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    return token;
+  }
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+  CancellationToken(CancellationToken&& other) noexcept
+      : stop_(other.stop_.load(std::memory_order_relaxed)),
+        has_deadline_(other.has_deadline_),
+        deadline_(other.deadline_) {}
+
+  /// Manual cancellation (e.g. a client disconnect); sticky.
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// True once the deadline passed or RequestStop was called. This reads a
+  /// relaxed atomic and, when armed, the steady clock — cheap enough to
+  /// call every few hundred emits but not every emit; OptimizerContext
+  /// amortizes it behind a counter.
+  bool StopRequested() const {
+    if (stop_.load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+ private:
+  std::atomic<bool> stop_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_UTIL_CANCELLATION_H_

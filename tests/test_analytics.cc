@@ -5,13 +5,16 @@
 
 #include <gtest/gtest.h>
 
-#include "baselines/all_algorithms.h"
+#include "core/enumerator.h"
 #include "hypergraph/builder.h"
+#include "core/dphyp.h"
 #include "plan/validate.h"
 #include "test_helpers.h"
 
 namespace dphyp {
 namespace {
+
+using testing_helpers::OptimizeNamed;
 
 using testing_helpers::BruteForceOptimizer;
 using testing_helpers::CostsClose;
@@ -24,7 +27,7 @@ TEST_P(AnalyticsWorkload, SpecValidates) {
 
 TEST_P(AnalyticsWorkload, DphypSolvesAndPlanValidates) {
   Hypergraph g = BuildHypergraphOrDie(GetParam().spec);
-  OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+  OptimizeResult r = OptimizeNamed("DPhyp", g);
   ASSERT_TRUE(r.success) << r.error;
   PlanTree plan = r.ExtractPlan(g);
   Result<bool> valid = ValidatePlanTree(g, plan);
@@ -35,14 +38,12 @@ TEST_P(AnalyticsWorkload, AllAlgorithmsAgree) {
   Hypergraph g = BuildHypergraphOrDie(GetParam().spec);
   CardinalityEstimator est(g);
   OptimizeResult reference =
-      Optimize(Algorithm::kDphyp, g, est, DefaultCostModel());
+      OptimizeNamed("DPhyp", g, est, DefaultCostModel());
   ASSERT_TRUE(reference.success);
-  for (Algorithm algo :
-       {Algorithm::kDpsize, Algorithm::kDpsub, Algorithm::kTdBasic,
-        Algorithm::kTdPartition}) {
-    OptimizeResult r = Optimize(algo, g, est, DefaultCostModel());
-    ASSERT_TRUE(r.success) << AlgorithmName(algo);
-    EXPECT_TRUE(CostsClose(r.cost, reference.cost)) << AlgorithmName(algo);
+  for (const char* algo : {"DPsize", "DPsub", "TDbasic", "TDpartition"}) {
+    OptimizeResult r = OptimizeNamed(algo, g, est, DefaultCostModel());
+    ASSERT_TRUE(r.success) << algo;
+    EXPECT_TRUE(CostsClose(r.cost, reference.cost)) << algo;
   }
 }
 
@@ -68,7 +69,7 @@ TEST_P(AnalyticsWorkload, FactTableJoinsLate) {
   // Sanity on plan quality: with a 6M-row fact table and tiny dimensions,
   // C_out must be far below the fact-first worst case.
   Hypergraph g = BuildHypergraphOrDie(GetParam().spec);
-  OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+  OptimizeResult r = OptimizeNamed("DPhyp", g);
   ASSERT_TRUE(r.success);
   EXPECT_LT(r.cost, 1e13) << "optimal plan unexpectedly expensive";
 }

@@ -3,7 +3,11 @@
 // Sec. 4.4 claim that DPhyp degenerates to DPccp on regular graphs.
 #include <gtest/gtest.h>
 
-#include "baselines/all_algorithms.h"
+#include <string>
+#include <tuple>
+
+#include "baselines/dpccp.h"
+#include "core/enumerator.h"
 #include "hypergraph/builder.h"
 #include "test_helpers.h"
 #include "workload/generators.h"
@@ -13,9 +17,10 @@ namespace {
 
 using testing_helpers::BruteForceOptimizer;
 using testing_helpers::CostsClose;
+using testing_helpers::OptimizeNamed;
 
 class BaselineOptimality
-    : public ::testing::TestWithParam<std::tuple<Algorithm, int>> {};
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
 
 TEST_P(BaselineOptimality, MatchesBruteForceOnRandomGraphs) {
   auto [algo, seed] = GetParam();
@@ -23,25 +28,23 @@ TEST_P(BaselineOptimality, MatchesBruteForceOnRandomGraphs) {
   Hypergraph g = BuildHypergraphOrDie(spec);
   CardinalityEstimator est(g);
   BruteForceOptimizer brute(g, est, DefaultCostModel());
-  OptimizeResult r = Optimize(algo, g, est, DefaultCostModel());
-  ASSERT_TRUE(r.success) << AlgorithmName(algo) << ": " << r.error;
-  EXPECT_TRUE(CostsClose(r.cost, brute.BestCost(g.AllNodes())))
-      << AlgorithmName(algo);
+  OptimizeResult r = OptimizeNamed(algo, g, est, DefaultCostModel());
+  ASSERT_TRUE(r.success) << algo << ": " << r.error;
+  EXPECT_TRUE(CostsClose(r.cost, brute.BestCost(g.AllNodes()))) << algo;
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AlgoSeeds, BaselineOptimality,
-    ::testing::Combine(::testing::Values(Algorithm::kDpsize, Algorithm::kDpsub,
-                                         Algorithm::kDpccp, Algorithm::kTdBasic,
-                                         Algorithm::kTdPartition),
+    ::testing::Combine(::testing::Values("DPsize", "DPsub", "DPccp",
+                                         "TDbasic", "TDpartition"),
                        ::testing::Range(1, 9)),
-    [](const ::testing::TestParamInfo<std::tuple<Algorithm, int>>& info) {
-      return std::string(AlgorithmName(std::get<0>(info.param))) + "_seed" +
+    [](const ::testing::TestParamInfo<std::tuple<const char*, int>>& info) {
+      return std::string(std::get<0>(info.param)) + "_seed" +
              std::to_string(std::get<1>(info.param));
     });
 
 class HyperBaselineOptimality
-    : public ::testing::TestWithParam<std::tuple<Algorithm, int>> {};
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
 
 TEST_P(HyperBaselineOptimality, MatchesBruteForceOnHypergraphs) {
   auto [algo, seed] = GetParam();
@@ -49,28 +52,32 @@ TEST_P(HyperBaselineOptimality, MatchesBruteForceOnHypergraphs) {
   Hypergraph g = BuildHypergraphOrDie(spec);
   CardinalityEstimator est(g);
   BruteForceOptimizer brute(g, est, DefaultCostModel());
-  OptimizeResult r = Optimize(algo, g, est, DefaultCostModel());
-  ASSERT_TRUE(r.success) << AlgorithmName(algo) << ": " << r.error;
-  EXPECT_TRUE(CostsClose(r.cost, brute.BestCost(g.AllNodes())))
-      << AlgorithmName(algo);
+  OptimizeResult r = OptimizeNamed(algo, g, est, DefaultCostModel());
+  ASSERT_TRUE(r.success) << algo << ": " << r.error;
+  EXPECT_TRUE(CostsClose(r.cost, brute.BestCost(g.AllNodes()))) << algo;
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AlgoSeeds, HyperBaselineOptimality,
-    ::testing::Combine(::testing::Values(Algorithm::kDpsize, Algorithm::kDpsub,
-                                         Algorithm::kTdBasic,
-                                         Algorithm::kTdPartition),
+    ::testing::Combine(::testing::Values("DPsize", "DPsub", "TDbasic",
+                                         "TDpartition"),
                        ::testing::Range(1, 9)),
-    [](const ::testing::TestParamInfo<std::tuple<Algorithm, int>>& info) {
-      return std::string(AlgorithmName(std::get<0>(info.param))) + "_seed" +
+    [](const ::testing::TestParamInfo<std::tuple<const char*, int>>& info) {
+      return std::string(std::get<0>(info.param)) + "_seed" +
              std::to_string(std::get<1>(info.param));
     });
 
 TEST(Dpccp, RejectsHypergraphs) {
   Hypergraph g = BuildHypergraphOrDie(MakeCycleHypergraphQuery(8, 0));
-  OptimizeResult r = Optimize(Algorithm::kDpccp, g);
-  EXPECT_FALSE(r.success);
-  EXPECT_NE(r.error.find("simple"), std::string::npos);
+  // The registry refuses up front (CanHandle), with a structured error.
+  Result<OptimizeResult> r = OptimizeByName("DPccp", g);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("cannot handle"), std::string::npos);
+  // The legacy free function still fails cleanly for direct callers.
+  CardinalityEstimator est(g);
+  OptimizeResult direct = OptimizeDpccp(g, est, DefaultCostModel());
+  EXPECT_FALSE(direct.success);
+  EXPECT_NE(direct.error.find("simple"), std::string::npos);
 }
 
 TEST(Dpccp, DphypDegeneratesToDpccpOnRegularGraphs) {
@@ -79,8 +86,8 @@ TEST(Dpccp, DphypDegeneratesToDpccpOnRegularGraphs) {
   for (uint64_t seed = 1; seed <= 8; ++seed) {
     QuerySpec spec = MakeRandomGraphQuery(8, 0.3, seed);
     Hypergraph g = BuildHypergraphOrDie(spec);
-    OptimizeResult hyp = Optimize(Algorithm::kDphyp, g);
-    OptimizeResult ccp = Optimize(Algorithm::kDpccp, g);
+    OptimizeResult hyp = OptimizeNamed("DPhyp", g);
+    OptimizeResult ccp = OptimizeNamed("DPccp", g);
     ASSERT_TRUE(hyp.success && ccp.success);
     EXPECT_EQ(hyp.stats.ccp_pairs, ccp.stats.ccp_pairs) << seed;
     EXPECT_EQ(hyp.stats.dp_entries, ccp.stats.dp_entries) << seed;
@@ -94,7 +101,7 @@ TEST(TdBasic, MemoizesFailedSets) {
   Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(10));
   CardinalityEstimator est(g);
   BruteForceOptimizer brute(g, est, DefaultCostModel());
-  OptimizeResult r = Optimize(Algorithm::kTdBasic, g, est, DefaultCostModel());
+  OptimizeResult r = OptimizeNamed("TDbasic", g, est, DefaultCostModel());
   ASSERT_TRUE(r.success);
   EXPECT_TRUE(CostsClose(r.cost, brute.BestCost(g.AllNodes())));
 }
@@ -103,8 +110,8 @@ TEST(TdPartition, AvoidsMostFailingTests) {
   // The point of graph-aware top-down partitioning: far fewer candidate
   // tests than the naive 2^|S| split enumeration of TDbasic.
   Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(12));
-  OptimizeResult basic = Optimize(Algorithm::kTdBasic, g);
-  OptimizeResult part = Optimize(Algorithm::kTdPartition, g);
+  OptimizeResult basic = OptimizeNamed("TDbasic", g);
+  OptimizeResult part = OptimizeNamed("TDpartition", g);
   ASSERT_TRUE(basic.success && part.success);
   EXPECT_TRUE(CostsClose(basic.cost, part.cost));
   EXPECT_LT(part.stats.pairs_tested, basic.stats.pairs_tested / 10)
@@ -116,8 +123,8 @@ TEST(Dpsize, HandlesHyperedgesViaConnectivityTest) {
   // Sec. 4.1: DPsize needs no structural changes for hypergraphs, only a
   // hyperedge-aware (*) test.
   Hypergraph g = BuildHypergraphOrDie(MakeStarHypergraphQuery(8, 1));
-  OptimizeResult size = Optimize(Algorithm::kDpsize, g);
-  OptimizeResult hyp = Optimize(Algorithm::kDphyp, g);
+  OptimizeResult size = OptimizeNamed("DPsize", g);
+  OptimizeResult hyp = OptimizeNamed("DPhyp", g);
   ASSERT_TRUE(size.success && hyp.success);
   EXPECT_TRUE(CostsClose(size.cost, hyp.cost));
 }

@@ -5,13 +5,16 @@
 // work.
 #include <gtest/gtest.h>
 
-#include "baselines/all_algorithms.h"
+#include "core/enumerator.h"
 #include "hypergraph/builder.h"
+#include "test_helpers.h"
 #include "hypergraph/connectivity.h"
 #include "workload/generators.h"
 
 namespace dphyp {
 namespace {
+
+using testing_helpers::OptimizeNamed;
 
 struct GraphCase {
   std::string name;
@@ -41,14 +44,14 @@ class CcpLowerBound : public ::testing::TestWithParam<GraphCase> {};
 
 TEST_P(CcpLowerBound, DphypEmitsExactlyTheCsgCmpPairs) {
   Hypergraph g = BuildHypergraphOrDie(GetParam().spec);
-  OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+  OptimizeResult r = OptimizeNamed("DPhyp", g);
   ASSERT_TRUE(r.success) << r.error;
   EXPECT_EQ(r.stats.ccp_pairs, CountCsgCmpPairs(g));
 }
 
 TEST_P(CcpLowerBound, DphypTableHoldsExactlyTheCsgs) {
   Hypergraph g = BuildHypergraphOrDie(GetParam().spec);
-  OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+  OptimizeResult r = OptimizeNamed("DPhyp", g);
   ASSERT_TRUE(r.success);
   EXPECT_EQ(r.stats.dp_entries, CountConnectedSubgraphs(g));
 }
@@ -58,13 +61,13 @@ TEST_P(CcpLowerBound, BaselinesReachTheSameTableButTestMore) {
   const uint64_t ccp = CountCsgCmpPairs(g);
   const uint64_t csg = CountConnectedSubgraphs(g);
 
-  OptimizeResult sub = Optimize(Algorithm::kDpsub, g);
+  OptimizeResult sub = OptimizeNamed("DPsub", g);
   ASSERT_TRUE(sub.success);
   EXPECT_EQ(sub.stats.dp_entries, csg);
   EXPECT_EQ(sub.stats.ccp_pairs, ccp);  // DPsub submits each split once
   EXPECT_GE(sub.stats.pairs_tested, ccp);
 
-  OptimizeResult size = Optimize(Algorithm::kDpsize, g);
+  OptimizeResult size = OptimizeNamed("DPsize", g);
   ASSERT_TRUE(size.success);
   EXPECT_EQ(size.stats.dp_entries, csg);
   // DPsize submits ordered pairs: 2x the unordered count.
@@ -83,8 +86,8 @@ TEST(Counting, DpsizeFailureRatioGrowsOnStars) {
   // star, tested pairs grow much faster than kept pairs.
   Hypergraph small = BuildHypergraphOrDie(MakeStarQuery(5));
   Hypergraph large = BuildHypergraphOrDie(MakeStarQuery(9));
-  OptimizeResult rs = Optimize(Algorithm::kDpsize, small);
-  OptimizeResult rl = Optimize(Algorithm::kDpsize, large);
+  OptimizeResult rs = OptimizeNamed("DPsize", small);
+  OptimizeResult rl = OptimizeNamed("DPsize", large);
   ASSERT_TRUE(rs.success && rl.success);
   double ratio_small =
       static_cast<double>(rs.stats.pairs_tested) / rs.stats.ccp_pairs;
@@ -97,7 +100,7 @@ TEST(Counting, DphypNeverDiscardsWithoutTesMode) {
   for (uint64_t seed = 1; seed <= 10; ++seed) {
     Hypergraph g =
         BuildHypergraphOrDie(MakeRandomHypergraphQuery(7, 2, seed));
-    OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+    OptimizeResult r = OptimizeNamed("DPhyp", g);
     ASSERT_TRUE(r.success);
     EXPECT_EQ(r.stats.discarded, 0u) << seed;
   }
@@ -105,11 +108,11 @@ TEST(Counting, DphypNeverDiscardsWithoutTesMode) {
 
 TEST(Counting, MemoryAccountingPopulated) {
   Hypergraph g = BuildHypergraphOrDie(MakeCycleHypergraphQuery(8, 1));
-  OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+  OptimizeResult r = OptimizeNamed("DPhyp", g);
   ASSERT_TRUE(r.success);
   EXPECT_GT(r.stats.table_bytes, 0u);
   // Sec. 3.6: memory ~ one entry per connected subgraph; all variants agree.
-  OptimizeResult r2 = Optimize(Algorithm::kDpsub, g);
+  OptimizeResult r2 = OptimizeNamed("DPsub", g);
   EXPECT_EQ(r.stats.dp_entries, r2.stats.dp_entries);
 }
 
@@ -117,16 +120,20 @@ TEST(Counting, MemoryAccountingExactOnEveryAlgorithmPath) {
   // Simple cycle: every algorithm (including the simple-graph-only DPccp)
   // can run it.
   Hypergraph g = BuildHypergraphOrDie(MakeCycleQuery(8));
-  for (Algorithm algo : kAllAlgorithms) {
-    OptimizeResult r = Optimize(algo, g);
-    ASSERT_TRUE(r.success) << AlgorithmName(algo);
+  CardinalityEstimator est(g);
+  // Registry sweep (exact + heuristic): every algorithm path exits through
+  // Finish(), so the accounting must hold for all of them.
+  for (const Enumerator* e : EnumeratorRegistry::Global().All()) {
+    const char* algo = e->Name();
+    OptimizeResult r = e->Optimize(g, est, DefaultCostModel());
+    ASSERT_TRUE(r.success) << algo;
     // table_bytes is sampled from the actual DpTable at Finish() time: it
     // must match the footprint of the table the result carries and cover at
     // least the live entries.
-    EXPECT_EQ(r.stats.table_bytes, r.table.MemoryBytes()) << AlgorithmName(algo);
-    EXPECT_EQ(r.stats.dp_entries, r.table.size()) << AlgorithmName(algo);
+    EXPECT_EQ(r.stats.table_bytes, r.table().MemoryBytes()) << algo;
+    EXPECT_EQ(r.stats.dp_entries, r.table().size()) << algo;
     EXPECT_GE(r.stats.table_bytes, r.stats.dp_entries * sizeof(PlanEntry))
-        << AlgorithmName(algo);
+        << algo;
   }
 }
 

@@ -80,7 +80,7 @@ TEST(Dphyp, Figure2TableContainsOnlyConnectedSets) {
   OptimizeResult r = OptimizeDphyp(g);
   ASSERT_TRUE(r.success);
   ConnectivityTester tester(g);
-  for (const PlanEntry* e : r.table.entries()) {
+  for (const PlanEntry* e : r.table().entries()) {
     EXPECT_TRUE(tester.IsConnected(e->set)) << e->set.ToString();
   }
   EXPECT_EQ(r.stats.dp_entries, CountConnectedSubgraphs(g));

@@ -8,7 +8,7 @@
 //     counting identity: pairs == |distinct pairs| == lower bound).
 #include <gtest/gtest.h>
 
-#include "baselines/all_algorithms.h"
+#include "core/enumerator.h"
 #include "hypergraph/builder.h"
 #include "hypergraph/connectivity.h"
 #include "plan/validate.h"
@@ -17,6 +17,8 @@
 
 namespace dphyp {
 namespace {
+
+using testing_helpers::OptimizeNamed;
 
 using testing_helpers::CostsClose;
 
@@ -35,7 +37,7 @@ TEST_P(FuzzSweep, AllInvariantsHold) {
   Hypergraph g = BuildHypergraphOrDie(spec);
   CardinalityEstimator est(g);
 
-  OptimizeResult reference = Optimize(Algorithm::kDphyp, g, est,
+  OptimizeResult reference = OptimizeNamed("DPhyp", g, est,
                                       DefaultCostModel());
   ASSERT_TRUE(reference.success) << reference.error;
 
@@ -51,15 +53,14 @@ TEST_P(FuzzSweep, AllInvariantsHold) {
   EXPECT_DOUBLE_EQ(plan.root()->cost, reference.cost);
 
   // Cross-algorithm agreement.
-  for (Algorithm algo : {Algorithm::kDpsize, Algorithm::kDpsub,
-                         Algorithm::kTdBasic, Algorithm::kTdPartition}) {
-    OptimizeResult r = Optimize(algo, g, est, DefaultCostModel());
-    ASSERT_TRUE(r.success) << AlgorithmName(algo);
-    EXPECT_TRUE(CostsClose(r.cost, reference.cost)) << AlgorithmName(algo);
+  for (const char* algo : {"DPsize", "DPsub", "TDbasic", "TDpartition"}) {
+    OptimizeResult r = OptimizeNamed(algo, g, est, DefaultCostModel());
+    ASSERT_TRUE(r.success) << algo;
+    EXPECT_TRUE(CostsClose(r.cost, reference.cost)) << algo;
     EXPECT_EQ(r.stats.dp_entries, reference.stats.dp_entries)
-        << AlgorithmName(algo);
+        << algo;
     EXPECT_DOUBLE_EQ(r.cardinality, reference.cardinality)
-        << AlgorithmName(algo);
+        << algo;
   }
 }
 
@@ -98,10 +99,10 @@ TEST(FuzzSweep, LargeQuerySmoke) {
                            0.01);
   spec.FillDefaultPayloads();
   Hypergraph g = BuildHypergraphOrDie(spec);
-  OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+  OptimizeResult r = OptimizeNamed("DPhyp", g);
   ASSERT_TRUE(r.success);
   EXPECT_EQ(r.stats.dp_entries,
-            Optimize(Algorithm::kTdPartition, g).stats.dp_entries);
+            OptimizeNamed("TDpartition", g).stats.dp_entries);
 }
 
 }  // namespace

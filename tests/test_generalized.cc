@@ -4,15 +4,18 @@
 // variants agree.
 #include <gtest/gtest.h>
 
-#include "baselines/all_algorithms.h"
+#include "core/enumerator.h"
 #include "hypergraph/builder.h"
 #include "hypergraph/connectivity.h"
+#include "core/dphyp.h"
 #include "test_helpers.h"
 #include "util/rng.h"
 #include "workload/generators.h"
 
 namespace dphyp {
 namespace {
+
+using testing_helpers::OptimizeNamed;
 
 using testing_helpers::BruteForceOptimizer;
 using testing_helpers::CostsClose;
@@ -56,7 +59,7 @@ TEST_P(GeneralizedEdges, DphypEmitsExactlyTheCcps) {
   const uint64_t seed = GetParam();
   QuerySpec spec = MakeRandomGeneralizedQuery(7, 2, seed);
   Hypergraph g = BuildHypergraphOrDie(spec);
-  OptimizeResult r = Optimize(Algorithm::kDphyp, g);
+  OptimizeResult r = OptimizeNamed("DPhyp", g);
   ASSERT_TRUE(r.success);
   EXPECT_EQ(r.stats.ccp_pairs, CountCsgCmpPairs(g));
   EXPECT_EQ(r.stats.dp_entries, CountConnectedSubgraphs(g));
@@ -67,16 +70,15 @@ TEST_P(GeneralizedEdges, AllAlgorithmsAgree) {
   QuerySpec spec = MakeRandomGeneralizedQuery(7, 2, seed);
   Hypergraph g = BuildHypergraphOrDie(spec);
   CardinalityEstimator est(g);
-  OptimizeResult reference = Optimize(Algorithm::kDphyp, g, est,
+  OptimizeResult reference = OptimizeNamed("DPhyp", g, est,
                                       DefaultCostModel());
   ASSERT_TRUE(reference.success);
-  for (Algorithm algo : {Algorithm::kDpsize, Algorithm::kDpsub,
-                         Algorithm::kTdBasic}) {
-    OptimizeResult r = Optimize(algo, g, est, DefaultCostModel());
-    ASSERT_TRUE(r.success) << AlgorithmName(algo);
-    EXPECT_TRUE(CostsClose(r.cost, reference.cost)) << AlgorithmName(algo);
+  for (const char* algo : {"DPsize", "DPsub", "TDbasic"}) {
+    OptimizeResult r = OptimizeNamed(algo, g, est, DefaultCostModel());
+    ASSERT_TRUE(r.success) << algo;
+    EXPECT_TRUE(CostsClose(r.cost, reference.cost)) << algo;
     EXPECT_EQ(r.stats.dp_entries, reference.stats.dp_entries)
-        << AlgorithmName(algo);
+        << algo;
   }
 }
 

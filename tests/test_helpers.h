@@ -5,8 +5,11 @@
 
 #include <cmath>
 #include <limits>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 
+#include "core/enumerator.h"
 #include "cost/cardinality.h"
 #include "cost/cost_model.h"
 #include "hypergraph/hypergraph.h"
@@ -15,6 +18,20 @@
 
 namespace dphyp {
 namespace testing_helpers {
+
+/// Registry-based optimization for tests that select enumerators by name;
+/// dies (via Result's CHECK) on unknown names — a test bug, not a case.
+inline OptimizeResult OptimizeNamed(std::string_view algo, const Hypergraph& g,
+                                    const CardinalityEstimator& est,
+                                    const CostModel& model,
+                                    const OptimizerOptions& options = {}) {
+  return std::move(OptimizeByName(algo, g, est, model, options)).value();
+}
+
+inline OptimizeResult OptimizeNamed(std::string_view algo,
+                                    const Hypergraph& g) {
+  return std::move(OptimizeByName(algo, g)).value();
+}
 
 /// Plain memoized recursion over all set splits; deliberately written
 /// independently of the library's enumeration machinery (no DP table, no

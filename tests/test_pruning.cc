@@ -7,16 +7,21 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
 #include <vector>
 
-#include "baselines/all_algorithms.h"
+#include "core/enumerator.h"
+#include "test_helpers.h"
 #include "baselines/goo.h"
 #include "hypergraph/builder.h"
+#include "core/dphyp.h"
 #include "service/dispatch.h"
 #include "workload/generators.h"
 
 namespace dphyp {
 namespace {
+
+using testing_helpers::OptimizeNamed;
 
 struct PruningCase {
   std::string name;
@@ -66,24 +71,25 @@ TEST_P(PrunedMatchesUnpruned, BitIdenticalCosts) {
   OptimizerOptions pruned_options;
   pruned_options.enable_pruning = true;
 
-  for (Algorithm algo :
-       {Algorithm::kDphyp, Algorithm::kDpccp, Algorithm::kDpsub}) {
-    if (algo == Algorithm::kDpccp && !g.complex_edge_ids().empty()) continue;
-    OptimizeResult unpruned = Optimize(algo, g, est, DefaultCostModel());
+  for (const char* algo : {"DPhyp", "DPccp", "DPsub"}) {
+    if (std::string_view(algo) == "DPccp" && !g.complex_edge_ids().empty()) {
+      continue;
+    }
+    OptimizeResult unpruned = OptimizeNamed(algo, g, est, DefaultCostModel());
     OptimizeResult pruned =
-        Optimize(algo, g, est, DefaultCostModel(), pruned_options);
-    ASSERT_TRUE(unpruned.success) << AlgorithmName(algo) << unpruned.error;
-    ASSERT_TRUE(pruned.success) << AlgorithmName(algo) << pruned.error;
+        OptimizeNamed(algo, g, est, DefaultCostModel(), pruned_options);
+    ASSERT_TRUE(unpruned.success) << algo << unpruned.error;
+    ASSERT_TRUE(pruned.success) << algo << pruned.error;
     // Bit-identical, not merely close: admissible pruning must leave the
     // winning plan's cost chain untouched.
-    EXPECT_EQ(pruned.cost, unpruned.cost) << AlgorithmName(algo);
-    EXPECT_EQ(pruned.cardinality, unpruned.cardinality) << AlgorithmName(algo);
+    EXPECT_EQ(pruned.cost, unpruned.cost) << algo;
+    EXPECT_EQ(pruned.cardinality, unpruned.cardinality) << algo;
     // Pruning can only remove table entries, never add them.
     EXPECT_LE(pruned.stats.dp_entries, unpruned.stats.dp_entries)
-        << AlgorithmName(algo);
+        << algo;
     // The pruned table must still materialize a plan for the root.
     PlanTree tree = pruned.ExtractPlan(g);
-    EXPECT_EQ(tree.root()->set, g.AllNodes()) << AlgorithmName(algo);
+    EXPECT_EQ(tree.root()->set, g.AllNodes()) << algo;
   }
 }
 

@@ -7,16 +7,20 @@
 // and the dependent-conversion rule all at once.
 #include <gtest/gtest.h>
 
-#include "baselines/all_algorithms.h"
+#include "core/enumerator.h"
 #include "exec/executor.h"
 #include "hypergraph/builder.h"
 #include "plan/validate.h"
 #include "reorder/ses_tes.h"
+#include "baselines/dpsize.h"
+#include "core/dphyp.h"
 #include "test_helpers.h"
 #include "workload/optree_gen.h"
 
 namespace dphyp {
 namespace {
+
+using testing_helpers::OptimizeNamed;
 
 using testing_helpers::CostsClose;
 
@@ -51,19 +55,18 @@ TEST_P(ReorderSemantics, OptimizedPlansMatchOriginalTree) {
   ExecResult expected = exec.Execute(reference);
 
   // Hypernode mode with several algorithms.
-  for (Algorithm algo :
-       {Algorithm::kDphyp, Algorithm::kDpsize, Algorithm::kDpsub}) {
-    OptimizeResult r = Optimize(algo, dq.graph, est, model);
-    ASSERT_TRUE(r.success) << AlgorithmName(algo) << ": " << r.error;
+  for (const char* algo : {"DPhyp", "DPsize", "DPsub"}) {
+    OptimizeResult r = OptimizeNamed(algo, dq.graph, est, model);
+    ASSERT_TRUE(r.success) << algo << ": " << r.error;
     EXPECT_LE(r.cost, reference.root()->cost * (1 + 1e-9))
-        << AlgorithmName(algo) << " found a worse plan than the input tree";
+        << algo << " found a worse plan than the input tree";
     PlanTree plan = r.ExtractPlan(dq.graph);
     Result<bool> structurally_valid = ValidatePlanTree(dq.graph, plan);
     EXPECT_TRUE(structurally_valid.ok())
-        << AlgorithmName(algo) << ": " << structurally_valid.error().message;
+        << algo << ": " << structurally_valid.error().message;
     ExecResult actual = exec.Execute(plan);
     EXPECT_TRUE(actual.SameAs(expected))
-        << AlgorithmName(algo) << " changed the query result!\noriginal:  "
+        << algo << " changed the query result!\noriginal:  "
         << tree.ToString() << "\noptimized: " << plan.ToAlgebraString(dq.graph);
   }
 

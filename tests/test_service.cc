@@ -11,6 +11,7 @@
 #include "hypergraph/builder.h"
 #include "plan/validate.h"
 #include "service/dispatch.h"
+#include "core/dphyp.h"
 #include "service/fingerprint.h"
 #include "service/plan_cache.h"
 #include "workload/generators.h"
@@ -235,22 +236,23 @@ TEST(PlanCache, LruKeepsRecentlyTouchedEntries) {
 
 TEST(Dispatch, RoutesByShape) {
   // Chains/cycles stay exact at any size: quadratic subgraph count.
-  EXPECT_EQ(ChooseRoute(BuildHypergraphOrDie(MakeChainQuery(40))).route,
-            Route::kDpccp);
-  EXPECT_EQ(ChooseRoute(BuildHypergraphOrDie(MakeCycleQuery(32))).route,
-            Route::kDpccp);
+  EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeChainQuery(40))).Name(),
+               "DPccp");
+  EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeCycleQuery(32))).Name(),
+               "DPccp");
   // Small dense graphs go to DPsub; big cliques to GOO.
-  EXPECT_EQ(ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(10))).route,
-            Route::kDpsub);
-  EXPECT_EQ(ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(30))).route,
-            Route::kGoo);
+  EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(10))).Name(),
+               "DPsub");
+  EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(30))).Name(),
+               "GOO");
   // Hyperedges are DPhyp's home turf (when exact is feasible at all).
-  EXPECT_EQ(
-      ChooseRoute(BuildHypergraphOrDie(MakeCycleHypergraphQuery(12, 2))).route,
-      Route::kDphyp);
+  EXPECT_STREQ(
+      ChooseRoute(BuildHypergraphOrDie(MakeCycleHypergraphQuery(12, 2)))
+          .Name(),
+      "DPhyp");
   // Big stars blow past the degree frontier.
-  EXPECT_EQ(ChooseRoute(BuildHypergraphOrDie(MakeStarQuery(24))).route,
-            Route::kGoo);
+  EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeStarQuery(24))).Name(),
+               "GOO");
 }
 
 TEST(Dispatch, AdaptiveProducesValidPlansEverywhere) {
@@ -300,7 +302,8 @@ TEST(PlanService, ConcurrentBatchMatchesSerialBitIdentically) {
     EXPECT_EQ(serial_out.results[i].cardinality,
               conc_out.results[i].cardinality)
         << i;
-    EXPECT_EQ(serial_out.results[i].route, conc_out.results[i].route) << i;
+    EXPECT_EQ(serial_out.results[i].algorithm, conc_out.results[i].algorithm)
+        << i;
   }
   EXPECT_EQ(serial_out.stats.failures, 0u);
   EXPECT_EQ(conc_out.stats.failures, 0u);
@@ -341,10 +344,10 @@ TEST(PlanService, ServesMixedTrafficIncludingGooFallback) {
   PlanService service(opts);
   BatchOutcome out = service.OptimizeBatch(traffic);
   EXPECT_EQ(out.stats.failures, 0u);
-  uint64_t exact = out.stats.route_counts[static_cast<int>(Route::kDpccp)] +
-                   out.stats.route_counts[static_cast<int>(Route::kDphyp)] +
-                   out.stats.route_counts[static_cast<int>(Route::kDpsub)];
-  uint64_t goo = out.stats.route_counts[static_cast<int>(Route::kGoo)];
+  uint64_t exact = out.stats.route_counts["DPccp"] +
+                   out.stats.route_counts["DPhyp"] +
+                   out.stats.route_counts["DPsub"];
+  uint64_t goo = out.stats.route_counts["GOO"];
   // Traffic this size must exercise both exact DP and the fallback.
   EXPECT_GT(exact, 0u);
   EXPECT_GT(goo, 0u);
@@ -365,7 +368,7 @@ TEST(PlanService, StatsAreCoherent) {
   EXPECT_LE(out.stats.p50_latency_ms, out.stats.p99_latency_ms);
   EXPECT_LE(out.stats.p99_latency_ms, out.stats.max_latency_ms * 1.0001);
   uint64_t routed = 0;
-  for (int r = 0; r < kNumRoutes; ++r) routed += out.stats.route_counts[r];
+  for (const auto& [name, count] : out.stats.route_counts) routed += count;
   EXPECT_EQ(routed, out.stats.queries);
   EXPECT_FALSE(out.stats.ToString().empty());
 }

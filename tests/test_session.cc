@@ -1,0 +1,354 @@
+// The api_redesign surface: the Enumerator registry (stub registration +
+// registry-driven routing), OptimizerWorkspace reuse (bit-identical costs,
+// no cross-query leakage), and deadline-aware OptimizationSessions (abort +
+// GOO fallback with bounded overshoot).
+#include "service/session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/goo.h"
+#include "core/dphyp.h"
+#include "core/enumerator.h"
+#include "core/workspace.h"
+#include "hypergraph/builder.h"
+#include "plan/validate.h"
+#include "service/dispatch.h"
+#include "service/plan_service.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(EnumeratorRegistry, BuiltInsAreRegistered) {
+  auto& registry = EnumeratorRegistry::Global();
+  for (const char* name : {"DPhyp", "DPccp", "DPsub", "DPsize", "TDbasic",
+                           "TDpartition", "GOO"}) {
+    EXPECT_NE(registry.FindOrNull(name), nullptr) << name;
+  }
+  EXPECT_GE(registry.All().size(), 7u);
+}
+
+TEST(EnumeratorRegistry, LookupIsCaseInsensitive) {
+  auto& registry = EnumeratorRegistry::Global();
+  EXPECT_EQ(registry.FindOrNull("dphyp"), registry.FindOrNull("DPhyp"));
+  EXPECT_EQ(registry.FindOrNull("TDPARTITION"),
+            registry.FindOrNull("TDpartition"));
+}
+
+TEST(EnumeratorRegistry, UnknownNameIsAStructuredError) {
+  Result<const Enumerator*> found =
+      EnumeratorRegistry::Global().Find("definitely-not-registered");
+  ASSERT_FALSE(found.ok());
+  EXPECT_NE(found.error().message.find("unknown enumerator"),
+            std::string::npos);
+  // The error lists what *is* registered, for discoverability.
+  EXPECT_NE(found.error().message.find("DPhyp"), std::string::npos);
+}
+
+TEST(OptimizeByName, UnknownNameIsAStructuredError) {
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(4));
+  Result<OptimizeResult> r = OptimizeByName("nope", g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("unknown enumerator"), std::string::npos);
+}
+
+// A stub strategy that outbids everything on one specific shape (3-node
+// chains) and otherwise never bids. Its Run delegates to GOO and restamps
+// the algorithm name, so the result is a real, valid plan.
+class StubEnumerator : public Enumerator {
+ public:
+  const char* Name() const override { return "StubEnum"; }
+  bool CanHandle(const Hypergraph&) const override { return true; }
+  bool Exact() const override { return false; }
+  DispatchBid Bid(const GraphShape& shape,
+                  const DispatchPolicy&) const override {
+    if (shape.num_nodes == 3 && shape.num_edges == 2) {
+      return {1e9, "stub claims 3-node chains"};
+    }
+    return {};
+  }
+  OptimizeResult Run(const OptimizationRequest& request,
+                     OptimizerWorkspace& workspace) const override {
+    OptimizeResult r = OptimizeGoo(*request.graph, *request.estimator,
+                                   *request.cost_model, request.options,
+                                   &workspace);
+    r.stats.algorithm = "StubEnum";
+    return r;
+  }
+};
+
+TEST(EnumeratorRegistry, RegisteredStubIsRoutedWithoutAnyDispatchChange) {
+  // The api_redesign acceptance test: adding an enumerator requires only a
+  // registration — ChooseRoute/OptimizeAdaptive contain no per-algorithm
+  // switch to extend.
+  EnumeratorRegistry::Global().Register(std::make_unique<StubEnumerator>());
+
+  Hypergraph chain3 = BuildHypergraphOrDie(MakeChainQuery(3));
+  DispatchDecision decision = ChooseRoute(chain3);
+  EXPECT_STREQ(decision.Name(), "StubEnum");
+  EXPECT_STREQ(decision.reason, "stub claims 3-node chains");
+
+  OptimizeResult routed = OptimizeAdaptive(chain3);
+  ASSERT_TRUE(routed.success);
+  EXPECT_STREQ(routed.stats.algorithm, "StubEnum");
+
+  // Sessions resolve it by (case-insensitive) name too.
+  OptimizationSession session;
+  Hypergraph other = BuildHypergraphOrDie(MakeChainQuery(5));
+  OptimizationRequest request;
+  CardinalityEstimator est(other);
+  request.graph = &other;
+  request.estimator = &est;
+  request.cost_model = &DefaultCostModel();
+  request.enumerator = "stubenum";
+  Result<OptimizeResult> by_name = session.Optimize(request);
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_STREQ(by_name.value().stats.algorithm, "StubEnum");
+
+  // Other shapes stay on the built-in routes while the stub is registered.
+  EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeChainQuery(12))).Name(),
+               "DPccp");
+
+  ASSERT_TRUE(EnumeratorRegistry::Global().Unregister("StubEnum"));
+  EXPECT_STREQ(ChooseRoute(chain3).Name(), "DPccp");
+}
+
+// --- Workspace reuse --------------------------------------------------------
+
+std::vector<QuerySpec> MixedTraffic(int count) {
+  TrafficMixOptions mix;
+  mix.seed = 4242;
+  mix.min_relations = 4;
+  mix.max_relations = 12;
+  mix.clique_max_relations = 9;
+  mix.distinct_templates = 25;  // many distinct shapes back to back
+  return GenerateTrafficMix(count, mix);
+}
+
+TEST(WorkspaceReuse, HundredMixedQueriesBitIdenticalToFreshWorkspaces) {
+  // One pooled workspace serves 100 mixed-shape queries; every cost,
+  // cardinality and table size must be bit-identical to a fresh-workspace
+  // run of the same query — any deviation means state leaked across runs
+  // (stale table entries, neighborhood memo, GOO scratch).
+  std::vector<QuerySpec> traffic = MixedTraffic(100);
+  OptimizerWorkspace shared;
+  OptimizationSession session(&shared);
+
+  for (size_t i = 0; i < traffic.size(); ++i) {
+    Hypergraph g = BuildHypergraphOrDie(traffic[i]);
+    CardinalityEstimator est(g);
+
+    OptimizationRequest request;
+    request.graph = &g;
+    request.estimator = &est;
+    request.cost_model = &DefaultCostModel();
+    Result<OptimizeResult> pooled = session.Optimize(request);
+    ASSERT_TRUE(pooled.ok()) << i;
+    ASSERT_TRUE(pooled.value().success) << i << ": " << pooled.value().error;
+
+    // Reference: identical request on a throwaway workspace.
+    OptimizeResult fresh = OptimizeAdaptive(g, est, DefaultCostModel());
+    ASSERT_TRUE(fresh.success) << i;
+
+    EXPECT_EQ(pooled.value().cost, fresh.cost) << i;
+    EXPECT_EQ(pooled.value().cardinality, fresh.cardinality) << i;
+    EXPECT_EQ(pooled.value().stats.dp_entries, fresh.stats.dp_entries) << i;
+    EXPECT_STREQ(pooled.value().stats.algorithm, fresh.stats.algorithm) << i;
+  }
+  // One top-level run per query went through the shared workspace (the
+  // pruning-seed GOO passes use its seed slot without counting as runs).
+  EXPECT_EQ(shared.runs(), traffic.size());
+}
+
+TEST(WorkspaceReuse, ResultBorrowsUntilNextRunAndCanBeDetached) {
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(6));
+  CardinalityEstimator est(g);
+  OptimizerWorkspace ws;
+
+  Result<OptimizeResult> first =
+      OptimizeByName("DPhyp", g, est, DefaultCostModel(), {}, &ws);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value().success);
+  EXPECT_FALSE(first.value().owns_table());  // borrowed from the workspace
+  PlanTree before = first.value().ExtractPlan(g);
+
+  // Detaching makes the result self-contained: the workspace can move on.
+  OptimizeResult durable = std::move(first).value();
+  durable.AdoptTable(ws.DetachTable());
+  Result<OptimizeResult> second =
+      OptimizeByName("DPhyp", g, est, DefaultCostModel(), {}, &ws);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(before.ToAlgebraString(g), durable.ExtractPlan(g).ToAlgebraString(g));
+}
+
+TEST(WorkspaceReuse, LegacyFreeFunctionsStillOwnTheirTables) {
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(6));
+  OptimizeResult r = OptimizeDphyp(g);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.owns_table());
+}
+
+TEST(WorkspacePool, GrowsToPeakConcurrencyThenReuses) {
+  WorkspacePool pool;
+  { WorkspacePool::Lease a = pool.Acquire(); }
+  { WorkspacePool::Lease b = pool.Acquire(); }
+  EXPECT_EQ(pool.created(), 1u);  // sequential leases reuse one workspace
+  EXPECT_EQ(pool.idle(), 1u);
+  {
+    WorkspacePool::Lease a = pool.Acquire();
+    WorkspacePool::Lease b = pool.Acquire();
+    EXPECT_EQ(pool.created(), 2u);  // concurrent leases force a second
+  }
+  EXPECT_EQ(pool.idle(), 2u);
+}
+
+// --- Deadlines --------------------------------------------------------------
+
+TEST(Deadline, OneMillisecondBudgetOnClique24ServesValidGooPlan) {
+  // A 24-relation clique is far beyond what exact DP finishes in 1 ms
+  // (~3^24 candidate pairs); the session must abort DPhyp and serve the
+  // greedy plan, recording the abort in stats.
+  Hypergraph g = BuildHypergraphOrDie(MakeCliqueQuery(24));
+  CardinalityEstimator est(g);
+
+  OptimizationSession session;
+  OptimizationRequest request;
+  request.graph = &g;
+  request.estimator = &est;
+  request.cost_model = &DefaultCostModel();
+  request.enumerator = "DPhyp";  // force exact; dispatch would choose GOO
+  request.deadline_ms = 1.0;
+
+  Result<OptimizeResult> served = session.Optimize(request);
+  ASSERT_TRUE(served.ok());
+  const OptimizeResult& r = served.value();
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_TRUE(r.stats.aborted);
+  EXPECT_STREQ(r.stats.aborted_algorithm, "DPhyp");
+  EXPECT_STREQ(r.stats.algorithm, "GOO");
+  EXPECT_GT(r.stats.abort_latency_ms, 0.0);
+
+  // The served plan is the plain GOO plan, valid and bit-identical to a
+  // direct GOO run.
+  EXPECT_TRUE(ValidatePlanTree(g, r.ExtractPlan(g)).ok());
+  OptimizeResult goo = OptimizeGoo(g, est, DefaultCostModel());
+  ASSERT_TRUE(goo.success);
+  EXPECT_EQ(r.cost, goo.cost);
+}
+
+TEST(Deadline, GenerousBudgetReturnsTheExactPlan) {
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(12));
+  CardinalityEstimator est(g);
+
+  OptimizationSession session;
+  OptimizationRequest request;
+  request.graph = &g;
+  request.estimator = &est;
+  request.cost_model = &DefaultCostModel();
+  request.enumerator = "DPhyp";
+  request.deadline_ms = 60'000.0;
+
+  Result<OptimizeResult> served = session.Optimize(request);
+  ASSERT_TRUE(served.ok());
+  ASSERT_TRUE(served.value().success);
+  EXPECT_FALSE(served.value().stats.aborted);
+  EXPECT_STREQ(served.value().stats.algorithm, "DPhyp");
+  OptimizeResult exact = OptimizeDphyp(g);
+  EXPECT_EQ(served.value().cost, exact.cost);
+}
+
+TEST(Deadline, AbortLatencyStaysWithinTenPercentOfBudgetOnStar24) {
+  // The fig6 star-24 shape: a degree-24 hub, >2^24 connected subgraphs —
+  // exact DP runs for ages. With a 25 ms budget the combine-step poll
+  // (every kCancellationPollPeriod pairs) must detect expiry within 10% of
+  // the budget; the slack absorbs scheduler noise, not poll granularity.
+  Hypergraph g = BuildHypergraphOrDie(MakeStarQuery(24));
+  CardinalityEstimator est(g);
+
+  const double budget_ms = 50.0;
+  OptimizationSession session;
+  OptimizationRequest request;
+  request.graph = &g;
+  request.estimator = &est;
+  request.cost_model = &DefaultCostModel();
+  request.enumerator = "DPhyp";
+  request.deadline_ms = budget_ms;
+
+  // The mechanism bounds overshoot to poll granularity (microseconds);
+  // wall-clock noise on an oversubscribed CI machine is the only way to
+  // miss, so one retry is allowed before declaring the bound broken.
+  double best_latency_ms = std::numeric_limits<double>::infinity();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Result<OptimizeResult> served = session.Optimize(request);
+    ASSERT_TRUE(served.ok());
+    const OptimizeResult& r = served.value();
+    ASSERT_TRUE(r.success);
+    ASSERT_TRUE(r.stats.aborted);
+    EXPECT_TRUE(ValidatePlanTree(g, r.ExtractPlan(g)).ok());
+    best_latency_ms = std::min(best_latency_ms, r.stats.abort_latency_ms);
+    if (best_latency_ms <= budget_ms * 1.10) break;
+  }
+  EXPECT_LE(best_latency_ms, budget_ms * 1.10)
+      << "abort drifted past the deadline budget";
+}
+
+TEST(Deadline, ManualCancellationAbortsToo) {
+  // A pre-fired token (client disconnect) aborts at the first poll.
+  Hypergraph g = BuildHypergraphOrDie(MakeCliqueQuery(14));
+  CardinalityEstimator est(g);
+  CancellationToken token;
+  token.RequestStop();
+  OptimizerOptions options;
+  options.cancellation = &token;
+  OptimizeResult r = OptimizeDphyp(g, est, DefaultCostModel(), options);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.stats.aborted);
+}
+
+TEST(Deadline, AbortedFallbackPlansAreNotCached) {
+  // A fallback plan is timing-dependent; caching it would pin the
+  // heuristic plan for a fingerprint the exact enumerator usually
+  // finishes. With an unmeetable budget every request must re-abort (no
+  // cache hit), and each abort is counted once.
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.deadline_ms = 0.001;  // expires before the first poll
+  PlanService strict(opts);
+  QuerySpec spec = MakeCliqueQuery(12);  // routes to exact DPsub
+
+  ServiceResult first = strict.OptimizeOne(spec);
+  ASSERT_TRUE(first.success) << first.error;
+  EXPECT_TRUE(first.result.stats.aborted);
+  EXPECT_EQ(first.algorithm, "GOO");
+
+  ServiceResult second = strict.OptimizeOne(spec);
+  ASSERT_TRUE(second.success);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_TRUE(second.result.stats.aborted);
+
+  BatchOutcome batch = strict.OptimizeBatch({spec, spec});
+  EXPECT_EQ(batch.stats.deadline_aborts, 2u);
+}
+
+TEST(Session, PolicyPruningAppliesToSessionRuns) {
+  Hypergraph g = BuildHypergraphOrDie(MakeStarQuery(10));
+  OptimizationSession session;
+  Result<OptimizeResult> r = session.Optimize(g);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().success);
+  // Default policy enables bound-aware routing; the exact route runs under
+  // a finite GOO-seeded incumbent.
+  EXPECT_TRUE(std::isfinite(r.value().stats.initial_upper_bound));
+}
+
+}  // namespace
+}  // namespace dphyp

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
-#include "baselines/all_algorithms.h"
+#include "core/enumerator.h"
 #include "hypergraph/builder.h"
+#include "test_helpers.h"
+#include "core/dphyp.h"
 #include "reorder/ses_tes.h"
 #include "workload/generators.h"
 #include "workload/optree_gen.h"
@@ -13,16 +15,17 @@
 namespace dphyp {
 namespace {
 
+using testing_helpers::OptimizeNamed;
+
 TEST(Validate, AcceptsOptimizerOutput) {
   for (uint64_t seed = 1; seed <= 10; ++seed) {
     Hypergraph g = BuildHypergraphOrDie(MakeRandomHypergraphQuery(8, 3, seed));
-    for (Algorithm algo : {Algorithm::kDphyp, Algorithm::kDpsize,
-                           Algorithm::kTdPartition}) {
-      OptimizeResult r = Optimize(algo, g);
-      ASSERT_TRUE(r.success) << AlgorithmName(algo);
+    for (const char* algo : {"DPhyp", "DPsize", "TDpartition"}) {
+      OptimizeResult r = OptimizeNamed(algo, g);
+      ASSERT_TRUE(r.success) << algo;
       PlanTree plan = r.ExtractPlan(g);
       Result<bool> valid = ValidatePlanTree(g, plan);
-      EXPECT_TRUE(valid.ok()) << AlgorithmName(algo) << " seed " << seed
+      EXPECT_TRUE(valid.ok()) << algo << " seed " << seed
                               << ": " << valid.error().message;
     }
   }
