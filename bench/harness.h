@@ -74,6 +74,39 @@ inline TimingStats TimeOptimizeStats(std::string_view algo,
           static_cast<int>(samples.size())};
 }
 
+/// TimeOptimizeStats with a caller-supplied cardinality model — the
+/// estimation bench compares models on identical graphs, so the model is
+/// the one variable. Same probe/repetition protocol.
+inline TimingStats TimeOptimizeModelStats(std::string_view algo,
+                                          const Hypergraph& graph,
+                                          const CardinalityModel& est,
+                                          const OptimizerOptions& options = {}) {
+  const Enumerator& enumerator = EnumeratorOrDie(algo);
+  OptimizationRequest request;
+  request.graph = &graph;
+  request.estimator = &est;
+  request.cost_model = &DefaultCostModel();
+  request.options = options;
+  OptimizerWorkspace workspace;
+  Timer probe_timer;
+  OptimizeResult probe = enumerator.Run(request, workspace);
+  double probe_ms = probe_timer.ElapsedMillis();
+  if (!probe.success) {
+    std::fprintf(stderr, "bench: %s under model %s failed: %s\n",
+                 enumerator.Name(), est.name(), probe.error.c_str());
+    std::exit(1);
+  }
+  if (probe_ms > 1000.0) return {probe_ms, probe_ms, 1};
+  std::vector<double> samples = MeasureSamplesMillis(
+      [&] {
+        OptimizeResult r = enumerator.Run(request, workspace);
+        (void)r;
+      },
+      /*min_total_ms=*/30.0, /*max_reps=*/200);
+  return {QuantileMillis(samples, 0.5), QuantileMillis(samples, 0.99),
+          static_cast<int>(samples.size())};
+}
+
 /// Times one optimizer run and returns the median milliseconds (single run
 /// for slow cases) — the figure binaries' single-number view of
 /// TimeOptimizeStats, so both measurement protocols stay one.

@@ -1,23 +1,35 @@
 // Command-line optimizer: load a QDL query description, run a chosen
-// enumerator, print the plan with statistics.
+// enumerator under a chosen cardinality model, print the plan with
+// statistics — and, optionally, execute it to grade the estimates.
 //
 // Usage:
-//   qdl_tool <file.qdl> [--algo=<name>] [--cost=cout|hash]
-//            [--deadline-ms=<n>] [--quiet]
+//   qdl_tool <file.qdl> [--algo=<name>] [--model=<name>] [--cost=cout|hash]
+//            [--deadline-ms=<n>] [--explain] [--execute] [--rows=<n>]
+//            [--quiet]
 //   qdl_tool --demo            # runs a built-in sample query
 //   qdl_tool --list-algos      # prints the registered enumerators
+//   qdl_tool --list-models     # prints the registered cardinality models
 //
 // --algo resolves through the Enumerator registry (case-insensitive), so
 // every registered strategy — DPhyp, DPccp, DPsub, DPsize, TDbasic,
 // TDpartition, GOO, and anything registered by embedding code — is
 // selectable by name; without it the shape-based dispatcher picks.
+// --model resolves through the CardinalityModel registry ("product",
+// "stats", "oracle"); "oracle" requires --execute (the executor fills the
+// feedback store the oracle serves from, then the query is re-optimized).
 // --deadline-ms bounds the exact attempt: past the budget the session
 // aborts it and serves the GOO fallback, reporting the abort.
+// --explain prints the chosen plan with per-class estimated cardinality;
+// with --execute it also prints estimated-vs-actual rows and the q-error
+// per class, plus the plan's q-error summary.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "core/enumerator.h"
+#include "cost/model_registry.h"
+#include "cost/qerror.h"
+#include "exec/executor.h"
 #include "hypergraph/builder.h"
 #include "service/dispatch.h"
 #include "service/session.h"
@@ -29,13 +41,13 @@ using namespace dphyp;
 namespace {
 
 const char* kDemoQuery = R"(# demo: two chains tied by a hyperedge (Fig. 2)
-relation R1 card=1000
-relation R2 card=200
-relation R3 card=5000
+relation R1 card=1000 ndv=50
+relation R2 card=200 ndv=20
+relation R3 card=5000 ndv=100
 relation R4 card=300
 relation R5 card=8000
 relation R6 card=150
-predicate left=R1 right=R2 sel=0.01
+predicate left=R1 right=R2
 predicate left=R2 right=R3 sel=0.005
 predicate left=R4 right=R5 sel=0.02
 predicate left=R5 right=R6 sel=0.01
@@ -47,38 +59,77 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// Per-class explain lines: estimated cardinality per inner plan class,
+/// plus actual rows and q-error when execution feedback is available.
+void PrintClassEstimates(const PlanTreeNode* node, const Hypergraph& graph,
+                         const CardinalityFeedback* actuals) {
+  if (node == nullptr || node->IsLeaf()) return;
+  PrintClassEstimates(node->left, graph, actuals);
+  PrintClassEstimates(node->right, graph, actuals);
+  std::string names;
+  for (int v : node->set) {
+    if (!names.empty()) names += ",";
+    names += graph.node(v).name;
+  }
+  double actual = 0.0;
+  if (actuals != nullptr && actuals->Lookup(node->set, &actual)) {
+    std::printf("  {%s}  est %.1f  actual %.0f  q %.2f\n", names.c_str(),
+                node->cardinality, actual, QError(node->cardinality, actual));
+  } else {
+    std::printf("  {%s}  est %.1f\n", names.c_str(), node->cardinality);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
-  std::string algo_name;  // empty = adaptive dispatch
+  std::string algo_name;   // empty = adaptive dispatch
+  std::string model_name;  // empty = product form
   std::string cost_name = "cout";
   double deadline_ms = 0.0;
+  int rows = 20;
   bool quiet = false;
   bool demo = false;
+  bool explain = false;
+  bool execute = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--algo=", 0) == 0) {
       algo_name = arg.substr(7);
+    } else if (arg.rfind("--model=", 0) == 0) {
+      model_name = arg.substr(8);
     } else if (arg.rfind("--cost=", 0) == 0) {
       cost_name = arg.substr(7);
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       deadline_ms = std::atof(arg.c_str() + 14);
+    } else if (arg.rfind("--rows=", 0) == 0) {
+      rows = std::atoi(arg.c_str() + 7);
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--execute") {
+      execute = true;
     } else if (arg == "--list-algos") {
       for (const Enumerator* e : EnumeratorRegistry::Global().All()) {
         std::printf("%-12s %s\n", e->Name(),
                     e->Exact() ? "exact" : "heuristic");
       }
       return 0;
+    } else if (arg == "--list-models") {
+      for (const std::string& name : CardinalityModelRegistry::Global().Names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
     } else if (arg == "--help") {
       std::printf(
-          "usage: qdl_tool <file.qdl> [--algo=<name>] [--cost=cout|hash]\n"
-          "                [--deadline-ms=<n>] [--quiet]\n"
-          "       qdl_tool --demo | --list-algos\n");
+          "usage: qdl_tool <file.qdl> [--algo=<name>] [--model=<name>]\n"
+          "                [--cost=cout|hash] [--deadline-ms=<n>]\n"
+          "                [--explain] [--execute] [--rows=<n>] [--quiet]\n"
+          "       qdl_tool --demo | --list-algos | --list-models\n");
       return 0;
     } else {
       path = arg;
@@ -94,8 +145,8 @@ int main(int argc, char** argv) {
 
   Result<Hypergraph> graph = BuildHypergraph(spec);
   if (!graph.ok()) return Fail(graph.error().message);
+  const Hypergraph& g = graph.value();
 
-  CardinalityEstimator est(graph.value());
   const CoutModel cout_model;
   const HashJoinModel hash_model;
   const CostModel* model = &cout_model;
@@ -105,25 +156,66 @@ int main(int argc, char** argv) {
     return Fail("unknown cost model '" + cost_name + "'");
   }
 
-  OptimizationRequest request;
-  request.graph = &graph.value();
-  request.estimator = &est;
-  request.cost_model = model;
-  request.enumerator = algo_name;  // registry-resolved; empty = dispatch
-  request.deadline_ms = deadline_ms;
+  const bool oracle = model_name == "oracle";
+  if (oracle && !execute) {
+    return Fail("--model=oracle requires --execute (the executor feeds the "
+                "oracle's cardinalities)");
+  }
+
+  // The execution side: a deterministic synthetic dataset and a feedback
+  // store the executor fills with observed per-class cardinalities.
+  CardinalityFeedback actuals;
+  Dataset data =
+      execute ? Dataset::Generate(spec.relations, rows < 1 ? 1 : rows, 0x9d2c)
+              : Dataset();
+  Executor exec(data, g, spec.relations, ConjunctsFromSpec(spec, g), &actuals);
+
+  CardinalityModelInputs inputs;
+  inputs.graph = &g;
+  inputs.spec = &spec;
+  inputs.catalog = spec.catalog.get();
+  inputs.feedback = &actuals;
 
   OptimizationSession session;
+  auto optimize = [&](std::string_view model_to_use,
+                      Result<OptimizeResult>* out) -> std::string {
+    Result<std::unique_ptr<CardinalityModel>> card_model =
+        CreateCardinalityModel(model_to_use, inputs);
+    if (!card_model.ok()) return card_model.error().message;
+    OptimizationRequest request;
+    request.graph = &g;
+    request.estimator = card_model.value().get();
+    request.cost_model = model;
+    request.enumerator = algo_name;  // registry-resolved; empty = dispatch
+    request.deadline_ms = deadline_ms;
+    *out = session.Optimize(request);
+    return "";
+  };
+
+  // The oracle needs actuals before it can estimate: run a product-form
+  // pass first, execute its plan to fill the feedback store, then
+  // re-optimize under the oracle.
   Timer timer;
-  Result<OptimizeResult> served = session.Optimize(request);
+  Result<OptimizeResult> served = Err("unset");
+  if (oracle) {
+    std::string err = optimize("product", &served);
+    if (!err.empty()) return Fail(err);
+    if (!served.ok()) return Fail(served.error().message);
+    if (!served.value().success) return Fail(served.value().error);
+    exec.Execute(served.value().ExtractPlan(g));
+  }
+  std::string err = optimize(model_name, &served);
+  if (!err.empty()) return Fail(err);
   double ms = timer.ElapsedMillis();
   if (!served.ok()) return Fail(served.error().message);
   const OptimizeResult& result = served.value();
   if (!result.success) return Fail(result.error);
 
-  std::printf("algorithm:        %s  (cost model %s)\n",
-              result.stats.algorithm, model->name());
+  std::printf("algorithm:        %s  (cost model %s, cardinality model %s)\n",
+              result.stats.algorithm, model->name(),
+              model_name.empty() ? "product" : model_name.c_str());
   if (algo_name.empty()) {
-    std::printf("routed because:   %s\n", ChooseRoute(graph.value()).reason);
+    std::printf("routed because:   %s\n", ChooseRoute(g).reason);
   }
   if (result.stats.aborted) {
     std::printf(
@@ -142,9 +234,37 @@ int main(int argc, char** argv) {
   std::printf("dp entries:       %llu (%llu bytes)\n",
               static_cast<unsigned long long>(result.stats.dp_entries),
               static_cast<unsigned long long>(result.stats.table_bytes));
+
+  PlanTree plan = result.ExtractPlan(g);
+  if (execute) {
+    ExecResult rows_out = exec.Execute(plan);
+    std::printf("executed:         %zu tuples\n", rows_out.tuples.size());
+    QErrorStats q = session.ReportQError(result, g, actuals);
+    std::printf("estimation:       %s\n", q.ToString().c_str());
+  }
+  if (explain) {
+    // Per-predicate selectivities as the chosen model assigns them —
+    // explicit values pass through, derived ones show what the stats were
+    // worth (CardinalityModel::DeriveSelectivity).
+    Result<std::unique_ptr<CardinalityModel>> explain_model =
+        CreateCardinalityModel(model_name, inputs);
+    if (explain_model.ok()) {
+      std::printf("\npredicate selectivities under model %s:\n",
+                  explain_model.value()->name());
+      for (size_t i = 0; i < spec.predicates.size(); ++i) {
+        const Predicate& p = spec.predicates[i];
+        std::printf("  #%zu %s%s  sel %g%s\n", i,
+                    p.left.ToString().c_str(), p.right.ToString().c_str(),
+                    explain_model.value()->DeriveSelectivity(p),
+                    p.derive_selectivity ? "  (derived)" : "");
+      }
+    }
+    std::printf("\nper-class estimates%s:\n",
+                execute ? " vs actuals" : "");
+    PrintClassEstimates(plan.root(), g, execute ? &actuals : nullptr);
+  }
   if (!quiet) {
-    PlanTree plan = result.ExtractPlan(graph.value());
-    std::printf("\n%s", plan.Explain(graph.value()).c_str());
+    std::printf("\n%s", plan.Explain(g).c_str());
   }
   return 0;
 }

@@ -54,7 +54,7 @@ inline const char* AlgorithmName(Algorithm algo) {
 /// out-of-range enum value (or an unregistered name) yields a structured
 /// error instead of the old default-constructed OptimizeResult.
 inline Result<OptimizeResult> Optimize(Algorithm algo, const Hypergraph& graph,
-                                       const CardinalityEstimator& est,
+                                       const CardinalityModel& est,
                                        const CostModel& cost_model,
                                        const OptimizerOptions& options = {},
                                        OptimizerWorkspace* workspace =

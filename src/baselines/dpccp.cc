@@ -95,7 +95,7 @@ class DpccpEnumerator : public Enumerator {
 }  // namespace
 
 OptimizeResult OptimizeDpccp(const Hypergraph& graph,
-                             const CardinalityEstimator& est,
+                             const CardinalityModel& est,
                              const CostModel& cost_model,
                              const OptimizerOptions& options,
                              OptimizerWorkspace* workspace) {

@@ -18,7 +18,7 @@ namespace dphyp {
 /// cleanly otherwise. Deprecated as a public entry point: prefer
 /// OptimizeByName("DPccp", ...) or an OptimizationSession.
 OptimizeResult OptimizeDpccp(const Hypergraph& graph,
-                             const CardinalityEstimator& est,
+                             const CardinalityModel& est,
                              const CostModel& cost_model,
                              const OptimizerOptions& options = {},
                              OptimizerWorkspace* workspace = nullptr);

@@ -24,7 +24,7 @@ class DpsizeEnumerator : public Enumerator {
 }  // namespace
 
 OptimizeResult OptimizeDpsize(const Hypergraph& graph,
-                              const CardinalityEstimator& est,
+                              const CardinalityModel& est,
                               const CostModel& cost_model,
                               const OptimizerOptions& options,
                               OptimizerWorkspace* workspace) {

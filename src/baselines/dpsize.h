@@ -18,7 +18,7 @@ namespace dphyp {
 /// Runs DPsize over `graph`. Deprecated as a public entry point: prefer
 /// OptimizeByName("DPsize", ...) or an OptimizationSession.
 OptimizeResult OptimizeDpsize(const Hypergraph& graph,
-                              const CardinalityEstimator& est,
+                              const CardinalityModel& est,
                               const CostModel& cost_model,
                               const OptimizerOptions& options = {},
                               OptimizerWorkspace* workspace = nullptr);

@@ -33,7 +33,7 @@ class DpsubEnumerator : public Enumerator {
 }  // namespace
 
 OptimizeResult OptimizeDpsub(const Hypergraph& graph,
-                             const CardinalityEstimator& est,
+                             const CardinalityModel& est,
                              const CostModel& cost_model,
                              const OptimizerOptions& options,
                              OptimizerWorkspace* workspace) {

@@ -18,7 +18,7 @@ namespace dphyp {
 /// Runs DPsub over `graph`. Deprecated as a public entry point: prefer
 /// OptimizeByName("DPsub", ...) or an OptimizationSession.
 OptimizeResult OptimizeDpsub(const Hypergraph& graph,
-                             const CardinalityEstimator& est,
+                             const CardinalityModel& est,
                              const CostModel& cost_model,
                              const OptimizerOptions& options = {},
                              OptimizerWorkspace* workspace = nullptr);

@@ -20,7 +20,7 @@ using Candidate = GooScratch::Candidate;
 /// for a routed/fallback GOO run, the *seed* slot when bootstrapping an
 /// exact run's pruning bound), `scratch` reuses the component/candidate/
 /// memo storage. Either may be null for self-contained behavior.
-OptimizeResult RunGoo(const Hypergraph& graph, const CardinalityEstimator& est,
+OptimizeResult RunGoo(const Hypergraph& graph, const CardinalityModel& est,
                       const CostModel& cost_model,
                       const OptimizerOptions& options, DpTable* table,
                       GooScratch* scratch) {
@@ -130,7 +130,7 @@ class GooEnumerator : public Enumerator {
 }  // namespace
 
 OptimizeResult OptimizeGoo(const Hypergraph& graph,
-                           const CardinalityEstimator& est,
+                           const CardinalityModel& est,
                            const CostModel& cost_model,
                            const OptimizerOptions& options,
                            OptimizerWorkspace* workspace) {
@@ -146,7 +146,7 @@ OptimizeResult OptimizeGoo(const Hypergraph& graph) {
 }
 
 double GooCostUpperBound(const Hypergraph& graph,
-                         const CardinalityEstimator& est,
+                         const CardinalityModel& est,
                          const CostModel& cost_model,
                          const OptimizerOptions& base_options,
                          OptimizerWorkspace* workspace) {

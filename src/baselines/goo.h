@@ -32,7 +32,7 @@ namespace dphyp {
 /// Deprecated as a public entry point: prefer OptimizeByName("GOO", ...)
 /// or an OptimizationSession.
 OptimizeResult OptimizeGoo(const Hypergraph& graph,
-                           const CardinalityEstimator& est,
+                           const CardinalityModel& est,
                            const CostModel& cost_model,
                            const OptimizerOptions& options = {},
                            OptimizerWorkspace* workspace = nullptr);
@@ -50,7 +50,7 @@ OptimizeResult OptimizeGoo(const Hypergraph& graph);
 /// the primary table belongs to the exact run being seeded — and its GOO
 /// scratch, keeping pooled serving allocation-free.
 double GooCostUpperBound(const Hypergraph& graph,
-                         const CardinalityEstimator& est,
+                         const CardinalityModel& est,
                          const CostModel& cost_model,
                          const OptimizerOptions& base_options = {},
                          OptimizerWorkspace* workspace = nullptr);

@@ -70,7 +70,7 @@ class TdBasicEnumerator : public Enumerator {
 }  // namespace
 
 OptimizeResult OptimizeTdBasic(const Hypergraph& graph,
-                               const CardinalityEstimator& est,
+                               const CardinalityModel& est,
                                const CostModel& cost_model,
                                const OptimizerOptions& options,
                                OptimizerWorkspace* workspace) {

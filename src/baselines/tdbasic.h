@@ -18,7 +18,7 @@ namespace dphyp {
 /// entry point: prefer OptimizeByName("TDbasic", ...) or an
 /// OptimizationSession.
 OptimizeResult OptimizeTdBasic(const Hypergraph& graph,
-                               const CardinalityEstimator& est,
+                               const CardinalityModel& est,
                                const CostModel& cost_model,
                                const OptimizerOptions& options = {},
                                OptimizerWorkspace* workspace = nullptr);

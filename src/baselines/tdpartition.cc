@@ -79,7 +79,7 @@ class TdPartitionEnumerator : public Enumerator {
 }  // namespace
 
 OptimizeResult OptimizeTdPartition(const Hypergraph& graph,
-                                   const CardinalityEstimator& est,
+                                   const CardinalityModel& est,
                                    const CostModel& cost_model,
                                    const OptimizerOptions& options,
                                    OptimizerWorkspace* workspace) {

@@ -25,7 +25,7 @@ namespace dphyp {
 /// Deprecated as a public entry point: prefer
 /// OptimizeByName("TDpartition", ...) or an OptimizationSession.
 OptimizeResult OptimizeTdPartition(const Hypergraph& graph,
-                                   const CardinalityEstimator& est,
+                                   const CardinalityModel& est,
                                    const CostModel& cost_model,
                                    const OptimizerOptions& options = {},
                                    OptimizerWorkspace* workspace = nullptr);

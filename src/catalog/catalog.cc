@@ -1,0 +1,75 @@
+#include "catalog/catalog.h"
+
+#include <utility>
+
+namespace dphyp {
+
+int Catalog::IndexOfLocked(std::string_view name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Catalog::AddTable(TableStats stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int index = IndexOfLocked(stats.name);
+  if (index >= 0) {
+    tables_[index] = std::move(stats);
+  } else {
+    index = static_cast<int>(tables_.size());
+    tables_.push_back(std::move(stats));
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return index;
+}
+
+std::optional<TableStats> Catalog::FindTable(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int index = IndexOfLocked(name);
+  if (index < 0) return std::nullopt;
+  return tables_[index];
+}
+
+std::optional<TableStats> Catalog::TableAt(int index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < 0 || index >= static_cast<int>(tables_.size())) {
+    return std::nullopt;
+  }
+  return tables_[index];
+}
+
+int Catalog::IndexOf(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return IndexOfLocked(name);
+}
+
+int Catalog::NumTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(tables_.size());
+}
+
+bool Catalog::SetRowCount(std::string_view name, double row_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int index = IndexOfLocked(name);
+  if (index < 0) return false;
+  tables_[index].row_count = row_count;
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+bool Catalog::SetColumnStats(std::string_view name, int column,
+                             ColumnStats stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int index = IndexOfLocked(name);
+  if (index < 0 || column < 0) return false;
+  TableStats& table = tables_[index];
+  if (column >= static_cast<int>(table.columns.size())) {
+    table.columns.resize(column + 1);
+  }
+  table.columns[column] = stats;
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+}  // namespace dphyp

@@ -1,0 +1,101 @@
+// Versioned statistics catalog: per-table row counts and per-column
+// distinct counts / value bounds — the statistics source the pluggable
+// CardinalityModels (cost/cardinality.h) derive estimates from. This is
+// the role pg_statistic plays for PostgreSQL's selectivity functions and
+// attribute statistics play for Hyrise's histogram-based estimator.
+//
+// Versioning: every mutation bumps `stats_version`. Consumers that cache
+// artifacts derived from statistics — the plan cache keys served plans by a
+// fingerprint salted with this version — therefore see a stats refresh
+// (manual, or from execution feedback via ApplyFeedbackToCatalog) as an
+// atomic invalidation of everything estimated under the old statistics.
+//
+// Thread-safety: table reads and writes are mutex-guarded and copy stats
+// in/out; `stats_version()` is a lock-free atomic read so hot serving paths
+// can salt cache keys without contending with a concurrent ANALYZE-style
+// refresh.
+#ifndef DPHYP_CATALOG_CATALOG_H_
+#define DPHYP_CATALOG_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dphyp {
+
+/// Statistics for one column of a base table.
+struct ColumnStats {
+  /// Number of distinct values; <= 0 means unknown. Drives the classic
+  /// equality-join selectivity 1/max(ndv) when a predicate carries no
+  /// explicit selectivity.
+  double distinct_count = 0.0;
+  /// Value bounds; both zero when unknown.
+  double min_value = 0.0;
+  double max_value = 0.0;
+};
+
+/// Statistics for one base table.
+struct TableStats {
+  std::string name;
+  double row_count = 0.0;
+  /// Per-column statistics; may be shorter than the table's column count
+  /// (missing columns simply have no stats).
+  std::vector<ColumnStats> columns;
+};
+
+/// The versioned statistics store. Tables are keyed by name; registering a
+/// name again replaces the earlier entry (a full ANALYZE of that table).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers (or replaces) a table's statistics; returns its index.
+  /// Bumps the stats version.
+  int AddTable(TableStats stats);
+
+  /// Copies out the stats of `name`; nullopt when unknown.
+  std::optional<TableStats> FindTable(std::string_view name) const;
+
+  /// Copies out the stats of table `index`; nullopt when out of range.
+  std::optional<TableStats> TableAt(int index) const;
+
+  /// Index of `name`, or -1. Indices are stable (replacement keeps them).
+  int IndexOf(std::string_view name) const;
+
+  int NumTables() const;
+
+  /// Refreshes one table's row count; false when the table is unknown.
+  /// Bumps the stats version.
+  bool SetRowCount(std::string_view name, double row_count);
+
+  /// Refreshes one column's statistics (growing the column vector as
+  /// needed); false when the table is unknown. Bumps the stats version.
+  bool SetColumnStats(std::string_view name, int column, ColumnStats stats);
+
+  /// Monotone counter bumped by every mutation. Plan caches mix it into
+  /// their keys, so a bump invalidates every plan estimated before it.
+  uint64_t stats_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Explicit invalidation without a stats change (e.g. schema-level events
+  /// the catalog does not model).
+  void BumpStatsVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
+ private:
+  int IndexOfLocked(std::string_view name) const;
+
+  mutable std::mutex mu_;
+  std::vector<TableStats> tables_;
+  std::atomic<uint64_t> version_{1};
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_CATALOG_CATALOG_H_

@@ -32,6 +32,22 @@ int QuerySpec::AddComplexPredicate(NodeSet left, NodeSet right, double selectivi
   return static_cast<int>(predicates.size()) - 1;
 }
 
+void QuerySpec::BindCatalog(std::shared_ptr<const Catalog> bound) {
+  catalog = std::move(bound);
+  if (catalog == nullptr) {
+    for (RelationInfo& rel : relations) rel.table_id = -1;
+    return;
+  }
+  for (RelationInfo& rel : relations) {
+    rel.table_id = catalog->IndexOf(rel.name);
+    if (rel.table_id < 0) continue;
+    std::optional<TableStats> stats = catalog->TableAt(rel.table_id);
+    if (stats.has_value() && stats->row_count > 0.0) {
+      rel.cardinality = stats->row_count;
+    }
+  }
+}
+
 Result<bool> QuerySpec::Validate() const {
   const NodeSet all = AllRelations();
   if (relations.empty()) return Err("query has no relations");

@@ -10,9 +10,11 @@
 #ifndef DPHYP_CATALOG_QUERY_SPEC_H_
 #define DPHYP_CATALOG_QUERY_SPEC_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "catalog/operator_type.h"
 #include "util/node_set.h"
 #include "util/result.h"
@@ -29,8 +31,15 @@ struct ColumnRef {
 /// One base relation or table-valued function.
 struct RelationInfo {
   std::string name;
-  /// Estimated row count used by the cardinality model.
+  /// Estimated row count used by the cardinality model. When the spec is
+  /// bound to a statistics catalog (QuerySpec::BindCatalog) this is a
+  /// snapshot of the catalog's row count at bind time; stats-aware models
+  /// re-read the catalog live, which is how stale-stats serving scenarios
+  /// arise.
   double cardinality = 1000.0;
+  /// Index of this relation's TableStats in the bound catalog; -1 when the
+  /// spec is unbound or the catalog has no entry for the name.
+  int table_id = -1;
   /// Tables referenced freely by this leaf's defining expression; non-empty
   /// marks a table-valued function / lateral leaf (Sec. 5.6).
   NodeSet free_tables;
@@ -52,6 +61,11 @@ struct Predicate {
   NodeSet flex;
   /// Join selectivity in (0, 1]; the fraction of the cross product kept.
   double selectivity = 0.1;
+  /// True when no explicit selectivity was given (e.g. a QDL predicate
+  /// without `sel=`): `selectivity` then holds the 0.1 default, and
+  /// stats-aware cardinality models derive the value from catalog column
+  /// statistics instead (1/max(ndv); see cost/stats_model.h).
+  bool derive_selectivity = false;
   /// Operator this predicate belongs to. Plain inner joins use kJoin.
   OpType op = OpType::kJoin;
   /// Executable payload: the predicate holds iff the sum of the referenced
@@ -72,6 +86,10 @@ struct Predicate {
 struct QuerySpec {
   std::vector<RelationInfo> relations;
   std::vector<Predicate> predicates;
+  /// The statistics catalog this spec's relations reference (may be null:
+  /// specs built ad hoc carry only the flat per-relation snapshots).
+  /// Shared, not owned — several specs typically reference one catalog.
+  std::shared_ptr<const Catalog> catalog;
 
   int NumRelations() const { return static_cast<int>(relations.size()); }
   NodeSet AllRelations() const { return NodeSet::FullSet(NumRelations()); }
@@ -86,6 +104,13 @@ struct QuerySpec {
   /// Adds a complex (hyper) predicate.
   int AddComplexPredicate(NodeSet left, NodeSet right, double selectivity,
                           OpType op = OpType::kJoin, NodeSet flex = NodeSet());
+
+  /// Binds this spec to `catalog`: resolves each relation's name to its
+  /// TableStats (setting RelationInfo::table_id) and snapshots current row
+  /// counts into the flat cardinalities. Relations without a catalog entry
+  /// keep their values and stay unbound; the catalog pointer is retained
+  /// for stats-aware models either way.
+  void BindCatalog(std::shared_ptr<const Catalog> catalog);
 
   /// Structural validation: sides non-empty & pairwise disjoint, node
   /// indices in range, selectivities in (0, 1], free-table sets exclude the

@@ -112,7 +112,7 @@ class DphypEnumerator : public Enumerator {
 }  // namespace
 
 OptimizeResult OptimizeDphyp(const Hypergraph& graph,
-                             const CardinalityEstimator& est,
+                             const CardinalityModel& est,
                              const CostModel& cost_model,
                              const OptimizerOptions& options,
                              OptimizerWorkspace* workspace) {

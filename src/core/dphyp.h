@@ -36,7 +36,7 @@ namespace dphyp {
 /// (OptimizeByName("DPhyp", ...)) or an OptimizationSession; this free
 /// function is the registry implementation and remains for one release.
 OptimizeResult OptimizeDphyp(const Hypergraph& graph,
-                             const CardinalityEstimator& est,
+                             const CardinalityModel& est,
                              const CostModel& cost_model,
                              const OptimizerOptions& options = {},
                              OptimizerWorkspace* workspace = nullptr);

@@ -78,7 +78,7 @@ bool ExactDpFeasible(const GraphShape& shape, const DispatchPolicy& policy) {
 }
 
 OptimizeResult Enumerator::Optimize(const Hypergraph& graph,
-                                    const CardinalityEstimator& est,
+                                    const CardinalityModel& est,
                                     const CostModel& cost_model,
                                     const OptimizerOptions& options) const {
   OptimizerWorkspace workspace;
@@ -173,7 +173,7 @@ std::vector<const Enumerator*> EnumeratorRegistry::All() const {
 
 Result<OptimizeResult> OptimizeByName(std::string_view name,
                                       const Hypergraph& graph,
-                                      const CardinalityEstimator& est,
+                                      const CardinalityModel& est,
                                       const CostModel& cost_model,
                                       const OptimizerOptions& options,
                                       OptimizerWorkspace* workspace) {

@@ -92,7 +92,7 @@ struct DispatchBid {
 /// `cost_model` must outlive the call and be non-null.
 struct OptimizationRequest {
   const Hypergraph* graph = nullptr;
-  const CardinalityEstimator* estimator = nullptr;
+  const CardinalityModel* estimator = nullptr;
   const CostModel* cost_model = nullptr;
   OptimizerOptions options;
 
@@ -151,7 +151,7 @@ class Enumerator {
   /// returns a self-contained result (owned table), the lifetime contract
   /// of the original free functions.
   OptimizeResult Optimize(const Hypergraph& graph,
-                          const CardinalityEstimator& est,
+                          const CardinalityModel& est,
                           const CostModel& cost_model,
                           const OptimizerOptions& options = {}) const;
 };
@@ -195,7 +195,7 @@ class EnumeratorRegistry {
 /// workspace's next run); without one it is self-contained.
 Result<OptimizeResult> OptimizeByName(std::string_view name,
                                       const Hypergraph& graph,
-                                      const CardinalityEstimator& est,
+                                      const CardinalityModel& est,
                                       const CostModel& cost_model,
                                       const OptimizerOptions& options = {},
                                       OptimizerWorkspace* workspace = nullptr);

@@ -10,7 +10,7 @@
 namespace dphyp {
 
 OptimizerContext::OptimizerContext(const Hypergraph& graph,
-                                   const CardinalityEstimator& est,
+                                   const CardinalityModel& est,
                                    const CostModel& cost_model,
                                    const OptimizerOptions& options,
                                    DpTable* borrowed_table)
@@ -50,12 +50,12 @@ OptimizerContext::OptimizerContext(const Hypergraph& graph,
     // cardinality, so partial plans compete against the incumbent minus
     // this completion bound (for C_out: the root output every plan pays).
     completion_ =
-        cost_model.CompletionLowerBound(est.Estimate(graph.AllNodes()));
+        cost_model.CompletionLowerBound(est.EstimateClass(graph.AllNodes()));
   }
 }
 
 OptimizerOptions ResolvePruningSeed(const Hypergraph& graph,
-                                    const CardinalityEstimator& est,
+                                    const CardinalityModel& est,
                                     const CostModel& cost_model,
                                     const OptimizerOptions& options,
                                     OptimizerWorkspace* ws) {
@@ -73,7 +73,10 @@ void OptimizerContext::InitLeaves() {
   for (int v = 0; v < graph_->NumNodes(); ++v) {
     PlanEntry* entry = table_->Insert(NodeSet::Single(v));
     entry->cost = 0.0;
-    entry->cardinality = graph_->node(v).cardinality;
+    // Leaf cardinalities come from the model, not the graph: the product
+    // form echoes the graph's value bit-identically, while stats/oracle
+    // models substitute catalog row counts or observed actuals.
+    entry->cardinality = est_->EstimateBase(v);
     entry->edge_id = -1;
   }
 }
@@ -238,7 +241,7 @@ bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right,
   PlanEntry* target =
       target_hint != nullptr ? target_hint : table_->Find(combined);
   const double out_card =
-      target != nullptr ? target->cardinality : est_->Estimate(combined);
+      target != nullptr ? target->cardinality : est_->EstimateClass(combined);
 
   ++stats_.cost_evaluations;
   const double cost =

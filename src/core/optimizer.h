@@ -189,7 +189,7 @@ class OptimizerContext {
   /// returns a result *borrowing* that table. With the default null, the
   /// context allocates a private table and Finish moves it into the result
   /// (the legacy self-contained behavior).
-  OptimizerContext(const Hypergraph& graph, const CardinalityEstimator& est,
+  OptimizerContext(const Hypergraph& graph, const CardinalityModel& est,
                    const CostModel& cost_model, const OptimizerOptions& options,
                    DpTable* borrowed_table = nullptr);
 
@@ -261,7 +261,7 @@ class OptimizerContext {
                           PlanEntry** target_out);
 
   const Hypergraph* graph_;
-  const CardinalityEstimator* est_;
+  const CardinalityModel* est_;
   const CostModel* cost_model_;
   const std::vector<TesConstraint>* tes_;
   /// The run's DP table: either `owned_table_` (legacy self-contained runs)
@@ -305,7 +305,7 @@ OptimizeResult RunGuarded(const char* algorithm, OptimizerContext& ctx,
 /// The Optimize* entry points call this so the seed GOO never competes with
 /// the main run for the workspace's primary table.
 OptimizerOptions ResolvePruningSeed(const Hypergraph& graph,
-                                    const CardinalityEstimator& est,
+                                    const CardinalityModel& est,
                                     const CostModel& cost_model,
                                     const OptimizerOptions& options,
                                     OptimizerWorkspace* ws);

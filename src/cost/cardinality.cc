@@ -1,18 +1,59 @@
 #include "cost/cardinality.h"
 
+#include <utility>
+
 #include "cost/factors.h"
 
 namespace dphyp {
 
-CardinalityEstimator::CardinalityEstimator(const Hypergraph& graph)
-    : graph_(&graph) {
-  base_.reserve(graph.NumNodes());
-  for (int i = 0; i < graph.NumNodes(); ++i) {
-    base_.push_back(graph.node(i).cardinality);
+uint64_t HashModelName(const char* name) {
+  // FNV-1a; stable across processes so fingerprints are comparable in logs.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 0x100000001b3ull;
   }
-  factors_.reserve(graph.NumEdges());
+  return h;
+}
+
+namespace {
+
+std::vector<double> GraphBaseCards(const Hypergraph& graph) {
+  std::vector<double> base;
+  base.reserve(graph.NumNodes());
+  for (int i = 0; i < graph.NumNodes(); ++i) {
+    base.push_back(graph.node(i).cardinality);
+  }
+  return base;
+}
+
+std::vector<double> GraphEdgeSelectivities(const Hypergraph& graph) {
+  std::vector<double> sels;
+  sels.reserve(graph.NumEdges());
   for (int i = 0; i < graph.NumEdges(); ++i) {
-    const Hyperedge& e = graph.edge(i);
+    sels.push_back(graph.edge(i).selectivity);
+  }
+  return sels;
+}
+
+}  // namespace
+
+CardinalityEstimator::CardinalityEstimator(const Hypergraph& graph)
+    : CardinalityEstimator(graph, GraphBaseCards(graph),
+                           GraphEdgeSelectivities(graph)) {}
+
+CardinalityEstimator::CardinalityEstimator(
+    const Hypergraph& graph, std::vector<double> base,
+    const std::vector<double>& edge_selectivities)
+    : graph_(&graph), base_(std::move(base)) {
+  BuildFactors(edge_selectivities);
+}
+
+void CardinalityEstimator::BuildFactors(
+    const std::vector<double>& edge_selectivities) {
+  factors_.reserve(graph_->NumEdges());
+  for (int i = 0; i < graph_->NumEdges(); ++i) {
+    const Hyperedge& e = graph_->edge(i);
     // Flexible (either-side) nodes are split between the sides only at plan
     // time; for factor derivation we charge them to the right side, which
     // keeps the factor deterministic.
@@ -20,12 +61,12 @@ CardinalityEstimator::CardinalityEstimator(const Hypergraph& graph)
     for (int v : e.left) left_card *= base_[v];
     double right_card = 1.0;
     for (int v : e.right | e.flex) right_card *= base_[v];
-    factors_.push_back(
-        EdgeCardinalityFactor(e.op, e.selectivity, left_card, right_card));
+    factors_.push_back(EdgeCardinalityFactor(e.op, edge_selectivities[i],
+                                             left_card, right_card));
   }
 }
 
-double CardinalityEstimator::Estimate(NodeSet S) const {
+double CardinalityEstimator::EstimateClass(NodeSet S) const {
   double card = 1.0;
   for (int v : S) card *= base_[v];
   for (int i = 0; i < graph_->NumEdges(); ++i) {

@@ -1,23 +1,89 @@
-// Product-form cardinality estimator over a hypergraph.
+// The pluggable cardinality-estimation interface and its default
+// (product-form) implementation.
+//
+// The paper's DP variants optimize against an abstract cost() over
+// estimated cardinalities; CardinalityModel is that abstraction's
+// estimation half. Every enumerator consumes the interface — never a
+// concrete estimator — so the statistics source is swappable per query:
+// the product-form default, the catalog-stats-derived model
+// (cost/stats_model.h), or the executor-fed true-cardinality oracle
+// (cost/oracle_model.h). Models are registered by name in
+// CardinalityModelRegistry (cost/model_registry.h).
+//
+// Contract: EstimateClass must be a pure function of the plan class S —
+// independent of the join order used to reach S — so Bellman's principle
+// holds and all exact DP variants find the same optimum. The product and
+// stats models are immutable after construction; the oracle serves one
+// stored value per class and keeps the contract only while its feedback
+// store is not mutated during a run (see cost/oracle_model.h).
 #ifndef DPHYP_COST_CARDINALITY_H_
 #define DPHYP_COST_CARDINALITY_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "catalog/query_spec.h"
 #include "hypergraph/hypergraph.h"
 #include "util/node_set.h"
 
 namespace dphyp {
 
-/// Estimates |result(S)| for plan classes S. Factors are fixed at
-/// construction, so estimates are join-order independent (see
-/// cost/factors.h for why that matters).
-class CardinalityEstimator {
+/// Abstract estimation strategy. Implementations are immutable after
+/// construction (one instance may serve a whole optimization run) and are
+/// constructed per query graph — see CardinalityModelRegistry for the
+/// name-driven factory.
+class CardinalityModel {
+ public:
+  virtual ~CardinalityModel() = default;
+
+  /// Estimated base cardinality of the single relation `node` (the leaf
+  /// plans the DP starts from).
+  virtual double EstimateBase(int node) const = 0;
+
+  /// Estimated cardinality of the (connected) plan class S. Must depend on
+  /// S only, never on the join order that reached it.
+  virtual double EstimateClass(NodeSet S) const = 0;
+
+  /// The selectivity this model assigns to a predicate: the explicit value
+  /// when the predicate carries one; a model-specific derivation (catalog
+  /// stats, feedback) when it was omitted. The base implementation returns
+  /// the stored value (explicit or the QuerySpec default).
+  virtual double DeriveSelectivity(const Predicate& pred) const {
+    return pred.selectivity;
+  }
+
+  /// Registry name, e.g. "product". Lookup is case-insensitive.
+  virtual const char* name() const = 0;
+
+  /// Digest of everything that can change this model's estimates beyond
+  /// the query graph itself (model identity, catalog stats version,
+  /// feedback epoch). The plan cache mixes it into its keys so plans
+  /// estimated under different models — or stale statistics — never
+  /// substitute for each other.
+  virtual uint64_t Fingerprint() const = 0;
+
+  /// Historical spelling of EstimateClass; kept so pre-redesign call sites
+  /// read unchanged.
+  double Estimate(NodeSet S) const { return EstimateClass(S); }
+};
+
+/// FNV-1a over a string, the shared model-fingerprint seed.
+uint64_t HashModelName(const char* name);
+
+/// The default model: canonical product form over factors fixed at
+/// construction,
+///     card(S) = Π_{i ∈ S} card(i) × Π_{edge e, nodes(e) ⊆ S} factor(e)
+/// which is join-order independent by construction (see cost/factors.h).
+/// Registered as "product"; all seven enumerators are bit-identical under
+/// it to the pre-interface code (tests/test_estimation.cc).
+class CardinalityEstimator : public CardinalityModel {
  public:
   explicit CardinalityEstimator(const Hypergraph& graph);
 
-  /// Estimated cardinality of the (connected) class S.
-  double Estimate(NodeSet S) const;
+  double EstimateBase(int node) const override { return base_[node]; }
+  double EstimateClass(NodeSet S) const override;
+  const char* name() const override { return "product"; }
+  uint64_t Fingerprint() const override { return HashModelName("product"); }
 
   /// Base cardinality of a single relation.
   double BaseCardinality(int node) const { return base_[node]; }
@@ -25,7 +91,17 @@ class CardinalityEstimator {
   /// The multiplicative factor assigned to an edge.
   double EdgeFactor(int edge_id) const { return factors_[edge_id]; }
 
+ protected:
+  /// Subclass hook (stats/oracle models): the same product-form machinery
+  /// over substituted base cardinalities and per-edge selectivities.
+  CardinalityEstimator(const Hypergraph& graph, std::vector<double> base,
+                       const std::vector<double>& edge_selectivities);
+
+  const Hypergraph& graph() const { return *graph_; }
+
  private:
+  void BuildFactors(const std::vector<double>& edge_selectivities);
+
   const Hypergraph* graph_;
   std::vector<double> base_;
   std::vector<double> factors_;

@@ -1,0 +1,51 @@
+#include "cost/feedback.h"
+
+namespace dphyp {
+
+void CardinalityFeedback::Record(NodeSet plan_class, double actual_rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observed_[plan_class.bits()] = actual_rows;
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool CardinalityFeedback::Lookup(NodeSet plan_class, double* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = observed_.find(plan_class.bits());
+  if (it == observed_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+size_t CardinalityFeedback::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_.size();
+}
+
+void CardinalityFeedback::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  observed_.clear();
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::vector<std::pair<uint64_t, double>> CardinalityFeedback::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<uint64_t, double>> out;
+  out.reserve(observed_.size());
+  for (const auto& [bits, rows] : observed_) out.emplace_back(bits, rows);
+  return out;
+}
+
+int ApplyFeedbackToCatalog(const CardinalityFeedback& feedback,
+                           const QuerySpec& spec, Catalog* catalog) {
+  int refreshed = 0;
+  for (const auto& [bits, rows] : feedback.Snapshot()) {
+    NodeSet cls(bits);
+    if (!cls.IsSingleton()) continue;
+    int rel = cls.Min();
+    if (rel >= spec.NumRelations()) continue;
+    if (catalog->SetRowCount(spec.relations[rel].name, rows)) ++refreshed;
+  }
+  return refreshed;
+}
+
+}  // namespace dphyp

@@ -1,0 +1,77 @@
+// Execution feedback for cardinality estimation.
+//
+// A CardinalityFeedback store maps plan classes (NodeSets over one query's
+// relation numbering) to the row counts the executor actually observed.
+// Three consumers close the estimation loop:
+//   * the oracle model (cost/oracle_model.h) serves observed classes
+//     verbatim — the ablation upper bound on estimation quality,
+//   * q-error reports (cost/qerror.h) grade a served plan's estimates
+//     against the observations,
+//   * ApplyFeedbackToCatalog folds observed base-table cardinalities back
+//     into the statistics catalog, bumping its stats_version so cached
+//     plans estimated under the stale stats are invalidated.
+//
+// Scope: class keys are NodeSets, so a store is meaningful only for the
+// query (or identically-numbered query family) whose execution filled it.
+//
+// Thread-safety: Record/Lookup are mutex-guarded (a serving layer may share
+// one store across worker threads); `version()` is an atomic read.
+#ifndef DPHYP_COST_FEEDBACK_H_
+#define DPHYP_COST_FEEDBACK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/query_spec.h"
+#include "util/node_set.h"
+
+namespace dphyp {
+
+/// Observed per-class cardinalities of executed plans.
+class CardinalityFeedback {
+ public:
+  CardinalityFeedback() = default;
+  CardinalityFeedback(const CardinalityFeedback&) = delete;
+  CardinalityFeedback& operator=(const CardinalityFeedback&) = delete;
+
+  /// Records the observed row count of `plan_class` (last write wins) and
+  /// bumps the version.
+  void Record(NodeSet plan_class, double actual_rows);
+
+  /// True when `plan_class` has an observation; copies it into `*out`
+  /// (which may be null to probe).
+  bool Lookup(NodeSet plan_class, double* out) const;
+
+  /// Number of observed classes.
+  size_t size() const;
+
+  /// Monotone counter bumped per Record; the oracle model mixes it into
+  /// its fingerprint so cached plans notice new observations.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  void Clear();
+
+  /// Snapshot of all observations (class bits, rows), unordered.
+  std::vector<std::pair<uint64_t, double>> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, double> observed_;
+  std::atomic<uint64_t> version_{0};
+};
+
+/// Folds observed base-relation cardinalities (singleton classes) into
+/// `catalog` as refreshed row counts, matching relations by name through
+/// `spec`. Returns the number of tables refreshed; any refresh bumps the
+/// catalog's stats_version (the serving layer's cache-invalidation signal).
+int ApplyFeedbackToCatalog(const CardinalityFeedback& feedback,
+                           const QuerySpec& spec, Catalog* catalog);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_COST_FEEDBACK_H_

@@ -1,0 +1,145 @@
+#include "cost/model_registry.h"
+
+#include <cctype>
+#include <mutex>
+
+#include "cost/oracle_model.h"
+#include "cost/stats_model.h"
+
+namespace dphyp {
+
+namespace {
+
+bool NameEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class ProductFactory : public CardinalityModelFactory {
+ public:
+  const char* Name() const override { return "product"; }
+  Result<std::unique_ptr<CardinalityModel>> Create(
+      const CardinalityModelInputs& inputs) const override {
+    if (inputs.graph == nullptr) {
+      return Err("model 'product' requires a hypergraph");
+    }
+    return std::unique_ptr<CardinalityModel>(
+        std::make_unique<CardinalityEstimator>(*inputs.graph));
+  }
+};
+
+class StatsFactory : public CardinalityModelFactory {
+ public:
+  const char* Name() const override { return "stats"; }
+  Result<std::unique_ptr<CardinalityModel>> Create(
+      const CardinalityModelInputs& inputs) const override {
+    if (inputs.graph == nullptr || inputs.spec == nullptr) {
+      return Err("model 'stats' requires a hypergraph and its QuerySpec");
+    }
+    return std::unique_ptr<CardinalityModel>(
+        std::make_unique<StatsCardinalityModel>(*inputs.graph, *inputs.spec,
+                                                inputs.catalog));
+  }
+};
+
+class OracleFactory : public CardinalityModelFactory {
+ public:
+  const char* Name() const override { return "oracle"; }
+  Result<std::unique_ptr<CardinalityModel>> Create(
+      const CardinalityModelInputs& inputs) const override {
+    if (inputs.graph == nullptr) {
+      return Err("model 'oracle' requires a hypergraph");
+    }
+    if (inputs.feedback == nullptr) {
+      return Err(
+          "model 'oracle' requires an executor-fed CardinalityFeedback "
+          "store (run the query with feedback recording first)");
+    }
+    return std::unique_ptr<CardinalityModel>(
+        std::make_unique<OracleCardinalityModel>(*inputs.graph,
+                                                 *inputs.feedback));
+  }
+};
+
+}  // namespace
+
+struct CardinalityModelRegistry::Impl {
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<CardinalityModelFactory>> entries;
+};
+
+CardinalityModelRegistry::CardinalityModelRegistry() : impl_(new Impl) {
+  impl_->entries.push_back(std::make_unique<ProductFactory>());
+  impl_->entries.push_back(std::make_unique<StatsFactory>());
+  impl_->entries.push_back(std::make_unique<OracleFactory>());
+}
+
+CardinalityModelRegistry& CardinalityModelRegistry::Global() {
+  static CardinalityModelRegistry* registry = new CardinalityModelRegistry();
+  return *registry;
+}
+
+void CardinalityModelRegistry::Register(
+    std::unique_ptr<CardinalityModelFactory> factory) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& existing : impl_->entries) {
+    if (NameEquals(existing->Name(), factory->Name())) {
+      existing = std::move(factory);  // last registration wins
+      return;
+    }
+  }
+  impl_->entries.push_back(std::move(factory));
+}
+
+bool CardinalityModelRegistry::Unregister(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto it = impl_->entries.begin(); it != impl_->entries.end(); ++it) {
+    if (NameEquals((*it)->Name(), name)) {
+      impl_->entries.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::unique_ptr<CardinalityModel>> CardinalityModelRegistry::Create(
+    std::string_view name, const CardinalityModelInputs& inputs) const {
+  if (name.empty()) name = kDefaultCardinalityModel;
+  const CardinalityModelFactory* factory = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const auto& e : impl_->entries) {
+      if (NameEquals(e->Name(), name)) {
+        factory = e.get();
+        break;
+      }
+    }
+  }
+  if (factory == nullptr) {
+    std::string message = "unknown cardinality model '";
+    message.append(name);
+    message += "'; registered:";
+    for (const std::string& n : Names()) {
+      message += ' ';
+      message += n;
+    }
+    return Err(std::move(message));
+  }
+  return factory->Create(inputs);
+}
+
+std::vector<std::string> CardinalityModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> names;
+  names.reserve(impl_->entries.size());
+  for (const auto& e : impl_->entries) names.emplace_back(e->Name());
+  return names;
+}
+
+}  // namespace dphyp

@@ -1,0 +1,91 @@
+// The CardinalityModel registry: estimation strategies as named, registered
+// values — the estimation-side mirror of core/enumerator.h's
+// EnumeratorRegistry. Models are constructed per query (they bind to a
+// graph and its statistics context), so the registry holds *factories*;
+// `CreateCardinalityModel("stats", inputs)` is the one call every layer
+// (service, session, qdl_tool, benches) resolves a model through. Adding a
+// model to the system is one Register — it becomes selectable by name
+// everywhere, with structured errors for unknown names or missing inputs.
+#ifndef DPHYP_COST_MODEL_REGISTRY_H_
+#define DPHYP_COST_MODEL_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/query_spec.h"
+#include "cost/cardinality.h"
+#include "cost/feedback.h"
+#include "hypergraph/hypergraph.h"
+#include "util/result.h"
+
+namespace dphyp {
+
+/// The default model name ("product", the pre-redesign behavior).
+inline constexpr const char* kDefaultCardinalityModel = "product";
+
+/// Everything a model factory may bind to. `graph` is mandatory; the rest
+/// is per-model: "stats" wants `spec` (and a catalog — explicit here or
+/// bound to the spec), "oracle" requires `feedback`. All referenced objects
+/// must outlive the created model.
+struct CardinalityModelInputs {
+  const Hypergraph* graph = nullptr;
+  const QuerySpec* spec = nullptr;
+  const Catalog* catalog = nullptr;
+  const CardinalityFeedback* feedback = nullptr;
+};
+
+/// Constructs one model family. Stateless; one registered instance serves
+/// concurrent Create calls.
+class CardinalityModelFactory {
+ public:
+  virtual ~CardinalityModelFactory() = default;
+
+  /// Registry name (a static string). Lookup is case-insensitive.
+  virtual const char* Name() const = 0;
+
+  /// Builds a model bound to `inputs`, or a structured error when a
+  /// required input is missing.
+  virtual Result<std::unique_ptr<CardinalityModel>> Create(
+      const CardinalityModelInputs& inputs) const = 0;
+};
+
+/// Thread-safe global registry with the three built-ins ("product",
+/// "stats", "oracle") pre-registered.
+class CardinalityModelRegistry {
+ public:
+  static CardinalityModelRegistry& Global();
+
+  /// Registers `factory` under its Name(); last registration wins (the
+  /// stub-shadowing mechanism tests use).
+  void Register(std::unique_ptr<CardinalityModelFactory> factory);
+
+  /// Removes the factory named `name`; true when something was removed.
+  bool Unregister(std::string_view name);
+
+  /// Resolves `name` (empty means the default model) and creates a model;
+  /// structured error listing registered names when `name` is unknown.
+  Result<std::unique_ptr<CardinalityModel>> Create(
+      std::string_view name, const CardinalityModelInputs& inputs) const;
+
+  /// Registered names, in registration order.
+  std::vector<std::string> Names() const;
+
+ private:
+  CardinalityModelRegistry();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience for the common call shape.
+inline Result<std::unique_ptr<CardinalityModel>> CreateCardinalityModel(
+    std::string_view name, const CardinalityModelInputs& inputs) {
+  return CardinalityModelRegistry::Global().Create(name, inputs);
+}
+
+}  // namespace dphyp
+
+#endif  // DPHYP_COST_MODEL_REGISTRY_H_

@@ -1,0 +1,29 @@
+#include "cost/oracle_model.h"
+
+namespace dphyp {
+
+OracleCardinalityModel::OracleCardinalityModel(
+    const Hypergraph& graph, const CardinalityFeedback& actuals)
+    : CardinalityEstimator(graph),
+      actuals_(&actuals),
+      feedback_version_(actuals.version()) {}
+
+double OracleCardinalityModel::EstimateBase(int node) const {
+  double actual = 0.0;
+  if (actuals_->Lookup(NodeSet::Single(node), &actual)) return actual;
+  return CardinalityEstimator::EstimateBase(node);
+}
+
+double OracleCardinalityModel::EstimateClass(NodeSet S) const {
+  double actual = 0.0;
+  if (actuals_->Lookup(S, &actual)) return actual;
+  return CardinalityEstimator::EstimateClass(S);
+}
+
+uint64_t OracleCardinalityModel::Fingerprint() const {
+  uint64_t h = HashModelName("oracle");
+  h ^= feedback_version_ * 0x9E3779B97F4A7C15ull;
+  return h;
+}
+
+}  // namespace dphyp

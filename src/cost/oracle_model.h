@@ -1,0 +1,51 @@
+// The injected true-cardinality oracle ("oracle").
+//
+// Serves the executor-observed row count for every plan class present in a
+// CardinalityFeedback store and falls back to the product-form estimate
+// for classes never executed. This is the standard ablation instrument for
+// estimation research ("how much of the plan-quality gap is cardinality
+// error?"): optimizing under the oracle yields the plan the optimizer
+// *would* pick with perfect statistics.
+//
+// Estimates remain a pure function of the class (one stored value per
+// NodeSet), so Bellman's principle — and with it the exact-DP agreement
+// guarantees — holds under the oracle exactly as under the product form.
+#ifndef DPHYP_COST_ORACLE_MODEL_H_
+#define DPHYP_COST_ORACLE_MODEL_H_
+
+#include "cost/cardinality.h"
+#include "cost/feedback.h"
+
+namespace dphyp {
+
+class OracleCardinalityModel : public CardinalityEstimator {
+ public:
+  /// `actuals` must outlive the model; it is read per estimate so
+  /// observations recorded between optimizations are served immediately.
+  /// The store must NOT be mutated *while an optimization runs* on this
+  /// model: a class whose estimate changes mid-enumeration makes subplan
+  /// costs order-dependent, voiding the Bellman purity contract of
+  /// CardinalityModel::EstimateClass. Record between runs (the
+  /// optimize-execute-reoptimize loop), never concurrently with one.
+  OracleCardinalityModel(const Hypergraph& graph,
+                         const CardinalityFeedback& actuals);
+
+  double EstimateBase(int node) const override;
+  double EstimateClass(NodeSet S) const override;
+  const char* name() const override { return "oracle"; }
+
+  /// Mixes the feedback version (snapshotted at construction) into the
+  /// digest so newly observed classes re-key cached plans.
+  uint64_t Fingerprint() const override;
+
+  /// Classes served from feedback vs. product-form fallback, for reports.
+  const CardinalityFeedback& actuals() const { return *actuals_; }
+
+ private:
+  const CardinalityFeedback* actuals_;
+  uint64_t feedback_version_ = 0;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_COST_ORACLE_MODEL_H_

@@ -1,0 +1,60 @@
+#include "cost/qerror.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace dphyp {
+
+double QError(double estimated, double actual) {
+  const double hi = std::max(estimated, actual) + 1.0;
+  const double lo = std::min(estimated, actual) + 1.0;
+  return hi / lo;
+}
+
+std::string QErrorStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "classes=%llu missing=%llu q_median=%.3f q_mean=%.3f "
+                "q_max=%.3f",
+                static_cast<unsigned long long>(classes),
+                static_cast<unsigned long long>(missing), median_q, mean_q,
+                max_q);
+  return buf;
+}
+
+namespace {
+
+void Collect(const PlanTreeNode* node, const CardinalityFeedback& actuals,
+             std::vector<double>* qs, QErrorStats* stats) {
+  if (node == nullptr || node->IsLeaf()) return;
+  Collect(node->left, actuals, qs, stats);
+  Collect(node->right, actuals, qs, stats);
+  double actual = 0.0;
+  if (!actuals.Lookup(node->set, &actual)) {
+    ++stats->missing;
+    return;
+  }
+  qs->push_back(QError(node->cardinality, actual));
+}
+
+}  // namespace
+
+QErrorStats ComputePlanQError(const PlanTree& plan,
+                              const CardinalityFeedback& actuals) {
+  QErrorStats stats;
+  if (!plan.Valid()) return stats;
+  std::vector<double> qs;
+  Collect(plan.root(), actuals, &qs, &stats);
+  stats.classes = qs.size();
+  if (qs.empty()) return stats;
+  std::sort(qs.begin(), qs.end());
+  stats.max_q = qs.back();
+  stats.median_q = qs[qs.size() / 2];
+  double sum = 0.0;
+  for (double q : qs) sum += q;
+  stats.mean_q = sum / static_cast<double>(qs.size());
+  return stats;
+}
+
+}  // namespace dphyp

@@ -1,0 +1,48 @@
+// Q-error: the standard metric for cardinality-estimation quality
+// (Moerkotte et al., "Preventing Bad Plans by Bounding the Impact of
+// Cardinality Estimation Errors"). For an estimate e and an actual a,
+//   q = max(e, a) / min(e, a)   (>= 1; 1 is a perfect estimate).
+// We smooth both sides by +1 so empty results do not divide by zero:
+//   q = (max(e, a) + 1) / (min(e, a) + 1).
+//
+// ComputePlanQError grades a served plan: every inner plan node carries the
+// optimizer's estimated cardinality for its class; the feedback store holds
+// what the executor actually produced. OptimizationSession aggregates these
+// reports per query (service observability), and the estimation bench
+// records per-model medians.
+#ifndef DPHYP_COST_QERROR_H_
+#define DPHYP_COST_QERROR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cost/feedback.h"
+#include "plan/plan_tree.h"
+
+namespace dphyp {
+
+/// Estimation-quality report over the classes of one plan.
+struct QErrorStats {
+  /// Inner plan classes with an observed actual (graded).
+  uint64_t classes = 0;
+  /// Inner plan classes the feedback store had no observation for.
+  uint64_t missing = 0;
+  double max_q = 0.0;
+  double median_q = 0.0;
+  double mean_q = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Smoothed q-error of one (estimate, actual) pair.
+double QError(double estimated, double actual);
+
+/// Grades every inner node of `plan` (leaves are exact by construction in
+/// the synthetic datasets and carry no estimation decision) against the
+/// observed actuals.
+QErrorStats ComputePlanQError(const PlanTree& plan,
+                              const CardinalityFeedback& actuals);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_COST_QERROR_H_

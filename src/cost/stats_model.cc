@@ -1,0 +1,109 @@
+#include "cost/stats_model.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dphyp {
+
+namespace {
+
+const Catalog* EffectiveCatalog(const QuerySpec& spec, const Catalog* catalog) {
+  return catalog != nullptr ? catalog : spec.catalog.get();
+}
+
+/// Catalog lookup for one relation: O(1) through the table_id BindCatalog
+/// resolved; name scan only for unbound specs handed an explicit catalog.
+std::optional<TableStats> RelationStats(const QuerySpec& spec, int rel,
+                                        const Catalog* catalog) {
+  if (catalog == nullptr || rel >= spec.NumRelations()) return std::nullopt;
+  const RelationInfo& info = spec.relations[rel];
+  // The table_id shortcut is only valid against the catalog it was
+  // resolved for (the spec's bound one).
+  if (info.table_id >= 0 && catalog == spec.catalog.get()) {
+    return catalog->TableAt(info.table_id);
+  }
+  return catalog->FindTable(info.name);
+}
+
+std::vector<double> StatsBaseCards(const Hypergraph& graph,
+                                   const QuerySpec& spec,
+                                   const Catalog* catalog) {
+  std::vector<double> base;
+  base.reserve(graph.NumNodes());
+  for (int i = 0; i < graph.NumNodes(); ++i) {
+    double card = graph.node(i).cardinality;
+    if (auto stats = RelationStats(spec, i, catalog);
+        stats.has_value() && stats->row_count > 0.0) {
+      card = stats->row_count;
+    }
+    base.push_back(card);
+  }
+  return base;
+}
+
+std::vector<double> StatsEdgeSelectivities(const Hypergraph& graph,
+                                           const QuerySpec& spec,
+                                           const Catalog* catalog) {
+  std::vector<double> sels;
+  sels.reserve(graph.NumEdges());
+  for (int i = 0; i < graph.NumEdges(); ++i) {
+    const Hyperedge& e = graph.edge(i);
+    double sel = e.selectivity;
+    if (e.predicate_id >= 0 &&
+        e.predicate_id < static_cast<int>(spec.predicates.size())) {
+      sel = StatsDerivedSelectivity(spec.predicates[e.predicate_id], spec,
+                                    catalog);
+    }
+    sels.push_back(sel);
+  }
+  return sels;
+}
+
+}  // namespace
+
+double StatsDerivedSelectivity(const Predicate& pred, const QuerySpec& spec,
+                               const Catalog* catalog) {
+  if (!pred.derive_selectivity || catalog == nullptr) return pred.selectivity;
+  double max_ndv = 0.0;
+  auto consider = [&](int table, int column) {
+    if (table < 0) return;
+    std::optional<TableStats> stats = RelationStats(spec, table, catalog);
+    if (!stats.has_value()) return;
+    if (column >= 0 && column < static_cast<int>(stats->columns.size())) {
+      max_ndv = std::max(max_ndv, stats->columns[column].distinct_count);
+    }
+  };
+  if (!pred.refs.empty()) {
+    for (const ColumnRef& ref : pred.refs) consider(ref.table, ref.column);
+  } else {
+    // Payload not filled yet: the default payload references column 0 of
+    // every table the predicate touches, so derive from those.
+    for (int t : pred.AllTables()) consider(t, 0);
+  }
+  if (max_ndv <= 0.0) return pred.selectivity;  // no usable stats
+  return std::min(1.0, 1.0 / max_ndv);
+}
+
+StatsCardinalityModel::StatsCardinalityModel(const Hypergraph& graph,
+                                             const QuerySpec& spec,
+                                             const Catalog* catalog)
+    : CardinalityEstimator(
+          graph, StatsBaseCards(graph, spec, EffectiveCatalog(spec, catalog)),
+          StatsEdgeSelectivities(graph, spec,
+                                 EffectiveCatalog(spec, catalog))),
+      spec_(&spec),
+      catalog_(EffectiveCatalog(spec, catalog)) {
+  if (catalog_ != nullptr) catalog_version_ = catalog_->stats_version();
+}
+
+uint64_t StatsCardinalityModel::Fingerprint() const {
+  uint64_t h = HashModelName("stats");
+  h ^= catalog_version_ * 0x9E3779B97F4A7C15ull;
+  return h;
+}
+
+double StatsCardinalityModel::DeriveSelectivity(const Predicate& pred) const {
+  return StatsDerivedSelectivity(pred, *spec_, catalog_);
+}
+
+}  // namespace dphyp

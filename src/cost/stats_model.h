@@ -1,0 +1,55 @@
+// The catalog-stats-derived cardinality model ("stats").
+//
+// Same product-form machinery as the default estimator, but the inputs are
+// read from the statistics catalog instead of the flat values frozen into
+// the hypergraph:
+//   * base cardinalities come from the catalog's current row counts (so a
+//     feedback-driven refresh changes estimates without rebuilding specs),
+//   * a predicate that omits its selectivity derives it as 1/max(ndv) over
+//     the distinct counts of its referenced columns — the classical
+//     equality-join rule PostgreSQL's eqjoinsel and Hyrise's histogram
+//     fallback both reduce to; explicit selectivities always win.
+// Anything the catalog cannot answer falls back to the spec's values, so
+// the model degrades gracefully to the product-form default on unbound
+// specs.
+#ifndef DPHYP_COST_STATS_MODEL_H_
+#define DPHYP_COST_STATS_MODEL_H_
+
+#include "catalog/catalog.h"
+#include "catalog/query_spec.h"
+#include "cost/cardinality.h"
+
+namespace dphyp {
+
+class StatsCardinalityModel : public CardinalityEstimator {
+ public:
+  /// `catalog` may be null, in which case the spec's bound catalog
+  /// (spec.catalog) is used; with neither, the model is the product-form
+  /// default under another name. The catalog must outlive the model.
+  StatsCardinalityModel(const Hypergraph& graph, const QuerySpec& spec,
+                        const Catalog* catalog = nullptr);
+
+  const char* name() const override { return "stats"; }
+
+  /// Mixes the catalog's stats_version (snapshotted at construction) into
+  /// the model digest: a catalog bump re-keys every cached plan.
+  uint64_t Fingerprint() const override;
+
+  double DeriveSelectivity(const Predicate& pred) const override;
+
+ private:
+  const QuerySpec* spec_;
+  const Catalog* catalog_;  // may be null
+  uint64_t catalog_version_ = 0;
+};
+
+/// The 1/max(ndv) derivation (shared with the model constructor, which
+/// cannot call virtuals): selectivity for `pred` under `catalog` stats, or
+/// `pred.selectivity` when the predicate is explicit or no referenced
+/// column has a known distinct count. Clamped to (0, 1].
+double StatsDerivedSelectivity(const Predicate& pred, const QuerySpec& spec,
+                               const Catalog* catalog);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_COST_STATS_MODEL_H_

@@ -125,9 +125,29 @@ ExecResult Executor::Execute(const PlanTree& plan) const {
 
 std::vector<ExecTuple> Executor::Evaluate(const PlanTreeNode* node,
                                           const ExecTuple& context) const {
-  if (node->IsLeaf()) return EvaluateLeaf(node, context);
-  std::vector<ExecTuple> left_rows = Evaluate(node->left, context);
-  return Combine(node, left_rows, context);
+  std::vector<ExecTuple> rows;
+  if (node->IsLeaf()) {
+    rows = EvaluateLeaf(node, context);
+  } else {
+    std::vector<ExecTuple> left_rows = Evaluate(node->left, context);
+    rows = Combine(node, left_rows, context);
+  }
+  if (feedback_ != nullptr) {
+    // Only unbound evaluations are true class cardinalities: a dependent
+    // operator re-evaluates its right child once per left tuple, and those
+    // partial results must not pollute the feedback store.
+    bool bound = false;
+    for (int32_t r : context.rows) {
+      if (r != ExecTuple::kAbsent) {
+        bound = true;
+        break;
+      }
+    }
+    if (!bound) {
+      feedback_->Record(node->set, static_cast<double>(rows.size()));
+    }
+  }
+  return rows;
 }
 
 std::vector<ExecTuple> Executor::EvaluateLeaf(const PlanTreeNode* node,

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "cost/feedback.h"
 #include "exec/dataset.h"
 #include "hypergraph/hypergraph.h"
 #include "plan/plan_tree.h"
@@ -77,12 +78,18 @@ class Executor {
   /// `graph` provides edge operators (nestjoin aggregate anchoring);
   /// `relations` supplies lateral correlation payloads; `conjuncts` maps
   /// edge ids (as referenced by PlanTreeNode::edge_ids) to predicates.
+  /// A non-null `feedback` store receives the observed cardinality of every
+  /// top-level plan class evaluated (leaves included; dependent
+  /// re-evaluations under a bound context are partial results and are
+  /// skipped) — the execution side of the estimation feedback loop.
   Executor(const Dataset& dataset, const Hypergraph& graph,
-           const std::vector<RelationInfo>& relations, EdgeConjuncts conjuncts)
+           const std::vector<RelationInfo>& relations, EdgeConjuncts conjuncts,
+           CardinalityFeedback* feedback = nullptr)
       : dataset_(dataset),
         graph_(graph),
         relations_(relations),
-        conjuncts_(std::move(conjuncts)) {}
+        conjuncts_(std::move(conjuncts)),
+        feedback_(feedback) {}
 
   /// Runs the plan and returns its result multiset.
   ExecResult Execute(const PlanTree& plan) const;
@@ -100,6 +107,7 @@ class Executor {
   const Hypergraph& graph_;
   const std::vector<RelationInfo>& relations_;
   EdgeConjuncts conjuncts_;
+  CardinalityFeedback* feedback_ = nullptr;
 };
 
 }  // namespace dphyp

@@ -216,7 +216,7 @@ DerivedQuery DeriveQuery(const OperatorTree& original, OperatorTree* tree_out) {
 }
 
 PlanTree ReferencePlan(const OperatorTree& tree, const DerivedQuery& derived,
-                       const CardinalityEstimator& est, const CostModel& model) {
+                       const CardinalityModel& est, const CostModel& model) {
   // Map operator node id -> derived edge id.
   std::vector<int> op_to_edge(tree.nodes.size(), -1);
   for (size_t e = 0; e < derived.edge_to_op.size(); ++e) {

@@ -60,7 +60,7 @@ DerivedQuery DeriveQuery(const OperatorTree& tree,
 /// both for semantics (executor comparison) and for the "optimized cost
 /// must not exceed original cost" sanity check.
 PlanTree ReferencePlan(const OperatorTree& tree, const DerivedQuery& derived,
-                       const CardinalityEstimator& est, const CostModel& model);
+                       const CardinalityModel& est, const CostModel& model);
 
 }  // namespace dphyp
 

@@ -26,7 +26,7 @@ DispatchDecision ChooseRoute(const Hypergraph& graph,
 }
 
 OptimizeResult OptimizeAdaptive(const Hypergraph& graph,
-                                const CardinalityEstimator& est,
+                                const CardinalityModel& est,
                                 const CostModel& cost_model,
                                 const DispatchPolicy& policy,
                                 const OptimizerOptions& options,

@@ -37,7 +37,7 @@ DispatchDecision ChooseRoute(const Hypergraph& graph,
 /// enumerator produced (self-contained without a workspace; borrowing the
 /// workspace's table with one).
 OptimizeResult OptimizeAdaptive(const Hypergraph& graph,
-                                const CardinalityEstimator& est,
+                                const CardinalityModel& est,
                                 const CostModel& cost_model,
                                 const DispatchPolicy& policy = {},
                                 const OptimizerOptions& options = {},

@@ -129,4 +129,11 @@ Fingerprint FingerprintQuery(const QuerySpec& spec) {
   return FingerprintHypergraph(BuildHypergraphOrDie(spec));
 }
 
+Fingerprint SaltFingerprint(Fingerprint fp, uint64_t salt) {
+  Fingerprint out;
+  out.hi = Mix(fp.hi ^ Mix(salt));
+  out.lo = Mix(fp.lo ^ Mix(salt + 0x9E3779B97F4A7C15ull));
+  return out;
+}
+
 }  // namespace dphyp

@@ -47,6 +47,14 @@ struct FingerprintHasher {
 /// optimizer consumes hypergraphs).
 Fingerprint FingerprintHypergraph(const Hypergraph& graph);
 
+/// Mixes `salt` into a fingerprint (splitmix64 on both halves). The plan
+/// service salts graph fingerprints with the cardinality model's digest and
+/// the catalog stats_version, so plans estimated under a different model —
+/// or under statistics that have since been refreshed — can never be served
+/// as hits. Mixing zero is the identity's moral equivalent but still
+/// permutes bits, so always salt through the same call path.
+Fingerprint SaltFingerprint(Fingerprint fp, uint64_t salt);
+
 /// Convenience: builds the hypergraph for `spec` and digests it. Aborts on
 /// invalid specs (callers wanting error handling should build the graph via
 /// BuildHypergraph themselves and use FingerprintHypergraph).

@@ -50,7 +50,7 @@ OptimizeResult MaterializePlan(const CachedPlan& plan) {
 }
 
 bool PlanConsistentWithGraph(const CachedPlan& plan, const Hypergraph& graph,
-                             const CardinalityEstimator& est) {
+                             const CardinalityModel& est) {
   if (plan.root_set != graph.AllNodes()) return false;
   for (const PlanEntry& entry : plan.entries) {
     if (entry.set.Empty() || !entry.set.IsSubsetOf(graph.AllNodes())) {
@@ -58,7 +58,11 @@ bool PlanConsistentWithGraph(const CachedPlan& plan, const Hypergraph& graph,
     }
     if (entry.IsLeaf()) {
       if (!entry.set.IsSingleton()) return false;
-      if (entry.cardinality != graph.node(entry.set.Min()).cardinality) {
+      // Leaves were seeded from the model (InitLeaves), not the graph: a
+      // stats/oracle model's base estimate can legitimately differ from
+      // the graph's flat cardinality, and a genuine hit matches the
+      // *model*, bit-for-bit.
+      if (entry.cardinality != est.EstimateBase(entry.set.Min())) {
         return false;
       }
       continue;

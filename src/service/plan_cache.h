@@ -61,7 +61,7 @@ OptimizeResult MaterializePlan(const CachedPlan& plan);
 /// so a hit must pass this check before being served; a false hit fails it
 /// and is treated as a miss.
 bool PlanConsistentWithGraph(const CachedPlan& plan, const Hypergraph& graph,
-                             const CardinalityEstimator& est);
+                             const CardinalityModel& est);
 
 /// Thread-safe sharded cache: Fingerprint -> CachedPlan.
 class PlanCache {

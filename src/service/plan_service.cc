@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "cost/model_registry.h"
 #include "hypergraph/builder.h"
 #include "service/session.h"
 #include "util/timer.h"
@@ -86,6 +87,11 @@ void PlanService::WorkerLoop() {
 }
 
 ServiceResult PlanService::OptimizeOne(const QuerySpec& spec) {
+  return OptimizeOne(spec, {});
+}
+
+ServiceResult PlanService::OptimizeOne(const QuerySpec& spec,
+                                       std::string_view model_name) {
   Timer timer;
   ServiceResult out;
 
@@ -97,11 +103,65 @@ ServiceResult PlanService::OptimizeOne(const QuerySpec& spec) {
   }
   const Hypergraph& graph = built.value();
 
-  CardinalityEstimator est(graph);
+  // Resolve the cardinality model: per-query override, else the service
+  // default, else product form. The registry returns structured errors for
+  // unknown names and missing inputs (e.g. oracle without a feedback
+  // store), which surface as per-query failures, not crashes.
+  if (model_name.empty()) model_name = options_.cardinality_model;
+  CardinalityModelInputs inputs;
+  inputs.graph = &graph;
+  inputs.spec = &spec;
+  inputs.catalog =
+      options_.catalog != nullptr ? options_.catalog.get() : spec.catalog.get();
+  inputs.feedback = options_.feedback.get();
+  // Feedback classes are keyed by one query's relation numbering: when the
+  // store is scoped, hand it only to the query it was recorded for —
+  // serving another query's observations would be silent garbage. The
+  // structural fingerprint is computed at most once, and only when
+  // something consumes it (the scope check here, the cache key below).
+  Fingerprint structural;
+  bool have_structural = false;
+  auto structural_fp = [&]() -> const Fingerprint& {
+    if (!have_structural) {
+      structural = FingerprintHypergraph(graph);
+      have_structural = true;
+    }
+    return structural;
+  };
+  const Fingerprint no_scope{};
+  bool feedback_out_of_scope = false;
+  if (inputs.feedback != nullptr && !(options_.feedback_scope == no_scope) &&
+      !(structural_fp() == options_.feedback_scope)) {
+    feedback_out_of_scope = true;
+    inputs.feedback = nullptr;
+  }
+  Result<std::unique_ptr<CardinalityModel>> model =
+      CreateCardinalityModel(model_name, inputs);
+  if (!model.ok()) {
+    out.error = model.error().message;
+    if (feedback_out_of_scope) {
+      // The factory's "record feedback first" advice cannot help here:
+      // name the actual problem.
+      out.error +=
+          " [the service's feedback store is scoped to a different query "
+          "(ServiceOptions::feedback_scope) and was withheld]";
+    }
+    out.latency_ms = timer.ElapsedMillis();
+    return out;
+  }
+  const CardinalityModel& est = *model.value();
+  out.model = est.name();
 
   Fingerprint key;
   if (cache_enabled_) {
-    key = FingerprintHypergraph(graph);
+    // Salt the structural fingerprint with the model digest and the live
+    // catalog version: plans estimated under another model — or under
+    // statistics that have since been refreshed — must miss. Two *nested*
+    // salts, not one XOR: a model fingerprint that itself mixes the
+    // catalog version (the stats model does) would cancel against an
+    // XORed version term, re-keying nothing.
+    key = SaltFingerprint(SaltFingerprint(structural_fp(), est.Fingerprint()),
+                          stats_version());
     CachedPlan cached;
     // A hit is only served after the structural consistency check: the
     // WL-1 fingerprint can collide for non-isomorphic regular graphs, and

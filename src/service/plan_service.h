@@ -24,11 +24,14 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "catalog/query_spec.h"
 #include "core/workspace.h"
+#include "cost/feedback.h"
 #include "service/dispatch.h"
 #include "service/plan_cache.h"
 
@@ -47,6 +50,24 @@ struct ServiceOptions {
   /// served the GOO fallback (ServiceResult::result.stats.aborted records
   /// it) — the tail-latency bound for the Sec. 3.6 explosion risk.
   double deadline_ms = 0.0;
+  /// Default cardinality model, by registry name (cost/model_registry.h);
+  /// empty means "product". Overridable per query via the OptimizeOne
+  /// overload.
+  std::string cardinality_model;
+  /// Statistics catalog backing stats-aware models. Shared with whoever
+  /// refreshes statistics; its stats_version is mixed into every cache key,
+  /// so a bump (ANALYZE, feedback ingestion) invalidates all cached plans.
+  std::shared_ptr<const Catalog> catalog;
+  /// Execution-feedback store backing the "oracle" model. Only consulted
+  /// when a query selects that model. Feedback classes are NodeSets over
+  /// ONE query's relation numbering, so the store must be scoped:
+  /// `feedback_scope` names the (structural) fingerprint of the query the
+  /// store was filled from, and oracle requests for any other query are
+  /// rejected with a structured error instead of silently serving a
+  /// different query's cardinalities. A default (zero) scope disables the
+  /// check — for callers that guarantee single-template traffic.
+  std::shared_ptr<const CardinalityFeedback> feedback;
+  Fingerprint feedback_scope;
 };
 
 /// Outcome for one query of a batch.
@@ -58,6 +79,8 @@ struct ServiceResult {
   /// Registry name of the enumerator that produced (or originally
   /// produced, for cache hits) the served plan.
   std::string algorithm;
+  /// Registry name of the cardinality model the plan was estimated under.
+  std::string model;
   bool cache_hit = false;
   double latency_ms = 0.0;
   /// Full optimizer result, rehydrated from the serialized plan (both on
@@ -104,8 +127,14 @@ class PlanService {
   PlanService& operator=(const PlanService&) = delete;
 
   /// Optimizes one spec on the calling thread (cache-integrated, runs on a
-  /// pooled workspace).
+  /// pooled workspace) under the service's default cardinality model.
   ServiceResult OptimizeOne(const QuerySpec& spec);
+
+  /// Same, under the named cardinality model ("product", "stats",
+  /// "oracle", or anything registered); empty falls back to the service
+  /// default. Plans are cached per (graph, model, stats_version), so
+  /// models never serve each other's plans.
+  ServiceResult OptimizeOne(const QuerySpec& spec, std::string_view model);
 
   /// Runs the whole batch across the worker pool and blocks until done.
   /// Safe to call from multiple threads (batches share the queue fairly).
@@ -115,6 +144,14 @@ class PlanService {
   WorkspacePool& workspaces() { return workspaces_; }
   const ServiceOptions& options() const { return options_; }
   int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Current version of the service's statistics catalog (0 without one).
+  /// Mixed into every cache key: after a bump, all earlier entries are
+  /// unreachable (and age out through LRU) — the cache-invalidation story
+  /// for feedback-driven stats refreshes.
+  uint64_t stats_version() const {
+    return options_.catalog != nullptr ? options_.catalog->stats_version() : 0;
+  }
 
  private:
   void WorkerLoop();

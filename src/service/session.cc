@@ -69,6 +69,27 @@ Result<OptimizeResult> OptimizationSession::Optimize(
   return fallback;
 }
 
+QErrorStats OptimizationSession::ReportQError(
+    const OptimizeResult& result, const Hypergraph& graph,
+    const CardinalityFeedback& actuals) {
+  QErrorStats stats;
+  if (!result.success || !result.has_table()) return stats;
+  stats = ComputePlanQError(result.ExtractPlan(graph), actuals);
+  quality_.missing += stats.missing;
+  // Only graded plans enter the aggregate: a plan none of whose classes
+  // was ever observed has median_q 0.0 — below the metric's floor of 1 —
+  // and folding it in would report impossibly good estimation.
+  if (stats.classes == 0) return stats;
+  ++quality_.plans;
+  quality_.classes += stats.classes;
+  if (stats.max_q > quality_.worst_q) quality_.worst_q = stats.max_q;
+  // Running mean of per-plan medians.
+  quality_.mean_median_q +=
+      (stats.median_q - quality_.mean_median_q) /
+      static_cast<double>(quality_.plans);
+  return stats;
+}
+
 Result<OptimizeResult> OptimizationSession::Optimize(const Hypergraph& graph,
                                                      double deadline_ms) {
   CardinalityEstimator est(graph);

@@ -22,9 +22,27 @@
 
 #include "core/enumerator.h"
 #include "core/workspace.h"
+#include "cost/feedback.h"
+#include "cost/qerror.h"
 #include "util/result.h"
 
 namespace dphyp {
+
+/// Running estimation-quality aggregate across one session's graded plans
+/// (q = smoothed q-error; see cost/qerror.h).
+struct SessionQuality {
+  /// Plans graded through ReportQError (plans with zero observed classes
+  /// contribute only to `missing` — their 0-valued medians would sit
+  /// below the metric's floor of 1 and poison the means).
+  uint64_t plans = 0;
+  /// Plan classes compared / lacking an observed actual, summed over plans.
+  uint64_t classes = 0;
+  uint64_t missing = 0;
+  /// Worst per-plan max q-error seen.
+  double worst_q = 0.0;
+  /// Mean of the per-plan median q-errors.
+  double mean_median_q = 0.0;
+};
 
 class OptimizationSession {
  public:
@@ -58,9 +76,22 @@ class OptimizationSession {
 
   OptimizerWorkspace& workspace();
 
+  /// Grades a served plan's estimates against executed actuals (the
+  /// feedback store the executor filled for this query), folds the report
+  /// into the session's running quality() aggregate, and returns it. The
+  /// per-query estimation observability hook: services call it after
+  /// executing a plan, tools (qdl_tool --explain --execute) print it.
+  QErrorStats ReportQError(const OptimizeResult& result,
+                           const Hypergraph& graph,
+                           const CardinalityFeedback& actuals);
+
+  /// Aggregate over every ReportQError call on this session.
+  const SessionQuality& quality() const { return quality_; }
+
  private:
   OptimizerWorkspace* ws_;
   std::unique_ptr<OptimizerWorkspace> owned_;
+  SessionQuality quality_;
 };
 
 }  // namespace dphyp

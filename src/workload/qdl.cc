@@ -1,10 +1,13 @@
 #include "workload/qdl.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 
+#include "cost/stats_model.h"
 #include "util/string_util.h"
 
 namespace dphyp {
@@ -60,8 +63,48 @@ class Parser {
         spec_.relations[rel].free_tables |= NodeSet::Single(id.value());
       }
     }
+    // Any ndv= attribute means the workload carries statistics: build the
+    // catalog (row counts for every relation, column stats where given)
+    // and bind it, so stats-aware models can derive selectivities.
+    if (have_stats_) {
+      auto catalog = std::make_shared<Catalog>();
+      for (size_t i = 0; i < spec_.relations.size(); ++i) {
+        TableStats stats;
+        stats.name = spec_.relations[i].name;
+        stats.row_count = spec_.relations[i].cardinality;
+        if (i < pending_ndvs_.size()) {
+          for (double ndv : pending_ndvs_[i]) {
+            stats.columns.push_back(ColumnStats{ndv, 0.0, 0.0});
+          }
+        }
+        catalog->AddTable(std::move(stats));
+      }
+      spec_.BindCatalog(std::move(catalog));
+    }
     Result<bool> valid = spec_.Validate();
     if (!valid.ok()) return valid.error();
+    // Executable payloads. A user-written mod= is authoritative: fill the
+    // default refs here so FillDefaultPayloads (which derives a modulus
+    // from the selectivity) cannot overwrite it. Derived predicates with
+    // catalog stats get a payload matching the derivation (modulus ~=
+    // max(ndv)), so executed actuals line up with what the stats model
+    // predicts; predicates whose columns carry no ndv fall through to the
+    // selectivity-based default (StatsDerivedSelectivity returns the
+    // stored selectivity unchanged when it has nothing to derive from).
+    for (size_t i = 0; i < spec_.predicates.size(); ++i) {
+      Predicate& p = spec_.predicates[i];
+      if (!p.refs.empty()) continue;
+      if (explicit_mod_[i]) {
+        for (int t : p.AllTables()) p.refs.push_back(ColumnRef{t, 0});
+        continue;
+      }
+      if (spec_.catalog == nullptr || !p.derive_selectivity) continue;
+      double sel = StatsDerivedSelectivity(p, spec_, spec_.catalog.get());
+      if (sel >= 1.0 || sel == p.selectivity) continue;  // nothing derived
+      for (int t : p.AllTables()) p.refs.push_back(ColumnRef{t, 0});
+      p.modulus = std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(1.0 / sel)));
+    }
     spec_.FillDefaultPayloads();
     return std::move(spec_);
   }
@@ -92,6 +135,7 @@ class Parser {
     RelationInfo rel;
     rel.name = name;
     bool have_card = false;
+    std::vector<double> ndvs;
     for (size_t i = 2; i < tokens.size(); ++i) {
       const Token& t = tokens[i];
       if (t.key == "card") {
@@ -99,6 +143,15 @@ class Parser {
         have_card = true;
       } else if (t.key == "cols") {
         rel.num_columns = std::atoi(t.value.c_str());
+      } else if (t.key == "ndv") {
+        for (const std::string& v : SplitAndTrim(t.value, ',')) {
+          double ndv = std::atof(v.c_str());
+          if (!(ndv > 0.0)) {
+            return Err("relation '" + name + "': ndv values must be > 0, got '" +
+                       v + "'");
+          }
+          ndvs.push_back(ndv);
+        }
       } else if (t.key == "free") {
         pending_free_.emplace_back(spec_.NumRelations(),
                                    SplitAndTrim(t.value, ','));
@@ -107,6 +160,9 @@ class Parser {
       }
     }
     if (!have_card) return Err("relation '" + name + "' needs card=");
+    if (!ndvs.empty()) have_stats_ = true;
+    pending_ndvs_.resize(spec_.NumRelations() + 1);
+    pending_ndvs_[spec_.NumRelations()] = std::move(ndvs);
     by_name_[name] = spec_.NumRelations();
     spec_.relations.push_back(std::move(rel));
     return true;
@@ -115,6 +171,7 @@ class Parser {
   Result<bool> ParsePredicate(const std::vector<Token>& tokens) {
     Predicate pred;
     bool have_left = false, have_right = false, have_sel = false;
+    bool have_mod = false;
     for (size_t i = 1; i < tokens.size(); ++i) {
       const Token& t = tokens[i];
       if (t.key == "left" || t.key == "right" || t.key == "flex") {
@@ -130,7 +187,18 @@ class Parser {
           pred.flex = set.value();
         }
       } else if (t.key == "sel") {
-        pred.selectivity = std::atof(t.value.c_str());
+        // Hard validation, not silent defaulting: a selectivity the user
+        // wrote must parse and lie in (0, 1], or the query is rejected
+        // with a structured error naming the offending value.
+        char* end = nullptr;
+        double sel = std::strtod(t.value.c_str(), &end);
+        if (end == t.value.c_str() || *end != '\0') {
+          return Err("sel= must be a number, got '" + t.value + "'");
+        }
+        if (!(sel > 0.0) || sel > 1.0) {
+          return Err("sel= must be in (0, 1], got '" + t.value + "'");
+        }
+        pred.selectivity = sel;
         have_sel = true;
       } else if (t.key == "op") {
         OpType op;
@@ -140,6 +208,7 @@ class Parser {
         pred.op = op;
       } else if (t.key == "mod") {
         pred.modulus = std::atoll(t.value.c_str());
+        have_mod = true;
       } else if (t.key == "refs") {
         for (const std::string& ref : SplitAndTrim(t.value, ',')) {
           size_t dot = ref.find('.');
@@ -156,7 +225,11 @@ class Parser {
       }
     }
     if (!have_left || !have_right) return Err("predicate needs left= and right=");
-    if (!have_sel) return Err("predicate needs sel=");
+    // Omitted sel= means "derive from catalog stats": the stored value
+    // stays at the spec default (used by the product-form model), and
+    // stats-aware models derive 1/max(ndv).
+    pred.derive_selectivity = !have_sel;
+    explicit_mod_.push_back(have_mod);
     spec_.predicates.push_back(std::move(pred));
     return true;
   }
@@ -164,6 +237,9 @@ class Parser {
   QuerySpec spec_;
   std::map<std::string, int> by_name_;
   std::vector<std::pair<int, std::vector<std::string>>> pending_free_;
+  std::vector<std::vector<double>> pending_ndvs_;
+  std::vector<bool> explicit_mod_;
+  bool have_stats_ = false;
 };
 
 std::string NamesOf(const QuerySpec& spec, NodeSet set) {
@@ -195,6 +271,16 @@ std::string WriteQdl(const QuerySpec& spec) {
   for (const RelationInfo& rel : spec.relations) {
     out += "relation " + rel.name + " card=" + FormatDouble(rel.cardinality);
     if (rel.num_columns != 2) out += " cols=" + std::to_string(rel.num_columns);
+    if (spec.catalog != nullptr) {
+      if (auto stats = spec.catalog->FindTable(rel.name);
+          stats.has_value() && !stats->columns.empty()) {
+        out += " ndv=";
+        for (size_t i = 0; i < stats->columns.size(); ++i) {
+          if (i) out += ",";
+          out += FormatDouble(stats->columns[i].distinct_count);
+        }
+      }
+    }
     if (!rel.free_tables.Empty()) out += " free=" + NamesOf(spec, rel.free_tables);
     out += "\n";
   }
@@ -202,7 +288,7 @@ std::string WriteQdl(const QuerySpec& spec) {
     out += "predicate left=" + NamesOf(spec, p.left) +
            " right=" + NamesOf(spec, p.right);
     if (!p.flex.Empty()) out += " flex=" + NamesOf(spec, p.flex);
-    out += " sel=" + FormatDouble(p.selectivity);
+    if (!p.derive_selectivity) out += " sel=" + FormatDouble(p.selectivity);
     if (p.op != OpType::kJoin) out += " op=" + std::string(OpName(p.op));
     if (p.modulus != 2) out += " mod=" + std::to_string(p.modulus);
     if (!p.refs.empty()) {

@@ -2,17 +2,25 @@
 // join-ordering problems, so examples and tools can load and save workloads.
 //
 //   # comment / blank lines ignored
-//   relation <name> card=<double> [cols=<int>] [free=<name,name,...>]
-//   predicate left=<names> right=<names> [flex=<names>] sel=<double>
+//   relation <name> card=<double> [cols=<int>] [ndv=<d,d,...>]
+//            [free=<name,name,...>]
+//   predicate left=<names> right=<names> [flex=<names>] [sel=<double>]
 //             [op=<operator-name>] [mod=<int>] [refs=<name.col,...>]
 //
 // Relations are numbered in declaration order (this is the node order `<`
-// of Def. 1). Example:
+// of Def. 1). `ndv=` supplies per-column distinct counts; when any relation
+// carries them, the parser builds a statistics Catalog and binds it to the
+// spec, so stats-aware cardinality models can derive selectivities.
+// `sel=` must be in (0, 1] — out-of-range or non-numeric values are
+// structured parse errors, never silent defaults. Omitting `sel=` marks
+// the predicate as derive-from-stats (Predicate::derive_selectivity): the
+// product-form model uses the 0.1 default, the "stats" model derives
+// 1/max(ndv) from the catalog. Example:
 //
-//   relation R0 card=1000
-//   relation R1 card=200
+//   relation R0 card=1000 ndv=100
+//   relation R1 card=200 ndv=40
 //   relation R2 card=5000
-//   predicate left=R0 right=R1 sel=0.01
+//   predicate left=R0 right=R1            # derived: sel = 1/100 under stats
 //   predicate left=R0,R1 right=R2 sel=0.002 op=leftouterjoin
 #ifndef DPHYP_WORKLOAD_QDL_H_
 #define DPHYP_WORKLOAD_QDL_H_

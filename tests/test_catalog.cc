@@ -121,5 +121,83 @@ TEST(QuerySpec, FillDefaultPayloads) {
   EXPECT_TRUE(spec.Validate().ok());
 }
 
+// --- Statistics catalog ------------------------------------------------------
+
+TEST(Catalog, VersionBumpsOnEveryMutation) {
+  Catalog catalog;
+  const uint64_t v0 = catalog.stats_version();
+
+  catalog.AddTable(TableStats{"orders", 1000.0, {{100.0, 0.0, 96.0}}});
+  const uint64_t v1 = catalog.stats_version();
+  EXPECT_GT(v1, v0);
+
+  ASSERT_TRUE(catalog.SetRowCount("orders", 2500.0));
+  const uint64_t v2 = catalog.stats_version();
+  EXPECT_GT(v2, v1);
+
+  ASSERT_TRUE(catalog.SetColumnStats("orders", 1, ColumnStats{40.0, 0.0, 39.0}));
+  const uint64_t v3 = catalog.stats_version();
+  EXPECT_GT(v3, v2);
+
+  catalog.BumpStatsVersion();
+  EXPECT_GT(catalog.stats_version(), v3);
+
+  // Unknown tables mutate nothing, including the version.
+  const uint64_t v4 = catalog.stats_version();
+  EXPECT_FALSE(catalog.SetRowCount("nope", 1.0));
+  EXPECT_EQ(catalog.stats_version(), v4);
+}
+
+TEST(Catalog, LookupAndReplacement) {
+  Catalog catalog;
+  int orders = catalog.AddTable(TableStats{"orders", 1000.0, {}});
+  int parts = catalog.AddTable(TableStats{"parts", 50.0, {{25.0, 0.0, 24.0}}});
+  EXPECT_EQ(catalog.NumTables(), 2);
+  EXPECT_EQ(catalog.IndexOf("orders"), orders);
+  EXPECT_EQ(catalog.IndexOf("parts"), parts);
+  EXPECT_EQ(catalog.IndexOf("missing"), -1);
+  EXPECT_FALSE(catalog.FindTable("missing").has_value());
+  EXPECT_FALSE(catalog.TableAt(7).has_value());
+
+  // Re-registering a name replaces in place (index stability).
+  EXPECT_EQ(catalog.AddTable(TableStats{"orders", 9999.0, {}}), orders);
+  EXPECT_EQ(catalog.NumTables(), 2);
+  auto stats = catalog.FindTable("orders");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_DOUBLE_EQ(stats->row_count, 9999.0);
+
+  // Growing column stats on demand.
+  ASSERT_TRUE(catalog.SetColumnStats("orders", 2, ColumnStats{12.0, 0.0, 11.0}));
+  stats = catalog.FindTable("orders");
+  ASSERT_EQ(stats->columns.size(), 3u);
+  EXPECT_DOUBLE_EQ(stats->columns[2].distinct_count, 12.0);
+}
+
+TEST(QuerySpec, BindCatalogSnapshotsRowCounts) {
+  auto catalog = std::make_shared<Catalog>();
+  catalog->AddTable(TableStats{"A", 500.0, {}});
+  // No entry for "B": it must stay unbound with its flat value.
+
+  QuerySpec spec;
+  spec.AddRelation("A", 10.0);
+  spec.AddRelation("B", 20.0);
+  spec.AddSimplePredicate(0, 1, 0.5);
+  spec.BindCatalog(catalog);
+
+  ASSERT_NE(spec.catalog, nullptr);
+  EXPECT_EQ(spec.relations[0].table_id, 0);
+  EXPECT_DOUBLE_EQ(spec.relations[0].cardinality, 500.0);  // snapshot
+  EXPECT_EQ(spec.relations[1].table_id, -1);
+  EXPECT_DOUBLE_EQ(spec.relations[1].cardinality, 20.0);  // untouched
+
+  // Later catalog changes do NOT retroactively rewrite the snapshot — that
+  // is exactly the stale-stats state stats-aware models detect live.
+  catalog->SetRowCount("A", 9000.0);
+  EXPECT_DOUBLE_EQ(spec.relations[0].cardinality, 500.0);
+
+  spec.BindCatalog(nullptr);
+  EXPECT_EQ(spec.relations[0].table_id, -1);
+}
+
 }  // namespace
 }  // namespace dphyp

@@ -1,0 +1,290 @@
+// The estimation suite (ctest -L estimation): the pluggable
+// CardinalityModel layer end to end.
+//   * Calibration of the product-form estimator against executed ground
+//     truth (the original calibration tests).
+//   * Bit-identity: all seven enumerators produce identical plan costs
+//     under the registry-created "product" model and a directly
+//     constructed CardinalityEstimator — the seed behavior the redesign
+//     must preserve exactly.
+//   * Q-error bounds for the catalog-stats-derived model on workloads
+//     whose executable payloads match the derived selectivities, and its
+//     superiority over defaulted selectivities.
+//   * The executor-fed oracle serving observed actuals verbatim.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/dphyp.h"
+#include "core/enumerator.h"
+#include "cost/model_registry.h"
+#include "cost/oracle_model.h"
+#include "cost/qerror.h"
+#include "cost/stats_model.h"
+#include "exec/executor.h"
+#include "hypergraph/builder.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+/// Builds a spec whose *estimator* cardinalities/selectivities match the
+/// *executable* payload exactly: every relation gets `rows` rows, every
+/// predicate selectivity 1/modulus.
+QuerySpec CalibratedSpec(int n, int rows, uint64_t seed) {
+  // Spanning trees only: cyclic graphs make sum-mod predicates strongly
+  // correlated (two conjuncts of a triangle imply the third), which no
+  // independence-based estimator can track.
+  QuerySpec spec = MakeRandomGraphQuery(n, 0.0, seed);
+  for (RelationInfo& rel : spec.relations) {
+    rel.cardinality = rows;
+  }
+  Rng rng(seed * 31 + 7);
+  for (Predicate& p : spec.predicates) {
+    int64_t modulus = 2 + static_cast<int64_t>(rng.Uniform(3));  // 2..4
+    p.modulus = modulus;
+    p.selectivity = 1.0 / static_cast<double>(modulus);
+    p.refs.clear();
+    for (int t : p.AllTables()) p.refs.push_back(ColumnRef{t, 0});
+  }
+  return spec;
+}
+
+class EstimatorCalibration : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EstimatorCalibration, EstimateTracksActualCardinality) {
+  const uint64_t seed = GetParam();
+  const int rows = 14;
+  QuerySpec spec = CalibratedSpec(5, rows, seed);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  CardinalityEstimator est(g);
+
+  OptimizeResult r = OptimizeDphyp(g, est, DefaultCostModel());
+  ASSERT_TRUE(r.success);
+  PlanTree plan = r.ExtractPlan(g);
+
+  Dataset data = Dataset::Generate(spec.relations, rows, seed ^ 0x5bd1e995);
+  Executor exec(data, g, spec.relations, ConjunctsFromSpec(spec, g));
+  ExecResult actual = exec.Execute(plan);
+
+  const double estimated = r.cardinality;
+  const double observed = static_cast<double>(actual.tuples.size());
+  // Sum-mod predicates over uniform columns are unbiased but correlated
+  // across shared tables; allow a wide band and a +1 cushion for empty
+  // results.
+  EXPECT_LE(observed, estimated * 12 + 12) << "estimate far too low";
+  EXPECT_GE(observed * 12 + 12, estimated) << "estimate far too high";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorCalibration,
+                         ::testing::Range<uint64_t>(1, 25));
+
+// --- Bit-identity of the default model --------------------------------------
+
+// Every enumerator, run twice per shape: once with a directly constructed
+// CardinalityEstimator (the pre-redesign call shape) and once with the
+// registry-created "product" model through the same entry point. Costs and
+// cardinalities must be bit-identical — the acceptance bar for threading
+// the CardinalityModel interface through the optimizer.
+TEST(DefaultModel, AllEnumeratorsBitIdenticalToDirectEstimator) {
+  std::vector<QuerySpec> specs = {MakeChainQuery(7), MakeStarQuery(6),
+                                  MakeCliqueQuery(6),
+                                  MakeCycleHypergraphQuery(8, 1)};
+  for (size_t s = 0; s < specs.size(); ++s) {
+    Hypergraph g = BuildHypergraphOrDie(specs[s]);
+    CardinalityEstimator direct(g);
+
+    CardinalityModelInputs inputs;
+    inputs.graph = &g;
+    inputs.spec = &specs[s];
+    Result<std::unique_ptr<CardinalityModel>> registry_model =
+        CreateCardinalityModel("product", inputs);
+    ASSERT_TRUE(registry_model.ok()) << registry_model.error().message;
+
+    for (const Enumerator* e : EnumeratorRegistry::Global().All()) {
+      if (!e->CanHandle(g)) continue;
+      OptimizeResult a = e->Optimize(g, direct, DefaultCostModel());
+      OptimizeResult b =
+          e->Optimize(g, *registry_model.value(), DefaultCostModel());
+      ASSERT_TRUE(a.success) << e->Name() << " spec " << s;
+      ASSERT_TRUE(b.success) << e->Name() << " spec " << s;
+      EXPECT_EQ(a.cost, b.cost) << e->Name() << " spec " << s;
+      EXPECT_EQ(a.cardinality, b.cardinality) << e->Name() << " spec " << s;
+    }
+  }
+}
+
+// A stats model over a spec with no catalog degrades to the product form
+// bit-identically (every fallback path returns the spec values).
+TEST(DefaultModel, StatsModelWithoutCatalogMatchesProduct) {
+  QuerySpec spec = MakeStarQuery(7);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  CardinalityEstimator product(g);
+  StatsCardinalityModel stats(g, spec);
+  OptimizeResult a = OptimizeDphyp(g, product, DefaultCostModel());
+  OptimizeResult b = OptimizeDphyp(g, stats, DefaultCostModel());
+  ASSERT_TRUE(a.success && b.success);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.cardinality, b.cardinality);
+}
+
+// --- Stats-derived model ----------------------------------------------------
+
+/// A chain whose statistics make derivation exact: every relation has
+/// `rows` rows, every predicate omits its selectivity, and the catalog
+/// records ndv = `modulus` for the joined columns — so the stats model
+/// derives 1/max(ndv) = the true sum-mod match rate, while the product
+/// model is stuck with the 0.1 default.
+struct StatsWorkload {
+  QuerySpec spec;
+  std::shared_ptr<Catalog> catalog;
+};
+
+StatsWorkload MakeDerivedChain(int n, int rows, int64_t modulus) {
+  StatsWorkload w;
+  w.catalog = std::make_shared<Catalog>();
+  for (int i = 0; i < n; ++i) {
+    std::string name = "R" + std::to_string(i);
+    w.spec.AddRelation(name, rows, 1);
+    w.catalog->AddTable(TableStats{
+        name, static_cast<double>(rows),
+        {ColumnStats{static_cast<double>(modulus), 0.0, 96.0}}});
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    int p = w.spec.AddSimplePredicate(i, i + 1, 0.1);
+    w.spec.predicates[p].derive_selectivity = true;
+    w.spec.predicates[p].refs = {{i, 0}, {i + 1, 0}};
+    w.spec.predicates[p].modulus = modulus;
+  }
+  w.spec.BindCatalog(w.catalog);
+  return w;
+}
+
+TEST(StatsModel, DerivesSelectivityFromColumnNdv) {
+  StatsWorkload w = MakeDerivedChain(4, 10, 2);
+  Hypergraph g = BuildHypergraphOrDie(w.spec);
+  StatsCardinalityModel stats(g, w.spec);
+  // Derived: 1/max(ndv) = 1/2 per predicate.
+  EXPECT_DOUBLE_EQ(stats.DeriveSelectivity(w.spec.predicates[0]), 0.5);
+  // Full-class estimate: 10^4 * (1/2)^3.
+  EXPECT_DOUBLE_EQ(stats.EstimateClass(g.AllNodes()), 1250.0);
+  // The product model keeps the 0.1 default: 10^4 * (0.1)^3.
+  CardinalityEstimator product(g);
+  EXPECT_DOUBLE_EQ(product.EstimateClass(g.AllNodes()), 10.0);
+}
+
+TEST(StatsModel, QErrorBoundedAndBeatsDefaultedSelectivities) {
+  for (uint64_t seed : {3u, 11u, 29u}) {
+    StatsWorkload w = MakeDerivedChain(4, 12, 2);
+    Hypergraph g = BuildHypergraphOrDie(w.spec);
+
+    CardinalityFeedback actuals;
+    Dataset data = Dataset::Generate(w.spec.relations, 12, seed);
+    Executor exec(data, g, w.spec.relations, ConjunctsFromSpec(w.spec, g),
+                  &actuals);
+
+    StatsCardinalityModel stats(g, w.spec);
+    OptimizeResult stats_plan = OptimizeDphyp(g, stats, DefaultCostModel());
+    ASSERT_TRUE(stats_plan.success);
+    exec.Execute(stats_plan.ExtractPlan(g));
+    QErrorStats stats_q =
+        ComputePlanQError(stats_plan.ExtractPlan(g), actuals);
+    ASSERT_GT(stats_q.classes, 0u);
+    // Derivation matches the data-generating process: estimates stay
+    // within a small constant of the executed actuals.
+    EXPECT_LE(stats_q.median_q, 3.0) << "seed " << seed;
+    EXPECT_LE(stats_q.max_q, 6.0) << "seed " << seed;
+
+    // The defaulted product form must grade strictly worse on the same
+    // plan classes (0.1 vs the true 0.5 per join).
+    CardinalityEstimator product(g);
+    OptimizeResult product_plan =
+        OptimizeDphyp(g, product, DefaultCostModel());
+    ASSERT_TRUE(product_plan.success);
+    exec.Execute(product_plan.ExtractPlan(g));
+    QErrorStats product_q =
+        ComputePlanQError(product_plan.ExtractPlan(g), actuals);
+    EXPECT_GT(product_q.median_q, stats_q.median_q) << "seed " << seed;
+  }
+}
+
+// --- Oracle model -----------------------------------------------------------
+
+TEST(OracleModel, ServesObservedActualsVerbatim) {
+  QuerySpec spec = CalibratedSpec(5, 10, 7);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+
+  CardinalityFeedback actuals;
+  Dataset data = Dataset::Generate(spec.relations, 10, 99);
+  Executor exec(data, g, spec.relations, ConjunctsFromSpec(spec, g), &actuals);
+
+  // Seed the store by executing the product-form plan.
+  CardinalityEstimator product(g);
+  OptimizeResult seed_plan = OptimizeDphyp(g, product, DefaultCostModel());
+  ASSERT_TRUE(seed_plan.success);
+  exec.Execute(seed_plan.ExtractPlan(g));
+  ASSERT_GT(actuals.size(), 0u);
+
+  OracleCardinalityModel oracle(g, actuals);
+  double actual_root = 0.0;
+  ASSERT_TRUE(actuals.Lookup(g.AllNodes(), &actual_root));
+  EXPECT_EQ(oracle.EstimateClass(g.AllNodes()), actual_root);
+
+  // Optimize-execute to fixpoint: each round observes the chosen plan's
+  // classes; once the plan repeats, every one of its classes was estimated
+  // from an observation, so the whole plan must grade at q = 1. The
+  // observed-class set grows monotonically over a finite lattice, so the
+  // loop converges (a handful of rounds in practice).
+  bool stable = false;
+  std::string prev;
+  for (int iter = 0; iter < 8 && !stable; ++iter) {
+    OracleCardinalityModel model(g, actuals);
+    OptimizeResult r = OptimizeDphyp(g, model, DefaultCostModel());
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.cardinality, actual_root);  // root observed from round one
+    PlanTree plan = r.ExtractPlan(g);
+    std::string algebra = plan.ToAlgebraString(g);
+    exec.Execute(plan);
+    if (algebra == prev) {
+      QErrorStats q = ComputePlanQError(plan, actuals);
+      ASSERT_GT(q.classes, 0u);
+      EXPECT_EQ(q.missing, 0u);
+      EXPECT_DOUBLE_EQ(q.max_q, 1.0);
+      stable = true;
+    }
+    prev = algebra;
+  }
+  EXPECT_TRUE(stable) << "oracle plan did not stabilize";
+
+  // Unobserved classes fall back to the product form.
+  CardinalityFeedback empty;
+  OracleCardinalityModel fallback(g, empty);
+  EXPECT_EQ(fallback.EstimateClass(g.AllNodes()),
+            product.EstimateClass(g.AllNodes()));
+}
+
+TEST(EstimatorCalibration, ExactOnIndependentTwoWayJoin) {
+  // Two relations, single equality-mod-2 predicate: expectation is exactly
+  // |A| * |B| / 2; with column values in [0, 97) (49 evens, 48 odds) the
+  // match probability is (49*49 + 48*48) / 97^2 ≈ 0.5001.
+  QuerySpec spec;
+  spec.AddRelation("A", 100, 1);
+  spec.AddRelation("B", 100, 1);
+  int p = spec.AddSimplePredicate(0, 1, 0.5);
+  spec.predicates[p].refs = {{0, 0}, {1, 0}};
+  spec.predicates[p].modulus = 2;
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  CardinalityEstimator est(g);
+  EXPECT_DOUBLE_EQ(est.Estimate(NodeSet::FullSet(2)), 5000.0);
+
+  Dataset data = Dataset::Generate(spec.relations, 100, 77);
+  PlanBuilder builder;
+  PlanTree plan = builder.Build(builder.Op(
+      OpType::kJoin, builder.Leaf(0, 100), builder.Leaf(1, 100), {0}));
+  Executor exec(data, g, spec.relations, ConjunctsFromSpec(spec, g));
+  double observed = static_cast<double>(exec.Execute(plan).tuples.size());
+  EXPECT_NEAR(observed, 5000.0, 700.0);  // ~±4 sigma for 10k Bernoulli trials
+}
+
+}  // namespace
+}  // namespace dphyp

@@ -80,11 +80,74 @@ TEST(Qdl, ErrorsAreDescriptive) {
   expect_error("relation A card=1\npredicate left=A right=B sel=0.1\n",
                "unknown relation");
   expect_error("relation A card=1\nrelation B card=1\n"
-               "predicate left=A right=B\n",
-               "needs sel=");
-  expect_error("relation A card=1\nrelation B card=1\n"
                "predicate left=A right=B sel=0.1 zap=1\n",
                "unknown predicate attribute");
+  // Selectivity validation is structured, never a silent default.
+  expect_error("relation A card=1\nrelation B card=1\n"
+               "predicate left=A right=B sel=0\n",
+               "sel= must be in (0, 1]");
+  expect_error("relation A card=1\nrelation B card=1\n"
+               "predicate left=A right=B sel=1.5\n",
+               "sel= must be in (0, 1]");
+  expect_error("relation A card=1\nrelation B card=1\n"
+               "predicate left=A right=B sel=-0.1\n",
+               "sel= must be in (0, 1]");
+  expect_error("relation A card=1\nrelation B card=1\n"
+               "predicate left=A right=B sel=abc\n",
+               "sel= must be a number");
+  expect_error("relation A card=1 ndv=0\n", "ndv values must be > 0");
+}
+
+TEST(Qdl, OmittedSelectivityMeansDeriveFromStats) {
+  Result<QuerySpec> r = ParseQdl(R"(
+relation A card=100 ndv=25
+relation B card=50 ndv=10
+predicate left=A right=B
+predicate left=A right=B sel=0.5
+)");
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  const QuerySpec& spec = r.value();
+  EXPECT_TRUE(spec.predicates[0].derive_selectivity);
+  EXPECT_DOUBLE_EQ(spec.predicates[0].selectivity, 0.1);  // product default
+  EXPECT_FALSE(spec.predicates[1].derive_selectivity);
+  EXPECT_DOUBLE_EQ(spec.predicates[1].selectivity, 0.5);
+
+  // ndv= builds and binds a statistics catalog.
+  ASSERT_NE(spec.catalog, nullptr);
+  auto a = spec.catalog->FindTable("A");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->row_count, 100.0);
+  ASSERT_EQ(a->columns.size(), 1u);
+  EXPECT_DOUBLE_EQ(a->columns[0].distinct_count, 25.0);
+  EXPECT_EQ(spec.relations[0].table_id, spec.catalog->IndexOf("A"));
+
+  // The derived predicate's executable payload matches the derivation:
+  // max(ndv) = 25 -> selectivity 1/25 -> modulus 25.
+  EXPECT_EQ(spec.predicates[0].modulus, 25);
+
+  // A user-written mod= on a sel-less predicate is never clobbered by the
+  // stats-payload derivation, and predicates over stats-less relations
+  // keep the default payload path.
+  Result<QuerySpec> kept = ParseQdl(R"(
+relation A card=100 ndv=25
+relation B card=50
+relation C card=50
+predicate left=A right=B mod=7
+predicate left=B right=C
+)");
+  ASSERT_TRUE(kept.ok()) << kept.error().message;
+  EXPECT_EQ(kept.value().predicates[0].modulus, 7);
+  // B and C have no column stats: default payload (modulus ~ 1/0.1).
+  EXPECT_EQ(kept.value().predicates[1].modulus, 10);
+
+  // Round trip: derived predicates stay derived, stats survive.
+  Result<QuerySpec> again = ParseQdl(WriteQdl(spec));
+  ASSERT_TRUE(again.ok()) << again.error().message;
+  EXPECT_TRUE(again.value().predicates[0].derive_selectivity);
+  ASSERT_NE(again.value().catalog, nullptr);
+  auto b = again.value().catalog->FindTable("B");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(b->columns[0].distinct_count, 10.0);
 }
 
 TEST(Qdl, RejectsInvalidSpecs) {

@@ -359,6 +359,136 @@ TEST(PlanService, ServesMixedTrafficIncludingGooFallback) {
   }
 }
 
+// --- Statistics-driven estimation through the service -----------------------
+
+TEST(PlanService, StatsVersionBumpInvalidatesCachedPlans) {
+  auto catalog = std::make_shared<Catalog>();
+  QuerySpec spec = MakeChainQuery(6);
+  for (const RelationInfo& rel : spec.relations) {
+    catalog->AddTable(TableStats{rel.name, rel.cardinality, {}});
+  }
+
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.catalog = catalog;
+  PlanService service(opts);
+  const uint64_t v0 = service.stats_version();
+  EXPECT_EQ(v0, catalog->stats_version());
+
+  ServiceResult cold = service.OptimizeOne(spec);
+  ASSERT_TRUE(cold.success) << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+  ServiceResult warm = service.OptimizeOne(spec);
+  ASSERT_TRUE(warm.success);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.cost, cold.cost);
+
+  // An ANALYZE-style refresh bumps the version; the cached plan keyed
+  // under the old statistics must not be served again.
+  ASSERT_TRUE(catalog->SetRowCount(spec.relations[0].name, 123456.0));
+  EXPECT_GT(service.stats_version(), v0);
+  ServiceResult after_bump = service.OptimizeOne(spec);
+  ASSERT_TRUE(after_bump.success);
+  EXPECT_FALSE(after_bump.cache_hit);
+
+  // And the new key caches normally again.
+  ServiceResult rewarm = service.OptimizeOne(spec);
+  EXPECT_TRUE(rewarm.cache_hit);
+
+  // The same invalidation must hold under the stats model, whose own
+  // fingerprint also tracks the catalog version — the service key mixes
+  // the two *nestedly*, so they cannot cancel. BumpStatsVersion changes
+  // no estimate at all, making this the pure re-keying check.
+  ServiceResult stats_cold = service.OptimizeOne(spec, "stats");
+  ASSERT_TRUE(stats_cold.success) << stats_cold.error;
+  EXPECT_TRUE(service.OptimizeOne(spec, "stats").cache_hit);
+  catalog->BumpStatsVersion();
+  EXPECT_FALSE(service.OptimizeOne(spec, "stats").cache_hit);
+  EXPECT_TRUE(service.OptimizeOne(spec, "stats").cache_hit);
+}
+
+TEST(PlanService, ScopedFeedbackIsNotServedToOtherQueries) {
+  QuerySpec recorded = MakeChainQuery(5);
+  Hypergraph recorded_g = BuildHypergraphOrDie(recorded);
+
+  auto feedback = std::make_shared<CardinalityFeedback>();
+  // Pretend the chain was executed: observe its root class.
+  feedback->Record(recorded_g.AllNodes(), 42.0);
+
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.feedback = feedback;
+  opts.feedback_scope = FingerprintHypergraph(recorded_g);
+  PlanService service(opts);
+
+  // The recorded query may use the oracle.
+  ServiceResult ok = service.OptimizeOne(recorded, "oracle");
+  ASSERT_TRUE(ok.success) << ok.error;
+  EXPECT_EQ(ok.cardinality, 42.0);
+
+  // A structurally different query must not see the store: its NodeSet
+  // keys would alias the chain's. Structured error, not silent garbage.
+  ServiceResult other = service.OptimizeOne(MakeStarQuery(4), "oracle");
+  EXPECT_FALSE(other.success);
+  EXPECT_NE(other.error.find("feedback"), std::string::npos);
+}
+
+TEST(PlanService, ModelsAreSelectablePerQueryAndNeverShareCacheEntries) {
+  // A chain with derived selectivities and ndv stats: product and stats
+  // models estimate differently, so their plans/cardinalities differ.
+  auto catalog = std::make_shared<Catalog>();
+  QuerySpec spec;
+  for (int i = 0; i < 5; ++i) {
+    std::string name = "R" + std::to_string(i);
+    spec.AddRelation(name, 50.0, 1);
+    catalog->AddTable(
+        TableStats{name, 50.0, {ColumnStats{2.0, 0.0, 96.0}}});
+  }
+  for (int i = 0; i + 1 < 5; ++i) {
+    int p = spec.AddSimplePredicate(i, i + 1, 0.1);
+    spec.predicates[p].derive_selectivity = true;
+    spec.predicates[p].refs = {{i, 0}, {i + 1, 0}};
+    spec.predicates[p].modulus = 2;
+  }
+  spec.BindCatalog(catalog);
+
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.catalog = catalog;
+  PlanService service(opts);
+
+  ServiceResult product = service.OptimizeOne(spec, "product");
+  ASSERT_TRUE(product.success) << product.error;
+  EXPECT_EQ(product.model, "product");
+  ServiceResult stats = service.OptimizeOne(spec, "stats");
+  ASSERT_TRUE(stats.success) << stats.error;
+  EXPECT_EQ(stats.model, "stats");
+  // Different models, same graph: both were fresh optimizations (no
+  // cross-model cache hit) with different estimates.
+  EXPECT_FALSE(product.cache_hit);
+  EXPECT_FALSE(stats.cache_hit);
+  // 50^5 * 0.1^4 vs 50^5 * 0.5^4.
+  EXPECT_NE(product.cardinality, stats.cardinality);
+
+  // Each model's own repeat is a hit, served with that model's numbers.
+  ServiceResult product2 = service.OptimizeOne(spec, "product");
+  ServiceResult stats2 = service.OptimizeOne(spec, "stats");
+  EXPECT_TRUE(product2.cache_hit);
+  EXPECT_TRUE(stats2.cache_hit);
+  EXPECT_EQ(product2.cardinality, product.cardinality);
+  EXPECT_EQ(stats2.cardinality, stats.cardinality);
+
+  // Unknown models are structured per-query failures.
+  ServiceResult unknown = service.OptimizeOne(spec, "histogram");
+  EXPECT_FALSE(unknown.success);
+  EXPECT_NE(unknown.error.find("unknown cardinality model"),
+            std::string::npos);
+  // The oracle without a feedback store is a structured failure too.
+  ServiceResult oracle = service.OptimizeOne(spec, "oracle");
+  EXPECT_FALSE(oracle.success);
+  EXPECT_NE(oracle.error.find("feedback"), std::string::npos);
+}
+
 TEST(PlanService, StatsAreCoherent) {
   std::vector<QuerySpec> traffic = TestTraffic(40);
   PlanService service{ServiceOptions{}};
