@@ -18,13 +18,23 @@
 //                               unpruned by this factor (median, on the
 //                               16-satellite fig6 stars); 0 disables the
 //                               gate (default: 0 — CI runners are noisy)
+//   DPHYP_BENCH_PAR_CLIQUE      clique size for the dphyp-par thread sweep
+//                               (default 18; < 4 skips the shape)
+//   DPHYP_BENCH_PAR_STAR        star satellites for the same sweep
+//                               (default 24; < 4 skips the shape)
+//   DPHYP_BENCH_PAR_REPS        repetitions per (shape, thread count)
+//   DPHYP_BENCH_REQUIRE_PAR_SPEEDUP  exit non-zero unless dphyp-par at 8
+//                               threads beats 1 thread by this percent on
+//                               the clique (e.g. 200 = 2x); 0 disables
+//                               (default: only meaningful on multi-core)
 //
 // Output schema (BENCH_dphyp.json):
-//   schema_version  int, currently 2
+//   schema_version  int, currently 3
 //   config          the knob values the run used
 //   results[]       one record per (figure, shape, params, algorithm):
 //     figure        "fig5" | "fig6" | "fig7" | "fig8a" | "fig8b"
 //                   | "service" | "pruning_fig6" | "estimation"
+//                   | "deadline" | "parallel"
 //     shape         workload family ("cycle-hyper", "star", ...)
 //     algorithm     enumeration algorithm (or service config name)
 //     pruned        whether branch-and-bound pruning was on
@@ -37,6 +47,9 @@
 //   served plan's classes vs. executed actuals, median_ms, and
 //   overhead_vs_product (optimize-time ratio - 1; the stats model's bar is
 //   <= 5%, advisory unless DPHYP_BENCH_REQUIRE_ESTIMATION=1)
+//   parallel records carry threads, cores (what the runner had),
+//   speedup_vs_1thread, and the usual timing/stats fields; the run aborts
+//   if any thread count's plan cost differs from the 1-thread cost
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -250,6 +263,92 @@ int RunService() {
     ServiceRecord(c.name, out.stats);
   }
   return 0;
+}
+
+/// Intra-query parallel enumeration: dphyp-par at 1/2/4/8 threads on the
+/// two shapes past the sequential frontier — a clique (dense: csg-cmp
+/// pairs ~3^n) and a big star (degree hub: 2^degree table entries). Each
+/// thread count must produce the bit-identical plan cost (a differential
+/// check, enforced); the speedup records are the scaling trajectory.
+/// Returns the clique speedup at 8 threads vs 1 (the acceptance metric;
+/// meaningful only on multi-core hardware — the `cores` field records what
+/// the run had).
+double RunParallelSpeedup() {
+  std::printf("== parallel: dphyp-par thread scaling ==\n");
+  const int clique_n = EnvInt("DPHYP_BENCH_PAR_CLIQUE", 18);
+  const int star_sats = EnvInt("DPHYP_BENCH_PAR_STAR", 24);
+  int reps = EnvInt("DPHYP_BENCH_PAR_REPS", 1);
+  if (reps < 1) reps = 1;
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+
+  struct Shape {
+    const char* name;
+    QuerySpec spec;
+  };
+  std::vector<Shape> shapes;
+  if (clique_n >= 4) shapes.push_back({"clique", MakeCliqueQuery(clique_n)});
+  if (star_sats >= 4) shapes.push_back({"star", MakeStarQuery(star_sats)});
+
+  double clique_speedup_at_8 = 0.0;
+  for (const Shape& shape : shapes) {
+    Hypergraph g = BuildHypergraphOrDie(shape.spec);
+    CardinalityEstimator est(g);
+    OptimizationRequest request;
+    request.graph = &g;
+    request.estimator = &est;
+    request.cost_model = &DefaultCostModel();
+    OptimizerWorkspace workspace;  // reused: per-thread scratch grows once
+    const Enumerator& par = EnumeratorOrDie("dphyp-par");
+
+    double base_median = 0.0;
+    double reference_cost = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+      request.options.parallel_threads = threads;
+      std::vector<double> samples;
+      OptimizerStats stats;
+      for (int rep = 0; rep < reps; ++rep) {
+        Timer timer;
+        OptimizeResult r = par.Run(request, workspace);
+        samples.push_back(timer.ElapsedMillis());
+        if (!r.success) {
+          std::fprintf(stderr, "bench: dphyp-par failed on %s-%d: %s\n",
+                       shape.name, g.NumNodes(), r.error.c_str());
+          std::exit(1);
+        }
+        stats = r.stats;
+        if (threads == 1 && rep == 0) {
+          reference_cost = r.cost;
+        } else if (r.cost != reference_cost) {
+          // The determinism contract is part of the benchmark: any drift
+          // across thread counts is a correctness bug, not noise.
+          std::fprintf(stderr,
+                       "bench: dphyp-par cost drifted across thread counts "
+                       "on %s-%d (%.17g vs %.17g)\n",
+                       shape.name, g.NumNodes(), r.cost, reference_cost);
+          std::exit(1);
+        }
+      }
+      std::sort(samples.begin(), samples.end());
+      const double median = samples[samples.size() / 2];
+      const double p99 = samples[samples.size() - 1];
+      if (threads == 1) base_median = median;
+      const double speedup = median > 0.0 ? base_median / median : 0.0;
+      if (shape.name[0] == 'c' && threads == 8) clique_speedup_at_8 = speedup;
+      OpenRecord("parallel", shape.name);
+      json.Field("n", g.NumNodes());
+      json.Field("algorithm", "dphyp-par");
+      json.Field("threads", threads);
+      json.Field("cores", cores);
+      TimingFields({median, p99, static_cast<int>(samples.size())});
+      json.Field("speedup_vs_1thread", speedup);
+      StatsFields(stats);
+      json.EndObject();
+      std::printf(
+          "  %-10s n=%-3d threads=%d  median %10.3f ms  speedup %5.2fx\n",
+          shape.name, g.NumNodes(), threads, median, speedup);
+    }
+  }
+  return clique_speedup_at_8;
 }
 
 /// Pruned vs. unpruned DPhyp on the fig6 star workloads (the acceptance
@@ -490,7 +589,7 @@ int main(int argc, char** argv) {
       EnvInt("DPHYP_BENCH_REQUIRE_SPEEDUP", 0);
 
   json.BeginObject();
-  json.Field("schema_version", 2);
+  json.Field("schema_version", 3);
   json.Field("suite", "dphyp-paper-figures");
   json.Key("config");
   json.BeginObject();
@@ -513,6 +612,19 @@ int main(int argc, char** argv) {
     return 1;
   }
   const double worst_speedup = RunPruningComparison(max_sats);
+  // dphyp-par thread scaling + cross-thread-count cost identity. The
+  // speedup gate (DPHYP_BENCH_REQUIRE_PAR_SPEEDUP, percent) is advisory by
+  // default: it only means anything on dedicated multi-core hardware.
+  const double par_speedup = RunParallelSpeedup();
+  const int require_par_pct = EnvInt("DPHYP_BENCH_REQUIRE_PAR_SPEEDUP", 0);
+  if (require_par_pct > 0 &&
+      par_speedup * 100.0 < static_cast<double>(require_par_pct)) {
+    std::fprintf(stderr,
+                 "bench: dphyp-par 8-thread speedup %.2fx below required "
+                 "%.2fx\n",
+                 par_speedup, require_par_pct / 100.0);
+    return 1;
+  }
   // Estimation-model overhead: the stats model must optimize within 5% of
   // the product form (one extra indirection per class estimate). Advisory
   // by default — CI runners are noisy — DPHYP_BENCH_REQUIRE_ESTIMATION=1
@@ -531,6 +643,7 @@ int main(int argc, char** argv) {
   json.EndArray();
   json.Field("worst_pruning_speedup_median", worst_speedup);
   json.Field("stats_model_overhead_vs_product", stats_overhead);
+  json.Field("parallel_clique_speedup_8threads", par_speedup);
   json.EndObject();
 
   std::string payload = json.TakeString();

@@ -4,8 +4,8 @@
 //
 // Usage:
 //   qdl_tool <file.qdl> [--algo=<name>] [--model=<name>] [--cost=cout|hash]
-//            [--deadline-ms=<n>] [--explain] [--execute] [--rows=<n>]
-//            [--quiet]
+//            [--deadline-ms=<n>] [--threads=<n>] [--explain] [--execute]
+//            [--rows=<n>] [--quiet]
 //   qdl_tool --demo            # runs a built-in sample query
 //   qdl_tool --list-algos      # prints the registered enumerators
 //   qdl_tool --list-models     # prints the registered cardinality models
@@ -19,6 +19,10 @@
 // feedback store the oracle serves from, then the query is re-optimized).
 // --deadline-ms bounds the exact attempt: past the budget the session
 // aborts it and serves the GOO fallback, reporting the abort.
+// --threads sets the worker count for intra-query parallel enumeration
+// (--algo=dphyp-par, or large graphs under adaptive dispatch); must be
+// >= 1 — omit the flag for the hardware default. Plan costs do not depend
+// on it (the parallel merge is deterministic).
 // --explain prints the chosen plan with per-class estimated cardinality;
 // with --execute it also prints estimated-vs-actual rows and the q-error
 // per class, plus the plan's q-error summary.
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
   std::string model_name;  // empty = product form
   std::string cost_name = "cout";
   double deadline_ms = 0.0;
+  int threads = 0;  // 0 = hardware default
   int rows = 20;
   bool quiet = false;
   bool demo = false;
@@ -103,6 +108,15 @@ int main(int argc, char** argv) {
       cost_name = arg.substr(7);
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       deadline_ms = std::atof(arg.c_str() + 14);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      const long parsed = std::strtol(arg.c_str() + 10, &end, 10);
+      if (end == arg.c_str() + 10 || *end != '\0' || parsed < 1) {
+        return Fail("invalid --threads value '" + arg.substr(10) +
+                    "': thread count must be an integer >= 1 (omit the flag "
+                    "for the hardware default)");
+      }
+      threads = static_cast<int>(parsed);
     } else if (arg.rfind("--rows=", 0) == 0) {
       rows = std::atoi(arg.c_str() + 7);
     } else if (arg == "--quiet") {
@@ -128,7 +142,8 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: qdl_tool <file.qdl> [--algo=<name>] [--model=<name>]\n"
           "                [--cost=cout|hash] [--deadline-ms=<n>]\n"
-          "                [--explain] [--execute] [--rows=<n>] [--quiet]\n"
+          "                [--threads=<n>] [--explain] [--execute]\n"
+          "                [--rows=<n>] [--quiet]\n"
           "       qdl_tool --demo | --list-algos | --list-models\n");
       return 0;
     } else {
@@ -188,6 +203,7 @@ int main(int argc, char** argv) {
     request.cost_model = model;
     request.enumerator = algo_name;  // registry-resolved; empty = dispatch
     request.deadline_ms = deadline_ms;
+    request.options.parallel_threads = threads;
     *out = session.Optimize(request);
     return "";
   };
@@ -215,7 +231,12 @@ int main(int argc, char** argv) {
               result.stats.algorithm, model->name(),
               model_name.empty() ? "product" : model_name.c_str());
   if (algo_name.empty()) {
-    std::printf("routed because:   %s\n", ChooseRoute(g).reason);
+    // Mirror the session's auction: it sees the worker count this
+    // invocation would run with (--threads), so the printed reason matches
+    // the route actually taken.
+    DispatchPolicy route_policy;
+    if (threads > 0) route_policy.parallel_workers_hint = threads;
+    std::printf("routed because:   %s\n", ChooseRoute(g, route_policy).reason);
   }
   if (result.stats.aborted) {
     std::printf(

@@ -11,6 +11,7 @@
 #include "baselines/tdbasic.h"
 #include "baselines/tdpartition.h"
 #include "core/dphyp.h"
+#include "core/parallel_dphyp.h"
 #include "core/workspace.h"
 
 namespace dphyp {
@@ -106,6 +107,7 @@ EnumeratorRegistry::EnumeratorRegistry() : impl_(new Impl) {
   // per-translation-unit static initializers) keeps the set deterministic
   // and immune to static-library dead-stripping.
   impl_->entries.push_back(MakeDphypEnumerator());
+  impl_->entries.push_back(MakeDphypParEnumerator());
   impl_->entries.push_back(MakeDpccpEnumerator());
   impl_->entries.push_back(MakeDpsubEnumerator());
   impl_->entries.push_back(MakeDpsizeEnumerator());

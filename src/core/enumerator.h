@@ -1,6 +1,6 @@
 // The unified enumeration interface: every join-ordering algorithm in the
-// repository — DPhyp, DPccp, DPsub, DPsize, TDbasic, TDpartition, GOO — is
-// an Enumerator behind one registry. This is the paper's central structural
+// repository — DPhyp, dphyp-par, DPccp, DPsub, DPsize, TDbasic,
+// TDpartition, GOO — is an Enumerator behind one registry. This is the paper's central structural
 // claim turned into API: one combine step (EmitCsgCmp) serves every
 // enumeration strategy, so the strategies themselves are interchangeable
 // values, not switch cases. Production optimizers expose the same shape
@@ -67,6 +67,29 @@ struct DispatchPolicy {
   /// monotone cost models — the served plan cost is bit-identical to the
   /// unpruned run — and a no-op for routes that cannot prune (GOO itself).
   bool enable_pruning = true;
+  /// Intra-query parallel enumeration ("dphyp-par") bids on graphs with at
+  /// least this many relations — below it, single-threaded enumeration
+  /// finishes before a worker pool has even spawned. Chains and cycles
+  /// (max simple degree <= 2, hyperedges or not) are exempt whatever their
+  /// size: their search spaces are quadratic, and hyperedges only shrink
+  /// them.
+  int parallel_min_nodes = 14;
+  /// The parallel route tolerates denser/hubbier shapes than sequential
+  /// exact DP — the work partitions across threads — but stays bounded:
+  /// dense graphs (>= `min_dense_density`) up to this node count, and hubs
+  /// up to `parallel_max_degree` (a degree-d hub alone puts 2^d entries in
+  /// the DP table, a memory bound no thread count changes).
+  int parallel_dense_node_limit = 18;
+  int parallel_max_degree = 18;
+  /// Worker count the parallel route would actually run with (0 = hardware
+  /// concurrency). The parallel bid requires an effective count >= 2: its
+  /// widened frontier is justified by splitting the work, and routing a
+  /// dense clique to a one-worker "parallel" run would trade GOO's
+  /// sub-millisecond fallback for seconds of exact enumeration. Sessions
+  /// and services wire this from OptimizerOptions::parallel_threads /
+  /// ServiceOptions::parallel_threads; dphyp-par stays selectable by name
+  /// at any thread count.
+  int parallel_workers_hint = 0;
 };
 
 /// True when exhaustive DP is feasible for this shape under `policy`:
@@ -156,7 +179,7 @@ class Enumerator {
                           const OptimizerOptions& options = {}) const;
 };
 
-/// The global enumerator registry. The seven built-in strategies are
+/// The global enumerator registry. The eight built-in strategies are
 /// registered on first access; tests and extensions may Register/Unregister
 /// additional ones at runtime. Thread-safe.
 class EnumeratorRegistry {

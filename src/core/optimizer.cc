@@ -13,7 +13,8 @@ OptimizerContext::OptimizerContext(const Hypergraph& graph,
                                    const CardinalityModel& est,
                                    const CostModel& cost_model,
                                    const OptimizerOptions& options,
-                                   DpTable* borrowed_table)
+                                   DpTable* borrowed_table,
+                                   bool reset_borrowed_table)
     : graph_(&graph),
       est_(&est),
       cost_model_(&cost_model),
@@ -22,7 +23,7 @@ OptimizerContext::OptimizerContext(const Hypergraph& graph,
       all_nodes_(graph.AllNodes()) {
   const size_t expected = static_cast<size_t>(graph.NumNodes()) * 8;
   if (borrowed_table != nullptr) {
-    borrowed_table->Reset(expected);
+    if (reset_borrowed_table) borrowed_table->Reset(expected);
     table_ = borrowed_table;
   } else {
     owned_table_ = std::make_unique<DpTable>(expected);

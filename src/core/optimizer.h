@@ -172,8 +172,16 @@ struct OptimizerOptions {
   /// it fires, the exact enumerators return an aborted result
   /// (stats.aborted); OptimizationSession then falls back to GOO, which
   /// strips this field — the polynomial fallback must always complete.
-  /// Null disables polling entirely.
+  /// Null disables polling entirely. Parallel enumerators hand the same
+  /// token to every worker, so a fired deadline stops all of them within
+  /// one poll period.
   const CancellationToken* cancellation = nullptr;
+
+  /// Worker threads for intra-query parallel enumerators ("dphyp-par");
+  /// <= 0 means the hardware default. Single-threaded enumerators ignore
+  /// it. The final plan cost is independent of this value — the parallel
+  /// merge is deterministic by construction (core/parallel_dphyp.h).
+  int parallel_threads = 0;
 };
 
 /// How many candidate pairs are processed between cancellation polls. At
@@ -189,9 +197,16 @@ class OptimizerContext {
   /// returns a result *borrowing* that table. With the default null, the
   /// context allocates a private table and Finish moves it into the result
   /// (the legacy self-contained behavior).
+  ///
+  /// `reset_borrowed_table = false` attaches the context to a table some
+  /// other context already set up *without* clearing it — the parallel
+  /// enumerator's worker mode: one primary context owns the run (Reset,
+  /// InitLeaves, Finish) and per-thread worker contexts combine into the
+  /// same table, each touching only entries it owns for the current wave.
   OptimizerContext(const Hypergraph& graph, const CardinalityModel& est,
                    const CostModel& cost_model, const OptimizerOptions& options,
-                   DpTable* borrowed_table = nullptr);
+                   DpTable* borrowed_table = nullptr,
+                   bool reset_borrowed_table = true);
 
   const Hypergraph& graph() const { return *graph_; }
   DpTable& table() { return *table_; }

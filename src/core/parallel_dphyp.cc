@@ -1,0 +1,540 @@
+#include "core/parallel_dphyp.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cmath>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/neighborhood_cache.h"
+#include "core/workspace.h"
+#include "hypergraph/connectivity.h"
+#include "util/cancellation.h"
+#include "util/subset.h"
+
+namespace dphyp {
+
+namespace {
+
+/// Phase-2 waves only go parallel when a wave has enough classes to
+/// amortize claiming overhead; phase 1 only when the graph is big enough
+/// to have exponential per-vertex searches worth splitting.
+constexpr size_t kMinClassesForParallelWaves = 256;
+constexpr int kMinNodesForParallelDiscovery = 12;
+
+int ResolveParallelThreads(int requested) {
+  int threads = requested;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::clamp(threads, 1, 64);
+}
+
+/// Runs `fn(worker_index)` on `threads` workers (the calling thread is
+/// worker 0). EnumerationAborted from any worker is re-thrown once on the
+/// calling thread after all workers joined; other exceptions propagate
+/// likewise (first wins).
+template <typename Fn>
+void RunWorkers(int threads, Fn&& fn) {
+  if (threads <= 1) {
+    fn(0);
+    return;
+  }
+  std::atomic<bool> aborted{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  auto body = [&](int w) {
+    try {
+      fn(w);
+    } catch (const EnumerationAborted&) {
+      aborted.store(true, std::memory_order_relaxed);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (error == nullptr) error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (int w = 1; w < threads; ++w) pool.emplace_back(body, w);
+  body(0);
+  for (std::thread& t : pool) t.join();
+  if (error != nullptr) std::rethrow_exception(error);
+  if (aborted.load(std::memory_order_relaxed)) throw EnumerationAborted{};
+}
+
+/// Phase 1: one worker's csg-side discovery. Mirrors DPhyp's
+/// EnumerateCsgRec exactly (core/dphyp.cc), with the DP-table connectivity
+/// oracle replaced by a cost-free one so start vertices need no cross-
+/// worker data: sets grown through simple-edge neighbors are connected by
+/// construction; only candidates containing complex-edge far-side
+/// representatives need the memoized IsConnectedDef3 test.
+class StructureWorker {
+ public:
+  /// `memo` is the worker's pooled connectivity-memo scratch
+  /// (OptimizerWorkspace::connectivity_memo), cleared by the caller for
+  /// this run.
+  StructureWorker(const Hypergraph& graph, NeighborhoodCache& nbh,
+                  std::vector<NodeSet>& out,
+                  std::unordered_map<uint64_t, bool>& memo,
+                  const CancellationToken* token)
+      : graph_(graph),
+        nbh_(nbh),
+        out_(out),
+        memo_(memo),
+        has_complex_(!graph.complex_edge_ids().empty()),
+        poll_(token) {}
+
+  /// Discovers every connected subgraph whose minimal node is `v` (the
+  /// singletons are the leaves, inserted by InitLeaves, not collected
+  /// here). Disjoint across start vertices by the B_v forbid discipline.
+  void DiscoverFrom(int v) {
+    Recurse(NodeSet::Single(v), NodeSet::UpTo(v), /*simple_path=*/true);
+  }
+
+ private:
+  /// `simple_path` is the connectivity fast path: true while every growth
+  /// step so far added only nodes simple-adjacent to the set they joined,
+  /// which keeps S1 connected by construction. Only candidates grown
+  /// through a complex-edge far-side representative (and growth below
+  /// them) pay the closure test.
+  void Recurse(NodeSet S1, NodeSet X, bool simple_path) {
+    NodeSet nbh = nbh_.Neighborhood(S1, X);
+    if (nbh.Empty()) return;
+    NodeSet simple_members = nbh;
+    if (has_complex_) {
+      simple_members = NodeSet();
+      for (int w : nbh) {
+        if (graph_.SimpleNeighbors(w).Intersects(S1)) {
+          simple_members |= NodeSet::Single(w);
+        }
+      }
+    }
+    // Poll inside the subset loop, not just per recursion node: a single
+    // high-degree hub expands 2^degree subsets right here, and a deadline
+    // must bind mid-expansion.
+    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+      if (poll_.Fired()) throw EnumerationAborted{};
+      NodeSet grown = S1 | n;
+      if ((simple_path && n.IsSubsetOf(simple_members)) || Connected(grown)) {
+        out_.push_back(grown);
+      }
+    }
+    NodeSet x2 = X | nbh;
+    // Recursion continues through unconnected grown sets, exactly like the
+    // sequential solver: a complex far side entered via its representative
+    // only becomes connected once later growth completes it.
+    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+      Recurse(S1 | n, x2, simple_path && n.IsSubsetOf(simple_members));
+    }
+  }
+
+  bool Connected(NodeSet S) {
+    auto [it, inserted] = memo_.try_emplace(S.bits(), false);
+    if (inserted) it->second = IsConnectedDef3(graph_, S);
+    return it->second;
+  }
+
+  const Hypergraph& graph_;
+  NeighborhoodCache& nbh_;
+  std::vector<NodeSet>& out_;
+  std::unordered_map<uint64_t, bool>& memo_;
+  const bool has_complex_;
+  CancellationPoller poll_;
+};
+
+/// Phase 2: one worker's per-class pair enumeration + combine. For an
+/// owned class S it enumerates the connected subsets S2 of S \ {min(S)}
+/// (the non-min sides; the structure table is the exact connectivity
+/// oracle now) and submits each valid split (S \ S2, S2) to the shared
+/// EmitCsgCmp combine step — the same unordered csg-cmp pairs sequential
+/// DPhyp emits for this class, in a canonical order that depends on the
+/// class alone.
+class ClassSplitter {
+ public:
+  ClassSplitter(const Hypergraph& graph, const CardinalityModel& est,
+                DpTable& table, NeighborhoodCache& nbh, OptimizerContext& ctx)
+      : graph_(graph),
+        est_(est),
+        table_(table),
+        nbh_(nbh),
+        ctx_(ctx),
+        all_(graph.AllNodes()) {}
+
+  void ProcessClass(PlanEntry* entry) {
+    class_ = entry->set;
+    // The class's output cardinality is fixed before any candidate costs:
+    // the combine step and the dominance cut read it from the entry.
+    entry->cardinality = est_.EstimateClass(class_);
+    const NodeSet Y = class_ - class_.MinSet();
+    const NodeSet outside = all_ - Y;
+    // Non-min sides in descending start-vertex order within Y, each seed
+    // forbidding the seeds still to come — DPhyp's Solve loop restricted
+    // to the class.
+    NodeSet remaining = Y;
+    while (!remaining.Empty()) {
+      const int v = remaining.Max();
+      remaining -= NodeSet::Single(v);
+      const NodeSet single = NodeSet::Single(v);
+      TrySplit(single);
+      Grow(single, outside | (Y & NodeSet::UpTo(v)));
+    }
+  }
+
+ private:
+  void Grow(NodeSet S2, NodeSet X) {
+    NodeSet nbh = nbh_.Neighborhood(S2, X);
+    if (nbh.Empty()) return;
+    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+      ctx_.Tick();
+      NodeSet grown = S2 | n;
+      // Structure-table membership == Def.-3 connectivity (phase 1 is
+      // complete before any wave starts).
+      if (table_.Contains(grown)) TrySplit(grown);
+    }
+    NodeSet x2 = X | nbh;
+    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+      Grow(S2 | n, x2);
+    }
+  }
+
+  void TrySplit(NodeSet S2) {
+    ++ctx_.stats().pairs_tested;
+    ctx_.Tick();
+    const NodeSet S1 = class_ - S2;
+    // Both sides must hold *valid plans*, not merely be connected: the
+    // +inf sentinel marks classes that are connected but plan-less (non-
+    // inner operator constellations) or pruned away — the sequential
+    // solver's missing-entry skip, expressed on a pre-populated table.
+    const PlanEntry* left = table_.Find(S1);
+    if (left == nullptr || !std::isfinite(left->cost)) return;
+    const PlanEntry* right = table_.Find(S2);
+    if (right == nullptr || !std::isfinite(right->cost)) return;
+    if (!graph_.ConnectsSets(S1, S2)) return;
+    ctx_.EmitCsgCmp(S1, S2);
+  }
+
+  const Hypergraph& graph_;
+  const CardinalityModel& est_;
+  DpTable& table_;
+  NeighborhoodCache& nbh_;
+  OptimizerContext& ctx_;
+  const NodeSet all_;
+  NodeSet class_;
+};
+
+class ParallelDphypDriver {
+ public:
+  ParallelDphypDriver(const Hypergraph& graph, const CardinalityModel& est,
+                      const CostModel& cost_model,
+                      const OptimizerOptions& options,
+                      OptimizerWorkspace* workspace, OptimizerContext& primary)
+      : graph_(graph),
+        est_(est),
+        cost_model_(cost_model),
+        options_(options),
+        workspace_(workspace),
+        primary_(primary),
+        threads_(ResolveParallelThreads(options.parallel_threads)) {
+    // Per-thread scratch comes from the (pooled) workspace so warm serving
+    // re-uses it across queries; growth happens here, on the coordinating
+    // thread, before any worker exists.
+    for (int i = 0; i < threads_; ++i) Scratch(i);
+  }
+
+  void Run() {
+    primary_.InitLeaves();
+    try {
+      DiscoverStructure();
+      PublishClasses();
+      CostWaves();
+    } catch (const EnumerationAborted&) {
+      MergeWorkerStats();
+      throw;
+    }
+    MergeWorkerStats();
+  }
+
+ private:
+  OptimizerWorkspace& Scratch(int i) {
+    if (workspace_ != nullptr) {
+      return workspace_->ThreadScratch(static_cast<size_t>(i));
+    }
+    while (owned_scratch_.size() <= static_cast<size_t>(i)) {
+      owned_scratch_.push_back(std::make_unique<OptimizerWorkspace>());
+    }
+    return *owned_scratch_[i];
+  }
+
+  void DiscoverStructure() {
+    const int n = graph_.NumNodes();
+    const int team =
+        n >= kMinNodesForParallelDiscovery ? std::min(threads_, n) : 1;
+    buffers_.resize(team);
+    for (int i = 0; i < team; ++i) {
+      buffers_[i] = &Scratch(i).scratch_sets();
+      buffers_[i]->clear();
+    }
+    // Descending work-stealing over start vertices: the low-index vertices
+    // carry the big searches (they forbid the least), so handing them out
+    // last keeps the tail short.
+    std::atomic<int> next{n - 1};
+    RunWorkers(team, [&](int w) {
+      OptimizerWorkspace& scratch = Scratch(w);
+      scratch.connectivity_memo().clear();
+      StructureWorker worker(graph_, scratch.neighborhood(graph_),
+                             *buffers_[w], scratch.connectivity_memo(),
+                             options_.cancellation);
+      for (;;) {
+        const int v = next.fetch_sub(1, std::memory_order_relaxed);
+        if (v < 0) break;
+        worker.DiscoverFrom(v);
+      }
+    });
+  }
+
+  void PublishClasses() {
+    size_t total = 0;
+    for (const std::vector<NodeSet>* b : buffers_) total += b->size();
+    // The merge buffer lives in the parent workspace (the per-worker
+    // buffers live in its ThreadScratch children, so there is no
+    // aliasing): pooled warm serving reuses its capacity instead of
+    // allocating megabytes per query on large graphs.
+    std::vector<NodeSet> local;
+    std::vector<NodeSet>& classes =
+        workspace_ != nullptr ? workspace_->scratch_sets() : local;
+    classes.clear();
+    classes.reserve(total);
+    for (const std::vector<NodeSet>* b : buffers_) {
+      classes.insert(classes.end(), b->begin(), b->end());
+    }
+    // Canonical publication order — by (size, numeric value) — makes the
+    // table layout, the wave partition, and therefore the whole run
+    // independent of worker count and scheduling.
+    std::sort(classes.begin(), classes.end(), [](NodeSet a, NodeSet b) {
+      const int ca = a.Count();
+      const int cb = b.Count();
+      if (ca != cb) return ca < cb;
+      return a.bits() < b.bits();
+    });
+
+    DpTable& table = primary_.table();
+    table.Reserve(static_cast<size_t>(graph_.NumNodes()) + classes.size());
+    CancellationPoller poll(options_.cancellation);
+    for (NodeSet s : classes) {
+      if (poll.Fired()) throw EnumerationAborted{};
+      PlanEntry* e = table.Insert(s);
+      // +inf marks "no valid plan yet"; the cardinality is filled by the
+      // class's owner at the start of its wave.
+      e->cost = std::numeric_limits<double>::infinity();
+      e->cardinality = 0.0;
+      e->edge_id = -1;
+    }
+
+    // Wave boundaries over the table's insertion order: [NumNodes(), ...)
+    // is the sorted class range, contiguous per size.
+    waves_.clear();
+    const std::vector<PlanEntry*>& entries = table.entries();
+    size_t begin = static_cast<size_t>(graph_.NumNodes());
+    while (begin < entries.size()) {
+      size_t end = begin + 1;
+      const int size = entries[begin]->set.Count();
+      while (end < entries.size() && entries[end]->set.Count() == size) ++end;
+      waves_.emplace_back(begin, end);
+      begin = end;
+    }
+  }
+
+  void CostWaves() {
+    if (waves_.empty()) return;
+    size_t largest_wave = 0;
+    for (const auto& [b, e] : waves_) largest_wave = std::max(largest_wave, e - b);
+    const int team =
+        largest_wave >= kMinClassesForParallelWaves ? threads_ : 1;
+
+    worker_ctx_.clear();
+    std::vector<std::unique_ptr<ClassSplitter>> splitters;
+    for (int i = 0; i < team; ++i) {
+      // Worker contexts attach to the shared table without resetting it;
+      // the pruning seed in `options_` is already resolved (finite), so no
+      // per-worker GOO pass runs and every worker prunes against the same
+      // deterministic initial bound.
+      worker_ctx_.push_back(std::make_unique<OptimizerContext>(
+          graph_, est_, cost_model_, options_, &primary_.table(),
+          /*reset_borrowed_table=*/false));
+      splitters.push_back(std::make_unique<ClassSplitter>(
+          graph_, est_, primary_.table(), Scratch(i).neighborhood(graph_),
+          *worker_ctx_[i]));
+    }
+
+    const std::vector<PlanEntry*>& entries = primary_.table().entries();
+    if (team == 1) {
+      for (const auto& [begin, end] : waves_) {
+        for (size_t j = begin; j < end; ++j) {
+          splitters[0]->ProcessClass(entries[j]);
+        }
+      }
+      return;
+    }
+
+    // One persistent worker team; a barrier separates the size waves so a
+    // wave only starts once every smaller class cost is final (and
+    // publishes its writes to all workers). Within a wave, ownership is
+    // claim-by-chunk: exactly one worker ever writes a given entry, so no
+    // entry-level locking exists anywhere.
+    std::atomic<size_t> cursor{waves_[0].first};
+    std::atomic<bool> aborted{false};
+    std::mutex error_mu;
+    std::exception_ptr error;
+    size_t wave_counter = 0;  // advanced only inside the barrier completion
+    auto advance_wave = [this, &wave_counter, &cursor]() noexcept {
+      ++wave_counter;
+      if (wave_counter < waves_.size()) {
+        cursor.store(waves_[wave_counter].first, std::memory_order_relaxed);
+      }
+    };
+    std::barrier sync(team, advance_wave);
+
+    auto work = [&](int w) {
+      for (size_t k = 0; k < waves_.size(); ++k) {
+        const size_t end = waves_[k].second;
+        const size_t chunk = std::max<size_t>(
+            1, (end - waves_[k].first) / (static_cast<size_t>(team) * 8));
+        if (!aborted.load(std::memory_order_relaxed)) {
+          try {
+            for (;;) {
+              const size_t start =
+                  cursor.fetch_add(chunk, std::memory_order_relaxed);
+              if (start >= end) break;
+              const size_t stop = std::min(start + chunk, end);
+              for (size_t j = start; j < stop; ++j) {
+                splitters[w]->ProcessClass(entries[j]);
+              }
+              if (aborted.load(std::memory_order_relaxed)) break;
+            }
+          } catch (const EnumerationAborted&) {
+            aborted.store(true, std::memory_order_relaxed);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (error == nullptr) error = std::current_exception();
+            aborted.store(true, std::memory_order_relaxed);
+          }
+        }
+        // Every worker reaches every barrier, even after an abort — the
+        // team drains through the remaining (now empty) waves and joins.
+        sync.arrive_and_wait();
+      }
+    };
+    // `work` swallows all exceptions internally (it must keep arriving at
+    // the barriers), so RunWorkers is pure spawn/join here; the outcome is
+    // re-raised from the flags the workers left behind.
+    RunWorkers(team, work);
+    if (error != nullptr) std::rethrow_exception(error);
+    if (aborted.load(std::memory_order_relaxed)) throw EnumerationAborted{};
+  }
+
+  void MergeWorkerStats() {
+    OptimizerStats& total = primary_.stats();
+    for (const auto& ctx : worker_ctx_) {
+      const OptimizerStats& w = ctx->stats();
+      total.ccp_pairs += w.ccp_pairs;
+      total.pairs_tested += w.pairs_tested;
+      total.discarded += w.discarded;
+      total.cost_evaluations += w.cost_evaluations;
+      total.pruned += w.pruned;
+      total.dominated += w.dominated;
+    }
+    worker_ctx_.clear();
+  }
+
+  const Hypergraph& graph_;
+  const CardinalityModel& est_;
+  const CostModel& cost_model_;
+  const OptimizerOptions& options_;
+  OptimizerWorkspace* workspace_;
+  OptimizerContext& primary_;
+  const int threads_;
+  std::vector<std::unique_ptr<OptimizerWorkspace>> owned_scratch_;
+  std::vector<std::vector<NodeSet>*> buffers_;
+  std::vector<std::pair<size_t, size_t>> waves_;
+  std::vector<std::unique_ptr<OptimizerContext>> worker_ctx_;
+};
+
+class DphypParEnumerator : public Enumerator {
+ public:
+  const char* Name() const override { return "dphyp-par"; }
+  bool CanHandle(const Hypergraph&) const override { return true; }
+  DispatchBid Bid(const GraphShape& shape,
+                  const DispatchPolicy& policy) const override {
+    // One effective worker is not a parallel run: the widened frontier
+    // below exists because the work splits, so without >= 2 workers the
+    // sequential bids (and GOO's fallback past their frontier) must keep
+    // their routes. By-name selection is unaffected.
+    if (ResolveParallelThreads(policy.parallel_workers_hint) < 2) return {};
+    // Chains and cycles — generalized or not — finish in well under a
+    // millisecond sequentially (quadratic search spaces, which the fig5
+    // hyperedges only shrink further), so a worker pool costs more than it
+    // saves; small graphs likewise.
+    if (shape.max_simple_degree <= 2) return {};
+    if (shape.num_nodes < policy.parallel_min_nodes) return {};
+    // The parallel feasibility frontier: wider than sequential exact DP
+    // (the csg-cmp work splits across threads) but still bounded by what
+    // the DP table itself can hold.
+    if (shape.num_nodes > policy.exact_node_limit ||
+        shape.max_simple_degree > policy.parallel_max_degree) {
+      return {};
+    }
+    if (shape.density >= policy.min_dense_density &&
+        shape.num_nodes > policy.parallel_dense_node_limit) {
+      return {};
+    }
+    return {85.0, "large graph: intra-query parallel enumeration"};
+  }
+  OptimizeResult Run(const OptimizationRequest& request,
+                     OptimizerWorkspace& workspace) const override {
+    return OptimizeDphypPar(*request.graph, *request.estimator,
+                            *request.cost_model, request.options, &workspace);
+  }
+};
+
+}  // namespace
+
+OptimizeResult OptimizeDphypPar(const Hypergraph& graph,
+                                const CardinalityModel& est,
+                                const CostModel& cost_model,
+                                const OptimizerOptions& options,
+                                OptimizerWorkspace* workspace) {
+  OptimizerOptions effective =
+      ResolvePruningSeed(graph, est, cost_model, options, workspace);
+  OptimizerContext primary(graph, est, cost_model, effective,
+                           workspace != nullptr ? &workspace->table()
+                                                : nullptr);
+  if (workspace != nullptr) workspace->CountRun();
+  ParallelDphypDriver driver(graph, est, cost_model, effective, workspace,
+                             primary);
+  OptimizeResult result =
+      RunGuarded("dphyp-par", primary, graph.AllNodes(), [&] { driver.Run(); });
+  // The parallel table pre-inserts every connected class; a root entry
+  // still carrying the +inf sentinel means no valid ordering existed —
+  // the sequential solver's missing-entry failure.
+  if (result.success && !std::isfinite(result.cost)) {
+    result.success = false;
+    result.error =
+        "no plan found: all candidate orderings for the root class were "
+        "invalid";
+  }
+  return result;
+}
+
+std::unique_ptr<Enumerator> MakeDphypParEnumerator() {
+  return std::make_unique<DphypParEnumerator>();
+}
+
+}  // namespace dphyp

@@ -1,0 +1,77 @@
+// dphyp-par — intra-query parallel DPhyp enumeration.
+//
+// DPhyp's outermost loop decomposes naturally across start vertices, but
+// its DP table doubles as the connectivity oracle *and* the cost memo, and
+// the cost of a class depends on the final costs of its subclasses — a
+// dependency order a naive start-vertex split would violate. dphyp-par
+// therefore splits the run into two phases, both parallel, both
+// deterministic:
+//
+//   Phase 1 — structure. Workers partition the start vertices (work-stolen
+//   descending, exactly DPhyp's Solve order) and run the csg-side recursion
+//   of EnumerateCsgRec with a *cost-free* connectivity oracle
+//   (IsConnectedDef3; pure simple-edge growth needs no test at all), each
+//   collecting its connected subgraphs into thread-local buffers — the B_v
+//   forbid discipline makes the per-vertex searches disjoint, so no worker
+//   ever needs another's discoveries. The merged result is sorted by
+//   (size, numeric value) — a canonical order independent of thread count —
+//   and bulk-published into the shared DpTable with cost = +inf sentinels.
+//
+//   Phase 2 — costs, in waves by class size. All pairs producing a size-k
+//   class combine classes of size < k, so once every smaller wave is final,
+//   the size-k classes are mutually independent: workers claim classes from
+//   the wave (per-class-owner sharding — exactly one worker ever writes a
+//   given entry, no locks), enumerate that class's csg-cmp pairs locally
+//   (connected subsets of S \ {min(S)}, the same recursion restricted to
+//   the class, with the now-complete structure table as the oracle), and
+//   run them through the shared EmitCsgCmp combine step of a per-worker
+//   OptimizerContext attached to the shared table. A std::barrier separates
+//   waves; smaller-class entries are read-only once their wave has passed.
+//
+// Determinism: each class's candidate pairs and their order are a function
+// of the class alone, the per-worker pruning bound never moves before the
+// root wave (full plans are the only bound tighteners and exist only
+// there), and per-class min-updates are order-free — so final plan costs
+// are bit-identical to sequential DPhyp and independent of the thread
+// count (tests/test_parallel.cc, tests/test_fuzz.cc). The same per-class
+// dominance cut that made PR 2's pruned merges order-insensitive is what
+// makes the parallel merge safe.
+//
+// Deviations from the sequential table, by design: the parallel table
+// holds *every* connected subgraph (the sequential one omits classes that
+// are connected but plan-less under non-inner operators, and classes
+// branch-and-bound pruned away); such entries keep the +inf sentinel and
+// pairs on top of them are skipped, which reproduces the sequential
+// emission set exactly.
+#ifndef DPHYP_CORE_PARALLEL_DPHYP_H_
+#define DPHYP_CORE_PARALLEL_DPHYP_H_
+
+#include <memory>
+
+#include "core/enumerator.h"
+#include "core/optimizer.h"
+
+namespace dphyp {
+
+/// Runs parallel DPhyp over `graph` with
+/// `options.parallel_threads` workers (<= 0: hardware default). Same
+/// contract as OptimizeDphyp — same optimal cost, same workspace
+/// borrow-or-own table semantics, same deadline/cancellation behavior
+/// (every worker polls the token; an abort drains the pool within one poll
+/// period). Thread-safety requirement on the inputs: `est` and
+/// `cost_model` are read concurrently, which the CardinalityModel contract
+/// (immutable after construction, cost/cardinality.h) already guarantees.
+OptimizeResult OptimizeDphypPar(const Hypergraph& graph,
+                                const CardinalityModel& est,
+                                const CostModel& cost_model,
+                                const OptimizerOptions& options = {},
+                                OptimizerWorkspace* workspace = nullptr);
+
+/// The registry entry for "dphyp-par": exact, handles everything DPhyp
+/// does, bids on large feasible graphs (DispatchPolicy::parallel_min_nodes
+/// and the parallel dense/degree frontier).
+std::unique_ptr<Enumerator> MakeDphypParEnumerator();
+
+}  // namespace dphyp
+
+#endif  // DPHYP_CORE_PARALLEL_DPHYP_H_

@@ -104,6 +104,35 @@ class OptimizerWorkspace {
     return detached;
   }
 
+  /// Per-thread scratch workspaces for intra-query parallel enumeration:
+  /// worker `i` of a parallel run gets its own neighborhood memo, discovery
+  /// buffer, and tables, all retained here across queries so pooled warm
+  /// serving stays free of large allocations whatever the thread count.
+  /// Grows to the peak thread count ever requested, then stops allocating.
+  /// Call from the coordinating thread *before* workers start (growth is
+  /// not synchronized); each worker then uses only its own entry.
+  OptimizerWorkspace& ThreadScratch(size_t i) {
+    while (thread_scratch_.size() <= i) {
+      thread_scratch_.push_back(std::make_unique<OptimizerWorkspace>());
+    }
+    return *thread_scratch_[i];
+  }
+  size_t thread_scratch_count() const { return thread_scratch_.size(); }
+
+  /// Reusable NodeSet buffer (cleared per use, capacity retained). The
+  /// parallel structure pass uses each ThreadScratch child's buffer for
+  /// its worker's discovered connected subgraphs and the parent
+  /// workspace's buffer for the sorted merge of all of them.
+  std::vector<NodeSet>& scratch_sets() { return scratch_sets_; }
+
+  /// Memoized Def-3 connectivity verdicts (set bits -> connected) for the
+  /// parallel structure pass on complex-edge graphs. Cleared per run
+  /// (verdicts are graph-specific); the bucket array's capacity is
+  /// retained, like every other scratch here.
+  std::unordered_map<uint64_t, bool>& connectivity_memo() {
+    return connectivity_memo_;
+  }
+
   /// Total runs served through this workspace (diagnostics for reuse tests).
   uint64_t runs() const { return runs_; }
   void CountRun() { ++runs_; }
@@ -113,6 +142,9 @@ class OptimizerWorkspace {
   DpTable seed_table_{64};
   std::optional<NeighborhoodCache> nbh_;
   GooScratch goo_;
+  std::vector<std::unique_ptr<OptimizerWorkspace>> thread_scratch_;
+  std::vector<NodeSet> scratch_sets_;
+  std::unordered_map<uint64_t, bool> connectivity_memo_;
   uint64_t runs_ = 0;
 };
 

@@ -74,7 +74,7 @@ uint64_t HashModelName(const char* name);
 /// construction,
 ///     card(S) = Π_{i ∈ S} card(i) × Π_{edge e, nodes(e) ⊆ S} factor(e)
 /// which is join-order independent by construction (see cost/factors.h).
-/// Registered as "product"; all seven enumerators are bit-identical under
+/// Registered as "product"; all registered enumerators are bit-identical under
 /// it to the pre-interface code (tests/test_estimation.cc).
 class CardinalityEstimator : public CardinalityModel {
  public:

@@ -65,6 +65,48 @@ std::vector<NodeSet> UnionFindComponents(const Hypergraph& graph) {
   return components;
 }
 
+bool IsConnectedDef3(const Hypergraph& graph, NodeSet S) {
+  DPHYP_CHECK(!S.Empty());
+  if (S.IsSingleton()) return true;
+  // Component closure over the induced sub-hypergraph. Components are kept
+  // as bitsets in a small flat array; `comp_of` maps a node to its entry.
+  NodeSet components[NodeSet::kMaxNodes];
+  int comp_of[NodeSet::kMaxNodes];
+  int num_components = 0;
+  for (int v : S) {
+    components[num_components] = NodeSet::Single(v);
+    comp_of[v] = num_components++;
+  }
+  int live = num_components;
+  // A merge can only enable further merges, so iterating edges to fixpoint
+  // terminates after at most |S| - 1 successful rounds.
+  bool merged = true;
+  while (merged && live > 1) {
+    merged = false;
+    for (const Hyperedge& e : graph.edges()) {
+      if (!e.AllNodes().IsSubsetOf(S)) continue;
+      // Each endpoint hypernode must sit inside a single component; the
+      // flexible set may straddle the two (it joins whichever side takes
+      // it, so A ∪ B covering it suffices).
+      const int a = comp_of[e.left.Min()];
+      const int b = comp_of[e.right.Min()];
+      if (a == b) continue;
+      if (!e.left.IsSubsetOf(components[a]) ||
+          !e.right.IsSubsetOf(components[b])) {
+        continue;
+      }
+      if (!e.flex.IsSubsetOf(components[a] | components[b])) continue;
+      components[a] |= components[b];
+      for (int v : components[b]) comp_of[v] = a;
+      components[b] = NodeSet();
+      --live;
+      merged = true;
+      if (live == 1) return true;
+    }
+  }
+  return live == 1;
+}
+
 std::vector<NodeSet> EnumerateConnectedSubgraphs(const Hypergraph& graph) {
   DPHYP_CHECK_MSG(graph.NumNodes() <= 24, "exponential oracle limited to 24 nodes");
   ConnectivityTester tester(graph);

@@ -39,6 +39,20 @@ class ConnectivityTester {
 /// same component) and is used for connectivity repair in the builder.
 std::vector<NodeSet> UnionFindComponents(const Hypergraph& graph);
 
+/// Exact Def. 3 connectivity in polynomial time, via component closure:
+/// start from singletons of S and repeatedly merge two components A, B
+/// whenever an edge (u, w) has u ⊆ A, w ⊆ B, and flex ⊆ A ∪ B; S is
+/// connected iff one component remains. Each merge is a valid Def.-3 merge
+/// (soundness), and the merge relation is monotone under coarsening — a
+/// usable edge stays usable after unrelated merges — so the closure is
+/// confluent and can replay any Def.-3 merge tree bottom-up (completeness).
+/// O(|S| · |E| · rounds) with rounds <= |S|; unlike ConnectivityTester this
+/// is cheap enough for enumeration-time use (the parallel DPhyp structure
+/// pass tests candidate sets grown through complex-edge representatives).
+/// tests/test_connectivity.cc asserts equivalence with the exponential
+/// oracle on randomized hypergraphs.
+bool IsConnectedDef3(const Hypergraph& graph, NodeSet S);
+
 /// Number of connected subgraphs (csg) — the number of DP table entries any
 /// of the DP variants materializes (Sec. 3.6). O(2^n) with n = #nodes.
 uint64_t CountConnectedSubgraphs(const Hypergraph& graph);

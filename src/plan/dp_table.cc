@@ -54,8 +54,16 @@ void DpTable::Reset(size_t expected_entries) {
   mask_ = slots_.size() - 1;
 }
 
-void DpTable::Grow() {
-  size_t capacity = slots_.size() * 2;
+void DpTable::Reserve(size_t expected_entries) {
+  order_.reserve(expected_entries);
+  const size_t wanted = std::bit_ceil(expected_entries * 2 + 16);
+  if (slots_.size() >= wanted) return;
+  Rehash(wanted);
+}
+
+void DpTable::Grow() { Rehash(slots_.size() * 2); }
+
+void DpTable::Rehash(size_t capacity) {
   slots_.assign(capacity, 0);
   mask_ = capacity - 1;
   for (size_t i = 0; i < order_.size(); ++i) {

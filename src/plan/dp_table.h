@@ -64,6 +64,14 @@ class DpTable {
   /// Inserts a new entry for `s` (must not already exist) and returns it.
   PlanEntry* Insert(NodeSet s);
 
+  /// Pre-sizes the slot array and insertion-order index for
+  /// `expected_entries` total entries, rehashing at most once. Bulk loaders
+  /// that know the final entry count up front (the parallel enumerator
+  /// publishes every connected subgraph in one pass) call this to avoid the
+  /// doubling-rehash cascade of incremental growth. Existing entries and
+  /// their pointers stay valid.
+  void Reserve(size_t expected_entries);
+
   /// Empties the table for a fresh run while *retaining* its memory: the
   /// arena rewinds over its blocks and the slot array is re-zeroed in place
   /// (shrunk only when grossly oversized for `expected_entries`), so a
@@ -89,6 +97,7 @@ class DpTable {
 
  private:
   void Grow();
+  void Rehash(size_t capacity);
 
   Arena arena_;
   /// Entries in insertion order; the pointees live in `arena_`.

@@ -36,7 +36,13 @@ OptimizeResult OptimizeAdaptive(const Hypergraph& graph,
   // of the search space an exact route visits, never which plan it returns.
   OptimizerOptions effective = options;
   if (policy.enable_pruning) effective.enable_pruning = true;
-  const DispatchDecision decision = ChooseRoute(graph, policy);
+  // The auction sees the worker count the run would use (the parallel bid
+  // declines single-worker runs); an explicit setting wins over the hint.
+  DispatchPolicy effective_policy = policy;
+  if (options.parallel_threads > 0) {
+    effective_policy.parallel_workers_hint = options.parallel_threads;
+  }
+  const DispatchDecision decision = ChooseRoute(graph, effective_policy);
   if (workspace != nullptr) {
     OptimizationRequest request;
     request.graph = &graph;

@@ -193,6 +193,7 @@ ServiceResult PlanService::OptimizeOne(const QuerySpec& spec,
   request.cost_model = &DefaultCostModel();
   request.policy = options_.dispatch;
   request.deadline_ms = options_.deadline_ms;
+  request.options.parallel_threads = options_.parallel_threads;
   Result<OptimizeResult> optimized = session.Optimize(request);
   if (!optimized.ok()) {
     out.error = optimized.error().message;

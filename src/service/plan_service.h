@@ -50,6 +50,14 @@ struct ServiceOptions {
   /// served the GOO fallback (ServiceResult::result.stats.aborted records
   /// it) — the tail-latency bound for the Sec. 3.6 explosion risk.
   double deadline_ms = 0.0;
+  /// Workers per query for intra-query parallel routes ("dphyp-par").
+  /// Defaults to 1: the service already saturates its cores with
+  /// inter-query concurrency, and hardware-sized per-query teams on top of
+  /// the worker pool would oversubscribe it. Raise for low-QPS /
+  /// latency-critical deployments with idle cores; <= 0 means the hardware
+  /// default. Plan costs are unaffected either way (the parallel merge is
+  /// deterministic).
+  int parallel_threads = 1;
   /// Default cardinality model, by registry name (cost/model_registry.h);
   /// empty means "product". Overridable per query via the OptimizeOne
   /// overload.

@@ -24,7 +24,10 @@ Result<OptimizeResult> OptimizationSession::Optimize(
   }
 
   // Resolve the enumerator: explicit name through the registry, otherwise
-  // the shape auction.
+  // the shape auction. The auction must see the worker count this request
+  // would actually run with, so an explicit parallel_threads setting
+  // overrides the policy's hint (the parallel bid declines single-worker
+  // "parallel" runs — DispatchPolicy::parallel_workers_hint).
   const Enumerator* enumerator = nullptr;
   if (!request.enumerator.empty()) {
     Result<const Enumerator*> found =
@@ -36,7 +39,11 @@ Result<OptimizeResult> OptimizationSession::Optimize(
                  " cannot handle this graph (e.g. complex hyperedges)");
     }
   } else {
-    enumerator = ChooseRoute(*request.graph, request.policy).enumerator;
+    DispatchPolicy policy = request.policy;
+    if (request.options.parallel_threads > 0) {
+      policy.parallel_workers_hint = request.options.parallel_threads;
+    }
+    enumerator = ChooseRoute(*request.graph, policy).enumerator;
   }
 
   OptimizationRequest effective = request;

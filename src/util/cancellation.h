@@ -64,6 +64,32 @@ class CancellationToken {
   std::chrono::steady_clock::time_point deadline_{};
 };
 
+/// Amortized polling outside OptimizerContext: loops that run many cheap
+/// iterations without emitting candidate pairs (the parallel enumerator's
+/// structure-discovery recursion, bulk table publication) keep one of
+/// these on the frame and call Fired() per iteration; only every `period`
+/// calls does it consult the token. Callers decide how a fired token
+/// propagates; enumeration code typically throws EnumerationAborted.
+class CancellationPoller {
+ public:
+  explicit CancellationPoller(const CancellationToken* token,
+                              uint64_t period = 256)
+      : token_(token), period_(period == 0 ? 1 : period) {}
+
+  /// True on the poll that observes a fired token; false otherwise (and
+  /// always false with a null token).
+  bool Fired() {
+    if (token_ == nullptr) return false;
+    if (++ticks_ % period_ != 0) return false;
+    return token_->StopRequested();
+  }
+
+ private:
+  const CancellationToken* token_;
+  uint64_t period_;
+  uint64_t ticks_ = 0;
+};
+
 }  // namespace dphyp
 
 #endif  // DPHYP_UTIL_CANCELLATION_H_

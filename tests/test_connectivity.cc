@@ -157,6 +157,52 @@ TEST(Counting, EnumerationMatchesCounts) {
   }
 }
 
+TEST(Connectivity, PolynomialClosureMatchesExponentialOracle) {
+  // IsConnectedDef3 (component closure, polynomial — the parallel
+  // enumerator's structure-phase oracle) must agree with the definitional
+  // exponential tester on every subset, including the hypernode subtleties
+  // above, across randomized hypergraphs and the paper's split series.
+  std::vector<Hypergraph> graphs;
+  for (uint64_t seed = 50; seed < 60; ++seed) {
+    graphs.push_back(
+        BuildHypergraphOrDie(MakeRandomHypergraphQuery(8, 3, seed)));
+  }
+  for (int splits = 0; splits <= 3; ++splits) {
+    graphs.push_back(
+        BuildHypergraphOrDie(MakeCycleHypergraphQuery(8, splits)));
+    graphs.push_back(
+        BuildHypergraphOrDie(MakeStarHypergraphQuery(8, splits)));
+  }
+  for (const Hypergraph& g : graphs) {
+    ConnectivityTester oracle(g);
+    const uint64_t full = g.AllNodes().bits();
+    for (uint64_t bits = 1; bits <= full; ++bits) {
+      NodeSet s(bits);
+      ASSERT_EQ(IsConnectedDef3(g, s), oracle.IsConnected(s))
+          << "set " << bits;
+    }
+  }
+}
+
+TEST(Connectivity, PolynomialClosureOnHypernodeSides) {
+  // The single-hyperedge graph from above: ({0,1},{2}) alone leaves both
+  // {0,1} and {0,1,2} disconnected; internal support flips both.
+  Hypergraph g;
+  for (int i = 0; i < 3; ++i) g.AddNode(HypergraphNode{"", 10.0, NodeSet()});
+  Hyperedge e;
+  e.left = Set({0, 1});
+  e.right = Set({2});
+  g.AddEdge(e);
+  EXPECT_FALSE(IsConnectedDef3(g, Set({0, 1})));
+  EXPECT_FALSE(IsConnectedDef3(g, Set({0, 1, 2})));
+  Hyperedge s;
+  s.left = Set({0});
+  s.right = Set({1});
+  g.AddEdge(s);
+  EXPECT_TRUE(IsConnectedDef3(g, Set({0, 1})));
+  EXPECT_TRUE(IsConnectedDef3(g, Set({0, 1, 2})));
+}
+
 TEST(Counting, HyperedgesShrinkSearchSpace) {
   // Splitting hyperedges weakens constraints, so csg/ccp counts must grow
   // monotonically with the number of splits (the Sec. 4 series).

@@ -1,91 +1,227 @@
-// Broad randomized stress sweep tying every invariant together: for many
-// random hypergraphs (plain and generalized), check in one pass that
-//   * DPhyp's emit count equals the definitional csg-cmp-pair count,
-//   * its table holds exactly the connected subgraphs,
-//   * every algorithm agrees on the optimal cost and table size,
-//   * the extracted plan validates structurally,
-//   * and no duplicate csg-cmp-pair is ever emitted (checked via the
-//     counting identity: pairs == |distinct pairs| == lower bound).
+// Seeded randomized differential suite (label: fuzz). ~540 generated
+// graphs across chains, stars, cycles, cliques, random simple graphs,
+// random hypergraphs, and random non-inner operator trees; on each, every
+// registered *exact* enumerator — including the parallel dphyp-par — must
+// be bit-identical in plan cost and final cardinality to the reference
+// (DPccp where it can handle the graph, DPhyp otherwise: the two are
+// themselves cross-checked wherever both run).
+//
+// All case seeds derive from QDL_TEST_SEED (tests/test_rng.h); CI runs the
+// label under two distinct seeds. Case *names* carry only family/size/
+// ordinal — never the seed — so a runtime seed override reaches tests
+// registered at build time; the seed is printed by SCOPED_TRACE on
+// failure.
+//
+// A definitional sub-check (small cases only; the oracles are O(3^n))
+// additionally pins DPhyp's emit count to the csg-cmp-pair count, the
+// table to the connected-subgraph count, and dphyp-par's emissions to
+// DPhyp's.
 #include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
 
 #include "core/enumerator.h"
 #include "hypergraph/builder.h"
 #include "hypergraph/connectivity.h"
 #include "plan/validate.h"
+#include "reorder/ses_tes.h"
 #include "test_helpers.h"
+#include "test_rng.h"
 #include "workload/generators.h"
+#include "workload/optree_gen.h"
 
 namespace dphyp {
 namespace {
 
+using testing_helpers::DerivedSeed;
 using testing_helpers::OptimizeNamed;
-
-using testing_helpers::CostsClose;
+using testing_helpers::SeedTrace;
 
 struct FuzzCase {
-  uint64_t seed;
-  int relations;
-  int complex_edges;
+  std::string name;      // stable: family/size/ordinal, never the seed
+  uint64_t seed;         // derived from QDL_TEST_SEED
+  QuerySpec spec;        // the generated query
+  bool small_oracle;     // cheap enough for the O(3^n) definitional oracles
 };
 
-class FuzzSweep : public ::testing::TestWithParam<FuzzCase> {};
+std::vector<FuzzCase> FuzzCases() {
+  std::vector<FuzzCase> cases;
+  uint64_t salt = 0;
+  auto add = [&](std::string name, QuerySpec spec, uint64_t seed,
+                 bool small_oracle) {
+    cases.push_back({std::move(name), seed, std::move(spec), small_oracle});
+  };
 
-TEST_P(FuzzSweep, AllInvariantsHold) {
-  const FuzzCase& c = GetParam();
-  QuerySpec spec =
-      MakeRandomHypergraphQuery(c.relations, c.complex_edges, c.seed);
-  Hypergraph g = BuildHypergraphOrDie(spec);
+  // Fixed-topology families: the shape is the parameter, the seed draws
+  // cardinalities/selectivities.
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    WorkloadOptions opts;
+    opts.seed = seed;
+    const int n = 4 + (i % 7);
+    add("chain" + std::to_string(n) + "_" + std::to_string(i),
+        MakeChainQuery(n, opts), seed, n <= 8);
+  }
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    WorkloadOptions opts;
+    opts.seed = seed;
+    const int sats = 3 + (i % 7);
+    add("star" + std::to_string(sats) + "_" + std::to_string(i),
+        MakeStarQuery(sats, opts), seed, sats <= 7);
+  }
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    WorkloadOptions opts;
+    opts.seed = seed;
+    const int n = 4 + (i % 7);
+    add("cycle" + std::to_string(n) + "_" + std::to_string(i),
+        MakeCycleQuery(n, opts), seed, n <= 8);
+  }
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    WorkloadOptions opts;
+    opts.seed = seed;
+    const int n = 4 + (i % 5);
+    add("clique" + std::to_string(n) + "_" + std::to_string(i),
+        MakeCliqueQuery(n, opts), seed, n <= 8);
+  }
+
+  // Random-topology families: the seed draws the graph itself.
+  for (int i = 0; i < 120; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    const int n = 5 + (i % 6);
+    const double p = 0.2 + 0.15 * (i % 3);
+    add("randgraph" + std::to_string(n) + "_" + std::to_string(i),
+        MakeRandomGraphQuery(n, p, seed), seed, n <= 8);
+  }
+  for (int i = 0; i < 120; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    const int n = 5 + (i % 5);
+    const int complex_edges = 1 + (i % 4);
+    add("randhyper" + std::to_string(n) + "_" + std::to_string(i),
+        MakeRandomHypergraphQuery(n, complex_edges, seed), seed, n <= 8);
+  }
+  return cases;
+}
+
+/// Non-inner mixes come from random operator trees (semi/anti/outer/
+/// nestjoin operators, lateral leaves); they derive to hypergraphs rather
+/// than QuerySpecs, so they get their own sweep below.
+struct TreeCase {
+  std::string name;
+  uint64_t seed;
+  int relations;
+};
+
+std::vector<TreeCase> TreeCases() {
+  std::vector<TreeCase> cases;
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t seed = DerivedSeed(100000 + i);
+    const int n = 5 + (i % 5);
+    cases.push_back(
+        {"optree" + std::to_string(n) + "_" + std::to_string(i), seed, n});
+  }
+  return cases;
+}
+
+bool HasNonInnerEdges(const Hypergraph& g) {
+  for (const Hyperedge& e : g.edges()) {
+    if (e.op != OpType::kJoin) return true;
+  }
+  return false;
+}
+
+/// The shared differential body: reference vs every registered exact
+/// enumerator. Bit-identical cost (not approximate: all enumerators build
+/// the same winning plan value through the same combine arithmetic) and
+/// cardinality; table sizes compared only where every class has a plan
+/// (inner-only, no laterals — see core/parallel_dphyp.h on the sentinel
+/// entries non-inner graphs leave behind).
+void CheckAllEnumeratorsAgree(const Hypergraph& g, uint64_t seed) {
+  SCOPED_TRACE(SeedTrace(seed));
   CardinalityEstimator est(g);
 
-  OptimizeResult reference = OptimizeNamed("DPhyp", g, est,
-                                      DefaultCostModel());
+  const bool dpccp_ref =
+      EnumeratorRegistry::Global().FindOrNull("DPccp")->CanHandle(g);
+  OptimizeResult reference =
+      OptimizeNamed(dpccp_ref ? "DPccp" : "DPhyp", g, est, DefaultCostModel());
   ASSERT_TRUE(reference.success) << reference.error;
 
-  // Counting invariants against the definitional oracle.
-  EXPECT_EQ(reference.stats.ccp_pairs, CountCsgCmpPairs(g));
-  EXPECT_EQ(reference.stats.dp_entries, CountConnectedSubgraphs(g));
-  EXPECT_EQ(reference.stats.discarded, 0u);
-
-  // Structural plan validity.
+  // Structural validity of the reference plan.
   PlanTree plan = reference.ExtractPlan(g);
   Result<bool> valid = ValidatePlanTree(g, plan);
   EXPECT_TRUE(valid.ok()) << valid.error().message;
   EXPECT_DOUBLE_EQ(plan.root()->cost, reference.cost);
 
-  // Cross-algorithm agreement.
-  for (const char* algo : {"DPsize", "DPsub", "TDbasic", "TDpartition"}) {
-    OptimizeResult r = OptimizeNamed(algo, g, est, DefaultCostModel());
-    ASSERT_TRUE(r.success) << algo;
-    EXPECT_TRUE(CostsClose(r.cost, reference.cost)) << algo;
-    EXPECT_EQ(r.stats.dp_entries, reference.stats.dp_entries)
-        << algo;
-    EXPECT_DOUBLE_EQ(r.cardinality, reference.cardinality)
-        << algo;
+  const bool inner_only = !HasNonInnerEdges(g) && !g.HasDependentLeaves();
+  for (const Enumerator* e : EnumeratorRegistry::Global().All()) {
+    if (!e->Exact()) continue;  // GOO is a heuristic, not an agreement peer
+    if (!e->CanHandle(g)) continue;
+    OptimizeResult r = e->Optimize(g, est, DefaultCostModel());
+    ASSERT_TRUE(r.success) << e->Name() << ": " << r.error;
+    EXPECT_DOUBLE_EQ(r.cost, reference.cost) << e->Name();
+    EXPECT_DOUBLE_EQ(r.cardinality, reference.cardinality) << e->Name();
+    if (inner_only) {
+      EXPECT_EQ(r.stats.dp_entries, reference.stats.dp_entries) << e->Name();
+    }
   }
 }
 
-std::vector<FuzzCase> FuzzCases() {
-  std::vector<FuzzCase> cases;
-  for (uint64_t seed = 100; seed < 130; ++seed) {
-    cases.push_back({seed, 6, 2});
-  }
-  for (uint64_t seed = 200; seed < 220; ++seed) {
-    cases.push_back({seed, 8, 3});
-  }
-  for (uint64_t seed = 300; seed < 310; ++seed) {
-    cases.push_back({seed, 9, 4});
-  }
-  // Edge-heavy small graphs (subsumption-prone neighborhoods).
-  for (uint64_t seed = 400; seed < 410; ++seed) {
-    cases.push_back({seed, 5, 5});
-  }
-  return cases;
+class FuzzSweep : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FuzzSweep, AllEnumeratorsBitIdenticalToReference) {
+  const FuzzCase& c = GetParam();
+  Hypergraph g = BuildHypergraphOrDie(c.spec);
+  CheckAllEnumeratorsAgree(g, c.seed);
+}
+
+TEST_P(FuzzSweep, DefinitionalInvariants) {
+  const FuzzCase& c = GetParam();
+  if (!c.small_oracle) GTEST_SKIP() << "O(3^n) oracle skipped at this size";
+  SCOPED_TRACE(SeedTrace(c.seed));
+  Hypergraph g = BuildHypergraphOrDie(c.spec);
+  CardinalityEstimator est(g);
+
+  OptimizeResult reference = OptimizeNamed("DPhyp", g, est, DefaultCostModel());
+  ASSERT_TRUE(reference.success) << reference.error;
+
+  // DPhyp against the definitional oracles: emits exactly the csg-cmp
+  // pairs, materializes exactly the connected subgraphs, discards nothing.
+  EXPECT_EQ(reference.stats.ccp_pairs, CountCsgCmpPairs(g));
+  EXPECT_EQ(reference.stats.dp_entries, CountConnectedSubgraphs(g));
+  EXPECT_EQ(reference.stats.discarded, 0u);
+
+  // The parallel enumerator's per-class split enumeration must submit the
+  // same unordered pair set (its pairs_tested additionally counts failed
+  // split candidates, which DPhyp's neighborhood walk never generates).
+  OptimizeResult par =
+      OptimizeNamed("dphyp-par", g, est, DefaultCostModel());
+  ASSERT_TRUE(par.success) << par.error;
+  EXPECT_EQ(par.stats.ccp_pairs, reference.stats.ccp_pairs);
+  EXPECT_EQ(par.stats.dp_entries, reference.stats.dp_entries);
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, FuzzSweep, ::testing::ValuesIn(FuzzCases()),
                          [](const ::testing::TestParamInfo<FuzzCase>& info) {
-                           return "s" + std::to_string(info.param.seed) + "n" +
-                                  std::to_string(info.param.relations);
+                           return info.param.name;
+                         });
+
+class NonInnerFuzzSweep : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(NonInnerFuzzSweep, AllEnumeratorsBitIdenticalToReference) {
+  const TreeCase& c = GetParam();
+  SCOPED_TRACE(SeedTrace(c.seed));
+  OperatorTree tree = MakeRandomOperatorTree(c.relations, c.seed);
+  DerivedQuery dq = DeriveQuery(tree);
+  CheckAllEnumeratorsAgree(dq.graph, c.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, NonInnerFuzzSweep,
+                         ::testing::ValuesIn(TreeCases()),
+                         [](const ::testing::TestParamInfo<TreeCase>& info) {
+                           return info.param.name;
                          });
 
 TEST(FuzzSweep, LargeQuerySmoke) {
@@ -103,6 +239,15 @@ TEST(FuzzSweep, LargeQuerySmoke) {
   ASSERT_TRUE(r.success);
   EXPECT_EQ(r.stats.dp_entries,
             OptimizeNamed("TDpartition", g).stats.dp_entries);
+  // The parallel enumerator on the same 20-relation graph, multi-threaded.
+  OptimizerOptions opt;
+  opt.parallel_threads = 4;
+  CardinalityEstimator est(g);
+  Result<OptimizeResult> par =
+      OptimizeByName("dphyp-par", g, est, DefaultCostModel(), opt);
+  ASSERT_TRUE(par.ok());
+  ASSERT_TRUE(par.value().success);
+  EXPECT_DOUBLE_EQ(par.value().cost, OptimizeNamed("DPhyp", g).cost);
 }
 
 }  // namespace

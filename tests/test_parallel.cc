@@ -1,0 +1,266 @@
+// The intra-query parallel enumerator (label: parallel): bit-identity of
+// dphyp-par against sequential DPhyp on every fig5–8 shape family at
+// several thread counts, deadline aborts with workers in flight, workspace
+// scratch reuse across parallel runs, and a mixed-thread-count PlanService
+// stress batch whose cache hits must stay bit-identical. This label (with
+// session and service) also runs under ThreadSanitizer in CI — the shared
+// DpTable's per-class-owner write discipline and the wave barriers are
+// exactly what TSan would catch cheating.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "baselines/goo.h"
+#include "core/dphyp.h"
+#include "core/parallel_dphyp.h"
+#include "core/workspace.h"
+#include "hypergraph/builder.h"
+#include "plan/validate.h"
+#include "reorder/ses_tes.h"
+#include "service/plan_service.h"
+#include "service/session.h"
+#include "test_helpers.h"
+#include "test_rng.h"
+#include "workload/generators.h"
+#include "workload/optree_gen.h"
+
+namespace dphyp {
+namespace {
+
+using testing_helpers::DerivedSeed;
+using testing_helpers::SeedTrace;
+
+struct ParallelCase {
+  std::string name;
+  Hypergraph graph;
+  /// TES-mode constraints (fig8a generate-and-test variant); empty for the
+  /// hypernode representations.
+  std::vector<TesConstraint> tes;
+  /// Thread counts to sweep; the larger shapes use a shorter list so the
+  /// TSan run stays fast.
+  std::vector<int> threads{1, 2, 4, 8};
+};
+
+std::vector<ParallelCase> ParallelCases() {
+  std::vector<ParallelCase> cases;
+  auto add = [&](std::string name, QuerySpec spec) {
+    cases.push_back({std::move(name), BuildHypergraphOrDie(spec), {}});
+  };
+  // fig5: cycle hypergraphs, all split counts at n=8 plus the n=16 ends.
+  for (int splits = 0; splits <= 3; ++splits) {
+    add("cycle_hyper8_s" + std::to_string(splits),
+        MakeCycleHypergraphQuery(8, splits));
+  }
+  add("cycle_hyper16_s0", MakeCycleHypergraphQuery(16, 0));
+  cases.back().threads = {1, 4};
+  add("cycle_hyper16_s7", MakeCycleHypergraphQuery(16, 7));
+  cases.back().threads = {1, 4};
+  // fig6: star hypergraphs.
+  for (int splits = 0; splits <= 3; ++splits) {
+    add("star_hyper8_s" + std::to_string(splits),
+        MakeStarHypergraphQuery(8, splits));
+  }
+  add("star_hyper16_s0", MakeStarHypergraphQuery(16, 0));
+  cases.back().threads = {1, 4};
+  // fig7: regular stars (and a dense clique, the parallel route's home).
+  add("star10", MakeStarQuery(10));
+  add("clique12", MakeCliqueQuery(12));
+  cases.back().threads = {1, 4};
+  // fig8a: star antijoins, hypernode representation.
+  for (int anti : {0, 5, 10}) {
+    SyntheticNonInnerWorkload w = MakeStarAntijoinWorkload(10, anti);
+    cases.push_back(
+        {"star_antijoin10_a" + std::to_string(anti), std::move(w.graph), {}});
+    // ... and the generate-and-test TES variant on the SES graph.
+    cases.push_back({"star_antijoin10_tes_a" + std::to_string(anti),
+                     std::move(w.ses_graph), std::move(w.tes_constraints)});
+  }
+  // fig8b: cycle outer joins.
+  for (int outer : {0, 3, 6, 9}) {
+    DerivedQuery dq = DeriveQuery(MakeCycleOuterjoinTree(10, outer));
+    cases.push_back(
+        {"cycle_outerjoin10_o" + std::to_string(outer), std::move(dq.graph), {}});
+  }
+  return cases;
+}
+
+class ParallelBitIdentity : public ::testing::TestWithParam<ParallelCase> {};
+
+TEST_P(ParallelBitIdentity, MatchesSequentialDphypAtEveryThreadCount) {
+  const ParallelCase& c = GetParam();
+  CardinalityEstimator est(c.graph);
+  OptimizerOptions base;
+  if (!c.tes.empty()) base.tes_constraints = &c.tes;
+
+  OptimizeResult reference =
+      OptimizeDphyp(c.graph, est, DefaultCostModel(), base);
+  ASSERT_TRUE(reference.success) << reference.error;
+
+  for (int threads : c.threads) {
+    OptimizerOptions opt = base;
+    opt.parallel_threads = threads;
+    OptimizeResult par =
+        OptimizeDphypPar(c.graph, est, DefaultCostModel(), opt);
+    ASSERT_TRUE(par.success) << "threads=" << threads << ": " << par.error;
+    // Bit-identical, not approximately equal: the winning plan's cost is
+    // assembled through the identical combine arithmetic.
+    EXPECT_EQ(par.cost, reference.cost) << "threads=" << threads;
+    EXPECT_EQ(par.cardinality, reference.cardinality) << "threads=" << threads;
+    EXPECT_EQ(par.stats.ccp_pairs, reference.stats.ccp_pairs)
+        << "threads=" << threads;
+    EXPECT_TRUE(ValidatePlanTree(c.graph, par.ExtractPlan(c.graph)).ok())
+        << "threads=" << threads;
+  }
+}
+
+TEST_P(ParallelBitIdentity, PruningPreservesTheOptimum) {
+  const ParallelCase& c = GetParam();
+  if (!c.tes.empty()) GTEST_SKIP() << "TES mode runs unpruned";
+  CardinalityEstimator est(c.graph);
+  OptimizeResult reference = OptimizeDphyp(c.graph, est, DefaultCostModel());
+  ASSERT_TRUE(reference.success);
+  OptimizerOptions opt;
+  opt.enable_pruning = true;
+  opt.parallel_threads = 4;
+  OptimizeResult pruned =
+      OptimizeDphypPar(c.graph, est, DefaultCostModel(), opt);
+  ASSERT_TRUE(pruned.success) << pruned.error;
+  EXPECT_EQ(pruned.cost, reference.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig5to8, ParallelBitIdentity, ::testing::ValuesIn(ParallelCases()),
+    [](const ::testing::TestParamInfo<ParallelCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ParallelDeadline, AbortsMidEnumerationWithWorkersInFlight) {
+  // A degree-22 hub: discovery alone expands 2^22 candidate subgraphs, so
+  // a 25 ms budget fires while the worker team is deep in flight. The
+  // session must drain the pool, fall back to GOO, and record the abort.
+  Hypergraph g = BuildHypergraphOrDie(MakeStarQuery(22));
+  CardinalityEstimator est(g);
+
+  const double budget_ms = 25.0;
+  OptimizationSession session;
+  OptimizationRequest request;
+  request.graph = &g;
+  request.estimator = &est;
+  request.cost_model = &DefaultCostModel();
+  request.enumerator = "dphyp-par";
+  request.deadline_ms = budget_ms;
+  request.options.parallel_threads = 4;
+
+  Result<OptimizeResult> served = session.Optimize(request);
+  ASSERT_TRUE(served.ok());
+  const OptimizeResult& r = served.value();
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_TRUE(r.stats.aborted);
+  EXPECT_STREQ(r.stats.aborted_algorithm, "dphyp-par");
+  EXPECT_STREQ(r.stats.algorithm, "GOO");
+  EXPECT_GT(r.stats.abort_latency_ms, 0.0);
+  // Every worker polls the shared token, so the abort lands within poll
+  // granularity of the budget; the slack absorbs scheduler noise and
+  // sanitizer overhead, not the mechanism.
+  EXPECT_LE(r.stats.abort_latency_ms, budget_ms * 2.0)
+      << "parallel abort drifted far past the deadline";
+
+  // The served plan is the plain GOO plan, bit-identical to a direct run.
+  EXPECT_TRUE(ValidatePlanTree(g, r.ExtractPlan(g)).ok());
+  OptimizeResult goo = OptimizeGoo(g, est, DefaultCostModel());
+  ASSERT_TRUE(goo.success);
+  EXPECT_EQ(r.cost, goo.cost);
+}
+
+TEST(ParallelWorkspace, ThreadScratchGrowsOnceAndResultsStayIdentical) {
+  // The pooled-serving discipline extended to worker scratch: per-thread
+  // neighborhood memos / discovery buffers live in the workspace, grow to
+  // the requested thread count on the first parallel run, and are reused
+  // (not reallocated) afterwards — with bit-identical results run to run.
+  Hypergraph g = BuildHypergraphOrDie(MakeStarHypergraphQuery(12, 2));
+  CardinalityEstimator est(g);
+  OptimizerWorkspace ws;
+  OptimizerOptions opt;
+  opt.parallel_threads = 4;
+
+  OptimizeResult first = OptimizeDphypPar(g, est, DefaultCostModel(), opt, &ws);
+  ASSERT_TRUE(first.success);
+  const double first_cost = first.cost;
+  EXPECT_EQ(ws.thread_scratch_count(), 4u);
+
+  for (int run = 0; run < 3; ++run) {
+    OptimizeResult again =
+        OptimizeDphypPar(g, est, DefaultCostModel(), opt, &ws);
+    ASSERT_TRUE(again.success);
+    EXPECT_EQ(again.cost, first_cost);
+  }
+  EXPECT_EQ(ws.thread_scratch_count(), 4u);  // grew once, then reused
+  EXPECT_EQ(ws.runs(), 4u);
+
+  // A smaller request reuses the existing scratch without shrinking it.
+  opt.parallel_threads = 2;
+  OptimizeResult smaller =
+      OptimizeDphypPar(g, est, DefaultCostModel(), opt, &ws);
+  ASSERT_TRUE(smaller.success);
+  EXPECT_EQ(smaller.cost, first_cost);
+  EXPECT_EQ(ws.thread_scratch_count(), 4u);
+}
+
+TEST(ParallelService, HundredQueryMixedThreadCountStressKeepsCacheBitIdentity) {
+  SCOPED_TRACE(SeedTrace(DerivedSeed(777)));
+  // 100 mixed queries whose larger stars route to dphyp-par; served by a
+  // multi-threaded service with intra-query workers on top (two levels of
+  // parallelism), then re-served warm. Every cost must be bit-identical to
+  // a serial, cache-less, single-worker reference — cache hits included.
+  TrafficMixOptions mix;
+  mix.seed = DerivedSeed(777);
+  mix.min_relations = 6;
+  mix.max_relations = 15;
+  mix.clique_max_relations = 10;
+  mix.distinct_templates = 16;
+  std::vector<QuerySpec> traffic = GenerateTrafficMix(98, mix);
+  // Two guaranteed parallel-routed hubs, whatever the seed drew: 14 and 16
+  // relations, both past DispatchPolicy::parallel_min_nodes.
+  traffic.push_back(MakeStarQuery(13));
+  traffic.push_back(MakeStarQuery(15));
+
+  ServiceOptions serial_opts;
+  serial_opts.num_threads = 1;
+  serial_opts.cache_byte_budget = 0;
+  // Same intra-query worker count as the concurrent service below: routing
+  // (and so the `algorithm` comparison) must see identical policies —
+  // only service-level concurrency and caching differ.
+  serial_opts.parallel_threads = 2;
+  PlanService serial(serial_opts);
+  BatchOutcome reference = serial.OptimizeBatch(traffic);
+  ASSERT_EQ(reference.stats.failures, 0u);
+
+  ServiceOptions conc_opts;
+  conc_opts.num_threads = 4;
+  conc_opts.parallel_threads = 2;  // intra-query workers nested in workers
+  PlanService concurrent(conc_opts);
+  BatchOutcome cold = concurrent.OptimizeBatch(traffic);
+  BatchOutcome warm = concurrent.OptimizeBatch(traffic);
+  ASSERT_EQ(cold.stats.failures, 0u);
+  ASSERT_EQ(warm.stats.failures, 0u);
+  EXPECT_EQ(warm.stats.cache_hits, warm.stats.queries);
+
+  bool saw_parallel_route = false;
+  for (size_t i = 0; i < traffic.size(); ++i) {
+    EXPECT_EQ(cold.results[i].cost, reference.results[i].cost) << i;
+    EXPECT_EQ(warm.results[i].cost, reference.results[i].cost) << i;
+    EXPECT_EQ(cold.results[i].cardinality, reference.results[i].cardinality)
+        << i;
+    EXPECT_EQ(cold.results[i].algorithm, reference.results[i].algorithm) << i;
+    EXPECT_TRUE(warm.results[i].cache_hit) << i;
+    if (cold.results[i].algorithm == "dphyp-par") saw_parallel_route = true;
+  }
+  // The mix must actually exercise the parallel route, or this stress
+  // proves nothing about it.
+  EXPECT_TRUE(saw_parallel_route);
+}
+
+}  // namespace
+}  // namespace dphyp

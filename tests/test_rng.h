@@ -1,0 +1,71 @@
+// Reproducible randomness for every randomized test in the suite.
+//
+// All random test inputs derive from ONE base seed, read from the
+// QDL_TEST_SEED environment variable (decimal; unset means the built-in
+// default). CI runs the fuzz label under several seeds; a failure is
+// reproduced locally by exporting the seed the trace names:
+//
+//   QDL_TEST_SEED=123456 ctest -L fuzz
+//
+// Tests must not bake the seed into gtest *names* (ctest registers names
+// at build time, so env-dependent names would break runtime seed
+// overrides); instead they derive per-case seeds as BaseTestSeed() + salt
+// and attach a SeedTrace so every assertion failure prints the seed that
+// produced the input.
+#ifndef DPHYP_TESTS_TEST_RNG_H_
+#define DPHYP_TESTS_TEST_RNG_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "util/rng.h"
+
+namespace dphyp {
+namespace testing_helpers {
+
+/// The suite-wide base seed: QDL_TEST_SEED when set, `fallback` otherwise.
+inline uint64_t BaseTestSeed(uint64_t fallback = 42) {
+  static const uint64_t seed = [] {
+    const char* env = std::getenv("QDL_TEST_SEED");
+    if (env == nullptr || *env == '\0') return uint64_t{0};
+    return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }();
+  const char* env = std::getenv("QDL_TEST_SEED");
+  return (env == nullptr || *env == '\0') ? fallback : seed;
+}
+
+/// Derives the seed for one case from the base seed and a per-case salt
+/// (splitmix-style mixing, so consecutive salts give uncorrelated seeds).
+inline uint64_t DerivedSeed(uint64_t salt) {
+  uint64_t z = BaseTestSeed() + 0x9e3779b97f4a7c15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// The deterministic generator for test bodies that draw directly: seeded
+/// from the base seed plus a salt. Exposes the seed for failure messages.
+class TestRng : public Rng {
+ public:
+  explicit TestRng(uint64_t salt = 0)
+      : Rng(DerivedSeed(salt)), salt_(salt) {}
+
+  uint64_t salt() const { return salt_; }
+
+ private:
+  uint64_t salt_;
+};
+
+/// Message for SCOPED_TRACE so assertion failures name the reproduction
+/// command. `case_seed` is the value actually fed to the generator.
+inline std::string SeedTrace(uint64_t case_seed) {
+  return "case seed " + std::to_string(case_seed) +
+         " (reproduce the whole run with QDL_TEST_SEED=" +
+         std::to_string(BaseTestSeed()) + ")";
+}
+
+}  // namespace testing_helpers
+}  // namespace dphyp
+
+#endif  // DPHYP_TESTS_TEST_RNG_H_

@@ -14,6 +14,7 @@
 #include "core/dphyp.h"
 #include "service/fingerprint.h"
 #include "service/plan_cache.h"
+#include "test_rng.h"
 #include "workload/generators.h"
 
 namespace dphyp {
@@ -253,6 +254,35 @@ TEST(Dispatch, RoutesByShape) {
   // Big stars blow past the degree frontier.
   EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeStarQuery(24))).Name(),
                "GOO");
+  // Large graphs inside the parallel frontier go to the intra-query
+  // parallel enumerator *when the run would actually have workers*: the
+  // widened frontier exists because the work splits. The hint is set
+  // explicitly so the expectation holds on any machine.
+  DispatchPolicy workers8;
+  workers8.parallel_workers_hint = 8;
+  EXPECT_STREQ(
+      ChooseRoute(BuildHypergraphOrDie(MakeStarQuery(16)), workers8).Name(),
+      "dphyp-par");
+  EXPECT_STREQ(
+      ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(15)), workers8).Name(),
+      "dphyp-par");
+  EXPECT_STREQ(
+      ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(18)), workers8).Name(),
+      "dphyp-par");
+  EXPECT_STREQ(
+      ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(19)), workers8).Name(),
+      "GOO");
+  // With one effective worker the parallel bid must decline, keeping the
+  // pre-parallel routes: a single-worker "parallel" clique run would trade
+  // GOO's sub-millisecond fallback for seconds of exact enumeration.
+  DispatchPolicy workers1;
+  workers1.parallel_workers_hint = 1;
+  EXPECT_STREQ(
+      ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(18)), workers1).Name(),
+      "GOO");
+  EXPECT_STREQ(
+      ChooseRoute(BuildHypergraphOrDie(MakeStarQuery(16)), workers1).Name(),
+      "DPccp");
 }
 
 TEST(Dispatch, AdaptiveProducesValidPlansEverywhere) {
@@ -270,9 +300,12 @@ TEST(Dispatch, AdaptiveProducesValidPlansEverywhere) {
 
 // --- Service ----------------------------------------------------------------
 
-std::vector<QuerySpec> TestTraffic(int count, uint64_t seed = 7) {
+/// Stress traffic draws its seed from QDL_TEST_SEED via a per-call salt
+/// (tests/test_rng.h); both services in a comparison consume the identical
+/// spec vector, so any base seed exercises the same invariant.
+std::vector<QuerySpec> TestTraffic(int count, uint64_t salt = 7) {
   TrafficMixOptions opts;
-  opts.seed = seed;
+  opts.seed = testing_helpers::DerivedSeed(salt);
   opts.distinct_templates = 12;
   opts.min_relations = 4;
   opts.max_relations = 10;
@@ -280,6 +313,7 @@ std::vector<QuerySpec> TestTraffic(int count, uint64_t seed = 7) {
 }
 
 TEST(PlanService, ConcurrentBatchMatchesSerialBitIdentically) {
+  SCOPED_TRACE(testing_helpers::SeedTrace(testing_helpers::DerivedSeed(7)));
   std::vector<QuerySpec> traffic = TestTraffic(80);
 
   ServiceOptions serial_opts;
@@ -310,7 +344,8 @@ TEST(PlanService, ConcurrentBatchMatchesSerialBitIdentically) {
 }
 
 TEST(PlanService, CachedCostsEqualUncachedCosts) {
-  std::vector<QuerySpec> traffic = TestTraffic(60, /*seed=*/21);
+  SCOPED_TRACE(testing_helpers::SeedTrace(testing_helpers::DerivedSeed(21)));
+  std::vector<QuerySpec> traffic = TestTraffic(60, /*salt=*/21);
 
   ServiceOptions opts;
   opts.num_threads = 4;
@@ -490,6 +525,7 @@ TEST(PlanService, ModelsAreSelectablePerQueryAndNeverShareCacheEntries) {
 }
 
 TEST(PlanService, StatsAreCoherent) {
+  SCOPED_TRACE(testing_helpers::SeedTrace(testing_helpers::DerivedSeed(7)));
   std::vector<QuerySpec> traffic = TestTraffic(40);
   PlanService service{ServiceOptions{}};
   BatchOutcome out = service.OptimizeBatch(traffic);
