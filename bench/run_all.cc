@@ -27,14 +27,21 @@
 //                               threads beats 1 thread by this percent on
 //                               the clique (e.g. 200 = 2x); 0 disables
 //                               (default: only meaningful on multi-core)
+//   DPHYP_BENCH_FRONTIER_CLIQUE / _STAR / _CHAIN / _RAND  shape sizes for
+//                               the beyond-exact frontier sweep (defaults
+//                               30/26/20/40; < 4 skips the shape)
+//   DPHYP_BENCH_REQUIRE_FRONTIER_RATIO  exit non-zero if any frontier
+//                               record's cost ratio vs GOO exceeds this
+//                               percent (100 = must match-or-beat GOO);
+//                               0 disables (default)
 //
 // Output schema (BENCH_dphyp.json):
-//   schema_version  int, currently 3
+//   schema_version  int, currently 4
 //   config          the knob values the run used
 //   results[]       one record per (figure, shape, params, algorithm):
 //     figure        "fig5" | "fig6" | "fig7" | "fig8a" | "fig8b"
 //                   | "service" | "pruning_fig6" | "estimation"
-//                   | "deadline" | "parallel"
+//                   | "deadline" | "parallel" | "frontier"
 //     shape         workload family ("cycle-hyper", "star", ...)
 //     algorithm     enumeration algorithm (or service config name)
 //     pruned        whether branch-and-bound pruning was on
@@ -50,6 +57,9 @@
 //   parallel records carry threads, cores (what the runner had),
 //   speedup_vs_1thread, and the usual timing/stats fields; the run aborts
 //   if any thread count's plan cost differs from the 1-thread cost
+//   frontier records (schema v4: idp-k/anneal on past-frontier shapes)
+//   carry cost_ratio_vs_goo (the quality floor, <= 1.0 by construction)
+//   and, on exact-feasible shapes, cost_ratio_vs_exact
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -579,6 +589,106 @@ double RunEstimation() {
   return stats_overhead;
 }
 
+/// Beyond-exact plan quality past the feasibility frontier: idp-k and
+/// anneal on the shapes dispatch now routes to them (big clique, big star,
+/// a random graph) plus an exact-feasible chain where the true optimum is
+/// known. Each record carries the plan-cost ratio vs. GOO (the quality
+/// floor both enumerators guarantee) and, where exact DP is feasible, vs.
+/// the optimum. Returns the worst ratio-vs-GOO seen (the acceptance
+/// metric: <= 1.0 by construction; the gate catches regressions in the
+/// floor logic itself).
+double RunFrontier() {
+  std::printf("== frontier: beyond-exact plan quality ==\n");
+  const int clique_n = EnvInt("DPHYP_BENCH_FRONTIER_CLIQUE", 30);
+  const int star_sats = EnvInt("DPHYP_BENCH_FRONTIER_STAR", 26);
+  const int chain_n = EnvInt("DPHYP_BENCH_FRONTIER_CHAIN", 20);
+  const int rand_n = EnvInt("DPHYP_BENCH_FRONTIER_RAND", 40);
+
+  struct Shape {
+    const char* name;
+    QuerySpec spec;
+    bool exact_known;  // exact DP feasible: ratio_vs_exact is recorded
+  };
+  std::vector<Shape> shapes;
+  if (clique_n >= 4) {
+    shapes.push_back({"clique", MakeCliqueQuery(clique_n), false});
+  }
+  if (star_sats >= 4) {
+    shapes.push_back({"star", MakeStarQuery(star_sats), false});
+  }
+  if (chain_n >= 4) {
+    shapes.push_back({"chain", MakeChainQuery(chain_n), true});
+  }
+  if (rand_n >= 4) {
+    shapes.push_back(
+        {"randgraph", MakeRandomGraphQuery(rand_n, 0.08, 0x5eed), false});
+  }
+
+  double worst_ratio_vs_goo = 0.0;
+  for (const Shape& shape : shapes) {
+    Hypergraph g = BuildHypergraphOrDie(shape.spec);
+    CardinalityEstimator est(g);
+    const Enumerator& goo = EnumeratorOrDie("GOO");
+    OptimizeResult goo_result = goo.Optimize(g, est, DefaultCostModel());
+    if (!goo_result.success) {
+      std::fprintf(stderr, "bench: GOO failed on frontier %s-%d\n",
+                   shape.name, g.NumNodes());
+      std::exit(1);
+    }
+    const double goo_cost = goo_result.cost;
+    double exact_cost = 0.0;
+    if (shape.exact_known) {
+      OptimizeResult exact =
+          EnumeratorOrDie("DPhyp").Optimize(g, est, DefaultCostModel());
+      if (!exact.success) {
+        std::fprintf(stderr, "bench: exact failed on frontier %s-%d\n",
+                     shape.name, g.NumNodes());
+        std::exit(1);
+      }
+      exact_cost = exact.cost;
+    }
+
+    for (const char* algo : {"idp-k", "anneal"}) {
+      const Enumerator& e = EnumeratorOrDie(algo);
+      if (!e.CanHandle(g)) continue;
+      OptimizeResult r = e.Optimize(g, est, DefaultCostModel());
+      if (!r.success) {
+        std::fprintf(stderr, "bench: %s failed on frontier %s-%d: %s\n",
+                     algo, shape.name, g.NumNodes(), r.error.c_str());
+        std::exit(1);
+      }
+      const double ratio_vs_goo = goo_cost > 0.0 ? r.cost / goo_cost : 0.0;
+      if (ratio_vs_goo > worst_ratio_vs_goo) {
+        worst_ratio_vs_goo = ratio_vs_goo;
+      }
+      OptimizerStats stats;
+      TimingStats timing = TimeOptimizeStats(algo, g, {}, &stats);
+      OpenRecord("frontier", shape.name);
+      json.Field("n", g.NumNodes());
+      json.Field("algorithm", algo);
+      TimingFields(timing);
+      json.Field("cost_ratio_vs_goo", ratio_vs_goo);
+      if (shape.exact_known && exact_cost > 0.0) {
+        json.Field("cost_ratio_vs_exact", r.cost / exact_cost);
+      }
+      StatsFields(stats);
+      json.EndObject();
+      if (shape.exact_known && exact_cost > 0.0) {
+        std::printf(
+            "  %-10s n=%-3d %-8s median %10.3f ms  vs-GOO %.4fx  "
+            "vs-exact %.4fx\n",
+            shape.name, g.NumNodes(), algo, timing.median_ms, ratio_vs_goo,
+            r.cost / exact_cost);
+      } else {
+        std::printf("  %-10s n=%-3d %-8s median %10.3f ms  vs-GOO %.4fx\n",
+                    shape.name, g.NumNodes(), algo, timing.median_ms,
+                    ratio_vs_goo);
+      }
+    }
+  }
+  return worst_ratio_vs_goo;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -589,7 +699,7 @@ int main(int argc, char** argv) {
       EnvInt("DPHYP_BENCH_REQUIRE_SPEEDUP", 0);
 
   json.BeginObject();
-  json.Field("schema_version", 3);
+  json.Field("schema_version", 4);
   json.Field("suite", "dphyp-paper-figures");
   json.Key("config");
   json.BeginObject();
@@ -639,11 +749,26 @@ int main(int argc, char** argv) {
                      : " (advisory: gate disabled)");
     if (EnvInt("DPHYP_BENCH_REQUIRE_ESTIMATION", 0) != 0) return 1;
   }
+  // Beyond-exact plan quality. The gate (percent: 100 means the new
+  // enumerators must match or beat GOO) is the CI guard for the quality
+  // floor; 0 disables it.
+  const double frontier_ratio = RunFrontier();
+  const int require_frontier_pct =
+      EnvInt("DPHYP_BENCH_REQUIRE_FRONTIER_RATIO", 0);
+  if (require_frontier_pct > 0 &&
+      frontier_ratio * 100.0 > static_cast<double>(require_frontier_pct)) {
+    std::fprintf(stderr,
+                 "bench: frontier cost ratio vs GOO %.4fx exceeds allowed "
+                 "%.4fx\n",
+                 frontier_ratio, require_frontier_pct / 100.0);
+    return 1;
+  }
 
   json.EndArray();
   json.Field("worst_pruning_speedup_median", worst_speedup);
   json.Field("stats_model_overhead_vs_product", stats_overhead);
   json.Field("parallel_clique_speedup_8threads", par_speedup);
+  json.Field("frontier_worst_cost_ratio_vs_goo", frontier_ratio);
   json.EndObject();
 
   std::string payload = json.TakeString();

@@ -4,7 +4,8 @@
 //
 // Usage:
 //   qdl_tool <file.qdl> [--algo=<name>] [--model=<name>] [--cost=cout|hash]
-//            [--deadline-ms=<n>] [--threads=<n>] [--explain] [--execute]
+//            [--deadline-ms=<n>] [--threads=<n>] [--seed=<n>]
+//            [--idp-window=<k>] [--explain] [--execute]
 //            [--rows=<n>] [--quiet]
 //   qdl_tool --demo            # runs a built-in sample query
 //   qdl_tool --list-algos      # prints the registered enumerators
@@ -23,6 +24,10 @@
 // (--algo=dphyp-par, or large graphs under adaptive dispatch); must be
 // >= 1 — omit the flag for the hardware default. Plan costs do not depend
 // on it (the parallel merge is deterministic).
+// --seed fixes the RNG seed for the stochastic enumerators (--algo=anneal);
+// the same seed reproduces the same plan. --idp-window sets the exact
+// window size for --algo=idp-k (>= 2). Both are ignored by the other
+// enumerators.
 // --explain prints the chosen plan with per-class estimated cardinality;
 // with --execute it also prints estimated-vs-actual rows and the q-error
 // per class, plus the plan's q-error summary.
@@ -93,6 +98,9 @@ int main(int argc, char** argv) {
   std::string cost_name = "cout";
   double deadline_ms = 0.0;
   int threads = 0;  // 0 = hardware default
+  bool have_seed = false;
+  uint64_t seed = 0;
+  int idp_window = 0;  // 0 = library default
   int rows = 20;
   bool quiet = false;
   bool demo = false;
@@ -117,6 +125,23 @@ int main(int argc, char** argv) {
                     "for the hardware default)");
       }
       threads = static_cast<int>(parsed);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(arg.c_str() + 7, &end, 10);
+      if (end == arg.c_str() + 7 || *end != '\0') {
+        return Fail("invalid --seed value '" + arg.substr(7) +
+                    "': must be a non-negative integer");
+      }
+      seed = static_cast<uint64_t>(parsed);
+      have_seed = true;
+    } else if (arg.rfind("--idp-window=", 0) == 0) {
+      char* end = nullptr;
+      const long parsed = std::strtol(arg.c_str() + 13, &end, 10);
+      if (end == arg.c_str() + 13 || *end != '\0' || parsed < 2) {
+        return Fail("invalid --idp-window value '" + arg.substr(13) +
+                    "': window size must be an integer >= 2");
+      }
+      idp_window = static_cast<int>(parsed);
     } else if (arg.rfind("--rows=", 0) == 0) {
       rows = std::atoi(arg.c_str() + 7);
     } else if (arg == "--quiet") {
@@ -128,9 +153,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--execute") {
       execute = true;
     } else if (arg == "--list-algos") {
+      // Name, exactness, and each enumerator's own frontier/bid summary —
+      // the routing table without reading dispatch code.
       for (const Enumerator* e : EnumeratorRegistry::Global().All()) {
-        std::printf("%-12s %s\n", e->Name(),
-                    e->Exact() ? "exact" : "heuristic");
+        std::printf("%-12s %-9s %s\n", e->Name(),
+                    e->Exact() ? "exact" : "heuristic", e->FrontierSummary());
       }
       return 0;
     } else if (arg == "--list-models") {
@@ -142,8 +169,8 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: qdl_tool <file.qdl> [--algo=<name>] [--model=<name>]\n"
           "                [--cost=cout|hash] [--deadline-ms=<n>]\n"
-          "                [--threads=<n>] [--explain] [--execute]\n"
-          "                [--rows=<n>] [--quiet]\n"
+          "                [--threads=<n>] [--seed=<n>] [--idp-window=<k>]\n"
+          "                [--explain] [--execute] [--rows=<n>] [--quiet]\n"
           "       qdl_tool --demo | --list-algos | --list-models\n");
       return 0;
     } else {
@@ -204,6 +231,8 @@ int main(int argc, char** argv) {
     request.enumerator = algo_name;  // registry-resolved; empty = dispatch
     request.deadline_ms = deadline_ms;
     request.options.parallel_threads = threads;
+    if (have_seed) request.options.random_seed = seed;
+    if (idp_window > 0) request.options.idp_window = idp_window;
     *out = session.Optimize(request);
     return "";
   };

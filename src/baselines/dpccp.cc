@@ -85,6 +85,10 @@ class DpccpEnumerator : public Enumerator {
     if (shape.generalized || !ExactDpFeasible(shape, policy)) return {};
     return {50.0, "simple inner graph"};
   }
+  const char* FrontierSummary() const override {
+    return "exact; wins chains/cycles at any size and simple inner graphs "
+           "inside the frontier; refuses complex hyperedges";
+  }
   OptimizeResult Run(const OptimizationRequest& request,
                      OptimizerWorkspace& workspace) const override {
     return OptimizeDpccp(*request.graph, *request.estimator,

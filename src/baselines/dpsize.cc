@@ -14,6 +14,9 @@ class DpsizeEnumerator : public Enumerator {
   bool CanHandle(const Hypergraph&) const override { return true; }
   // Never bids: DPsize exists as the Selinger-style measured baseline
   // (Figs. 5-7); DPccp/DPsub dominate it everywhere dispatch could send it.
+  const char* FrontierSummary() const override {
+    return "exact; never auto-bids (Selinger-style measured baseline)";
+  }
   OptimizeResult Run(const OptimizationRequest& request,
                      OptimizerWorkspace& workspace) const override {
     return OptimizeDpsize(*request.graph, *request.estimator,

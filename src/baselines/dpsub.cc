@@ -23,6 +23,10 @@ class DpsubEnumerator : public Enumerator {
     }
     return {};
   }
+  const char* FrontierSummary() const override {
+    return "exact; bids only on small dense simple graphs (<= 12 nodes, "
+           "density >= 0.8)";
+  }
   OptimizeResult Run(const OptimizationRequest& request,
                      OptimizerWorkspace& workspace) const override {
     return OptimizeDpsub(*request.graph, *request.estimator,

@@ -120,6 +120,10 @@ class GooEnumerator : public Enumerator {
     }
     return {0.0, "past exact-DP feasibility frontier"};
   }
+  const char* FrontierSummary() const override {
+    return "heuristic floor bid on every graph; wins only when every other "
+           "bidder refuses";
+  }
   OptimizeResult Run(const OptimizationRequest& request,
                      OptimizerWorkspace& workspace) const override {
     return OptimizeGoo(*request.graph, *request.estimator, *request.cost_model,

@@ -60,6 +60,9 @@ class TdBasicEnumerator : public Enumerator {
   bool CanHandle(const Hypergraph&) const override { return true; }
   // Never bids: the naive memoization school the paper argues against is
   // kept as a comparison point, not a serving route.
+  const char* FrontierSummary() const override {
+    return "exact; never auto-bids (naive top-down baseline)";
+  }
   OptimizeResult Run(const OptimizationRequest& request,
                      OptimizerWorkspace& workspace) const override {
     return OptimizeTdBasic(*request.graph, *request.estimator,

@@ -68,6 +68,9 @@ class TdPartitionEnumerator : public Enumerator {
   bool CanHandle(const Hypergraph&) const override { return true; }
   // Never bids: kept as the memoization competitor for the paper's
   // comparisons, selectable by name.
+  const char* FrontierSummary() const override {
+    return "exact; never auto-bids (partition-based top-down baseline)";
+  }
   OptimizeResult Run(const OptimizationRequest& request,
                      OptimizerWorkspace& workspace) const override {
     return OptimizeTdPartition(*request.graph, *request.estimator,

@@ -1,0 +1,305 @@
+#include "core/anneal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "baselines/goo.h"
+#include "core/workspace.h"
+#include "plan/plan_tree.h"
+#include "util/rng.h"
+
+namespace dphyp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A join tree as a flat node pool: slot indices are stable across moves
+/// (moves rewrite child/rel fields only), so the leaf and inner slot lists
+/// are computed once. Cheap to copy — candidate moves are applied to a
+/// scratch copy and accepted by swapping.
+struct TreeNode {
+  int left = -1;
+  int right = -1;
+  /// Base relation for leaves; -1 for inner nodes.
+  int rel = -1;
+  NodeSet set;
+};
+
+struct Tree {
+  std::vector<TreeNode> nodes;
+  int root = -1;
+};
+
+int BuildFromPlan(const PlanTreeNode* p, Tree* t) {
+  TreeNode node;
+  if (p->IsLeaf()) {
+    node.rel = p->relation;
+    node.set = p->set;
+  } else {
+    node.left = BuildFromPlan(p->left, t);
+    node.right = BuildFromPlan(p->right, t);
+    node.set = t->nodes[node.left].set | t->nodes[node.right].set;
+  }
+  t->nodes.push_back(node);
+  return static_cast<int>(t->nodes.size()) - 1;
+}
+
+NodeSet RecomputeSets(Tree* t, int idx) {
+  TreeNode& n = t->nodes[idx];
+  if (n.rel >= 0) {
+    n.set = NodeSet::Single(n.rel);
+    return n.set;
+  }
+  n.set = RecomputeSets(t, n.left) | RecomputeSets(t, n.right);
+  return n.set;
+}
+
+/// Slot index of the node whose child slot holds `child`; -1 for the root.
+int FindParent(const Tree& t, int child) {
+  for (size_t i = 0; i < t.nodes.size(); ++i) {
+    if (t.nodes[i].left == child || t.nodes[i].right == child) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+/// Emits the tree's merges post-order through the shared combine step.
+/// False when any merge is rejected (no connecting edge, conflict-rule /
+/// TES / lateral violation, cardinality overflow) — the tree is invalid.
+bool EmitSubtree(OptimizerContext& ctx, const Tree& t, int idx) {
+  const TreeNode& n = t.nodes[idx];
+  if (n.rel >= 0) return true;
+  if (!EmitSubtree(ctx, t, n.left) || !EmitSubtree(ctx, t, n.right)) {
+    return false;
+  }
+  ctx.EmitCsgCmp(t.nodes[n.left].set, t.nodes[n.right].set);
+  const PlanEntry* entry = ctx.table().Find(n.set);
+  return entry != nullptr && !entry->IsLeaf();
+}
+
+/// Full-tree cost via replay on `table` (the workspace's seed slot during
+/// the search, the primary slot for the final result). +inf for invalid
+/// trees. Throws EnumerationAborted when the options' token fires.
+double EvaluateTree(const Tree& t, const Hypergraph& graph,
+                    const CardinalityModel& est, const CostModel& cost_model,
+                    const OptimizerOptions& options, DpTable* table) {
+  OptimizerContext ctx(graph, est, cost_model, options, table);
+  ctx.InitLeaves();
+  if (!EmitSubtree(ctx, t, t.root)) return kInf;
+  const PlanEntry* root = ctx.table().Find(graph.AllNodes());
+  if (root == nullptr) return kInf;
+  return root->cost;
+}
+
+/// One random neighborhood move applied to `t` in place; false when no
+/// applicable move was found (the caller skips the iteration). Sets are
+/// recomputed for the whole tree afterwards — O(n), dwarfed by the replay
+/// the candidate is about to pay anyway.
+bool ApplyMove(Tree* t, Rng& rng, const std::vector<int>& leaf_ids,
+               const std::vector<int>& inner_ids) {
+  const int kind = static_cast<int>(rng.Uniform(3));
+  bool changed = false;
+  if (kind == 0 && leaf_ids.size() >= 2) {
+    // Leaf swap: exchange two relations between their tree positions.
+    const int a = leaf_ids[rng.Uniform(leaf_ids.size())];
+    const int b = leaf_ids[rng.Uniform(leaf_ids.size())];
+    if (a != b) {
+      std::swap(t->nodes[a].rel, t->nodes[b].rel);
+      changed = true;
+    }
+  } else if (kind == 1 && t->nodes.size() >= 4) {
+    // Subtree swap: exchange two disjoint subtrees (disjoint node sets
+    // imply neither contains the other). A few random probes; sparse
+    // trees simply skip the move when none lands.
+    for (int attempt = 0; attempt < 4 && !changed; ++attempt) {
+      const int a = static_cast<int>(rng.Uniform(t->nodes.size()));
+      const int b = static_cast<int>(rng.Uniform(t->nodes.size()));
+      if (a == b || a == t->root || b == t->root) continue;
+      if (t->nodes[a].set.Intersects(t->nodes[b].set)) continue;
+      const int pa = FindParent(*t, a);
+      const int pb = FindParent(*t, b);
+      (t->nodes[pa].left == a ? t->nodes[pa].left : t->nodes[pa].right) = b;
+      (t->nodes[pb].left == b ? t->nodes[pb].left : t->nodes[pb].right) = a;
+      changed = true;
+    }
+  } else if (!inner_ids.empty()) {
+    // Re-association: ((A B) S) -> (A (B S)) or ((A S) B), the rotation
+    // that moves a relation across a join boundary.
+    for (int attempt = 0; attempt < 4 && !changed; ++attempt) {
+      const int p = inner_ids[rng.Uniform(inner_ids.size())];
+      TreeNode& parent = t->nodes[p];
+      const bool left_inner = t->nodes[parent.left].rel < 0;
+      const bool right_inner = t->nodes[parent.right].rel < 0;
+      if (!left_inner && !right_inner) continue;
+      const bool pick_left =
+          left_inner && (!right_inner || rng.Bernoulli(0.5));
+      const int c = pick_left ? parent.left : parent.right;
+      const int s = pick_left ? parent.right : parent.left;
+      TreeNode& child = t->nodes[c];
+      const int a = child.left;
+      const int b = child.right;
+      const bool keep_a_up = rng.Bernoulli(0.5);
+      parent.left = keep_a_up ? a : b;
+      parent.right = c;
+      child.left = keep_a_up ? b : a;
+      child.right = s;
+      changed = true;
+    }
+  }
+  if (changed) RecomputeSets(t, t->root);
+  return changed;
+}
+
+OptimizeResult RunAnneal(const Hypergraph& graph, const CardinalityModel& est,
+                         const CostModel& cost_model,
+                         const OptimizerOptions& options,
+                         OptimizerWorkspace& ws) {
+  const int n = graph.NumNodes();
+
+  // Seed from GOO: the walk starts at (and never accepts worse as its
+  // best than) the greedy fallback's tree.
+  OptimizeResult goo = OptimizeGoo(graph, est, cost_model, options, &ws);
+  if (!goo.success || n < 3) {
+    goo.stats.algorithm = "anneal";
+    return goo;  // failure, or too small for any neighborhood move
+  }
+  Tree current;
+  {
+    const PlanTree seed_plan = goo.ExtractPlan(graph);
+    current.root = BuildFromPlan(seed_plan.root(), &current);
+  }
+  std::vector<int> leaf_ids;
+  std::vector<int> inner_ids;
+  for (size_t i = 0; i < current.nodes.size(); ++i) {
+    (current.nodes[i].rel >= 0 ? leaf_ids : inner_ids)
+        .push_back(static_cast<int>(i));
+  }
+
+  // Replays during the search run on the seed-table slot (the primary
+  // table holds the GOO result until the final replay below) and inherit
+  // the caller's cancellation token; pruning is meaningless under replay.
+  OptimizerOptions eval_options = options;
+  eval_options.enable_pruning = false;
+  eval_options.initial_upper_bound = kInf;
+
+  const int budget = options.anneal_moves > 0 ? options.anneal_moves : 64 * n;
+  Rng rng(options.random_seed);
+  double current_cost = goo.cost;
+  Tree best = current;
+  double best_cost = current_cost;
+  // Geometric cooling from a temperature proportional to the seed cost
+  // (costs are scale-free across queries); one cooling step per n moves.
+  double temperature = 0.5 * (current_cost > 0.0 ? current_cost : 1.0);
+  uint64_t evaluations = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+
+  Tree scratch;
+  for (int move = 0; move < budget; ++move) {
+    if (options.cancellation != nullptr &&
+        options.cancellation->StopRequested()) {
+      break;  // degrade: fewer moves, best-so-far still served
+    }
+    scratch = current;
+    if (!ApplyMove(&scratch, rng, leaf_ids, inner_ids)) continue;
+    double candidate_cost;
+    try {
+      candidate_cost =
+          EvaluateTree(scratch, graph, est, cost_model, eval_options,
+                       &ws.seed_table());
+    } catch (const EnumerationAborted&) {
+      break;  // token fired mid-replay: keep best-so-far
+    }
+    ++evaluations;
+    const double delta = candidate_cost - current_cost;
+    const bool accept =
+        delta <= 0.0 ||
+        (std::isfinite(candidate_cost) &&
+         rng.UniformDouble() < std::exp(-delta / temperature));
+    if (accept) {
+      current = std::move(scratch);
+      current_cost = candidate_cost;
+      ++accepted;
+      if (current_cost < best_cost) {
+        best = current;
+        best_cost = current_cost;
+      }
+    } else {
+      ++rejected;
+    }
+    if ((move + 1) % n == 0) temperature *= 0.95;
+  }
+
+  // Final replay of the best tree into the primary table — cancellation
+  // stripped (the replay is polynomial and must complete), never aborted:
+  // a deadline shrinks the move budget, not the result.
+  OptimizerOptions final_options = eval_options;
+  final_options.cancellation = nullptr;
+  OptimizerContext ctx(graph, est, cost_model, final_options, &ws.table());
+  ctx.InitLeaves();
+  const bool ok = EmitSubtree(ctx, best, best.root);
+  OptimizeResult result = ctx.Finish(graph.AllNodes());
+  if (!ok || !result.success) {
+    result.success = false;
+    if (result.error.empty()) result.error = "anneal: best tree replay failed";
+  }
+  result.stats.algorithm = "anneal";
+  result.stats.pairs_tested += evaluations;
+  result.stats.discarded += rejected;
+  result.stats.ccp_pairs += accepted;
+  return result;
+}
+
+class AnnealEnumerator : public Enumerator {
+ public:
+  const char* Name() const override { return "anneal"; }
+  bool Exact() const override { return false; }
+  bool CanHandle(const Hypergraph&) const override { return true; }
+  DispatchBid Bid(const GraphShape& shape,
+                  const DispatchPolicy& policy) const override {
+    if (ExactDpFeasible(shape, policy)) return {};
+    // Below idp-k (20.0): where windowed exact DP applies it dominates;
+    // this bid wins the non-inner / lateral shapes idp-k cannot handle.
+    return {10.0, "past exact frontier: simulated annealing"};
+  }
+  const char* FrontierSummary() const override {
+    return "bids past the exact frontier (> 22 nodes / degree > 16 / dense "
+           "> 12) on any graph; stochastic, seeded by random_seed";
+  }
+  OptimizeResult Run(const OptimizationRequest& request,
+                     OptimizerWorkspace& workspace) const override {
+    workspace.CountRun();
+    return RunAnneal(*request.graph, *request.estimator, *request.cost_model,
+                     request.options, workspace);
+  }
+};
+
+}  // namespace
+
+OptimizeResult OptimizeAnneal(const Hypergraph& graph,
+                              const CardinalityModel& est,
+                              const CostModel& cost_model,
+                              const OptimizerOptions& options,
+                              OptimizerWorkspace* workspace) {
+  std::optional<OptimizerWorkspace> local;
+  OptimizerWorkspace& ws =
+      workspace != nullptr ? *workspace : local.emplace();
+  ws.CountRun();
+  OptimizeResult result = RunAnneal(graph, est, cost_model, options, ws);
+  if (workspace == nullptr && result.has_table() && !result.owns_table()) {
+    result.AdoptTable(ws.DetachTable());
+  }
+  return result;
+}
+
+std::unique_ptr<Enumerator> MakeAnnealEnumerator() {
+  return std::make_unique<AnnealEnumerator>();
+}
+
+}  // namespace dphyp

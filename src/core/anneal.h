@@ -1,0 +1,49 @@
+// Simulated annealing over join trees ("anneal"), the GEQO-style
+// stochastic escape hatch for shapes even windowed DP refuses (non-inner
+// operators, lateral dependencies) or where callers want randomized search
+// past the exact frontier.
+//
+// The search state is a full binary join tree over all relations. A
+// candidate tree is evaluated by *replaying* its merges bottom-up through
+// the shared EmitCsgCmp combine step on the workspace's seed-table slot —
+// so operator recovery, conflict-rule/TES validation, lateral ordering,
+// and costing are exactly the production machinery, and a tree is simply
+// invalid (infinite cost) when any of its merges is rejected. Neighborhood
+// moves: leaf swap (exchange two relations), subtree swap (exchange two
+// disjoint subtrees), and re-association (rotate a subtree across its
+// parent). Metropolis acceptance with geometric cooling; the walk is
+// seeded from GOO's tree, so the best-so-far plan never costs more than
+// the greedy fallback.
+//
+// Determinism: the whole search is driven by one Rng seeded from
+// OptimizerOptions::random_seed — same seed, same graph, same models, same
+// move budget => bit-identical plan, whatever the thread count (the search
+// is single-threaded by design). Deadlines degrade gracefully: a fired
+// cancellation token ends the move loop and the best tree found so far is
+// replayed into the primary table as a successful (never aborted) result.
+#ifndef DPHYP_CORE_ANNEAL_H_
+#define DPHYP_CORE_ANNEAL_H_
+
+#include <memory>
+
+#include "core/enumerator.h"
+#include "core/optimizer.h"
+
+namespace dphyp {
+
+/// Runs simulated annealing (seed OptimizerOptions::random_seed, budget
+/// OptimizerOptions::anneal_moves). Handles every graph GOO handles.
+OptimizeResult OptimizeAnneal(const Hypergraph& graph,
+                              const CardinalityModel& est,
+                              const CostModel& cost_model,
+                              const OptimizerOptions& options = {},
+                              OptimizerWorkspace* workspace = nullptr);
+
+/// The registry entry for "anneal": bids past the exact frontier, below
+/// idp-k (which wins where its inner-join precondition holds) and above
+/// GOO's floor.
+std::unique_ptr<Enumerator> MakeAnnealEnumerator();
+
+}  // namespace dphyp
+
+#endif  // DPHYP_CORE_ANNEAL_H_

@@ -102,6 +102,10 @@ class DphypEnumerator : public Enumerator {
     if (shape.generalized) return {80.0, "hyperedges/non-inner/lateral"};
     return {40.0, "simple inner graph (DPccp preferred)"};
   }
+  const char* FrontierSummary() const override {
+    return "exact; bids inside the frontier (<= 22 nodes, degree <= 16, "
+           "dense <= 12), preferred on generalized graphs";
+  }
   OptimizeResult Run(const OptimizationRequest& request,
                      OptimizerWorkspace& workspace) const override {
     return OptimizeDphyp(*request.graph, *request.estimator,

@@ -10,7 +10,9 @@
 #include "baselines/goo.h"
 #include "baselines/tdbasic.h"
 #include "baselines/tdpartition.h"
+#include "core/anneal.h"
 #include "core/dphyp.h"
+#include "core/idp.h"
 #include "core/parallel_dphyp.h"
 #include "core/workspace.h"
 
@@ -113,6 +115,8 @@ EnumeratorRegistry::EnumeratorRegistry() : impl_(new Impl) {
   impl_->entries.push_back(MakeDpsizeEnumerator());
   impl_->entries.push_back(MakeTdBasicEnumerator());
   impl_->entries.push_back(MakeTdPartitionEnumerator());
+  impl_->entries.push_back(MakeIdpEnumerator());
+  impl_->entries.push_back(MakeAnnealEnumerator());
   impl_->entries.push_back(MakeGooEnumerator());
 }
 

@@ -1,6 +1,6 @@
 // The unified enumeration interface: every join-ordering algorithm in the
 // repository — DPhyp, dphyp-par, DPccp, DPsub, DPsize, TDbasic,
-// TDpartition, GOO — is an Enumerator behind one registry. This is the paper's central structural
+// TDpartition, idp-k, anneal, GOO — is an Enumerator behind one registry. This is the paper's central structural
 // claim turned into API: one combine step (EmitCsgCmp) serves every
 // enumeration strategy, so the strategies themselves are interchangeable
 // values, not switch cases. Production optimizers expose the same shape
@@ -162,6 +162,15 @@ class Enumerator {
     return {};
   }
 
+  /// One-line summary of when this enumerator auto-bids under the default
+  /// DispatchPolicy (node/degree frontier, density ceilings), so tooling
+  /// (`qdl_tool --list-algos`) can show the routing table without reading
+  /// dispatch code. A static string; the default describes the non-bidding
+  /// enumerators.
+  virtual const char* FrontierSummary() const {
+    return "never auto-bids; selectable by name only";
+  }
+
   /// Runs the strategy on `workspace` (table, neighborhood memo, GOO
   /// scratch all come from there; the result *borrows* the workspace's
   /// table and stays valid until the workspace's next run). Honours
@@ -179,7 +188,7 @@ class Enumerator {
                           const OptimizerOptions& options = {}) const;
 };
 
-/// The global enumerator registry. The eight built-in strategies are
+/// The global enumerator registry. The built-in strategies are
 /// registered on first access; tests and extensions may Register/Unregister
 /// additional ones at runtime. Thread-safe.
 class EnumeratorRegistry {

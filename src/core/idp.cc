@@ -1,0 +1,394 @@
+#include "core/idp.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "baselines/goo.h"
+#include "core/dphyp.h"
+#include "core/workspace.h"
+#include "plan/plan_tree.h"
+
+namespace dphyp {
+
+namespace {
+
+/// One recorded join of the assembly sequence, in original node sets.
+struct Merge {
+  NodeSet left;
+  NodeSet right;
+};
+
+/// Post-order merge extraction from a plan tree whose leaves are indices
+/// into `leaf_sets` (component sets in original node numbering). Returns
+/// the original node set the subtree covers.
+NodeSet CollectMerges(const PlanTreeNode* node,
+                      const std::vector<NodeSet>& leaf_sets,
+                      std::vector<Merge>* out) {
+  if (node->IsLeaf()) return leaf_sets[node->relation];
+  const NodeSet left = CollectMerges(node->left, leaf_sets, out);
+  const NodeSet right = CollectMerges(node->right, leaf_sets, out);
+  out->push_back({left, right});
+  return left | right;
+}
+
+/// Estimation view of a window's reduced hypergraph: reduced node i is the
+/// component `comps[i]`, so every reduced class is estimated by mapping it
+/// back onto the union of its components' original nodes and asking the
+/// caller's model. Window DP therefore optimizes against exactly the
+/// cardinalities the final plan will be costed with — no re-derivation, no
+/// drift between rounds.
+class WindowModel : public CardinalityModel {
+ public:
+  WindowModel(const CardinalityModel& base, const std::vector<NodeSet>& comps)
+      : base_(&base), comps_(&comps) {}
+
+  double EstimateBase(int node) const override {
+    return base_->EstimateClass((*comps_)[node]);
+  }
+  double EstimateClass(NodeSet S) const override {
+    NodeSet original;
+    for (int i : S) original |= (*comps_)[i];
+    return base_->EstimateClass(original);
+  }
+  const char* name() const override { return "idp-window"; }
+  uint64_t Fingerprint() const override { return base_->Fingerprint(); }
+
+ private:
+  const CardinalityModel* base_;
+  const std::vector<NodeSet>* comps_;
+};
+
+/// Memoized per-pair join cardinality over live components; NaN marks a
+/// disconnected pair. Entries stay valid across rounds because a pair's
+/// connectivity and estimate never change while both components survive.
+class PairCardMemo {
+ public:
+  PairCardMemo(const Hypergraph& graph, const CardinalityModel& est)
+      : graph_(&graph), est_(&est) {}
+
+  double Get(NodeSet a, NodeSet b) {
+    const std::pair<uint64_t, uint64_t> key{std::min(a.bits(), b.bits()),
+                                            std::max(a.bits(), b.bits())};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const double card = graph_->ConnectsSets(a, b)
+                            ? est_->EstimateClass(a | b)
+                            : std::numeric_limits<double>::quiet_NaN();
+    memo_.emplace(key, card);
+    return card;
+  }
+
+ private:
+  const Hypergraph* graph_;
+  const CardinalityModel* est_;
+  std::unordered_map<std::pair<uint64_t, uint64_t>, double,
+                     GooScratch::PairHash>
+      memo_;
+};
+
+/// The connected component pair with the smallest estimated join result
+/// (GOO's selection rule; ties by position, which is deterministic).
+std::optional<std::pair<int, int>> FindBestPair(
+    const std::vector<NodeSet>& comps, PairCardMemo& memo) {
+  std::optional<std::pair<int, int>> best;
+  double best_card = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < comps.size(); ++i) {
+    for (size_t j = i + 1; j < comps.size(); ++j) {
+      const double card = memo.Get(comps[i], comps[j]);
+      if (std::isnan(card) || card >= best_card) continue;
+      best_card = card;
+      best = {static_cast<int>(i), static_cast<int>(j)};
+    }
+  }
+  return best;
+}
+
+/// Merges `i` and `j` (i < j) in place and records the merge.
+void ApplyMerge(std::vector<NodeSet>* comps, int i, int j,
+                std::vector<Merge>* merges) {
+  merges->push_back({(*comps)[i], (*comps)[j]});
+  (*comps)[i] = (*comps)[i] | (*comps)[j];
+  comps->erase(comps->begin() + j);
+}
+
+/// Greedy (GOO-rule) completion of the remaining components — the
+/// polynomial tail used once a deadline fires mid-run. Stops when one
+/// component remains or no connected pair is left.
+void GreedyComplete(const std::vector<NodeSet>& initial, PairCardMemo& memo,
+                    std::vector<NodeSet>* comps, std::vector<Merge>* merges) {
+  *comps = initial;
+  while (comps->size() > 1) {
+    std::optional<std::pair<int, int>> pick = FindBestPair(*comps, memo);
+    if (!pick.has_value()) break;
+    ApplyMerge(comps, pick->first, pick->second, merges);
+  }
+}
+
+/// Replays a merge sequence through the shared combine step on the
+/// workspace's primary table, producing a regular OptimizeResult whose
+/// table holds exactly the replayed plan (2n - 1 entries). Pruning and
+/// cancellation are stripped: every listed merge must materialize, and the
+/// replay is the run's polynomial final step.
+OptimizeResult ReplayMerges(const Hypergraph& graph,
+                            const CardinalityModel& est,
+                            const CostModel& cost_model,
+                            const OptimizerOptions& options,
+                            OptimizerWorkspace& ws,
+                            const std::vector<Merge>& merges) {
+  OptimizerOptions replay = options;
+  replay.enable_pruning = false;
+  replay.cancellation = nullptr;
+  replay.tes_constraints = nullptr;
+  OptimizerContext ctx(graph, est, cost_model, replay, &ws.table());
+  ctx.InitLeaves();
+  for (const Merge& m : merges) {
+    ctx.EmitCsgCmp(m.left, m.right);
+    const PlanEntry* entry = ctx.table().Find(m.left | m.right);
+    if (entry == nullptr || entry->IsLeaf()) {
+      OptimizeResult failed = ctx.Finish(m.left | m.right);
+      failed.success = false;
+      failed.error = "idp-k: recorded merge " + m.left.ToString() + " x " +
+                     m.right.ToString() + " rejected at replay";
+      return failed;
+    }
+  }
+  return ctx.Finish(graph.AllNodes());
+}
+
+/// Accumulates the search-side counters of a nested run (GOO seed, window
+/// DPs) into the final result's stats so the served numbers reflect the
+/// whole optimization, not just the replay.
+void FoldStats(const OptimizerStats& from, OptimizerStats* into) {
+  into->ccp_pairs += from.ccp_pairs;
+  into->pairs_tested += from.pairs_tested;
+  into->discarded += from.discarded;
+  into->cost_evaluations += from.cost_evaluations;
+  into->pruned += from.pruned;
+  into->dominated += from.dominated;
+}
+
+OptimizeResult RunIdp(const Hypergraph& graph, const CardinalityModel& est,
+                      const CostModel& cost_model,
+                      const OptimizerOptions& options,
+                      OptimizerWorkspace& ws) {
+  const int n = graph.NumNodes();
+  const int window = std::max(2, options.idp_window);
+
+  // Full-window degenerate case: one exact DPhyp pass over the original
+  // graph — bit-identical to the exact enumerator (only the algorithm
+  // stamp differs). An aborted pass falls through to the greedy path
+  // below; idp-k degrades instead of aborting.
+  if (n <= window) {
+    OptimizeResult exact = OptimizeDphyp(graph, est, cost_model, options, &ws);
+    if (!exact.stats.aborted) {
+      exact.stats.algorithm = "idp-k";
+      return exact;
+    }
+  }
+
+  // Quality floor: record GOO's merge sequence and cost up front. The
+  // windowed plan is served only when it beats this.
+  OptimizeResult goo = OptimizeGoo(graph, est, cost_model, options, &ws);
+  if (!goo.success) {
+    goo.stats.algorithm = "idp-k";
+    return goo;  // disconnected graph / no valid merge: same failure mode
+  }
+  std::vector<Merge> goo_merges;
+  const PlanTree goo_plan = goo.ExtractPlan(graph);
+  std::vector<NodeSet> singletons;
+  singletons.reserve(n);
+  for (int v = 0; v < n; ++v) singletons.push_back(NodeSet::Single(v));
+  CollectMerges(goo_plan.root(), singletons, &goo_merges);
+  const double goo_cost = goo.cost;
+  OptimizerStats folded;
+  FoldStats(goo.stats, &folded);
+
+  PairCardMemo memo(graph, est);
+  std::vector<NodeSet> comps = singletons;
+  std::vector<Merge> merges;
+
+  while (comps.size() > 1) {
+    if (options.cancellation != nullptr &&
+        options.cancellation->StopRequested()) {
+      GreedyComplete(comps, memo, &comps, &merges);
+      break;
+    }
+
+    // Select the window: seed with the globally cheapest connected pair,
+    // then grow by the component whose addition keeps the running union's
+    // estimate smallest — the same smallest-intermediate-first instinct as
+    // GOO, but the window's *internal* order is left to exact DP.
+    std::optional<std::pair<int, int>> seed = FindBestPair(comps, memo);
+    if (!seed.has_value()) break;  // no connected pair left
+    std::vector<int> window_ids = {seed->first, seed->second};
+    NodeSet window_union = comps[seed->first] | comps[seed->second];
+    while (static_cast<int>(window_ids.size()) < window &&
+           window_ids.size() < comps.size()) {
+      int best_id = -1;
+      double best_card = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < comps.size(); ++c) {
+        if (std::find(window_ids.begin(), window_ids.end(),
+                      static_cast<int>(c)) != window_ids.end()) {
+          continue;
+        }
+        if (!graph.ConnectsSets(window_union, comps[c])) continue;
+        const double card = est.EstimateClass(window_union | comps[c]);
+        if (card >= best_card) continue;
+        best_card = card;
+        best_id = static_cast<int>(c);
+      }
+      if (best_id < 0) break;  // nothing else connects to this window
+      window_ids.push_back(best_id);
+      window_union |= comps[best_id];
+    }
+    std::sort(window_ids.begin(), window_ids.end());
+
+    // Reduced hypergraph: one node per window component; original edges
+    // whose span lies inside the window map to component-level edges (a
+    // side is the set of components it touches, flex members not already
+    // on a side stay flexible). Edges touching a component on both sides
+    // cannot connect at component granularity and are dropped, as are
+    // duplicates — parallel predicates between the same component sides
+    // change estimates (handled by WindowModel), not connectivity.
+    std::vector<NodeSet> window_comps;
+    window_comps.reserve(window_ids.size());
+    for (int id : window_ids) window_comps.push_back(comps[id]);
+    Hypergraph reduced;
+    for (size_t i = 0; i < window_comps.size(); ++i) {
+      HypergraphNode node;
+      node.name = "C" + std::to_string(i);
+      node.cardinality = est.EstimateClass(window_comps[i]);
+      reduced.AddNode(node);
+    }
+    std::set<std::array<uint64_t, 3>> edge_signatures;
+    for (const Hyperedge& e : graph.edges()) {
+      if (!e.AllNodes().IsSubsetOf(window_union)) continue;
+      NodeSet left, right, flex;
+      for (int i = 0; i < static_cast<int>(window_comps.size()); ++i) {
+        if (window_comps[i].Intersects(e.left)) left |= NodeSet::Single(i);
+        if (window_comps[i].Intersects(e.right)) right |= NodeSet::Single(i);
+        if (window_comps[i].Intersects(e.flex)) flex |= NodeSet::Single(i);
+      }
+      flex -= left | right;
+      if (left.Empty() || right.Empty() || left.Intersects(right)) continue;
+      if (left.bits() > right.bits()) std::swap(left, right);
+      if (!edge_signatures.insert({left.bits(), right.bits(), flex.bits()})
+               .second) {
+        continue;
+      }
+      Hyperedge mapped;
+      mapped.left = left;
+      mapped.right = right;
+      mapped.flex = flex;
+      reduced.AddEdge(mapped);
+    }
+
+    // Exact DP over the window, under the caller's pruning setting and
+    // cancellation token (a fired deadline aborts only this window).
+    WindowModel window_model(est, window_comps);
+    OptimizerOptions window_options = options;
+    window_options.tes_constraints = nullptr;
+    window_options.initial_upper_bound =
+        std::numeric_limits<double>::infinity();
+    OptimizeResult wres =
+        OptimizeDphyp(reduced, window_model, cost_model, window_options, &ws);
+    if (wres.stats.aborted) {
+      GreedyComplete(comps, memo, &comps, &merges);
+      break;
+    }
+    if (!wres.success) {
+      // Component-level connectivity can be weaker than node-level (a flex
+      // set split across three components); fall back to one greedy merge
+      // of the seed pair and retry with the changed component set.
+      ApplyMerge(&comps, seed->first, seed->second, &merges);
+      continue;
+    }
+    FoldStats(wres.stats, &folded);
+    const PlanTree wplan = wres.ExtractPlan(reduced);
+    CollectMerges(wplan.root(), window_comps, &merges);
+    // Collapse: the window's components become one compound component.
+    for (size_t r = window_ids.size(); r-- > 0;) {
+      comps.erase(comps.begin() + window_ids[r]);
+    }
+    comps.push_back(window_union);
+  }
+
+  // Assemble the windowed plan; serve the GOO sequence instead when the
+  // assembly failed (greedy dead end) or costs more — idp-k never loses to
+  // the fallback it is meant to beat.
+  OptimizeResult result =
+      ReplayMerges(graph, est, cost_model, options, ws, merges);
+  if (!result.success || result.cost > goo_cost) {
+    result = ReplayMerges(graph, est, cost_model, options, ws, goo_merges);
+  }
+  FoldStats(folded, &result.stats);
+  result.stats.algorithm = "idp-k";
+  return result;
+}
+
+class IdpEnumerator : public Enumerator {
+ public:
+  const char* Name() const override { return "idp-k"; }
+  bool Exact() const override { return false; }
+  bool CanHandle(const Hypergraph& graph) const override {
+    // Compound components have no conflict-rule story: collapsing a window
+    // erases the operator orderings non-inner joins and lateral
+    // dependencies constrain. Complex hyperedges are fine (they map to
+    // component-level hyperedges).
+    if (graph.HasDependentLeaves()) return false;
+    for (const Hyperedge& e : graph.edges()) {
+      if (e.op != OpType::kJoin) return false;
+    }
+    return true;
+  }
+  DispatchBid Bid(const GraphShape& shape,
+                  const DispatchPolicy& policy) const override {
+    // Past the exact frontier only: inside it the exhaustive routes are
+    // both optimal and fast, and the parallel route's widened frontier
+    // (preference 85) outbids this one where it applies.
+    if (ExactDpFeasible(shape, policy)) return {};
+    return {20.0, "past exact frontier: windowed exact DP (idp-k)"};
+  }
+  const char* FrontierSummary() const override {
+    return "bids past the exact frontier (> 22 nodes / degree > 16 / dense "
+           "> 12) on inner-join graphs; exact inside each k-window";
+  }
+  OptimizeResult Run(const OptimizationRequest& request,
+                     OptimizerWorkspace& workspace) const override {
+    workspace.CountRun();
+    return RunIdp(*request.graph, *request.estimator, *request.cost_model,
+                  request.options, workspace);
+  }
+};
+
+}  // namespace
+
+OptimizeResult OptimizeIdp(const Hypergraph& graph,
+                           const CardinalityModel& est,
+                           const CostModel& cost_model,
+                           const OptimizerOptions& options,
+                           OptimizerWorkspace* workspace) {
+  std::optional<OptimizerWorkspace> local;
+  OptimizerWorkspace& ws =
+      workspace != nullptr ? *workspace : local.emplace();
+  ws.CountRun();
+  OptimizeResult result = RunIdp(graph, est, cost_model, options, ws);
+  if (workspace == nullptr && result.has_table() && !result.owns_table()) {
+    result.AdoptTable(ws.DetachTable());
+  }
+  return result;
+}
+
+std::unique_ptr<Enumerator> MakeIdpEnumerator() {
+  return std::make_unique<IdpEnumerator>();
+}
+
+}  // namespace dphyp

@@ -1,0 +1,52 @@
+// Iterative dynamic programming ("idp-k", Kossmann & Stocker '00 IDP-1
+// flavor): windowed exact DP for graphs past the exhaustive frontier.
+//
+// Exhaustive DP is exact but exponential; GOO is polynomial but greedy one
+// merge at a time. IDP-k interpolates: each round selects a window of at
+// most k components (greedily, smallest estimated intermediate results
+// first), optimizes the window *exactly* with the pooled DPhyp core over a
+// reduced hypergraph whose nodes are the window's components, collapses
+// the winning window plan into one compound component, and repeats until a
+// single component covers the query. Window plans are therefore locally
+// optimal under the real cost model and cardinality estimates (a wrapper
+// CardinalityModel maps reduced classes back onto original node sets), and
+// the full plan is assembled by replaying every recorded merge through the
+// shared EmitCsgCmp combine step — so costing, operator recovery, and plan
+// extraction behave exactly as in the exact enumerators.
+//
+// Quality floor: the enumerator also runs GOO on the same inputs and serves
+// whichever of the two merge sequences costs less, so an idp-k plan is
+// never worse than the greedy fallback. Deadline behavior is graceful
+// degradation, not abortion: a fired cancellation token ends window DP and
+// the remaining components are merged greedily (the polynomial completion
+// always finishes), so sessions never need the GOO fallback path.
+//
+// When the window covers the whole graph (idp_window >= NumNodes) the run
+// degenerates to a single plain DPhyp pass — bit-identical to the exact
+// enumerator (tests/test_fuzz.cc quality tier asserts this).
+#ifndef DPHYP_CORE_IDP_H_
+#define DPHYP_CORE_IDP_H_
+
+#include <memory>
+
+#include "core/enumerator.h"
+#include "core/optimizer.h"
+
+namespace dphyp {
+
+/// Runs IDP-k (window size OptimizerOptions::idp_window). Inner-join
+/// queries only (compound components have no conflict-rule story for
+/// non-inner operators or lateral dependencies; "anneal" covers those).
+OptimizeResult OptimizeIdp(const Hypergraph& graph,
+                           const CardinalityModel& est,
+                           const CostModel& cost_model,
+                           const OptimizerOptions& options = {},
+                           OptimizerWorkspace* workspace = nullptr);
+
+/// The registry entry for IDP-k: bids just above "anneal" (and far above
+/// GOO's floor) on inner-join graphs past the exact-DP frontier.
+std::unique_ptr<Enumerator> MakeIdpEnumerator();
+
+}  // namespace dphyp
+
+#endif  // DPHYP_CORE_IDP_H_

@@ -182,6 +182,27 @@ struct OptimizerOptions {
   /// it. The final plan cost is independent of this value — the parallel
   /// merge is deterministic by construction (core/parallel_dphyp.h).
   int parallel_threads = 0;
+
+  /// RNG seed for the stochastic enumerators ("anneal"). The search is a
+  /// pure function of (graph, estimator, cost model, seed, move budget):
+  /// the same seed replays the same move sequence whatever the thread
+  /// count, so randomized plans stay cacheable and diffable. Exact
+  /// enumerators and GOO ignore it.
+  uint64_t random_seed = 0x5eedULL;
+
+  /// Window size for iterative dynamic programming ("idp-k"): how many
+  /// components each round optimizes exactly with the DPhyp core before
+  /// collapsing the winner into a compound relation. Clamped to >= 2; when
+  /// the window covers the whole graph a single plain DPhyp run is
+  /// performed (bit-identical to the exact enumerator). Other enumerators
+  /// ignore it.
+  int idp_window = 8;
+
+  /// Move budget for simulated annealing ("anneal"); <= 0 picks a budget
+  /// scaled with query size (64 moves per relation). A fired cancellation
+  /// token ends the search early and the best plan found so far is served
+  /// — deadlines degrade quality, never success.
+  int anneal_moves = 0;
 };
 
 /// How many candidate pairs are processed between cancellation polls. At

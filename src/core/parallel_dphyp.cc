@@ -497,6 +497,10 @@ class DphypParEnumerator : public Enumerator {
     }
     return {85.0, "large graph: intra-query parallel enumeration"};
   }
+  const char* FrontierSummary() const override {
+    return "exact; bids on 14-22 node graphs (degree <= 18, dense <= 18) "
+           "when >= 2 workers are effective";
+  }
   OptimizeResult Run(const OptimizationRequest& request,
                      OptimizerWorkspace& workspace) const override {
     return OptimizeDphypPar(*request.graph, *request.estimator,

@@ -1,0 +1,253 @@
+// The beyond-exact frontier (label: frontier): the contracts the idp-k and
+// anneal enumerators add past the exact-DP feasibility frontier —
+// determinism of the seeded annealing walk across runs and thread counts,
+// idp-k's window-collapse behavior on a hand-checkable chain (and its
+// degeneration to exact DPhyp when the window covers the graph), graceful
+// deadline degradation mid-anneal (best-so-far plan, never the GOO
+// fallback swap), and the dispatch auction routing past-frontier shapes to
+// the new bidders while in-frontier shapes stay exact.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/goo.h"
+#include "core/dphyp.h"
+#include "core/enumerator.h"
+#include "hypergraph/builder.h"
+#include "plan/validate.h"
+#include "service/dispatch.h"
+#include "service/session.h"
+#include "test_helpers.h"
+#include "test_rng.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+namespace {
+
+using testing_helpers::DerivedSeed;
+using testing_helpers::OptimizeNamed;
+using testing_helpers::SeedTrace;
+
+// --- Anneal determinism ------------------------------------------------------
+
+TEST(AnnealDeterminism, FixedSeedIsBitIdenticalAcrossRunsAndThreadCounts) {
+  // The annealing walk is driven solely by options.random_seed: repeated
+  // runs — and runs under different parallel_threads settings, which the
+  // single-threaded walk must ignore — produce the identical plan, not
+  // just the identical cost.
+  const uint64_t seed = DerivedSeed(42);
+  SCOPED_TRACE(SeedTrace(seed));
+  Hypergraph g = BuildHypergraphOrDie(MakeRandomGraphQuery(26, 0.12, seed));
+  CardinalityEstimator est(g);
+
+  OptimizerOptions options;
+  options.random_seed = 0xfeedULL;
+  OptimizeResult first =
+      OptimizeNamed("anneal", g, est, DefaultCostModel(), options);
+  ASSERT_TRUE(first.success) << first.error;
+  const std::string first_plan = first.ExtractPlan(g).ToAlgebraString(g);
+
+  for (int threads : {1, 4, 8}) {
+    OptimizerOptions repeat = options;
+    repeat.parallel_threads = threads;
+    OptimizeResult r =
+        OptimizeNamed("anneal", g, est, DefaultCostModel(), repeat);
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_DOUBLE_EQ(r.cost, first.cost) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(r.cardinality, first.cardinality)
+        << "threads=" << threads;
+    EXPECT_EQ(r.ExtractPlan(g).ToAlgebraString(g), first_plan)
+        << "threads=" << threads;
+  }
+
+  // A different seed still yields a valid plan no worse than GOO (the walk
+  // may or may not land on the same local optimum; only validity and the
+  // quality floor are contractual).
+  OptimizerOptions other_seed;
+  other_seed.random_seed = 0xdecafULL;
+  OptimizeResult other =
+      OptimizeNamed("anneal", g, est, DefaultCostModel(), other_seed);
+  ASSERT_TRUE(other.success) << other.error;
+  EXPECT_TRUE(ValidatePlanTree(g, other.ExtractPlan(g)).ok());
+  OptimizeResult goo = OptimizeGoo(g, est, DefaultCostModel());
+  ASSERT_TRUE(goo.success);
+  EXPECT_LE(other.cost, goo.cost);
+}
+
+// --- IDP window collapse -----------------------------------------------------
+
+TEST(IdpWindows, ChainTwentyWindowFiveCollapsesToTheOptimum) {
+  // chain-20 is exact-feasible (DPccp solves it in microseconds), which
+  // makes it the hand-checkable case: the true optimum is known, GOO gives
+  // the quality floor, and a 5-relation window forces idp-k through many
+  // optimize-collapse rounds (each round freezes one window subtree into a
+  // compound component) rather than the full-window short-circuit.
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(20));
+  CardinalityEstimator est(g);
+
+  OptimizeResult exact = OptimizeNamed("DPhyp", g, est, DefaultCostModel());
+  ASSERT_TRUE(exact.success) << exact.error;
+  OptimizeResult goo = OptimizeGoo(g, est, DefaultCostModel());
+  ASSERT_TRUE(goo.success);
+
+  OptimizerOptions options;
+  options.idp_window = 5;
+  OptimizeResult idp =
+      OptimizeNamed("idp-k", g, est, DefaultCostModel(), options);
+  ASSERT_TRUE(idp.success) << idp.error;
+  EXPECT_STREQ(idp.stats.algorithm, "idp-k");
+  EXPECT_FALSE(idp.stats.aborted);
+  PlanTree plan = idp.ExtractPlan(g);
+  EXPECT_TRUE(ValidatePlanTree(g, plan).ok());
+  EXPECT_EQ(plan.root()->set, g.AllNodes());
+  // Sandwiched between the known optimum and the greedy floor; on a chain
+  // the windowed assembly is expected to land on the optimum itself.
+  EXPECT_GE(idp.cost, exact.cost);
+  EXPECT_LE(idp.cost, goo.cost);
+  EXPECT_DOUBLE_EQ(idp.cost, exact.cost);
+}
+
+TEST(IdpWindows, CoveringWindowIsExactDphypOnChainTwenty) {
+  Hypergraph g = BuildHypergraphOrDie(MakeChainQuery(20));
+  CardinalityEstimator est(g);
+  OptimizeResult exact = OptimizeNamed("DPhyp", g, est, DefaultCostModel());
+  ASSERT_TRUE(exact.success) << exact.error;
+
+  OptimizerOptions options;
+  options.idp_window = 20;
+  OptimizeResult idp =
+      OptimizeNamed("idp-k", g, est, DefaultCostModel(), options);
+  ASSERT_TRUE(idp.success) << idp.error;
+  EXPECT_STREQ(idp.stats.algorithm, "idp-k");
+  EXPECT_DOUBLE_EQ(idp.cost, exact.cost);
+  EXPECT_EQ(idp.stats.dp_entries, exact.stats.dp_entries);
+  EXPECT_EQ(idp.ExtractPlan(g).ToAlgebraString(g),
+            exact.ExtractPlan(g).ToAlgebraString(g));
+}
+
+TEST(IdpWindows, ShrinkingWindowsNeverBeatGrowingOnesPastTheFloor) {
+  // Larger windows see strictly more of the search space per round; every
+  // window size must stay at or under the GOO floor regardless.
+  const uint64_t seed = DerivedSeed(77);
+  SCOPED_TRACE(SeedTrace(seed));
+  Hypergraph g = BuildHypergraphOrDie(MakeRandomGraphQuery(24, 0.15, seed));
+  CardinalityEstimator est(g);
+  OptimizeResult goo = OptimizeGoo(g, est, DefaultCostModel());
+  ASSERT_TRUE(goo.success);
+
+  for (int window : {2, 4, 8, 16}) {
+    OptimizerOptions options;
+    options.idp_window = window;
+    OptimizeResult idp =
+        OptimizeNamed("idp-k", g, est, DefaultCostModel(), options);
+    ASSERT_TRUE(idp.success) << "window=" << window << ": " << idp.error;
+    EXPECT_TRUE(ValidatePlanTree(g, idp.ExtractPlan(g)).ok())
+        << "window=" << window;
+    EXPECT_LE(idp.cost, goo.cost) << "window=" << window;
+  }
+}
+
+// --- Graceful deadline degradation -------------------------------------------
+
+TEST(FrontierDeadline, MidAnnealDeadlineServesBestSoFarNotGooFallback) {
+  // An effectively unbounded move budget with a tiny deadline guarantees
+  // the cancellation token fires mid-walk. The contract is graceful
+  // degradation: the walk stops where it is and serves its best-so-far
+  // plan with stats.aborted left false — the session must NOT treat this
+  // as an abort and swap in the GOO fallback (the served algorithm stays
+  // "anneal").
+  Hypergraph g = BuildHypergraphOrDie(MakeCliqueQuery(30));
+  CardinalityEstimator est(g);
+
+  OptimizationSession session;
+  OptimizationRequest request;
+  request.graph = &g;
+  request.estimator = &est;
+  request.cost_model = &DefaultCostModel();
+  request.enumerator = "anneal";
+  request.options.anneal_moves = 100'000'000;  // hours without the deadline
+  request.deadline_ms = 25.0;
+
+  Result<OptimizeResult> served = session.Optimize(request);
+  ASSERT_TRUE(served.ok()) << served.error().message;
+  const OptimizeResult& r = served.value();
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_STREQ(r.stats.algorithm, "anneal");
+  EXPECT_FALSE(r.stats.aborted);
+  EXPECT_TRUE(ValidatePlanTree(g, r.ExtractPlan(g)).ok());
+  // Best-so-far starts at the GOO-seeded tree, so the served plan can
+  // never cost more than a direct GOO run.
+  OptimizeResult goo = OptimizeGoo(g, est, DefaultCostModel());
+  ASSERT_TRUE(goo.success);
+  EXPECT_LE(r.cost, goo.cost);
+}
+
+TEST(FrontierDeadline, MidIdpDeadlineStillServesACompletePlan) {
+  // Same contract for idp-k: the token firing between windows degrades the
+  // remaining rounds to greedy completion — a complete valid plan, never a
+  // session-level abort/fallback swap.
+  Hypergraph g = BuildHypergraphOrDie(MakeCliqueQuery(28));
+  CardinalityEstimator est(g);
+
+  OptimizationSession session;
+  OptimizationRequest request;
+  request.graph = &g;
+  request.estimator = &est;
+  request.cost_model = &DefaultCostModel();
+  request.enumerator = "idp-k";
+  request.options.idp_window = 14;  // big windows: each round takes a while
+  request.deadline_ms = 5.0;
+
+  Result<OptimizeResult> served = session.Optimize(request);
+  ASSERT_TRUE(served.ok()) << served.error().message;
+  const OptimizeResult& r = served.value();
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_STREQ(r.stats.algorithm, "idp-k");
+  EXPECT_FALSE(r.stats.aborted);
+  PlanTree plan = r.ExtractPlan(g);
+  EXPECT_TRUE(ValidatePlanTree(g, plan).ok());
+  EXPECT_EQ(plan.root()->set, g.AllNodes());
+  OptimizeResult goo = OptimizeGoo(g, est, DefaultCostModel());
+  ASSERT_TRUE(goo.success);
+  EXPECT_LE(r.cost, goo.cost);
+}
+
+// --- Dispatch past the frontier ----------------------------------------------
+
+TEST(FrontierDispatch, NewBiddersWinPastTheFrontierExactKeepsTheInside) {
+  // Past-frontier inner-join shapes go to iterative DP.
+  EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(30))).Name(),
+               "idp-k");
+  EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeStarQuery(26))).Name(),
+               "idp-k");
+  // Inside the frontier nothing changes: small dense stays on DPsub,
+  // chains stay on DPccp at any size.
+  EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(12))).Name(),
+               "DPsub");
+  EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeChainQuery(40))).Name(),
+               "DPccp");
+  // Past-frontier graphs with non-inner operators: idp-k's CanHandle
+  // refuses them (its component collapse assumes freely reorderable inner
+  // joins), so the annealing walk — whose moves are vetted by the conflict
+  // rules — takes the route instead of the bare GOO floor.
+  QuerySpec outer_star = MakeStarQuery(24);
+  outer_star.predicates[0].op = OpType::kLeftOuterjoin;
+  EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(outer_star)).Name(),
+               "anneal");
+}
+
+TEST(FrontierDispatch, AdaptiveRunProducesValidPlansOnFrontierShapes) {
+  // End-to-end through OptimizeAdaptive: the auction picks the new
+  // bidders and their plans validate.
+  for (const QuerySpec& spec :
+       {MakeCliqueQuery(30), MakeStarQuery(26)}) {
+    Hypergraph g = BuildHypergraphOrDie(spec);
+    OptimizeResult r = OptimizeAdaptive(g);
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_STREQ(r.stats.algorithm, "idp-k");
+    EXPECT_TRUE(ValidatePlanTree(g, r.ExtractPlan(g)).ok());
+  }
+}
+
+}  // namespace
+}  // namespace dphyp

@@ -224,6 +224,162 @@ INSTANTIATE_TEST_SUITE_P(Random, NonInnerFuzzSweep,
                            return info.param.name;
                          });
 
+// --- Plan-quality differential tier (label: quality) ------------------------
+//
+// The beyond-exact enumerators (idp-k, anneal) are heuristics, so the
+// bit-identity sweep above skips them; this tier pins what they *do*
+// promise on seeded 20-60 relation graphs: structurally valid plans that
+// never cost more than GOO's, and — for idp-k whenever its window covers
+// the whole graph — bit-identity with exact DPhyp. Registered under the
+// "quality" ctest label (CMakeLists.txt splits this file's discovery by
+// gtest filter), and CI re-runs it under a second QDL_TEST_SEED like the
+// fuzz label.
+
+struct QualityCase {
+  std::string name;  // stable: family/size/ordinal, never the seed
+  uint64_t seed;
+  QuerySpec spec;
+};
+
+std::vector<QualityCase> QualityCases() {
+  std::vector<QualityCase> cases;
+  uint64_t salt = 200000;
+  auto add = [&](std::string name, QuerySpec spec, uint64_t seed) {
+    cases.push_back({std::move(name), seed, std::move(spec)});
+  };
+  // Random simple graphs across the 20-60 relation regime.
+  const int rand_sizes[] = {20, 26, 32, 40, 50, 60};
+  for (int i = 0; i < 6; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    const int n = rand_sizes[i];
+    const double p = 0.05 + 0.05 * (i % 3);
+    add("randgraph" + std::to_string(n) + "_" + std::to_string(i),
+        MakeRandomGraphQuery(n, p, seed), seed);
+  }
+  // Random hypergraphs (complex edges survive the component collapse).
+  const int hyper_sizes[] = {22, 30, 38, 46};
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    add("randhyper" + std::to_string(hyper_sizes[i]) + "_" + std::to_string(i),
+        MakeRandomHypergraphQuery(hyper_sizes[i], 2 + (i % 3), seed), seed);
+  }
+  // Shape extremes past the exact frontier: dense cliques, hub stars, and
+  // one long chain (exact-feasible, but a multi-round idp-k exercise).
+  for (int n : {24, 28}) {
+    const uint64_t seed = DerivedSeed(salt++);
+    WorkloadOptions opts;
+    opts.seed = seed;
+    add("clique" + std::to_string(n), MakeCliqueQuery(n, opts), seed);
+  }
+  for (int sats : {26, 40}) {
+    const uint64_t seed = DerivedSeed(salt++);
+    WorkloadOptions opts;
+    opts.seed = seed;
+    add("star" + std::to_string(sats), MakeStarQuery(sats, opts), seed);
+  }
+  {
+    const uint64_t seed = DerivedSeed(salt++);
+    WorkloadOptions opts;
+    opts.seed = seed;
+    add("chain60", MakeChainQuery(60, opts), seed);
+  }
+  return cases;
+}
+
+class QualitySweep : public ::testing::TestWithParam<QualityCase> {};
+
+TEST_P(QualitySweep, ValidPlansNeverWorseThanGoo) {
+  const QualityCase& c = GetParam();
+  SCOPED_TRACE(SeedTrace(c.seed));
+  Hypergraph g = BuildHypergraphOrDie(c.spec);
+  CardinalityEstimator est(g);
+
+  OptimizeResult goo = OptimizeNamed("GOO", g, est, DefaultCostModel());
+  ASSERT_TRUE(goo.success) << goo.error;
+  const double goo_cost = goo.cost;
+
+  for (const char* algo : {"idp-k", "anneal"}) {
+    OptimizerOptions options;
+    options.random_seed = DerivedSeed(c.seed ^ 0xa11e);
+    Result<OptimizeResult> run =
+        OptimizeByName(algo, g, est, DefaultCostModel(), options);
+    ASSERT_TRUE(run.ok()) << algo << ": " << run.error().message;
+    const OptimizeResult& r = run.value();
+    ASSERT_TRUE(r.success) << algo << ": " << r.error;
+    EXPECT_STREQ(r.stats.algorithm, algo);
+    EXPECT_FALSE(r.stats.aborted) << algo;
+    PlanTree plan = r.ExtractPlan(g);
+    Result<bool> valid = ValidatePlanTree(g, plan);
+    EXPECT_TRUE(valid.ok()) << algo << ": " << valid.error().message;
+    // The quality floor both enumerators are built around: GOO seeds the
+    // anneal walk and caps the idp-k assembly, so neither may lose to it.
+    EXPECT_LE(r.cost, goo_cost) << algo;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QualityTier, QualitySweep,
+                         ::testing::ValuesIn(QualityCases()),
+                         [](const ::testing::TestParamInfo<QualityCase>& info) {
+                           return info.param.name;
+                         });
+
+struct SmallQualityCase {
+  std::string name;
+  uint64_t seed;
+  QuerySpec spec;
+};
+
+std::vector<SmallQualityCase> SmallQualityCases() {
+  std::vector<SmallQualityCase> cases;
+  uint64_t salt = 210000;
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    const int n = 10 + (i % 5);
+    if (i < 5) {
+      cases.push_back({"randgraph" + std::to_string(n) + "_" +
+                           std::to_string(i),
+                       seed, MakeRandomGraphQuery(n, 0.25, seed)});
+    } else {
+      cases.push_back({"randhyper" + std::to_string(n) + "_" +
+                           std::to_string(i),
+                       seed, MakeRandomHypergraphQuery(n, 1 + (i % 3), seed)});
+    }
+  }
+  return cases;
+}
+
+class QualityFullWindow : public ::testing::TestWithParam<SmallQualityCase> {};
+
+TEST_P(QualityFullWindow, IdpWithCoveringWindowBitIdenticalToDphyp) {
+  // idp_window >= NumNodes degenerates idp-k to one plain DPhyp pass:
+  // cost, cardinality, table size, and the extracted plan itself must be
+  // bit-identical — only the algorithm stamp differs.
+  const SmallQualityCase& c = GetParam();
+  SCOPED_TRACE(SeedTrace(c.seed));
+  Hypergraph g = BuildHypergraphOrDie(c.spec);
+  CardinalityEstimator est(g);
+
+  OptimizeResult exact = OptimizeNamed("DPhyp", g, est, DefaultCostModel());
+  ASSERT_TRUE(exact.success) << exact.error;
+
+  OptimizerOptions options;
+  options.idp_window = g.NumNodes();
+  OptimizeResult idp =
+      OptimizeNamed("idp-k", g, est, DefaultCostModel(), options);
+  ASSERT_TRUE(idp.success) << idp.error;
+  EXPECT_STREQ(idp.stats.algorithm, "idp-k");
+  EXPECT_DOUBLE_EQ(idp.cost, exact.cost);
+  EXPECT_DOUBLE_EQ(idp.cardinality, exact.cardinality);
+  EXPECT_EQ(idp.stats.dp_entries, exact.stats.dp_entries);
+  EXPECT_EQ(idp.ExtractPlan(g).ToAlgebraString(g),
+            exact.ExtractPlan(g).ToAlgebraString(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(QualityTier, QualityFullWindow,
+                         ::testing::ValuesIn(SmallQualityCases()),
+                         [](const ::testing::TestParamInfo<SmallQualityCase>&
+                                info) { return info.param.name; });
+
 TEST(FuzzSweep, LargeQuerySmoke) {
   // 20 relations — beyond every exponential oracle, exercising only the
   // production path: DPhyp must solve a 20-relation chain+hyperedge query

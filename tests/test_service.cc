@@ -241,11 +241,12 @@ TEST(Dispatch, RoutesByShape) {
                "DPccp");
   EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeCycleQuery(32))).Name(),
                "DPccp");
-  // Small dense graphs go to DPsub; big cliques to GOO.
+  // Small dense graphs go to DPsub; big cliques past the exact frontier
+  // now land on iterative DP rather than straight GOO.
   EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(10))).Name(),
                "DPsub");
   EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(30))).Name(),
-               "GOO");
+               "idp-k");
   // Hyperedges are DPhyp's home turf (when exact is feasible at all).
   EXPECT_STREQ(
       ChooseRoute(BuildHypergraphOrDie(MakeCycleHypergraphQuery(12, 2)))
@@ -253,7 +254,7 @@ TEST(Dispatch, RoutesByShape) {
       "DPhyp");
   // Big stars blow past the degree frontier.
   EXPECT_STREQ(ChooseRoute(BuildHypergraphOrDie(MakeStarQuery(24))).Name(),
-               "GOO");
+               "idp-k");
   // Large graphs inside the parallel frontier go to the intra-query
   // parallel enumerator *when the run would actually have workers*: the
   // widened frontier exists because the work splits. The hint is set
@@ -271,15 +272,15 @@ TEST(Dispatch, RoutesByShape) {
       "dphyp-par");
   EXPECT_STREQ(
       ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(19)), workers8).Name(),
-      "GOO");
+      "idp-k");
   // With one effective worker the parallel bid must decline, keeping the
   // pre-parallel routes: a single-worker "parallel" clique run would trade
-  // GOO's sub-millisecond fallback for seconds of exact enumeration.
+  // the heuristic routes' milliseconds for seconds of exact enumeration.
   DispatchPolicy workers1;
   workers1.parallel_workers_hint = 1;
   EXPECT_STREQ(
       ChooseRoute(BuildHypergraphOrDie(MakeCliqueQuery(18)), workers1).Name(),
-      "GOO");
+      "idp-k");
   EXPECT_STREQ(
       ChooseRoute(BuildHypergraphOrDie(MakeStarQuery(16)), workers1).Name(),
       "DPccp");
@@ -365,7 +366,7 @@ TEST(PlanService, CachedCostsEqualUncachedCosts) {
   EXPECT_LT(cold.stats.cache.insertions, cold.stats.queries);
 }
 
-TEST(PlanService, ServesMixedTrafficIncludingGooFallback) {
+TEST(PlanService, ServesMixedTrafficIncludingFrontierRoutes) {
   TrafficMixOptions mix;
   mix.seed = 33;
   mix.min_relations = 20;
@@ -381,11 +382,17 @@ TEST(PlanService, ServesMixedTrafficIncludingGooFallback) {
   EXPECT_EQ(out.stats.failures, 0u);
   uint64_t exact = out.stats.route_counts["DPccp"] +
                    out.stats.route_counts["DPhyp"] +
-                   out.stats.route_counts["DPsub"];
-  uint64_t goo = out.stats.route_counts["GOO"];
-  // Traffic this size must exercise both exact DP and the fallback.
+                   out.stats.route_counts["DPsub"] +
+                   out.stats.route_counts["dphyp-par"];
+  // Past the exact frontier the auction now resolves to the beyond-exact
+  // bidders (idp-k on inner-join graphs, anneal otherwise); GOO remains
+  // the floor for shapes both refuse.
+  uint64_t frontier = out.stats.route_counts["idp-k"] +
+                      out.stats.route_counts["anneal"] +
+                      out.stats.route_counts["GOO"];
+  // Traffic this size must exercise both exact DP and the frontier routes.
   EXPECT_GT(exact, 0u);
-  EXPECT_GT(goo, 0u);
+  EXPECT_GT(frontier, 0u);
   // Every plan extracted from a batch result must validate.
   for (size_t i = 0; i < traffic.size(); ++i) {
     Hypergraph g = BuildHypergraphOrDie(traffic[i]);
