@@ -1,0 +1,331 @@
+// Open-loop load harness for the plan service (pgbench-style).
+//
+// Closed-loop drivers (issue, wait, issue) hide overload: when the service
+// slows down, the driver slows down with it and the measured latency stays
+// flat while throughput silently collapses — "coordinated omission". This
+// harness is open-loop: request arrival times are drawn up front from a
+// seeded Poisson process at the target rate, each request's latency is
+// measured FROM ITS SCHEDULED ARRIVAL, and the schedule does not wait for
+// the service. When the service falls behind, the backlog shows up directly
+// as queueing delay in the recorded latencies — which is the whole point of
+// benchmarking an admission-controlled serving tier.
+//
+// The query mix is Zipf-skewed over a template pool (rank 0 hottest), the
+// regime where the plan cache and single-flight coalescing matter; tenant
+// ids are assigned round-robin-by-weight so fair-share admission can be
+// exercised. Everything is seeded: two runs with equal options replay the
+// identical arrival schedule and template sequence.
+#ifndef DPHYP_BENCH_LOAD_HARNESS_H_
+#define DPHYP_BENCH_LOAD_HARNESS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/plan_service.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace dphyp::bench {
+
+/// HDR-style log-bucketed latency histogram: ~5% relative precision from
+/// 1 microsecond to ~100 seconds in a few hundred fixed buckets, constant
+/// memory regardless of sample count.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+  void Record(double ms) {
+    ++count_;
+    if (ms > max_ms_) max_ms_ = ms;
+    sum_ms_ += ms;
+    buckets_[BucketFor(ms)]++;
+  }
+
+  /// Upper edge of the bucket holding the p-quantile sample (p in [0, 1]).
+  double Percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    uint64_t rank = static_cast<uint64_t>(p * (count_ - 1)) + 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen >= rank) return BucketUpperMs(b);
+    }
+    return max_ms_;
+  }
+
+  uint64_t count() const { return count_; }
+  double max_ms() const { return max_ms_; }
+  double mean_ms() const { return count_ == 0 ? 0.0 : sum_ms_ / count_; }
+
+  /// Merges another histogram (per-client histograms folded at the end, so
+  /// the hot Record path takes no lock).
+  void Merge(const LatencyHistogram& other) {
+    for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ms_ += other.sum_ms_;
+    if (other.max_ms_ > max_ms_) max_ms_ = other.max_ms_;
+  }
+
+ private:
+  // Buckets grow geometrically by 5% from 1us; 400 buckets reach past 1e5
+  // ms (~3 minutes), far beyond any per-request latency here.
+  static constexpr double kMinMs = 1e-3;
+  static constexpr double kGrowthLog = 0.04879016417;  // ln(1.05)
+  static constexpr int kBuckets = 400;
+
+  static int BucketFor(double ms) {
+    if (ms <= kMinMs) return 0;
+    int b = static_cast<int>(std::log(ms / kMinMs) / kGrowthLog) + 1;
+    return b >= kBuckets ? kBuckets - 1 : b;
+  }
+  static double BucketUpperMs(int b) {
+    return kMinMs * std::exp(kGrowthLog * b);
+  }
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double max_ms_ = 0.0;
+  double sum_ms_ = 0.0;
+};
+
+/// One load run's configuration.
+struct LoadOptions {
+  /// Offered rate (requests/second) of the Poisson arrival process.
+  double target_qps = 50.0;
+  /// Total requests in the run (run length = requests / target_qps).
+  int requests = 200;
+  /// Sender threads. Sized to the concurrency the open-loop schedule can
+  /// demand, not to the service: with too few senders the driver itself
+  /// becomes the queue and under-reports service queueing.
+  int clients = 8;
+  /// Zipf skew over the template pool; 0 = uniform.
+  double zipf_s = 1.1;
+  uint64_t seed = 42;
+  /// Tenant ids cycled by weight; empty = all traffic as default tenant.
+  std::vector<std::string> tenants;
+  std::vector<double> tenant_weights;
+};
+
+/// What one run measured. Latency is scheduled-arrival-to-completion, so it
+/// includes driver and service queueing.
+struct LoadReport {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  double wall_s = 0.0;
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t failures = 0;  // non-rejection errors
+  uint64_t rejected = 0;
+  uint64_t degraded = 0;
+  uint64_t coalesced = 0;
+  uint64_t cache_hits = 0;
+  LatencyHistogram latency;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Runs `opts.requests` through service.Serve at the target Poisson rate,
+/// Zipf-sampling specs from `templates`. Blocks until the run drains.
+inline LoadReport RunOpenLoopLoad(PlanService& service,
+                                  const std::vector<QuerySpec>& templates,
+                                  const LoadOptions& opts) {
+  LoadReport report;
+  report.offered_qps = opts.target_qps;
+  if (templates.empty() || opts.requests <= 0) return report;
+
+  // The whole run is precomputed and seeded: arrival offsets, template
+  // ranks, tenant assignment. The threads below only execute the schedule.
+  Rng rng(opts.seed);
+  std::vector<double> arrivals =
+      PoissonArrivalTimes(opts.requests, opts.target_qps, rng);
+  ZipfSampler zipf(static_cast<int>(templates.size()), opts.zipf_s);
+  std::vector<int> ranks(opts.requests);
+  for (int& r : ranks) r = zipf.Sample(rng);
+  std::vector<int> tenant_of(opts.requests, -1);
+  if (!opts.tenants.empty()) {
+    double total = 0.0;
+    for (size_t i = 0; i < opts.tenants.size(); ++i) {
+      total += i < opts.tenant_weights.size() ? opts.tenant_weights[i] : 1.0;
+    }
+    for (int& t : tenant_of) {
+      double pick = rng.UniformDouble(0.0, total);
+      size_t idx = 0;
+      while (idx + 1 < opts.tenants.size()) {
+        double w =
+            idx < opts.tenant_weights.size() ? opts.tenant_weights[idx] : 1.0;
+        if (pick < w) break;
+        pick -= w;
+        ++idx;
+      }
+      t = static_cast<int>(idx);
+    }
+  }
+
+  const int clients = opts.clients < 1 ? 1 : opts.clients;
+  std::atomic<int> next{0};
+  std::vector<LatencyHistogram> client_latency(clients);
+  struct Counters {
+    uint64_t ok = 0, failures = 0, rejected = 0, degraded = 0, coalesced = 0,
+             cache_hits = 0;
+  };
+  std::vector<Counters> client_counters(clients);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto run_client = [&](int c) {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= opts.requests) return;
+      // Open loop: wait until the request's scheduled arrival, then fire.
+      // A late pickup (all clients busy — the driver-side queue) is NOT
+      // excused: latency is measured from the scheduled arrival either way.
+      const auto scheduled =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(arrivals[i]));
+      std::this_thread::sleep_until(scheduled);
+      QueryRequest request;
+      request.spec = &templates[ranks[i]];
+      if (tenant_of[i] >= 0) request.tenant = opts.tenants[tenant_of[i]];
+      ServiceResult r = service.Serve(request);
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - scheduled)
+              .count();
+      client_latency[c].Record(latency_ms);
+      Counters& counters = client_counters[c];
+      if (r.rejected) {
+        ++counters.rejected;
+      } else if (r.success) {
+        ++counters.ok;
+        if (r.cache_hit) ++counters.cache_hits;
+        if (r.coalesced) ++counters.coalesced;
+        if (r.degraded) ++counters.degraded;
+      } else {
+        ++counters.failures;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) threads.emplace_back(run_client, c);
+  for (std::thread& t : threads) t.join();
+
+  report.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  report.requests = static_cast<uint64_t>(opts.requests);
+  for (int c = 0; c < clients; ++c) {
+    report.latency.Merge(client_latency[c]);
+    report.ok += client_counters[c].ok;
+    report.failures += client_counters[c].failures;
+    report.rejected += client_counters[c].rejected;
+    report.degraded += client_counters[c].degraded;
+    report.coalesced += client_counters[c].coalesced;
+    report.cache_hits += client_counters[c].cache_hits;
+  }
+  report.p50_ms = report.latency.Percentile(0.50);
+  report.p99_ms = report.latency.Percentile(0.99);
+  report.max_ms = report.latency.max_ms();
+  report.achieved_qps =
+      report.wall_s > 0.0 ? report.requests / report.wall_s : 0.0;
+  return report;
+}
+
+/// Picks a query expensive enough (>= `min_ms` fresh optimization) that
+/// stampede followers reliably arrive while the leader is still
+/// enumerating — adaptive, so sanitizer or 1-core slowdowns only help.
+/// Candidates must stay on an exact-DP route under adaptive dispatch
+/// (degree-capped stars shed to heuristics, which finish too fast to
+/// stampede against); cliques at the dense-routing boundary and
+/// moderate-size hypergraphs qualify. Falls back to the slowest measured
+/// candidate when none reaches min_ms.
+inline QuerySpec PickExpensiveTemplate(double min_ms, double* measured_ms) {
+  std::vector<QuerySpec> candidates;
+  candidates.push_back(MakeCliqueQuery(10));
+  candidates.push_back(MakeCliqueQuery(11));
+  candidates.push_back(MakeCliqueQuery(12));
+  candidates.push_back(MakeCycleHypergraphQuery(16, /*splits=*/0));
+  candidates.push_back(MakeStarHypergraphQuery(12, /*splits=*/0));
+  candidates.push_back(MakeRandomHypergraphQuery(16, /*num_complex_edges=*/6,
+                                                 /*seed=*/7));
+  QuerySpec best = candidates.front();
+  double best_ms = -1.0;
+  for (QuerySpec& spec : candidates) {
+    ServiceOptions opts;
+    opts.num_threads = 1;
+    PlanService probe(opts);
+    ServiceResult r = probe.OptimizeOne(spec);
+    if (!r.success) continue;
+    if (r.latency_ms >= min_ms) {
+      *measured_ms = r.latency_ms;
+      return spec;
+    }
+    if (r.latency_ms > best_ms) {
+      best_ms = r.latency_ms;
+      best = spec;
+    }
+  }
+  *measured_ms = best_ms;
+  return best;
+}
+
+struct StampedeOutcome {
+  uint64_t optimizations = 0;
+  uint64_t coalesced = 0;
+  uint64_t cache_hits = 0;
+  uint64_t failures = 0;
+};
+
+/// The stampede: one leader starts, and once its flight is registered,
+/// `clients - 1` followers pile onto the same spec concurrently. On a
+/// fresh service exactly one optimization may run; every follower is
+/// either a coalesced hit or (if it arrived after the publish) a cache
+/// hit.
+inline StampedeOutcome RunStampede(const QuerySpec& spec, int clients) {
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  PlanService service(opts);
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  threads.emplace_back([&] {
+    QueryRequest request;
+    request.spec = &spec;
+    (void)service.Serve(request);
+  });
+  // Wait for the leader's flight to appear so the followers below overlap
+  // it; bounded spin in case the leader finishes first (then followers are
+  // legitimate cache hits and the one-optimization assertion still holds).
+  for (int spins = 0; spins < 20000 && service.inflight().InFlight() == 0;
+       ++spins) {
+    std::this_thread::yield();
+  }
+  for (int c = 1; c < clients; ++c) {
+    threads.emplace_back([&] {
+      QueryRequest request;
+      request.spec = &spec;
+      (void)service.Serve(request);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ServiceStats stats = service.LifetimeStats();
+  StampedeOutcome outcome;
+  for (const auto& [name, count] : stats.route_counts) {
+    outcome.optimizations += count;
+  }
+  outcome.coalesced = stats.coalesced_hits;
+  outcome.cache_hits = stats.cache_hits;
+  outcome.failures = stats.failures;
+  return outcome;
+}
+
+}  // namespace dphyp::bench
+
+#endif  // DPHYP_BENCH_LOAD_HARNESS_H_

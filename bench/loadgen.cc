@@ -1,0 +1,161 @@
+// Open-loop load generator for the plan service (pgbench-style).
+//
+// Two phases:
+//
+//   1. Stampede: N clients hit one hot, expensive, uncached fingerprint at
+//      once. Exactly one optimization may run — the leader's — and the
+//      rest must be served by single-flight coalescing (or by the cache,
+//      if they arrive after the leader published). Verified against the
+//      service's lifetime route counts.
+//
+//   2. Rate sweep: Zipf-skewed traffic over a template pool at doubling
+//      Poisson target rates, admission watermarks on. Reports per-rate
+//      p50/p99 (measured from scheduled arrival — queueing delay counts),
+//      shed/reject mix, and the sustained qps: the highest swept rate
+//      whose p99 meets the SLO.
+//
+// Environment knobs (all optional):
+//   DPHYP_BENCH_LOAD_QPS        base target rate          (default 40)
+//   DPHYP_BENCH_LOAD_REQUESTS   requests per rate step    (default 200)
+//   DPHYP_BENCH_LOAD_CLIENTS    sender threads            (default 8)
+//   DPHYP_BENCH_LOAD_SWEEP      rate steps, doubling      (default 3)
+//   DPHYP_BENCH_LOAD_ZIPF_PCT   Zipf s * 100              (default 110)
+//   DPHYP_BENCH_LOAD_SLO_MS     p99 SLO in ms             (default 100)
+//   DPHYP_BENCH_LOAD_SEED       RNG seed                  (default 42)
+//   DPHYP_BENCH_LOAD_STAMPEDE   stampede clients          (default 12)
+//   DPHYP_LOADGEN_REQUIRE_COALESCE=1  exit nonzero unless the stampede
+//       phase recorded at least one coalesced hit (CI gate).
+//   DPHYP_LOADGEN_SLO_GATE=1    exit nonzero if the BASE rate's p99 misses
+//       the SLO (CI smoke gate; higher swept rates may saturate by design).
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/load_harness.h"
+#include "service/plan_service.h"
+#include "workload/generators.h"
+
+using namespace dphyp;
+using namespace dphyp::bench;
+
+int main() {
+  const double base_qps = EnvInt("DPHYP_BENCH_LOAD_QPS", 40);
+  const int requests = EnvInt("DPHYP_BENCH_LOAD_REQUESTS", 200);
+  const int clients = EnvInt("DPHYP_BENCH_LOAD_CLIENTS", 8);
+  const int sweep = EnvInt("DPHYP_BENCH_LOAD_SWEEP", 3);
+  const double zipf_s = EnvInt("DPHYP_BENCH_LOAD_ZIPF_PCT", 110) / 100.0;
+  const double slo_ms = EnvInt("DPHYP_BENCH_LOAD_SLO_MS", 100);
+  const uint64_t seed = static_cast<uint64_t>(EnvInt("DPHYP_BENCH_LOAD_SEED", 42));
+  const int stampede_clients = EnvInt("DPHYP_BENCH_LOAD_STAMPEDE", 12);
+  const bool require_coalesce =
+      EnvInt("DPHYP_LOADGEN_REQUIRE_COALESCE", 0) != 0;
+  const bool slo_gate = EnvInt("DPHYP_LOADGEN_SLO_GATE", 0) != 0;
+
+  int exit_code = 0;
+
+  // --- Phase 1: stampede ---------------------------------------------
+  double probe_ms = 0.0;
+  QuerySpec hot = PickExpensiveTemplate(/*min_ms=*/150.0, &probe_ms);
+  StampedeOutcome stampede = RunStampede(hot, stampede_clients);
+  std::printf(
+      "stampede: %d clients, one hot fingerprint (fresh optimization "
+      "%.1f ms)\n  optimizations=%llu coalesced=%llu cache_hits=%llu "
+      "failures=%llu\n",
+      stampede_clients, probe_ms,
+      static_cast<unsigned long long>(stampede.optimizations),
+      static_cast<unsigned long long>(stampede.coalesced),
+      static_cast<unsigned long long>(stampede.cache_hits),
+      static_cast<unsigned long long>(stampede.failures));
+  if (stampede.optimizations != 1 || stampede.failures != 0) {
+    std::fprintf(stderr,
+                 "loadgen: stampede ran %llu optimizations (want exactly 1)\n",
+                 static_cast<unsigned long long>(stampede.optimizations));
+    exit_code = 1;
+  }
+  if (require_coalesce && stampede.coalesced == 0) {
+    std::fprintf(stderr,
+                 "loadgen: coalesced-hit gate: stampede produced no "
+                 "coalesced hits\n");
+    exit_code = 1;
+  }
+
+  // --- Phase 2: rate sweep -------------------------------------------
+  TrafficMixOptions mix;
+  mix.seed = seed;
+  mix.min_relations = 5;
+  mix.max_relations = 12;
+  mix.clique_max_relations = 9;
+  mix.distinct_templates = -1;  // emit the pool itself: all distinct
+  const std::vector<QuerySpec> templates = GenerateTrafficMix(24, mix);
+
+  ServiceOptions sopts;
+  sopts.num_threads = clients;
+  sopts.deadline_ms = 100.0;
+  sopts.admission.soft_watermark = clients * 2;
+  sopts.admission.hard_watermark = clients * 4;
+  PlanService service(sopts);
+
+  TablePrinter table({"target qps", "achieved", "p50 ms", "p99 ms", "shed",
+                      "rejected", "coalesced", "hit rate"});
+  double sustained_qps = 0.0;
+  double base_p99 = 0.0;
+  char buf[64];
+  for (int step = 0; step < (sweep < 1 ? 1 : sweep); ++step) {
+    LoadOptions lopts;
+    lopts.target_qps = base_qps * static_cast<double>(1 << step);
+    lopts.requests = requests;
+    lopts.clients = clients;
+    lopts.zipf_s = zipf_s;
+    lopts.seed = seed + static_cast<uint64_t>(step);
+    LoadReport report = RunOpenLoopLoad(service, templates, lopts);
+    if (step == 0) base_p99 = report.p99_ms;
+    if (report.p99_ms <= slo_ms && report.failures == 0) {
+      sustained_qps = std::max(sustained_qps, report.achieved_qps);
+    }
+
+    std::vector<std::string> cells;
+    std::snprintf(buf, sizeof(buf), "%.0f", report.offered_qps);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.0f", report.achieved_qps);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3f", report.p50_ms);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3f", report.p99_ms);
+    cells.push_back(buf);
+    cells.push_back(std::to_string(report.degraded));
+    cells.push_back(std::to_string(report.rejected));
+    cells.push_back(std::to_string(report.coalesced));
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  report.requests == 0
+                      ? 0.0
+                      : static_cast<double>(report.cache_hits) /
+                            static_cast<double>(report.requests));
+    cells.push_back(buf);
+    table.AddRow(cells);
+
+    if (report.failures > 0) {
+      std::fprintf(stderr, "loadgen: %llu request failures at %.0f qps\n",
+                   static_cast<unsigned long long>(report.failures),
+                   report.offered_qps);
+      exit_code = 1;
+    }
+  }
+
+  std::printf("\nopen-loop sweep: %d requests/step, %d clients, zipf s=%.2f, "
+              "SLO p99 <= %.0f ms\n\n",
+              requests, clients, zipf_s, slo_ms);
+  table.Print();
+  std::printf("\nsustained qps at p99 SLO: %.0f\n", sustained_qps);
+
+  if (slo_gate && base_p99 > slo_ms) {
+    std::fprintf(stderr,
+                 "loadgen: SLO gate: base-rate p99 %.3f ms exceeds SLO %.0f "
+                 "ms\n",
+                 base_p99, slo_ms);
+    exit_code = 1;
+  }
+
+  ServiceStats lifetime = service.LifetimeStats();
+  std::printf("service lifetime: %s\n", lifetime.ToString().c_str());
+  return exit_code;
+}

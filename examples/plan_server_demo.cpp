@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "hypergraph/builder.h"
 #include "service/plan_service.h"
@@ -54,6 +56,8 @@ int main(int argc, char** argv) {
 
   ServiceOptions opts;
   opts.cache_byte_budget = 8 << 20;
+  opts.admission.soft_watermark = 8;
+  opts.admission.hard_watermark = 16;
   PlanService service(opts);
   std::printf("service: %d worker threads, %d-shard cache, %zu KiB budget\n\n",
               service.num_threads(), service.cache().num_shards(),
@@ -82,5 +86,56 @@ int main(int argc, char** argv) {
               sample_spec.NumRelations(), sample.algorithm.c_str(),
               sample.cache_hit ? "yes" : "no");
   std::printf("%s\n", sample.result.ExtractPlan(g).Explain(g).c_str());
+
+  // Burst section: a miniature stampede through the Serve front door. Eight
+  // clients hit one hot, uncached fingerprint; single-flight coalescing lets
+  // only the leader optimize. Then one request arrives past the hard
+  // watermark and is shed with a retry-after hint.
+  QuerySpec hot = MakeCliqueQuery(10);
+  constexpr int kBurstClients = 8;
+  std::vector<std::thread> burst;
+  burst.reserve(kBurstClients);
+  for (int i = 0; i < kBurstClients; ++i) {
+    burst.emplace_back([&service, &hot, i] {
+      QueryRequest request;
+      request.spec = &hot;
+      request.tenant = (i % 2 == 0) ? "analytics" : "reports";
+      service.Serve(request);
+    });
+  }
+  for (std::thread& t : burst) t.join();
+
+  // Fill every slot up to the hard watermark, then watch one request bounce.
+  for (int i = 0; i < opts.admission.hard_watermark; ++i) {
+    service.admission().Admit("bg");
+  }
+  QueryRequest bounced;
+  bounced.spec = &hot;
+  bounced.tenant = "dashboards";
+  ServiceResult shed = service.Serve(bounced);
+  for (int i = 0; i < opts.admission.hard_watermark; ++i) {
+    service.admission().Release();
+  }
+  std::printf("\nburst: %d clients on one hot fingerprint, then 1 request "
+              "past the hard watermark\n", kBurstClients);
+  if (shed.rejected) {
+    std::printf("  shed request: rejected=%s retry_after=%.0f ms (%s)\n",
+                shed.rejected ? "yes" : "no", shed.retry_after_ms,
+                shed.error.c_str());
+  }
+
+  // The operator's dashboard: lifetime counters across every front door.
+  ServiceStats lifetime = service.LifetimeStats();
+  std::printf("\nservice lifetime: %s\n", lifetime.ToString().c_str());
+  std::printf("gauges: queue_depth=%d peak_queue_depth=%d coalesced_hits=%llu "
+              "shed_to_goo=%llu rejected=%llu\n",
+              lifetime.queue_depth, lifetime.peak_queue_depth,
+              static_cast<unsigned long long>(lifetime.coalesced_hits),
+              static_cast<unsigned long long>(lifetime.degraded),
+              static_cast<unsigned long long>(lifetime.rejected));
+  for (const auto& [tenant, count] : lifetime.tenant_rejects) {
+    std::printf("        rejects[%s]=%llu\n", tenant.c_str(),
+                static_cast<unsigned long long>(count));
+  }
   return 0;
 }

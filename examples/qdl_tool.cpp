@@ -31,6 +31,12 @@
 // --explain prints the chosen plan with per-class estimated cardinality;
 // with --execute it also prints estimated-vs-actual rows and the q-error
 // per class, plus the plan's q-error summary.
+// --stats serves the query through a PlanService (the burst-traffic Serve
+// front door: cache, single-flight coalescing, admission) instead of a
+// bare session, then dumps the service's lifetime counters — cache and
+// coalesced hits, shed/reject counts, the in-flight gauge and its peak,
+// per-enumerator route counts. --tenant=<id> tags the request for the
+// per-tenant admission accounting shown in that dump.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -41,6 +47,7 @@
 #include "exec/executor.h"
 #include "hypergraph/builder.h"
 #include "service/dispatch.h"
+#include "service/plan_service.h"
 #include "service/session.h"
 #include "util/timer.h"
 #include "workload/qdl.h"
@@ -106,6 +113,8 @@ int main(int argc, char** argv) {
   bool demo = false;
   bool explain = false;
   bool execute = false;
+  bool stats_mode = false;
+  std::string tenant;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--algo=", 0) == 0) {
@@ -152,6 +161,10 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--execute") {
       execute = true;
+    } else if (arg == "--stats") {
+      stats_mode = true;
+    } else if (arg.rfind("--tenant=", 0) == 0) {
+      tenant = arg.substr(9);
     } else if (arg == "--list-algos") {
       // Name, exactness, and each enumerator's own frontier/bid summary —
       // the routing table without reading dispatch code.
@@ -171,6 +184,7 @@ int main(int argc, char** argv) {
           "                [--cost=cout|hash] [--deadline-ms=<n>]\n"
           "                [--threads=<n>] [--seed=<n>] [--idp-window=<k>]\n"
           "                [--explain] [--execute] [--rows=<n>] [--quiet]\n"
+          "                [--stats] [--tenant=<id>]\n"
           "       qdl_tool --demo | --list-algos | --list-models\n");
       return 0;
     } else {
@@ -196,6 +210,46 @@ int main(int argc, char** argv) {
     model = &hash_model;
   } else if (cost_name != "cout") {
     return Fail("unknown cost model '" + cost_name + "'");
+  }
+
+  if (stats_mode) {
+    // Serve through the full front door instead of a bare session, then
+    // dump the service's lifetime counters. One process-local query keeps
+    // most gauges at zero — the point is the counter names and wiring, the
+    // same dump a long-running server (plan_server_demo) produces under
+    // real traffic.
+    ServiceOptions sopts;
+    sopts.deadline_ms = deadline_ms;
+    if (threads > 0) sopts.num_threads = threads;
+    sopts.cardinality_model = model_name;
+    PlanService service(sopts);
+    QueryRequest request;
+    request.spec = &spec;
+    request.tenant = tenant;
+    ServiceResult served_result = service.Serve(request);
+    if (!served_result.success) return Fail(served_result.error);
+    std::printf("algorithm:        %s  (served via PlanService)\n",
+                served_result.algorithm.c_str());
+    std::printf("plan cost:        %g\n", served_result.cost);
+    std::printf("latency:          %.3f ms\n", served_result.latency_ms);
+    if (!quiet) {
+      std::printf("\n%s", served_result.result.ExtractPlan(g).Explain(g).c_str());
+    }
+    ServiceStats stats = service.LifetimeStats();
+    std::printf("\nservice stats:    %s\n", stats.ToString().c_str());
+    std::printf("gauges:           queue_depth=%d peak_queue_depth=%d "
+                "inflight=%d coalesced_hits=%llu shed=%llu rejected=%llu\n",
+                stats.queue_depth, stats.peak_queue_depth,
+                service.inflight().InFlight(),
+                static_cast<unsigned long long>(stats.coalesced_hits),
+                static_cast<unsigned long long>(stats.degraded),
+                static_cast<unsigned long long>(stats.rejected));
+    for (const auto& [t, count] : stats.tenant_rejects) {
+      std::printf("                  rejects[%s]=%llu\n",
+                  t.empty() ? "default" : t.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+    return 0;
   }
 
   const bool oracle = model_name == "oracle";

@@ -1,0 +1,101 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dphyp {
+
+namespace {
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options, Clock clock)
+    : options_(options),
+      clock_(clock != nullptr ? std::move(clock) : Clock(&SteadySeconds)) {}
+
+bool AdmissionController::TakeToken(TokenBucket& bucket, double now_s) {
+  const double elapsed = std::max(0.0, now_s - bucket.last_refill_s);
+  bucket.tokens = std::min(options_.tenant_burst,
+                           bucket.tokens + elapsed * options_.tenant_rate_per_sec);
+  bucket.last_refill_s = now_s;
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+AdmissionDecision AdmissionController::Admit(std::string_view tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int depth_with_this = depth_ + 1;
+  AdmissionDecision decision;
+
+  // Hard watermark first: past it the pool is drowning and even the fast
+  // path would queue; shedding here is what keeps p99 bounded for the
+  // requests already admitted.
+  if (options_.hard_watermark > 0 && depth_with_this > options_.hard_watermark) {
+    decision.verdict = AdmissionVerdict::kReject;
+    decision.reason = "hard watermark: service overloaded";
+    decision.retry_after_ms = options_.retry_after_ms;
+    ++stats_.rejected;
+    ++stats_.tenant_rejects[std::string(tenant)];
+    return decision;
+  }
+
+  // Tenant fair share: a tenant that burned through its bucket is rejected
+  // regardless of pool depth — an empty bucket means it is already
+  // consuming above its provisioned rate, and admitting more of it is
+  // exactly how one heavy tenant starves the rest.
+  if (options_.tenant_rate_per_sec > 0.0) {
+    const double now_s = clock_();
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+      it = buckets_.emplace(std::string(tenant), TokenBucket{}).first;
+      it->second.tokens = options_.tenant_burst;
+      it->second.last_refill_s = now_s;
+    }
+    if (!TakeToken(it->second, now_s)) {
+      decision.verdict = AdmissionVerdict::kReject;
+      decision.reason = "tenant token bucket empty: over fair-share rate";
+      // One token refills in 1/rate seconds; that is the honest retry hint.
+      decision.retry_after_ms = 1000.0 / options_.tenant_rate_per_sec;
+      ++stats_.rejected;
+      ++stats_.tenant_rejects[std::string(tenant)];
+      return decision;
+    }
+  }
+
+  // Soft watermark: admitted, but downgraded to the polynomial fast path.
+  if (options_.soft_watermark > 0 && depth_with_this > options_.soft_watermark) {
+    decision.verdict = AdmissionVerdict::kDegrade;
+    decision.reason = "soft watermark: degraded to GOO fast path";
+    ++stats_.degraded;
+  } else {
+    ++stats_.admitted;
+  }
+
+  depth_ = depth_with_this;
+  stats_.peak_depth = std::max(stats_.peak_depth, depth_);
+  return decision;
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (depth_ > 0) --depth_;
+}
+
+int AdmissionController::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_;
+}
+
+AdmissionController::Stats AdmissionController::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dphyp

@@ -1,0 +1,140 @@
+// Admission control with graceful load-shedding for the plan service.
+//
+// Under overload, an optimizer service must degrade *predictably*: the
+// exact-DP routes that make plans good are also the expensive ones, so
+// past a soft occupancy watermark new requests are downgraded to the
+// polynomial fast path (GOO — the same escape hatch the deadline machinery
+// uses), and past a hard watermark requests are rejected outright with a
+// structured retry-after error instead of queueing without bound and
+// blowing p99 for everyone. A per-tenant token bucket adds fair-share
+// isolation: one tenant replaying a dashboard at 10x everyone else's rate
+// exhausts its own bucket and is rejected, while the other tenants' traffic
+// keeps being served.
+//
+// The controller is a pure decision + accounting object: it owns the
+// in-flight gauge (Admit occupies a slot, Release frees it), the token
+// buckets, and the shed/reject counters, but runs nothing itself —
+// PlanService::Serve consults it at the front door. Time is injectable so
+// the bucket arithmetic is deterministic under test.
+#ifndef DPHYP_SERVICE_ADMISSION_H_
+#define DPHYP_SERVICE_ADMISSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace dphyp {
+
+/// Watermarks and tenant-isolation knobs. Zero disables each mechanism, so
+/// a default-constructed controller admits everything (the pre-admission
+/// service behavior).
+struct AdmissionOptions {
+  /// In-flight request count (including the new request) beyond which
+  /// requests that would take an exact-DP route are downgraded to the GOO
+  /// fast path. 0 disables downgrading.
+  int soft_watermark = 0;
+  /// In-flight count beyond which new requests are rejected with a
+  /// retry-after error. 0 disables rejection. Must be >= soft_watermark
+  /// when both are set.
+  int hard_watermark = 0;
+  /// Retry hint attached to overload rejections, in milliseconds.
+  double retry_after_ms = 25.0;
+  /// Per-tenant token refill rate (requests/second); 0 disables tenant
+  /// isolation. Size this at roughly the per-tenant fair share of the
+  /// service's sustainable throughput.
+  double tenant_rate_per_sec = 0.0;
+  /// Token bucket capacity — the burst a tenant may spend above its rate.
+  double tenant_burst = 16.0;
+};
+
+/// The three-way verdict for one request.
+enum class AdmissionVerdict { kAdmit, kDegrade, kReject };
+
+struct AdmissionDecision {
+  AdmissionVerdict verdict = AdmissionVerdict::kAdmit;
+  /// Static human-readable justification ("admitted", "soft watermark:
+  /// degraded to fast path", ...).
+  const char* reason = "admitted";
+  /// On kReject: when the client should retry, in milliseconds.
+  double retry_after_ms = 0.0;
+};
+
+class AdmissionController {
+ public:
+  /// Monotonic seconds; injectable so token-bucket tests are deterministic.
+  using Clock = std::function<double()>;
+
+  /// A default (null) clock uses std::chrono::steady_clock.
+  explicit AdmissionController(AdmissionOptions options = {},
+                               Clock clock = nullptr);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Decides for one request from `tenant` (empty = the default tenant).
+  /// kAdmit and kDegrade occupy an in-flight slot that the caller MUST
+  /// Release() when the request completes; kReject occupies nothing.
+  AdmissionDecision Admit(std::string_view tenant);
+
+  /// Frees the slot occupied by an admitting (or degrading) Admit.
+  void Release();
+
+  /// Current in-flight occupancy — the queue-depth gauge.
+  int depth() const;
+
+  /// Lifetime counters; `tenant_rejects` breaks rejections down by tenant
+  /// (overload rejections land on the requesting tenant too).
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t degraded = 0;
+    uint64_t rejected = 0;
+    int peak_depth = 0;
+    std::map<std::string, uint64_t> tenant_rejects;
+  };
+  Stats GetStats() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct TokenBucket {
+    double tokens = 0.0;
+    double last_refill_s = 0.0;
+  };
+
+  /// Refills `bucket` to `now_s` and takes one token; false when empty.
+  bool TakeToken(TokenBucket& bucket, double now_s);
+
+  AdmissionOptions options_;
+  Clock clock_;
+
+  mutable std::mutex mu_;
+  int depth_ = 0;
+  Stats stats_;
+  std::map<std::string, TokenBucket, std::less<>> buckets_;
+};
+
+/// RAII slot for an admitting decision: releases on destruction unless the
+/// decision was a reject (in which case nothing was occupied).
+class AdmissionSlot {
+ public:
+  AdmissionSlot(AdmissionController& controller,
+                const AdmissionDecision& decision)
+      : controller_(&controller),
+        held_(decision.verdict != AdmissionVerdict::kReject) {}
+  ~AdmissionSlot() {
+    if (held_) controller_->Release();
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+ private:
+  AdmissionController* controller_;
+  bool held_;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_SERVICE_ADMISSION_H_

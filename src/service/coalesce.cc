@@ -1,0 +1,77 @@
+#include "service/coalesce.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace dphyp {
+
+SingleFlightTable::Ticket SingleFlightTable::Join(const Fingerprint& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_.find(key);
+  if (it != inflight_.end()) {
+    ++stats_.coalesced;
+    return Ticket(this, key, it->second, /*leader=*/false);
+  }
+  auto flight = std::make_shared<Flight>();
+  inflight_.emplace(key, flight);
+  ++stats_.flights;
+  return Ticket(this, key, std::move(flight), /*leader=*/true);
+}
+
+void SingleFlightTable::Publish(const Fingerprint& key,
+                                std::shared_ptr<Flight> flight,
+                                FlightOutcome outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!outcome.success) ++stats_.leader_failures;
+    // Retire the flight first: a request arriving after the publish must
+    // start a new generation (it will usually hit the cache the leader
+    // just filled; when the leader's plan was uncacheable — aborted or
+    // degraded — re-optimizing is the correct fresh-generation behavior).
+    auto it = inflight_.find(key);
+    if (it != inflight_.end() && it->second == flight) inflight_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->outcome =
+        std::make_shared<const FlightOutcome>(std::move(outcome));
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+}
+
+SingleFlightTable::Stats SingleFlightTable::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int SingleFlightTable::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(inflight_.size());
+}
+
+SingleFlightTable::Ticket::~Ticket() {
+  if (leader_ && !published_ && table_ != nullptr) {
+    FlightOutcome abandoned;
+    abandoned.error =
+        "single-flight leader abandoned the optimization without publishing";
+    table_->Publish(key_, flight_, std::move(abandoned));
+  }
+}
+
+void SingleFlightTable::Ticket::Publish(FlightOutcome outcome) {
+  DPHYP_DCHECK(leader_);
+  DPHYP_DCHECK(!published_);
+  published_ = true;
+  table_->Publish(key_, flight_, std::move(outcome));
+}
+
+std::shared_ptr<const FlightOutcome> SingleFlightTable::Ticket::Wait() {
+  DPHYP_DCHECK(!leader_);
+  std::unique_lock<std::mutex> lock(flight_->mu);
+  flight_->cv.wait(lock, [this] { return flight_->done; });
+  return flight_->outcome;
+}
+
+}  // namespace dphyp

@@ -1,0 +1,146 @@
+// Single-flight coalescing for the plan cache's miss path.
+//
+// Bursty production traffic is skewed: when N concurrent clients ask for
+// the same hot fingerprint that is not yet cached, running N identical DP
+// enumerations wastes N-1 of them — every stage is deterministic, so all N
+// would produce the bit-identical plan. The SingleFlightTable is the
+// in-flight registry in front of the cache that collapses the stampede:
+// the first requester for a (fingerprint, model, stats_version) key
+// becomes the *leader* and runs the optimization; every concurrent
+// requester for the same key becomes a *follower* and blocks on the
+// leader's outcome; completion publishes the serialized plan once, wakes
+// all followers, and retires the flight so the next generation (e.g. after
+// a stats_version bump re-keys the traffic) starts fresh.
+//
+// Followers receive the same CachedPlan a cache hit would have served, so
+// a coalesced result is rehydrated through the identical MaterializePlan
+// path — including the structural consistency check that guards WL-1
+// fingerprint collisions. Coalesced hits are a distinct outcome from cache
+// hits (ServiceResult::coalesced, counted separately in ServiceStats):
+// a cache hit found a finished plan, a coalesced hit waited on a running
+// one.
+#ifndef DPHYP_SERVICE_COALESCE_H_
+#define DPHYP_SERVICE_COALESCE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "service/fingerprint.h"
+#include "service/plan_cache.h"
+
+namespace dphyp {
+
+/// What a flight's leader publishes to its followers: either the
+/// serialized winning plan (the exact value a cache hit would serve) or
+/// the optimization's structured error.
+struct FlightOutcome {
+  bool success = false;
+  std::string error;
+  /// Valid iff success. Carries cost/cardinality/stats of the leader's
+  /// run, including stats.aborted when the leader was served the deadline
+  /// fallback.
+  CachedPlan plan;
+  /// Registry name of the cardinality model the leader resolved.
+  std::string model;
+};
+
+/// Fingerprint-keyed in-flight table. Thread-safe; one instance fronts one
+/// PlanService's cache.
+class SingleFlightTable {
+ public:
+  /// Lifetime counters (monotone; snapshot via GetStats).
+  struct Stats {
+    /// Flights started, i.e. misses that elected a leader.
+    uint64_t flights = 0;
+    /// Requests that joined an existing flight instead of optimizing.
+    uint64_t coalesced = 0;
+    /// Flights whose leader published a failure (followers re-optimize).
+    uint64_t leader_failures = 0;
+  };
+
+  class Ticket;
+
+  SingleFlightTable() = default;
+  SingleFlightTable(const SingleFlightTable&) = delete;
+  SingleFlightTable& operator=(const SingleFlightTable&) = delete;
+
+  /// Joins the flight for `key`, electing this caller leader when no
+  /// flight is in progress. Leaders MUST eventually Publish (the ticket's
+  /// destructor publishes a failure otherwise, so followers never hang).
+  Ticket Join(const Fingerprint& key);
+
+  Stats GetStats() const;
+
+  /// Flights currently in progress (leaders running).
+  int InFlight() const;
+
+ private:
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const FlightOutcome> outcome;
+  };
+
+  void Publish(const Fingerprint& key, std::shared_ptr<Flight> flight,
+               FlightOutcome outcome);
+
+  mutable std::mutex mu_;
+  std::unordered_map<Fingerprint, std::shared_ptr<Flight>, FingerprintHasher>
+      inflight_;
+  Stats stats_;
+
+  friend class Ticket;
+};
+
+/// One request's membership in a flight. Move-only; obtained from Join.
+class SingleFlightTable::Ticket {
+ public:
+  Ticket(Ticket&& other) noexcept
+      : table_(other.table_),
+        key_(other.key_),
+        flight_(std::move(other.flight_)),
+        leader_(other.leader_),
+        published_(other.published_) {
+    other.table_ = nullptr;
+    other.leader_ = false;
+  }
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+  Ticket& operator=(Ticket&&) = delete;
+
+  /// Leaders publish exactly once; an unpublished leader ticket publishes
+  /// a structured failure at destruction (exception/early-return safety).
+  ~Ticket();
+
+  bool leader() const { return leader_; }
+
+  /// Leader only: publishes the outcome, wakes all followers, and retires
+  /// the flight so the next request for the key starts a new generation.
+  void Publish(FlightOutcome outcome);
+
+  /// Follower only: blocks until the leader publishes, then returns the
+  /// shared outcome (never null).
+  std::shared_ptr<const FlightOutcome> Wait();
+
+ private:
+  friend class SingleFlightTable;
+  Ticket(SingleFlightTable* table, const Fingerprint& key,
+         std::shared_ptr<Flight> flight, bool leader)
+      : table_(table), key_(key), flight_(std::move(flight)),
+        leader_(leader) {}
+
+  SingleFlightTable* table_;
+  Fingerprint key_;
+  std::shared_ptr<Flight> flight_;
+  bool leader_ = false;
+  bool published_ = false;
+};
+
+}  // namespace dphyp
+
+#endif  // DPHYP_SERVICE_COALESCE_H_

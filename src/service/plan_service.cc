@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <utility>
 
 #include "cost/model_registry.h"
@@ -38,6 +39,19 @@ std::string ServiceStats::ToString() const {
                3);
   out += " p50_ms=" + Fixed(p50_latency_ms, 3);
   out += " p99_ms=" + Fixed(p99_latency_ms, 3);
+  if (coalesced_hits > 0) {
+    out += " coalesced=" + std::to_string(coalesced_hits);
+  }
+  if (degraded > 0) out += " shed_to_goo=" + std::to_string(degraded);
+  if (rejected > 0) out += " rejected=" + std::to_string(rejected);
+  for (const auto& [tenant, count] : tenant_rejects) {
+    out += " rejects[" + (tenant.empty() ? std::string("default") : tenant) +
+           "]=" + std::to_string(count);
+  }
+  if (peak_queue_depth > 0) {
+    out += " depth=" + std::to_string(queue_depth) +
+           " peak_depth=" + std::to_string(peak_queue_depth);
+  }
   if (deadline_aborts > 0) {
     out += " deadline_aborts=" + std::to_string(deadline_aborts);
   }
@@ -51,7 +65,8 @@ PlanService::PlanService(ServiceOptions options)
     : options_(options),
       cache_(options.cache_byte_budget == 0 ? 1 : options.cache_byte_budget,
              options.cache_shards),
-      cache_enabled_(options.cache_byte_budget > 0) {
+      cache_enabled_(options.cache_byte_budget > 0),
+      admission_(options.admission) {
   int threads = options_.num_threads > 0
                     ? options_.num_threads
                     : static_cast<int>(std::thread::hardware_concurrency());
@@ -92,6 +107,46 @@ ServiceResult PlanService::OptimizeOne(const QuerySpec& spec) {
 
 ServiceResult PlanService::OptimizeOne(const QuerySpec& spec,
                                        std::string_view model_name) {
+  ServiceResult out = OptimizeInternal(spec, model_name, /*degrade=*/false);
+  RecordLifetime(out);
+  return out;
+}
+
+ServiceResult PlanService::Serve(const QueryRequest& request) {
+  ServiceResult out;
+  if (request.spec == nullptr) {
+    out.error = "Serve: null spec";
+    RecordLifetime(out);
+    return out;
+  }
+
+  AdmissionDecision decision = admission_.Admit(request.tenant);
+  if (decision.verdict == AdmissionVerdict::kReject) {
+    out.rejected = true;
+    out.error = decision.reason;
+    out.retry_after_ms = decision.retry_after_ms;
+    {
+      std::lock_guard<std::mutex> lock(lifetime_mu_);
+      ++lifetime_.queries;
+      ++lifetime_.rejected;
+      ++lifetime_.tenant_rejects[request.tenant];
+    }
+    return out;
+  }
+
+  // Admitted (possibly degraded): the slot is held for the request's whole
+  // optimizer-side duration, so the depth gauge measures real in-flight
+  // work, not just queue membership.
+  AdmissionSlot slot(admission_, decision);
+  out = OptimizeInternal(*request.spec, request.model,
+                         decision.verdict == AdmissionVerdict::kDegrade);
+  RecordLifetime(out);
+  return out;
+}
+
+ServiceResult PlanService::OptimizeInternal(const QuerySpec& spec,
+                                            std::string_view model_name,
+                                            bool degrade) {
   Timer timer;
   ServiceResult out;
 
@@ -181,6 +236,35 @@ ServiceResult PlanService::OptimizeOne(const QuerySpec& spec,
     }
   }
 
+  // Single-flight: concurrent misses for one key cost one enumeration. The
+  // first requester leads and optimizes below; the rest block on the
+  // leader's published plan, which goes through the same consistency check
+  // a cache hit does (the key is WL-1, so two different graphs can share
+  // it — a follower whose graph disagrees re-optimizes itself).
+  std::optional<SingleFlightTable::Ticket> ticket;
+  if (cache_enabled_ && options_.coalesce) {
+    ticket.emplace(inflight_.Join(key));
+    if (!ticket->leader()) {
+      std::shared_ptr<const FlightOutcome> shared = ticket->Wait();
+      if (shared->success &&
+          PlanConsistentWithGraph(shared->plan, graph, est)) {
+        out.result = MaterializePlan(shared->plan);
+        out.success = true;
+        out.cost = shared->plan.cost;
+        out.cardinality = shared->plan.cardinality;
+        out.coalesced = true;
+        out.algorithm = shared->plan.stats.algorithm;
+        out.latency_ms = timer.ElapsedMillis();
+        return out;
+      }
+      // Leader failed (or a fingerprint collision made its plan belong to a
+      // different graph): fall through and optimize on this thread without
+      // starting a new flight — failures are deterministic, so a second
+      // generation of followers would only pile onto the same failure.
+      ticket.reset();
+    }
+  }
+
   // Miss path: optimize on a pooled workspace through a deadline-aware
   // session. The session result borrows the workspace's table, so
   // everything that needs it (serialization) happens before the lease is
@@ -194,10 +278,22 @@ ServiceResult PlanService::OptimizeOne(const QuerySpec& spec,
   request.policy = options_.dispatch;
   request.deadline_ms = options_.deadline_ms;
   request.options.parallel_threads = options_.parallel_threads;
+  if (degrade) {
+    // Past the soft watermark the exact-DP routes are what the service can
+    // no longer afford; the polynomial GOO pass is the same escape hatch
+    // the deadline machinery falls back to.
+    request.enumerator = "GOO";
+    out.degraded = true;
+  }
   Result<OptimizeResult> optimized = session.Optimize(request);
   if (!optimized.ok()) {
     out.error = optimized.error().message;
     out.latency_ms = timer.ElapsedMillis();
+    if (ticket) {
+      FlightOutcome failure;
+      failure.error = out.error;
+      ticket->Publish(std::move(failure));
+    }
     return out;
   }
   OptimizeResult& result = optimized.value();
@@ -215,17 +311,59 @@ ServiceResult PlanService::OptimizeOne(const QuerySpec& spec,
     out.result = MaterializePlan(serialized);
     // Deadline-aborted fallback plans are timing-dependent — caching one
     // would pin a heuristic plan for a fingerprint the exact enumerator
-    // usually finishes, and break the cache's "same plan an identical
-    // spec would produce" invariant. Serve it, don't remember it.
-    if (cache_enabled_ && !result.stats.aborted) {
-      cache_.Insert(key, std::move(serialized));
+    // usually finishes — and degraded plans are load-dependent the same
+    // way. Both are still *valid* plans for the graph, so followers get
+    // them (they asked now, under the same deadline/load); the cache does
+    // not (the next uncontended request deserves the exact route). Serve
+    // it, don't remember it.
+    const bool cacheable = !result.stats.aborted && !out.degraded;
+    if (cache_enabled_ && cacheable) {
+      cache_.Insert(key, serialized);
+    }
+    if (ticket) {
+      FlightOutcome outcome;
+      outcome.success = true;
+      outcome.plan = std::move(serialized);
+      outcome.model = out.model;
+      ticket->Publish(std::move(outcome));
     }
   } else {
     out.result = std::move(result);
     out.result.DropTable();  // the borrowed table dies with the lease
+    if (ticket) {
+      FlightOutcome failure;
+      failure.error = out.error;
+      ticket->Publish(std::move(failure));
+    }
   }
   out.latency_ms = timer.ElapsedMillis();
   return out;
+}
+
+void PlanService::RecordLifetime(const ServiceResult& result) {
+  std::lock_guard<std::mutex> lock(lifetime_mu_);
+  ++lifetime_.queries;
+  if (!result.success) ++lifetime_.failures;
+  if (result.cache_hit) ++lifetime_.cache_hits;
+  if (result.coalesced) ++lifetime_.coalesced_hits;
+  if (result.degraded) ++lifetime_.degraded;
+  if (result.success && !result.cache_hit && !result.coalesced) {
+    ++lifetime_.route_counts[result.algorithm];
+    if (result.result.stats.aborted) ++lifetime_.deadline_aborts;
+  }
+}
+
+ServiceStats PlanService::LifetimeStats() const {
+  ServiceStats stats;
+  {
+    std::lock_guard<std::mutex> lock(lifetime_mu_);
+    stats = lifetime_;
+  }
+  AdmissionController::Stats adm = admission_.GetStats();
+  stats.queue_depth = admission_.depth();
+  stats.peak_queue_depth = adm.peak_depth;
+  stats.cache = cache_.GetStats();
+  return stats;
 }
 
 BatchOutcome PlanService::OptimizeBatch(const std::vector<QuerySpec>& specs) {
@@ -266,12 +404,18 @@ BatchOutcome PlanService::OptimizeBatch(const std::vector<QuerySpec>& specs) {
   for (const ServiceResult& r : outcome.results) {
     if (!r.success) ++stats.failures;
     if (r.cache_hit) ++stats.cache_hits;
-    // Only served queries count as routed: a spec that failed hypergraph
-    // construction never reached an enumerator.
-    if (r.success) ++stats.route_counts[r.algorithm];
-    // Only fresh aborts count: a cache hit ran no enumerator (and aborted
-    // plans are not cached anyway — the guard is belt and braces).
-    if (!r.cache_hit && r.result.stats.aborted) ++stats.deadline_aborts;
+    if (r.coalesced) ++stats.coalesced_hits;
+    if (r.degraded) ++stats.degraded;
+    if (r.rejected) ++stats.rejected;
+    // Only fresh optimizations count as routed: a cache or coalesced hit
+    // ran no enumerator here, and a spec that failed hypergraph
+    // construction never reached one.
+    if (r.success && !r.cache_hit && !r.coalesced) {
+      ++stats.route_counts[r.algorithm];
+      // Only fresh aborts count: a cache hit ran no enumerator (and aborted
+      // plans are not cached anyway — the guard is belt and braces).
+      if (r.result.stats.aborted) ++stats.deadline_aborts;
+    }
     latencies.push_back(r.latency_ms);
     stats.max_latency_ms = std::max(stats.max_latency_ms, r.latency_ms);
   }

@@ -1,19 +1,31 @@
 // The plan-serving front end: a fixed thread pool draining a work queue of
-// QuerySpecs through the cache-lookup -> session-optimize -> cache-fill
-// pipeline, returning per-query results plus aggregate service statistics
-// (throughput, cache hit rate, latency percentiles).
+// QuerySpecs through the admission -> cache-lookup -> single-flight ->
+// session-optimize -> cache-fill pipeline, returning per-query results plus
+// aggregate service statistics (throughput, cache hit rate, latency
+// percentiles, coalesced/shed/reject counts).
 //
 // Every stage is deterministic — graph construction, fingerprinting,
 // routing and each enumeration algorithm are pure functions of the spec —
 // so a concurrent batch produces costs bit-identical to a serial run of the
 // same specs, whatever the interleaving; the cache can only substitute a
-// plan that an identical spec would have produced anyway.
+// plan that an identical spec would have produced anyway, and a coalesced
+// follower receives exactly the plan its own enumeration would have built.
 //
 // Steady-state allocation discipline: each in-flight query leases an
 // OptimizerWorkspace from a pool (the pool grows to peak concurrency, then
 // stops allocating), the enumeration runs entirely in the workspace's
 // retained memory, and the served result is rehydrated from the compact
 // serialized plan — so warm-path serving performs no large allocations.
+//
+// Burst traffic (the `Serve` front door, service/admission.h +
+// service/coalesce.h): concurrent requests for the same hot
+// (fingerprint, model, stats_version) key cost ONE enumeration — the first
+// miss leads, the rest coalesce onto the in-flight result; past the soft
+// occupancy watermark fresh requests are downgraded to the GOO fast path;
+// past the hard watermark they are rejected with a structured retry-after
+// error; and a per-tenant token bucket keeps one heavy tenant from
+// starving the pool. bench/loadgen.cc is the open-loop harness that
+// measures all of it.
 #ifndef DPHYP_SERVICE_PLAN_SERVICE_H_
 #define DPHYP_SERVICE_PLAN_SERVICE_H_
 
@@ -32,6 +44,8 @@
 #include "catalog/query_spec.h"
 #include "core/workspace.h"
 #include "cost/feedback.h"
+#include "service/admission.h"
+#include "service/coalesce.h"
 #include "service/dispatch.h"
 #include "service/plan_cache.h"
 
@@ -76,6 +90,27 @@ struct ServiceOptions {
   /// check — for callers that guarantee single-template traffic.
   std::shared_ptr<const CardinalityFeedback> feedback;
   Fingerprint feedback_scope;
+  /// Single-flight coalescing of concurrent cache misses for one
+  /// (fingerprint, model, stats_version) key; on by default (requires the
+  /// cache — with cache_byte_budget == 0 there is no key to coalesce on).
+  bool coalesce = true;
+  /// Admission watermarks and tenant fair-share knobs for the Serve front
+  /// door (service/admission.h). Defaults disable every mechanism; batch
+  /// and OptimizeOne callers bypass admission entirely.
+  AdmissionOptions admission;
+};
+
+/// One request through the burst-traffic front door (PlanService::Serve):
+/// the spec plus the serving context admission needs.
+struct QueryRequest {
+  /// Non-owning; must outlive the call. Traffic loops serve many requests
+  /// from one template pool, so the request does not copy the spec.
+  const QuerySpec* spec = nullptr;
+  /// Cardinality model, by registry name; empty = the service default.
+  std::string model;
+  /// Tenant id for per-tenant fair-share admission; empty = the default
+  /// tenant (still bucketed when tenant isolation is on).
+  std::string tenant;
 };
 
 /// Outcome for one query of a batch.
@@ -85,11 +120,21 @@ struct ServiceResult {
   double cost = 0.0;
   double cardinality = 0.0;
   /// Registry name of the enumerator that produced (or originally
-  /// produced, for cache hits) the served plan.
+  /// produced, for cache/coalesced hits) the served plan.
   std::string algorithm;
   /// Registry name of the cardinality model the plan was estimated under.
   std::string model;
   bool cache_hit = false;
+  /// Served by waiting on another request's in-flight optimization of the
+  /// same key (single-flight coalescing) — exclusive with cache_hit.
+  bool coalesced = false;
+  /// Admitted past the soft watermark: served the GOO fast path instead of
+  /// an exact route.
+  bool degraded = false;
+  /// Refused at admission (hard watermark or tenant bucket): success is
+  /// false, error is structured, and retry_after_ms hints when to retry.
+  bool rejected = false;
+  double retry_after_ms = 0.0;
   double latency_ms = 0.0;
   /// Full optimizer result, rehydrated from the serialized plan (both on
   /// cache hits and fresh optimizations), so it owns its DP table and
@@ -97,12 +142,32 @@ struct ServiceResult {
   OptimizeResult result;
 };
 
-/// Aggregate statistics for one batch.
+/// Aggregate statistics for one batch (OptimizeBatch) or for the service's
+/// lifetime (PlanService::LifetimeStats).
 struct ServiceStats {
   uint64_t queries = 0;
   uint64_t failures = 0;
   uint64_t cache_hits = 0;
-  /// Served queries per enumerator name ("DPhyp", "GOO", ...).
+  /// Requests served by coalescing onto an in-flight optimization instead
+  /// of running their own — the cache-stampede savings, counted separately
+  /// from cache_hits.
+  uint64_t coalesced_hits = 0;
+  /// Requests shed to the GOO fast path past the soft watermark.
+  uint64_t degraded = 0;
+  /// Requests rejected at admission (hard watermark or tenant bucket).
+  uint64_t rejected = 0;
+  /// Rejections broken down by tenant id ("" = default tenant).
+  std::map<std::string, uint64_t> tenant_rejects;
+  /// In-flight occupancy: current gauge at snapshot time and the lifetime
+  /// peak (only meaningful on LifetimeStats snapshots — batches do not go
+  /// through admission).
+  int queue_depth = 0;
+  int peak_queue_depth = 0;
+  /// Fresh enumerator runs per name ("DPhyp", "GOO", ...). Cache hits and
+  /// coalesced hits are NOT counted here — route_counts is the "how many
+  /// optimizations actually ran" ledger, which is what the stampede tests
+  /// assert on; queries = sum(route_counts) + cache_hits + coalesced_hits
+  /// + rejected + failed-before-routing.
   std::map<std::string, uint64_t> route_counts;
   /// Queries whose exact attempt hit the deadline and were served the GOO
   /// fallback.
@@ -136,6 +201,8 @@ class PlanService {
 
   /// Optimizes one spec on the calling thread (cache-integrated, runs on a
   /// pooled workspace) under the service's default cardinality model.
+  /// Bypasses admission control (no shedding, no tenant accounting) but
+  /// participates in single-flight coalescing.
   ServiceResult OptimizeOne(const QuerySpec& spec);
 
   /// Same, under the named cardinality model ("product", "stats",
@@ -144,14 +211,30 @@ class PlanService {
   /// models never serve each other's plans.
   ServiceResult OptimizeOne(const QuerySpec& spec, std::string_view model);
 
+  /// The burst-traffic front door: admission control (watermark shedding,
+  /// per-tenant fair share) followed by the cache/coalesce/optimize
+  /// pipeline, on the calling thread. Rejected requests return
+  /// success=false with rejected=true and a retry_after_ms hint without
+  /// touching the optimizer at all.
+  ServiceResult Serve(const QueryRequest& request);
+
   /// Runs the whole batch across the worker pool and blocks until done.
   /// Safe to call from multiple threads (batches share the queue fairly).
   BatchOutcome OptimizeBatch(const std::vector<QuerySpec>& specs);
 
   PlanCache& cache() { return cache_; }
   WorkspacePool& workspaces() { return workspaces_; }
+  AdmissionController& admission() { return admission_; }
+  SingleFlightTable& inflight() { return inflight_; }
   const ServiceOptions& options() const { return options_; }
   int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Lifetime counters across every OptimizeOne/Serve/OptimizeBatch call:
+  /// queries, hits, coalesced/shed/reject counts, per-tenant rejects, the
+  /// in-flight gauge and its peak, per-enumerator fresh-run counts, and
+  /// the cache snapshot. Latency percentiles are batch-scoped and stay
+  /// zero here.
+  ServiceStats LifetimeStats() const;
 
   /// Current version of the service's statistics catalog (0 without one).
   /// Mixed into every cache key: after a bump, all earlier entries are
@@ -164,10 +247,26 @@ class PlanService {
  private:
   void WorkerLoop();
 
+  /// The shared pipeline behind OptimizeOne and Serve. `degrade` forces
+  /// the GOO fast path on the miss side (soft-watermark shedding);
+  /// degraded plans are served and published to coalesced followers but
+  /// never cached (they would pin a heuristic plan on a key the exact
+  /// routes normally win).
+  ServiceResult OptimizeInternal(const QuerySpec& spec,
+                                 std::string_view model_name, bool degrade);
+
+  /// Folds one finished result into the lifetime counters.
+  void RecordLifetime(const ServiceResult& result);
+
   ServiceOptions options_;
   PlanCache cache_;
   bool cache_enabled_ = true;
   WorkspacePool workspaces_;
+  SingleFlightTable inflight_;
+  AdmissionController admission_;
+
+  mutable std::mutex lifetime_mu_;
+  ServiceStats lifetime_;
 
   std::mutex mu_;
   std::condition_variable work_available_;

@@ -1,6 +1,7 @@
 #include "workload/generators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <vector>
 
@@ -277,6 +278,41 @@ std::vector<QuerySpec> GenerateTrafficMix(int count,
     }
   }
   return traffic;
+}
+
+ZipfSampler::ZipfSampler(int n, double s) {
+  DPHYP_CHECK(n >= 1);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (int k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+int ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();  // in [0, 1)
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int>(it - cdf_.begin());
+}
+
+std::vector<double> PoissonArrivalTimes(int count, double rate_per_sec,
+                                        Rng& rng) {
+  DPHYP_CHECK(rate_per_sec > 0.0);
+  std::vector<double> arrivals;
+  arrivals.reserve(count);
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    // Inverse-CDF exponential gap. 1 - u is in (0, 1], so the log is
+    // finite and the gap nonnegative.
+    const double u = rng.UniformDouble();
+    t += -std::log(1.0 - u) / rate_per_sec;
+    arrivals.push_back(t);
+  }
+  return arrivals;
 }
 
 }  // namespace dphyp

@@ -23,8 +23,10 @@
 #define DPHYP_WORKLOAD_GENERATORS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "catalog/query_spec.h"
+#include "util/rng.h"
 
 namespace dphyp {
 
@@ -103,6 +105,35 @@ struct TrafficMixOptions {
 /// identical traffic, which the service tests rely on.
 std::vector<QuerySpec> GenerateTrafficMix(int count,
                                           const TrafficMixOptions& opts = {});
+
+/// Zipf(s) sampler over ranks 0..n-1 (rank 0 hottest): P(k) proportional to
+/// 1 / (k+1)^s. Inverse-CDF over a precomputed table, so sampling is a
+/// binary search and two samplers with equal (n, s) and equal RNG streams
+/// emit identical rank sequences. s = 0 degenerates to uniform; the usual
+/// skewed-traffic settings are s in [0.9, 1.2], where a few hot templates
+/// carry most of the load — the regime that makes single-flight coalescing
+/// and the plan cache earn their keep.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s);
+
+  /// Draws one rank in [0, n) using the caller's RNG stream.
+  int Sample(Rng& rng) const;
+
+  int n() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); back() == 1.0
+};
+
+/// Open-loop Poisson arrival times: `count` absolute offsets in seconds
+/// from t=0 with exponential inter-arrival gaps at `rate_per_sec`. Open
+/// loop means the schedule ignores service completions — a loadgen that
+/// honors it keeps sending at the target rate even while the service
+/// queues, which is what makes queueing delay visible in the measured
+/// latency (closed-loop generators coordinate omission away).
+std::vector<double> PoissonArrivalTimes(int count, double rate_per_sec,
+                                        Rng& rng);
 
 }  // namespace dphyp
 

@@ -8,6 +8,7 @@
 
 #include "hypergraph/builder.h"
 #include "hypergraph/connectivity.h"
+#include "test_rng.h"
 
 namespace dphyp {
 namespace {
@@ -162,6 +163,50 @@ TEST(Generators, RandomGraphsAreConnectedAndValid) {
     ConnectivityTester t(g);
     EXPECT_TRUE(t.IsConnected(g.AllNodes())) << seed;
   }
+}
+
+// The load harness's popularity distribution: same seed, same draws (the
+// whole open-loop schedule is replayable from one seed), visibly skewed
+// (rank 0 is the mode), every draw in range.
+TEST(Generators, ZipfSamplerIsSeededAndSkewed) {
+  const uint64_t seed = testing_helpers::DerivedSeed(41);
+  SCOPED_TRACE(testing_helpers::SeedTrace(seed));
+  ZipfSampler zipf(24, 1.1);
+  ASSERT_EQ(zipf.n(), 24);
+
+  Rng a(seed), b(seed);
+  std::vector<int> counts(24, 0);
+  for (int i = 0; i < 5000; ++i) {
+    int rank = zipf.Sample(a);
+    ASSERT_GE(rank, 0);
+    ASSERT_LT(rank, 24);
+    EXPECT_EQ(rank, zipf.Sample(b));  // bit-identical replay
+    counts[static_cast<size_t>(rank)]++;
+  }
+  // s = 1.1 over 24 ranks: the hottest template dominates any cold one.
+  EXPECT_GT(counts[0], counts[23] * 4);
+  EXPECT_GT(counts[0], 5000 / 24);  // far above uniform share
+}
+
+// The open-loop arrival schedule: deterministic under a seed, strictly
+// increasing, and long-run rate within loose bounds of the target.
+TEST(Generators, PoissonArrivalsAreSeededAndMatchRate) {
+  const uint64_t seed = testing_helpers::DerivedSeed(42);
+  SCOPED_TRACE(testing_helpers::SeedTrace(seed));
+  Rng a(seed), b(seed);
+  const std::vector<double> times = PoissonArrivalTimes(2000, 100.0, a);
+  ASSERT_EQ(times.size(), 2000u);
+  EXPECT_EQ(times, PoissonArrivalTimes(2000, 100.0, b));
+
+  double prev = 0.0;
+  for (double t : times) {
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  // 2000 arrivals at 100/s take ~20 s of schedule; allow generous slack
+  // (the sample mean of 2000 exponentials is within a few percent whp).
+  EXPECT_GT(times.back(), 15.0);
+  EXPECT_LT(times.back(), 26.0);
 }
 
 TEST(Generators, RandomHypergraphsAreConnectedAndValid) {

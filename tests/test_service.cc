@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 #include <vector>
 
 #include "hypergraph/builder.h"
@@ -540,10 +541,116 @@ TEST(PlanService, StatsAreCoherent) {
   EXPECT_GT(out.stats.queries_per_sec, 0.0);
   EXPECT_LE(out.stats.p50_latency_ms, out.stats.p99_latency_ms);
   EXPECT_LE(out.stats.p99_latency_ms, out.stats.max_latency_ms * 1.0001);
+  // route_counts is the fresh-optimization ledger: every query was either
+  // freshly routed, served from the cache, or coalesced onto an in-flight
+  // optimization. Nothing is counted twice, nothing is dropped.
   uint64_t routed = 0;
   for (const auto& [name, count] : out.stats.route_counts) routed += count;
-  EXPECT_EQ(routed, out.stats.queries);
+  EXPECT_EQ(routed + out.stats.cache_hits + out.stats.coalesced_hits,
+            out.stats.queries);
+  EXPECT_GE(routed, 1u);
   EXPECT_FALSE(out.stats.ToString().empty());
+}
+
+// --- Burst-traffic serving (coalescing + admission via Serve) --------------
+
+// The stampede: 16 threads submit the same hot, uncached fingerprint
+// concurrently, and exactly ONE optimization may run. The leader is started
+// first and its in-flight registration awaited, so the followers
+// deterministically overlap it; every follower is then either a coalesced
+// hit (joined the running flight) or a cache hit (arrived after the
+// publish) — never a second enumeration.
+TEST(PlanService, StampedeRunsExactlyOneOptimization) {
+  SCOPED_TRACE(testing_helpers::SeedTrace(testing_helpers::DerivedSeed(21)));
+  // A clique at the dense-routing boundary: expensive enough (milliseconds
+  // of exact DP) that the flight window is wide, and routed exactly.
+  QuerySpec spec = MakeCliqueQuery(11);
+  ServiceOptions opts;
+  opts.num_threads = 2;
+  PlanService service(opts);
+
+  constexpr int kThreads = 16;
+  std::vector<ServiceResult> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  threads.emplace_back([&] {
+    QueryRequest request;
+    request.spec = &spec;
+    results[0] = service.Serve(request);
+  });
+  // Bounded wait for the leader's flight; if the leader somehow finishes
+  // first, the followers become cache hits and the assertions below still
+  // hold — the test never flakes on scheduling, it only loses coverage.
+  for (int spins = 0; spins < 200000 && service.inflight().InFlight() == 0;
+       ++spins) {
+    std::this_thread::yield();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      QueryRequest request;
+      request.spec = &spec;
+      results[t] = service.Serve(request);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  uint64_t coalesced = 0, cache_hits = 0, fresh = 0;
+  for (const ServiceResult& r : results) {
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(r.cost, results[0].cost);  // identical plan for everyone
+    if (r.coalesced) {
+      ++coalesced;
+    } else if (r.cache_hit) {
+      ++cache_hits;
+    } else {
+      ++fresh;
+    }
+  }
+  EXPECT_EQ(fresh, 1u);
+  EXPECT_EQ(coalesced + cache_hits, static_cast<uint64_t>(kThreads - 1));
+
+  // The service's own ledger agrees: one routed optimization, the rest
+  // split between coalesced and cache hits.
+  ServiceStats stats = service.LifetimeStats();
+  uint64_t routed = 0;
+  for (const auto& [name, count] : stats.route_counts) routed += count;
+  EXPECT_EQ(routed, 1u);
+  EXPECT_EQ(stats.coalesced_hits, coalesced);
+  EXPECT_EQ(stats.cache_hits, cache_hits);
+  EXPECT_EQ(service.inflight().GetStats().flights, 1u);
+}
+
+// A coalesced follower must receive the full materialized plan, not just
+// numbers: the rehydrated result supports plan extraction and validation
+// exactly like a fresh optimization's.
+TEST(PlanService, CoalescedResultIsMaterialized) {
+  QuerySpec spec = MakeCliqueQuery(10);
+  ServiceOptions opts;
+  opts.num_threads = 2;
+  PlanService service(opts);
+
+  ServiceResult leader_result;
+  std::thread leader([&] {
+    QueryRequest request;
+    request.spec = &spec;
+    leader_result = service.Serve(request);
+  });
+  for (int spins = 0; spins < 200000 && service.inflight().InFlight() == 0;
+       ++spins) {
+    std::this_thread::yield();
+  }
+  QueryRequest request;
+  request.spec = &spec;
+  ServiceResult follower_result = service.Serve(request);
+  leader.join();
+
+  ASSERT_TRUE(leader_result.success) << leader_result.error;
+  ASSERT_TRUE(follower_result.success) << follower_result.error;
+  EXPECT_EQ(follower_result.cost, leader_result.cost);
+  // Whichever way the follower was served, its plan must extract cleanly.
+  Hypergraph graph = BuildHypergraphOrDie(spec);
+  PlanTree plan = follower_result.result.ExtractPlan(graph);
+  EXPECT_TRUE(ValidatePlanTree(graph, plan).ok());
 }
 
 }  // namespace
