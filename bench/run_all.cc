@@ -34,14 +34,23 @@
 //                               record's cost ratio vs GOO exceeds this
 //                               percent (100 = must match-or-beat GOO);
 //                               0 disables (default)
+//   DPHYP_BENCH_JOB_TABLES / _ROWS / _QUERIES  jobgen pool shape (defaults
+//                               6 tables x ~96 rows, 10 queries; every plan
+//                               is executed, so row counts scale execution
+//                               cost exponentially in join depth)
+//   DPHYP_BENCH_REQUIRE_HIST_RATIO  exit non-zero unless the hist model's
+//                               pooled median q-error on the jobgen
+//                               workload is at most this percent of the
+//                               stats model's (50 = half); 0 disables
+//                               (default)
 //
 // Output schema (BENCH_dphyp.json):
-//   schema_version  int, currently 5
+//   schema_version  int, currently 6
 //   config          the knob values the run used
 //   results[]       one record per (figure, shape, params, algorithm):
 //     figure        "fig5" | "fig6" | "fig7" | "fig8a" | "fig8b"
 //                   | "service" | "pruning_fig6" | "estimation"
-//                   | "deadline" | "parallel" | "frontier"
+//                   | "deadline" | "parallel" | "frontier" | "jobgen"
 //     shape         workload family ("cycle-hyper", "star", ...)
 //     algorithm     enumeration algorithm (or service config name)
 //     pruned        whether branch-and-bound pruning was on
@@ -60,6 +69,13 @@
 //   frontier records (schema v4: idp-k/anneal on past-frontier shapes)
 //   carry cost_ratio_vs_goo (the quality floor, <= 1.0 by construction)
 //   and, on exact-feasible shapes, cost_ratio_vs_exact
+//   jobgen records (schema v6: the JOB-style skewed/correlated generated
+//   workload, workload/jobgen.h) — one per cardinality model — carry
+//   q_median/q_max pooled over every graded plan class of every query and
+//   plan_regret_vs_oracle (median C_out of the model's served plans under
+//   executed actuals divided by the oracle plan's, 1.0 = oracle-quality
+//   join orders); the summary field jobgen_hist_vs_stats_q_ratio is the
+//   acceptance metric (hist's pooled median / stats', bar <= 0.5)
 //   load records (schema v5: the open-loop burst-traffic harness,
 //   bench/load_harness.h) — one "stampede" record (concurrent clients on
 //   one hot fingerprint: optimizations must be exactly 1, the rest split
@@ -73,6 +89,7 @@
 //   docs/benchmarks.md)
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -89,7 +106,9 @@
 #include "reorder/ses_tes.h"
 #include "service/plan_service.h"
 #include "service/session.h"
+#include "stats/hist_model.h"
 #include "workload/generators.h"
+#include "workload/jobgen.h"
 #include "workload/optree_gen.h"
 
 using namespace dphyp;
@@ -601,6 +620,149 @@ double RunEstimation() {
   return stats_overhead;
 }
 
+/// Appends the smoothed q-error of every graded inner class of `node`'s
+/// subtree (estimate from the plan, actual from the feedback store).
+void PoolPlanQErrors(const PlanTreeNode* node,
+                     const CardinalityFeedback& actuals,
+                     std::vector<double>* qs) {
+  if (node == nullptr || node->IsLeaf()) return;
+  PoolPlanQErrors(node->left, actuals, qs);
+  PoolPlanQErrors(node->right, actuals, qs);
+  double actual = 0.0;
+  if (actuals.Lookup(node->set, &actual)) {
+    qs->push_back(QError(node->cardinality, actual));
+  }
+}
+
+/// C_out of a plan under the observed actuals: the sum of every inner
+/// class's executed row count — the cost the plan really incurred,
+/// independent of what any model estimated. Clears *complete when an
+/// inner class has no observation.
+double PlanCoutUnderActuals(const PlanTreeNode* node,
+                            const CardinalityFeedback& actuals,
+                            bool* complete) {
+  if (node == nullptr || node->IsLeaf()) return 0.0;
+  double sum = PlanCoutUnderActuals(node->left, actuals, complete) +
+               PlanCoutUnderActuals(node->right, actuals, complete);
+  double actual = 0.0;
+  if (!actuals.Lookup(node->set, &actual)) {
+    *complete = false;
+    return sum;
+  }
+  return sum + actual;
+}
+
+double MedianOf(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+/// The JOB-style generated workload (workload/jobgen.h): Zipf-skewed join
+/// keys, correlated predicate pairs, range filters — the estimation
+/// pathologies the histogram/MCV statistics exist for. Every model
+/// optimizes every query; each served plan is executed against the real
+/// tables, graded per class, and costed under the actuals against the
+/// oracle plan (plan regret). One record per model pools q-errors and
+/// regrets across the whole workload. Returns hist's pooled median
+/// q-error divided by stats' (the acceptance ratio; the bar is <= 0.5),
+/// or 0 when stats' median is 0.
+double RunJobGen() {
+  std::printf("== jobgen: JOB-style skewed/correlated workload ==\n");
+  JobGenOptions opts;
+  opts.num_tables = EnvInt("DPHYP_BENCH_JOB_TABLES", opts.num_tables);
+  opts.rows_per_table = EnvInt("DPHYP_BENCH_JOB_ROWS", opts.rows_per_table);
+  opts.num_queries = EnvInt("DPHYP_BENCH_JOB_QUERIES", opts.num_queries);
+  JobWorkload w = GenerateJobWorkload(opts);
+
+  const char* kModels[] = {"product", "stats", "hist", "oracle"};
+  std::map<std::string, std::vector<double>> pooled_q;
+  std::map<std::string, std::vector<double>> regrets;
+
+  for (size_t qi = 0; qi < w.queries.size(); ++qi) {
+    const QuerySpec& spec = w.queries[qi].spec;
+    Hypergraph g = BuildHypergraphOrDie(spec);
+    CardinalityFeedback actuals;
+    Dataset data = DatasetForJobQuery(w, static_cast<int>(qi));
+    Executor exec(data, g, spec.relations, ConjunctsFromSpec(spec, g),
+                  &actuals);
+
+    CardinalityEstimator product(g);
+    StatsCardinalityModel stats(g, spec);  // naive catalog via spec binding
+    HistogramCardinalityModel hist(g, spec, w.full_catalog.get());
+
+    auto serve = [&](const CardinalityModel& m) {
+      OptimizeResult r =
+          EnumeratorOrDie("DPhyp").Optimize(g, m, DefaultCostModel());
+      if (!r.success) {
+        std::fprintf(stderr, "bench: jobgen optimize failed (query %zu)\n",
+                     qi);
+        std::exit(1);
+      }
+      PlanTree plan = r.ExtractPlan(g);
+      exec.Execute(plan);
+      return plan;
+    };
+
+    PlanTree plans[4];
+    plans[0] = serve(product);
+    plans[1] = serve(stats);
+    plans[2] = serve(hist);
+    // The oracle re-optimizes under its own observations until its plan's
+    // classes are all observed (same stabilization as RunEstimation).
+    OracleCardinalityModel oracle(g, actuals);
+    for (int round = 0; round < 3; ++round) plans[3] = serve(oracle);
+
+    double top_actual = 0.0;
+    actuals.Lookup(g.AllNodes(), &top_actual);
+    std::printf("  q%02zu relations=%d result=%.0f\n", qi, spec.NumRelations(),
+                top_actual);
+
+    bool oracle_complete = true;
+    const double oracle_cout =
+        PlanCoutUnderActuals(plans[3].root(), actuals, &oracle_complete);
+    for (int m = 0; m < 4; ++m) {
+      PoolPlanQErrors(plans[m].root(), actuals, &pooled_q[kModels[m]]);
+      bool complete = oracle_complete;
+      const double cout =
+          PlanCoutUnderActuals(plans[m].root(), actuals, &complete);
+      if (complete && oracle_cout > 0.0) {
+        regrets[kModels[m]].push_back(cout / oracle_cout);
+      }
+    }
+  }
+
+  double stats_median = 0.0, hist_median = 0.0;
+  for (const char* name : kModels) {
+    const std::vector<double>& qs = pooled_q[name];
+    const std::vector<double>& rg = regrets[name];
+    const double q_median = MedianOf(qs);
+    const double q_max =
+        qs.empty() ? 0.0 : *std::max_element(qs.begin(), qs.end());
+    const double regret_median = MedianOf(rg);
+    const double regret_max =
+        rg.empty() ? 0.0 : *std::max_element(rg.begin(), rg.end());
+    if (std::string(name) == "stats") stats_median = q_median;
+    if (std::string(name) == "hist") hist_median = q_median;
+    OpenRecord("jobgen", "zipf-correlated");
+    json.Field("algorithm", "DPhyp");
+    json.Field("model", name);
+    json.Field("queries", static_cast<int>(w.queries.size()));
+    json.Field("tables", opts.num_tables);
+    json.Field("graded_classes", static_cast<uint64_t>(qs.size()));
+    json.Field("q_median", q_median);
+    json.Field("q_max", q_max);
+    json.Field("plan_regret_vs_oracle", regret_median);
+    json.Field("plan_regret_max", regret_max);
+    json.EndObject();
+    std::printf(
+        "  %-8s q_median %8.2f  q_max %10.2f  regret %6.3fx  (max "
+        "%6.3fx)\n",
+        name, q_median, q_max, regret_median, regret_max);
+  }
+  return stats_median > 0.0 ? hist_median / stats_median : 0.0;
+}
+
 /// Burst-traffic serving: the open-loop load harness against the Serve
 /// front door. One stampede record (the coalescing acceptance check:
 /// concurrent clients on one hot fingerprint, exactly one optimization)
@@ -819,7 +981,7 @@ int main(int argc, char** argv) {
       EnvInt("DPHYP_BENCH_REQUIRE_SPEEDUP", 0);
 
   json.BeginObject();
-  json.Field("schema_version", 5);
+  json.Field("schema_version", 6);
   json.Field("suite", "dphyp-paper-figures");
   json.Key("config");
   json.BeginObject();
@@ -869,6 +1031,19 @@ int main(int argc, char** argv) {
                      : " (advisory: gate disabled)");
     if (EnvInt("DPHYP_BENCH_REQUIRE_ESTIMATION", 0) != 0) return 1;
   }
+  // Histogram-model payoff on the skewed/correlated jobgen workload. The
+  // gate (percent: 50 means hist's pooled median q-error must be at most
+  // half of stats') guards the distribution statistics in CI; 0 disables.
+  const double jobgen_ratio = RunJobGen();
+  const int require_hist_pct = EnvInt("DPHYP_BENCH_REQUIRE_HIST_RATIO", 0);
+  if (require_hist_pct > 0 &&
+      jobgen_ratio * 100.0 > static_cast<double>(require_hist_pct)) {
+    std::fprintf(stderr,
+                 "bench: hist/stats jobgen q-error ratio %.4f exceeds "
+                 "allowed %.4f\n",
+                 jobgen_ratio, require_hist_pct / 100.0);
+    return 1;
+  }
   // Beyond-exact plan quality. The gate (percent: 100 means the new
   // enumerators must match or beat GOO) is the CI guard for the quality
   // floor; 0 disables it.
@@ -893,6 +1068,7 @@ int main(int argc, char** argv) {
   json.Field("stats_model_overhead_vs_product", stats_overhead);
   json.Field("parallel_clique_speedup_8threads", par_speedup);
   json.Field("frontier_worst_cost_ratio_vs_goo", frontier_ratio);
+  json.Field("jobgen_hist_vs_stats_q_ratio", jobgen_ratio);
   json.Field("load_sustained_qps_at_slo", sustained_qps);
   json.EndObject();
 

@@ -5,7 +5,7 @@
 // Usage:
 //   qdl_tool <file.qdl> [--algo=<name>] [--model=<name>] [--cost=cout|hash]
 //            [--deadline-ms=<n>] [--threads=<n>] [--seed=<n>]
-//            [--idp-window=<k>] [--explain] [--execute]
+//            [--idp-window=<k>] [--explain] [--execute] [--analyze]
 //            [--rows=<n>] [--quiet]
 //   qdl_tool --demo            # runs a built-in sample query
 //   qdl_tool --list-algos      # prints the registered enumerators
@@ -31,6 +31,12 @@
 // --explain prints the chosen plan with per-class estimated cardinality;
 // with --execute it also prints estimated-vs-actual rows and the q-error
 // per class, plus the plan's q-error summary.
+// --analyze closes the full feedback loop in one invocation: execute the
+// query once (product-model plan), fold the observed cardinalities and a
+// reservoir-sampled histogram/MCV build into a fresh catalog
+// (stats/analyze.h), then re-optimize under every registered cardinality
+// model twice — against the original catalog and against the analyzed one
+// — and print the before/after q-error per model.
 // --stats serves the query through a PlanService (the burst-traffic Serve
 // front door: cache, single-flight coalescing, admission) instead of a
 // bare session, then dumps the service's lifetime counters — cache and
@@ -49,6 +55,7 @@
 #include "service/dispatch.h"
 #include "service/plan_service.h"
 #include "service/session.h"
+#include "stats/analyze.h"
 #include "util/timer.h"
 #include "workload/qdl.h"
 
@@ -113,6 +120,7 @@ int main(int argc, char** argv) {
   bool demo = false;
   bool explain = false;
   bool execute = false;
+  bool analyze = false;
   bool stats_mode = false;
   std::string tenant;
   for (int i = 1; i < argc; ++i) {
@@ -161,6 +169,9 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--execute") {
       execute = true;
+    } else if (arg == "--analyze") {
+      analyze = true;
+      execute = true;  // the ANALYZE pass samples executed data
     } else if (arg == "--stats") {
       stats_mode = true;
     } else if (arg.rfind("--tenant=", 0) == 0) {
@@ -183,7 +194,8 @@ int main(int argc, char** argv) {
           "usage: qdl_tool <file.qdl> [--algo=<name>] [--model=<name>]\n"
           "                [--cost=cout|hash] [--deadline-ms=<n>]\n"
           "                [--threads=<n>] [--seed=<n>] [--idp-window=<k>]\n"
-          "                [--explain] [--execute] [--rows=<n>] [--quiet]\n"
+          "                [--explain] [--execute] [--analyze] [--rows=<n>]\n"
+          "                [--quiet]\n"
           "                [--stats] [--tenant=<id>]\n"
           "       qdl_tool --demo | --list-algos | --list-models\n");
       return 0;
@@ -290,6 +302,64 @@ int main(int argc, char** argv) {
     *out = session.Optimize(request);
     return "";
   };
+
+  if (analyze) {
+    // Pass 1: one execution under the product model fills the feedback
+    // store with observed per-class cardinalities.
+    Result<OptimizeResult> seeded = Err("unset");
+    std::string seed_err = optimize("product", &seeded);
+    if (!seed_err.empty()) return Fail(seed_err);
+    if (!seeded.ok()) return Fail(seeded.error().message);
+    if (!seeded.value().success) return Fail(seeded.value().error);
+    ExecResult executed = exec.Execute(seeded.value().ExtractPlan(g));
+
+    // Pass 2: ANALYZE into a fresh catalog — observed row counts plus
+    // reservoir-sampled histograms and MCV lists. The original catalog
+    // (if any) stays untouched so "before" is reproducible.
+    auto analyzed = std::make_shared<Catalog>();
+    AnalyzeOptions aopts;
+    int tables = AnalyzeFromExecution(actuals, spec, data, aopts,
+                                      analyzed.get());
+    std::printf("executed once:    %zu tuples; %zu plan classes observed\n",
+                executed.tuples.size(), actuals.size());
+    std::printf("analyzed:         %d relations (histograms <= %d buckets, "
+                "<= %d MCVs, sample %d)\n",
+                tables, aopts.histogram_buckets, aopts.max_mcvs,
+                aopts.sample_size);
+
+    // Pass 3: every registered model, before (original catalog) and after
+    // (analyzed catalog). Each model's plan is executed so its classes
+    // have actuals to grade against.
+    const Catalog* original = inputs.catalog;
+    auto grade = [&](const std::string& model_to_grade,
+                     const Catalog* catalog, QErrorStats* out) -> std::string {
+      inputs.catalog = catalog;
+      Result<OptimizeResult> r = Err("unset");
+      std::string e = optimize(model_to_grade, &r);
+      inputs.catalog = original;
+      if (!e.empty()) return e;
+      if (!r.ok()) return r.error().message;
+      if (!r.value().success) return r.value().error;
+      exec.Execute(r.value().ExtractPlan(g));
+      *out = session.ReportQError(r.value(), g, actuals);
+      return "";
+    };
+    std::printf("\n%-10s %-26s %-26s\n", "model", "q-error before (med/max)",
+                "q-error after (med/max)");
+    for (const std::string& name :
+         CardinalityModelRegistry::Global().Names()) {
+      QErrorStats before, after;
+      std::string e = grade(name, original, &before);
+      if (e.empty()) e = grade(name, analyzed.get(), &after);
+      if (!e.empty()) {
+        std::printf("%-10s %s\n", name.c_str(), e.c_str());
+        continue;
+      }
+      std::printf("%-10s %8.3f / %-15.3f %8.3f / %-15.3f\n", name.c_str(),
+                  before.median_q, before.max_q, after.median_q, after.max_q);
+    }
+    return 0;
+  }
 
   // The oracle needs actuals before it can estimate: run a product-form
   // pass first, execute its plan to fill the feedback store, then

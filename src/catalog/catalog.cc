@@ -1,8 +1,18 @@
 #include "catalog/catalog.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace dphyp {
+
+namespace {
+std::pair<std::string, std::string> PairKey(std::string_view a,
+                                            std::string_view b) {
+  std::string x(a), y(b);
+  if (y < x) std::swap(x, y);
+  return {std::move(x), std::move(y)};
+}
+}  // namespace
 
 int Catalog::IndexOfLocked(std::string_view name) const {
   for (size_t i = 0; i < tables_.size(); ++i) {
@@ -67,9 +77,25 @@ bool Catalog::SetColumnStats(std::string_view name, int column,
   if (column >= static_cast<int>(table.columns.size())) {
     table.columns.resize(column + 1);
   }
-  table.columns[column] = stats;
+  table.columns[column] = std::move(stats);
   version_.fetch_add(1, std::memory_order_acq_rel);
   return true;
+}
+
+void Catalog::SetTablePairCorrelation(std::string_view table_a,
+                                      std::string_view table_b,
+                                      double correlation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pair_correlations_[PairKey(table_a, table_b)] =
+      std::clamp(correlation, 0.0, 1.0);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+double Catalog::TablePairCorrelation(std::string_view table_a,
+                                     std::string_view table_b) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pair_correlations_.find(PairKey(table_a, table_b));
+  return it == pair_correlations_.end() ? 0.0 : it->second;
 }
 
 }  // namespace dphyp

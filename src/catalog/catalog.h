@@ -19,11 +19,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "stats/histogram.h"
 
 namespace dphyp {
 
@@ -36,6 +40,17 @@ struct ColumnStats {
   /// Value bounds; both zero when unknown.
   double min_value = 0.0;
   double max_value = 0.0;
+  /// Most-common values with exact fractions; empty when not analyzed.
+  /// Built by stats/analyze.h, consumed by stats/selectivity.h the way
+  /// selfuncs.c's eqjoinsel consumes the MCV slots.
+  McvList mcvs;
+  /// Equi-depth histogram over the non-MCV values; empty when not
+  /// analyzed or when the MCV list already covers the whole column.
+  Histogram histogram;
+
+  bool HasDistribution() const {
+    return !mcvs.Empty() || !histogram.Empty();
+  }
 };
 
 /// Statistics for one base table.
@@ -78,6 +93,20 @@ class Catalog {
   /// needed); false when the table is unknown. Bumps the stats version.
   bool SetColumnStats(std::string_view name, int column, ColumnStats stats);
 
+  /// Records that join predicates between `table_a` and `table_b` are
+  /// correlated: `correlation` in [0, 1], where 0 keeps the independence
+  /// assumption and 1 means additional predicates between the pair add no
+  /// selectivity. Symmetric in the table names. Bumps the stats version.
+  /// This is the coarse-grained stand-in for extended/multi-column
+  /// statistics: correlation-aware models damp the product of per-edge
+  /// selectivities for the pair (see stats/hist_model.cc).
+  void SetTablePairCorrelation(std::string_view table_a,
+                               std::string_view table_b, double correlation);
+
+  /// The recorded correlation for the pair, or 0 (independent) when none.
+  double TablePairCorrelation(std::string_view table_a,
+                              std::string_view table_b) const;
+
   /// Monotone counter bumped by every mutation. Plan caches mix it into
   /// their keys, so a bump invalidates every plan estimated before it.
   uint64_t stats_version() const {
@@ -93,6 +122,8 @@ class Catalog {
 
   mutable std::mutex mu_;
   std::vector<TableStats> tables_;
+  /// Keyed by the name pair in sorted order so lookups are symmetric.
+  std::map<std::pair<std::string, std::string>, double> pair_correlations_;
   std::atomic<uint64_t> version_{1};
 };
 

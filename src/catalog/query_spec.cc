@@ -65,6 +65,14 @@ Result<bool> QuerySpec::Validate() const {
     if (r.free_tables.Contains(i)) {
       return Err("relation " + r.name + " lists itself as a free table");
     }
+    for (const ColumnRange& f : r.filters) {
+      if (f.column < 0 || f.column >= r.num_columns) {
+        return Err("relation " + r.name + " filter references unknown column");
+      }
+      if (f.hi < f.lo) {
+        return Err("relation " + r.name + " has an empty filter range");
+      }
+    }
   }
   for (size_t i = 0; i < predicates.size(); ++i) {
     const Predicate& p = predicates[i];
@@ -91,6 +99,9 @@ Result<bool> QuerySpec::Validate() const {
       }
     }
     if (p.modulus < 1) return Err(tag + " has modulus < 1");
+    if (p.kind == PredicateKind::kEq && !p.refs.empty() && p.refs.size() < 2) {
+      return Err(tag + " is an equality over fewer than two columns");
+    }
   }
   return true;
 }
@@ -101,6 +112,7 @@ void QuerySpec::FillDefaultPayloads() {
     for (int t : p.AllTables()) {
       p.refs.push_back(ColumnRef{t, 0});
     }
+    if (p.kind == PredicateKind::kEq) continue;  // modulus unused
     // A sum-mod-k predicate over independently uniform columns matches about
     // 1/k of combinations; pick k ~= 1/selectivity.
     double inv = 1.0 / std::max(1e-6, p.selectivity);

@@ -28,6 +28,27 @@ struct ColumnRef {
   bool operator==(const ColumnRef&) const = default;
 };
 
+/// How a predicate's executable payload is evaluated.
+enum class PredicateKind {
+  /// The sum of the referenced columns is divisible by `modulus` — the
+  /// original synthetic payload, good for dialing in a selectivity.
+  kSumMod,
+  /// All referenced columns are equal — a real equi-join, the shape
+  /// histogram/MCV selectivity estimation targets (stats/selectivity.h).
+  kEq,
+};
+
+/// An inclusive single-column range filter `lo <= R.c <= hi` applied when
+/// the relation's leaf is scanned. Base-table filters are what histogram
+/// interpolation estimates; they also skew effective leaf cardinalities
+/// away from raw row counts, which only distribution-aware models see.
+struct ColumnRange {
+  int column = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  bool operator==(const ColumnRange&) const = default;
+};
+
 /// One base relation or table-valued function.
 struct RelationInfo {
   std::string name;
@@ -50,6 +71,10 @@ struct RelationInfo {
   /// plus columns of the bound free tables) is divisible by `corr_modulus`.
   std::vector<ColumnRef> corr_refs;
   int64_t corr_modulus = 1;
+  /// Scan-time range filters on this relation's own columns. `cardinality`
+  /// stays the unfiltered row count; models estimate the filters' effect
+  /// (uniformly from min/max, or via histograms when analyzed).
+  std::vector<ColumnRange> filters;
 };
 
 /// One join predicate. `left`/`right`/`flex` partition the referenced tables
@@ -68,9 +93,12 @@ struct Predicate {
   bool derive_selectivity = false;
   /// Operator this predicate belongs to. Plain inner joins use kJoin.
   OpType op = OpType::kJoin;
-  /// Executable payload: the predicate holds iff the sum of the referenced
-  /// column values is divisible by `modulus` (NULL in any input -> false,
-  /// which makes every predicate "strong" in the sense of Sec. 5.2).
+  /// Executable payload. For kSumMod the predicate holds iff the sum of
+  /// the referenced column values is divisible by `modulus`; for kEq it
+  /// holds iff all referenced values are equal (`modulus` is ignored).
+  /// Either way NULL in any input -> false, which makes every predicate
+  /// "strong" in the sense of Sec. 5.2.
+  PredicateKind kind = PredicateKind::kSumMod;
   std::vector<ColumnRef> refs;
   int64_t modulus = 2;
 

@@ -5,6 +5,7 @@
 
 #include "cost/oracle_model.h"
 #include "cost/stats_model.h"
+#include "stats/hist_model.h"
 
 namespace dphyp {
 
@@ -48,6 +49,20 @@ class StatsFactory : public CardinalityModelFactory {
   }
 };
 
+class HistFactory : public CardinalityModelFactory {
+ public:
+  const char* Name() const override { return "hist"; }
+  Result<std::unique_ptr<CardinalityModel>> Create(
+      const CardinalityModelInputs& inputs) const override {
+    if (inputs.graph == nullptr || inputs.spec == nullptr) {
+      return Err("model 'hist' requires a hypergraph and its QuerySpec");
+    }
+    return std::unique_ptr<CardinalityModel>(
+        std::make_unique<HistogramCardinalityModel>(
+            *inputs.graph, *inputs.spec, inputs.catalog));
+  }
+};
+
 class OracleFactory : public CardinalityModelFactory {
  public:
   const char* Name() const override { return "oracle"; }
@@ -77,6 +92,7 @@ struct CardinalityModelRegistry::Impl {
 CardinalityModelRegistry::CardinalityModelRegistry() : impl_(new Impl) {
   impl_->entries.push_back(std::make_unique<ProductFactory>());
   impl_->entries.push_back(std::make_unique<StatsFactory>());
+  impl_->entries.push_back(std::make_unique<HistFactory>());
   impl_->entries.push_back(std::make_unique<OracleFactory>());
 }
 

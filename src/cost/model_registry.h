@@ -27,9 +27,9 @@ namespace dphyp {
 inline constexpr const char* kDefaultCardinalityModel = "product";
 
 /// Everything a model factory may bind to. `graph` is mandatory; the rest
-/// is per-model: "stats" wants `spec` (and a catalog — explicit here or
-/// bound to the spec), "oracle" requires `feedback`. All referenced objects
-/// must outlive the created model.
+/// is per-model: "stats" and "hist" want `spec` (and a catalog — explicit
+/// here or bound to the spec), "oracle" requires `feedback`. All referenced
+/// objects must outlive the created model.
 struct CardinalityModelInputs {
   const Hypergraph* graph = nullptr;
   const QuerySpec* spec = nullptr;
@@ -52,8 +52,8 @@ class CardinalityModelFactory {
       const CardinalityModelInputs& inputs) const = 0;
 };
 
-/// Thread-safe global registry with the three built-ins ("product",
-/// "stats", "oracle") pre-registered.
+/// Thread-safe global registry with the four built-ins ("product",
+/// "stats", "hist", "oracle") pre-registered.
 class CardinalityModelRegistry {
  public:
   static CardinalityModelRegistry& Global();

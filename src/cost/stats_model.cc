@@ -3,26 +3,14 @@
 #include <algorithm>
 #include <vector>
 
+#include "stats/selectivity.h"
+
 namespace dphyp {
 
 namespace {
 
 const Catalog* EffectiveCatalog(const QuerySpec& spec, const Catalog* catalog) {
   return catalog != nullptr ? catalog : spec.catalog.get();
-}
-
-/// Catalog lookup for one relation: O(1) through the table_id BindCatalog
-/// resolved; name scan only for unbound specs handed an explicit catalog.
-std::optional<TableStats> RelationStats(const QuerySpec& spec, int rel,
-                                        const Catalog* catalog) {
-  if (catalog == nullptr || rel >= spec.NumRelations()) return std::nullopt;
-  const RelationInfo& info = spec.relations[rel];
-  // The table_id shortcut is only valid against the catalog it was
-  // resolved for (the spec's bound one).
-  if (info.table_id >= 0 && catalog == spec.catalog.get()) {
-    return catalog->TableAt(info.table_id);
-  }
-  return catalog->FindTable(info.name);
 }
 
 std::vector<double> StatsBaseCards(const Hypergraph& graph,
@@ -32,10 +20,16 @@ std::vector<double> StatsBaseCards(const Hypergraph& graph,
   base.reserve(graph.NumNodes());
   for (int i = 0; i < graph.NumNodes(); ++i) {
     double card = graph.node(i).cardinality;
-    if (auto stats = RelationStats(spec, i, catalog);
-        stats.has_value() && stats->row_count > 0.0) {
+    if (auto stats = CatalogRelationStats(spec, i, catalog);
+        stats.has_value()) {
+      // A catalog entry is authoritative even when it says "empty" — an
+      // ANALYZEd zero-row table must not fall back to the spec's guess.
       card = stats->row_count;
     }
+    // Degenerate-stats guard: an empty or mis-analyzed table (row count 0,
+    // negative, or NaN) must not zero out or poison every product-form
+    // estimate above it — clamp to one row.
+    if (!(card >= 1.0)) card = 1.0;
     base.push_back(card);
   }
   return base;
@@ -61,16 +55,33 @@ std::vector<double> StatsEdgeSelectivities(const Hypergraph& graph,
 
 }  // namespace
 
+std::optional<TableStats> CatalogRelationStats(const QuerySpec& spec, int rel,
+                                               const Catalog* catalog) {
+  if (catalog == nullptr || rel >= spec.NumRelations()) return std::nullopt;
+  const RelationInfo& info = spec.relations[rel];
+  // The table_id shortcut is only valid against the catalog it was
+  // resolved for (the spec's bound one).
+  if (info.table_id >= 0 && catalog == spec.catalog.get()) {
+    return catalog->TableAt(info.table_id);
+  }
+  return catalog->FindTable(info.name);
+}
+
 double StatsDerivedSelectivity(const Predicate& pred, const QuerySpec& spec,
                                const Catalog* catalog) {
   if (!pred.derive_selectivity || catalog == nullptr) return pred.selectivity;
   double max_ndv = 0.0;
   auto consider = [&](int table, int column) {
     if (table < 0) return;
-    std::optional<TableStats> stats = RelationStats(spec, table, catalog);
+    std::optional<TableStats> stats = CatalogRelationStats(spec, table, catalog);
     if (!stats.has_value()) return;
     if (column >= 0 && column < static_cast<int>(stats->columns.size())) {
-      max_ndv = std::max(max_ndv, stats->columns[column].distinct_count);
+      const double raw = stats->columns[column].distinct_count;
+      if (raw <= 0.0) return;  // unknown ndv: no evidence from this column
+      // Degenerate-stats guard: a stale or sampled ndv can exceed the row
+      // count (or dip below one); clamp into [1, rows] before it drives
+      // the 1/max(ndv) rule.
+      max_ndv = std::max(max_ndv, EffectiveNdv(raw, stats->row_count));
     }
   };
   if (!pred.refs.empty()) {
@@ -81,7 +92,7 @@ double StatsDerivedSelectivity(const Predicate& pred, const QuerySpec& spec,
     for (int t : pred.AllTables()) consider(t, 0);
   }
   if (max_ndv <= 0.0) return pred.selectivity;  // no usable stats
-  return std::min(1.0, 1.0 / max_ndv);
+  return std::clamp(1.0 / max_ndv, kMinSelectivity, 1.0);
 }
 
 StatsCardinalityModel::StatsCardinalityModel(const Hypergraph& graph,

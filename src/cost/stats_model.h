@@ -11,7 +11,10 @@
 //     fallback both reduce to; explicit selectivities always win.
 // Anything the catalog cannot answer falls back to the spec's values, so
 // the model degrades gracefully to the product-form default on unbound
-// specs.
+// specs. Degenerate statistics are clamped rather than trusted: base
+// cardinalities stay >= 1 (empty tables), distinct counts are clamped to
+// [1, row_count] (see EffectiveNdv in stats/selectivity.h), and derived
+// selectivities stay within [kMinSelectivity, 1].
 #ifndef DPHYP_COST_STATS_MODEL_H_
 #define DPHYP_COST_STATS_MODEL_H_
 
@@ -49,6 +52,12 @@ class StatsCardinalityModel : public CardinalityEstimator {
 /// column has a known distinct count. Clamped to (0, 1].
 double StatsDerivedSelectivity(const Predicate& pred, const QuerySpec& spec,
                                const Catalog* catalog);
+
+/// Catalog lookup for one relation of `spec`: O(1) through the table_id
+/// BindCatalog resolved (valid only against the spec's own catalog); name
+/// scan otherwise. Shared with the histogram model (stats/hist_model.h).
+std::optional<TableStats> CatalogRelationStats(const QuerySpec& spec, int rel,
+                                               const Catalog* catalog);
 
 }  // namespace dphyp
 

@@ -14,7 +14,7 @@ EdgeConjuncts ConjunctsFromSpec(const QuerySpec& spec, const Hypergraph& graph) 
     const Predicate& p = spec.predicates[pred];
     DPHYP_CHECK_MSG(!p.refs.empty(),
                     "predicate has no payload; call FillDefaultPayloads");
-    out[e].push_back(ExecPredicate{p.refs, p.modulus});
+    out[e].push_back(ExecPredicate{p.refs, p.modulus, p.kind});
   }
   return out;
 }
@@ -80,6 +80,20 @@ bool LookupValue(const Dataset& dataset, const ColumnRef& ref,
 bool EvalConjunct(const Dataset& dataset, const ExecPredicate& pred,
                   const ExecTuple& left, const ExecTuple& right,
                   const ExecTuple& context) {
+  if (pred.kind == PredicateKind::kEq) {
+    int64_t first = 0;
+    bool have_first = false;
+    for (const ColumnRef& ref : pred.refs) {
+      int64_t value = 0;
+      if (!LookupValue(dataset, ref, left, right, context, &value)) {
+        return false;
+      }
+      if (have_first && value != first) return false;
+      first = value;
+      have_first = true;
+    }
+    return true;
+  }
   int64_t sum = 0;
   for (const ColumnRef& ref : pred.refs) {
     int64_t value = 0;
@@ -157,6 +171,15 @@ std::vector<ExecTuple> Executor::EvaluateLeaf(const PlanTreeNode* node,
   const ExecRelation& table = dataset_.table(rel);
   std::vector<ExecTuple> out;
   for (int row = 0; row < table.NumRows(); ++row) {
+    bool filtered = false;
+    for (const ColumnRange& f : info.filters) {
+      const int64_t v = table.Value(row, f.column);
+      if (v < f.lo || v > f.hi) {
+        filtered = true;
+        break;
+      }
+    }
+    if (filtered) continue;
     if (!info.free_tables.Empty()) {
       // Lateral leaf: apply the correlation predicate against the context.
       int64_t sum = 0;

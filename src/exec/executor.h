@@ -30,10 +30,11 @@
 
 namespace dphyp {
 
-/// One executable conjunct.
+/// One executable conjunct (sum-mod or all-equal; see PredicateKind).
 struct ExecPredicate {
   std::vector<ColumnRef> refs;
   int64_t modulus = 1;
+  PredicateKind kind = PredicateKind::kSumMod;
 };
 
 /// Conjunct lists per hypergraph edge id. Plan operators evaluate the union

@@ -1,0 +1,80 @@
+#include "stats/analyze.h"
+
+#include <algorithm>
+#include <set>
+
+#include "stats/histogram.h"
+
+namespace dphyp {
+
+std::vector<int64_t> ReservoirSample(const std::vector<int64_t>& values,
+                                     int sample_size, Rng& rng) {
+  if (sample_size <= 0) return {};
+  if (static_cast<int>(values.size()) <= sample_size) return values;
+  // Algorithm R: fill the reservoir, then replace with decreasing
+  // probability. Deterministic under the caller's rng.
+  std::vector<int64_t> reservoir(values.begin(),
+                                 values.begin() + sample_size);
+  for (size_t i = sample_size; i < values.size(); ++i) {
+    const uint64_t j = rng.Uniform(i + 1);
+    if (j < static_cast<uint64_t>(sample_size)) {
+      reservoir[j] = values[i];
+    }
+  }
+  return reservoir;
+}
+
+ColumnStats BuildColumnStats(const std::vector<int64_t>& sample,
+                             const AnalyzeOptions& opts) {
+  ColumnStats stats;
+  if (sample.empty()) return stats;
+  std::set<int64_t> distinct(sample.begin(), sample.end());
+  stats.distinct_count = static_cast<double>(distinct.size());
+  stats.min_value = static_cast<double>(*distinct.begin());
+  stats.max_value = static_cast<double>(*distinct.rbegin());
+  ColumnDistribution dist =
+      BuildColumnDistribution(sample, opts.histogram_buckets, opts.max_mcvs);
+  stats.mcvs = std::move(dist.mcvs);
+  stats.histogram = std::move(dist.histogram);
+  return stats;
+}
+
+int AnalyzeDataset(const Dataset& dataset,
+                   const std::vector<RelationInfo>& relations,
+                   const AnalyzeOptions& opts, Catalog* catalog) {
+  if (catalog == nullptr) return 0;
+  Rng rng(opts.seed);
+  int analyzed = 0;
+  const int tables =
+      std::min(dataset.NumTables(), static_cast<int>(relations.size()));
+  for (int t = 0; t < tables; ++t) {
+    const ExecRelation& table = dataset.table(t);
+    const RelationInfo& info = relations[t];
+    if (catalog->IndexOf(info.name) < 0) {
+      catalog->AddTable(TableStats{info.name, 0.0, {}});
+    }
+    catalog->SetRowCount(info.name, static_cast<double>(table.NumRows()));
+    for (int c = 0; c < table.num_columns; ++c) {
+      std::vector<int64_t> column;
+      column.reserve(table.rows.size());
+      for (const std::vector<int64_t>& row : table.rows) {
+        column.push_back(row[c]);
+      }
+      std::vector<int64_t> sample =
+          ReservoirSample(column, opts.sample_size, rng);
+      catalog->SetColumnStats(info.name, c, BuildColumnStats(sample, opts));
+    }
+    ++analyzed;
+  }
+  return analyzed;
+}
+
+int AnalyzeFromExecution(const CardinalityFeedback& feedback,
+                         const QuerySpec& spec, const Dataset& dataset,
+                         const AnalyzeOptions& opts, Catalog* catalog) {
+  if (catalog == nullptr) return 0;
+  ApplyFeedbackToCatalog(feedback, spec, catalog);
+  return AnalyzeDataset(dataset, spec.relations, opts, catalog);
+}
+
+}  // namespace dphyp

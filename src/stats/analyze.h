@@ -1,0 +1,69 @@
+// The ANALYZE pass: builds full column statistics (ndv, bounds, MCVs,
+// equi-depth histograms) from executed data and stores them in the
+// versioned Catalog, where the "hist" model reads them back.
+//
+// Two entry points:
+//   * AnalyzeDataset samples every column of every relation (reservoir
+//     sampling, so huge tables cost O(sample_size) memory) and refreshes
+//     the catalog — the standalone ANALYZE.
+//   * AnalyzeFromExecution is the feedback-loop variant: it first folds an
+//     Executor-filled CardinalityFeedback store into the catalog's row
+//     counts (ApplyFeedbackToCatalog), then samples the same dataset the
+//     execution ran against for the distributions. This is the path
+//     qdl_tool --analyze and the jobgen bench exercise: run once, analyze,
+//     re-estimate.
+// Every stored table bumps the catalog's stats_version, so plans cached
+// under pre-ANALYZE statistics are invalidated automatically.
+#ifndef DPHYP_STATS_ANALYZE_H_
+#define DPHYP_STATS_ANALYZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/query_spec.h"
+#include "cost/feedback.h"
+#include "exec/dataset.h"
+#include "util/rng.h"
+
+namespace dphyp {
+
+struct AnalyzeOptions {
+  /// Reservoir size per column; the whole column is used when it is
+  /// smaller than this.
+  int sample_size = 1024;
+  int histogram_buckets = 16;
+  int max_mcvs = 16;
+  /// Seed for the reservoir's replacement decisions (deterministic).
+  uint64_t seed = 0x5eedu;
+};
+
+/// Reservoir-samples `values` down to `opts.sample_size` (deterministic
+/// under `rng`); the building block AnalyzeDataset applies per column.
+std::vector<int64_t> ReservoirSample(const std::vector<int64_t>& values,
+                                     int sample_size, Rng& rng);
+
+/// Builds ColumnStats (ndv, min/max, MCVs, histogram) from one column
+/// sample. MCV/histogram fractions are sample-relative, which estimation
+/// treats as population fractions — the standard sampling assumption.
+ColumnStats BuildColumnStats(const std::vector<int64_t>& sample,
+                             const AnalyzeOptions& opts);
+
+/// Samples every column of every table in `dataset` and stores row counts
+/// plus full ColumnStats into `catalog` under the relations' names
+/// (registering tables that are missing). Returns the number of tables
+/// analyzed.
+int AnalyzeDataset(const Dataset& dataset,
+                   const std::vector<RelationInfo>& relations,
+                   const AnalyzeOptions& opts, Catalog* catalog);
+
+/// The feedback-loop ANALYZE: folds observed class cardinalities into row
+/// counts first (cost/feedback.h), then refreshes the distributions from
+/// `dataset`. Returns the number of tables analyzed.
+int AnalyzeFromExecution(const CardinalityFeedback& feedback,
+                         const QuerySpec& spec, const Dataset& dataset,
+                         const AnalyzeOptions& opts, Catalog* catalog);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_STATS_ANALYZE_H_

@@ -1,0 +1,164 @@
+#include "stats/hist_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "cost/stats_model.h"
+#include "stats/selectivity.h"
+
+namespace dphyp {
+
+namespace {
+
+const Catalog* EffectiveCatalog(const QuerySpec& spec, const Catalog* catalog) {
+  return catalog != nullptr ? catalog : spec.catalog.get();
+}
+
+/// Column stats for `ref` when the catalog actually has an entry for that
+/// column; nullopt otherwise (so callers can fall back rather than consume
+/// default-constructed zeros).
+std::optional<ColumnStats> LookupColumn(const QuerySpec& spec,
+                                        const ColumnRef& ref,
+                                        const Catalog* catalog,
+                                        double* row_count) {
+  std::optional<TableStats> table = CatalogRelationStats(spec, ref.table, catalog);
+  if (!table.has_value()) return std::nullopt;
+  if (row_count != nullptr) *row_count = table->row_count;
+  if (ref.column < 0 || ref.column >= static_cast<int>(table->columns.size())) {
+    return std::nullopt;
+  }
+  return table->columns[ref.column];
+}
+
+std::vector<double> HistBaseCards(const Hypergraph& graph,
+                                  const QuerySpec& spec,
+                                  const Catalog* catalog) {
+  std::vector<double> base;
+  base.reserve(graph.NumNodes());
+  for (int i = 0; i < graph.NumNodes(); ++i) {
+    double card = graph.node(i).cardinality;
+    if (auto stats = CatalogRelationStats(spec, i, catalog);
+        stats.has_value()) {
+      card = stats->row_count;  // authoritative even at zero, as in "stats"
+    }
+    if (!(card >= 1.0)) card = 1.0;  // empty-table guard, as in "stats"
+    base.push_back(card * HistFilterSelectivity(spec, i, catalog));
+  }
+  return base;
+}
+
+std::vector<double> HistEdgeSelectivities(const Hypergraph& graph,
+                                          const QuerySpec& spec,
+                                          const Catalog* catalog) {
+  std::vector<double> sels;
+  sels.reserve(graph.NumEdges());
+  for (int i = 0; i < graph.NumEdges(); ++i) {
+    const Hyperedge& e = graph.edge(i);
+    double sel = e.selectivity;
+    if (e.predicate_id >= 0 &&
+        e.predicate_id < static_cast<int>(spec.predicates.size())) {
+      sel = HistDerivedSelectivity(spec.predicates[e.predicate_id], spec,
+                                   catalog);
+    }
+    sels.push_back(sel);
+  }
+  if (catalog == nullptr) return sels;
+
+  // Correlation damping. Group simple edges by their unordered table pair;
+  // for a pair the catalog marks correlated, keep the most selective edge
+  // at full strength and raise the others to s^(1-c) — at c=1 the extra
+  // predicates add nothing, at c=0 this is a no-op. Ordered containers and
+  // index tie-breaks keep the result deterministic, and because the
+  // adjustment happens here (before factors are frozen) the model is still
+  // a pure per-edge product — join-order independence is untouched.
+  std::map<std::pair<int, int>, std::vector<int>> pair_edges;
+  for (int i = 0; i < graph.NumEdges(); ++i) {
+    const Hyperedge& e = graph.edge(i);
+    if (e.predicate_id < 0) continue;
+    if (!e.left.IsSingleton() || !e.right.IsSingleton()) continue;
+    int a = e.left.Min();
+    int b = e.right.Min();
+    if (a > b) std::swap(a, b);
+    pair_edges[{a, b}].push_back(i);
+  }
+  for (const auto& [pair, edges] : pair_edges) {
+    if (edges.size() < 2) continue;
+    const double c = catalog->TablePairCorrelation(
+        spec.relations[pair.first].name, spec.relations[pair.second].name);
+    if (c <= 0.0) continue;
+    int keeper = edges.front();
+    for (int e : edges) {
+      if (sels[e] < sels[keeper]) keeper = e;
+    }
+    for (int e : edges) {
+      if (e == keeper) continue;
+      sels[e] = std::min(1.0, std::pow(sels[e], 1.0 - c));
+    }
+  }
+  return sels;
+}
+
+}  // namespace
+
+double HistFilterSelectivity(const QuerySpec& spec, int rel,
+                             const Catalog* catalog) {
+  if (rel < 0 || rel >= spec.NumRelations()) return 1.0;
+  const RelationInfo& info = spec.relations[rel];
+  if (info.filters.empty()) return 1.0;
+  double sel = 1.0;
+  for (const ColumnRange& f : info.filters) {
+    std::optional<ColumnStats> stats =
+        LookupColumn(spec, ColumnRef{rel, f.column}, catalog, nullptr);
+    // Unknown column: RangeSelectivity's no-bounds default still applies.
+    sel *= RangeSelectivity(stats.value_or(ColumnStats{}),
+                            static_cast<double>(f.lo),
+                            static_cast<double>(f.hi));
+  }
+  return std::max(sel, kMinSelectivity);
+}
+
+double HistDerivedSelectivity(const Predicate& pred, const QuerySpec& spec,
+                              const Catalog* catalog) {
+  if (!pred.derive_selectivity || catalog == nullptr) return pred.selectivity;
+  if (pred.kind == PredicateKind::kEq && pred.refs.size() == 2) {
+    double rows_a = 0.0;
+    double rows_b = 0.0;
+    std::optional<ColumnStats> a =
+        LookupColumn(spec, pred.refs[0], catalog, &rows_a);
+    std::optional<ColumnStats> b =
+        LookupColumn(spec, pred.refs[1], catalog, &rows_b);
+    if (a.has_value() && b.has_value() &&
+        (a->distinct_count > 0.0 || a->HasDistribution()) &&
+        (b->distinct_count > 0.0 || b->HasDistribution())) {
+      return EqJoinSelectivity(*a, rows_a, *b, rows_b);
+    }
+  }
+  return StatsDerivedSelectivity(pred, spec, catalog);
+}
+
+HistogramCardinalityModel::HistogramCardinalityModel(const Hypergraph& graph,
+                                                     const QuerySpec& spec,
+                                                     const Catalog* catalog)
+    : CardinalityEstimator(
+          graph, HistBaseCards(graph, spec, EffectiveCatalog(spec, catalog)),
+          HistEdgeSelectivities(graph, spec, EffectiveCatalog(spec, catalog))),
+      spec_(&spec),
+      catalog_(EffectiveCatalog(spec, catalog)) {
+  if (catalog_ != nullptr) catalog_version_ = catalog_->stats_version();
+}
+
+uint64_t HistogramCardinalityModel::Fingerprint() const {
+  uint64_t h = HashModelName("hist");
+  h ^= catalog_version_ * 0x9E3779B97F4A7C15ull;
+  return h;
+}
+
+double HistogramCardinalityModel::DeriveSelectivity(
+    const Predicate& pred) const {
+  return HistDerivedSelectivity(pred, *spec_, catalog_);
+}
+
+}  // namespace dphyp

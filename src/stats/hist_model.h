@@ -1,0 +1,67 @@
+// The distribution-aware cardinality model ("hist").
+//
+// Same product-form machinery as "stats" — base cardinalities and one
+// multiplicative factor per edge, so EstimateClass stays a pure function
+// of the plan class and every exact enumerator agrees bit-for-bit — but
+// the inputs use the full column distributions the Analyze pass stores in
+// the catalog (stats/analyze.h):
+//   * base cardinalities are catalog row counts scaled by the estimated
+//     selectivity of the relation's scan-time range filters (histogram
+//     interpolation; uniform min/max fallback),
+//   * an equality predicate without an explicit selectivity uses the
+//     MCV x MCV eqjoinsel match (stats/selectivity.h) instead of the
+//     1/max(ndv) independence rule — the difference that matters on
+//     skewed (Zipf) join keys,
+//   * when the catalog records a correlation for a table pair joined by
+//     several predicates, the redundant predicates' selectivities are
+//     damped (s -> s^(1-c)), so correlated predicate pairs stop
+//     double-counting. The damping is folded into the per-edge factors at
+//     construction, preserving join-order independence.
+// Everything the catalog cannot answer falls back to the "stats"
+// derivation, which itself falls back to spec values.
+#ifndef DPHYP_STATS_HIST_MODEL_H_
+#define DPHYP_STATS_HIST_MODEL_H_
+
+#include "catalog/catalog.h"
+#include "catalog/query_spec.h"
+#include "cost/cardinality.h"
+
+namespace dphyp {
+
+class HistogramCardinalityModel : public CardinalityEstimator {
+ public:
+  /// `catalog` may be null, in which case the spec's bound catalog is
+  /// used; with neither, the model degrades to the product-form default.
+  /// The catalog must outlive the model.
+  HistogramCardinalityModel(const Hypergraph& graph, const QuerySpec& spec,
+                            const Catalog* catalog = nullptr);
+
+  const char* name() const override { return "hist"; }
+
+  /// Mixes the catalog's stats_version (snapshotted at construction) into
+  /// the model digest, exactly like "stats": an ANALYZE re-keys every
+  /// cached plan.
+  uint64_t Fingerprint() const override;
+
+  double DeriveSelectivity(const Predicate& pred) const override;
+
+ private:
+  const QuerySpec* spec_;
+  const Catalog* catalog_;  // may be null
+  uint64_t catalog_version_ = 0;
+};
+
+/// The per-predicate derivation backing the model (pre-correlation):
+/// eqjoinsel for derived two-column equality predicates with catalog
+/// column stats, StatsDerivedSelectivity otherwise.
+double HistDerivedSelectivity(const Predicate& pred, const QuerySpec& spec,
+                              const Catalog* catalog);
+
+/// Estimated selectivity of one relation's scan-time range filters under
+/// `catalog` stats (1.0 when it has none).
+double HistFilterSelectivity(const QuerySpec& spec, int rel,
+                             const Catalog* catalog);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_STATS_HIST_MODEL_H_

@@ -1,0 +1,128 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <utility>
+
+namespace dphyp {
+
+double Histogram::FractionAtOrBelow(double value) const {
+  if (Empty()) return 0.0;
+  if (value < static_cast<double>(bounds.front())) return 0.0;
+  if (value >= static_cast<double>(bounds.back())) return 1.0;
+  double below = 0.0;
+  for (int i = 0; i < NumBuckets(); ++i) {
+    const double lo = static_cast<double>(bounds[i]);
+    const double hi = static_cast<double>(bounds[i + 1]);
+    if (value >= hi) {
+      below += fractions[i];
+      continue;
+    }
+    // value lies inside [lo, hi): linear interpolation within the bucket.
+    // Degenerate buckets (lo == hi) were skipped by the >= hi test above.
+    if (hi > lo) below += fractions[i] * (value - lo) / (hi - lo);
+    break;
+  }
+  return std::min(1.0, below);
+}
+
+double Histogram::FractionInRange(double lo, double hi) const {
+  if (Empty() || hi < lo) return 0.0;
+  // [lo, hi] inclusive over integer-valued data: take the open point just
+  // below lo so a probe exactly on a bucket boundary keeps that value.
+  const double above_lo = FractionAtOrBelow(lo - 1.0);
+  const double at_or_below_hi = FractionAtOrBelow(hi);
+  return std::max(0.0, at_or_below_hi - above_lo);
+}
+
+double McvList::TotalFraction() const {
+  double total = 0.0;
+  for (const McvEntry& e : entries) total += e.fraction;
+  return std::min(1.0, total);
+}
+
+double McvList::FractionOf(int64_t value) const {
+  for (const McvEntry& e : entries) {
+    if (e.value == value) return e.fraction;
+  }
+  return 0.0;
+}
+
+double McvList::FractionInRange(double lo, double hi) const {
+  double total = 0.0;
+  for (const McvEntry& e : entries) {
+    const double v = static_cast<double>(e.value);
+    if (v >= lo && v <= hi) total += e.fraction;
+  }
+  return std::min(1.0, total);
+}
+
+Histogram BuildEquiDepthHistogram(std::vector<int64_t> values,
+                                  int num_buckets) {
+  Histogram h;
+  if (values.empty() || num_buckets <= 0) return h;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  const size_t buckets = std::min<size_t>(num_buckets, n);
+  h.bounds.reserve(buckets + 1);
+  h.fractions.reserve(buckets);
+  h.bounds.push_back(values.front());
+  size_t start = 0;
+  for (size_t b = 0; b < buckets; ++b) {
+    // Equal-frequency split: bucket b ends at the rounded (b+1)/buckets
+    // quantile. Heavy values can make consecutive boundaries equal; the
+    // zero-width bucket still carries its mass (a spike the interpolation
+    // code treats as a step).
+    size_t end = (b + 1) * n / buckets;
+    if (end <= start) end = start + 1;
+    if (b + 1 == buckets) end = n;
+    h.bounds.push_back(values[end - 1]);
+    h.fractions.push_back(static_cast<double>(end - start) /
+                          static_cast<double>(n));
+    start = end;
+  }
+  return h;
+}
+
+McvList BuildMcvList(const std::vector<int64_t>& values, int max_entries) {
+  McvList list;
+  if (values.empty() || max_entries <= 0) return list;
+  std::map<int64_t, size_t> counts;
+  for (int64_t v : values) ++counts[v];
+  const double n = static_cast<double>(values.size());
+  // Values seen once are not evidence of commonness — leave them to the
+  // histogram. (With a complete frequency table of <= max_entries distinct
+  // values we could keep everything, but the >= 2 cut keeps sampled and
+  // exhaustive builds consistent.)
+  std::vector<McvEntry> candidates;
+  for (const auto& [value, count] : counts) {
+    if (count < 2) continue;
+    candidates.push_back({value, static_cast<double>(count) / n});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const McvEntry& a, const McvEntry& b) {
+              if (a.fraction != b.fraction) return a.fraction > b.fraction;
+              return a.value < b.value;
+            });
+  if (static_cast<int>(candidates.size()) > max_entries) {
+    candidates.resize(max_entries);
+  }
+  list.entries = std::move(candidates);
+  return list;
+}
+
+ColumnDistribution BuildColumnDistribution(const std::vector<int64_t>& values,
+                                           int num_buckets, int max_mcvs) {
+  ColumnDistribution dist;
+  dist.mcvs = BuildMcvList(values, max_mcvs);
+  std::vector<int64_t> rest;
+  rest.reserve(values.size());
+  for (int64_t v : values) {
+    if (dist.mcvs.FractionOf(v) == 0.0) rest.push_back(v);
+  }
+  dist.histogram = BuildEquiDepthHistogram(std::move(rest), num_buckets);
+  return dist;
+}
+
+}  // namespace dphyp

@@ -1,0 +1,95 @@
+// Equi-depth histograms and most-common-value lists: the per-column
+// distribution summaries that lift the catalog beyond row counts + ndv.
+// These are the two pg_statistic slot kinds PostgreSQL's selfuncs.c
+// consumes (STATISTIC_KIND_HISTOGRAM / STATISTIC_KIND_MCV), and the same
+// split Hyrise's attribute statistics make: frequent values are listed
+// exactly, the remainder is summarized by equal-frequency buckets.
+//
+// Convention (PostgreSQL's): the histogram describes the distribution of
+// the *non-MCV* values only. A column whose MCV list covers every row
+// therefore carries an empty histogram, and selectivity code must weight
+// histogram fractions by the non-MCV mass (1 - McvList::TotalFraction()).
+//
+// These types are deliberately catalog-agnostic (plain data, no locking)
+// so catalog.h can embed them in ColumnStats.
+#ifndef DPHYP_STATS_HISTOGRAM_H_
+#define DPHYP_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dphyp {
+
+/// An equi-depth (equal-frequency) histogram over int64 column values.
+/// `bounds` holds num_buckets + 1 ascending bucket boundaries; bucket i
+/// covers [bounds[i], bounds[i+1]] and holds `fractions[i]` of the
+/// summarized mass (fractions sum to ~1). Buckets share boundaries when
+/// a single value exceeds one bucket's depth.
+struct Histogram {
+  std::vector<int64_t> bounds;
+  std::vector<double> fractions;
+
+  bool Empty() const { return fractions.empty(); }
+  int NumBuckets() const { return static_cast<int>(fractions.size()); }
+
+  /// Fraction of the summarized mass at or below `value`, with linear
+  /// interpolation inside the containing bucket (scalarineqsel-style).
+  /// Out-of-range probes clamp to 0 / 1.
+  double FractionAtOrBelow(double value) const;
+
+  /// Fraction of the summarized mass inside the inclusive range
+  /// [lo, hi]; 0 when the range misses the histogram entirely.
+  double FractionInRange(double lo, double hi) const;
+};
+
+/// One most-common value with its fraction of the *whole* column
+/// (including NULL-free totality; we model NULL-free columns only).
+struct McvEntry {
+  int64_t value = 0;
+  double fraction = 0.0;
+};
+
+/// Most-common-value list, ordered by descending fraction (ties broken
+/// by ascending value so builds are deterministic).
+struct McvList {
+  std::vector<McvEntry> entries;
+
+  bool Empty() const { return entries.empty(); }
+  int Size() const { return static_cast<int>(entries.size()); }
+
+  /// Total column fraction the listed values cover; 1.0 means the MCV
+  /// list is a complete frequency table and the histogram is empty.
+  double TotalFraction() const;
+
+  /// Fraction of `value`, or 0 when it is not listed.
+  double FractionOf(int64_t value) const;
+
+  /// Total fraction of listed values inside the inclusive [lo, hi].
+  double FractionInRange(double lo, double hi) const;
+};
+
+/// Builds an equi-depth histogram with up to `num_buckets` buckets over
+/// `values` (need not be sorted; empty input yields an empty histogram).
+Histogram BuildEquiDepthHistogram(std::vector<int64_t> values,
+                                  int num_buckets);
+
+/// Builds an MCV list from `values`: keeps values occurring at least
+/// twice, top `max_entries` by frequency. Returns an empty list for
+/// all-distinct input (every value is equally "common" — the histogram
+/// carries the distribution instead).
+McvList BuildMcvList(const std::vector<int64_t>& values, int max_entries);
+
+/// Splits a column sample the way ANALYZE does: MCVs first, then an
+/// equi-depth histogram over the values *not* absorbed by the MCV list.
+/// Either part may come back empty (all-distinct -> no MCVs;
+/// single-value or fully-covered -> no histogram).
+struct ColumnDistribution {
+  McvList mcvs;
+  Histogram histogram;
+};
+ColumnDistribution BuildColumnDistribution(const std::vector<int64_t>& values,
+                                           int num_buckets, int max_mcvs);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_STATS_HISTOGRAM_H_

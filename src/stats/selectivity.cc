@@ -1,0 +1,92 @@
+#include "stats/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dphyp {
+
+namespace {
+
+double ClampSelectivity(double s) {
+  if (!(s > kMinSelectivity)) return kMinSelectivity;  // also catches NaN
+  return std::min(1.0, s);
+}
+
+}  // namespace
+
+double EffectiveNdv(double distinct_count, double row_count) {
+  double ndv = distinct_count;
+  if (!(ndv >= 1.0)) ndv = 1.0;
+  if (row_count >= 1.0 && ndv > row_count) ndv = row_count;
+  return ndv;
+}
+
+double EqJoinSelectivity(const ColumnStats& a, double rows_a,
+                         const ColumnStats& b, double rows_b) {
+  const double nd1 = EffectiveNdv(a.distinct_count, rows_a);
+  const double nd2 = EffectiveNdv(b.distinct_count, rows_b);
+  if (a.mcvs.Empty() && b.mcvs.Empty()) {
+    return ClampSelectivity(1.0 / std::max(nd1, nd2));
+  }
+
+  // eqjoinsel with both (possibly empty) MCV lists. matchprodfreq sums the
+  // exact contribution of values common to both lists; matchfreq1/2 is the
+  // listed mass that found a partner.
+  double matchprodfreq = 0.0;
+  double matchfreq1 = 0.0;
+  double matchfreq2 = 0.0;
+  for (const McvEntry& e1 : a.mcvs.entries) {
+    const double f2 = b.mcvs.FractionOf(e1.value);
+    if (f2 > 0.0) {
+      matchprodfreq += e1.fraction * f2;
+      matchfreq1 += e1.fraction;
+      matchfreq2 += f2;
+    }
+  }
+  const double totalfreq1 = a.mcvs.TotalFraction();
+  const double totalfreq2 = b.mcvs.TotalFraction();
+  const double unmatchfreq1 = std::max(0.0, totalfreq1 - matchfreq1);
+  const double unmatchfreq2 = std::max(0.0, totalfreq2 - matchfreq2);
+  const double otherfreq1 = std::max(0.0, 1.0 - totalfreq1);
+  const double otherfreq2 = std::max(0.0, 1.0 - totalfreq2);
+
+  // Distinct values not in each MCV list, spreading the non-MCV mass.
+  const double otherdistinct1 =
+      std::max(1.0, nd1 - static_cast<double>(a.mcvs.Size()));
+  const double otherdistinct2 =
+      std::max(1.0, nd2 - static_cast<double>(b.mcvs.Size()));
+
+  // Unmatched MCVs of one side can only pair with the other side's
+  // non-MCV values; non-MCV x non-MCV pairs under independence over the
+  // larger residual ndv. This mirrors selfuncs.c's uncertain-term split.
+  double sel = matchprodfreq;
+  sel += unmatchfreq1 * otherfreq2 / otherdistinct2;
+  sel += unmatchfreq2 * otherfreq1 / otherdistinct1;
+  sel += otherfreq1 * otherfreq2 / std::max(otherdistinct1, otherdistinct2);
+  return ClampSelectivity(sel);
+}
+
+double RangeSelectivity(const ColumnStats& stats, double lo, double hi) {
+  if (hi < lo) return kMinSelectivity;
+  if (stats.HasDistribution()) {
+    const double mcv_mass = stats.mcvs.FractionInRange(lo, hi);
+    const double other_mass = std::max(0.0, 1.0 - stats.mcvs.TotalFraction());
+    const double hist_mass =
+        stats.histogram.Empty() ? 0.0 : stats.histogram.FractionInRange(lo, hi);
+    return ClampSelectivity(mcv_mass + other_mass * hist_mass);
+  }
+  // No distribution: uniform interpolation over [min, max] when bounds are
+  // known, inclusive of both endpoints (integer-valued data).
+  const double width = stats.max_value - stats.min_value;
+  if (stats.min_value != 0.0 || stats.max_value != 0.0) {
+    const double clo = std::max(lo, stats.min_value);
+    const double chi = std::min(hi, stats.max_value);
+    if (chi < clo) return kMinSelectivity;
+    return ClampSelectivity((chi - clo + 1.0) / (width + 1.0));
+  }
+  // Bounds unknown too: a fixed default, matching the spirit of
+  // DEFAULT_RANGE_INEQ_SEL.
+  return ClampSelectivity(1.0 / 3.0);
+}
+
+}  // namespace dphyp

@@ -1,0 +1,42 @@
+// Distribution-aware selectivity functions over ColumnStats, following
+// the recipes in PostgreSQL's selfuncs.c:
+//
+//  - EqJoinSelectivity is eqjoinsel's MCV x MCV match: the join fraction
+//    contributed by values listed on both sides is summed exactly, and
+//    the unmatched mass on each side is paired with the other side's
+//    non-MCV mass under a residual-ndv independence assumption. With no
+//    MCVs on either side it degrades to the classic 1/max(ndv).
+//
+//  - RangeSelectivity is scalarineqsel's shape: exact MCV mass inside the
+//    range plus the histogram's interpolated fraction weighted by the
+//    non-MCV mass, with a uniform min/max interpolation fallback when
+//    the column has bounds but no distribution.
+//
+// All results are clamped to [kMinSelectivity, 1] so degenerate stats
+// (ndv <= 0, ndv > rows, empty tables) can never zero out or invert an
+// estimate — the same guard StatsCardinalityModel applies.
+#ifndef DPHYP_STATS_SELECTIVITY_H_
+#define DPHYP_STATS_SELECTIVITY_H_
+
+#include "catalog/catalog.h"
+
+namespace dphyp {
+
+/// Floor for derived selectivities: estimates stay positive so plan costs
+/// stay finite and comparable even under degenerate statistics.
+inline constexpr double kMinSelectivity = 1e-9;
+
+/// Distinct count clamped to [1, max(row_count, 1)]; `row_count <= 0`
+/// (unknown or empty table) clamps only the lower bound.
+double EffectiveNdv(double distinct_count, double row_count);
+
+/// Selectivity of `a.col = b.col` as a fraction of |A| x |B|.
+double EqJoinSelectivity(const ColumnStats& a, double rows_a,
+                         const ColumnStats& b, double rows_b);
+
+/// Selectivity of `lo <= col <= hi` (inclusive) against one column.
+double RangeSelectivity(const ColumnStats& stats, double lo, double hi);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_STATS_SELECTIVITY_H_

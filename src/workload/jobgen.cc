@@ -1,0 +1,151 @@
+#include "workload/jobgen.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "stats/analyze.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+
+namespace {
+
+/// The shared column-1 derivation: a fixed bijection of the join key (the
+/// domain is even, 7 is odd, so *7+3 mod domain permutes it). Because every
+/// table applies the same function, `a.c0 = b.c0` implies `a.c1 = b.c1` —
+/// the fully correlated predicate pair.
+int64_t CorrelatedValue(int64_t key, int64_t domain) {
+  return (key * 7 + 3) % domain;
+}
+
+}  // namespace
+
+JobWorkload GenerateJobWorkload(const JobGenOptions& opts) {
+  DPHYP_CHECK(opts.num_tables >= 2 && opts.rows_per_table >= 4 &&
+              opts.domain >= 4);
+  JobWorkload w;
+  w.options = opts;
+  Rng rng(opts.seed);
+  ZipfSampler zipf(static_cast<int>(opts.domain), opts.zipf_s);
+
+  // ---- Table pool: Zipf join key, correlated companion, uniform filter.
+  std::vector<RelationInfo> pool_infos;
+  for (int t = 0; t < opts.num_tables; ++t) {
+    ExecRelation rel;
+    rel.num_columns = 3;
+    // Vary sizes so join orders actually matter.
+    const int rows = opts.rows_per_table / 2 +
+                     static_cast<int>(rng.Uniform(opts.rows_per_table));
+    rel.rows.reserve(rows);
+    for (int r = 0; r < rows; ++r) {
+      const int64_t key = zipf.Sample(rng);
+      rel.rows.push_back({key, CorrelatedValue(key, opts.domain),
+                          rng.UniformInt(0, opts.domain - 1)});
+    }
+    w.pool.push_back(std::move(rel));
+    w.pool_names.push_back("J" + std::to_string(t));
+    RelationInfo info;
+    info.name = w.pool_names.back();
+    info.cardinality = rows;
+    info.num_columns = 3;
+    pool_infos.push_back(std::move(info));
+  }
+
+  // ---- The naive catalog: exact row counts, ndv and bounds, nothing else.
+  w.naive_catalog = std::make_shared<Catalog>();
+  for (int t = 0; t < opts.num_tables; ++t) {
+    TableStats stats;
+    stats.name = w.pool_names[t];
+    stats.row_count = static_cast<double>(w.pool[t].NumRows());
+    for (int c = 0; c < 3; ++c) {
+      std::set<int64_t> distinct;
+      for (const auto& row : w.pool[t].rows) distinct.insert(row[c]);
+      ColumnStats cs;
+      cs.distinct_count = static_cast<double>(distinct.size());
+      cs.min_value = static_cast<double>(*distinct.begin());
+      cs.max_value = static_cast<double>(*distinct.rbegin());
+      stats.columns.push_back(std::move(cs));
+    }
+    w.naive_catalog->AddTable(std::move(stats));
+  }
+
+  // ---- The full catalog: an exhaustive ANALYZE (sample = whole pool)
+  // plus the correlation the generator knows it baked in. Every pair
+  // shares the column-1 derivation, so every pair is fully correlated.
+  w.full_catalog = std::make_shared<Catalog>();
+  AnalyzeOptions analyze;
+  analyze.sample_size = opts.num_tables * opts.rows_per_table * 2;
+  analyze.seed = opts.seed ^ 0xa7a1u;
+  AnalyzeDataset(Dataset::FromTables(w.pool), pool_infos, analyze,
+                 w.full_catalog.get());
+  for (int a = 0; a < opts.num_tables; ++a) {
+    for (int b = a + 1; b < opts.num_tables; ++b) {
+      w.full_catalog->SetTablePairCorrelation(w.pool_names[a],
+                                              w.pool_names[b], 1.0);
+    }
+  }
+
+  // ---- Queries: seeded chain joins over distinct pool tables.
+  const int max_rels = std::min(opts.max_relations, opts.num_tables);
+  const int min_rels = std::min(opts.min_relations, max_rels);
+  for (int q = 0; q < opts.num_queries; ++q) {
+    const int k = static_cast<int>(rng.UniformInt(min_rels, max_rels));
+    std::vector<int> chosen(opts.num_tables);
+    for (int i = 0; i < opts.num_tables; ++i) chosen[i] = i;
+    for (int i = 0; i < k; ++i) {  // partial Fisher-Yates
+      const int j = i + static_cast<int>(rng.Uniform(opts.num_tables - i));
+      std::swap(chosen[i], chosen[j]);
+    }
+    chosen.resize(k);
+
+    JobQuery jq;
+    jq.pool_tables = chosen;
+    for (int i = 0; i < k; ++i) {
+      jq.spec.AddRelation(w.pool_names[chosen[i]],
+                          static_cast<double>(w.pool[chosen[i]].NumRows()),
+                          /*num_columns=*/3);
+    }
+    for (int i = 1; i < k; ++i) {
+      const int a = i - 1;
+      const int b = i;
+      Predicate key_eq;
+      key_eq.left = NodeSet::Single(a);
+      key_eq.right = NodeSet::Single(b);
+      key_eq.kind = PredicateKind::kEq;
+      key_eq.refs = {ColumnRef{a, 0}, ColumnRef{b, 0}};
+      key_eq.derive_selectivity = true;  // the models' problem to estimate
+      jq.spec.predicates.push_back(key_eq);
+      if (rng.Bernoulli(opts.correlated_pair_prob)) {
+        Predicate corr_eq = key_eq;
+        corr_eq.refs = {ColumnRef{a, 1}, ColumnRef{b, 1}};
+        jq.spec.predicates.push_back(std::move(corr_eq));
+      }
+    }
+    if (rng.Bernoulli(opts.range_filter_prob)) {
+      const int rel = static_cast<int>(rng.Uniform(k));
+      ColumnRange filter;
+      filter.column = 2;
+      filter.lo = 0;
+      filter.hi = rng.UniformInt(opts.domain / 4, opts.domain - 2);
+      jq.spec.relations[rel].filters.push_back(filter);
+    }
+    jq.spec.BindCatalog(w.naive_catalog);
+    w.queries.push_back(std::move(jq));
+  }
+  return w;
+}
+
+Dataset DatasetForJobQuery(const JobWorkload& workload, int query_index) {
+  DPHYP_CHECK(query_index >= 0 &&
+              query_index < static_cast<int>(workload.queries.size()));
+  const JobQuery& q = workload.queries[query_index];
+  std::vector<ExecRelation> tables;
+  tables.reserve(q.pool_tables.size());
+  for (int t : q.pool_tables) tables.push_back(workload.pool[t]);
+  return Dataset::FromTables(std::move(tables));
+}
+
+}  // namespace dphyp

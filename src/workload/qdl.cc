@@ -94,6 +94,8 @@ class Parser {
     for (size_t i = 0; i < spec_.predicates.size(); ++i) {
       Predicate& p = spec_.predicates[i];
       if (!p.refs.empty()) continue;
+      // Equality payloads carry no modulus; FillDefaultPayloads adds refs.
+      if (p.kind == PredicateKind::kEq) continue;
       if (explicit_mod_[i]) {
         for (int t : p.AllTables()) p.refs.push_back(ColumnRef{t, 0});
         continue;
@@ -155,6 +157,18 @@ class Parser {
       } else if (t.key == "free") {
         pending_free_.emplace_back(spec_.NumRelations(),
                                    SplitAndTrim(t.value, ','));
+      } else if (t.key == "filter") {
+        for (const std::string& piece : SplitAndTrim(t.value, ',')) {
+          std::vector<std::string> parts = SplitAndTrim(piece, ':');
+          if (parts.size() != 3) {
+            return Err("filter '" + piece + "' must be <col>:<lo>:<hi>");
+          }
+          ColumnRange range;
+          range.column = std::atoi(parts[0].c_str());
+          range.lo = std::atoll(parts[1].c_str());
+          range.hi = std::atoll(parts[2].c_str());
+          rel.filters.push_back(range);
+        }
       } else {
         return Err("unknown relation attribute '" + t.key + "'");
       }
@@ -206,6 +220,14 @@ class Parser {
           return Err("unknown operator '" + t.value + "'");
         }
         pred.op = op;
+      } else if (t.key == "kind") {
+        if (t.value == "eq") {
+          pred.kind = PredicateKind::kEq;
+        } else if (t.value == "summod") {
+          pred.kind = PredicateKind::kSumMod;
+        } else {
+          return Err("kind= must be 'eq' or 'summod', got '" + t.value + "'");
+        }
       } else if (t.key == "mod") {
         pred.modulus = std::atoll(t.value.c_str());
         have_mod = true;
@@ -282,6 +304,15 @@ std::string WriteQdl(const QuerySpec& spec) {
       }
     }
     if (!rel.free_tables.Empty()) out += " free=" + NamesOf(spec, rel.free_tables);
+    if (!rel.filters.empty()) {
+      out += " filter=";
+      for (size_t i = 0; i < rel.filters.size(); ++i) {
+        if (i) out += ",";
+        out += std::to_string(rel.filters[i].column) + ":" +
+               std::to_string(rel.filters[i].lo) + ":" +
+               std::to_string(rel.filters[i].hi);
+      }
+    }
     out += "\n";
   }
   for (const Predicate& p : spec.predicates) {
@@ -290,7 +321,10 @@ std::string WriteQdl(const QuerySpec& spec) {
     if (!p.flex.Empty()) out += " flex=" + NamesOf(spec, p.flex);
     if (!p.derive_selectivity) out += " sel=" + FormatDouble(p.selectivity);
     if (p.op != OpType::kJoin) out += " op=" + std::string(OpName(p.op));
-    if (p.modulus != 2) out += " mod=" + std::to_string(p.modulus);
+    if (p.kind == PredicateKind::kEq) out += " kind=eq";
+    if (p.kind != PredicateKind::kEq && p.modulus != 2) {
+      out += " mod=" + std::to_string(p.modulus);
+    }
     if (!p.refs.empty()) {
       out += " refs=";
       for (size_t i = 0; i < p.refs.size(); ++i) {

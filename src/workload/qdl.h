@@ -3,9 +3,10 @@
 //
 //   # comment / blank lines ignored
 //   relation <name> card=<double> [cols=<int>] [ndv=<d,d,...>]
-//            [free=<name,name,...>]
+//            [free=<name,name,...>] [filter=<col>:<lo>:<hi>,...]
 //   predicate left=<names> right=<names> [flex=<names>] [sel=<double>]
-//             [op=<operator-name>] [mod=<int>] [refs=<name.col,...>]
+//             [op=<operator-name>] [kind=eq|summod] [mod=<int>]
+//             [refs=<name.col,...>]
 //
 // Relations are numbered in declaration order (this is the node order `<`
 // of Def. 1). `ndv=` supplies per-column distinct counts; when any relation
@@ -15,7 +16,11 @@
 // structured parse errors, never silent defaults. Omitting `sel=` marks
 // the predicate as derive-from-stats (Predicate::derive_selectivity): the
 // product-form model uses the 0.1 default, the "stats" model derives
-// 1/max(ndv) from the catalog. Example:
+// 1/max(ndv) from the catalog, and the "hist" model uses MCV/histogram
+// matching when the catalog was analyzed. `kind=eq` makes the payload a
+// real column equality (PredicateKind::kEq) instead of the synthetic
+// sum-mod conjunct; `filter=` adds inclusive scan-time range filters to a
+// relation (ColumnRange). Example:
 //
 //   relation R0 card=1000 ndv=100
 //   relation R1 card=200 ndv=40

@@ -22,8 +22,10 @@
 #include "cost/stats_model.h"
 #include "exec/executor.h"
 #include "hypergraph/builder.h"
+#include "stats/hist_model.h"
 #include "util/rng.h"
 #include "workload/generators.h"
+#include "workload/jobgen.h"
 
 namespace dphyp {
 namespace {
@@ -110,6 +112,35 @@ TEST(DefaultModel, AllEnumeratorsBitIdenticalToDirectEstimator) {
       ASSERT_TRUE(b.success) << e->Name() << " spec " << s;
       EXPECT_EQ(a.cost, b.cost) << e->Name() << " spec " << s;
       EXPECT_EQ(a.cardinality, b.cardinality) << e->Name() << " spec " << s;
+    }
+  }
+}
+
+// The hist model's estimates are a pure function of the plan class (base
+// cardinalities x per-edge factors, correlation damping folded in at
+// construction), so every exact enumerator must agree bit-for-bit — the
+// Bellman-principle acceptance bar any new model has to clear. Run on an
+// analyzed skewed workload so the MCV/histogram/damping paths are all hot.
+TEST(DefaultModel, HistModelBitIdenticalAcrossAllEnumerators) {
+  JobGenOptions opts;
+  opts.num_tables = 5;
+  opts.rows_per_table = 60;
+  opts.num_queries = 3;
+  opts.max_relations = 5;
+  opts.correlated_pair_prob = 1.0;  // damping active on every joined pair
+  JobWorkload w = GenerateJobWorkload(opts);
+  for (const JobQuery& q : w.queries) {
+    Hypergraph g = BuildHypergraphOrDie(q.spec);
+    HistogramCardinalityModel hist(g, q.spec, w.full_catalog.get());
+    OptimizeResult reference = OptimizeDphyp(g, hist, DefaultCostModel());
+    ASSERT_TRUE(reference.success);
+    for (const Enumerator* e : EnumeratorRegistry::Global().All()) {
+      if (!e->CanHandle(g)) continue;
+      if (!e->Exact()) continue;
+      OptimizeResult r = e->Optimize(g, hist, DefaultCostModel());
+      ASSERT_TRUE(r.success) << e->Name();
+      EXPECT_EQ(r.cost, reference.cost) << e->Name();
+      EXPECT_EQ(r.cardinality, reference.cardinality) << e->Name();
     }
   }
 }

@@ -1,0 +1,614 @@
+// The histogram suite (ctest -L histogram): the distribution-statistics
+// stack end to end.
+//   * Equi-depth histogram construction and interpolation edge cases:
+//     single-value columns, all-distinct columns, out-of-range probes,
+//     probes exactly on bucket boundaries, MCV lists covering 100%.
+//   * selfuncs.c-style selectivity functions (EqJoinSelectivity's MCV x
+//     MCV match, RangeSelectivity's interpolation) plus the degenerate-
+//     stats guards (EffectiveNdv clamps, empty tables) the stats model
+//     shares.
+//   * The ANALYZE pass: reservoir sampling determinism and catalog
+//     refresh, including the stats_version bump that invalidates caches.
+//   * The "hist" model: MCV-driven equality selectivity on skewed keys,
+//     correlation damping, range-filtered base cardinalities, and the
+//     stats-model fallback when the catalog has no distributions.
+//   * QDL round-trips of the new kind=eq / filter= syntax, executor
+//     semantics of both, and jobgen workload determinism + the
+//     hist-beats-stats property the bench gates on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/dphyp.h"
+#include "cost/qerror.h"
+#include "cost/stats_model.h"
+#include "exec/executor.h"
+#include "hypergraph/builder.h"
+#include "stats/analyze.h"
+#include "stats/hist_model.h"
+#include "stats/histogram.h"
+#include "stats/selectivity.h"
+#include "util/rng.h"
+#include "workload/jobgen.h"
+#include "workload/qdl.h"
+
+namespace dphyp {
+namespace {
+
+// --- Equi-depth histogram construction & probes -----------------------------
+
+std::vector<int64_t> Iota(int64_t n) {
+  std::vector<int64_t> v;
+  for (int64_t i = 0; i < n; ++i) v.push_back(i);
+  return v;
+}
+
+TEST(Histogram, EquiDepthOverUniformValues) {
+  Histogram h = BuildEquiDepthHistogram(Iota(16), 4);
+  ASSERT_EQ(h.NumBuckets(), 4);
+  ASSERT_EQ(h.bounds.size(), 5u);
+  EXPECT_EQ(h.bounds.front(), 0);
+  EXPECT_EQ(h.bounds.back(), 15);
+  for (double f : h.fractions) EXPECT_DOUBLE_EQ(f, 0.25);
+}
+
+TEST(Histogram, OutOfRangeProbesClamp) {
+  Histogram h = BuildEquiDepthHistogram(Iota(16), 4);
+  EXPECT_DOUBLE_EQ(h.FractionAtOrBelow(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtOrBelow(15.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtOrBelow(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionInRange(100.0, 200.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionInRange(-50.0, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionInRange(5.0, 4.0), 0.0);  // inverted range
+}
+
+TEST(Histogram, BucketBoundaryProbes) {
+  // bounds {0, 3, 7, 11, 15}: a probe exactly on an internal boundary
+  // accumulates all buckets at or below it, nothing from the next.
+  Histogram h = BuildEquiDepthHistogram(Iota(16), 4);
+  EXPECT_DOUBLE_EQ(h.FractionAtOrBelow(3.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.FractionAtOrBelow(7.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.FractionAtOrBelow(11.0), 0.75);
+  // Interpolation inside bucket [3, 7]: halfway through its width.
+  EXPECT_DOUBLE_EQ(h.FractionAtOrBelow(5.0), 0.25 + 0.25 * 2.0 / 4.0);
+  // Inclusive integer range [4, 7] = AtOrBelow(7) - AtOrBelow(3).
+  EXPECT_DOUBLE_EQ(h.FractionInRange(4.0, 7.0), 0.25);
+}
+
+TEST(Histogram, SingleValueColumnIsAStep) {
+  // Every bucket is zero-width; interpolation must treat the spike as a
+  // step at the value, not divide by the zero bucket width.
+  Histogram h = BuildEquiDepthHistogram(std::vector<int64_t>(8, 5), 4);
+  ASSERT_FALSE(h.Empty());
+  EXPECT_DOUBLE_EQ(h.FractionAtOrBelow(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtOrBelow(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionInRange(5.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionInRange(0.0, 4.0), 0.0);
+}
+
+TEST(Histogram, EmptyInputAndFewerValuesThanBuckets) {
+  Histogram empty = BuildEquiDepthHistogram({}, 8);
+  EXPECT_TRUE(empty.Empty());
+  EXPECT_DOUBLE_EQ(empty.FractionAtOrBelow(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.FractionInRange(0.0, 10.0), 0.0);
+  // 3 values, 8 requested buckets: one bucket per value.
+  Histogram small = BuildEquiDepthHistogram({10, 20, 30}, 8);
+  EXPECT_EQ(small.NumBuckets(), 3);
+  EXPECT_DOUBLE_EQ(small.FractionAtOrBelow(20.0), 2.0 / 3.0);
+}
+
+// --- MCV lists --------------------------------------------------------------
+
+TEST(McvList, AllDistinctColumnHasNoMcvs) {
+  // Every value is equally "common"; the histogram carries everything.
+  ColumnDistribution d = BuildColumnDistribution(Iota(8), 4, 4);
+  EXPECT_TRUE(d.mcvs.Empty());
+  EXPECT_FALSE(d.histogram.Empty());
+  EXPECT_DOUBLE_EQ(d.histogram.FractionAtOrBelow(7.0), 1.0);
+}
+
+TEST(McvList, SingleValueColumnIsAllMcv) {
+  // The MCV list covers 100% of the column; the histogram is empty and
+  // selectivity code must weight it by the zero non-MCV mass.
+  ColumnDistribution d = BuildColumnDistribution({7, 7, 7, 7}, 4, 4);
+  ASSERT_EQ(d.mcvs.Size(), 1);
+  EXPECT_EQ(d.mcvs.entries[0].value, 7);
+  EXPECT_DOUBLE_EQ(d.mcvs.TotalFraction(), 1.0);
+  EXPECT_TRUE(d.histogram.Empty());
+}
+
+TEST(McvList, OrderingCutoffAndTruncation) {
+  std::vector<int64_t> values = {1, 1, 1, 2, 2, 3};
+  McvList list = BuildMcvList(values, 4);
+  ASSERT_EQ(list.Size(), 2);  // 3 occurs once: not evidence of commonness
+  EXPECT_EQ(list.entries[0].value, 1);
+  EXPECT_DOUBLE_EQ(list.entries[0].fraction, 0.5);
+  EXPECT_EQ(list.entries[1].value, 2);
+  EXPECT_DOUBLE_EQ(list.entries[1].fraction, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(list.FractionOf(3), 0.0);
+  McvList truncated = BuildMcvList(values, 1);
+  ASSERT_EQ(truncated.Size(), 1);
+  EXPECT_EQ(truncated.entries[0].value, 1);
+}
+
+// --- Degenerate-stats guards (shared with the stats model) ------------------
+
+TEST(Selectivity, EffectiveNdvClampsDegenerateStats) {
+  EXPECT_DOUBLE_EQ(EffectiveNdv(0.0, 100.0), 1.0);    // unknown ndv
+  EXPECT_DOUBLE_EQ(EffectiveNdv(-5.0, 100.0), 1.0);   // negative ndv
+  EXPECT_DOUBLE_EQ(EffectiveNdv(500.0, 100.0), 100.0);  // ndv > rows
+  EXPECT_DOUBLE_EQ(EffectiveNdv(500.0, 0.0), 500.0);  // rows unknown
+  EXPECT_DOUBLE_EQ(EffectiveNdv(0.0, 0.0), 1.0);      // nothing known
+  EXPECT_DOUBLE_EQ(EffectiveNdv(7.0, 100.0), 7.0);    // sane passthrough
+}
+
+TEST(StatsModel, DegenerateCatalogStatsAreClampedNotTrusted) {
+  // Empty table (row_count 0), ndv > rows, and ndv = 0 columns: the model
+  // must stay within [kMinSelectivity, 1] selectivities and >= 1 base
+  // cardinalities instead of zeroing or inverting estimates.
+  auto catalog = std::make_shared<Catalog>();
+  catalog->AddTable(TableStats{"A", 0.0, {ColumnStats{0.0, 0.0, 0.0}}});
+  catalog->AddTable(TableStats{"B", 10.0, {ColumnStats{1000.0, 0.0, 9.0}}});
+  QuerySpec spec;
+  spec.AddRelation("A", 50, 1);
+  spec.AddRelation("B", 50, 1);
+  int p = spec.AddSimplePredicate(0, 1, 0.1);
+  spec.predicates[p].derive_selectivity = true;
+  spec.predicates[p].refs = {{0, 0}, {1, 0}};
+  spec.BindCatalog(catalog);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  StatsCardinalityModel stats(g, spec);
+  // A's row count 0 clamps to 1; B's ndv 1000 clamps to its 10 rows, so
+  // the derived selectivity is 1/10 (A's ndv 0 contributes nothing).
+  EXPECT_DOUBLE_EQ(stats.EstimateClass(NodeSet::Single(0)), 1.0);
+  EXPECT_DOUBLE_EQ(stats.DeriveSelectivity(spec.predicates[p]), 0.1);
+  const double estimate = stats.EstimateClass(g.AllNodes());
+  EXPECT_GT(estimate, 0.0);
+  EXPECT_DOUBLE_EQ(estimate, 1.0 * 10.0 * 0.1);
+}
+
+// --- Selectivity functions --------------------------------------------------
+
+ColumnStats StatsOf(const std::vector<int64_t>& values) {
+  AnalyzeOptions opts;
+  opts.histogram_buckets = 4;
+  opts.max_mcvs = 4;
+  return BuildColumnStats(values, opts);
+}
+
+TEST(Selectivity, EqJoinWithoutMcvsIsOneOverMaxNdv) {
+  ColumnStats a;
+  a.distinct_count = 10.0;
+  ColumnStats b;
+  b.distinct_count = 50.0;
+  EXPECT_DOUBLE_EQ(EqJoinSelectivity(a, 100.0, b, 100.0), 1.0 / 50.0);
+  // Fully degenerate inputs clamp to 1/1, never divide by zero.
+  ColumnStats zero;
+  EXPECT_DOUBLE_EQ(EqJoinSelectivity(zero, 0.0, zero, 0.0), 1.0);
+}
+
+TEST(Selectivity, EqJoinMatchingMcvsCaptureSkew) {
+  // Both sides concentrate half their mass on value 0 (ndv 10): the MCV x
+  // MCV match alone contributes 0.25, far above the 1/10 independence
+  // rule would say. This is the Zipf-join scenario the hist model exists
+  // for.
+  ColumnStats a;
+  a.distinct_count = 10.0;
+  a.mcvs.entries = {{0, 0.5}};
+  ColumnStats b = a;
+  const double sel = EqJoinSelectivity(a, 100.0, b, 100.0);
+  EXPECT_GE(sel, 0.25);
+  EXPECT_LE(sel, 1.0);
+  EXPECT_GT(sel, 1.0 / 10.0 * 2.0);
+}
+
+TEST(Selectivity, EqJoinDisjointMcvsStayLow) {
+  ColumnStats a;
+  a.distinct_count = 10.0;
+  a.mcvs.entries = {{1, 0.6}};
+  ColumnStats b;
+  b.distinct_count = 10.0;
+  b.mcvs.entries = {{2, 0.7}};
+  const double sel = EqJoinSelectivity(a, 100.0, b, 100.0);
+  EXPECT_GT(sel, 0.0);
+  // No common MCV: only the uncertain residual terms remain.
+  EXPECT_LT(sel, 0.25);
+}
+
+TEST(Selectivity, RangeUsesDistributionMcvMassAndHistogram) {
+  // Uniform 0..15, all distinct: pure histogram interpolation.
+  ColumnStats uniform = StatsOf(Iota(16));
+  EXPECT_NEAR(RangeSelectivity(uniform, 4.0, 7.0), 0.25, 1e-9);
+  // MCV covering 100%: out-of-range probes hit neither MCVs nor histogram
+  // and clamp to the floor; the exact value probe returns its fraction.
+  ColumnStats spike = StatsOf({7, 7, 7, 7});
+  EXPECT_DOUBLE_EQ(RangeSelectivity(spike, 0.0, 6.0), kMinSelectivity);
+  EXPECT_DOUBLE_EQ(RangeSelectivity(spike, 7.0, 7.0), 1.0);
+}
+
+TEST(Selectivity, RangeFallsBackToBoundsThenDefault) {
+  // Bounds known, no distribution: uniform inclusive interpolation.
+  ColumnStats bounds;
+  bounds.distinct_count = 10.0;
+  bounds.min_value = 0.0;
+  bounds.max_value = 9.0;
+  EXPECT_DOUBLE_EQ(RangeSelectivity(bounds, 0.0, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(RangeSelectivity(bounds, -100.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(RangeSelectivity(bounds, 50.0, 60.0), kMinSelectivity);
+  // Nothing known at all: the fixed default.
+  EXPECT_DOUBLE_EQ(RangeSelectivity(ColumnStats{}, 0.0, 4.0), 1.0 / 3.0);
+  // Inverted range.
+  EXPECT_DOUBLE_EQ(RangeSelectivity(bounds, 5.0, 4.0), kMinSelectivity);
+}
+
+// --- The ANALYZE pass -------------------------------------------------------
+
+TEST(Analyze, ReservoirSampleIsDeterministicAndSized) {
+  std::vector<int64_t> values = Iota(1000);
+  Rng rng_a(42), rng_b(42);
+  std::vector<int64_t> a = ReservoirSample(values, 64, rng_a);
+  std::vector<int64_t> b = ReservoirSample(values, 64, rng_b);
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_EQ(a, b);
+  // Small inputs come back whole.
+  Rng rng_c(42);
+  EXPECT_EQ(ReservoirSample({1, 2, 3}, 64, rng_c).size(), 3u);
+}
+
+TEST(Analyze, RefreshesCatalogAndBumpsVersion) {
+  ExecRelation rel;
+  rel.num_columns = 2;
+  for (int64_t i = 0; i < 20; ++i) rel.rows.push_back({i % 4, i});
+  std::vector<RelationInfo> infos(1);
+  infos[0].name = "T";
+  infos[0].num_columns = 2;
+  Catalog catalog;
+  const uint64_t before = catalog.stats_version();
+  AnalyzeOptions opts;
+  EXPECT_EQ(AnalyzeDataset(Dataset::FromTables({rel}), infos, opts, &catalog),
+            1);
+  EXPECT_GT(catalog.stats_version(), before);
+  std::optional<TableStats> t = catalog.FindTable("T");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(t->row_count, 20.0);
+  ASSERT_EQ(t->columns.size(), 2u);
+  EXPECT_DOUBLE_EQ(t->columns[0].distinct_count, 4.0);
+  EXPECT_DOUBLE_EQ(t->columns[0].min_value, 0.0);
+  EXPECT_DOUBLE_EQ(t->columns[0].max_value, 3.0);
+  // Column 0 repeats each value 5 times: a complete MCV frequency table.
+  EXPECT_TRUE(t->columns[0].HasDistribution());
+  EXPECT_DOUBLE_EQ(t->columns[0].mcvs.TotalFraction(), 1.0);
+  // Column 1 is all-distinct: histogram only.
+  EXPECT_TRUE(t->columns[1].mcvs.Empty());
+  EXPECT_FALSE(t->columns[1].histogram.Empty());
+}
+
+// --- Catalog pair correlations ----------------------------------------------
+
+TEST(Catalog, TablePairCorrelationIsSymmetricClampedAndVersioned) {
+  Catalog catalog;
+  EXPECT_DOUBLE_EQ(catalog.TablePairCorrelation("A", "B"), 0.0);
+  const uint64_t before = catalog.stats_version();
+  catalog.SetTablePairCorrelation("B", "A", 0.8);
+  EXPECT_GT(catalog.stats_version(), before);
+  EXPECT_DOUBLE_EQ(catalog.TablePairCorrelation("A", "B"), 0.8);
+  EXPECT_DOUBLE_EQ(catalog.TablePairCorrelation("B", "A"), 0.8);
+  catalog.SetTablePairCorrelation("A", "B", 7.0);  // clamped into [0, 1]
+  EXPECT_DOUBLE_EQ(catalog.TablePairCorrelation("A", "B"), 1.0);
+  catalog.SetTablePairCorrelation("A", "B", -2.0);
+  EXPECT_DOUBLE_EQ(catalog.TablePairCorrelation("A", "B"), 0.0);
+}
+
+// --- The "hist" model -------------------------------------------------------
+
+/// Two relations joined on column 0 (kEq, derived), with per-column stats
+/// supplied by an exhaustive ANALYZE over hand-built tables.
+struct HistWorkload {
+  QuerySpec spec;
+  std::shared_ptr<Catalog> catalog;
+  Dataset data;
+};
+
+HistWorkload MakeSkewedEqJoin() {
+  HistWorkload w;
+  // Half of every table is value 0; the rest spreads over 1..7.
+  ExecRelation t;
+  t.num_columns = 2;
+  for (int64_t i = 0; i < 32; ++i) {
+    const int64_t key = (i < 16) ? 0 : 1 + (i % 7);
+    t.rows.push_back({key, (key * 7 + 3) % 8});
+  }
+  w.spec.AddRelation("A", 32, 2);
+  w.spec.AddRelation("B", 32, 2);
+  int p = w.spec.AddSimplePredicate(0, 1, 0.1);
+  w.spec.predicates[p].derive_selectivity = true;
+  w.spec.predicates[p].kind = PredicateKind::kEq;
+  w.spec.predicates[p].refs = {{0, 0}, {1, 0}};
+  std::vector<RelationInfo> infos = w.spec.relations;
+  w.catalog = std::make_shared<Catalog>();
+  AnalyzeOptions opts;
+  opts.sample_size = 64;  // exhaustive
+  AnalyzeDataset(Dataset::FromTables({t, t}), infos, opts, w.catalog.get());
+  w.spec.BindCatalog(w.catalog);
+  w.data = Dataset::FromTables({t, t});
+  return w;
+}
+
+TEST(HistModel, McvMatchBeatsIndependenceOnSkewedKeys) {
+  HistWorkload w = MakeSkewedEqJoin();
+  Hypergraph g = BuildHypergraphOrDie(w.spec);
+  StatsCardinalityModel stats(g, w.spec);
+  HistogramCardinalityModel hist(g, w.spec);
+  const double stats_sel = stats.DeriveSelectivity(w.spec.predicates[0]);
+  const double hist_sel = hist.DeriveSelectivity(w.spec.predicates[0]);
+  // True match count: 16^2 zeros + sum over 1..7 of per-value counts.
+  double actual = 0.0;
+  for (const auto& ra : w.data.table(0).rows) {
+    for (const auto& rb : w.data.table(1).rows) {
+      if (ra[0] == rb[0]) actual += 1.0;
+    }
+  }
+  const double true_sel = actual / (32.0 * 32.0);
+  EXPECT_DOUBLE_EQ(stats_sel, 1.0 / 8.0);  // independence over ndv 8
+  EXPECT_GT(hist_sel, stats_sel);
+  // The MCV estimate lands within 20% of truth; independence is ~2x off.
+  EXPECT_NEAR(hist_sel, true_sel, 0.2 * true_sel);
+  EXPECT_LT(stats_sel, 0.6 * true_sel);
+}
+
+TEST(HistModel, ExecutedQErrorImprovesOverStats) {
+  HistWorkload w = MakeSkewedEqJoin();
+  Hypergraph g = BuildHypergraphOrDie(w.spec);
+  CardinalityFeedback actuals;
+  Executor exec(w.data, g, w.spec.relations, ConjunctsFromSpec(w.spec, g),
+                &actuals);
+  StatsCardinalityModel stats(g, w.spec);
+  HistogramCardinalityModel hist(g, w.spec);
+  OptimizeResult rs = OptimizeDphyp(g, stats, DefaultCostModel());
+  OptimizeResult rh = OptimizeDphyp(g, hist, DefaultCostModel());
+  ASSERT_TRUE(rs.success && rh.success);
+  exec.Execute(rs.ExtractPlan(g));
+  exec.Execute(rh.ExtractPlan(g));
+  QErrorStats qs = ComputePlanQError(rs.ExtractPlan(g), actuals);
+  QErrorStats qh = ComputePlanQError(rh.ExtractPlan(g), actuals);
+  ASSERT_GT(qh.classes, 0u);
+  EXPECT_LT(qh.max_q, qs.max_q);
+}
+
+TEST(HistModel, CorrelationDampingDropsRedundantPredicate) {
+  // Two equality predicates between the same pair, ndv 8 each side. With
+  // correlation 1.0 the weaker predicate contributes nothing: the joint
+  // selectivity is one factor of 1/8, not (1/8)^2.
+  auto catalog = std::make_shared<Catalog>();
+  catalog->AddTable(TableStats{"A", 64.0,
+                               {ColumnStats{8.0, 0.0, 7.0},
+                                ColumnStats{8.0, 0.0, 7.0}}});
+  catalog->AddTable(TableStats{"B", 64.0,
+                               {ColumnStats{8.0, 0.0, 7.0},
+                                ColumnStats{8.0, 0.0, 7.0}}});
+  QuerySpec spec;
+  spec.AddRelation("A", 64, 2);
+  spec.AddRelation("B", 64, 2);
+  for (int col = 0; col < 2; ++col) {
+    int p = spec.AddSimplePredicate(0, 1, 0.1);
+    spec.predicates[p].derive_selectivity = true;
+    spec.predicates[p].kind = PredicateKind::kEq;
+    spec.predicates[p].refs = {{0, col}, {1, col}};
+  }
+  spec.BindCatalog(catalog);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+
+  HistogramCardinalityModel independent(g, spec);
+  EXPECT_DOUBLE_EQ(independent.EstimateClass(g.AllNodes()),
+                   64.0 * 64.0 / 64.0);  // (1/8)^2
+
+  catalog->SetTablePairCorrelation("A", "B", 1.0);
+  HistogramCardinalityModel damped(g, spec);
+  EXPECT_DOUBLE_EQ(damped.EstimateClass(g.AllNodes()), 64.0 * 64.0 / 8.0);
+  // The catalog bump re-keys cached plans.
+  EXPECT_NE(independent.Fingerprint(), damped.Fingerprint());
+}
+
+TEST(HistModel, RangeFilterScalesBaseCardinality) {
+  auto catalog = std::make_shared<Catalog>();
+  catalog->AddTable(TableStats{"A", 100.0, {ColumnStats{10.0, 0.0, 9.0}}});
+  catalog->AddTable(TableStats{"B", 100.0, {ColumnStats{10.0, 0.0, 9.0}}});
+  QuerySpec spec;
+  spec.AddRelation("A", 100, 1);
+  spec.AddRelation("B", 100, 1);
+  spec.relations[0].filters.push_back(ColumnRange{0, 0, 4});
+  spec.AddSimplePredicate(0, 1, 0.5);
+  spec.BindCatalog(catalog);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  HistogramCardinalityModel hist(g, spec);
+  // Uniform min/max interpolation: [0, 4] of [0, 9] keeps half the rows.
+  EXPECT_DOUBLE_EQ(hist.EstimateClass(NodeSet::Single(0)), 50.0);
+  EXPECT_DOUBLE_EQ(hist.EstimateClass(NodeSet::Single(1)), 100.0);
+}
+
+TEST(HistModel, WithoutDistributionsMatchesStatsModel) {
+  // A catalog of row counts + ndv only: every hist code path falls back
+  // to the stats derivation, bit-identically.
+  auto catalog = std::make_shared<Catalog>();
+  catalog->AddTable(TableStats{"A", 30.0, {ColumnStats{5.0, 0.0, 9.0}}});
+  catalog->AddTable(TableStats{"B", 40.0, {ColumnStats{8.0, 0.0, 9.0}}});
+  catalog->AddTable(TableStats{"C", 50.0, {ColumnStats{3.0, 0.0, 9.0}}});
+  QuerySpec spec;
+  spec.AddRelation("A", 30, 1);
+  spec.AddRelation("B", 40, 1);
+  spec.AddRelation("C", 50, 1);
+  for (int i = 0; i + 1 < 3; ++i) {
+    int p = spec.AddSimplePredicate(i, i + 1, 0.1);
+    spec.predicates[p].derive_selectivity = true;
+    spec.predicates[p].refs = {{i, 0}, {i + 1, 0}};
+  }
+  spec.BindCatalog(catalog);
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  StatsCardinalityModel stats(g, spec);
+  HistogramCardinalityModel hist(g, spec);
+  OptimizeResult a = OptimizeDphyp(g, stats, DefaultCostModel());
+  OptimizeResult b = OptimizeDphyp(g, hist, DefaultCostModel());
+  ASSERT_TRUE(a.success && b.success);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.cardinality, b.cardinality);
+}
+
+// --- Executor semantics of kind=eq and filter= ------------------------------
+
+TEST(Executor, EqPredicateAndRangeFiltersOnData) {
+  QuerySpec spec;
+  spec.AddRelation("A", 10, 1);
+  spec.AddRelation("B", 1, 1);
+  int p = spec.AddSimplePredicate(0, 1, 0.1);
+  spec.predicates[p].kind = PredicateKind::kEq;
+  spec.predicates[p].refs = {{0, 0}, {1, 0}};
+
+  ExecRelation a;
+  a.num_columns = 1;
+  for (int64_t i = 0; i < 10; ++i) a.rows.push_back({i});
+  ExecRelation b;
+  b.num_columns = 1;
+  b.rows.push_back({4});
+
+  PlanBuilder builder;
+  PlanTree plan = builder.Build(builder.Op(OpType::kJoin, builder.Leaf(0, 10),
+                                           builder.Leaf(1, 1), {0}));
+  Hypergraph g = BuildHypergraphOrDie(spec);
+  const Dataset data = Dataset::FromTables({a, b});
+  {
+    Executor exec(data, g, spec.relations, ConjunctsFromSpec(spec, g));
+    EXPECT_EQ(exec.Execute(plan).tuples.size(), 1u);  // only 4 == 4
+  }
+  // A scan filter excluding the matching row empties the join.
+  spec.relations[0].filters.push_back(ColumnRange{0, 0, 3});
+  {
+    Executor exec(data, g, spec.relations, ConjunctsFromSpec(spec, g));
+    EXPECT_EQ(exec.Execute(plan).tuples.size(), 0u);
+  }
+  // Widening the filter to include it restores exactly the one match.
+  spec.relations[0].filters[0] = ColumnRange{0, 2, 4};
+  {
+    Executor exec(data, g, spec.relations, ConjunctsFromSpec(spec, g));
+    EXPECT_EQ(exec.Execute(plan).tuples.size(), 1u);
+  }
+}
+
+// --- QDL round-trips of the new syntax --------------------------------------
+
+TEST(Qdl, RoundTripsEqPredicatesAndFilters) {
+  QuerySpec spec;
+  spec.AddRelation("R0", 100, 3);
+  spec.AddRelation("R1", 200, 3);
+  spec.relations[0].filters.push_back(ColumnRange{2, 0, 40});
+  spec.relations[1].filters.push_back(ColumnRange{0, -5, 5});
+  int p = spec.AddSimplePredicate(0, 1, 0.1);
+  spec.predicates[p].derive_selectivity = true;
+  spec.predicates[p].kind = PredicateKind::kEq;
+  spec.predicates[p].refs = {{0, 0}, {1, 0}};
+
+  const std::string text = WriteQdl(spec);
+  Result<QuerySpec> parsed = ParseQdl(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const QuerySpec& back = parsed.value();
+  ASSERT_EQ(back.NumRelations(), 2);
+  EXPECT_EQ(back.relations[0].filters, spec.relations[0].filters);
+  EXPECT_EQ(back.relations[1].filters, spec.relations[1].filters);
+  ASSERT_EQ(back.predicates.size(), 1u);
+  EXPECT_EQ(back.predicates[0].kind, PredicateKind::kEq);
+  EXPECT_EQ(back.predicates[0].refs, spec.predicates[0].refs);
+  EXPECT_TRUE(back.predicates[0].derive_selectivity);
+  // Serialization is stable across one round trip.
+  EXPECT_EQ(WriteQdl(back), text);
+}
+
+TEST(Qdl, RejectsMalformedFilters) {
+  EXPECT_FALSE(ParseQdl("relation R card=10 filter=0:5\n").ok());
+  EXPECT_FALSE(ParseQdl("relation R card=10 cols=1 filter=3:0:5\n").ok());
+  EXPECT_FALSE(ParseQdl("relation R card=10 cols=1 filter=0:9:5\n").ok());
+}
+
+// --- The jobgen workload ----------------------------------------------------
+
+JobGenOptions SmallJobGen() {
+  JobGenOptions opts;
+  opts.num_tables = 4;
+  opts.rows_per_table = 80;
+  opts.num_queries = 4;
+  opts.max_relations = 4;
+  return opts;
+}
+
+TEST(JobGen, DeterministicUnderASeed) {
+  JobWorkload a = GenerateJobWorkload(SmallJobGen());
+  JobWorkload b = GenerateJobWorkload(SmallJobGen());
+  ASSERT_EQ(a.pool.size(), b.pool.size());
+  for (size_t t = 0; t < a.pool.size(); ++t) {
+    EXPECT_EQ(a.pool[t].rows, b.pool[t].rows);
+  }
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t q = 0; q < a.queries.size(); ++q) {
+    EXPECT_EQ(WriteQdl(a.queries[q].spec), WriteQdl(b.queries[q].spec));
+  }
+  EXPECT_EQ(a.full_catalog->stats_version(), b.full_catalog->stats_version());
+}
+
+TEST(JobGen, QueriesValidateAndBothCatalogsDescribeThePool) {
+  JobWorkload w = GenerateJobWorkload(SmallJobGen());
+  for (const JobQuery& q : w.queries) {
+    Result<bool> valid = q.spec.Validate();
+    EXPECT_TRUE(valid.ok()) << valid.error().message;
+  }
+  for (int t = 0; t < w.options.num_tables; ++t) {
+    std::optional<TableStats> naive = w.naive_catalog->FindTable(
+        w.pool_names[t]);
+    std::optional<TableStats> full = w.full_catalog->FindTable(
+        w.pool_names[t]);
+    ASSERT_TRUE(naive.has_value() && full.has_value());
+    EXPECT_DOUBLE_EQ(naive->row_count,
+                     static_cast<double>(w.pool[t].NumRows()));
+    EXPECT_DOUBLE_EQ(full->row_count, naive->row_count);
+    // Only the full catalog carries distributions.
+    EXPECT_FALSE(naive->columns[0].HasDistribution());
+    EXPECT_TRUE(full->columns[0].HasDistribution());
+  }
+  EXPECT_DOUBLE_EQ(
+      w.full_catalog->TablePairCorrelation(w.pool_names[0], w.pool_names[1]),
+      1.0);
+}
+
+TEST(JobGen, HistModelGradesBetterThanStatsOnTheWorkload) {
+  // The miniature of the bench gate: pooled per-class q-error medians
+  // across the executed workload, hist <= stats. Fully seeded, so this is
+  // a deterministic property of the generator + models, not a flake.
+  JobWorkload w = GenerateJobWorkload(SmallJobGen());
+  std::vector<double> stats_q, hist_q;
+  for (size_t qi = 0; qi < w.queries.size(); ++qi) {
+    const QuerySpec& spec = w.queries[qi].spec;
+    Hypergraph g = BuildHypergraphOrDie(spec);
+    CardinalityFeedback actuals;
+    Dataset data = DatasetForJobQuery(w, static_cast<int>(qi));
+    Executor exec(data, g, spec.relations, ConjunctsFromSpec(spec, g),
+                  &actuals);
+    StatsCardinalityModel stats(g, spec);
+    HistogramCardinalityModel hist(g, spec, w.full_catalog.get());
+    for (auto* model : {static_cast<const CardinalityModel*>(&stats),
+                        static_cast<const CardinalityModel*>(&hist)}) {
+      OptimizeResult r = OptimizeDphyp(g, *model, DefaultCostModel());
+      ASSERT_TRUE(r.success);
+      PlanTree plan = r.ExtractPlan(g);
+      exec.Execute(plan);
+      QErrorStats q = ComputePlanQError(plan, actuals);
+      ASSERT_GT(q.classes, 0u);
+      (model == &stats ? stats_q : hist_q).push_back(q.median_q);
+    }
+  }
+  std::sort(stats_q.begin(), stats_q.end());
+  std::sort(hist_q.begin(), hist_q.end());
+  EXPECT_LE(hist_q[hist_q.size() / 2], stats_q[stats_q.size() / 2]);
+}
+
+}  // namespace
+}  // namespace dphyp
