@@ -43,9 +43,23 @@
 //                               workload is at most this percent of the
 //                               stats model's (50 = half); 0 disables
 //                               (default)
+//   DPHYP_BENCH_WIDE_CHAIN / _TREE / _SPARSE  shape sizes for the
+//                               > 64-relation wide sweep (defaults
+//                               72/80/80; < 4 skips the shape)
+//   DPHYP_BENCH_BASELINE        prior BENCH_dphyp.json to compare the
+//                               narrow fig5-8 medians against (default:
+//                               the committed ./BENCH_dphyp.json — run
+//                               from the repo root)
+//   DPHYP_BENCH_REQUIRE_NO_NARROW_REGRESSION  exit non-zero unless the
+//                               median ratio of this run's fig5-8
+//                               median_ms over the baseline's is at most
+//                               this percent (105 = a 5% median slowdown
+//                               budget for the narrow one-word path);
+//                               0 disables (default — only meaningful
+//                               when baseline and run share hardware)
 //
 // Output schema (BENCH_dphyp.json):
-//   schema_version  int, currently 6
+//   schema_version  int, currently 7
 //   config          the knob values the run used
 //   results[]       one record per (figure, shape, params, algorithm):
 //     figure        "fig5" | "fig6" | "fig7" | "fig8a" | "fig8b"
@@ -87,18 +101,37 @@
 //   SLO (knobs: DPHYP_BENCH_LOAD_QPS/_REQUESTS/_CLIENTS/_SWEEP/_ZIPF_PCT/
 //   _SLO_MS/_SEED/_STAMPEDE, shared with bench_loadgen; see
 //   docs/benchmarks.md)
+//   wide records (schema v7: > 64-relation graphs through the wide path,
+//   core/wide.h + workload/wide_gen.h) carry n, words (the BasicNodeSet
+//   width that ran), the route the wide auction picked (algorithm,
+//   route_reason, exact), cost_ratio_vs_goo (exact routes are <= 1.0 by
+//   construction; idp-k's floor guarantee makes it <= 1.0 too), and the
+//   usual timing/stats fields; one extra "combine-narrow-star16" record
+//   tracks the one-word combine-loop time (the EmitCsgCmp-heavy fig6
+//   shape) so the DpTable tag/prefetch micro-work stays visible. The
+//   summary fields wide_worst_cost_ratio_vs_goo and
+//   narrow_fig_median_ratio_vs_baseline (this run's fig5-8 medians over
+//   the committed baseline's, median across matched records; 0 when no
+//   baseline was readable) are the wide-path acceptance metrics.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <memory>
 
+#include "baselines/goo.h"
 #include "bench/harness.h"
 #include "bench/json_writer.h"
 #include "bench/load_harness.h"
+#include "core/wide.h"
+#include "workload/wide_gen.h"
 #include "cost/oracle_model.h"
 #include "cost/qerror.h"
 #include "cost/stats_model.h"
@@ -117,6 +150,23 @@ using namespace dphyp::bench;
 namespace {
 
 JsonWriter json;
+
+/// This run's fig5-8 median_ms by record identity, for the narrow
+/// no-regression comparison against the committed baseline JSON.
+std::map<std::string, double> g_narrow_fig_medians;
+
+/// The record identity the narrow-regression comparison keys on: every
+/// field that distinguishes one fig5-8 record from another.
+std::string NarrowKey(const std::string& figure, const std::string& shape,
+                      int n, const char* param, int value,
+                      const std::string& algo, bool pruned) {
+  std::string key = figure + "|" + shape + "|n=" + std::to_string(n);
+  if (param != nullptr) {
+    key += "|" + std::string(param) + "=" + std::to_string(value);
+  }
+  key += "|" + algo + (pruned ? "|pruned" : "|unpruned");
+  return key;
+}
 
 void OpenRecord(const char* figure, const char* shape) {
   json.BeginObject();
@@ -149,6 +199,11 @@ void RecordWithParam(const char* figure, const char* shape, const char* param,
   OptimizerStats stats;
   TimingStats timing = TimeOptimizeStats(algo, graph, options, &stats);
   const char* label = algo_label != nullptr ? algo_label : algo;
+  if (std::strncmp(figure, "fig", 3) == 0) {
+    g_narrow_fig_medians[NarrowKey(figure, shape, graph.NumNodes(), param,
+                                   value, label, options.enable_pruning)] =
+        timing.median_ms;
+  }
   OpenRecord(figure, shape);
   json.Field("n", graph.NumNodes());
   if (param != nullptr) json.Field(param, value);
@@ -971,6 +1026,221 @@ double RunFrontier() {
   return worst_ratio_vs_goo;
 }
 
+/// Workload ranges for the wide sweep. The narrow defaults (cards to 1e4,
+/// selectivities to 0.2) overflow double around 90 joined relations —
+/// every cost becomes inf and plan extraction degenerates — so the wide
+/// shapes draw from bounded ranges, same as the `wide` test tier.
+WorkloadOptions WideBenchOpts(uint64_t seed) {
+  WorkloadOptions opts;
+  opts.seed = seed;
+  opts.min_cardinality = 10.0;
+  opts.max_cardinality = 1000.0;
+  opts.min_selectivity = 1e-4;
+  opts.max_selectivity = 1e-2;
+  return opts;
+}
+
+/// The > 64-relation sweep through the wide path (core/wide.h): a chain
+/// and a degree-bounded threaded tree that must optimize *exactly* (the
+/// DPccp chain/cycle bid holds at any width) and a hub-heavy sparse graph
+/// past the exact frontier that must take the windowed-exact idp-k route,
+/// never the raw GOO floor. Each record carries the plan-cost ratio vs.
+/// wide GOO; a final narrow record tracks the one-word combine-loop time
+/// on the fig6-style star so the DpTable tag/prefetch micro-work stays
+/// visible run over run. Returns the worst ratio vs. GOO (<= 1.0 by
+/// construction for every route the sweep exercises).
+double RunWide() {
+  std::printf("== wide: > 64-relation optimization ==\n");
+  const int chain_n = EnvInt("DPHYP_BENCH_WIDE_CHAIN", 72);
+  const int tree_n = EnvInt("DPHYP_BENCH_WIDE_TREE", 80);
+  const int sparse_n = EnvInt("DPHYP_BENCH_WIDE_SPARSE", 80);
+
+  struct WideShape {
+    const char* name;
+    WideHypergraph graph;
+  };
+  std::vector<WideShape> shapes;
+  if (chain_n >= 4) {
+    shapes.push_back({"chain", MakeWideChainGraph(chain_n, WideBenchOpts(41))});
+  }
+  if (tree_n >= 4) {
+    shapes.push_back({"threaded-tree",
+                      MakeWideDegreeBoundedTree(tree_n, 2, 11,
+                                                WideBenchOpts(11))});
+  }
+  if (sparse_n >= 4) {
+    shapes.push_back(
+        {"sparse-hub",
+         MakeWideSparseGraph(sparse_n, 0.0005, 7, WideBenchOpts(7))});
+  }
+
+  double worst_ratio_vs_goo = 0.0;
+  for (const WideShape& shape : shapes) {
+    const WideHypergraph& g = shape.graph;
+    WideCardinalityEstimator est(g);
+    OptimizerOptions options;
+    options.random_seed = 0xd1ce;  // pins idp-k / anneal / GOO tie-breaks
+    const WideRouteDecision d = ChooseWideRoute(g);
+
+    BasicOptimizerWorkspace<WideNodeSet> ws;
+    Timer probe_timer;
+    WideOptimizeResult r =
+        OptimizeWideAdaptive(g, est, DefaultCostModel(), options, &ws);
+    const double probe_ms = probe_timer.ElapsedMillis();
+    if (!r.success) {
+      std::fprintf(stderr, "bench: wide %s-%d failed: %s\n", shape.name,
+                   g.NumNodes(), r.error.c_str());
+      std::exit(1);
+    }
+    TimingStats timing;
+    if (probe_ms > 1000.0) {
+      timing = {probe_ms, probe_ms, 1};
+    } else {
+      std::vector<double> samples = MeasureSamplesMillis(
+          [&] {
+            WideOptimizeResult rep =
+                OptimizeWideAdaptive(g, est, DefaultCostModel(), options, &ws);
+            (void)rep;
+          },
+          /*min_total_ms=*/30.0, /*max_reps=*/50);
+      timing = {QuantileMillis(samples, 0.5), QuantileMillis(samples, 0.99),
+                static_cast<int>(samples.size())};
+    }
+
+    WideOptimizeResult goo = OptimizeGoo(g, est, DefaultCostModel(), options);
+    if (!goo.success) {
+      std::fprintf(stderr, "bench: wide GOO failed on %s-%d: %s\n", shape.name,
+                   g.NumNodes(), goo.error.c_str());
+      std::exit(1);
+    }
+    const double ratio_vs_goo = goo.cost > 0.0 ? r.cost / goo.cost : 0.0;
+    worst_ratio_vs_goo = std::max(worst_ratio_vs_goo, ratio_vs_goo);
+
+    OpenRecord("wide", shape.name);
+    json.Field("n", g.NumNodes());
+    json.Field("words", static_cast<int>(WideNodeSet::kWords));
+    json.Field("algorithm", r.stats.algorithm);
+    json.Field("route_reason", d.reason);
+    json.Key("exact");
+    json.Bool(d.exact);
+    TimingFields(timing);
+    json.Field("cost_ratio_vs_goo", ratio_vs_goo);
+    StatsFields(r.stats);
+    json.EndObject();
+    std::printf(
+        "  %-14s n=%-3d %-8s %-7s median %10.3f ms  vs-GOO %.4fx\n",
+        shape.name, g.NumNodes(), r.stats.algorithm,
+        d.exact ? "exact" : "approx", timing.median_ms, ratio_vs_goo);
+  }
+
+  // The one-word combine-loop tracker: narrow DPhyp on the fig6-style
+  // regular star, the EmitCsgCmp-heaviest shape in the paper sweep.
+  Hypergraph star = BuildHypergraphOrDie(MakeStarQuery(16));
+  OptimizerStats narrow_stats;
+  TimingStats narrow = TimeOptimizeStats("DPhyp", star, {}, &narrow_stats);
+  OpenRecord("wide", "combine-narrow-star16");
+  json.Field("n", star.NumNodes());
+  json.Field("words", 1);
+  json.Field("algorithm", "DPhyp");
+  TimingFields(narrow);
+  StatsFields(narrow_stats);
+  json.EndObject();
+  std::printf("  %-14s n=%-3d %-8s %-7s median %10.3f ms\n",
+              "combine-narrow", star.NumNodes(), "DPhyp", "1-word",
+              narrow.median_ms);
+  return worst_ratio_vs_goo;
+}
+
+/// Minimal field extraction from the baseline JSON — the file is our own
+/// JsonWriter output (flat one-line records), so plain substring scans are
+/// exact, not heuristic.
+bool JsonStringField(const std::string& rec, const char* name,
+                     std::string* out) {
+  const std::string pat = std::string("\"") + name + "\":\"";
+  const size_t p = rec.find(pat);
+  if (p == std::string::npos) return false;
+  const size_t start = p + pat.size();
+  const size_t end = rec.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = rec.substr(start, end - start);
+  return true;
+}
+
+bool JsonNumberField(const std::string& rec, const char* name, double* out) {
+  const std::string pat = std::string("\"") + name + "\":";
+  const size_t p = rec.find(pat);
+  if (p == std::string::npos) return false;
+  const char* cursor = rec.c_str() + p + pat.size();
+  char* end = nullptr;
+  const double value = std::strtod(cursor, &end);
+  if (end == cursor) return false;
+  *out = value;
+  return true;
+}
+
+bool JsonBoolField(const std::string& rec, const char* name, bool* out) {
+  const std::string pat = std::string("\"") + name + "\":";
+  const size_t p = rec.find(pat);
+  if (p == std::string::npos) return false;
+  *out = rec.compare(p + pat.size(), 4, "true") == 0;
+  return true;
+}
+
+/// Compares this run's fig5-8 medians (g_narrow_fig_medians) against the
+/// baseline BENCH JSON at `path`, record by record, and returns the median
+/// of the per-record ratios (current / baseline). Returns a negative value
+/// when the baseline is unreadable or no record matched — the caller
+/// decides whether that skips or fails the gate. The comparison is the
+/// narrow no-regression check: the one-word path is now a template
+/// instantiation, and this is where a width-generalization slowdown on the
+/// paper sweep would show up.
+double NarrowRegressionVsBaseline(const std::string& path, int* matched) {
+  *matched = 0;
+  std::ifstream in(path);
+  if (!in) return -1.0;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::vector<double> ratios;
+  size_t pos = 0;
+  while ((pos = text.find("{\"figure\":\"fig", pos)) != std::string::npos) {
+    const size_t end = text.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string rec = text.substr(pos, end - pos + 1);
+    pos = end + 1;
+
+    std::string figure, shape, algo;
+    double n = 0.0, median = 0.0;
+    if (!JsonStringField(rec, "figure", &figure) ||
+        !JsonStringField(rec, "shape", &shape) ||
+        !JsonStringField(rec, "algorithm", &algo) ||
+        !JsonNumberField(rec, "n", &n) ||
+        !JsonNumberField(rec, "median_ms", &median) || median <= 0.0) {
+      continue;
+    }
+    bool pruned = false;
+    JsonBoolField(rec, "pruned", &pruned);
+    const char* param = nullptr;
+    int value = 0;
+    for (const char* candidate : {"splits", "antijoins", "outerjoins"}) {
+      double v = 0.0;
+      if (JsonNumberField(rec, candidate, &v)) {
+        param = candidate;
+        value = static_cast<int>(v);
+        break;
+      }
+    }
+    const auto it = g_narrow_fig_medians.find(NarrowKey(
+        figure, shape, static_cast<int>(n), param, value, algo, pruned));
+    if (it == g_narrow_fig_medians.end()) continue;
+    ratios.push_back(it->second / median);
+  }
+  *matched = static_cast<int>(ratios.size());
+  if (ratios.empty()) return -1.0;
+  return MedianOf(ratios);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -981,7 +1251,7 @@ int main(int argc, char** argv) {
       EnvInt("DPHYP_BENCH_REQUIRE_SPEEDUP", 0);
 
   json.BeginObject();
-  json.Field("schema_version", 6);
+  json.Field("schema_version", 7);
   json.Field("suite", "dphyp-paper-figures");
   json.Key("config");
   json.BeginObject();
@@ -1058,10 +1328,59 @@ int main(int argc, char** argv) {
                  frontier_ratio, require_frontier_pct / 100.0);
     return 1;
   }
+  // The > 64-relation wide path: exact routes on tractable wide shapes,
+  // the idp-k route past the frontier, and the one-word combine-loop
+  // tracker. The cost-ratio floor is structural (<= 1.0 by construction),
+  // so any ratio above 1.0 is a routing or floor-logic bug, not noise.
+  const double wide_ratio = RunWide();
+  if (wide_ratio > 1.0) {
+    std::fprintf(stderr,
+                 "bench: wide cost ratio vs GOO %.4fx exceeds the 1.0 "
+                 "floor\n",
+                 wide_ratio);
+    return 1;
+  }
   // Burst-traffic load: the stampede invariant (exactly one optimization)
   // is always enforced — it is a correctness property, not a perf number.
   const double sustained_qps = RunLoad();
   if (sustained_qps < 0.0) return 1;
+
+  // Narrow no-regression: this run's fig5-8 medians against the committed
+  // baseline record. Percent gate (105 = 5% median slowdown budget);
+  // advisory by default since it only means anything when the baseline
+  // was produced on comparable hardware.
+  const char* baseline_env = std::getenv("DPHYP_BENCH_BASELINE");
+  const std::string baseline_path =
+      baseline_env != nullptr ? baseline_env : "BENCH_dphyp.json";
+  int narrow_matched = 0;
+  double narrow_ratio =
+      NarrowRegressionVsBaseline(baseline_path, &narrow_matched);
+  const int require_narrow_pct =
+      EnvInt("DPHYP_BENCH_REQUIRE_NO_NARROW_REGRESSION", 0);
+  if (narrow_ratio < 0.0) {
+    std::printf("narrow fig5-8 regression check: no baseline records at %s\n",
+                baseline_path.c_str());
+    if (require_narrow_pct > 0) {
+      std::fprintf(stderr,
+                   "bench: narrow-regression gate needs a readable baseline "
+                   "at %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    narrow_ratio = 0.0;
+  } else {
+    std::printf(
+        "narrow fig5-8 median ratio vs baseline: %.3fx over %d records\n",
+        narrow_ratio, narrow_matched);
+    if (require_narrow_pct > 0 &&
+        narrow_ratio * 100.0 > static_cast<double>(require_narrow_pct)) {
+      std::fprintf(stderr,
+                   "bench: narrow fig5-8 median ratio %.3fx exceeds allowed "
+                   "%.3fx\n",
+                   narrow_ratio, require_narrow_pct / 100.0);
+      return 1;
+    }
+  }
 
   json.EndArray();
   json.Field("worst_pruning_speedup_median", worst_speedup);
@@ -1070,6 +1389,8 @@ int main(int argc, char** argv) {
   json.Field("frontier_worst_cost_ratio_vs_goo", frontier_ratio);
   json.Field("jobgen_hist_vs_stats_q_ratio", jobgen_ratio);
   json.Field("load_sustained_qps_at_slo", sustained_qps);
+  json.Field("wide_worst_cost_ratio_vs_goo", wide_ratio);
+  json.Field("narrow_fig_median_ratio_vs_baseline", narrow_ratio);
   json.EndObject();
 
   std::string payload = json.TakeString();

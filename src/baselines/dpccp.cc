@@ -10,58 +10,59 @@ namespace {
 /// DPccp enumeration. For simple graphs, any subset of a csg's neighborhood
 /// grows it into another csg and any grown complement stays joined to S1
 /// (the seed is adjacent), so no connectivity tests are needed at all.
+template <typename NS>
 class DpccpSolver {
  public:
-  DpccpSolver(const Hypergraph& graph, OptimizerContext& ctx)
+  DpccpSolver(const BasicHypergraph<NS>& graph, BasicOptimizerContext<NS>& ctx)
       : graph_(graph), ctx_(ctx) {}
 
   void Run() {
     ctx_.InitLeaves();
     for (int v = graph_.NumNodes() - 1; v >= 0; --v) {
-      NodeSet single = NodeSet::Single(v);
+      NS single = NS::Single(v);
       EmitCsg(single);
-      EnumerateCsgRec(single, NodeSet::UpTo(v));
+      EnumerateCsgRec(single, NS::UpTo(v));
     }
   }
 
  private:
-  NodeSet SimpleNeighborhood(NodeSet S, NodeSet X) const {
-    NodeSet nbh;
+  NS SimpleNeighborhood(NS S, NS X) const {
+    NS nbh;
     for (int v : S) nbh |= graph_.SimpleNeighbors(v);
     return nbh - (S | X);
   }
 
-  void EnumerateCsgRec(NodeSet S1, NodeSet X) {
-    NodeSet nbh = SimpleNeighborhood(S1, X);
+  void EnumerateCsgRec(NS S1, NS X) {
+    NS nbh = SimpleNeighborhood(S1, X);
     if (nbh.Empty()) return;
-    for (NodeSet n : NonEmptySubsetsOf(nbh)) EmitCsg(S1 | n);
-    NodeSet x2 = X | nbh;
-    for (NodeSet n : NonEmptySubsetsOf(nbh)) EnumerateCsgRec(S1 | n, x2);
+    for (NS n : NonEmptySubsetsOf(nbh)) EmitCsg(S1 | n);
+    NS x2 = X | nbh;
+    for (NS n : NonEmptySubsetsOf(nbh)) EnumerateCsgRec(S1 | n, x2);
   }
 
-  void EmitCsg(NodeSet S1) {
-    NodeSet X = S1 | NodeSet::Below(S1.Min());
-    NodeSet nbh = SimpleNeighborhood(S1, X);
-    NodeSet remaining = nbh;
+  void EmitCsg(NS S1) {
+    NS X = S1 | NS::Below(S1.Min());
+    NS nbh = SimpleNeighborhood(S1, X);
+    NS remaining = nbh;
     while (!remaining.Empty()) {
       int v = remaining.Max();
-      remaining -= NodeSet::Single(v);
-      NodeSet S2 = NodeSet::Single(v);
+      remaining -= NS::Single(v);
+      NS S2 = NS::Single(v);
       ctx_.EmitCsgCmp(S1, S2);  // v is adjacent to S1 by construction
-      EnumerateCmpRec(S1, S2, X | (nbh & NodeSet::UpTo(v)));
+      EnumerateCmpRec(S1, S2, X | (nbh & NS::UpTo(v)));
     }
   }
 
-  void EnumerateCmpRec(NodeSet S1, NodeSet S2, NodeSet X) {
-    NodeSet nbh = SimpleNeighborhood(S2, X);
+  void EnumerateCmpRec(NS S1, NS S2, NS X) {
+    NS nbh = SimpleNeighborhood(S2, X);
     if (nbh.Empty()) return;
-    for (NodeSet n : NonEmptySubsetsOf(nbh)) ctx_.EmitCsgCmp(S1, S2 | n);
-    NodeSet x2 = X | nbh;
-    for (NodeSet n : NonEmptySubsetsOf(nbh)) EnumerateCmpRec(S1, S2 | n, x2);
+    for (NS n : NonEmptySubsetsOf(nbh)) ctx_.EmitCsgCmp(S1, S2 | n);
+    NS x2 = X | nbh;
+    for (NS n : NonEmptySubsetsOf(nbh)) EnumerateCmpRec(S1, S2 | n, x2);
   }
 
-  const Hypergraph& graph_;
-  OptimizerContext& ctx_;
+  const BasicHypergraph<NS>& graph_;
+  BasicOptimizerContext<NS>& ctx_;
 };
 
 class DpccpEnumerator : public Enumerator {
@@ -98,13 +99,14 @@ class DpccpEnumerator : public Enumerator {
 
 }  // namespace
 
-OptimizeResult OptimizeDpccp(const Hypergraph& graph,
-                             const CardinalityModel& est,
-                             const CostModel& cost_model,
-                             const OptimizerOptions& options,
-                             OptimizerWorkspace* workspace) {
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeDpccp(const BasicHypergraph<NS>& graph,
+                                      const BasicCardinalityModel<NS>& est,
+                                      const CostModel& cost_model,
+                                      const OptimizerOptions& options,
+                                      BasicOptimizerWorkspace<NS>* workspace) {
   if (!graph.complex_edge_ids().empty()) {
-    OptimizeResult result;
+    BasicOptimizeResult<NS> result;
     result.success = false;
     result.error = "DPccp handles only simple graphs; use DPhyp";
     result.stats.algorithm = "DPccp";
@@ -112,15 +114,30 @@ OptimizeResult OptimizeDpccp(const Hypergraph& graph,
   }
   OptimizerOptions effective =
       ResolvePruningSeed(graph, est, cost_model, options, workspace);
-  OptimizerContext ctx(graph, est, cost_model, effective,
-                       workspace != nullptr ? &workspace->table() : nullptr);
+  BasicOptimizerContext<NS> ctx(
+      graph, est, cost_model, effective,
+      workspace != nullptr ? &workspace->table() : nullptr);
   if (workspace != nullptr) workspace->CountRun();
-  DpccpSolver solver(graph, ctx);
+  DpccpSolver<NS> solver(graph, ctx);
   return RunGuarded("DPccp", ctx, graph.AllNodes(), [&] { solver.Run(); });
 }
 
 std::unique_ptr<Enumerator> MakeDpccpEnumerator() {
   return std::make_unique<DpccpEnumerator>();
 }
+
+template OptimizeResult OptimizeDpccp<NodeSet>(const Hypergraph&,
+                                               const CardinalityModel&,
+                                               const CostModel&,
+                                               const OptimizerOptions&,
+                                               OptimizerWorkspace*);
+template BasicOptimizeResult<WideNodeSet> OptimizeDpccp<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&,
+    const BasicCardinalityModel<WideNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<WideNodeSet>*);
+template BasicOptimizeResult<HugeNodeSet> OptimizeDpccp<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&,
+    const BasicCardinalityModel<HugeNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<HugeNodeSet>*);
 
 }  // namespace dphyp

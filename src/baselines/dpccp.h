@@ -3,7 +3,8 @@
 // the lower-bound-optimal algorithm DPhyp generalizes. Included both as a
 // baseline (Sec. 4.4 claims DPhyp behaves exactly like DPccp on regular
 // graphs — a claim the tests verify) and to measure DPhyp's constant-factor
-// overhead on simple graphs.
+// overhead on simple graphs. Width-generic, so the same agreement checks
+// run on wide (>64 relation) graphs.
 #ifndef DPHYP_BASELINES_DPCCP_H_
 #define DPHYP_BASELINES_DPCCP_H_
 
@@ -17,11 +18,13 @@ namespace dphyp {
 /// Runs DPccp. Requires a simple graph (no complex hyperedges); fails
 /// cleanly otherwise. Deprecated as a public entry point: prefer
 /// OptimizeByName("DPccp", ...) or an OptimizationSession.
-OptimizeResult OptimizeDpccp(const Hypergraph& graph,
-                             const CardinalityModel& est,
-                             const CostModel& cost_model,
-                             const OptimizerOptions& options = {},
-                             OptimizerWorkspace* workspace = nullptr);
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeDpccp(const BasicHypergraph<NS>& graph,
+                                      const BasicCardinalityModel<NS>& est,
+                                      const CostModel& cost_model,
+                                      const OptimizerOptions& options = {},
+                                      BasicOptimizerWorkspace<NS>* workspace =
+                                          nullptr);
 
 /// The registry entry for DPccp (bids on simple inner graphs; refuses
 /// complex hyperedges).

@@ -36,38 +36,41 @@ class DpsubEnumerator : public Enumerator {
 
 }  // namespace
 
-OptimizeResult OptimizeDpsub(const Hypergraph& graph,
-                             const CardinalityModel& est,
-                             const CostModel& cost_model,
-                             const OptimizerOptions& options,
-                             OptimizerWorkspace* workspace) {
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeDpsub(const BasicHypergraph<NS>& graph,
+                                      const BasicCardinalityModel<NS>& est,
+                                      const CostModel& cost_model,
+                                      const OptimizerOptions& options,
+                                      BasicOptimizerWorkspace<NS>* workspace) {
   OptimizerOptions effective =
       ResolvePruningSeed(graph, est, cost_model, options, workspace);
-  OptimizerContext ctx(graph, est, cost_model, effective,
-                       workspace != nullptr ? &workspace->table() : nullptr);
+  BasicOptimizerContext<NS> ctx(
+      graph, est, cost_model, effective,
+      workspace != nullptr ? &workspace->table() : nullptr);
   if (workspace != nullptr) workspace->CountRun();
   auto run = [&] {
     ctx.InitLeaves();
-    const uint64_t full = graph.AllNodes().bits();
-
-    for (uint64_t bits = 3; bits <= full; ++bits) {
-      NodeSet S(bits);
+    // Ascending numeric order over all non-empty subsets of the full node
+    // set: the Vance–Maier walk over a contiguous mask is exactly the
+    // pre-wide `for (bits = 1; bits <= full; ++bits)` counter, at any
+    // node-set width (subsets still precede supersets).
+    for (NS S : NonEmptySubsetsOf(graph.AllNodes())) {
       if (S.IsSingleton()) continue;
       // Deadline poll per subset: on emit-starved shapes (most subsets
       // disconnected) the combine step's own poll would never run.
       ctx.Tick();
       // Each unordered split once: S1 contains min(S). EmitCsgCmp tries
       // both orientations, covering commutativity.
-      const NodeSet min_set = S.MinSet();
-      const NodeSet rest = S.MinusMin();
-      auto try_split = [&](NodeSet S1, NodeSet S2) {
+      const NS min_set = S.MinSet();
+      const NS rest = S.MinusMin();
+      auto try_split = [&](NS S1, NS S2) {
         ++ctx.stats().pairs_tested;
         if (!ctx.table().Contains(S1)) return;          // S1 connected?
         if (!ctx.table().Contains(S2)) return;          // S2 connected?
         if (!graph.ConnectsSets(S1, S2)) return;        // joined by an edge?
         ctx.EmitCsgCmp(S1, S2);
       };
-      for (NodeSet part : NonEmptySubsetsOf(rest)) {
+      for (NS part : NonEmptySubsetsOf(rest)) {
         if (part == rest) break;  // S2 would be empty
         try_split(min_set | part, S - (min_set | part));
       }
@@ -80,5 +83,19 @@ OptimizeResult OptimizeDpsub(const Hypergraph& graph,
 std::unique_ptr<Enumerator> MakeDpsubEnumerator() {
   return std::make_unique<DpsubEnumerator>();
 }
+
+template OptimizeResult OptimizeDpsub<NodeSet>(const Hypergraph&,
+                                               const CardinalityModel&,
+                                               const CostModel&,
+                                               const OptimizerOptions&,
+                                               OptimizerWorkspace*);
+template BasicOptimizeResult<WideNodeSet> OptimizeDpsub<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&,
+    const BasicCardinalityModel<WideNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<WideNodeSet>*);
+template BasicOptimizeResult<HugeNodeSet> OptimizeDpsub<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&,
+    const BasicCardinalityModel<HugeNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<HugeNodeSet>*);
 
 }  // namespace dphyp

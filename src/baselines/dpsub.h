@@ -4,7 +4,9 @@
 // existence + connectedness tests are hyperedge-aware; everything else is
 // the textbook algorithm. Complexity Θ(3^n) candidate splits regardless of
 // graph shape, which is why it loses badly on chains/cycles and large stars
-// (Figs. 5–7).
+// (Figs. 5–7). Width-generic: the outer loop iterates the Vance–Maier
+// subset walk (util/subset.h) instead of a raw 64-bit counter, which
+// preserves the exact numeric order at any word count.
 #ifndef DPHYP_BASELINES_DPSUB_H_
 #define DPHYP_BASELINES_DPSUB_H_
 
@@ -17,11 +19,13 @@ namespace dphyp {
 
 /// Runs DPsub over `graph`. Deprecated as a public entry point: prefer
 /// OptimizeByName("DPsub", ...) or an OptimizationSession.
-OptimizeResult OptimizeDpsub(const Hypergraph& graph,
-                             const CardinalityModel& est,
-                             const CostModel& cost_model,
-                             const OptimizerOptions& options = {},
-                             OptimizerWorkspace* workspace = nullptr);
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeDpsub(const BasicHypergraph<NS>& graph,
+                                      const BasicCardinalityModel<NS>& est,
+                                      const CostModel& cost_model,
+                                      const OptimizerOptions& options = {},
+                                      BasicOptimizerWorkspace<NS>* workspace =
+                                          nullptr);
 
 /// The registry entry for DPsub (bids on small dense simple graphs).
 std::unique_ptr<Enumerator> MakeDpsubEnumerator();

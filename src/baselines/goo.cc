@@ -13,17 +13,19 @@ namespace dphyp {
 
 namespace {
 
-using Candidate = GooScratch::Candidate;
-
 /// The shared implementation behind both public entry points: `table`
 /// routes the run onto an external DP table slot (workspace primary table
 /// for a routed/fallback GOO run, the *seed* slot when bootstrapping an
 /// exact run's pruning bound), `scratch` reuses the component/candidate/
 /// memo storage. Either may be null for self-contained behavior.
-OptimizeResult RunGoo(const Hypergraph& graph, const CardinalityModel& est,
-                      const CostModel& cost_model,
-                      const OptimizerOptions& options, DpTable* table,
-                      GooScratch* scratch) {
+template <typename NS>
+BasicOptimizeResult<NS> RunGoo(const BasicHypergraph<NS>& graph,
+                               const BasicCardinalityModel<NS>& est,
+                               const CostModel& cost_model,
+                               const OptimizerOptions& options,
+                               BasicDpTable<NS>* table,
+                               BasicGooScratch<NS>* scratch) {
+  using Candidate = typename BasicGooScratch<NS>::Candidate;
   // GOO must keep every merge it emits (pruning a merge would abort the
   // greedy chain) and is itself the pruning-bound provider — recursing into
   // another GOO run from the seed resolution would never terminate. It is
@@ -32,28 +34,29 @@ OptimizeResult RunGoo(const Hypergraph& graph, const CardinalityModel& est,
   OptimizerOptions effective = options;
   effective.enable_pruning = false;
   effective.cancellation = nullptr;
-  OptimizerContext ctx(graph, est, cost_model, effective, table);
+  BasicOptimizerContext<NS> ctx(graph, est, cost_model, effective, table);
 
-  std::optional<GooScratch> local_scratch;
-  GooScratch& s = scratch != nullptr ? *scratch : local_scratch.emplace();
+  std::optional<BasicGooScratch<NS>> local_scratch;
+  BasicGooScratch<NS>& s =
+      scratch != nullptr ? *scratch : local_scratch.emplace();
   s.Clear();
 
   auto run = [&] {
     ctx.InitLeaves();
 
-    std::vector<NodeSet>& comps = s.components;
+    std::vector<NS>& comps = s.components;
     comps.reserve(graph.NumNodes());
     for (int v = 0; v < graph.NumNodes(); ++v) {
-      comps.push_back(NodeSet::Single(v));
+      comps.push_back(NS::Single(v));
     }
 
     // Component pairs are re-examined every round, but connectivity and the
     // estimated join size of a pair never change while both components
     // survive; memoizing them keeps GOO at O(n^2) estimator calls overall
     // (NaN marks a disconnected pair).
-    auto pair_card = [&](NodeSet a, NodeSet b) {
-      std::pair<uint64_t, uint64_t> key{std::min(a.bits(), b.bits()),
-                                        std::max(a.bits(), b.bits())};
+    auto pair_card = [&](NS a, NS b) {
+      std::pair<NS, NS> key = b < a ? std::pair<NS, NS>{b, a}
+                                    : std::pair<NS, NS>{a, b};
       auto it = s.pair_cardinality.find(key);
       if (it != s.pair_cardinality.end()) return it->second;
       double card = graph.ConnectsSets(a, b)
@@ -88,11 +91,11 @@ OptimizeResult RunGoo(const Hypergraph& graph, const CardinalityModel& est,
       // to the next-best pair until one merge sticks.
       bool merged = false;
       for (const Candidate& c : candidates) {
-        const NodeSet combined = comps[c.i] | comps[c.j];
+        const NS combined = comps[c.i] | comps[c.j];
         ctx.EmitCsgCmp(comps[c.i], comps[c.j]);
         // Require a real inner node, not just a table entry: a combine whose
         // cost stayed +inf (cardinality overflow) records no children.
-        const PlanEntry* entry = ctx.table().Find(combined);
+        const BasicPlanEntry<NS>* entry = ctx.table().Find(combined);
         if (entry == nullptr || entry->IsLeaf()) continue;
         comps[c.i] = combined;
         comps.erase(comps.begin() + c.j);
@@ -133,11 +136,12 @@ class GooEnumerator : public Enumerator {
 
 }  // namespace
 
-OptimizeResult OptimizeGoo(const Hypergraph& graph,
-                           const CardinalityModel& est,
-                           const CostModel& cost_model,
-                           const OptimizerOptions& options,
-                           OptimizerWorkspace* workspace) {
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeGoo(const BasicHypergraph<NS>& graph,
+                                    const BasicCardinalityModel<NS>& est,
+                                    const CostModel& cost_model,
+                                    const OptimizerOptions& options,
+                                    BasicOptimizerWorkspace<NS>* workspace) {
   if (workspace != nullptr) workspace->CountRun();
   return RunGoo(graph, est, cost_model, options,
                 workspace != nullptr ? &workspace->table() : nullptr,
@@ -149,14 +153,15 @@ OptimizeResult OptimizeGoo(const Hypergraph& graph) {
   return OptimizeGoo(graph, est, DefaultCostModel());
 }
 
-double GooCostUpperBound(const Hypergraph& graph,
-                         const CardinalityModel& est,
+template <typename NS>
+double GooCostUpperBound(const BasicHypergraph<NS>& graph,
+                         const BasicCardinalityModel<NS>& est,
                          const CostModel& cost_model,
                          const OptimizerOptions& base_options,
-                         OptimizerWorkspace* workspace) {
+                         BasicOptimizerWorkspace<NS>* workspace) {
   // The seed run must not claim the workspace's primary table: the exact
   // run it bootstraps is about to run there.
-  OptimizeResult r =
+  BasicOptimizeResult<NS> r =
       RunGoo(graph, est, cost_model, base_options,
              workspace != nullptr ? &workspace->seed_table() : nullptr,
              workspace != nullptr ? &workspace->goo() : nullptr);
@@ -166,5 +171,32 @@ double GooCostUpperBound(const Hypergraph& graph,
 std::unique_ptr<Enumerator> MakeGooEnumerator() {
   return std::make_unique<GooEnumerator>();
 }
+
+template OptimizeResult OptimizeGoo<NodeSet>(const Hypergraph&,
+                                             const CardinalityModel&,
+                                             const CostModel&,
+                                             const OptimizerOptions&,
+                                             OptimizerWorkspace*);
+template BasicOptimizeResult<WideNodeSet> OptimizeGoo<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&,
+    const BasicCardinalityModel<WideNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<WideNodeSet>*);
+template BasicOptimizeResult<HugeNodeSet> OptimizeGoo<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&,
+    const BasicCardinalityModel<HugeNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<HugeNodeSet>*);
+template double GooCostUpperBound<NodeSet>(const Hypergraph&,
+                                           const CardinalityModel&,
+                                           const CostModel&,
+                                           const OptimizerOptions&,
+                                           OptimizerWorkspace*);
+template double GooCostUpperBound<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&,
+    const BasicCardinalityModel<WideNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<WideNodeSet>*);
+template double GooCostUpperBound<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&,
+    const BasicCardinalityModel<HugeNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<HugeNodeSet>*);
 
 }  // namespace dphyp

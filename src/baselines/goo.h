@@ -16,7 +16,8 @@
 // dispatch routes infeasible shapes here, and OptimizationSession re-runs
 // it when an exact enumerator blows its deadline. It therefore strips both
 // pruning (it *is* the bound provider) and the cancellation token (the
-// fallback must always complete) from its options.
+// fallback must always complete) from its options. Width-generic: the wide
+// path uses it both as quality floor and as pruning-bound seed.
 #ifndef DPHYP_BASELINES_GOO_H_
 #define DPHYP_BASELINES_GOO_H_
 
@@ -31,11 +32,13 @@ namespace dphyp {
 /// merges are broken by the smaller (min-node, min-node) component pair.
 /// Deprecated as a public entry point: prefer OptimizeByName("GOO", ...)
 /// or an OptimizationSession.
-OptimizeResult OptimizeGoo(const Hypergraph& graph,
-                           const CardinalityModel& est,
-                           const CostModel& cost_model,
-                           const OptimizerOptions& options = {},
-                           OptimizerWorkspace* workspace = nullptr);
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeGoo(const BasicHypergraph<NS>& graph,
+                                    const BasicCardinalityModel<NS>& est,
+                                    const CostModel& cost_model,
+                                    const OptimizerOptions& options = {},
+                                    BasicOptimizerWorkspace<NS>* workspace =
+                                        nullptr);
 
 /// Convenience wrapper with default estimator and cost model.
 OptimizeResult OptimizeGoo(const Hypergraph& graph);
@@ -49,11 +52,12 @@ OptimizeResult OptimizeGoo(const Hypergraph& graph);
 /// With a workspace, the seed run uses the workspace's *seed* table slot —
 /// the primary table belongs to the exact run being seeded — and its GOO
 /// scratch, keeping pooled serving allocation-free.
-double GooCostUpperBound(const Hypergraph& graph,
-                         const CardinalityModel& est,
+template <typename NS>
+double GooCostUpperBound(const BasicHypergraph<NS>& graph,
+                         const BasicCardinalityModel<NS>& est,
                          const CostModel& cost_model,
                          const OptimizerOptions& base_options = {},
-                         OptimizerWorkspace* workspace = nullptr);
+                         BasicOptimizerWorkspace<NS>* workspace = nullptr);
 
 /// The registry entry for GOO (the always-feasible fallback bid).
 std::unique_ptr<Enumerator> MakeGooEnumerator();

@@ -22,21 +22,24 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// (moves rewrite child/rel fields only), so the leaf and inner slot lists
 /// are computed once. Cheap to copy — candidate moves are applied to a
 /// scratch copy and accepted by swapping.
+template <typename NS>
 struct TreeNode {
   int left = -1;
   int right = -1;
   /// Base relation for leaves; -1 for inner nodes.
   int rel = -1;
-  NodeSet set;
+  NS set;
 };
 
+template <typename NS>
 struct Tree {
-  std::vector<TreeNode> nodes;
+  std::vector<TreeNode<NS>> nodes;
   int root = -1;
 };
 
-int BuildFromPlan(const PlanTreeNode* p, Tree* t) {
-  TreeNode node;
+template <typename NS>
+int BuildFromPlan(const BasicPlanTreeNode<NS>* p, Tree<NS>* t) {
+  TreeNode<NS> node;
   if (p->IsLeaf()) {
     node.rel = p->relation;
     node.set = p->set;
@@ -49,10 +52,11 @@ int BuildFromPlan(const PlanTreeNode* p, Tree* t) {
   return static_cast<int>(t->nodes.size()) - 1;
 }
 
-NodeSet RecomputeSets(Tree* t, int idx) {
-  TreeNode& n = t->nodes[idx];
+template <typename NS>
+NS RecomputeSets(Tree<NS>* t, int idx) {
+  TreeNode<NS>& n = t->nodes[idx];
   if (n.rel >= 0) {
-    n.set = NodeSet::Single(n.rel);
+    n.set = NS::Single(n.rel);
     return n.set;
   }
   n.set = RecomputeSets(t, n.left) | RecomputeSets(t, n.right);
@@ -60,7 +64,8 @@ NodeSet RecomputeSets(Tree* t, int idx) {
 }
 
 /// Slot index of the node whose child slot holds `child`; -1 for the root.
-int FindParent(const Tree& t, int child) {
+template <typename NS>
+int FindParent(const Tree<NS>& t, int child) {
   for (size_t i = 0; i < t.nodes.size(); ++i) {
     if (t.nodes[i].left == child || t.nodes[i].right == child) {
       return static_cast<int>(i);
@@ -72,27 +77,30 @@ int FindParent(const Tree& t, int child) {
 /// Emits the tree's merges post-order through the shared combine step.
 /// False when any merge is rejected (no connecting edge, conflict-rule /
 /// TES / lateral violation, cardinality overflow) — the tree is invalid.
-bool EmitSubtree(OptimizerContext& ctx, const Tree& t, int idx) {
-  const TreeNode& n = t.nodes[idx];
+template <typename NS>
+bool EmitSubtree(BasicOptimizerContext<NS>& ctx, const Tree<NS>& t, int idx) {
+  const TreeNode<NS>& n = t.nodes[idx];
   if (n.rel >= 0) return true;
   if (!EmitSubtree(ctx, t, n.left) || !EmitSubtree(ctx, t, n.right)) {
     return false;
   }
   ctx.EmitCsgCmp(t.nodes[n.left].set, t.nodes[n.right].set);
-  const PlanEntry* entry = ctx.table().Find(n.set);
+  const auto* entry = ctx.table().Find(n.set);
   return entry != nullptr && !entry->IsLeaf();
 }
 
 /// Full-tree cost via replay on `table` (the workspace's seed slot during
 /// the search, the primary slot for the final result). +inf for invalid
 /// trees. Throws EnumerationAborted when the options' token fires.
-double EvaluateTree(const Tree& t, const Hypergraph& graph,
-                    const CardinalityModel& est, const CostModel& cost_model,
-                    const OptimizerOptions& options, DpTable* table) {
-  OptimizerContext ctx(graph, est, cost_model, options, table);
+template <typename NS>
+double EvaluateTree(const Tree<NS>& t, const BasicHypergraph<NS>& graph,
+                    const BasicCardinalityModel<NS>& est,
+                    const CostModel& cost_model,
+                    const OptimizerOptions& options, BasicDpTable<NS>* table) {
+  BasicOptimizerContext<NS> ctx(graph, est, cost_model, options, table);
   ctx.InitLeaves();
   if (!EmitSubtree(ctx, t, t.root)) return kInf;
-  const PlanEntry* root = ctx.table().Find(graph.AllNodes());
+  const auto* root = ctx.table().Find(graph.AllNodes());
   if (root == nullptr) return kInf;
   return root->cost;
 }
@@ -101,7 +109,8 @@ double EvaluateTree(const Tree& t, const Hypergraph& graph,
 /// applicable move was found (the caller skips the iteration). Sets are
 /// recomputed for the whole tree afterwards — O(n), dwarfed by the replay
 /// the candidate is about to pay anyway.
-bool ApplyMove(Tree* t, Rng& rng, const std::vector<int>& leaf_ids,
+template <typename NS>
+bool ApplyMove(Tree<NS>* t, Rng& rng, const std::vector<int>& leaf_ids,
                const std::vector<int>& inner_ids) {
   const int kind = static_cast<int>(rng.Uniform(3));
   bool changed = false;
@@ -133,7 +142,7 @@ bool ApplyMove(Tree* t, Rng& rng, const std::vector<int>& leaf_ids,
     // that moves a relation across a join boundary.
     for (int attempt = 0; attempt < 4 && !changed; ++attempt) {
       const int p = inner_ids[rng.Uniform(inner_ids.size())];
-      TreeNode& parent = t->nodes[p];
+      TreeNode<NS>& parent = t->nodes[p];
       const bool left_inner = t->nodes[parent.left].rel < 0;
       const bool right_inner = t->nodes[parent.right].rel < 0;
       if (!left_inner && !right_inner) continue;
@@ -141,7 +150,7 @@ bool ApplyMove(Tree* t, Rng& rng, const std::vector<int>& leaf_ids,
           left_inner && (!right_inner || rng.Bernoulli(0.5));
       const int c = pick_left ? parent.left : parent.right;
       const int s = pick_left ? parent.right : parent.left;
-      TreeNode& child = t->nodes[c];
+      TreeNode<NS>& child = t->nodes[c];
       const int a = child.left;
       const int b = child.right;
       const bool keep_a_up = rng.Bernoulli(0.5);
@@ -156,22 +165,25 @@ bool ApplyMove(Tree* t, Rng& rng, const std::vector<int>& leaf_ids,
   return changed;
 }
 
-OptimizeResult RunAnneal(const Hypergraph& graph, const CardinalityModel& est,
-                         const CostModel& cost_model,
-                         const OptimizerOptions& options,
-                         OptimizerWorkspace& ws) {
+template <typename NS>
+BasicOptimizeResult<NS> RunAnneal(const BasicHypergraph<NS>& graph,
+                                  const BasicCardinalityModel<NS>& est,
+                                  const CostModel& cost_model,
+                                  const OptimizerOptions& options,
+                                  BasicOptimizerWorkspace<NS>& ws) {
   const int n = graph.NumNodes();
 
   // Seed from GOO: the walk starts at (and never accepts worse as its
   // best than) the greedy fallback's tree.
-  OptimizeResult goo = OptimizeGoo(graph, est, cost_model, options, &ws);
+  BasicOptimizeResult<NS> goo =
+      OptimizeGoo(graph, est, cost_model, options, &ws);
   if (!goo.success || n < 3) {
     goo.stats.algorithm = "anneal";
     return goo;  // failure, or too small for any neighborhood move
   }
-  Tree current;
+  Tree<NS> current;
   {
-    const PlanTree seed_plan = goo.ExtractPlan(graph);
+    const BasicPlanTree<NS> seed_plan = goo.ExtractPlan(graph);
     current.root = BuildFromPlan(seed_plan.root(), &current);
   }
   std::vector<int> leaf_ids;
@@ -191,7 +203,7 @@ OptimizeResult RunAnneal(const Hypergraph& graph, const CardinalityModel& est,
   const int budget = options.anneal_moves > 0 ? options.anneal_moves : 64 * n;
   Rng rng(options.random_seed);
   double current_cost = goo.cost;
-  Tree best = current;
+  Tree<NS> best = current;
   double best_cost = current_cost;
   // Geometric cooling from a temperature proportional to the seed cost
   // (costs are scale-free across queries); one cooling step per n moves.
@@ -200,7 +212,7 @@ OptimizeResult RunAnneal(const Hypergraph& graph, const CardinalityModel& est,
   uint64_t accepted = 0;
   uint64_t rejected = 0;
 
-  Tree scratch;
+  Tree<NS> scratch;
   for (int move = 0; move < budget; ++move) {
     if (options.cancellation != nullptr &&
         options.cancellation->StopRequested()) {
@@ -241,10 +253,11 @@ OptimizeResult RunAnneal(const Hypergraph& graph, const CardinalityModel& est,
   // a deadline shrinks the move budget, not the result.
   OptimizerOptions final_options = eval_options;
   final_options.cancellation = nullptr;
-  OptimizerContext ctx(graph, est, cost_model, final_options, &ws.table());
+  BasicOptimizerContext<NS> ctx(graph, est, cost_model, final_options,
+                                &ws.table());
   ctx.InitLeaves();
   const bool ok = EmitSubtree(ctx, best, best.root);
-  OptimizeResult result = ctx.Finish(graph.AllNodes());
+  BasicOptimizeResult<NS> result = ctx.Finish(graph.AllNodes());
   if (!ok || !result.success) {
     result.success = false;
     if (result.error.empty()) result.error = "anneal: best tree replay failed";
@@ -282,16 +295,18 @@ class AnnealEnumerator : public Enumerator {
 
 }  // namespace
 
-OptimizeResult OptimizeAnneal(const Hypergraph& graph,
-                              const CardinalityModel& est,
-                              const CostModel& cost_model,
-                              const OptimizerOptions& options,
-                              OptimizerWorkspace* workspace) {
-  std::optional<OptimizerWorkspace> local;
-  OptimizerWorkspace& ws =
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeAnneal(const BasicHypergraph<NS>& graph,
+                                       const BasicCardinalityModel<NS>& est,
+                                       const CostModel& cost_model,
+                                       const OptimizerOptions& options,
+                                       BasicOptimizerWorkspace<NS>* workspace) {
+  std::optional<BasicOptimizerWorkspace<NS>> local;
+  BasicOptimizerWorkspace<NS>& ws =
       workspace != nullptr ? *workspace : local.emplace();
   ws.CountRun();
-  OptimizeResult result = RunAnneal(graph, est, cost_model, options, ws);
+  BasicOptimizeResult<NS> result =
+      RunAnneal(graph, est, cost_model, options, ws);
   if (workspace == nullptr && result.has_table() && !result.owns_table()) {
     result.AdoptTable(ws.DetachTable());
   }
@@ -301,5 +316,19 @@ OptimizeResult OptimizeAnneal(const Hypergraph& graph,
 std::unique_ptr<Enumerator> MakeAnnealEnumerator() {
   return std::make_unique<AnnealEnumerator>();
 }
+
+template OptimizeResult OptimizeAnneal<NodeSet>(const Hypergraph&,
+                                                const CardinalityModel&,
+                                                const CostModel&,
+                                                const OptimizerOptions&,
+                                                OptimizerWorkspace*);
+template BasicOptimizeResult<WideNodeSet> OptimizeAnneal<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&,
+    const BasicCardinalityModel<WideNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<WideNodeSet>*);
+template BasicOptimizeResult<HugeNodeSet> OptimizeAnneal<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&,
+    const BasicCardinalityModel<HugeNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<HugeNodeSet>*);
 
 }  // namespace dphyp

@@ -33,11 +33,13 @@ namespace dphyp {
 
 /// Runs simulated annealing (seed OptimizerOptions::random_seed, budget
 /// OptimizerOptions::anneal_moves). Handles every graph GOO handles.
-OptimizeResult OptimizeAnneal(const Hypergraph& graph,
-                              const CardinalityModel& est,
-                              const CostModel& cost_model,
-                              const OptimizerOptions& options = {},
-                              OptimizerWorkspace* workspace = nullptr);
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeAnneal(const BasicHypergraph<NS>& graph,
+                                       const BasicCardinalityModel<NS>& est,
+                                       const CostModel& cost_model,
+                                       const OptimizerOptions& options = {},
+                                       BasicOptimizerWorkspace<NS>* workspace =
+                                           nullptr);
 
 /// The registry entry for "anneal": bids past the exact frontier, below
 /// idp-k (which wins where its inner-join precondition holds) and above

@@ -11,10 +11,11 @@ namespace dphyp {
 namespace {
 
 /// One enumeration run; holds the shared context plus the graph shortcut.
+template <typename NS>
 class DphypSolver {
  public:
-  DphypSolver(const Hypergraph& graph, OptimizerContext& ctx,
-              NeighborhoodCache& nbh)
+  DphypSolver(const BasicHypergraph<NS>& graph, BasicOptimizerContext<NS>& ctx,
+              BasicNeighborhoodCache<NS>& nbh)
       : graph_(graph), nbh_(nbh), ctx_(ctx) {}
 
   void Run() {
@@ -22,71 +23,71 @@ class DphypSolver {
     // Second loop of Solve: descending node order; B_v forbids all nodes
     // ordered before v so every csg is started from its minimal node once.
     for (int v = graph_.NumNodes() - 1; v >= 0; --v) {
-      NodeSet single = NodeSet::Single(v);
+      NS single = NS::Single(v);
       EmitCsg(single);
-      EnumerateCsgRec(single, NodeSet::UpTo(v));
+      EnumerateCsgRec(single, NS::UpTo(v));
     }
   }
 
  private:
-  void EnumerateCsgRec(NodeSet S1, NodeSet X) {
-    NodeSet nbh = nbh_.Neighborhood(S1, X);
+  void EnumerateCsgRec(NS S1, NS X) {
+    NS nbh = nbh_.Neighborhood(S1, X);
     if (nbh.Empty()) return;
     // Emit before recursing so smaller sets are finished first (the DP
     // enumeration-order requirement of Sec. 2.2). The DP table lookup is
     // the connectivity oracle: S1 ∪ N has a table entry iff some earlier
     // csg-cmp-pair produced it, i.e. iff it is connected.
-    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
-      NodeSet grown = S1 | n;
+    for (NS n : NonEmptySubsetsOf(nbh)) {
+      NS grown = S1 | n;
       if (ctx_.table().Contains(grown)) EmitCsg(grown);
     }
-    NodeSet x2 = X | nbh;
-    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+    NS x2 = X | nbh;
+    for (NS n : NonEmptySubsetsOf(nbh)) {
       EnumerateCsgRec(S1 | n, x2);
     }
   }
 
-  void EmitCsg(NodeSet S1) {
-    NodeSet X = S1 | NodeSet::Below(S1.Min());
-    NodeSet nbh = nbh_.Neighborhood(S1, X);
+  void EmitCsg(NS S1) {
+    NS X = S1 | NS::Below(S1.Min());
+    NS nbh = nbh_.Neighborhood(S1, X);
     // Process neighbors in descending order; each seed forbids the seeds
     // still to come (B_v(N), see header note) to avoid duplicate
     // complements.
-    NodeSet remaining = nbh;
+    NS remaining = nbh;
     while (!remaining.Empty()) {
       int v = remaining.Max();
-      remaining -= NodeSet::Single(v);
-      NodeSet S2 = NodeSet::Single(v);
+      remaining -= NS::Single(v);
+      NS S2 = NS::Single(v);
       if (graph_.ConnectsSets(S1, S2)) {
         ctx_.EmitCsgCmp(S1, S2);
       }
-      EnumerateCmpRec(S1, S2, X | (nbh & NodeSet::UpTo(v)));
+      EnumerateCmpRec(S1, S2, X | (nbh & NS::UpTo(v)));
     }
   }
 
-  void EnumerateCmpRec(NodeSet S1, NodeSet S2, NodeSet X) {
-    NodeSet nbh = nbh_.Neighborhood(S2, X);
+  void EnumerateCmpRec(NS S1, NS S2, NS X) {
+    NS nbh = nbh_.Neighborhood(S2, X);
     if (nbh.Empty()) return;
-    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
-      NodeSet grown = S2 | n;
+    for (NS n : NonEmptySubsetsOf(nbh)) {
+      NS grown = S2 | n;
       // Valid complement: connected (DP table oracle) and joined to S1 by
       // some hyperedge.
       if (ctx_.table().Contains(grown) && graph_.ConnectsSets(S1, grown)) {
         ctx_.EmitCsgCmp(S1, grown);
       }
     }
-    NodeSet x2 = X | nbh;
-    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+    NS x2 = X | nbh;
+    for (NS n : NonEmptySubsetsOf(nbh)) {
       EnumerateCmpRec(S1, S2 | n, x2);
     }
   }
 
-  const Hypergraph& graph_;
+  const BasicHypergraph<NS>& graph_;
   /// Sec. 2.3 neighborhoods, memoized by node set (see
   /// core/neighborhood_cache.h): complements recur under many csgs, so the
   /// per-set union/candidate work is paid once per distinct set.
-  NeighborhoodCache& nbh_;
-  OptimizerContext& ctx_;
+  BasicNeighborhoodCache<NS>& nbh_;
+  BasicOptimizerContext<NS>& ctx_;
 };
 
 class DphypEnumerator : public Enumerator {
@@ -115,21 +116,23 @@ class DphypEnumerator : public Enumerator {
 
 }  // namespace
 
-OptimizeResult OptimizeDphyp(const Hypergraph& graph,
-                             const CardinalityModel& est,
-                             const CostModel& cost_model,
-                             const OptimizerOptions& options,
-                             OptimizerWorkspace* workspace) {
-  std::optional<NeighborhoodCache> local_nbh;
-  NeighborhoodCache& nbh = workspace != nullptr
-                               ? workspace->neighborhood(graph)
-                               : local_nbh.emplace(graph);
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeDphyp(const BasicHypergraph<NS>& graph,
+                                      const BasicCardinalityModel<NS>& est,
+                                      const CostModel& cost_model,
+                                      const OptimizerOptions& options,
+                                      BasicOptimizerWorkspace<NS>* workspace) {
+  std::optional<BasicNeighborhoodCache<NS>> local_nbh;
+  BasicNeighborhoodCache<NS>& nbh = workspace != nullptr
+                                        ? workspace->neighborhood(graph)
+                                        : local_nbh.emplace(graph);
   OptimizerOptions effective =
       ResolvePruningSeed(graph, est, cost_model, options, workspace);
-  OptimizerContext ctx(graph, est, cost_model, effective,
-                       workspace != nullptr ? &workspace->table() : nullptr);
+  BasicOptimizerContext<NS> ctx(
+      graph, est, cost_model, effective,
+      workspace != nullptr ? &workspace->table() : nullptr);
   if (workspace != nullptr) workspace->CountRun();
-  DphypSolver solver(graph, ctx, nbh);
+  DphypSolver<NS> solver(graph, ctx, nbh);
   return RunGuarded("DPhyp", ctx, graph.AllNodes(), [&] { solver.Run(); });
 }
 
@@ -141,5 +144,19 @@ OptimizeResult OptimizeDphyp(const Hypergraph& graph) {
 std::unique_ptr<Enumerator> MakeDphypEnumerator() {
   return std::make_unique<DphypEnumerator>();
 }
+
+template OptimizeResult OptimizeDphyp<NodeSet>(const Hypergraph&,
+                                               const CardinalityModel&,
+                                               const CostModel&,
+                                               const OptimizerOptions&,
+                                               OptimizerWorkspace*);
+template BasicOptimizeResult<WideNodeSet> OptimizeDphyp<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&,
+    const BasicCardinalityModel<WideNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<WideNodeSet>*);
+template BasicOptimizeResult<HugeNodeSet> OptimizeDphyp<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&,
+    const BasicCardinalityModel<HugeNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<HugeNodeSet>*);
 
 }  // namespace dphyp

@@ -16,6 +16,11 @@
 // be processed (X ∪ B_v(N)); otherwise complements reachable from two seeds
 // are enumerated twice. This matches DPccp [17] and the book version of
 // DPhyp. A test asserts the emit count equals the csg-cmp-pair lower bound.
+//
+// Width-generic: OptimizeDphyp is templated on the node-set type, so the
+// identical enumeration runs on 65–128 relation graphs (WideNodeSet) and up
+// to 256 (HugeNodeSet) — the wide routing path (core/wide.h) calls the same
+// function the narrow registry entry does.
 #ifndef DPHYP_CORE_DPHYP_H_
 #define DPHYP_CORE_DPHYP_H_
 
@@ -35,11 +40,13 @@ namespace dphyp {
 /// Deprecated as a public entry point: prefer the registry
 /// (OptimizeByName("DPhyp", ...)) or an OptimizationSession; this free
 /// function is the registry implementation and remains for one release.
-OptimizeResult OptimizeDphyp(const Hypergraph& graph,
-                             const CardinalityModel& est,
-                             const CostModel& cost_model,
-                             const OptimizerOptions& options = {},
-                             OptimizerWorkspace* workspace = nullptr);
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeDphyp(const BasicHypergraph<NS>& graph,
+                                      const BasicCardinalityModel<NS>& est,
+                                      const CostModel& cost_model,
+                                      const OptimizerOptions& options = {},
+                                      BasicOptimizerWorkspace<NS>* workspace =
+                                          nullptr);
 
 /// Convenience overload with the default (C_out) cost model and a fresh
 /// estimator.

@@ -33,12 +33,13 @@ bool NameEquals(std::string_view a, std::string_view b) {
 
 }  // namespace
 
-GraphShape AnalyzeGraphShape(const Hypergraph& graph) {
+template <typename NS>
+GraphShape AnalyzeGraphShape(const BasicHypergraph<NS>& graph) {
   GraphShape shape;
   shape.num_nodes = graph.NumNodes();
   shape.num_edges = graph.NumEdges();
   bool non_inner = false;
-  for (const Hyperedge& e : graph.edges()) {
+  for (const BasicHyperedge<NS>& e : graph.edges()) {
     if (e.op != OpType::kJoin) {
       non_inner = true;
       break;
@@ -58,6 +59,12 @@ GraphShape AnalyzeGraphShape(const Hypergraph& graph) {
   }
   return shape;
 }
+
+template GraphShape AnalyzeGraphShape<NodeSet>(const Hypergraph&);
+template GraphShape AnalyzeGraphShape<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&);
+template GraphShape AnalyzeGraphShape<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&);
 
 bool ExactDpFeasible(const GraphShape& shape, const DispatchPolicy& policy) {
   // Chains and cycles have only O(n^2) connected subgraphs: exact DP is

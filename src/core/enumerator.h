@@ -23,10 +23,10 @@
 
 namespace dphyp {
 
-class OptimizerWorkspace;
-
 /// The shape features routing decisions are made from, computed once per
-/// query (AnalyzeGraphShape) and shared by every enumerator's Bid.
+/// query (AnalyzeGraphShape) and shared by every enumerator's Bid. The
+/// struct itself is width-independent; AnalyzeGraphShape runs at any node-
+/// set width (wide routing in core/wide.h reuses it).
 struct GraphShape {
   int num_nodes = 0;
   int num_edges = 0;
@@ -41,7 +41,8 @@ struct GraphShape {
   bool has_complex_edges = false;
 };
 
-GraphShape AnalyzeGraphShape(const Hypergraph& graph);
+template <typename NS>
+GraphShape AnalyzeGraphShape(const BasicHypergraph<NS>& graph);
 
 /// Thresholds steering the routing decision. The defaults keep every exact
 /// route under a few hundred thousand DP entries (see README).

@@ -7,6 +7,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -21,20 +22,23 @@ namespace dphyp {
 namespace {
 
 /// One recorded join of the assembly sequence, in original node sets.
-struct Merge {
-  NodeSet left;
-  NodeSet right;
+template <typename NS>
+struct BasicMerge {
+  NS left;
+  NS right;
 };
 
 /// Post-order merge extraction from a plan tree whose leaves are indices
 /// into `leaf_sets` (component sets in original node numbering). Returns
-/// the original node set the subtree covers.
-NodeSet CollectMerges(const PlanTreeNode* node,
-                      const std::vector<NodeSet>& leaf_sets,
-                      std::vector<Merge>* out) {
+/// the original node set the subtree covers. Templated on the tree's node
+/// type separately from the component width: window plans come from the
+/// narrow reduced graph while the GOO plan is at the original width.
+template <typename TreeNode, typename NS>
+NS CollectMerges(const TreeNode* node, const std::vector<NS>& leaf_sets,
+                 std::vector<BasicMerge<NS>>* out) {
   if (node->IsLeaf()) return leaf_sets[node->relation];
-  const NodeSet left = CollectMerges(node->left, leaf_sets, out);
-  const NodeSet right = CollectMerges(node->right, leaf_sets, out);
+  const NS left = CollectMerges(node->left, leaf_sets, out);
+  const NS right = CollectMerges(node->right, leaf_sets, out);
   out->push_back({left, right});
   return left | right;
 }
@@ -44,17 +48,21 @@ NodeSet CollectMerges(const PlanTreeNode* node,
 /// back onto the union of its components' original nodes and asking the
 /// caller's model. Window DP therefore optimizes against exactly the
 /// cardinalities the final plan will be costed with — no re-derivation, no
-/// drift between rounds.
+/// drift between rounds. The reduced graph is always narrow (a window holds
+/// at most 64 components), so this derives the narrow model interface while
+/// bridging to components and a base model at the original width.
+template <typename NS>
 class WindowModel : public CardinalityModel {
  public:
-  WindowModel(const CardinalityModel& base, const std::vector<NodeSet>& comps)
+  WindowModel(const BasicCardinalityModel<NS>& base,
+              const std::vector<NS>& comps)
       : base_(&base), comps_(&comps) {}
 
   double EstimateBase(int node) const override {
     return base_->EstimateClass((*comps_)[node]);
   }
   double EstimateClass(NodeSet S) const override {
-    NodeSet original;
+    NS original;
     for (int i : S) original |= (*comps_)[i];
     return base_->EstimateClass(original);
   }
@@ -62,21 +70,23 @@ class WindowModel : public CardinalityModel {
   uint64_t Fingerprint() const override { return base_->Fingerprint(); }
 
  private:
-  const CardinalityModel* base_;
-  const std::vector<NodeSet>* comps_;
+  const BasicCardinalityModel<NS>* base_;
+  const std::vector<NS>* comps_;
 };
 
 /// Memoized per-pair join cardinality over live components; NaN marks a
 /// disconnected pair. Entries stay valid across rounds because a pair's
 /// connectivity and estimate never change while both components survive.
+template <typename NS>
 class PairCardMemo {
  public:
-  PairCardMemo(const Hypergraph& graph, const CardinalityModel& est)
+  PairCardMemo(const BasicHypergraph<NS>& graph,
+               const BasicCardinalityModel<NS>& est)
       : graph_(&graph), est_(&est) {}
 
-  double Get(NodeSet a, NodeSet b) {
-    const std::pair<uint64_t, uint64_t> key{std::min(a.bits(), b.bits()),
-                                            std::max(a.bits(), b.bits())};
+  double Get(NS a, NS b) {
+    const std::pair<NS, NS> key =
+        b < a ? std::pair<NS, NS>{b, a} : std::pair<NS, NS>{a, b};
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
     const double card = graph_->ConnectsSets(a, b)
@@ -87,17 +97,18 @@ class PairCardMemo {
   }
 
  private:
-  const Hypergraph* graph_;
-  const CardinalityModel* est_;
-  std::unordered_map<std::pair<uint64_t, uint64_t>, double,
-                     GooScratch::PairHash>
+  const BasicHypergraph<NS>* graph_;
+  const BasicCardinalityModel<NS>* est_;
+  std::unordered_map<std::pair<NS, NS>, double,
+                     typename BasicGooScratch<NS>::PairHash>
       memo_;
 };
 
 /// The connected component pair with the smallest estimated join result
 /// (GOO's selection rule; ties by position, which is deterministic).
-std::optional<std::pair<int, int>> FindBestPair(
-    const std::vector<NodeSet>& comps, PairCardMemo& memo) {
+template <typename NS>
+std::optional<std::pair<int, int>> FindBestPair(const std::vector<NS>& comps,
+                                                PairCardMemo<NS>& memo) {
   std::optional<std::pair<int, int>> best;
   double best_card = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < comps.size(); ++i) {
@@ -112,8 +123,9 @@ std::optional<std::pair<int, int>> FindBestPair(
 }
 
 /// Merges `i` and `j` (i < j) in place and records the merge.
-void ApplyMerge(std::vector<NodeSet>* comps, int i, int j,
-                std::vector<Merge>* merges) {
+template <typename NS>
+void ApplyMerge(std::vector<NS>* comps, int i, int j,
+                std::vector<BasicMerge<NS>>* merges) {
   merges->push_back({(*comps)[i], (*comps)[j]});
   (*comps)[i] = (*comps)[i] | (*comps)[j];
   comps->erase(comps->begin() + j);
@@ -122,8 +134,10 @@ void ApplyMerge(std::vector<NodeSet>* comps, int i, int j,
 /// Greedy (GOO-rule) completion of the remaining components — the
 /// polynomial tail used once a deadline fires mid-run. Stops when one
 /// component remains or no connected pair is left.
-void GreedyComplete(const std::vector<NodeSet>& initial, PairCardMemo& memo,
-                    std::vector<NodeSet>* comps, std::vector<Merge>* merges) {
+template <typename NS>
+void GreedyComplete(const std::vector<NS>& initial, PairCardMemo<NS>& memo,
+                    std::vector<NS>* comps,
+                    std::vector<BasicMerge<NS>>* merges) {
   *comps = initial;
   while (comps->size() > 1) {
     std::optional<std::pair<int, int>> pick = FindBestPair(*comps, memo);
@@ -137,23 +151,24 @@ void GreedyComplete(const std::vector<NodeSet>& initial, PairCardMemo& memo,
 /// table holds exactly the replayed plan (2n - 1 entries). Pruning and
 /// cancellation are stripped: every listed merge must materialize, and the
 /// replay is the run's polynomial final step.
-OptimizeResult ReplayMerges(const Hypergraph& graph,
-                            const CardinalityModel& est,
-                            const CostModel& cost_model,
-                            const OptimizerOptions& options,
-                            OptimizerWorkspace& ws,
-                            const std::vector<Merge>& merges) {
+template <typename NS>
+BasicOptimizeResult<NS> ReplayMerges(const BasicHypergraph<NS>& graph,
+                                     const BasicCardinalityModel<NS>& est,
+                                     const CostModel& cost_model,
+                                     const OptimizerOptions& options,
+                                     BasicOptimizerWorkspace<NS>& ws,
+                                     const std::vector<BasicMerge<NS>>& merges) {
   OptimizerOptions replay = options;
   replay.enable_pruning = false;
   replay.cancellation = nullptr;
   replay.tes_constraints = nullptr;
-  OptimizerContext ctx(graph, est, cost_model, replay, &ws.table());
+  BasicOptimizerContext<NS> ctx(graph, est, cost_model, replay, &ws.table());
   ctx.InitLeaves();
-  for (const Merge& m : merges) {
+  for (const BasicMerge<NS>& m : merges) {
     ctx.EmitCsgCmp(m.left, m.right);
-    const PlanEntry* entry = ctx.table().Find(m.left | m.right);
+    const auto* entry = ctx.table().Find(m.left | m.right);
     if (entry == nullptr || entry->IsLeaf()) {
-      OptimizeResult failed = ctx.Finish(m.left | m.right);
+      BasicOptimizeResult<NS> failed = ctx.Finish(m.left | m.right);
       failed.success = false;
       failed.error = "idp-k: recorded merge " + m.left.ToString() + " x " +
                      m.right.ToString() + " rejected at replay";
@@ -175,45 +190,65 @@ void FoldStats(const OptimizerStats& from, OptimizerStats* into) {
   into->dominated += from.dominated;
 }
 
-OptimizeResult RunIdp(const Hypergraph& graph, const CardinalityModel& est,
-                      const CostModel& cost_model,
-                      const OptimizerOptions& options,
-                      OptimizerWorkspace& ws) {
+template <typename NS>
+BasicOptimizeResult<NS> RunIdp(const BasicHypergraph<NS>& graph,
+                               const BasicCardinalityModel<NS>& est,
+                               const CostModel& cost_model,
+                               const OptimizerOptions& options,
+                               BasicOptimizerWorkspace<NS>& ws) {
   const int n = graph.NumNodes();
-  const int window = std::max(2, options.idp_window);
+  // A window never exceeds one machine word of components: the reduced
+  // hypergraph is always a narrow (one-word) graph, even when the original
+  // graph is wide. Narrow callers are unaffected — with n <= 64 a window
+  // of >= 64 already hits the full-window case below.
+  const int window =
+      std::min(std::max(2, options.idp_window), NodeSet::kMaxNodes);
 
   // Full-window degenerate case: one exact DPhyp pass over the original
   // graph — bit-identical to the exact enumerator (only the algorithm
   // stamp differs). An aborted pass falls through to the greedy path
   // below; idp-k degrades instead of aborting.
-  if (n <= window) {
-    OptimizeResult exact = OptimizeDphyp(graph, est, cost_model, options, &ws);
+  if (n <= std::max(2, options.idp_window)) {
+    BasicOptimizeResult<NS> exact =
+        OptimizeDphyp(graph, est, cost_model, options, &ws);
     if (!exact.stats.aborted) {
       exact.stats.algorithm = "idp-k";
       return exact;
     }
   }
 
+  // Window DPhyp runs need a narrow workspace (the reduced graph is
+  // narrow). At the original width that is the caller's workspace, as
+  // before; wide runs keep a local narrow one for their windows.
+  std::optional<OptimizerWorkspace> local_window_ws;
+  OptimizerWorkspace* window_ws = nullptr;
+  if constexpr (std::is_same_v<NS, NodeSet>) {
+    window_ws = &ws;
+  } else {
+    window_ws = &local_window_ws.emplace();
+  }
+
   // Quality floor: record GOO's merge sequence and cost up front. The
   // windowed plan is served only when it beats this.
-  OptimizeResult goo = OptimizeGoo(graph, est, cost_model, options, &ws);
+  BasicOptimizeResult<NS> goo =
+      OptimizeGoo(graph, est, cost_model, options, &ws);
   if (!goo.success) {
     goo.stats.algorithm = "idp-k";
     return goo;  // disconnected graph / no valid merge: same failure mode
   }
-  std::vector<Merge> goo_merges;
-  const PlanTree goo_plan = goo.ExtractPlan(graph);
-  std::vector<NodeSet> singletons;
+  std::vector<BasicMerge<NS>> goo_merges;
+  const BasicPlanTree<NS> goo_plan = goo.ExtractPlan(graph);
+  std::vector<NS> singletons;
   singletons.reserve(n);
-  for (int v = 0; v < n; ++v) singletons.push_back(NodeSet::Single(v));
+  for (int v = 0; v < n; ++v) singletons.push_back(NS::Single(v));
   CollectMerges(goo_plan.root(), singletons, &goo_merges);
   const double goo_cost = goo.cost;
   OptimizerStats folded;
   FoldStats(goo.stats, &folded);
 
-  PairCardMemo memo(graph, est);
-  std::vector<NodeSet> comps = singletons;
-  std::vector<Merge> merges;
+  PairCardMemo<NS> memo(graph, est);
+  std::vector<NS> comps = singletons;
+  std::vector<BasicMerge<NS>> merges;
 
   while (comps.size() > 1) {
     if (options.cancellation != nullptr &&
@@ -229,7 +264,7 @@ OptimizeResult RunIdp(const Hypergraph& graph, const CardinalityModel& est,
     std::optional<std::pair<int, int>> seed = FindBestPair(comps, memo);
     if (!seed.has_value()) break;  // no connected pair left
     std::vector<int> window_ids = {seed->first, seed->second};
-    NodeSet window_union = comps[seed->first] | comps[seed->second];
+    NS window_union = comps[seed->first] | comps[seed->second];
     while (static_cast<int>(window_ids.size()) < window &&
            window_ids.size() < comps.size()) {
       int best_id = -1;
@@ -257,8 +292,10 @@ OptimizeResult RunIdp(const Hypergraph& graph, const CardinalityModel& est,
     // on a side stay flexible). Edges touching a component on both sides
     // cannot connect at component granularity and are dropped, as are
     // duplicates — parallel predicates between the same component sides
-    // change estimates (handled by WindowModel), not connectivity.
-    std::vector<NodeSet> window_comps;
+    // change estimates (handled by WindowModel), not connectivity. Mapped
+    // sets index window components (< 64 of them), so signatures fit one
+    // word whatever the original width.
+    std::vector<NS> window_comps;
     window_comps.reserve(window_ids.size());
     for (int id : window_ids) window_comps.push_back(comps[id]);
     Hypergraph reduced;
@@ -269,7 +306,7 @@ OptimizeResult RunIdp(const Hypergraph& graph, const CardinalityModel& est,
       reduced.AddNode(node);
     }
     std::set<std::array<uint64_t, 3>> edge_signatures;
-    for (const Hyperedge& e : graph.edges()) {
+    for (const BasicHyperedge<NS>& e : graph.edges()) {
       if (!e.AllNodes().IsSubsetOf(window_union)) continue;
       NodeSet left, right, flex;
       for (int i = 0; i < static_cast<int>(window_comps.size()); ++i) {
@@ -293,13 +330,13 @@ OptimizeResult RunIdp(const Hypergraph& graph, const CardinalityModel& est,
 
     // Exact DP over the window, under the caller's pruning setting and
     // cancellation token (a fired deadline aborts only this window).
-    WindowModel window_model(est, window_comps);
+    WindowModel<NS> window_model(est, window_comps);
     OptimizerOptions window_options = options;
     window_options.tes_constraints = nullptr;
     window_options.initial_upper_bound =
         std::numeric_limits<double>::infinity();
-    OptimizeResult wres =
-        OptimizeDphyp(reduced, window_model, cost_model, window_options, &ws);
+    OptimizeResult wres = OptimizeDphyp(reduced, window_model, cost_model,
+                                        window_options, window_ws);
     if (wres.stats.aborted) {
       GreedyComplete(comps, memo, &comps, &merges);
       break;
@@ -324,7 +361,7 @@ OptimizeResult RunIdp(const Hypergraph& graph, const CardinalityModel& est,
   // Assemble the windowed plan; serve the GOO sequence instead when the
   // assembly failed (greedy dead end) or costs more — idp-k never loses to
   // the fallback it is meant to beat.
-  OptimizeResult result =
+  BasicOptimizeResult<NS> result =
       ReplayMerges(graph, est, cost_model, options, ws, merges);
   if (!result.success || result.cost > goo_cost) {
     result = ReplayMerges(graph, est, cost_model, options, ws, goo_merges);
@@ -371,16 +408,17 @@ class IdpEnumerator : public Enumerator {
 
 }  // namespace
 
-OptimizeResult OptimizeIdp(const Hypergraph& graph,
-                           const CardinalityModel& est,
-                           const CostModel& cost_model,
-                           const OptimizerOptions& options,
-                           OptimizerWorkspace* workspace) {
-  std::optional<OptimizerWorkspace> local;
-  OptimizerWorkspace& ws =
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeIdp(const BasicHypergraph<NS>& graph,
+                                    const BasicCardinalityModel<NS>& est,
+                                    const CostModel& cost_model,
+                                    const OptimizerOptions& options,
+                                    BasicOptimizerWorkspace<NS>* workspace) {
+  std::optional<BasicOptimizerWorkspace<NS>> local;
+  BasicOptimizerWorkspace<NS>& ws =
       workspace != nullptr ? *workspace : local.emplace();
   ws.CountRun();
-  OptimizeResult result = RunIdp(graph, est, cost_model, options, ws);
+  BasicOptimizeResult<NS> result = RunIdp(graph, est, cost_model, options, ws);
   if (workspace == nullptr && result.has_table() && !result.owns_table()) {
     result.AdoptTable(ws.DetachTable());
   }
@@ -390,5 +428,19 @@ OptimizeResult OptimizeIdp(const Hypergraph& graph,
 std::unique_ptr<Enumerator> MakeIdpEnumerator() {
   return std::make_unique<IdpEnumerator>();
 }
+
+template OptimizeResult OptimizeIdp<NodeSet>(const Hypergraph&,
+                                             const CardinalityModel&,
+                                             const CostModel&,
+                                             const OptimizerOptions&,
+                                             OptimizerWorkspace*);
+template BasicOptimizeResult<WideNodeSet> OptimizeIdp<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&,
+    const BasicCardinalityModel<WideNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<WideNodeSet>*);
+template BasicOptimizeResult<HugeNodeSet> OptimizeIdp<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&,
+    const BasicCardinalityModel<HugeNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<HugeNodeSet>*);
 
 }  // namespace dphyp

@@ -24,6 +24,11 @@
 // When the window covers the whole graph (idp_window >= NumNodes) the run
 // degenerates to a single plain DPhyp pass — bit-identical to the exact
 // enumerator (tests/test_fuzz.cc quality tier asserts this).
+//
+// Width-generic: on wide (>64 relation) graphs the component lists and the
+// recorded merges widen, but each *reduced window graph* stays a narrow
+// Hypergraph — a window never holds more than 64 components — so window DP
+// always runs on the one-word fast path.
 #ifndef DPHYP_CORE_IDP_H_
 #define DPHYP_CORE_IDP_H_
 
@@ -37,11 +42,13 @@ namespace dphyp {
 /// Runs IDP-k (window size OptimizerOptions::idp_window). Inner-join
 /// queries only (compound components have no conflict-rule story for
 /// non-inner operators or lateral dependencies; "anneal" covers those).
-OptimizeResult OptimizeIdp(const Hypergraph& graph,
-                           const CardinalityModel& est,
-                           const CostModel& cost_model,
-                           const OptimizerOptions& options = {},
-                           OptimizerWorkspace* workspace = nullptr);
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeIdp(const BasicHypergraph<NS>& graph,
+                                    const BasicCardinalityModel<NS>& est,
+                                    const CostModel& cost_model,
+                                    const OptimizerOptions& options = {},
+                                    BasicOptimizerWorkspace<NS>* workspace =
+                                        nullptr);
 
 /// The registry entry for IDP-k: bids just above "anneal" (and far above
 /// GOO's floor) on inner-join graphs past the exact-DP frontier.

@@ -7,7 +7,9 @@
 
 namespace dphyp {
 
-NeighborhoodCache::NeighborhoodCache(const Hypergraph& graph)
+template <typename NS>
+BasicNeighborhoodCache<NS>::BasicNeighborhoodCache(
+    const BasicHypergraph<NS>& graph)
     : graph_(&graph) {
   const size_t expected = static_cast<size_t>(graph.NumNodes()) * 8;
   size_t capacity = std::bit_ceil(expected * 2 + 16);
@@ -16,7 +18,8 @@ NeighborhoodCache::NeighborhoodCache(const Hypergraph& graph)
   entries_.reserve(expected);
 }
 
-void NeighborhoodCache::Reset(const Hypergraph& graph) {
+template <typename NS>
+void BasicNeighborhoodCache<NS>::Reset(const BasicHypergraph<NS>& graph) {
   graph_ = &graph;
   entries_.clear();
   candidate_pool_.clear();
@@ -34,7 +37,9 @@ void NeighborhoodCache::Reset(const Hypergraph& graph) {
   misses_ = 0;
 }
 
-const NeighborhoodCache::Entry& NeighborhoodCache::Lookup(NodeSet S) {
+template <typename NS>
+const typename BasicNeighborhoodCache<NS>::Entry&
+BasicNeighborhoodCache<NS>::Lookup(NS S) {
   size_t idx = HashNodeSet(S) & mask_;
   for (;;) {
     uint32_t slot = slots_[idx];
@@ -51,12 +56,12 @@ const NeighborhoodCache::Entry& NeighborhoodCache::Lookup(NodeSet S) {
   entry.key = S;
   for (int v : S) entry.simple_union |= graph_->SimpleNeighbors(v);
   entry.pool_begin = static_cast<uint32_t>(candidate_pool_.size());
-  auto consider = [&](NodeSet near_side, NodeSet far_side, NodeSet flex) {
+  auto consider = [&](NS near_side, NS far_side, NS flex) {
     if (!near_side.IsSubsetOf(S)) return;
     candidate_pool_.push_back(far_side | (flex - S));
   };
   for (int id : graph_->complex_edge_ids()) {
-    const Hyperedge& e = graph_->edge(id);
+    const BasicHyperedge<NS>& e = graph_->edge(id);
     consider(e.left, e.right, e.flex);
     consider(e.right, e.left, e.flex);
   }
@@ -70,7 +75,8 @@ const NeighborhoodCache::Entry& NeighborhoodCache::Lookup(NodeSet S) {
   return entries_.back();
 }
 
-void NeighborhoodCache::Grow() {
+template <typename NS>
+void BasicNeighborhoodCache<NS>::Grow() {
   size_t capacity = slots_.size() * 2;
   slots_.assign(capacity, 0);
   mask_ = capacity - 1;
@@ -81,19 +87,20 @@ void NeighborhoodCache::Grow() {
   }
 }
 
-NodeSet NeighborhoodCache::Neighborhood(NodeSet S, NodeSet X) {
+template <typename NS>
+NS BasicNeighborhoodCache<NS>::Neighborhood(NS S, NS X) {
   const Entry& entry = Lookup(S);
-  const NodeSet forbidden = S | X;
-  const NodeSet simple = entry.simple_union - forbidden;
+  const NS forbidden = S | X;
+  const NS simple = entry.simple_union - forbidden;
   if (entry.pool_begin == entry.pool_end) return simple;
   // X-dependent tail: filter the memoized candidates by the forbidden set
   // (same cap over the *surviving* candidates as the uncached path), then
   // run the shared subsumption step — bit-for-bit what
   // Hypergraph::Neighborhood computes.
-  NodeSet candidates[internal::kMaxNeighborhoodCandidates];
+  NS candidates[internal::kMaxNeighborhoodCandidates];
   int num_candidates = 0;
   for (uint32_t p = entry.pool_begin; p != entry.pool_end; ++p) {
-    NodeSet target = candidate_pool_[p];
+    NS target = candidate_pool_[p];
     if (target.Intersects(forbidden)) continue;
     if (num_candidates < internal::kMaxNeighborhoodCandidates) {
       candidates[num_candidates++] = target;
@@ -102,5 +109,9 @@ NodeSet NeighborhoodCache::Neighborhood(NodeSet S, NodeSet X) {
   return internal::ResolveCandidateNeighborhood(candidates, num_candidates,
                                                 simple);
 }
+
+template class BasicNeighborhoodCache<NodeSet>;
+template class BasicNeighborhoodCache<WideNodeSet>;
+template class BasicNeighborhoodCache<HugeNodeSet>;
 
 }  // namespace dphyp

@@ -14,7 +14,8 @@
 // The result is exactly Hypergraph::Neighborhood(S, X), bit for bit — the
 // candidate order, the 128-candidate cap, and the subsumption tie-breaks
 // are preserved. tests/test_neighborhood.cc asserts the equivalence on
-// randomized hypergraphs.
+// randomized hypergraphs. Width-generic; `NeighborhoodCache` is the
+// one-word alias.
 #ifndef DPHYP_CORE_NEIGHBORHOOD_CACHE_H_
 #define DPHYP_CORE_NEIGHBORHOOD_CACHE_H_
 
@@ -28,17 +29,18 @@ namespace dphyp {
 
 /// One enumeration run's neighborhood memo. Not thread-safe; create one per
 /// solver (the graph it caches must outlive it).
-class NeighborhoodCache {
+template <typename NS>
+class BasicNeighborhoodCache {
  public:
-  explicit NeighborhoodCache(const Hypergraph& graph);
+  explicit BasicNeighborhoodCache(const BasicHypergraph<NS>& graph);
 
   /// The paper's N(S, X); equals graph.Neighborhood(S, X).
-  NodeSet Neighborhood(NodeSet S, NodeSet X);
+  NS Neighborhood(NS S, NS X);
 
   /// Rebinds the cache to `graph` and empties it while retaining its memory
   /// (entry/slot/pool capacity), so a workspace-pooled cache runs
   /// allocation-free in the steady state.
-  void Reset(const Hypergraph& graph);
+  void Reset(const BasicHypergraph<NS>& graph);
 
   /// Distinct node sets memoized so far.
   size_t size() const { return entries_.size(); }
@@ -48,10 +50,10 @@ class NeighborhoodCache {
  private:
   /// X-independent ingredients for one node set.
   struct Entry {
-    NodeSet key;
+    NS key;
     /// Union of simple-edge neighbors over the nodes of `key` (unfiltered;
     /// may intersect key itself).
-    NodeSet simple_union;
+    NS simple_union;
     /// Range [begin, end) in `candidate_pool_`: far-side candidates
     /// far | (flex - S) of complex edges whose near side lies in `key`, in
     /// complex-edge scan order.
@@ -59,19 +61,21 @@ class NeighborhoodCache {
     uint32_t pool_end = 0;
   };
 
-  const Entry& Lookup(NodeSet S);
+  const Entry& Lookup(NS S);
   void Grow();
 
-  const Hypergraph* graph_;
+  const BasicHypergraph<NS>* graph_;
   std::vector<Entry> entries_;
   /// Open-addressing slots storing entry_index + 1; 0 marks empty.
   std::vector<uint32_t> slots_;
   size_t mask_ = 0;
   /// Backing store for every entry's complex-edge candidates.
-  std::vector<NodeSet> candidate_pool_;
+  std::vector<NS> candidate_pool_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };
+
+using NeighborhoodCache = BasicNeighborhoodCache<NodeSet>;
 
 }  // namespace dphyp
 

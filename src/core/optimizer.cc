@@ -9,12 +9,11 @@
 
 namespace dphyp {
 
-OptimizerContext::OptimizerContext(const Hypergraph& graph,
-                                   const CardinalityModel& est,
-                                   const CostModel& cost_model,
-                                   const OptimizerOptions& options,
-                                   DpTable* borrowed_table,
-                                   bool reset_borrowed_table)
+template <typename NS>
+BasicOptimizerContext<NS>::BasicOptimizerContext(
+    const BasicHypergraph<NS>& graph, const BasicCardinalityModel<NS>& est,
+    const CostModel& cost_model, const OptimizerOptions& options,
+    BasicDpTable<NS>* borrowed_table, bool reset_borrowed_table)
     : graph_(&graph),
       est_(&est),
       cost_model_(&cost_model),
@@ -26,8 +25,13 @@ OptimizerContext::OptimizerContext(const Hypergraph& graph,
     if (reset_borrowed_table) borrowed_table->Reset(expected);
     table_ = borrowed_table;
   } else {
-    owned_table_ = std::make_unique<DpTable>(expected);
+    owned_table_ = std::make_unique<BasicDpTable<NS>>(expected);
     table_ = owned_table_.get();
+  }
+  if constexpr (!std::is_same_v<NS, NodeSet>) {
+    // The generate-and-test TES mode is a narrow-only measurement mode.
+    DPHYP_CHECK_MSG(tes_ == nullptr,
+                    "TES constraints are not supported on the wide path");
   }
   if (tes_ != nullptr) {
     DPHYP_CHECK_MSG(static_cast<int>(tes_->size()) == graph.NumEdges(),
@@ -55,11 +59,12 @@ OptimizerContext::OptimizerContext(const Hypergraph& graph,
   }
 }
 
-OptimizerOptions ResolvePruningSeed(const Hypergraph& graph,
-                                    const CardinalityModel& est,
+template <typename NS>
+OptimizerOptions ResolvePruningSeed(const BasicHypergraph<NS>& graph,
+                                    const BasicCardinalityModel<NS>& est,
                                     const CostModel& cost_model,
                                     const OptimizerOptions& options,
-                                    OptimizerWorkspace* ws) {
+                                    BasicOptimizerWorkspace<NS>* ws) {
   if (!options.enable_pruning || !cost_model.SupportsPruning() ||
       std::isfinite(options.initial_upper_bound)) {
     return options;
@@ -70,9 +75,10 @@ OptimizerOptions ResolvePruningSeed(const Hypergraph& graph,
   return resolved;
 }
 
-void OptimizerContext::InitLeaves() {
+template <typename NS>
+void BasicOptimizerContext<NS>::InitLeaves() {
   for (int v = 0; v < graph_->NumNodes(); ++v) {
-    PlanEntry* entry = table_->Insert(NodeSet::Single(v));
+    Entry* entry = table_->Insert(NS::Single(v));
     entry->cost = 0.0;
     // Leaf cardinalities come from the model, not the graph: the product
     // form echoes the graph's value bit-identically, while stats/oracle
@@ -82,12 +88,20 @@ void OptimizerContext::InitLeaves() {
   }
 }
 
-void OptimizerContext::EmitCsgCmp(NodeSet S1, NodeSet S2) {
+template <typename NS>
+void BasicOptimizerContext<NS>::EmitCsgCmp(NS S1, NS S2) {
   Tick();
   ++stats_.ccp_pairs;
-  const PlanEntry* left = nullptr;
-  const PlanEntry* right = nullptr;
-  PlanEntry* target = nullptr;
+  // Batch the three probe misses this pair will pay (S1, S2, S1 ∪ S2):
+  // issuing the prefetches up front overlaps the slot-array cache misses
+  // instead of serializing them behind each Find. Probe *results* are
+  // unchanged, so the pruning bit-identity suite still holds.
+  table_->Prefetch(S1);
+  table_->Prefetch(S2);
+  table_->Prefetch(S1 | S2);
+  const Entry* left = nullptr;
+  const Entry* right = nullptr;
+  Entry* target = nullptr;
   if (pruning_ && PruneCandidatePair(S1, S2, &left, &right, &target)) return;
   const bool inserted = TryOrientation(S1, S2, left, right, target);
   // The first orientation may have created the combined class; a stale
@@ -96,28 +110,33 @@ void OptimizerContext::EmitCsgCmp(NodeSet S1, NodeSet S2) {
   TryOrientation(S2, S1, right, left, target);
 }
 
-void OptimizerContext::EmitOrdered(NodeSet S1, NodeSet S2) {
+template <typename NS>
+void BasicOptimizerContext<NS>::EmitOrdered(NS S1, NS S2) {
   Tick();
   ++stats_.ccp_pairs;
-  const PlanEntry* left = nullptr;
-  const PlanEntry* right = nullptr;
-  PlanEntry* target = nullptr;
+  table_->Prefetch(S1);
+  table_->Prefetch(S2);
+  table_->Prefetch(S1 | S2);
+  const Entry* left = nullptr;
+  const Entry* right = nullptr;
+  Entry* target = nullptr;
   if (pruning_ && PruneCandidatePair(S1, S2, &left, &right, &target)) return;
   TryOrientation(S1, S2, left, right, target);
 }
 
-bool OptimizerContext::PruneCandidatePair(NodeSet S1, NodeSet S2,
-                                          const PlanEntry** left_out,
-                                          const PlanEntry** right_out,
-                                          PlanEntry** target_out) {
+template <typename NS>
+bool BasicOptimizerContext<NS>::PruneCandidatePair(NS S1, NS S2,
+                                                   const Entry** left_out,
+                                                   const Entry** right_out,
+                                                   Entry** target_out) {
   // Two branch-and-bound cuts, both fired before the connecting-edge scan,
   // the cardinality estimate, and the cost evaluation. Both use strict
   // comparisons against *valid plan costs*, which together with the
   // first-strictly-better update rule in TryOrientation makes the pruned
   // run's surviving table entries — and the final plan cost — bit-identical
   // to the unpruned run (tests/test_pruning.cc).
-  const PlanEntry* left = table_->Find(S1);
-  const PlanEntry* right = table_->Find(S2);
+  const Entry* left = table_->Find(S1);
+  const Entry* right = table_->Find(S2);
   // A side with no table entry was itself pruned away (every construction
   // exceeded the bound — DPccp emits pairs without consulting the table, so
   // this does occur); any plan on top of it is above the bound too.
@@ -145,7 +164,7 @@ bool OptimizerContext::PruneCandidatePair(NodeSet S1, NodeSet S2,
   // construction that cannot cost less than the class's incumbent plan can
   // be skipped outright. `>=` matches the strict-< update rule — a tie
   // would not have replaced the incumbent either.
-  PlanEntry* target = table_->Find(S1 | S2);
+  Entry* target = table_->Find(S1 | S2);
   if (target != nullptr &&
       cost_model_->CandidateLowerBound(l, r, target->cardinality) >=
           target->cost) {
@@ -156,10 +175,11 @@ bool OptimizerContext::PruneCandidatePair(NodeSet S1, NodeSet S2,
   return false;
 }
 
-bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right,
-                                      const PlanEntry* left_entry,
-                                      const PlanEntry* right_entry,
-                                      PlanEntry* target_hint) {
+template <typename NS>
+bool BasicOptimizerContext<NS>::TryOrientation(NS left, NS right,
+                                               const Entry* left_entry,
+                                               const Entry* right_entry,
+                                               Entry* target_hint) {
   // Scan connecting edges to recover the operator (Sec. 5.4). Exactly one
   // non-inner edge may cross a valid csg-cmp-pair; its stored orientation
   // determines the build direction. Inner edges are commutative and merely
@@ -174,18 +194,20 @@ bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right,
   graph_->ForEachConnectingEdge(left, right, [&](int id, bool left_in_s1) {
     if (!valid || benign_reject) return;
     any = true;
-    const Hyperedge& e = graph_->edge(id);
-    if (tes_ != nullptr) {
-      const TesConstraint& c = (*tes_)[id];
-      if (e.op == OpType::kJoin) {
-        // Commutative: only containment of the full TES matters.
-        if (!(c.left | c.right).IsSubsetOf(left | right)) {
+    const BasicHyperedge<NS>& e = graph_->edge(id);
+    if constexpr (std::is_same_v<NS, NodeSet>) {
+      if (tes_ != nullptr) {
+        const TesConstraint& c = (*tes_)[id];
+        if (e.op == OpType::kJoin) {
+          // Commutative: only containment of the full TES matters.
+          if (!(c.left | c.right).IsSubsetOf(left | right)) {
+            valid = false;
+            return;
+          }
+        } else if (!(c.left.IsSubsetOf(left) && c.right.IsSubsetOf(right))) {
           valid = false;
           return;
         }
-      } else if (!(c.left.IsSubsetOf(left) && c.right.IsSubsetOf(right))) {
-        valid = false;
-        return;
       }
     }
     if (e.op == OpType::kJoin) {
@@ -217,12 +239,12 @@ bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right,
   // dependent); switch the operator to its dependent variant when the right
   // input references tables provided by the left.
   if (graph_->HasDependentLeaves()) {
-    NodeSet free_left = graph_->FreeTables(left);
+    NS free_left = graph_->FreeTables(left);
     if (free_left.Intersects(right)) {
       ++stats_.discarded;
       return false;
     }
-    NodeSet free_right = graph_->FreeTables(right);
+    NS free_right = graph_->FreeTables(right);
     if (free_right.Intersects(left)) {
       if (op == OpType::kFullOuterjoin) {
         ++stats_.discarded;  // no dependent full outer join exists
@@ -238,9 +260,8 @@ bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right,
   const PlanSide left_side{left_entry->cost, left_entry->cardinality};
   const PlanSide right_side{right_entry->cost, right_entry->cardinality};
 
-  const NodeSet combined = left | right;
-  PlanEntry* target =
-      target_hint != nullptr ? target_hint : table_->Find(combined);
+  const NS combined = left | right;
+  Entry* target = target_hint != nullptr ? target_hint : table_->Find(combined);
   const double out_card =
       target != nullptr ? target->cardinality : est_->EstimateClass(combined);
 
@@ -278,8 +299,9 @@ bool OptimizerContext::TryOrientation(NodeSet left, NodeSet right,
   return true;
 }
 
-OptimizeResult OptimizerContext::Finish(NodeSet root) {
-  OptimizeResult result;
+template <typename NS>
+BasicOptimizeResult<NS> BasicOptimizerContext<NS>::Finish(NS root) {
+  BasicOptimizeResult<NS> result;
   result.root_set = root;
   // Memory accounting (Sec. 3.6): sample the real table footprint exactly
   // once, here, so every algorithm path — all of which exit through
@@ -287,8 +309,8 @@ OptimizeResult OptimizerContext::Finish(NodeSet root) {
   // the accounting rests on: the footprint covers at least the live entries.
   stats_.dp_entries = table_->size();
   stats_.table_bytes = table_->MemoryBytes();
-  DPHYP_DCHECK(stats_.table_bytes >= stats_.dp_entries * sizeof(PlanEntry));
-  const PlanEntry* best = table_->Find(root);
+  DPHYP_DCHECK(stats_.table_bytes >= stats_.dp_entries * sizeof(Entry));
+  const Entry* best = table_->Find(root);
   if (best == nullptr) {
     result.success = false;
     result.error =
@@ -308,11 +330,13 @@ OptimizeResult OptimizerContext::Finish(NodeSet root) {
   return result;
 }
 
-OptimizeResult OptimizerContext::FinishAborted(const char* algorithm) {
+template <typename NS>
+BasicOptimizeResult<NS> BasicOptimizerContext<NS>::FinishAborted(
+    const char* algorithm) {
   stats_.aborted = true;
   stats_.algorithm = algorithm;
   stats_.aborted_algorithm = algorithm;
-  OptimizeResult result = Finish(graph_->AllNodes());
+  BasicOptimizeResult<NS> result = Finish(graph_->AllNodes());
   // Finish may have found a (partial-search) full plan; an aborted run must
   // not be served as one — the search was cut short, so optimality claims
   // and agreement guarantees are void.
@@ -323,5 +347,21 @@ OptimizeResult OptimizerContext::FinishAborted(const char* algorithm) {
   result.stats = stats_;
   return result;
 }
+
+template class BasicOptimizerContext<NodeSet>;
+template class BasicOptimizerContext<WideNodeSet>;
+template class BasicOptimizerContext<HugeNodeSet>;
+
+template OptimizerOptions ResolvePruningSeed<NodeSet>(
+    const Hypergraph&, const CardinalityModel&, const CostModel&,
+    const OptimizerOptions&, OptimizerWorkspace*);
+template OptimizerOptions ResolvePruningSeed<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&,
+    const BasicCardinalityModel<WideNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<WideNodeSet>*);
+template OptimizerOptions ResolvePruningSeed<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&,
+    const BasicCardinalityModel<HugeNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<HugeNodeSet>*);
 
 }  // namespace dphyp

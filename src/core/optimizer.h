@@ -4,6 +4,13 @@
 // (Sec. 5.4), dependent conversion (Sec. 5.6), and the generate-and-test TES
 // checks (Sec. 5.8) behave identically across DPhyp, DPsize, DPsub, DPccp
 // and TDbasic.
+//
+// The context and result are templated on the node-set type so the same
+// combine step powers the wide (>64 relation) path; `OptimizerContext` /
+// `OptimizeResult` are the one-word aliases every narrow caller uses.
+// Options and stats are width-independent. The generate-and-test TES mode
+// (a Fig. 8a measurement mode) stays narrow-only: wide runs must not set
+// `tes_constraints`.
 #ifndef DPHYP_CORE_OPTIMIZER_H_
 #define DPHYP_CORE_OPTIMIZER_H_
 
@@ -11,6 +18,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "cost/cardinality.h"
@@ -24,13 +32,16 @@
 
 namespace dphyp {
 
-class OptimizerWorkspace;
+template <typename NS>
+class BasicOptimizerWorkspace;
+using OptimizerWorkspace = BasicOptimizerWorkspace<NodeSet>;
 
 /// Per-edge validity constraint for the generate-and-test TES mode: the
 /// operator's TES split into its left/right parts (Sec. 5.5/5.7). In this
 /// mode the enumeration runs on the plain SES graph and candidates are
 /// validated — and often discarded — at combine time, which is exactly the
-/// inefficiency Fig. 8a quantifies.
+/// inefficiency Fig. 8a quantifies. Narrow-only (the mode exists to measure
+/// Fig. 8a on ≤64-relation graphs).
 struct TesConstraint {
   NodeSet left;
   NodeSet right;
@@ -96,12 +107,13 @@ struct EnumerationAborted {};
 /// path — always own their table, so existing call sites keep their
 /// lifetime behavior; workspace runs borrow, which is what lets a pooled
 /// workspace serve steady-state traffic without per-query table churn.
-struct OptimizeResult {
+template <typename NS>
+struct BasicOptimizeResult {
   bool success = false;
   std::string error;
   double cost = 0.0;
   double cardinality = 0.0;
-  NodeSet root_set;
+  NS root_set;
   OptimizerStats stats;
 
   bool has_table() const { return borrowed_ != nullptr || owned_ != nullptr; }
@@ -109,7 +121,7 @@ struct OptimizeResult {
 
   /// The DP table of the run (borrowed or owned). Callers that keep the
   /// result past the workspace's next run must DetachTable-style own it.
-  const DpTable& table() const {
+  const BasicDpTable<NS>& table() const {
     DPHYP_CHECK_MSG(has_table(),
                     "OptimizeResult has no DP table (failed run or table "
                     "dropped)");
@@ -117,15 +129,15 @@ struct OptimizeResult {
   }
 
   /// Points the result at a table owned elsewhere (workspace runs).
-  void BorrowTable(const DpTable* table) {
+  void BorrowTable(const BasicDpTable<NS>* table) {
     borrowed_ = table;
     owned_.reset();
   }
 
   /// Takes ownership of `table` (detached from a workspace or rebuilt from
   /// a serialized plan).
-  void AdoptTable(DpTable table) {
-    owned_ = std::make_unique<DpTable>(std::move(table));
+  void AdoptTable(BasicDpTable<NS> table) {
+    owned_ = std::make_unique<BasicDpTable<NS>>(std::move(table));
     borrowed_ = nullptr;
   }
 
@@ -137,19 +149,25 @@ struct OptimizeResult {
   }
 
   /// Materializes the chosen plan. Requires success (and a live table).
-  PlanTree ExtractPlan(const Hypergraph& graph) const {
+  BasicPlanTree<NS> ExtractPlan(const BasicHypergraph<NS>& graph) const {
     return ExtractPlanTree(graph, table(), root_set);
   }
 
  private:
-  const DpTable* borrowed_ = nullptr;
-  std::unique_ptr<DpTable> owned_;
+  const BasicDpTable<NS>* borrowed_ = nullptr;
+  std::unique_ptr<BasicDpTable<NS>> owned_;
 };
 
-/// Options shared by all algorithms.
+using OptimizeResult = BasicOptimizeResult<NodeSet>;
+using WideOptimizeResult = BasicOptimizeResult<WideNodeSet>;
+
+/// Options shared by all algorithms. Width-independent (one options struct
+/// flows from the serving layer to either the narrow or the wide path);
+/// `tes_constraints` is the single narrow-only field.
 struct OptimizerOptions {
   /// When set, enables generate-and-test TES validation at combine time
-  /// (size must equal the number of hypergraph edges).
+  /// (size must equal the number of hypergraph edges). Narrow-only: wide
+  /// runs check-fail on a non-null value.
   const std::vector<TesConstraint>* tes_constraints = nullptr;
 
   /// Accumulated-cost branch-and-bound pruning in the combine step. Only
@@ -211,8 +229,11 @@ struct OptimizerOptions {
 inline constexpr uint64_t kCancellationPollPeriod = 256;
 
 /// Mutable state threaded through one optimization run.
-class OptimizerContext {
+template <typename NS>
+class BasicOptimizerContext {
  public:
+  using Entry = BasicPlanEntry<NS>;
+
   /// `borrowed_table` routes the run onto an externally owned DP table (an
   /// OptimizerWorkspace slot), which is Reset for this graph; Finish then
   /// returns a result *borrowing* that table. With the default null, the
@@ -224,13 +245,15 @@ class OptimizerContext {
   /// enumerator's worker mode: one primary context owns the run (Reset,
   /// InitLeaves, Finish) and per-thread worker contexts combine into the
   /// same table, each touching only entries it owns for the current wave.
-  OptimizerContext(const Hypergraph& graph, const CardinalityModel& est,
-                   const CostModel& cost_model, const OptimizerOptions& options,
-                   DpTable* borrowed_table = nullptr,
-                   bool reset_borrowed_table = true);
+  BasicOptimizerContext(const BasicHypergraph<NS>& graph,
+                        const BasicCardinalityModel<NS>& est,
+                        const CostModel& cost_model,
+                        const OptimizerOptions& options,
+                        BasicDpTable<NS>* borrowed_table = nullptr,
+                        bool reset_borrowed_table = true);
 
-  const Hypergraph& graph() const { return *graph_; }
-  DpTable& table() { return *table_; }
+  const BasicHypergraph<NS>& graph() const { return *graph_; }
+  BasicDpTable<NS>& table() { return *table_; }
   OptimizerStats& stats() { return stats_; }
 
   /// Inserts the single-relation access plans (first loop of Solve).
@@ -238,11 +261,11 @@ class OptimizerContext {
 
   /// The paper's EmitCsgCmp: considers both orientations of the csg-cmp-pair
   /// (S1, S2); commutativity is honoured per operator. Updates the DP table.
-  void EmitCsgCmp(NodeSet S1, NodeSet S2);
+  void EmitCsgCmp(NS S1, NS S2);
 
   /// DPsize-style combine for one ordered pair only (the symmetric pair
   /// arrives separately from the size loop).
-  void EmitOrdered(NodeSet S1, NodeSet S2);
+  void EmitOrdered(NS S1, NS S2);
 
   /// Cancellation poll, amortized behind a counter: checks the token every
   /// kCancellationPollPeriod calls and throws EnumerationAborted when it
@@ -257,12 +280,12 @@ class OptimizerContext {
   }
 
   /// Packages the final result for the class `root`.
-  OptimizeResult Finish(NodeSet root);
+  BasicOptimizeResult<NS> Finish(NS root);
 
   /// Packages an aborted run: success=false, stats.aborted set, and the
   /// partial table attached the same way Finish would (callers usually
   /// discard it and re-run GOO on the same workspace).
-  OptimizeResult FinishAborted(const char* algorithm);
+  BasicOptimizeResult<NS> FinishAborted(const char* algorithm);
 
   /// True when branch-and-bound pruning is active for this run.
   bool pruning() const { return pruning_; }
@@ -282,28 +305,26 @@ class OptimizerContext {
   /// fetches them; entry pointers are stable) — pass nullptr to look them
   /// up here. `target_hint` must only be non-null when the combined class
   /// is known to exist.
-  bool TryOrientation(NodeSet left, NodeSet right,
-                      const PlanEntry* left_entry = nullptr,
-                      const PlanEntry* right_entry = nullptr,
-                      PlanEntry* target_hint = nullptr);
+  bool TryOrientation(NS left, NS right, const Entry* left_entry = nullptr,
+                      const Entry* right_entry = nullptr,
+                      Entry* target_hint = nullptr);
 
   /// Pre-cost branch-and-bound tests (global incumbent + per-class
   /// dominance): true when the pair can be skipped without affecting the
   /// final optimum. On false, `*left_out`/`*right_out`/`*target_out` hold
   /// the probed entries (`*target_out` stays null when the combined class
   /// has no entry yet) so callers need not repeat the table lookups.
-  bool PruneCandidatePair(NodeSet S1, NodeSet S2, const PlanEntry** left_out,
-                          const PlanEntry** right_out,
-                          PlanEntry** target_out);
+  bool PruneCandidatePair(NS S1, NS S2, const Entry** left_out,
+                          const Entry** right_out, Entry** target_out);
 
-  const Hypergraph* graph_;
-  const CardinalityModel* est_;
+  const BasicHypergraph<NS>* graph_;
+  const BasicCardinalityModel<NS>* est_;
   const CostModel* cost_model_;
   const std::vector<TesConstraint>* tes_;
   /// The run's DP table: either `owned_table_` (legacy self-contained runs)
   /// or a workspace slot the caller lent us.
-  std::unique_ptr<DpTable> owned_table_;
-  DpTable* table_;
+  std::unique_ptr<BasicDpTable<NS>> owned_table_;
+  BasicDpTable<NS>* table_;
   OptimizerStats stats_;
   const CancellationToken* cancel_ = nullptr;
   uint64_t ticks_ = 0;
@@ -314,21 +335,24 @@ class OptimizerContext {
   /// CostModel::CompletionLowerBound for this query's root class; added to
   /// partial-plan costs before they are compared against the incumbent.
   double completion_ = 0.0;
-  NodeSet all_nodes_;
+  NS all_nodes_;
 };
+
+using OptimizerContext = BasicOptimizerContext<NodeSet>;
 
 /// Implementation helper shared by the enumerator entry points: runs
 /// `solve()` inside the cancellation guard, converting a fired token into
 /// an aborted result, and stamps the algorithm name on whatever comes out.
-template <typename Solve>
-OptimizeResult RunGuarded(const char* algorithm, OptimizerContext& ctx,
-                          NodeSet root, Solve&& solve) {
+template <typename NS, typename Solve>
+BasicOptimizeResult<NS> RunGuarded(const char* algorithm,
+                                   BasicOptimizerContext<NS>& ctx, NS root,
+                                   Solve&& solve) {
   try {
     solve();
   } catch (const EnumerationAborted&) {
     return ctx.FinishAborted(algorithm);
   }
-  OptimizeResult result = ctx.Finish(root);
+  BasicOptimizeResult<NS> result = ctx.Finish(root);
   result.stats.algorithm = algorithm;
   return result;
 }
@@ -340,11 +364,12 @@ OptimizeResult RunGuarded(const char* algorithm, OptimizerContext& ctx,
 /// initial_upper_bound filled in. Otherwise returns `options` unchanged.
 /// The Optimize* entry points call this so the seed GOO never competes with
 /// the main run for the workspace's primary table.
-OptimizerOptions ResolvePruningSeed(const Hypergraph& graph,
-                                    const CardinalityModel& est,
+template <typename NS>
+OptimizerOptions ResolvePruningSeed(const BasicHypergraph<NS>& graph,
+                                    const BasicCardinalityModel<NS>& est,
                                     const CostModel& cost_model,
                                     const OptimizerOptions& options,
-                                    OptimizerWorkspace* ws);
+                                    BasicOptimizerWorkspace<NS>* ws);
 
 }  // namespace dphyp
 

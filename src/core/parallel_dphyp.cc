@@ -76,14 +76,15 @@ void RunWorkers(int threads, Fn&& fn) {
 /// worker data: sets grown through simple-edge neighbors are connected by
 /// construction; only candidates containing complex-edge far-side
 /// representatives need the memoized IsConnectedDef3 test.
+template <typename NS>
 class StructureWorker {
  public:
   /// `memo` is the worker's pooled connectivity-memo scratch
   /// (OptimizerWorkspace::connectivity_memo), cleared by the caller for
   /// this run.
-  StructureWorker(const Hypergraph& graph, NeighborhoodCache& nbh,
-                  std::vector<NodeSet>& out,
-                  std::unordered_map<uint64_t, bool>& memo,
+  StructureWorker(const BasicHypergraph<NS>& graph,
+                  BasicNeighborhoodCache<NS>& nbh, std::vector<NS>& out,
+                  std::unordered_map<NS, bool, NodeSetHasher>& memo,
                   const CancellationToken* token)
       : graph_(graph),
         nbh_(nbh),
@@ -96,7 +97,7 @@ class StructureWorker {
   /// singletons are the leaves, inserted by InitLeaves, not collected
   /// here). Disjoint across start vertices by the B_v forbid discipline.
   void DiscoverFrom(int v) {
-    Recurse(NodeSet::Single(v), NodeSet::UpTo(v), /*simple_path=*/true);
+    Recurse(NS::Single(v), NS::UpTo(v), /*simple_path=*/true);
   }
 
  private:
@@ -105,47 +106,47 @@ class StructureWorker {
   /// which keeps S1 connected by construction. Only candidates grown
   /// through a complex-edge far-side representative (and growth below
   /// them) pay the closure test.
-  void Recurse(NodeSet S1, NodeSet X, bool simple_path) {
-    NodeSet nbh = nbh_.Neighborhood(S1, X);
+  void Recurse(NS S1, NS X, bool simple_path) {
+    NS nbh = nbh_.Neighborhood(S1, X);
     if (nbh.Empty()) return;
-    NodeSet simple_members = nbh;
+    NS simple_members = nbh;
     if (has_complex_) {
-      simple_members = NodeSet();
+      simple_members = NS();
       for (int w : nbh) {
         if (graph_.SimpleNeighbors(w).Intersects(S1)) {
-          simple_members |= NodeSet::Single(w);
+          simple_members |= NS::Single(w);
         }
       }
     }
     // Poll inside the subset loop, not just per recursion node: a single
     // high-degree hub expands 2^degree subsets right here, and a deadline
     // must bind mid-expansion.
-    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+    for (NS n : NonEmptySubsetsOf(nbh)) {
       if (poll_.Fired()) throw EnumerationAborted{};
-      NodeSet grown = S1 | n;
+      NS grown = S1 | n;
       if ((simple_path && n.IsSubsetOf(simple_members)) || Connected(grown)) {
         out_.push_back(grown);
       }
     }
-    NodeSet x2 = X | nbh;
+    NS x2 = X | nbh;
     // Recursion continues through unconnected grown sets, exactly like the
     // sequential solver: a complex far side entered via its representative
     // only becomes connected once later growth completes it.
-    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+    for (NS n : NonEmptySubsetsOf(nbh)) {
       Recurse(S1 | n, x2, simple_path && n.IsSubsetOf(simple_members));
     }
   }
 
-  bool Connected(NodeSet S) {
-    auto [it, inserted] = memo_.try_emplace(S.bits(), false);
+  bool Connected(NS S) {
+    auto [it, inserted] = memo_.try_emplace(S, false);
     if (inserted) it->second = IsConnectedDef3(graph_, S);
     return it->second;
   }
 
-  const Hypergraph& graph_;
-  NeighborhoodCache& nbh_;
-  std::vector<NodeSet>& out_;
-  std::unordered_map<uint64_t, bool>& memo_;
+  const BasicHypergraph<NS>& graph_;
+  BasicNeighborhoodCache<NS>& nbh_;
+  std::vector<NS>& out_;
+  std::unordered_map<NS, bool, NodeSetHasher>& memo_;
   const bool has_complex_;
   CancellationPoller poll_;
 };
@@ -157,10 +158,13 @@ class StructureWorker {
 /// EmitCsgCmp combine step — the same unordered csg-cmp pairs sequential
 /// DPhyp emits for this class, in a canonical order that depends on the
 /// class alone.
+template <typename NS>
 class ClassSplitter {
  public:
-  ClassSplitter(const Hypergraph& graph, const CardinalityModel& est,
-                DpTable& table, NeighborhoodCache& nbh, OptimizerContext& ctx)
+  ClassSplitter(const BasicHypergraph<NS>& graph,
+                const BasicCardinalityModel<NS>& est, BasicDpTable<NS>& table,
+                BasicNeighborhoodCache<NS>& nbh,
+                BasicOptimizerContext<NS>& ctx)
       : graph_(graph),
         est_(est),
         table_(table),
@@ -168,74 +172,77 @@ class ClassSplitter {
         ctx_(ctx),
         all_(graph.AllNodes()) {}
 
-  void ProcessClass(PlanEntry* entry) {
+  void ProcessClass(BasicPlanEntry<NS>* entry) {
     class_ = entry->set;
     // The class's output cardinality is fixed before any candidate costs:
     // the combine step and the dominance cut read it from the entry.
     entry->cardinality = est_.EstimateClass(class_);
-    const NodeSet Y = class_ - class_.MinSet();
-    const NodeSet outside = all_ - Y;
+    const NS Y = class_ - class_.MinSet();
+    const NS outside = all_ - Y;
     // Non-min sides in descending start-vertex order within Y, each seed
     // forbidding the seeds still to come — DPhyp's Solve loop restricted
     // to the class.
-    NodeSet remaining = Y;
+    NS remaining = Y;
     while (!remaining.Empty()) {
       const int v = remaining.Max();
-      remaining -= NodeSet::Single(v);
-      const NodeSet single = NodeSet::Single(v);
+      remaining -= NS::Single(v);
+      const NS single = NS::Single(v);
       TrySplit(single);
-      Grow(single, outside | (Y & NodeSet::UpTo(v)));
+      Grow(single, outside | (Y & NS::UpTo(v)));
     }
   }
 
  private:
-  void Grow(NodeSet S2, NodeSet X) {
-    NodeSet nbh = nbh_.Neighborhood(S2, X);
+  void Grow(NS S2, NS X) {
+    NS nbh = nbh_.Neighborhood(S2, X);
     if (nbh.Empty()) return;
-    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+    for (NS n : NonEmptySubsetsOf(nbh)) {
       ctx_.Tick();
-      NodeSet grown = S2 | n;
+      NS grown = S2 | n;
       // Structure-table membership == Def.-3 connectivity (phase 1 is
       // complete before any wave starts).
       if (table_.Contains(grown)) TrySplit(grown);
     }
-    NodeSet x2 = X | nbh;
-    for (NodeSet n : NonEmptySubsetsOf(nbh)) {
+    NS x2 = X | nbh;
+    for (NS n : NonEmptySubsetsOf(nbh)) {
       Grow(S2 | n, x2);
     }
   }
 
-  void TrySplit(NodeSet S2) {
+  void TrySplit(NS S2) {
     ++ctx_.stats().pairs_tested;
     ctx_.Tick();
-    const NodeSet S1 = class_ - S2;
+    const NS S1 = class_ - S2;
     // Both sides must hold *valid plans*, not merely be connected: the
     // +inf sentinel marks classes that are connected but plan-less (non-
     // inner operator constellations) or pruned away — the sequential
     // solver's missing-entry skip, expressed on a pre-populated table.
-    const PlanEntry* left = table_.Find(S1);
+    const BasicPlanEntry<NS>* left = table_.Find(S1);
     if (left == nullptr || !std::isfinite(left->cost)) return;
-    const PlanEntry* right = table_.Find(S2);
+    const BasicPlanEntry<NS>* right = table_.Find(S2);
     if (right == nullptr || !std::isfinite(right->cost)) return;
     if (!graph_.ConnectsSets(S1, S2)) return;
     ctx_.EmitCsgCmp(S1, S2);
   }
 
-  const Hypergraph& graph_;
-  const CardinalityModel& est_;
-  DpTable& table_;
-  NeighborhoodCache& nbh_;
-  OptimizerContext& ctx_;
-  const NodeSet all_;
-  NodeSet class_;
+  const BasicHypergraph<NS>& graph_;
+  const BasicCardinalityModel<NS>& est_;
+  BasicDpTable<NS>& table_;
+  BasicNeighborhoodCache<NS>& nbh_;
+  BasicOptimizerContext<NS>& ctx_;
+  const NS all_;
+  NS class_;
 };
 
+template <typename NS>
 class ParallelDphypDriver {
  public:
-  ParallelDphypDriver(const Hypergraph& graph, const CardinalityModel& est,
+  ParallelDphypDriver(const BasicHypergraph<NS>& graph,
+                      const BasicCardinalityModel<NS>& est,
                       const CostModel& cost_model,
                       const OptimizerOptions& options,
-                      OptimizerWorkspace* workspace, OptimizerContext& primary)
+                      BasicOptimizerWorkspace<NS>* workspace,
+                      BasicOptimizerContext<NS>& primary)
       : graph_(graph),
         est_(est),
         cost_model_(cost_model),
@@ -263,12 +270,13 @@ class ParallelDphypDriver {
   }
 
  private:
-  OptimizerWorkspace& Scratch(int i) {
+  BasicOptimizerWorkspace<NS>& Scratch(int i) {
     if (workspace_ != nullptr) {
       return workspace_->ThreadScratch(static_cast<size_t>(i));
     }
     while (owned_scratch_.size() <= static_cast<size_t>(i)) {
-      owned_scratch_.push_back(std::make_unique<OptimizerWorkspace>());
+      owned_scratch_.push_back(
+          std::make_unique<BasicOptimizerWorkspace<NS>>());
     }
     return *owned_scratch_[i];
   }
@@ -287,11 +295,11 @@ class ParallelDphypDriver {
     // last keeps the tail short.
     std::atomic<int> next{n - 1};
     RunWorkers(team, [&](int w) {
-      OptimizerWorkspace& scratch = Scratch(w);
+      BasicOptimizerWorkspace<NS>& scratch = Scratch(w);
       scratch.connectivity_memo().clear();
-      StructureWorker worker(graph_, scratch.neighborhood(graph_),
-                             *buffers_[w], scratch.connectivity_memo(),
-                             options_.cancellation);
+      StructureWorker<NS> worker(graph_, scratch.neighborhood(graph_),
+                                 *buffers_[w], scratch.connectivity_memo(),
+                                 options_.cancellation);
       for (;;) {
         const int v = next.fetch_sub(1, std::memory_order_relaxed);
         if (v < 0) break;
@@ -302,35 +310,35 @@ class ParallelDphypDriver {
 
   void PublishClasses() {
     size_t total = 0;
-    for (const std::vector<NodeSet>* b : buffers_) total += b->size();
+    for (const std::vector<NS>* b : buffers_) total += b->size();
     // The merge buffer lives in the parent workspace (the per-worker
     // buffers live in its ThreadScratch children, so there is no
     // aliasing): pooled warm serving reuses its capacity instead of
     // allocating megabytes per query on large graphs.
-    std::vector<NodeSet> local;
-    std::vector<NodeSet>& classes =
+    std::vector<NS> local;
+    std::vector<NS>& classes =
         workspace_ != nullptr ? workspace_->scratch_sets() : local;
     classes.clear();
     classes.reserve(total);
-    for (const std::vector<NodeSet>* b : buffers_) {
+    for (const std::vector<NS>* b : buffers_) {
       classes.insert(classes.end(), b->begin(), b->end());
     }
     // Canonical publication order — by (size, numeric value) — makes the
     // table layout, the wave partition, and therefore the whole run
     // independent of worker count and scheduling.
-    std::sort(classes.begin(), classes.end(), [](NodeSet a, NodeSet b) {
+    std::sort(classes.begin(), classes.end(), [](NS a, NS b) {
       const int ca = a.Count();
       const int cb = b.Count();
       if (ca != cb) return ca < cb;
-      return a.bits() < b.bits();
+      return a < b;
     });
 
-    DpTable& table = primary_.table();
+    BasicDpTable<NS>& table = primary_.table();
     table.Reserve(static_cast<size_t>(graph_.NumNodes()) + classes.size());
     CancellationPoller poll(options_.cancellation);
-    for (NodeSet s : classes) {
+    for (NS s : classes) {
       if (poll.Fired()) throw EnumerationAborted{};
-      PlanEntry* e = table.Insert(s);
+      BasicPlanEntry<NS>* e = table.Insert(s);
       // +inf marks "no valid plan yet"; the cardinality is filled by the
       // class's owner at the start of its wave.
       e->cost = std::numeric_limits<double>::infinity();
@@ -341,7 +349,7 @@ class ParallelDphypDriver {
     // Wave boundaries over the table's insertion order: [NumNodes(), ...)
     // is the sorted class range, contiguous per size.
     waves_.clear();
-    const std::vector<PlanEntry*>& entries = table.entries();
+    const std::vector<BasicPlanEntry<NS>*>& entries = table.entries();
     size_t begin = static_cast<size_t>(graph_.NumNodes());
     while (begin < entries.size()) {
       size_t end = begin + 1;
@@ -360,21 +368,22 @@ class ParallelDphypDriver {
         largest_wave >= kMinClassesForParallelWaves ? threads_ : 1;
 
     worker_ctx_.clear();
-    std::vector<std::unique_ptr<ClassSplitter>> splitters;
+    std::vector<std::unique_ptr<ClassSplitter<NS>>> splitters;
     for (int i = 0; i < team; ++i) {
       // Worker contexts attach to the shared table without resetting it;
       // the pruning seed in `options_` is already resolved (finite), so no
       // per-worker GOO pass runs and every worker prunes against the same
       // deterministic initial bound.
-      worker_ctx_.push_back(std::make_unique<OptimizerContext>(
+      worker_ctx_.push_back(std::make_unique<BasicOptimizerContext<NS>>(
           graph_, est_, cost_model_, options_, &primary_.table(),
           /*reset_borrowed_table=*/false));
-      splitters.push_back(std::make_unique<ClassSplitter>(
+      splitters.push_back(std::make_unique<ClassSplitter<NS>>(
           graph_, est_, primary_.table(), Scratch(i).neighborhood(graph_),
           *worker_ctx_[i]));
     }
 
-    const std::vector<PlanEntry*>& entries = primary_.table().entries();
+    const std::vector<BasicPlanEntry<NS>*>& entries =
+        primary_.table().entries();
     if (team == 1) {
       for (const auto& [begin, end] : waves_) {
         for (size_t j = begin; j < end; ++j) {
@@ -454,17 +463,17 @@ class ParallelDphypDriver {
     worker_ctx_.clear();
   }
 
-  const Hypergraph& graph_;
-  const CardinalityModel& est_;
+  const BasicHypergraph<NS>& graph_;
+  const BasicCardinalityModel<NS>& est_;
   const CostModel& cost_model_;
   const OptimizerOptions& options_;
-  OptimizerWorkspace* workspace_;
-  OptimizerContext& primary_;
+  BasicOptimizerWorkspace<NS>* workspace_;
+  BasicOptimizerContext<NS>& primary_;
   const int threads_;
-  std::vector<std::unique_ptr<OptimizerWorkspace>> owned_scratch_;
-  std::vector<std::vector<NodeSet>*> buffers_;
+  std::vector<std::unique_ptr<BasicOptimizerWorkspace<NS>>> owned_scratch_;
+  std::vector<std::vector<NS>*> buffers_;
   std::vector<std::pair<size_t, size_t>> waves_;
-  std::vector<std::unique_ptr<OptimizerContext>> worker_ctx_;
+  std::vector<std::unique_ptr<BasicOptimizerContext<NS>>> worker_ctx_;
 };
 
 class DphypParEnumerator : public Enumerator {
@@ -510,20 +519,20 @@ class DphypParEnumerator : public Enumerator {
 
 }  // namespace
 
-OptimizeResult OptimizeDphypPar(const Hypergraph& graph,
-                                const CardinalityModel& est,
-                                const CostModel& cost_model,
-                                const OptimizerOptions& options,
-                                OptimizerWorkspace* workspace) {
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeDphypPar(
+    const BasicHypergraph<NS>& graph, const BasicCardinalityModel<NS>& est,
+    const CostModel& cost_model, const OptimizerOptions& options,
+    BasicOptimizerWorkspace<NS>* workspace) {
   OptimizerOptions effective =
       ResolvePruningSeed(graph, est, cost_model, options, workspace);
-  OptimizerContext primary(graph, est, cost_model, effective,
-                           workspace != nullptr ? &workspace->table()
-                                                : nullptr);
+  BasicOptimizerContext<NS> primary(graph, est, cost_model, effective,
+                                    workspace != nullptr ? &workspace->table()
+                                                         : nullptr);
   if (workspace != nullptr) workspace->CountRun();
-  ParallelDphypDriver driver(graph, est, cost_model, effective, workspace,
-                             primary);
-  OptimizeResult result =
+  ParallelDphypDriver<NS> driver(graph, est, cost_model, effective, workspace,
+                                 primary);
+  BasicOptimizeResult<NS> result =
       RunGuarded("dphyp-par", primary, graph.AllNodes(), [&] { driver.Run(); });
   // The parallel table pre-inserts every connected class; a root entry
   // still carrying the +inf sentinel means no valid ordering existed —
@@ -540,5 +549,19 @@ OptimizeResult OptimizeDphypPar(const Hypergraph& graph,
 std::unique_ptr<Enumerator> MakeDphypParEnumerator() {
   return std::make_unique<DphypParEnumerator>();
 }
+
+template OptimizeResult OptimizeDphypPar<NodeSet>(const Hypergraph&,
+                                                  const CardinalityModel&,
+                                                  const CostModel&,
+                                                  const OptimizerOptions&,
+                                                  OptimizerWorkspace*);
+template BasicOptimizeResult<WideNodeSet> OptimizeDphypPar<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&,
+    const BasicCardinalityModel<WideNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<WideNodeSet>*);
+template BasicOptimizeResult<HugeNodeSet> OptimizeDphypPar<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&,
+    const BasicCardinalityModel<HugeNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<HugeNodeSet>*);
 
 }  // namespace dphyp

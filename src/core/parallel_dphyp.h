@@ -61,11 +61,13 @@ namespace dphyp {
 /// period). Thread-safety requirement on the inputs: `est` and
 /// `cost_model` are read concurrently, which the CardinalityModel contract
 /// (immutable after construction, cost/cardinality.h) already guarantees.
-OptimizeResult OptimizeDphypPar(const Hypergraph& graph,
-                                const CardinalityModel& est,
-                                const CostModel& cost_model,
-                                const OptimizerOptions& options = {},
-                                OptimizerWorkspace* workspace = nullptr);
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeDphypPar(const BasicHypergraph<NS>& graph,
+                                         const BasicCardinalityModel<NS>& est,
+                                         const CostModel& cost_model,
+                                         const OptimizerOptions& options = {},
+                                         BasicOptimizerWorkspace<NS>*
+                                             workspace = nullptr);
 
 /// The registry entry for "dphyp-par": exact, handles everything DPhyp
 /// does, bids on large feasible graphs (DispatchPolicy::parallel_min_nodes

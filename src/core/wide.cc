@@ -1,0 +1,205 @@
+#include "core/wide.h"
+
+#include <thread>
+
+#include "baselines/dpccp.h"
+#include "baselines/dpsub.h"
+#include "baselines/goo.h"
+#include "core/anneal.h"
+#include "core/dphyp.h"
+#include "core/idp.h"
+#include "core/parallel_dphyp.h"
+
+namespace dphyp {
+
+namespace {
+
+/// Mirror of parallel_dphyp.cc's worker resolution (the bid-side half: the
+/// parallel route only bids when >= 2 workers would actually run).
+int EffectiveParallelWorkers(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// idp-k's CanHandle: inner joins only, no lateral dependencies (compound
+/// window components have no conflict-rule story otherwise).
+template <typename NS>
+bool IdpCanHandle(const BasicHypergraph<NS>& graph) {
+  if (graph.HasDependentLeaves()) return false;
+  for (const BasicHyperedge<NS>& e : graph.edges()) {
+    if (e.op != OpType::kJoin) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* WideRouteName(WideRoute route) {
+  switch (route) {
+    case WideRoute::kDpccp:
+      return "DPccp";
+    case WideRoute::kDphypPar:
+      return "dphyp-par";
+    case WideRoute::kDphyp:
+      return "DPhyp";
+    case WideRoute::kDpsub:
+      return "DPsub";
+    case WideRoute::kIdp:
+      return "idp-k";
+    case WideRoute::kAnneal:
+      return "anneal";
+    case WideRoute::kGoo:
+      return "GOO";
+  }
+  return "GOO";
+}
+
+template <typename NS>
+WideRouteDecision ChooseWideRoute(const BasicHypergraph<NS>& graph,
+                                  const DispatchPolicy& policy) {
+  const GraphShape shape = AnalyzeGraphShape(graph);
+  WideRouteDecision best;  // the GOO floor (preference 0) always bids
+
+  auto offer = [&best](WideRoute route, double preference, const char* reason,
+                       bool exact) {
+    if (preference > best.preference) {
+      best = {route, preference, reason, exact};
+    }
+  };
+
+  // DPccp (baselines/dpccp.cc Bid): simple graphs only.
+  if (!shape.has_complex_edges) {
+    if (shape.num_nodes <= 2) {
+      offer(WideRoute::kDpccp, 100.0, "trivial", true);
+    } else if (!shape.generalized && shape.max_simple_degree <= 2) {
+      offer(WideRoute::kDpccp, 100.0, "chain/cycle: quadratic subgraph count",
+            true);
+    } else if (!shape.generalized && ExactDpFeasible(shape, policy)) {
+      offer(WideRoute::kDpccp, 50.0, "simple inner graph", true);
+    }
+  }
+
+  // dphyp-par (core/parallel_dphyp.cc Bid): widened parallel frontier.
+  if (EffectiveParallelWorkers(policy.parallel_workers_hint) >= 2 &&
+      shape.max_simple_degree > 2 &&
+      shape.num_nodes >= policy.parallel_min_nodes &&
+      shape.num_nodes <= policy.exact_node_limit &&
+      shape.max_simple_degree <= policy.parallel_max_degree &&
+      !(shape.density >= policy.min_dense_density &&
+        shape.num_nodes > policy.parallel_dense_node_limit)) {
+    offer(WideRoute::kDphypPar, 85.0,
+          "large graph: intra-query parallel enumeration", true);
+  }
+
+  // DPhyp (core/dphyp.cc Bid).
+  if (ExactDpFeasible(shape, policy)) {
+    if (shape.generalized) {
+      offer(WideRoute::kDphyp, 80.0, "hyperedges/non-inner/lateral", true);
+    } else {
+      offer(WideRoute::kDphyp, 40.0, "simple inner graph (DPccp preferred)",
+            true);
+    }
+    // DPsub (baselines/dpsub.cc Bid): small dense simple graphs.
+    if (!shape.generalized && shape.num_nodes <= policy.dpsub_node_limit &&
+        shape.density >= policy.min_dpsub_density) {
+      offer(WideRoute::kDpsub, 60.0, "small dense graph: 2^n loop wins", true);
+    }
+  } else {
+    // The beyond-exact pair (core/idp.cc, core/anneal.cc Bids).
+    if (IdpCanHandle(graph)) {
+      offer(WideRoute::kIdp, 20.0,
+            "past exact frontier: windowed exact DP (idp-k)", false);
+    }
+    offer(WideRoute::kAnneal, 10.0,
+          "past exact frontier: simulated annealing", false);
+  }
+
+  return best;
+}
+
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeWideAdaptive(
+    const BasicHypergraph<NS>& graph, const BasicCardinalityModel<NS>& est,
+    const CostModel& cost_model, const OptimizerOptions& options,
+    BasicOptimizerWorkspace<NS>* workspace, const DispatchPolicy& policy) {
+  const WideRouteDecision decision = ChooseWideRoute(graph, policy);
+  switch (decision.route) {
+    case WideRoute::kDpccp:
+      return OptimizeDpccp(graph, est, cost_model, options, workspace);
+    case WideRoute::kDphypPar:
+      return OptimizeDphypPar(graph, est, cost_model, options, workspace);
+    case WideRoute::kDphyp:
+      return OptimizeDphyp(graph, est, cost_model, options, workspace);
+    case WideRoute::kDpsub:
+      return OptimizeDpsub(graph, est, cost_model, options, workspace);
+    case WideRoute::kIdp:
+      return OptimizeIdp(graph, est, cost_model, options, workspace);
+    case WideRoute::kAnneal:
+      return OptimizeAnneal(graph, est, cost_model, options, workspace);
+    case WideRoute::kGoo:
+      break;
+  }
+  return OptimizeGoo(graph, est, cost_model, options, workspace);
+}
+
+template <typename To, typename From>
+BasicHypergraph<To> WidenGraph(const BasicHypergraph<From>& graph) {
+  static_assert(To::kMaxNodes >= From::kMaxNodes,
+                "target width cannot represent the source width");
+  auto convert = [](From s) {
+    To out;
+    for (int v : s) out |= To::Single(v);
+    return out;
+  };
+  BasicHypergraph<To> wide;
+  for (int v = 0; v < graph.NumNodes(); ++v) {
+    const BasicHypergraphNode<From>& node = graph.node(v);
+    BasicHypergraphNode<To> mapped;
+    mapped.name = node.name;
+    mapped.cardinality = node.cardinality;
+    mapped.free_tables = convert(node.free_tables);
+    wide.AddNode(std::move(mapped));
+  }
+  for (const BasicHyperedge<From>& e : graph.edges()) {
+    BasicHyperedge<To> mapped;
+    mapped.left = convert(e.left);
+    mapped.right = convert(e.right);
+    mapped.flex = convert(e.flex);
+    mapped.selectivity = e.selectivity;
+    mapped.op = e.op;
+    mapped.predicate_id = e.predicate_id;
+    wide.AddEdge(std::move(mapped));
+  }
+  return wide;
+}
+
+template WideRouteDecision ChooseWideRoute<NodeSet>(const Hypergraph&,
+                                                    const DispatchPolicy&);
+template WideRouteDecision ChooseWideRoute<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&, const DispatchPolicy&);
+template WideRouteDecision ChooseWideRoute<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&, const DispatchPolicy&);
+
+template OptimizeResult OptimizeWideAdaptive<NodeSet>(
+    const Hypergraph&, const CardinalityModel&, const CostModel&,
+    const OptimizerOptions&, OptimizerWorkspace*, const DispatchPolicy&);
+template BasicOptimizeResult<WideNodeSet> OptimizeWideAdaptive<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&,
+    const BasicCardinalityModel<WideNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<WideNodeSet>*,
+    const DispatchPolicy&);
+template BasicOptimizeResult<HugeNodeSet> OptimizeWideAdaptive<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&,
+    const BasicCardinalityModel<HugeNodeSet>&, const CostModel&,
+    const OptimizerOptions&, BasicOptimizerWorkspace<HugeNodeSet>*,
+    const DispatchPolicy&);
+
+template BasicHypergraph<WideNodeSet> WidenGraph<WideNodeSet, NodeSet>(
+    const Hypergraph&);
+template BasicHypergraph<HugeNodeSet> WidenGraph<HugeNodeSet, NodeSet>(
+    const Hypergraph&);
+template BasicHypergraph<HugeNodeSet> WidenGraph<HugeNodeSet, WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&);
+
+}  // namespace dphyp

@@ -1,0 +1,81 @@
+// The wide (> 64 relation) optimization path.
+//
+// Queries past NodeSet's 64-relation word fit used to be unrepresentable —
+// the narrow registry never even saw them. With BasicNodeSet<W>
+// (util/node_set.h) the enumeration cores run at any width, so the only
+// missing piece is routing: this header mirrors the EnumeratorRegistry
+// auction (core/enumerator.cc) for wide graphs, choosing among wide DPhyp /
+// dphyp-par / DPccp / DPsub, the beyond-exact pair (idp-k, anneal), and the
+// GOO floor with exactly the sequential registry's bids and CanHandle
+// predicates. A 72-relation chain therefore optimizes *exactly* (DPccp's
+// quadratic chain bid), and an 80-relation sparse graph goes to wide
+// DPhyp/dphyp-par when its shape is inside the exact frontier — wide
+// queries no longer fall through to the greedy heuristic just because of
+// their relation count.
+//
+// The registry itself stays narrow (Enumerator values serve the <= 64
+// serving tier); wide callers — the wide fuzz tier, the wide bench sweep —
+// enter through OptimizeWideAdaptive directly.
+#ifndef DPHYP_CORE_WIDE_H_
+#define DPHYP_CORE_WIDE_H_
+
+#include <string>
+
+#include "core/enumerator.h"
+#include "core/optimizer.h"
+
+namespace dphyp {
+
+/// The route the wide auction picked, in registry-bid order.
+enum class WideRoute {
+  kDpccp,      // 100: chains/cycles at any size; 50: simple inner feasible
+  kDphypPar,   // 85: large feasible graphs with >= 2 effective workers
+  kDphyp,      // 80: generalized feasible; 40: simple inner feasible
+  kDpsub,      // 60: small dense simple graphs
+  kIdp,        // 20: past the exact frontier, inner joins only
+  kAnneal,     // 10: past the exact frontier, any graph
+  kGoo,        //  0: the heuristic floor
+};
+
+const char* WideRouteName(WideRoute route);
+
+/// One auction outcome: the winning route, its preference, and the winning
+/// bid's reason string (static storage).
+struct WideRouteDecision {
+  WideRoute route = WideRoute::kGoo;
+  double preference = 0.0;
+  const char* reason = "heuristic floor";
+  /// True when the chosen route enumerates exhaustively (plan is optimal
+  /// under the cost model) — the "no GOO fallback" acceptance check.
+  bool exact = false;
+};
+
+/// Replays the registry auction for a graph at width NS: same bids, same
+/// feasibility frontier (ExactDpFeasible), same CanHandle predicates as the
+/// registered enumerators. Deterministic; depends only on the graph shape
+/// and `policy`.
+template <typename NS>
+WideRouteDecision ChooseWideRoute(const BasicHypergraph<NS>& graph,
+                                  const DispatchPolicy& policy = {});
+
+/// Optimizes `graph` via the route ChooseWideRoute picks. The result's
+/// stats.algorithm records the enumerator that ran. Workspace semantics
+/// match the narrow free functions (borrow-or-own table).
+template <typename NS>
+BasicOptimizeResult<NS> OptimizeWideAdaptive(
+    const BasicHypergraph<NS>& graph, const BasicCardinalityModel<NS>& est,
+    const CostModel& cost_model, const OptimizerOptions& options = {},
+    BasicOptimizerWorkspace<NS>* workspace = nullptr,
+    const DispatchPolicy& policy = {});
+
+/// Re-represents a graph at a different node-set width (node indices,
+/// edges, operators, and free-table sets carry over verbatim). `To` must
+/// be wide enough for the graph's node count. Used by the differential
+/// tests to run the identical graph through the one-word and multi-word
+/// paths.
+template <typename To, typename From>
+BasicHypergraph<To> WidenGraph(const BasicHypergraph<From>& graph);
+
+}  // namespace dphyp
+
+#endif  // DPHYP_CORE_WIDE_H_

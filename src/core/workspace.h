@@ -13,7 +13,10 @@
 // A workspace is single-threaded state: one optimization run at a time.
 // PlanService keeps a WorkspacePool and leases one workspace per in-flight
 // query; standalone callers can hand one to the Optimize* free functions
-// or let an OptimizationSession own a private one.
+// or let an OptimizationSession own a private one. The workspace is
+// templated on the node-set type (`OptimizerWorkspace` is the one-word
+// alias); the wide routing path owns BasicOptimizerWorkspace<WideNodeSet>
+// instances directly.
 #ifndef DPHYP_CORE_WORKSPACE_H_
 #define DPHYP_CORE_WORKSPACE_H_
 
@@ -34,28 +37,28 @@ namespace dphyp {
 /// GOO's per-run scratch: the component list, the candidate-merge buffer,
 /// and the memo of per-pair join cardinalities. Reused across runs so the
 /// greedy fallback stops allocating once its capacities have converged.
-struct GooScratch {
+template <typename NS>
+struct BasicGooScratch {
   struct Candidate {
     int i = 0;
     int j = 0;
     double out_card = 0.0;
   };
   struct PairHash {
-    size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
+    size_t operator()(const std::pair<NS, NS>& p) const {
       // Same mixing idea as HashNodeSet: multiply-shift over both halves.
-      uint64_t h = p.first * 0x9E3779B97F4A7C15ull;
-      h ^= p.second + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      uint64_t h = HashNodeSet(p.first) * 0x9E3779B97F4A7C15ull;
+      h ^= HashNodeSet(p.second) + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
       return static_cast<size_t>(h);
     }
   };
 
-  std::vector<NodeSet> components;
+  std::vector<NS> components;
   std::vector<Candidate> candidates;
-  /// (min bits, max bits) -> estimated join cardinality; NaN marks a
-  /// disconnected pair. unordered_map keeps its bucket array across
-  /// clear(), so reuse at least spares the rehash churn.
-  std::unordered_map<std::pair<uint64_t, uint64_t>, double, PairHash>
-      pair_cardinality;
+  /// (numerically smaller set, larger set) -> estimated join cardinality;
+  /// NaN marks a disconnected pair. unordered_map keeps its bucket array
+  /// across clear(), so reuse at least spares the rehash churn.
+  std::unordered_map<std::pair<NS, NS>, double, PairHash> pair_cardinality;
 
   void Clear() {
     components.clear();
@@ -64,27 +67,30 @@ struct GooScratch {
   }
 };
 
+using GooScratch = BasicGooScratch<NodeSet>;
+
 /// Owns every large allocation an optimization run needs. Not thread-safe;
 /// lease one per in-flight query (see WorkspacePool).
-class OptimizerWorkspace {
+template <typename NS>
+class BasicOptimizerWorkspace {
  public:
-  OptimizerWorkspace() = default;
-  OptimizerWorkspace(const OptimizerWorkspace&) = delete;
-  OptimizerWorkspace& operator=(const OptimizerWorkspace&) = delete;
+  BasicOptimizerWorkspace() = default;
+  BasicOptimizerWorkspace(const BasicOptimizerWorkspace&) = delete;
+  BasicOptimizerWorkspace& operator=(const BasicOptimizerWorkspace&) = delete;
 
   /// The main DP table. OptimizerContext Reset()s it at the start of every
   /// run, which invalidates all entry pointers from the previous run —
   /// results borrowed from this workspace are valid only until the next run.
-  DpTable& table() { return table_; }
+  BasicDpTable<NS>& table() { return table_; }
 
   /// A second, small table for the GOO pass that seeds the pruning bound:
   /// it runs *nested inside* an exact run's setup, while `table()` is
   /// already claimed by the outer OptimizerContext.
-  DpTable& seed_table() { return seed_table_; }
+  BasicDpTable<NS>& seed_table() { return seed_table_; }
 
   /// The DPhyp/Sec.-2.3 neighborhood memo, rebound (and emptied, capacity
   /// retained) to `graph` on every call.
-  NeighborhoodCache& neighborhood(const Hypergraph& graph) {
+  BasicNeighborhoodCache<NS>& neighborhood(const BasicHypergraph<NS>& graph) {
     if (nbh_.has_value()) {
       nbh_->Reset(graph);
     } else {
@@ -93,14 +99,14 @@ class OptimizerWorkspace {
     return *nbh_;
   }
 
-  GooScratch& goo() { return goo_; }
+  BasicGooScratch<NS>& goo() { return goo_; }
 
   /// Moves the main table out (e.g. to hand a detached, caller-owned table
   /// to an OptimizeResult that must outlive this workspace) and leaves a
   /// fresh empty table behind.
-  DpTable DetachTable() {
-    DpTable detached = std::move(table_);
-    table_ = DpTable();
+  BasicDpTable<NS> DetachTable() {
+    BasicDpTable<NS> detached = std::move(table_);
+    table_ = BasicDpTable<NS>();
     return detached;
   }
 
@@ -111,25 +117,25 @@ class OptimizerWorkspace {
   /// Grows to the peak thread count ever requested, then stops allocating.
   /// Call from the coordinating thread *before* workers start (growth is
   /// not synchronized); each worker then uses only its own entry.
-  OptimizerWorkspace& ThreadScratch(size_t i) {
+  BasicOptimizerWorkspace& ThreadScratch(size_t i) {
     while (thread_scratch_.size() <= i) {
-      thread_scratch_.push_back(std::make_unique<OptimizerWorkspace>());
+      thread_scratch_.push_back(std::make_unique<BasicOptimizerWorkspace>());
     }
     return *thread_scratch_[i];
   }
   size_t thread_scratch_count() const { return thread_scratch_.size(); }
 
-  /// Reusable NodeSet buffer (cleared per use, capacity retained). The
+  /// Reusable node-set buffer (cleared per use, capacity retained). The
   /// parallel structure pass uses each ThreadScratch child's buffer for
   /// its worker's discovered connected subgraphs and the parent
   /// workspace's buffer for the sorted merge of all of them.
-  std::vector<NodeSet>& scratch_sets() { return scratch_sets_; }
+  std::vector<NS>& scratch_sets() { return scratch_sets_; }
 
-  /// Memoized Def-3 connectivity verdicts (set bits -> connected) for the
+  /// Memoized Def-3 connectivity verdicts (node set -> connected) for the
   /// parallel structure pass on complex-edge graphs. Cleared per run
   /// (verdicts are graph-specific); the bucket array's capacity is
   /// retained, like every other scratch here.
-  std::unordered_map<uint64_t, bool>& connectivity_memo() {
+  std::unordered_map<NS, bool, NodeSetHasher>& connectivity_memo() {
     return connectivity_memo_;
   }
 
@@ -138,15 +144,18 @@ class OptimizerWorkspace {
   void CountRun() { ++runs_; }
 
  private:
-  DpTable table_{64};
-  DpTable seed_table_{64};
-  std::optional<NeighborhoodCache> nbh_;
-  GooScratch goo_;
-  std::vector<std::unique_ptr<OptimizerWorkspace>> thread_scratch_;
-  std::vector<NodeSet> scratch_sets_;
-  std::unordered_map<uint64_t, bool> connectivity_memo_;
+  BasicDpTable<NS> table_{64};
+  BasicDpTable<NS> seed_table_{64};
+  std::optional<BasicNeighborhoodCache<NS>> nbh_;
+  BasicGooScratch<NS> goo_;
+  std::vector<std::unique_ptr<BasicOptimizerWorkspace>> thread_scratch_;
+  std::vector<NS> scratch_sets_;
+  std::unordered_map<NS, bool, NodeSetHasher> connectivity_memo_;
   uint64_t runs_ = 0;
 };
+
+using OptimizerWorkspace = BasicOptimizerWorkspace<NodeSet>;
+using WideOptimizerWorkspace = BasicOptimizerWorkspace<WideNodeSet>;
 
 /// A mutex-guarded free list of workspaces. Acquire() pops an idle
 /// workspace (or creates one — the pool grows to the peak concurrency and

@@ -18,7 +18,8 @@ uint64_t HashModelName(const char* name) {
 
 namespace {
 
-std::vector<double> GraphBaseCards(const Hypergraph& graph) {
+template <typename NS>
+std::vector<double> GraphBaseCards(const BasicHypergraph<NS>& graph) {
   std::vector<double> base;
   base.reserve(graph.NumNodes());
   for (int i = 0; i < graph.NumNodes(); ++i) {
@@ -27,7 +28,8 @@ std::vector<double> GraphBaseCards(const Hypergraph& graph) {
   return base;
 }
 
-std::vector<double> GraphEdgeSelectivities(const Hypergraph& graph) {
+template <typename NS>
+std::vector<double> GraphEdgeSelectivities(const BasicHypergraph<NS>& graph) {
   std::vector<double> sels;
   sels.reserve(graph.NumEdges());
   for (int i = 0; i < graph.NumEdges(); ++i) {
@@ -38,22 +40,26 @@ std::vector<double> GraphEdgeSelectivities(const Hypergraph& graph) {
 
 }  // namespace
 
-CardinalityEstimator::CardinalityEstimator(const Hypergraph& graph)
-    : CardinalityEstimator(graph, GraphBaseCards(graph),
-                           GraphEdgeSelectivities(graph)) {}
+template <typename NS>
+BasicCardinalityEstimator<NS>::BasicCardinalityEstimator(
+    const BasicHypergraph<NS>& graph)
+    : BasicCardinalityEstimator(graph, GraphBaseCards(graph),
+                                GraphEdgeSelectivities(graph)) {}
 
-CardinalityEstimator::CardinalityEstimator(
-    const Hypergraph& graph, std::vector<double> base,
+template <typename NS>
+BasicCardinalityEstimator<NS>::BasicCardinalityEstimator(
+    const BasicHypergraph<NS>& graph, std::vector<double> base,
     const std::vector<double>& edge_selectivities)
     : graph_(&graph), base_(std::move(base)) {
   BuildFactors(edge_selectivities);
 }
 
-void CardinalityEstimator::BuildFactors(
+template <typename NS>
+void BasicCardinalityEstimator<NS>::BuildFactors(
     const std::vector<double>& edge_selectivities) {
   factors_.reserve(graph_->NumEdges());
   for (int i = 0; i < graph_->NumEdges(); ++i) {
-    const Hyperedge& e = graph_->edge(i);
+    const BasicHyperedge<NS>& e = graph_->edge(i);
     // Flexible (either-side) nodes are split between the sides only at plan
     // time; for factor derivation we charge them to the right side, which
     // keeps the factor deterministic.
@@ -66,14 +72,19 @@ void CardinalityEstimator::BuildFactors(
   }
 }
 
-double CardinalityEstimator::EstimateClass(NodeSet S) const {
+template <typename NS>
+double BasicCardinalityEstimator<NS>::EstimateClass(NS S) const {
   double card = 1.0;
   for (int v : S) card *= base_[v];
   for (int i = 0; i < graph_->NumEdges(); ++i) {
-    const Hyperedge& e = graph_->edge(i);
+    const BasicHyperedge<NS>& e = graph_->edge(i);
     if (e.AllNodes().IsSubsetOf(S)) card *= factors_[i];
   }
   return card;
 }
+
+template class BasicCardinalityEstimator<NodeSet>;
+template class BasicCardinalityEstimator<WideNodeSet>;
+template class BasicCardinalityEstimator<HugeNodeSet>;
 
 }  // namespace dphyp

@@ -10,6 +10,12 @@
 // (cost/oracle_model.h). Models are registered by name in
 // CardinalityModelRegistry (cost/model_registry.h).
 //
+// The interface and the product model are templated on the node-set type:
+// `CardinalityModel` (= BasicCardinalityModel<NodeSet>) is what the
+// registry, the stats/oracle models, and all narrow enumerators use; the
+// wide (>64 relation) path instantiates the same product model at
+// WideNodeSet/HugeNodeSet.
+//
 // Contract: EstimateClass must be a pure function of the plan class S —
 // independent of the join order used to reach S — so Bellman's principle
 // holds and all exact DP variants find the same optimum. The product and
@@ -32,9 +38,10 @@ namespace dphyp {
 /// construction (one instance may serve a whole optimization run) and are
 /// constructed per query graph — see CardinalityModelRegistry for the
 /// name-driven factory.
-class CardinalityModel {
+template <typename NS>
+class BasicCardinalityModel {
  public:
-  virtual ~CardinalityModel() = default;
+  virtual ~BasicCardinalityModel() = default;
 
   /// Estimated base cardinality of the single relation `node` (the leaf
   /// plans the DP starts from).
@@ -42,7 +49,7 @@ class CardinalityModel {
 
   /// Estimated cardinality of the (connected) plan class S. Must depend on
   /// S only, never on the join order that reached it.
-  virtual double EstimateClass(NodeSet S) const = 0;
+  virtual double EstimateClass(NS S) const = 0;
 
   /// The selectivity this model assigns to a predicate: the explicit value
   /// when the predicate carries one; a model-specific derivation (catalog
@@ -64,8 +71,10 @@ class CardinalityModel {
 
   /// Historical spelling of EstimateClass; kept so pre-redesign call sites
   /// read unchanged.
-  double Estimate(NodeSet S) const { return EstimateClass(S); }
+  double Estimate(NS S) const { return EstimateClass(S); }
 };
+
+using CardinalityModel = BasicCardinalityModel<NodeSet>;
 
 /// FNV-1a over a string, the shared model-fingerprint seed.
 uint64_t HashModelName(const char* name);
@@ -76,12 +85,13 @@ uint64_t HashModelName(const char* name);
 /// which is join-order independent by construction (see cost/factors.h).
 /// Registered as "product"; all registered enumerators are bit-identical under
 /// it to the pre-interface code (tests/test_estimation.cc).
-class CardinalityEstimator : public CardinalityModel {
+template <typename NS>
+class BasicCardinalityEstimator : public BasicCardinalityModel<NS> {
  public:
-  explicit CardinalityEstimator(const Hypergraph& graph);
+  explicit BasicCardinalityEstimator(const BasicHypergraph<NS>& graph);
 
   double EstimateBase(int node) const override { return base_[node]; }
-  double EstimateClass(NodeSet S) const override;
+  double EstimateClass(NS S) const override;
   const char* name() const override { return "product"; }
   uint64_t Fingerprint() const override { return HashModelName("product"); }
 
@@ -94,18 +104,22 @@ class CardinalityEstimator : public CardinalityModel {
  protected:
   /// Subclass hook (stats/oracle models): the same product-form machinery
   /// over substituted base cardinalities and per-edge selectivities.
-  CardinalityEstimator(const Hypergraph& graph, std::vector<double> base,
-                       const std::vector<double>& edge_selectivities);
+  BasicCardinalityEstimator(const BasicHypergraph<NS>& graph,
+                            std::vector<double> base,
+                            const std::vector<double>& edge_selectivities);
 
-  const Hypergraph& graph() const { return *graph_; }
+  const BasicHypergraph<NS>& graph() const { return *graph_; }
 
  private:
   void BuildFactors(const std::vector<double>& edge_selectivities);
 
-  const Hypergraph* graph_;
+  const BasicHypergraph<NS>* graph_;
   std::vector<double> base_;
   std::vector<double> factors_;
 };
+
+using CardinalityEstimator = BasicCardinalityEstimator<NodeSet>;
+using WideCardinalityEstimator = BasicCardinalityEstimator<WideNodeSet>;
 
 }  // namespace dphyp
 

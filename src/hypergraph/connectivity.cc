@@ -7,20 +7,21 @@
 
 namespace dphyp {
 
-bool ConnectivityTester::IsConnected(NodeSet S) {
+template <typename NS>
+bool BasicConnectivityTester<NS>::IsConnected(NS S) {
   DPHYP_CHECK(!S.Empty());
   if (S.IsSingleton()) return true;
-  auto it = memo_.find(S.bits());
+  auto it = memo_.find(S);
   if (it != memo_.end()) return it->second;
 
   bool connected = false;
   // Enumerate partitions (S1, S2) with min(S) in S1 (each unordered
   // partition once). S1 ranges over subsets of S \ min(S), unioned with min.
-  NodeSet rest = S.MinusMin();
-  NodeSet min_set = S.MinSet();
-  for (NodeSet part : ProperSubsetsOf(rest)) {
-    NodeSet S1 = min_set | part;
-    NodeSet S2 = S - S1;
+  NS rest = S.MinusMin();
+  NS min_set = S.MinSet();
+  for (NS part : ProperSubsetsOf(rest)) {
+    NS S1 = min_set | part;
+    NS S2 = S - S1;
     if (graph_.ConnectsSets(S1, S2) && IsConnected(S1) && IsConnected(S2)) {
       connected = true;
       break;
@@ -29,14 +30,19 @@ bool ConnectivityTester::IsConnected(NodeSet S) {
   if (!connected) {
     // The partition ({min}, rest) is not produced by ProperSubsetsOf(rest)
     // (empty part), so test it explicitly.
-    NodeSet S2 = rest;
+    NS S2 = rest;
     if (graph_.ConnectsSets(min_set, S2) && IsConnected(S2)) connected = true;
   }
-  memo_[S.bits()] = connected;
+  memo_[S] = connected;
   return connected;
 }
 
-std::vector<NodeSet> UnionFindComponents(const Hypergraph& graph) {
+template class BasicConnectivityTester<NodeSet>;
+template class BasicConnectivityTester<WideNodeSet>;
+template class BasicConnectivityTester<HugeNodeSet>;
+
+template <typename NS>
+std::vector<NS> UnionFindComponents(const BasicHypergraph<NS>& graph) {
   int n = graph.NumNodes();
   std::vector<int> parent(n);
   std::iota(parent.begin(), parent.end(), 0);
@@ -48,33 +54,40 @@ std::vector<NodeSet> UnionFindComponents(const Hypergraph& graph) {
     return x;
   };
   auto unite = [&](int a, int b) { parent[find(a)] = find(b); };
-  for (const Hyperedge& e : graph.edges()) {
-    NodeSet all = e.AllNodes();
+  for (const BasicHyperedge<NS>& e : graph.edges()) {
+    NS all = e.AllNodes();
     int first = all.Min();
     for (int v : all) unite(first, v);
   }
-  std::vector<NodeSet> components;
+  std::vector<NS> components;
   for (int root = 0; root < n; ++root) {
     if (find(root) != root) continue;
-    NodeSet comp;
+    NS comp;
     for (int v = 0; v < n; ++v) {
-      if (find(v) == root) comp |= NodeSet::Single(v);
+      if (find(v) == root) comp |= NS::Single(v);
     }
     components.push_back(comp);
   }
   return components;
 }
 
-bool IsConnectedDef3(const Hypergraph& graph, NodeSet S) {
+template std::vector<NodeSet> UnionFindComponents<NodeSet>(const Hypergraph&);
+template std::vector<WideNodeSet> UnionFindComponents<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&);
+template std::vector<HugeNodeSet> UnionFindComponents<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&);
+
+template <typename NS>
+bool IsConnectedDef3(const BasicHypergraph<NS>& graph, NS S) {
   DPHYP_CHECK(!S.Empty());
   if (S.IsSingleton()) return true;
   // Component closure over the induced sub-hypergraph. Components are kept
   // as bitsets in a small flat array; `comp_of` maps a node to its entry.
-  NodeSet components[NodeSet::kMaxNodes];
-  int comp_of[NodeSet::kMaxNodes];
+  NS components[NS::kMaxNodes];
+  int comp_of[NS::kMaxNodes];
   int num_components = 0;
   for (int v : S) {
-    components[num_components] = NodeSet::Single(v);
+    components[num_components] = NS::Single(v);
     comp_of[v] = num_components++;
   }
   int live = num_components;
@@ -83,7 +96,7 @@ bool IsConnectedDef3(const Hypergraph& graph, NodeSet S) {
   bool merged = true;
   while (merged && live > 1) {
     merged = false;
-    for (const Hyperedge& e : graph.edges()) {
+    for (const BasicHyperedge<NS>& e : graph.edges()) {
       if (!e.AllNodes().IsSubsetOf(S)) continue;
       // Each endpoint hypernode must sit inside a single component; the
       // flexible set may straddle the two (it joins whichever side takes
@@ -98,7 +111,7 @@ bool IsConnectedDef3(const Hypergraph& graph, NodeSet S) {
       if (!e.flex.IsSubsetOf(components[a] | components[b])) continue;
       components[a] |= components[b];
       for (int v : components[b]) comp_of[v] = a;
-      components[b] = NodeSet();
+      components[b] = NS();
       --live;
       merged = true;
       if (live == 1) return true;
@@ -106,6 +119,12 @@ bool IsConnectedDef3(const Hypergraph& graph, NodeSet S) {
   }
   return live == 1;
 }
+
+template bool IsConnectedDef3<NodeSet>(const Hypergraph&, NodeSet);
+template bool IsConnectedDef3<WideNodeSet>(const BasicHypergraph<WideNodeSet>&,
+                                           WideNodeSet);
+template bool IsConnectedDef3<HugeNodeSet>(const BasicHypergraph<HugeNodeSet>&,
+                                           HugeNodeSet);
 
 std::vector<NodeSet> EnumerateConnectedSubgraphs(const Hypergraph& graph) {
   DPHYP_CHECK_MSG(graph.NumNodes() <= 24, "exponential oracle limited to 24 nodes");

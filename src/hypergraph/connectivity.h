@@ -6,6 +6,11 @@
 // the proven lower bound on cost-function calls of any DP join-ordering
 // algorithm (Sec. 2.2), which bench_ccp_counts compares against measured
 // emit counts.
+//
+// The connectivity tester, the union-find components, and the polynomial
+// Def. 3 closure are width-generic (they run on wide graphs inside the
+// builder, the parallel enumerator, and the wide routing path); the O(2^n)
+// enumeration oracles stay narrow — they are capped at 24 nodes anyway.
 #ifndef DPHYP_HYPERGRAPH_CONNECTIVITY_H_
 #define DPHYP_HYPERGRAPH_CONNECTIVITY_H_
 
@@ -21,23 +26,28 @@ namespace dphyp {
 /// Memoizing Def. 3 connectivity oracle. A node set S is connected iff
 /// |S| = 1 or S splits into two connected parts joined by an edge whose
 /// hypernodes are fully contained in the respective parts.
-class ConnectivityTester {
+template <typename NS>
+class BasicConnectivityTester {
  public:
-  explicit ConnectivityTester(const Hypergraph& graph) : graph_(graph) {}
+  explicit BasicConnectivityTester(const BasicHypergraph<NS>& graph)
+      : graph_(graph) {}
 
   /// True iff S induces a connected subgraph (Def. 3). Exponential in |S|;
   /// use only in tests, counting, and graph setup.
-  bool IsConnected(NodeSet S);
+  bool IsConnected(NS S);
 
  private:
-  const Hypergraph& graph_;
-  std::unordered_map<uint64_t, bool> memo_;
+  const BasicHypergraph<NS>& graph_;
+  std::unordered_map<NS, bool, NodeSetHasher> memo_;
 };
+
+using ConnectivityTester = BasicConnectivityTester<NodeSet>;
 
 /// Union-find style components: every edge merges all nodes of u ∪ v ∪ w.
 /// This over-approximates Def. 3 connectivity (Def.-3-connected implies
 /// same component) and is used for connectivity repair in the builder.
-std::vector<NodeSet> UnionFindComponents(const Hypergraph& graph);
+template <typename NS>
+std::vector<NS> UnionFindComponents(const BasicHypergraph<NS>& graph);
 
 /// Exact Def. 3 connectivity in polynomial time, via component closure:
 /// start from singletons of S and repeatedly merge two components A, B
@@ -51,7 +61,8 @@ std::vector<NodeSet> UnionFindComponents(const Hypergraph& graph);
 /// pass tests candidate sets grown through complex-edge representatives).
 /// tests/test_connectivity.cc asserts equivalence with the exponential
 /// oracle on randomized hypergraphs.
-bool IsConnectedDef3(const Hypergraph& graph, NodeSet S);
+template <typename NS>
+bool IsConnectedDef3(const BasicHypergraph<NS>& graph, NS S);
 
 /// Number of connected subgraphs (csg) — the number of DP table entries any
 /// of the DP variants materializes (Sec. 3.6). O(2^n) with n = #nodes.

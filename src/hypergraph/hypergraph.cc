@@ -4,7 +4,8 @@
 
 namespace dphyp {
 
-std::string Hyperedge::ToString() const {
+template <typename NS>
+std::string BasicHyperedge<NS>::ToString() const {
   std::string out = "(" + left.ToString() + ", " + right.ToString();
   if (!flex.Empty()) out += ", flex=" + flex.ToString();
   out += ") op=" + std::string(OpSymbol(op)) +
@@ -12,25 +13,29 @@ std::string Hyperedge::ToString() const {
   return out;
 }
 
-int Hypergraph::AddNode(HypergraphNode node) {
-  DPHYP_CHECK_MSG(NumNodes() < NodeSet::kMaxNodes, "too many nodes (max 64)");
+template <typename NS>
+int BasicHypergraph<NS>::AddNode(Node node) {
+  DPHYP_CHECK_MSG(NumNodes() < NS::kMaxNodes,
+                  "too many nodes for this node-set width");
   if (!node.free_tables.Empty()) has_dependent_leaves_ = true;
   nodes_.push_back(std::move(node));
-  simple_neighbors_.push_back(NodeSet());
+  simple_neighbors_.push_back(NS());
   return NumNodes() - 1;
 }
 
-int Hypergraph::AddEdge(Hyperedge edge) {
+template <typename NS>
+int BasicHypergraph<NS>::AddEdge(Edge edge) {
   DPHYP_CHECK(!edge.left.Empty() && !edge.right.Empty());
   DPHYP_CHECK(!edge.left.Intersects(edge.right));
-  DPHYP_CHECK(!edge.left.Intersects(edge.flex) && !edge.right.Intersects(edge.flex));
+  DPHYP_CHECK(!edge.left.Intersects(edge.flex) &&
+              !edge.right.Intersects(edge.flex));
   DPHYP_CHECK(edge.AllNodes().IsSubsetOf(AllNodes()));
   int id = NumEdges();
   if (edge.IsSimple()) {
     int l = edge.left.Min();
     int r = edge.right.Min();
-    simple_neighbors_[l] |= NodeSet::Single(r);
-    simple_neighbors_[r] |= NodeSet::Single(l);
+    simple_neighbors_[l] |= NS::Single(r);
+    simple_neighbors_[r] |= NS::Single(l);
   } else {
     complex_edge_ids_.push_back(id);
   }
@@ -40,9 +45,10 @@ int Hypergraph::AddEdge(Hyperedge edge) {
 
 namespace internal {
 
-NodeSet ResolveCandidateNeighborhood(const NodeSet* candidates,
-                                     int num_candidates, NodeSet simple) {
-  NodeSet result = simple;
+template <typename NS>
+NS ResolveCandidateNeighborhood(const NS* candidates, int num_candidates,
+                                NS simple) {
+  NS result = simple;
   for (int i = 0; i < num_candidates; ++i) {
     // Subsumed by a simple neighbor?
     if (candidates[i].Intersects(simple)) continue;
@@ -61,13 +67,21 @@ NodeSet ResolveCandidateNeighborhood(const NodeSet* candidates,
   return result;
 }
 
+template NodeSet ResolveCandidateNeighborhood<NodeSet>(const NodeSet*, int,
+                                                       NodeSet);
+template WideNodeSet ResolveCandidateNeighborhood<WideNodeSet>(
+    const WideNodeSet*, int, WideNodeSet);
+template HugeNodeSet ResolveCandidateNeighborhood<HugeNodeSet>(
+    const HugeNodeSet*, int, HugeNodeSet);
+
 }  // namespace internal
 
-NodeSet Hypergraph::Neighborhood(NodeSet S, NodeSet X) const {
-  const NodeSet forbidden = S | X;
+template <typename NS>
+NS BasicHypergraph<NS>::Neighborhood(NS S, NS X) const {
+  const NS forbidden = S | X;
 
   // Simple edges: far sides are singletons, inherently minimal hypernodes.
-  NodeSet simple;
+  NS simple;
   for (int v : S) simple |= simple_neighbors_[v];
   simple -= forbidden;
   if (complex_edge_ids_.empty()) return simple;
@@ -76,18 +90,18 @@ NodeSet Hypergraph::Neighborhood(NodeSet S, NodeSet X) const {
   // prune subsumed candidates to obtain E#(S, X) (Sec. 2.3). A candidate is
   // subsumed if it has a (strict or equal) subset among the other candidates
   // or contains one of the simple singleton neighbors.
-  NodeSet candidates[internal::kMaxNeighborhoodCandidates];
+  NS candidates[internal::kMaxNeighborhoodCandidates];
   int num_candidates = 0;
-  auto consider = [&](NodeSet near_side, NodeSet far_side, NodeSet flex) {
+  auto consider = [&](NS near_side, NS far_side, NS flex) {
     if (!near_side.IsSubsetOf(S)) return;
-    NodeSet target = far_side | (flex - S);
+    NS target = far_side | (flex - S);
     if (target.Intersects(forbidden)) return;
     if (num_candidates < internal::kMaxNeighborhoodCandidates) {
       candidates[num_candidates++] = target;
     }
   };
   for (int id : complex_edge_ids_) {
-    const Hyperedge& e = edges_[id];
+    const Edge& e = edges_[id];
     consider(e.left, e.right, e.flex);
     consider(e.right, e.left, e.flex);
   }
@@ -95,17 +109,18 @@ NodeSet Hypergraph::Neighborhood(NodeSet S, NodeSet X) const {
                                                 simple);
 }
 
-bool Hypergraph::ConnectsSets(NodeSet S1, NodeSet S2) const {
+template <typename NS>
+bool BasicHypergraph<NS>::ConnectsSets(NS S1, NS S2) const {
   DPHYP_DCHECK(!S1.Intersects(S2));
   // Simple edges: test adjacency bitsets from the smaller side.
-  NodeSet probe = S1.Count() <= S2.Count() ? S1 : S2;
-  NodeSet other = probe == S1 ? S2 : S1;
+  NS probe = S1.Count() <= S2.Count() ? S1 : S2;
+  NS other = probe == S1 ? S2 : S1;
   for (int v : probe) {
     if (simple_neighbors_[v].Intersects(other)) return true;
   }
-  NodeSet both = S1 | S2;
+  NS both = S1 | S2;
   for (int id : complex_edge_ids_) {
-    const Hyperedge& e = edges_[id];
+    const Edge& e = edges_[id];
     if (!e.flex.IsSubsetOf(both)) continue;
     if ((e.left.IsSubsetOf(S1) && e.right.IsSubsetOf(S2)) ||
         (e.left.IsSubsetOf(S2) && e.right.IsSubsetOf(S1))) {
@@ -115,23 +130,32 @@ bool Hypergraph::ConnectsSets(NodeSet S1, NodeSet S2) const {
   return false;
 }
 
-NodeSet Hypergraph::FreeTables(NodeSet S) const {
-  if (!has_dependent_leaves_) return NodeSet();
-  NodeSet free;
+template <typename NS>
+NS BasicHypergraph<NS>::FreeTables(NS S) const {
+  if (!has_dependent_leaves_) return NS();
+  NS free;
   for (int v : S) free |= nodes_[v].free_tables;
   return free - S;
 }
 
-std::string Hypergraph::ToString() const {
+template <typename NS>
+std::string BasicHypergraph<NS>::ToString() const {
   std::string out = "Hypergraph(" + std::to_string(NumNodes()) + " nodes)\n";
   for (int i = 0; i < NumNodes(); ++i) {
     out += "  R" + std::to_string(i) + " " + nodes_[i].name +
            " card=" + std::to_string(nodes_[i].cardinality) + "\n";
   }
-  for (const Hyperedge& e : edges_) {
+  for (const Edge& e : edges_) {
     out += "  edge " + e.ToString() + "\n";
   }
   return out;
 }
+
+template struct BasicHyperedge<NodeSet>;
+template struct BasicHyperedge<WideNodeSet>;
+template struct BasicHyperedge<HugeNodeSet>;
+template class BasicHypergraph<NodeSet>;
+template class BasicHypergraph<WideNodeSet>;
+template class BasicHypergraph<HugeNodeSet>;
 
 }  // namespace dphyp

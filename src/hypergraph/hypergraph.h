@@ -6,6 +6,11 @@
 // the members of `w` may go to either side. Simple edges (|u| = |v| = 1,
 // w = {}) are stored as per-node adjacency bitsets for speed; complex edges
 // are scanned linearly (query graphs have few of them).
+//
+// The graph is templated on the node-set type: `Hypergraph`
+// (= BasicHypergraph<NodeSet>) is the one-word fast path every narrow
+// caller uses; BasicHypergraph<WideNodeSet> / <HugeNodeSet> carry 65–128 /
+// 129–256 relation graphs through the same enumeration cores.
 #ifndef DPHYP_HYPERGRAPH_HYPERGRAPH_H_
 #define DPHYP_HYPERGRAPH_HYPERGRAPH_H_
 
@@ -19,10 +24,11 @@ namespace dphyp {
 
 /// One hyperedge. `left`/`right` are the hypernodes u and v; `flex` is the
 /// either-side set w of generalized hyperedges (empty for Def. 1 edges).
-struct Hyperedge {
-  NodeSet left;
-  NodeSet right;
-  NodeSet flex;
+template <typename NS>
+struct BasicHyperedge {
+  NS left;
+  NS right;
+  NS flex;
   /// Raw predicate selectivity (fraction of cross product kept).
   double selectivity = 1.0;
   /// Operator the edge was derived from (Sec. 5.4 attaches operators to
@@ -35,62 +41,68 @@ struct Hyperedge {
   bool IsSimple() const {
     return left.IsSingleton() && right.IsSingleton() && flex.Empty();
   }
-  NodeSet AllNodes() const { return left | right | flex; }
+  NS AllNodes() const { return left | right | flex; }
   std::string ToString() const;
 };
 
 /// Node payload: display name, base cardinality, and — for table-valued
 /// function leaves — the set of tables the leaf references freely.
-struct HypergraphNode {
+template <typename NS>
+struct BasicHypergraphNode {
   std::string name;
   double cardinality = 1000.0;
-  NodeSet free_tables;
+  NS free_tables;
 };
 
 /// The query hypergraph. Immutable after construction (use
 /// HypergraphBuilder or AddNode/AddEdge during setup only).
-class Hypergraph {
+template <typename NS>
+class BasicHypergraph {
  public:
-  Hypergraph() = default;
+  using NodeSetType = NS;
+  using Edge = BasicHyperedge<NS>;
+  using Node = BasicHypergraphNode<NS>;
+
+  BasicHypergraph() = default;
 
   /// Adds a node; returns its index (also its position in the total node
   /// order `<` of Def. 1).
-  int AddNode(HypergraphNode node);
+  int AddNode(Node node);
 
   /// Adds an edge; returns its index. Sides must be non-empty, pairwise
   /// disjoint, and within range.
-  int AddEdge(Hyperedge edge);
+  int AddEdge(Edge edge);
 
   int NumNodes() const { return static_cast<int>(nodes_.size()); }
   int NumEdges() const { return static_cast<int>(edges_.size()); }
-  NodeSet AllNodes() const { return NodeSet::FullSet(NumNodes()); }
+  NS AllNodes() const { return NS::FullSet(NumNodes()); }
 
-  const HypergraphNode& node(int i) const { return nodes_[i]; }
-  const Hyperedge& edge(int i) const { return edges_[i]; }
-  const std::vector<Hyperedge>& edges() const { return edges_; }
+  const Node& node(int i) const { return nodes_[i]; }
+  const Edge& edge(int i) const { return edges_[i]; }
+  const std::vector<Edge>& edges() const { return edges_; }
   /// Indices of edges that are not simple.
   const std::vector<int>& complex_edge_ids() const { return complex_edge_ids_; }
   /// Union of simple-edge neighbors of `node`.
-  NodeSet SimpleNeighbors(int node) const { return simple_neighbors_[node]; }
+  NS SimpleNeighbors(int node) const { return simple_neighbors_[node]; }
 
   /// The paper's N(S, X) (Eq. 1): for every non-subsumed hyperedge reachable
   /// from S whose far side avoids S and X, the minimal node of the far side
   /// is included. Simple edges contribute their (singleton) far sides
   /// directly. Generalized edges contribute v ∪ (w \ S).
-  NodeSet Neighborhood(NodeSet S, NodeSet X) const;
+  NS Neighborhood(NS S, NS X) const;
 
   /// True iff some edge connects S1 and S2 per Def. 7: u ⊆ S1, v ⊆ S2 (or
   /// swapped) and w ⊆ S1 ∪ S2. S1 and S2 must be disjoint.
-  bool ConnectsSets(NodeSet S1, NodeSet S2) const;
+  bool ConnectsSets(NS S1, NS S2) const;
 
   /// Invokes `fn(edge_index, left_side_in_s1)` for every edge connecting S1
   /// and S2. `left_side_in_s1` tells which orientation matched, which
   /// EmitCsgCmp uses to rebuild non-commutative operators correctly.
   template <typename Fn>
-  void ForEachConnectingEdge(NodeSet S1, NodeSet S2, Fn&& fn) const {
-    NodeSet both = S1 | S2;
+  void ForEachConnectingEdge(NS S1, NS S2, Fn&& fn) const {
+    NS both = S1 | S2;
     for (int i = 0; i < NumEdges(); ++i) {
-      const Hyperedge& e = edges_[i];
+      const Edge& e = edges_[i];
       if (!e.flex.IsSubsetOf(both)) continue;
       if (e.left.IsSubsetOf(S1) && e.right.IsSubsetOf(S2)) {
         fn(i, true);
@@ -102,7 +114,7 @@ class Hypergraph {
 
   /// Union of free-table sets of the nodes in S (used for the dependent-
   /// operator conversion rule of Sec. 5.6).
-  NodeSet FreeTables(NodeSet S) const;
+  NS FreeTables(NS S) const;
 
   /// True if any node carries a non-empty free-table set.
   bool HasDependentLeaves() const { return has_dependent_leaves_; }
@@ -110,12 +122,21 @@ class Hypergraph {
   std::string ToString() const;
 
  private:
-  std::vector<HypergraphNode> nodes_;
-  std::vector<Hyperedge> edges_;
-  std::vector<NodeSet> simple_neighbors_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<NS> simple_neighbors_;
   std::vector<int> complex_edge_ids_;
   bool has_dependent_leaves_ = false;
 };
+
+/// The one-word graph every narrow (<= 64 relation) caller uses.
+using Hyperedge = BasicHyperedge<NodeSet>;
+using HypergraphNode = BasicHypergraphNode<NodeSet>;
+using Hypergraph = BasicHypergraph<NodeSet>;
+/// The 128-relation wide path (see core/wide.h for routing).
+using WideHyperedge = BasicHyperedge<WideNodeSet>;
+using WideHypergraphNode = BasicHypergraphNode<WideNodeSet>;
+using WideHypergraph = BasicHypergraph<WideNodeSet>;
 
 namespace internal {
 
@@ -129,8 +150,9 @@ inline constexpr int kMaxNeighborhoodCandidates = 128;
 /// candidate subsumed by a simple neighbor or by an inclusion-smaller
 /// candidate (equal sets: the earlier index wins) and return `simple`
 /// united with the survivors' minimal nodes.
-NodeSet ResolveCandidateNeighborhood(const NodeSet* candidates,
-                                     int num_candidates, NodeSet simple);
+template <typename NS>
+NS ResolveCandidateNeighborhood(const NS* candidates, int num_candidates,
+                                NS simple);
 
 }  // namespace internal
 

@@ -5,41 +5,54 @@
 
 namespace dphyp {
 
-DpTable::DpTable(size_t expected_entries)
+template <typename NS>
+BasicDpTable<NS>::BasicDpTable(size_t expected_entries)
     : arena_(/*block_size=*/std::max<size_t>(expected_entries, 64) *
-             sizeof(PlanEntry)) {
+             sizeof(Entry)) {
   size_t capacity = std::bit_ceil(expected_entries * 2 + 16);
   slots_.assign(capacity, 0);
+  tags_.assign(capacity, 0);
   mask_ = capacity - 1;
   order_.reserve(expected_entries);
 }
 
-const PlanEntry* DpTable::Find(NodeSet s) const {
+template <typename NS>
+const BasicPlanEntry<NS>* BasicDpTable<NS>::Find(NS s) const {
   DPHYP_DCHECK(!s.Empty());
-  size_t idx = HashNodeSet(s) & mask_;
+  const uint64_t hash = HashNodeSet(s);
+  const uint8_t tag = TagOf(hash);
+  size_t idx = hash & mask_;
   for (;;) {
     uint32_t slot = slots_[idx];
     if (slot == 0) return nullptr;
-    const PlanEntry* e = order_[slot - 1];
-    if (e->set == s) return e;
+    // Tag first: a mismatched byte rejects the slot without loading the
+    // arena entry's cache line.
+    if (tags_[idx] == tag) {
+      const Entry* e = order_[slot - 1];
+      if (e->set == s) return e;
+    }
     idx = (idx + 1) & mask_;
   }
 }
 
-PlanEntry* DpTable::Insert(NodeSet s) {
+template <typename NS>
+BasicPlanEntry<NS>* BasicDpTable<NS>::Insert(NS s) {
   DPHYP_DCHECK(!s.Empty());
   DPHYP_DCHECK(Find(s) == nullptr);
   if ((order_.size() + 1) * 10 >= slots_.size() * 7) Grow();
-  PlanEntry* e = arena_.New<PlanEntry>();
+  Entry* e = arena_.template New<Entry>();
   e->set = s;
   order_.push_back(e);
-  size_t idx = HashNodeSet(s) & mask_;
+  const uint64_t hash = HashNodeSet(s);
+  size_t idx = hash & mask_;
   while (slots_[idx] != 0) idx = (idx + 1) & mask_;
   slots_[idx] = static_cast<uint32_t>(order_.size());
+  tags_[idx] = TagOf(hash);
   return e;
 }
 
-void DpTable::Reset(size_t expected_entries) {
+template <typename NS>
+void BasicDpTable<NS>::Reset(size_t expected_entries) {
   arena_.Rewind();
   order_.clear();
   const size_t wanted = std::bit_ceil(expected_entries * 2 + 16);
@@ -48,29 +61,42 @@ void DpTable::Reset(size_t expected_entries) {
   // tax every later small one with an oversized memset.
   if (slots_.size() < wanted || slots_.size() > wanted * 8) {
     slots_.assign(wanted, 0);
+    tags_.assign(wanted, 0);
   } else {
     std::fill(slots_.begin(), slots_.end(), 0);
   }
   mask_ = slots_.size() - 1;
 }
 
-void DpTable::Reserve(size_t expected_entries) {
+template <typename NS>
+void BasicDpTable<NS>::Reserve(size_t expected_entries) {
   order_.reserve(expected_entries);
   const size_t wanted = std::bit_ceil(expected_entries * 2 + 16);
   if (slots_.size() >= wanted) return;
   Rehash(wanted);
 }
 
-void DpTable::Grow() { Rehash(slots_.size() * 2); }
+template <typename NS>
+void BasicDpTable<NS>::Grow() {
+  Rehash(slots_.size() * 2);
+}
 
-void DpTable::Rehash(size_t capacity) {
+template <typename NS>
+void BasicDpTable<NS>::Rehash(size_t capacity) {
   slots_.assign(capacity, 0);
+  tags_.assign(capacity, 0);
   mask_ = capacity - 1;
   for (size_t i = 0; i < order_.size(); ++i) {
-    size_t idx = HashNodeSet(order_[i]->set) & mask_;
+    const uint64_t hash = HashNodeSet(order_[i]->set);
+    size_t idx = hash & mask_;
     while (slots_[idx] != 0) idx = (idx + 1) & mask_;
     slots_[idx] = static_cast<uint32_t>(i + 1);
+    tags_[idx] = TagOf(hash);
   }
 }
+
+template class BasicDpTable<NodeSet>;
+template class BasicDpTable<WideNodeSet>;
+template class BasicDpTable<HugeNodeSet>;
 
 }  // namespace dphyp

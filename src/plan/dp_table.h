@@ -1,15 +1,31 @@
 // The dynamic-programming table: best plan per connected subgraph.
 //
-// Keys are NodeSets (never empty), values are PlanEntry records. Lookups are
-// the single hottest operation in every enumeration algorithm — DPhyp uses
-// the table as its connectivity oracle (Sec. 3) — so we use a flat
+// Keys are node sets (never empty), values are PlanEntry records. Lookups
+// are the single hottest operation in every enumeration algorithm — DPhyp
+// uses the table as its connectivity oracle (Sec. 3) — so we use a flat
 // open-addressing hash table with linear probing instead of
 // std::unordered_map. Entries themselves live in a bump-pointer arena
 // (util/arena.h): insertion is a pointer bump, entry pointers are stable for
 // the lifetime of the table (no reallocation-and-copy on growth — only the
 // small slot/index arrays rehash), and teardown is a handful of block frees
 // instead of one per entry. Insertion order is preserved, which DPsize
-// exploits to bucket plans by size.
+// exploits to bucket plans by size — and which keeps the arena ordered by
+// first-touch: leaves (probed on every combine) occupy the densest, hottest
+// prefix, and DP classes follow in the subset-before-superset order the
+// combine loop re-reads them in.
+//
+// Two micro-optimizations serve the combine loop (profile-guided; gated by
+// the pruning bit-identity suite, which they cannot affect because probe
+// *results* are unchanged):
+//   - a parallel byte of hash tag per slot filters collision runs without
+//     dereferencing arena entries (one cache line of tags covers 64 slots,
+//     so a miss costs a tag-array read instead of an entry-line read);
+//   - Prefetch(s) lets EmitCsgCmp issue the slot-line loads for S1, S2 and
+//     S1 ∪ S2 up front, overlapping the three probe misses (memory-level
+//     parallelism) instead of serializing them.
+//
+// The table is templated on the node-set type; `DpTable`
+// (= BasicDpTable<NodeSet>) keys the one-word fast path.
 #ifndef DPHYP_PLAN_DP_TABLE_H_
 #define DPHYP_PLAN_DP_TABLE_H_
 
@@ -24,11 +40,12 @@
 namespace dphyp {
 
 /// The best known plan for one plan class (set of relations).
-struct PlanEntry {
-  NodeSet set;
+template <typename NS>
+struct BasicPlanEntry {
+  NS set;
   /// Children classes; both empty for base-relation leaves.
-  NodeSet left;
-  NodeSet right;
+  NS left;
+  NS right;
   double cost = 0.0;
   double cardinality = 0.0;
   /// Operator combining left and right (possibly a dependent variant after
@@ -40,29 +57,45 @@ struct PlanEntry {
   bool IsLeaf() const { return left.Empty(); }
 };
 
-/// Flat hash table NodeSet -> PlanEntry with arena-backed entry storage.
-class DpTable {
- public:
-  explicit DpTable(size_t expected_entries = 64);
+using PlanEntry = BasicPlanEntry<NodeSet>;
 
-  DpTable(DpTable&&) = default;
-  DpTable& operator=(DpTable&&) = default;
-  DpTable(const DpTable&) = delete;
-  DpTable& operator=(const DpTable&) = delete;
+/// Flat hash table node set -> plan entry with arena-backed entry storage.
+template <typename NS>
+class BasicDpTable {
+ public:
+  using Entry = BasicPlanEntry<NS>;
+
+  explicit BasicDpTable(size_t expected_entries = 64);
+
+  BasicDpTable(BasicDpTable&&) = default;
+  BasicDpTable& operator=(BasicDpTable&&) = default;
+  BasicDpTable(const BasicDpTable&) = delete;
+  BasicDpTable& operator=(const BasicDpTable&) = delete;
 
   /// Returns the entry for `s`, or nullptr. Entry pointers are stable:
   /// entries live in the arena, so Insert never invalidates them.
-  PlanEntry* Find(NodeSet s) {
-    return const_cast<PlanEntry*>(
-        static_cast<const DpTable*>(this)->Find(s));
+  Entry* Find(NS s) {
+    return const_cast<Entry*>(
+        static_cast<const BasicDpTable*>(this)->Find(s));
   }
-  const PlanEntry* Find(NodeSet s) const;
+  const Entry* Find(NS s) const;
 
   /// True iff a plan for `s` exists — the paper's `dpTable[S] != empty` test.
-  bool Contains(NodeSet s) const { return Find(s) != nullptr; }
+  bool Contains(NS s) const { return Find(s) != nullptr; }
+
+  /// Issues a prefetch for the slot and tag cache lines `s` hashes to.
+  /// The combine loop calls this for S1, S2 and S1 ∪ S2 before the
+  /// corresponding Finds so the three (likely) cache misses overlap.
+  void Prefetch(NS s) const {
+    const size_t idx = HashNodeSet(s) & mask_;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[idx]);
+    __builtin_prefetch(&tags_[idx]);
+#endif
+  }
 
   /// Inserts a new entry for `s` (must not already exist) and returns it.
-  PlanEntry* Insert(NodeSet s);
+  Entry* Insert(NS s);
 
   /// Pre-sizes the slot array and insertion-order index for
   /// `expected_entries` total entries, rehashing at most once. Bulk loaders
@@ -83,29 +116,43 @@ class DpTable {
   bool empty() const { return order_.empty(); }
 
   /// Entry pointers in insertion order.
-  const std::vector<PlanEntry*>& entries() const { return order_; }
+  const std::vector<Entry*>& entries() const { return order_; }
 
   /// Heap footprint of the table as allocated right now: the arena blocks
-  /// holding the entries plus the open-addressing slot array and the
-  /// insertion-order index (Sec. 3.6 memory accounting). Every algorithm's
-  /// OptimizerStats::table_bytes is this value sampled at Finish() time; it
-  /// is always at least size() * sizeof(PlanEntry).
+  /// holding the entries plus the open-addressing slot array, its tag
+  /// bytes, and the insertion-order index (Sec. 3.6 memory accounting).
+  /// Every algorithm's OptimizerStats::table_bytes is this value sampled at
+  /// Finish() time; it is always at least size() * sizeof(Entry).
   size_t MemoryBytes() const {
     return arena_.bytes_used() + slots_.capacity() * sizeof(uint32_t) +
-           order_.capacity() * sizeof(PlanEntry*);
+           tags_.capacity() * sizeof(uint8_t) +
+           order_.capacity() * sizeof(Entry*);
   }
 
  private:
+  /// One byte of the key's hash stored next to the slot index: probes
+  /// compare it before touching the arena entry, so collision runs resolve
+  /// inside the (hot) tag array. Derived from the hash bits *above* the
+  /// slot mask so the tag carries information the bucket index does not.
+  static uint8_t TagOf(uint64_t hash) {
+    return static_cast<uint8_t>(hash >> 56) | 1;  // never 0
+  }
+
   void Grow();
   void Rehash(size_t capacity);
 
   Arena arena_;
   /// Entries in insertion order; the pointees live in `arena_`.
-  std::vector<PlanEntry*> order_;
+  std::vector<Entry*> order_;
   /// Open-addressing slots storing entry_index + 1; 0 marks empty.
   std::vector<uint32_t> slots_;
+  /// Hash tag per slot; valid only where the slot is non-empty.
+  std::vector<uint8_t> tags_;
   size_t mask_ = 0;
 };
+
+using DpTable = BasicDpTable<NodeSet>;
+using WideDpTable = BasicDpTable<WideNodeSet>;
 
 }  // namespace dphyp
 

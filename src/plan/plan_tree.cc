@@ -7,12 +7,16 @@
 
 namespace dphyp {
 
-int PlanTree::NumNodes() const { return static_cast<int>(nodes_.size()); }
+template <typename NS>
+int BasicPlanTree<NS>::NumNodes() const {
+  return static_cast<int>(nodes_.size());
+}
 
 namespace {
 
-void RenderAlgebra(const PlanTreeNode* node, const Hypergraph& graph,
-                   std::string* out) {
+template <typename NS>
+void RenderAlgebra(const BasicPlanTreeNode<NS>* node,
+                   const BasicHypergraph<NS>& graph, std::string* out) {
   if (node->IsLeaf()) {
     const std::string& name = graph.node(node->relation).name;
     *out += name.empty() ? "R" + std::to_string(node->relation) : name;
@@ -27,9 +31,10 @@ void RenderAlgebra(const PlanTreeNode* node, const Hypergraph& graph,
   *out += ")";
 }
 
-void RenderExplain(const PlanTreeNode* node, const Hypergraph& graph,
-                   const std::string& prefix, bool last, bool is_root,
-                   std::string* out) {
+template <typename NS>
+void RenderExplain(const BasicPlanTreeNode<NS>* node,
+                   const BasicHypergraph<NS>& graph, const std::string& prefix,
+                   bool last, bool is_root, std::string* out) {
   *out += prefix;
   if (!is_root) *out += last ? "└─ " : "├─ ";
   if (node->IsLeaf()) {
@@ -58,28 +63,32 @@ void RenderExplain(const PlanTreeNode* node, const Hypergraph& graph,
 
 }  // namespace
 
-std::string PlanTree::ToAlgebraString(const Hypergraph& graph) const {
+template <typename NS>
+std::string BasicPlanTree<NS>::ToAlgebraString(
+    const BasicHypergraph<NS>& graph) const {
   DPHYP_CHECK(Valid());
   std::string out;
   RenderAlgebra(root_, graph, &out);
   return out;
 }
 
-std::string PlanTree::Explain(const Hypergraph& graph) const {
+template <typename NS>
+std::string BasicPlanTree<NS>::Explain(const BasicHypergraph<NS>& graph) const {
   DPHYP_CHECK(Valid());
   std::string out;
   RenderExplain(root_, graph, "", true, /*is_root=*/true, &out);
   return out;
 }
 
-PlanTree ExtractPlanTree(const Hypergraph& graph, const DpTable& table,
-                         NodeSet root_set) {
-  PlanTree tree;
-  std::function<const PlanTreeNode*(NodeSet)> build =
-      [&](NodeSet set) -> const PlanTreeNode* {
-    const PlanEntry* entry = table.Find(set);
+template <typename NS>
+BasicPlanTree<NS> ExtractPlanTree(const BasicHypergraph<NS>& graph,
+                                  const BasicDpTable<NS>& table, NS root_set) {
+  using Node = BasicPlanTreeNode<NS>;
+  BasicPlanTree<NS> tree;
+  std::function<const Node*(NS)> build = [&](NS set) -> const Node* {
+    const BasicPlanEntry<NS>* entry = table.Find(set);
     DPHYP_CHECK_MSG(entry != nullptr, "plan class missing from DP table");
-    auto node = std::make_unique<PlanTreeNode>();
+    auto node = std::make_unique<Node>();
     node->set = set;
     node->cost = entry->cost;
     node->cardinality = entry->cardinality;
@@ -94,7 +103,7 @@ PlanTree ExtractPlanTree(const Hypergraph& graph, const DpTable& table,
                                     node->edge_ids.push_back(edge_id);
                                   });
     }
-    const PlanTreeNode* ptr = node.get();
+    const Node* ptr = node.get();
     tree.nodes_.push_back(std::move(node));
     return ptr;
   };
@@ -102,38 +111,56 @@ PlanTree ExtractPlanTree(const Hypergraph& graph, const DpTable& table,
   return tree;
 }
 
-const PlanTreeNode* PlanBuilder::Leaf(int relation, double cardinality) {
-  auto node = std::make_unique<PlanTreeNode>();
-  node->set = NodeSet::Single(relation);
+template <typename NS>
+const BasicPlanTreeNode<NS>* BasicPlanBuilder<NS>::Leaf(int relation,
+                                                        double cardinality) {
+  auto node = std::make_unique<Node>();
+  node->set = NS::Single(relation);
   node->relation = relation;
   node->cardinality = cardinality;
-  const PlanTreeNode* ptr = node.get();
+  const Node* ptr = node.get();
   nodes_.push_back(std::move(node));
   return ptr;
 }
 
-const PlanTreeNode* PlanBuilder::Op(OpType op, const PlanTreeNode* left,
-                                    const PlanTreeNode* right,
-                                    std::vector<int> edge_ids) {
+template <typename NS>
+const BasicPlanTreeNode<NS>* BasicPlanBuilder<NS>::Op(
+    OpType op, const Node* left, const Node* right, std::vector<int> edge_ids) {
   DPHYP_CHECK(left != nullptr && right != nullptr);
   DPHYP_CHECK(!left->set.Intersects(right->set));
-  auto node = std::make_unique<PlanTreeNode>();
+  auto node = std::make_unique<Node>();
   node->set = left->set | right->set;
   node->op = op;
   node->left = left;
   node->right = right;
   node->edge_ids = std::move(edge_ids);
-  const PlanTreeNode* ptr = node.get();
+  const Node* ptr = node.get();
   nodes_.push_back(std::move(node));
   return ptr;
 }
 
-PlanTree PlanBuilder::Build(const PlanTreeNode* root) {
+template <typename NS>
+BasicPlanTree<NS> BasicPlanBuilder<NS>::Build(const Node* root) {
   DPHYP_CHECK(root != nullptr);
-  PlanTree tree;
+  BasicPlanTree<NS> tree;
   tree.nodes_ = std::move(nodes_);
   tree.root_ = root;
   return tree;
 }
+
+template class BasicPlanTree<NodeSet>;
+template class BasicPlanTree<WideNodeSet>;
+template class BasicPlanTree<HugeNodeSet>;
+template class BasicPlanBuilder<NodeSet>;
+template class BasicPlanBuilder<WideNodeSet>;
+template class BasicPlanBuilder<HugeNodeSet>;
+template PlanTree ExtractPlanTree<NodeSet>(const Hypergraph&, const DpTable&,
+                                           NodeSet);
+template BasicPlanTree<WideNodeSet> ExtractPlanTree<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&, const BasicDpTable<WideNodeSet>&,
+    WideNodeSet);
+template BasicPlanTree<HugeNodeSet> ExtractPlanTree<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&, const BasicDpTable<HugeNodeSet>&,
+    HugeNodeSet);
 
 }  // namespace dphyp

@@ -1,5 +1,9 @@
 // Materialized operator trees extracted from a DP table, plus EXPLAIN-style
 // rendering. The executor consumes these trees to verify plan semantics.
+//
+// Templated on the node-set type so wide (>64 relation) plans extract
+// through the same code path; `PlanTree` (= BasicPlanTree<NodeSet>) is the
+// one-word alias every narrow caller keeps using.
 #ifndef DPHYP_PLAN_PLAN_TREE_H_
 #define DPHYP_PLAN_PLAN_TREE_H_
 
@@ -14,14 +18,23 @@
 
 namespace dphyp {
 
+template <typename NS>
+class BasicPlanTree;
+template <typename NS>
+class BasicPlanBuilder;
+template <typename NS>
+BasicPlanTree<NS> ExtractPlanTree(const BasicHypergraph<NS>& graph,
+                                  const BasicDpTable<NS>& table, NS root_set);
+
 /// One node of a materialized plan tree.
-struct PlanTreeNode {
-  NodeSet set;
+template <typename NS>
+struct BasicPlanTreeNode {
+  NS set;
   OpType op = OpType::kJoin;
   /// Base relation index for leaves; -1 for inner nodes.
   int relation = -1;
-  const PlanTreeNode* left = nullptr;
-  const PlanTreeNode* right = nullptr;
+  const BasicPlanTreeNode* left = nullptr;
+  const BasicPlanTreeNode* right = nullptr;
   double cost = 0.0;
   double cardinality = 0.0;
   /// Indices of hypergraph edges whose predicates are applied at this
@@ -31,56 +44,71 @@ struct PlanTreeNode {
   bool IsLeaf() const { return relation >= 0; }
 };
 
-/// Owning wrapper for a plan tree. Movable; nodes stay valid across moves.
-class PlanTree {
- public:
-  PlanTree() = default;
-  PlanTree(PlanTree&&) = default;
-  PlanTree& operator=(PlanTree&&) = default;
+using PlanTreeNode = BasicPlanTreeNode<NodeSet>;
 
-  const PlanTreeNode* root() const { return root_; }
+/// Owning wrapper for a plan tree. Movable; nodes stay valid across moves.
+template <typename NS>
+class BasicPlanTree {
+ public:
+  using Node = BasicPlanTreeNode<NS>;
+
+  BasicPlanTree() = default;
+  BasicPlanTree(BasicPlanTree&&) = default;
+  BasicPlanTree& operator=(BasicPlanTree&&) = default;
+
+  const Node* root() const { return root_; }
   bool Valid() const { return root_ != nullptr; }
 
   /// Total number of nodes.
   int NumNodes() const;
 
   /// Single-line algebra rendering, e.g. "((R0 JOIN R1) LOJ R2)".
-  std::string ToAlgebraString(const Hypergraph& graph) const;
+  std::string ToAlgebraString(const BasicHypergraph<NS>& graph) const;
 
   /// Multi-line EXPLAIN rendering with costs and cardinalities.
-  std::string Explain(const Hypergraph& graph) const;
+  std::string Explain(const BasicHypergraph<NS>& graph) const;
 
  private:
-  friend PlanTree ExtractPlanTree(const Hypergraph&, const DpTable&, NodeSet);
-  friend class PlanBuilder;
+  friend BasicPlanTree ExtractPlanTree<NS>(const BasicHypergraph<NS>&,
+                                           const BasicDpTable<NS>&, NS);
+  friend class BasicPlanBuilder<NS>;
 
-  std::vector<std::unique_ptr<PlanTreeNode>> nodes_;
-  const PlanTreeNode* root_ = nullptr;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  const Node* root_ = nullptr;
 };
+
+using PlanTree = BasicPlanTree<NodeSet>;
+using WidePlanTree = BasicPlanTree<WideNodeSet>;
 
 /// Rebuilds the best plan tree for `root_set` from a populated DP table.
 /// The predicate lists per operator are recomputed from the hypergraph
 /// (all edges connecting the two child sets — the conjunction of Sec. 3.5).
 /// Requires the table to contain `root_set`.
-PlanTree ExtractPlanTree(const Hypergraph& graph, const DpTable& table,
-                         NodeSet root_set);
+template <typename NS>
+BasicPlanTree<NS> ExtractPlanTree(const BasicHypergraph<NS>& graph,
+                                  const BasicDpTable<NS>& table, NS root_set);
 
 /// Hand-construction helper used by tests and the executor to build
 /// reference trees without running an optimizer.
-class PlanBuilder {
+template <typename NS>
+class BasicPlanBuilder {
  public:
-  PlanBuilder() = default;
+  using Node = BasicPlanTreeNode<NS>;
 
-  const PlanTreeNode* Leaf(int relation, double cardinality = 0.0);
-  const PlanTreeNode* Op(OpType op, const PlanTreeNode* left,
-                         const PlanTreeNode* right, std::vector<int> edge_ids = {});
+  BasicPlanBuilder() = default;
+
+  const Node* Leaf(int relation, double cardinality = 0.0);
+  const Node* Op(OpType op, const Node* left, const Node* right,
+                 std::vector<int> edge_ids = {});
 
   /// Finalizes the tree with the given root.
-  PlanTree Build(const PlanTreeNode* root);
+  BasicPlanTree<NS> Build(const Node* root);
 
  private:
-  std::vector<std::unique_ptr<PlanTreeNode>> nodes_;
+  std::vector<std::unique_ptr<Node>> nodes_;
 };
+
+using PlanBuilder = BasicPlanBuilder<NodeSet>;
 
 }  // namespace dphyp
 

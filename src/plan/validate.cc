@@ -4,16 +4,19 @@
 
 namespace dphyp {
 
-Result<bool> ValidatePlanTree(const Hypergraph& graph, const PlanTree& plan) {
+template <typename NS>
+Result<bool> ValidatePlanTree(const BasicHypergraph<NS>& graph,
+                              const BasicPlanTree<NS>& plan) {
+  using Node = BasicPlanTreeNode<NS>;
   if (!plan.Valid()) return Err("plan has no root");
-  NodeSet seen_leaves;
-  std::function<Result<bool>(const PlanTreeNode*)> walk =
-      [&](const PlanTreeNode* node) -> Result<bool> {
+  NS seen_leaves;
+  std::function<Result<bool>(const Node*)> walk =
+      [&](const Node* node) -> Result<bool> {
     if (node->IsLeaf()) {
       if (node->relation < 0 || node->relation >= graph.NumNodes()) {
         return Err("leaf names unknown relation");
       }
-      if (node->set != NodeSet::Single(node->relation)) {
+      if (node->set != NS::Single(node->relation)) {
         return Err("leaf set does not match its relation");
       }
       if (seen_leaves.Contains(node->relation)) {
@@ -25,8 +28,8 @@ Result<bool> ValidatePlanTree(const Hypergraph& graph, const PlanTree& plan) {
     if (node->left == nullptr || node->right == nullptr) {
       return Err("operator with missing child");
     }
-    const NodeSet ls = node->left->set;
-    const NodeSet rs = node->right->set;
+    const NS ls = node->left->set;
+    const NS rs = node->right->set;
     if (ls.Intersects(rs)) return Err("children overlap: " + node->set.ToString());
     if ((ls | rs) != node->set) return Err("children do not partition parent");
     if (!graph.ConnectsSets(ls, rs)) {
@@ -39,7 +42,7 @@ Result<bool> ValidatePlanTree(const Hypergraph& graph, const PlanTree& plan) {
     bool orientation_ok = false;
     bool any_inner = false;
     graph.ForEachConnectingEdge(ls, rs, [&](int id, bool left_in_s1) {
-      const Hyperedge& e = graph.edge(id);
+      const BasicHyperedge<NS>& e = graph.edge(id);
       if (e.op == OpType::kJoin) {
         any_inner = true;
         return;
@@ -70,7 +73,7 @@ Result<bool> ValidatePlanTree(const Hypergraph& graph, const PlanTree& plan) {
     }
 
     // Lateral rule (Sec. 5.6).
-    const NodeSet free_right = graph.FreeTables(rs);
+    const NS free_right = graph.FreeTables(rs);
     const bool needs_dependent = free_right.Intersects(ls);
     if (needs_dependent != IsDependent(node->op)) {
       return Err(needs_dependent
@@ -92,5 +95,12 @@ Result<bool> ValidatePlanTree(const Hypergraph& graph, const PlanTree& plan) {
   }
   return true;
 }
+
+template Result<bool> ValidatePlanTree<NodeSet>(const Hypergraph&,
+                                                const PlanTree&);
+template Result<bool> ValidatePlanTree<WideNodeSet>(
+    const BasicHypergraph<WideNodeSet>&, const BasicPlanTree<WideNodeSet>&);
+template Result<bool> ValidatePlanTree<HugeNodeSet>(
+    const BasicHypergraph<HugeNodeSet>&, const BasicPlanTree<HugeNodeSet>&);
 
 }  // namespace dphyp

@@ -1,6 +1,7 @@
 // Structural plan validation: checks a plan tree against its hypergraph.
 // Used by the test suite to assert that every plan an optimizer emits is
 // well-formed, and available to library users as a debugging aid.
+// Width-generic: wide (>64 relation) plans validate through the same rules.
 #ifndef DPHYP_PLAN_VALIDATE_H_
 #define DPHYP_PLAN_VALIDATE_H_
 
@@ -20,7 +21,9 @@ namespace dphyp {
 ///  * dependent variants appear exactly when the right child's free tables
 ///    intersect the left child (Sec. 5.6).
 /// Returns an error describing the first violation, or true.
-Result<bool> ValidatePlanTree(const Hypergraph& graph, const PlanTree& plan);
+template <typename NS>
+Result<bool> ValidatePlanTree(const BasicHypergraph<NS>& graph,
+                              const BasicPlanTree<NS>& plan);
 
 }  // namespace dphyp
 

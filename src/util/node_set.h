@@ -1,13 +1,22 @@
-// NodeSet: a set of query-graph nodes (relations) encoded as a 64-bit bitset.
+// NodeSet: a set of query-graph nodes (relations) encoded as a bitset of
+// W machine words.
 //
 // All enumeration algorithms in this library (DPhyp, DPccp, DPsize, DPsub)
-// manipulate sets of relations; a single machine word supports queries of up
-// to 64 relations, which covers the paper's evaluation (<= 17 relations) with
-// plenty of headroom. The total order `<` required by the paper (Def. 1) is
-// the natural order of bit indices: node i precedes node j iff i < j.
+// manipulate sets of relations. `BasicNodeSet<W>` stores the set in W
+// 64-bit words: `NodeSet = BasicNodeSet<1>` is the zero-cost fast path
+// (layout and semantics identical to the original single-uint64_t class),
+// `WideNodeSet = BasicNodeSet<2>` covers 128 relations, and
+// `HugeNodeSet = BasicNodeSet<4>` covers 256. The total order `<` required
+// by the paper (Def. 1) is the natural order of bit indices: node i
+// precedes node j iff i < j.
+//
+// Every operation is implemented per-width with `if constexpr` single-word
+// fast paths, so the W = 1 instantiation compiles to exactly the
+// one-uint64_t arithmetic the enumeration cores were tuned on.
 #ifndef DPHYP_UTIL_NODE_SET_H_
 #define DPHYP_UTIL_NODE_SET_H_
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <string>
@@ -16,109 +25,259 @@
 
 namespace dphyp {
 
-/// A set of up to 64 nodes, one bit per node. Value type; cheap to copy.
-class NodeSet {
+/// A set of up to 64*W nodes, one bit per node. Value type; cheap to copy.
+template <int W>
+class BasicNodeSet {
+  static_assert(W >= 1 && W <= 8, "unsupported node-set width");
+
  public:
+  /// Number of 64-bit words backing the set.
+  static constexpr int kWords = W;
   /// Maximum number of nodes representable.
-  static constexpr int kMaxNodes = 64;
+  static constexpr int kMaxNodes = 64 * W;
 
-  constexpr NodeSet() : bits_(0) {}
-  constexpr explicit NodeSet(uint64_t bits) : bits_(bits) {}
+  constexpr BasicNodeSet() : words_{} {}
+  /// Sets the low 64 bits; higher words (if any) are zero. For W = 1 this
+  /// is the original whole-representation constructor.
+  constexpr explicit BasicNodeSet(uint64_t low) : words_{} { words_[0] = low; }
 
-  /// The singleton set {node}.
-  static constexpr NodeSet Single(int node) {
-    return NodeSet(uint64_t{1} << node);
+  /// The singleton set {node}. `node` must be in [0, kMaxNodes).
+  static constexpr BasicNodeSet Single(int node) {
+    DPHYP_DCHECK(node >= 0 && node < kMaxNodes);
+    BasicNodeSet s;
+    s.words_[WordOf(node)] = uint64_t{1} << BitOf(node);
+    return s;
   }
 
   /// The set {0, 1, ..., n-1}; the full node set of an n-relation query.
-  static constexpr NodeSet FullSet(int n) {
-    return n >= kMaxNodes ? NodeSet(~uint64_t{0})
-                          : NodeSet((uint64_t{1} << n) - 1);
+  /// n >= kMaxNodes saturates to the all-ones set.
+  static constexpr BasicNodeSet FullSet(int n) {
+    DPHYP_DCHECK(n >= 0);
+    BasicNodeSet s;
+    if (n >= kMaxNodes) {
+      for (int w = 0; w < W; ++w) s.words_[w] = ~uint64_t{0};
+      return s;
+    }
+    for (int w = 0; w < WordOf(n); ++w) s.words_[w] = ~uint64_t{0};
+    if (BitOf(n) != 0) {
+      s.words_[WordOf(n)] = (uint64_t{1} << BitOf(n)) - 1;
+    }
+    return s;
   }
 
   /// B_v of the paper: all nodes ordered before or equal to `node`,
-  /// i.e. {w | w <= node}.
-  static constexpr NodeSet UpTo(int node) {
-    return NodeSet((uint64_t{1} << node) | ((uint64_t{1} << node) - 1));
+  /// i.e. {w | w <= node}. `node` must be in [0, kMaxNodes).
+  static constexpr BasicNodeSet UpTo(int node) {
+    DPHYP_DCHECK(node >= 0 && node < kMaxNodes);
+    BasicNodeSet s = FullSet(node);
+    s.words_[WordOf(node)] |= uint64_t{1} << BitOf(node);
+    return s;
   }
 
-  /// Nodes strictly below `node`: {w | w < node}.
-  static constexpr NodeSet Below(int node) {
-    return NodeSet((uint64_t{1} << node) - 1);
+  /// Nodes strictly below `node`: {w | w < node}. `node` must be in
+  /// [0, kMaxNodes] — Below(kMaxNodes) is the full set.
+  static constexpr BasicNodeSet Below(int node) {
+    DPHYP_DCHECK(node >= 0 && node <= kMaxNodes);
+    return FullSet(node);
   }
 
-  constexpr uint64_t bits() const { return bits_; }
-  constexpr bool Empty() const { return bits_ == 0; }
-  constexpr int Count() const { return std::popcount(bits_); }
-  constexpr bool IsSingleton() const { return bits_ != 0 && (bits_ & (bits_ - 1)) == 0; }
+  /// The whole representation — only meaningful at W = 1, where the set is
+  /// one machine word. Width-generic code uses word(i) instead.
+  constexpr uint64_t bits() const {
+    static_assert(W == 1, "bits() is the one-word accessor; use word(i)");
+    return words_[0];
+  }
+
+  /// The i-th 64-bit word (bit b of word w encodes node w*64 + b).
+  constexpr uint64_t word(int i) const { return words_[i]; }
+
+  constexpr bool Empty() const {
+    if constexpr (W == 1) return words_[0] == 0;
+    uint64_t any = 0;
+    for (int w = 0; w < W; ++w) any |= words_[w];
+    return any == 0;
+  }
+
+  constexpr int Count() const {
+    if constexpr (W == 1) return std::popcount(words_[0]);
+    int c = 0;
+    for (int w = 0; w < W; ++w) c += std::popcount(words_[w]);
+    return c;
+  }
+
+  constexpr bool IsSingleton() const {
+    if constexpr (W == 1) {
+      return words_[0] != 0 && (words_[0] & (words_[0] - 1)) == 0;
+    }
+    return Count() == 1;
+  }
 
   constexpr bool Contains(int node) const {
-    return (bits_ >> node) & uint64_t{1};
+    DPHYP_DCHECK(node >= 0 && node < kMaxNodes);
+    return (words_[WordOf(node)] >> BitOf(node)) & uint64_t{1};
   }
-  constexpr bool IsSubsetOf(NodeSet other) const {
-    return (bits_ & ~other.bits_) == 0;
+
+  constexpr bool IsSubsetOf(BasicNodeSet other) const {
+    if constexpr (W == 1) return (words_[0] & ~other.words_[0]) == 0;
+    uint64_t stray = 0;
+    for (int w = 0; w < W; ++w) stray |= words_[w] & ~other.words_[w];
+    return stray == 0;
   }
-  constexpr bool IsSupersetOf(NodeSet other) const {
+  constexpr bool IsSupersetOf(BasicNodeSet other) const {
     return other.IsSubsetOf(*this);
   }
-  constexpr bool Intersects(NodeSet other) const {
-    return (bits_ & other.bits_) != 0;
+  constexpr bool Intersects(BasicNodeSet other) const {
+    if constexpr (W == 1) return (words_[0] & other.words_[0]) != 0;
+    uint64_t common = 0;
+    for (int w = 0; w < W; ++w) common |= words_[w] & other.words_[w];
+    return common != 0;
   }
 
   /// Index of the minimal node (the paper's min(S)). Requires non-empty set.
   int Min() const {
     DPHYP_DCHECK(!Empty());
-    return std::countr_zero(bits_);
+    if constexpr (W == 1) return std::countr_zero(words_[0]);
+    for (int w = 0; w < W; ++w) {
+      if (words_[w] != 0) return w * 64 + std::countr_zero(words_[w]);
+    }
+    return kMaxNodes;  // unreachable for non-empty sets
   }
 
   /// Index of the maximal node. Requires non-empty set.
   int Max() const {
     DPHYP_DCHECK(!Empty());
-    return 63 - std::countl_zero(bits_);
+    if constexpr (W == 1) return 63 - std::countl_zero(words_[0]);
+    for (int w = W - 1; w >= 0; --w) {
+      if (words_[w] != 0) return w * 64 + 63 - std::countl_zero(words_[w]);
+    }
+    return -1;  // unreachable for non-empty sets
   }
 
   /// The singleton {min(S)} — the canonical representative used when a
   /// hypernode is seeded into a neighborhood (Eq. 1 of the paper).
-  constexpr NodeSet MinSet() const { return NodeSet(bits_ & (~bits_ + 1)); }
+  /// The empty set maps to the empty set.
+  constexpr BasicNodeSet MinSet() const {
+    if constexpr (W == 1) {
+      return BasicNodeSet(words_[0] & (~words_[0] + 1));
+    }
+    BasicNodeSet s;
+    for (int w = 0; w < W; ++w) {
+      if (words_[w] != 0) {
+        s.words_[w] = words_[w] & (~words_[w] + 1);
+        break;
+      }
+    }
+    return s;
+  }
 
   /// The paper's \overline{min}(S) = S \ min(S).
-  constexpr NodeSet MinusMin() const { return NodeSet(bits_ & (bits_ - 1)); }
+  constexpr BasicNodeSet MinusMin() const {
+    if constexpr (W == 1) return BasicNodeSet(words_[0] & (words_[0] - 1));
+    BasicNodeSet s = *this;
+    for (int w = 0; w < W; ++w) {
+      if (s.words_[w] != 0) {
+        s.words_[w] &= s.words_[w] - 1;
+        break;
+      }
+    }
+    return s;
+  }
 
-  constexpr NodeSet operator|(NodeSet o) const { return NodeSet(bits_ | o.bits_); }
-  constexpr NodeSet operator&(NodeSet o) const { return NodeSet(bits_ & o.bits_); }
+  constexpr BasicNodeSet operator|(BasicNodeSet o) const {
+    BasicNodeSet s;
+    for (int w = 0; w < W; ++w) s.words_[w] = words_[w] | o.words_[w];
+    return s;
+  }
+  constexpr BasicNodeSet operator&(BasicNodeSet o) const {
+    BasicNodeSet s;
+    for (int w = 0; w < W; ++w) s.words_[w] = words_[w] & o.words_[w];
+    return s;
+  }
   /// Set difference.
-  constexpr NodeSet operator-(NodeSet o) const { return NodeSet(bits_ & ~o.bits_); }
-  NodeSet& operator|=(NodeSet o) {
-    bits_ |= o.bits_;
+  constexpr BasicNodeSet operator-(BasicNodeSet o) const {
+    BasicNodeSet s;
+    for (int w = 0; w < W; ++w) s.words_[w] = words_[w] & ~o.words_[w];
+    return s;
+  }
+  BasicNodeSet& operator|=(BasicNodeSet o) {
+    for (int w = 0; w < W; ++w) words_[w] |= o.words_[w];
     return *this;
   }
-  NodeSet& operator&=(NodeSet o) {
-    bits_ &= o.bits_;
+  BasicNodeSet& operator&=(BasicNodeSet o) {
+    for (int w = 0; w < W; ++w) words_[w] &= o.words_[w];
     return *this;
   }
-  NodeSet& operator-=(NodeSet o) {
-    bits_ &= ~o.bits_;
+  BasicNodeSet& operator-=(BasicNodeSet o) {
+    for (int w = 0; w < W; ++w) words_[w] &= ~o.words_[w];
     return *this;
   }
 
-  constexpr bool operator==(const NodeSet&) const = default;
+  constexpr bool operator==(const BasicNodeSet&) const = default;
+
+  /// Numeric order of the backing integer (highest word most significant);
+  /// at W = 1 this is the natural `bits() < o.bits()` order. Used for
+  /// canonical pair keys and deterministic sorts, not by the paper itself.
+  constexpr bool operator<(const BasicNodeSet& o) const {
+    if constexpr (W == 1) return words_[0] < o.words_[0];
+    for (int w = W - 1; w >= 0; --w) {
+      if (words_[w] != o.words_[w]) return words_[w] < o.words_[w];
+    }
+    return false;
+  }
+
+  /// The multi-word Vance–Maier subset step: (state - mask) & mask over the
+  /// full 64*W-bit integer (subtraction with borrow propagation). See
+  /// util/subset.h for the enumeration ranges built on it.
+  static constexpr BasicNodeSet SubsetStep(BasicNodeSet state,
+                                           BasicNodeSet mask) {
+    if constexpr (W == 1) {
+      return BasicNodeSet((state.words_[0] - mask.words_[0]) & mask.words_[0]);
+    }
+    BasicNodeSet s;
+    uint64_t borrow = 0;
+    for (int w = 0; w < W; ++w) {
+      const uint64_t a = state.words_[w];
+      const uint64_t b = mask.words_[w];
+      const uint64_t d1 = a - b;
+      const uint64_t d2 = d1 - borrow;
+      borrow = static_cast<uint64_t>(a < b) |
+               static_cast<uint64_t>(d1 < borrow);
+      s.words_[w] = d2 & b;
+    }
+    return s;
+  }
 
   /// Iterates the node indices of the set in ascending order.
   class Iterator {
    public:
-    explicit Iterator(uint64_t bits) : bits_(bits) {}
-    int operator*() const { return std::countr_zero(bits_); }
+    explicit Iterator(const std::array<uint64_t, W>& words) : words_(words) {}
+    int operator*() const {
+      if constexpr (W == 1) return std::countr_zero(words_[0]);
+      for (int w = 0; w < W; ++w) {
+        if (words_[w] != 0) return w * 64 + std::countr_zero(words_[w]);
+      }
+      return kMaxNodes;
+    }
     Iterator& operator++() {
-      bits_ &= bits_ - 1;
+      if constexpr (W == 1) {
+        words_[0] &= words_[0] - 1;
+      } else {
+        for (int w = 0; w < W; ++w) {
+          if (words_[w] != 0) {
+            words_[w] &= words_[w] - 1;
+            break;
+          }
+        }
+      }
       return *this;
     }
-    bool operator!=(const Iterator& o) const { return bits_ != o.bits_; }
+    bool operator!=(const Iterator& o) const { return words_ != o.words_; }
 
    private:
-    uint64_t bits_;
+    std::array<uint64_t, W> words_;
   };
-  Iterator begin() const { return Iterator(bits_); }
-  Iterator end() const { return Iterator(0); }
+  Iterator begin() const { return Iterator(words_); }
+  Iterator end() const { return Iterator(std::array<uint64_t, W>{}); }
 
   /// Renders as e.g. "{R0, R3, R5}" for diagnostics.
   std::string ToString() const {
@@ -134,13 +293,24 @@ class NodeSet {
   }
 
  private:
-  uint64_t bits_;
+  static constexpr int WordOf(int node) { return W == 1 ? 0 : node >> 6; }
+  static constexpr int BitOf(int node) { return W == 1 ? node : node & 63; }
+
+  std::array<uint64_t, W> words_;
 };
 
-/// Hash suitable for open-addressing tables keyed by NodeSet
-/// (splitmix64 finalizer; empty sets never occur as keys).
-inline uint64_t HashNodeSet(NodeSet s) {
-  uint64_t x = s.bits();
+/// The one-word fast path every narrow (<= 64 relation) caller uses;
+/// layout and behavior are unchanged from the original single-uint64_t
+/// NodeSet.
+using NodeSet = BasicNodeSet<1>;
+/// Two words: up to 128 relations — the wide enumeration path.
+using WideNodeSet = BasicNodeSet<2>;
+/// Four words: up to 256 relations, for generated ORM/ETL-scale graphs.
+using HugeNodeSet = BasicNodeSet<4>;
+
+namespace internal {
+
+inline constexpr uint64_t SplitMix64(uint64_t x) {
   x ^= x >> 30;
   x *= 0xbf58476d1ce4e5b9ULL;
   x ^= x >> 27;
@@ -148,6 +318,36 @@ inline uint64_t HashNodeSet(NodeSet s) {
   x ^= x >> 31;
   return x;
 }
+
+}  // namespace internal
+
+/// Hash suitable for open-addressing tables keyed by node sets
+/// (splitmix64 finalizer; empty sets never occur as keys). The W = 1
+/// instantiation is bit-identical to the original HashNodeSet, which the
+/// DP-table layout (and therefore iteration-order-sensitive statistics)
+/// depends on.
+template <int W>
+inline uint64_t HashNodeSet(BasicNodeSet<W> s) {
+  if constexpr (W == 1) {
+    return internal::SplitMix64(s.word(0));
+  } else {
+    uint64_t h = internal::SplitMix64(s.word(0));
+    for (int w = 1; w < W; ++w) {
+      // Feed each further word through the finalizer, chained so that
+      // (a, b) and (b, a) hash differently.
+      h = internal::SplitMix64(h ^ (s.word(w) + 0x9e3779b97f4a7c15ULL));
+    }
+    return h;
+  }
+}
+
+/// Functor form for std:: unordered containers keyed by a node set.
+struct NodeSetHasher {
+  template <int W>
+  size_t operator()(BasicNodeSet<W> s) const {
+    return static_cast<size_t>(HashNodeSet(s));
+  }
+};
 
 }  // namespace dphyp
 

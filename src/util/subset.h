@@ -4,6 +4,14 @@
 // in increasing numeric order. The paper's EnumerateCsgRec/EnumerateCmpRec
 // iterate "for each N subset of the neighborhood, N != empty"; this header
 // provides that loop as a range.
+//
+// Both ranges are templated on the node-set type: at NodeSet
+// (= BasicNodeSet<1>) the step is the original single-word expression; at
+// wider sets BasicNodeSet<W>::SubsetStep carries the subtraction's borrow
+// across words, which preserves the enumeration order exactly (the state
+// is the same 64*W-bit integer, just in limbs). Class template argument
+// deduction keeps call sites width-agnostic:
+// `for (auto n : NonEmptySubsetsOf(nbh))` works for any width of `nbh`.
 #ifndef DPHYP_UTIL_SUBSET_H_
 #define DPHYP_UTIL_SUBSET_H_
 
@@ -16,68 +24,76 @@ namespace dphyp {
 /// Range over all non-empty subsets of `mask`, including `mask` itself,
 /// in increasing numeric (and therefore subset-before-superset-compatible)
 /// order. Usage: `for (NodeSet n : NonEmptySubsetsOf(nbh)) ...`.
+template <typename NS = NodeSet>
 class NonEmptySubsetsOf {
  public:
-  explicit NonEmptySubsetsOf(NodeSet mask) : mask_(mask.bits()) {}
+  explicit NonEmptySubsetsOf(NS mask) : mask_(mask) {}
 
   class Iterator {
    public:
-    Iterator(uint64_t state, uint64_t mask) : state_(state), mask_(mask) {}
-    NodeSet operator*() const { return NodeSet(state_); }
+    Iterator(NS state, NS mask) : state_(state), mask_(mask) {}
+    NS operator*() const { return state_; }
     Iterator& operator++() {
-      state_ = (state_ - mask_) & mask_;
+      state_ = NS::SubsetStep(state_, mask_);
       return *this;
     }
     bool operator!=(const Iterator& o) const { return state_ != o.state_; }
 
    private:
-    uint64_t state_;
-    uint64_t mask_;
+    NS state_;
+    NS mask_;
   };
 
   Iterator begin() const {
     // First non-empty subset: lowest bit of the mask. Empty mask yields an
-    // empty range because begin() == end() == {0, mask}.
-    return Iterator(mask_ & (~mask_ + 1), mask_);
+    // empty range because begin() == end() == {empty, mask}.
+    return Iterator(mask_.MinSet(), mask_);
   }
-  Iterator end() const { return Iterator(0, mask_); }
+  Iterator end() const { return Iterator(NS(), mask_); }
 
  private:
-  uint64_t mask_;
+  NS mask_;
 };
+
+template <typename NS>
+NonEmptySubsetsOf(NS) -> NonEmptySubsetsOf<NS>;
 
 /// Range over all non-empty *proper* subsets of `mask` (excludes `mask`).
 /// Used by DPsub-style algorithms that split a set into two halves.
+template <typename NS = NodeSet>
 class ProperSubsetsOf {
  public:
-  explicit ProperSubsetsOf(NodeSet mask) : mask_(mask.bits()) {}
+  explicit ProperSubsetsOf(NS mask) : mask_(mask) {}
 
   class Iterator {
    public:
-    Iterator(uint64_t state, uint64_t mask) : state_(state), mask_(mask) {}
-    NodeSet operator*() const { return NodeSet(state_); }
+    Iterator(NS state, NS mask) : state_(state), mask_(mask) {}
+    NS operator*() const { return state_; }
     Iterator& operator++() {
-      state_ = (state_ - mask_) & mask_;
-      if (state_ == mask_) state_ = 0;  // skip the improper subset, then stop
+      state_ = NS::SubsetStep(state_, mask_);
+      if (state_ == mask_) state_ = NS();  // skip the improper subset, stop
       return *this;
     }
     bool operator!=(const Iterator& o) const { return state_ != o.state_; }
 
    private:
-    uint64_t state_;
-    uint64_t mask_;
+    NS state_;
+    NS mask_;
   };
 
   Iterator begin() const {
-    uint64_t first = mask_ & (~mask_ + 1);
-    if (first == mask_) first = 0;  // singleton mask has no proper subset
+    NS first = mask_.MinSet();
+    if (first == mask_) first = NS();  // singleton mask has no proper subset
     return Iterator(first, mask_);
   }
-  Iterator end() const { return Iterator(0, mask_); }
+  Iterator end() const { return Iterator(NS(), mask_); }
 
  private:
-  uint64_t mask_;
+  NS mask_;
 };
+
+template <typename NS>
+ProperSubsetsOf(NS) -> ProperSubsetsOf<NS>;
 
 }  // namespace dphyp
 

@@ -1,0 +1,125 @@
+#include "workload/wide_gen.h"
+
+#include <string>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dphyp {
+
+namespace {
+
+/// Shared helper mirroring generators.cc: n relations with seeded random
+/// cardinalities, added directly to the wide graph.
+Rng AddWideRelations(WideHypergraph* graph, int n,
+                     const WorkloadOptions& opts) {
+  Rng rng(opts.seed);
+  for (int i = 0; i < n; ++i) {
+    WideHypergraphNode node;
+    node.name = "R" + std::to_string(i);
+    node.cardinality =
+        rng.UniformDouble(opts.min_cardinality, opts.max_cardinality);
+    graph->AddNode(std::move(node));
+  }
+  return rng;
+}
+
+void AddWideSimpleEdge(WideHypergraph* graph, int a, int b, Rng& rng,
+                       const WorkloadOptions& opts) {
+  WideHyperedge edge;
+  edge.left = WideNodeSet::Single(a);
+  edge.right = WideNodeSet::Single(b);
+  edge.selectivity =
+      rng.UniformDouble(opts.min_selectivity, opts.max_selectivity);
+  graph->AddEdge(std::move(edge));
+}
+
+}  // namespace
+
+WideHypergraph MakeWideChainGraph(int n, const WorkloadOptions& opts) {
+  DPHYP_CHECK(n >= 1 && n <= WideNodeSet::kMaxNodes);
+  WideHypergraph graph;
+  Rng rng = AddWideRelations(&graph, n, opts);
+  for (int i = 0; i + 1 < n; ++i) {
+    AddWideSimpleEdge(&graph, i, i + 1, rng, opts);
+  }
+  return graph;
+}
+
+WideHypergraph MakeWideCycleGraph(int n, const WorkloadOptions& opts) {
+  DPHYP_CHECK(n >= 3 && n <= WideNodeSet::kMaxNodes);
+  WideHypergraph graph;
+  Rng rng = AddWideRelations(&graph, n, opts);
+  for (int i = 0; i + 1 < n; ++i) {
+    AddWideSimpleEdge(&graph, i, i + 1, rng, opts);
+  }
+  AddWideSimpleEdge(&graph, 0, n - 1, rng, opts);
+  return graph;
+}
+
+WideHypergraph MakeWideStarGraph(int satellites, const WorkloadOptions& opts) {
+  DPHYP_CHECK(satellites >= 1 && satellites + 1 <= WideNodeSet::kMaxNodes);
+  WideHypergraph graph;
+  Rng rng(opts.seed);
+  for (int i = 0; i <= satellites; ++i) {
+    WideHypergraphNode node;
+    node.name = "R" + std::to_string(i);
+    node.cardinality =
+        rng.UniformDouble(opts.min_cardinality, opts.max_cardinality);
+    // The hub is the largest relation, as in a warehouse fact table (the
+    // draw still happens so the RNG stream matches the narrow generator).
+    if (i == 0) node.cardinality = opts.max_cardinality * 10;
+    graph.AddNode(std::move(node));
+  }
+  for (int i = 1; i <= satellites; ++i) {
+    AddWideSimpleEdge(&graph, 0, i, rng, opts);
+  }
+  return graph;
+}
+
+WideHypergraph MakeWideSparseGraph(int n, double extra_edge_prob,
+                                   uint64_t seed, const WorkloadOptions& opts) {
+  DPHYP_CHECK(n >= 1 && n <= WideNodeSet::kMaxNodes);
+  WorkloadOptions local = opts;
+  local.seed = seed;
+  WideHypergraph graph;
+  Rng rng = AddWideRelations(&graph, n, local);
+  // Random spanning tree: attach each node to a random earlier node.
+  for (int i = 1; i < n; ++i) {
+    int parent = static_cast<int>(rng.Uniform(i));
+    AddWideSimpleEdge(&graph, parent, i, rng, local);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(extra_edge_prob)) {
+        AddWideSimpleEdge(&graph, i, j, rng, local);
+      }
+    }
+  }
+  return graph;
+}
+
+WideHypergraph MakeWideDegreeBoundedTree(int n, int max_degree, uint64_t seed,
+                                         const WorkloadOptions& opts) {
+  DPHYP_CHECK(n >= 1 && n <= WideNodeSet::kMaxNodes && max_degree >= 2);
+  WorkloadOptions local = opts;
+  local.seed = seed;
+  WideHypergraph graph;
+  Rng rng = AddWideRelations(&graph, n, local);
+  std::vector<int> degree(n, 0);
+  for (int i = 1; i < n; ++i) {
+    // Rejection-sample an earlier node with spare capacity; at least one
+    // always exists (i earlier nodes carry i - 1 tree edges, so their total
+    // capacity i * max_degree exceeds 2 * (i - 1) for max_degree >= 2).
+    int parent;
+    do {
+      parent = static_cast<int>(rng.Uniform(i));
+    } while (degree[parent] >= max_degree);
+    AddWideSimpleEdge(&graph, parent, i, rng, local);
+    ++degree[parent];
+    ++degree[i];
+  }
+  return graph;
+}
+
+}  // namespace dphyp

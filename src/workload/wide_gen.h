@@ -1,0 +1,56 @@
+// Wide (> 64 relation) workload generators.
+//
+// QuerySpec and the serving tier stay narrow (predicates are one-word
+// NodeSets), so wide graphs are built directly as BasicHypergraph values —
+// the same shapes, cardinality ranges, and seeded draws as the narrow
+// generators in workload/generators.h, just past the one-word fit. The
+// wide fuzz tier (tests/test_fuzz.cc, label `wide`) and the wide bench
+// sweep (bench/run_all.cc) are the consumers.
+//
+// Determinism matches the narrow generators: the same (shape, n, seed,
+// options) always produces the identical graph, so wide plan costs are
+// reproducible across runs and machines.
+#ifndef DPHYP_WORKLOAD_WIDE_GEN_H_
+#define DPHYP_WORKLOAD_WIDE_GEN_H_
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.h"
+#include "workload/generators.h"
+
+namespace dphyp {
+
+/// Chain R0 - R1 - ... - R(n-1) at wide width. Tractable exactly at any n
+/// (quadratic connected-subgraph count); the wide acceptance test runs a
+/// 72-relation instance through the exact path.
+WideHypergraph MakeWideChainGraph(int n, const WorkloadOptions& opts = {});
+
+/// Cycle: chain plus the closing edge (R(n-1), R0).
+WideHypergraph MakeWideCycleGraph(int n, const WorkloadOptions& opts = {});
+
+/// Star: hub R0 (fact-table sized, as in the narrow generator) with edges
+/// to satellites R1..Rk. Exact DP is hopeless past ~20 satellites (2^k
+/// subgraphs) — stars are the beyond-exact tier's territory.
+WideHypergraph MakeWideStarGraph(int satellites,
+                                 const WorkloadOptions& opts = {});
+
+/// Random connected sparse graph: a seeded random spanning tree plus each
+/// extra edge with probability `extra_edge_prob`. Spanning-tree hubs push
+/// the shape past the exact frontier, so this is the beyond-exact tier's
+/// wide workload (idp-k / anneal vs. the GOO floor).
+WideHypergraph MakeWideSparseGraph(int n, double extra_edge_prob,
+                                   uint64_t seed,
+                                   const WorkloadOptions& opts = {});
+
+/// Random spanning tree with every node's degree capped at `max_degree`
+/// (>= 2): each node attaches to a seeded-random earlier node that still
+/// has capacity. The sparsest connected graph (n - 1 edges) with scrambled
+/// structure; at max_degree = 2 it is a randomly-threaded path whose
+/// quadratic subgraph count keeps exact DP tractable at any width — the
+/// 80-relation exact acceptance shape.
+WideHypergraph MakeWideDegreeBoundedTree(int n, int max_degree, uint64_t seed,
+                                         const WorkloadOptions& opts = {});
+
+}  // namespace dphyp
+
+#endif  // DPHYP_WORKLOAD_WIDE_GEN_H_

@@ -21,7 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "baselines/goo.h"
 #include "core/enumerator.h"
+#include "core/wide.h"
 #include "hypergraph/builder.h"
 #include "hypergraph/connectivity.h"
 #include "plan/validate.h"
@@ -30,6 +32,7 @@
 #include "test_rng.h"
 #include "workload/generators.h"
 #include "workload/optree_gen.h"
+#include "workload/wide_gen.h"
 
 namespace dphyp {
 namespace {
@@ -379,6 +382,356 @@ INSTANTIATE_TEST_SUITE_P(QualityTier, QualityFullWindow,
                          ::testing::ValuesIn(SmallQualityCases()),
                          [](const ::testing::TestParamInfo<SmallQualityCase>&
                                 info) { return info.param.name; });
+
+// --- Wide tier (label: wide) ------------------------------------------------
+//
+// The > 64-relation path (core/wide.h): seeded 65-100 relation graphs where
+// the wide auction must pick an *exact* route on tractable shapes (chains,
+// cycles, degree-bounded trees — quadratic connected-subgraph counts pin
+// the DP table size definitionally), the beyond-exact pair must beat the
+// GOO floor on intractable shapes (hub stars, random sparse graphs), and —
+// the backbone guarantee — every <= 64-relation graph must optimize
+// bit-identically through the one-word, two-word, and four-word paths.
+// Suites are prefixed "WideTier" so CMakeLists' gtest-filter split can
+// register them under the "wide" ctest label.
+
+/// Workload ranges for wide graphs. The narrow defaults (cards up to 1e4,
+/// selectivities up to 0.2) overflow double around 90 joined relations —
+/// the product of ~100 cardinalities and selectivities passes 1e308, and
+/// infinite costs make every candidate ordering compare as "no better".
+/// Bounded ranges keep even the 100-relation full-set cardinality finite,
+/// so cost comparisons stay meaningful at every width.
+WorkloadOptions WideOpts(uint64_t seed) {
+  WorkloadOptions opts;
+  opts.seed = seed;
+  opts.min_cardinality = 10.0;
+  opts.max_cardinality = 1000.0;
+  opts.min_selectivity = 1e-4;
+  opts.max_selectivity = 1e-2;
+  return opts;
+}
+
+enum class WideShape { kChain, kCycle, kThreadedPath };
+
+struct WideExactCase {
+  std::string name;  // stable: family/size/ordinal, never the seed
+  uint64_t seed;
+  int n;
+  WideShape shape;
+};
+
+std::vector<WideExactCase> WideExactCases() {
+  std::vector<WideExactCase> cases;
+  uint64_t salt = 300000;
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    const int n = 65 + (i * 7) % 36;  // 65..100
+    cases.push_back({"chain" + std::to_string(n) + "_" + std::to_string(i),
+                     seed, n, WideShape::kChain});
+  }
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    const int n = 66 + (i * 5) % 35;
+    cases.push_back({"cycle" + std::to_string(n) + "_" + std::to_string(i),
+                     seed, n, WideShape::kCycle});
+  }
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    const int n = 65 + (i * 4) % 36;
+    cases.push_back({"tree" + std::to_string(n) + "_" + std::to_string(i),
+                     seed, n, WideShape::kThreadedPath});
+  }
+  return cases;
+}
+
+WideHypergraph BuildWideExactGraph(const WideExactCase& c) {
+  WorkloadOptions opts = WideOpts(c.seed);
+  switch (c.shape) {
+    case WideShape::kChain:
+      return MakeWideChainGraph(c.n, opts);
+    case WideShape::kCycle:
+      return MakeWideCycleGraph(c.n, opts);
+    case WideShape::kThreadedPath:
+      return MakeWideDegreeBoundedTree(c.n, 2, c.seed, opts);
+  }
+  return MakeWideChainGraph(c.n, opts);
+}
+
+/// Connected-subgraph count of the shape — the definitional DP table size
+/// for an exhaustive enumerator: paths (threaded or not) have the
+/// n*(n+1)/2 contiguous runs, a cycle has its n*(n-1) arcs plus the full
+/// set.
+uint64_t WideExactExpectedEntries(const WideExactCase& c) {
+  const uint64_t n = static_cast<uint64_t>(c.n);
+  if (c.shape == WideShape::kCycle) return n * (n - 1) + 1;
+  return n * (n + 1) / 2;
+}
+
+class WideExactSweep : public ::testing::TestWithParam<WideExactCase> {};
+
+TEST_P(WideExactSweep, ExactRouteDefinitionalTableAndGooDominance) {
+  const WideExactCase& c = GetParam();
+  SCOPED_TRACE(SeedTrace(c.seed));
+  WideHypergraph g = BuildWideExactGraph(c);
+  ASSERT_EQ(g.NumNodes(), c.n);
+
+  // Degree <= 2 simple inner graphs carry DPccp's unconditional chain/cycle
+  // bid at any width — no GOO fallback past 64 relations.
+  WideRouteDecision d = ChooseWideRoute(g);
+  EXPECT_TRUE(d.exact) << WideRouteName(d.route) << ": " << d.reason;
+  EXPECT_EQ(d.route, WideRoute::kDpccp) << d.reason;
+
+  BasicCardinalityEstimator<WideNodeSet> est(g);
+  WideOptimizeResult r = OptimizeWideAdaptive(g, est, DefaultCostModel());
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_STREQ(r.stats.algorithm, "DPccp");
+  EXPECT_EQ(r.stats.dp_entries, WideExactExpectedEntries(c));
+  EXPECT_EQ(r.root_set.Count(), c.n);
+
+  BasicPlanTree<WideNodeSet> plan = r.ExtractPlan(g);
+  Result<bool> valid = ValidatePlanTree(g, plan);
+  EXPECT_TRUE(valid.ok()) << valid.error().message;
+  EXPECT_DOUBLE_EQ(plan.root()->cost, r.cost);
+
+  // Exhaustive DP never loses to the greedy floor.
+  WideOptimizeResult goo = OptimizeGoo(g, est, DefaultCostModel());
+  ASSERT_TRUE(goo.success) << goo.error;
+  EXPECT_LE(r.cost, goo.cost);
+
+  // Width-differential: the identical graph re-represented at W = 4 must
+  // reproduce the W = 2 run bit-for-bit.
+  BasicHypergraph<HugeNodeSet> h = WidenGraph<HugeNodeSet>(g);
+  BasicCardinalityEstimator<HugeNodeSet> hest(h);
+  BasicOptimizeResult<HugeNodeSet> hr =
+      OptimizeWideAdaptive(h, hest, DefaultCostModel());
+  ASSERT_TRUE(hr.success) << hr.error;
+  EXPECT_STREQ(hr.stats.algorithm, r.stats.algorithm);
+  EXPECT_DOUBLE_EQ(hr.cost, r.cost);
+  EXPECT_DOUBLE_EQ(hr.cardinality, r.cardinality);
+  EXPECT_EQ(hr.stats.dp_entries, r.stats.dp_entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(WideTier, WideExactSweep,
+                         ::testing::ValuesIn(WideExactCases()),
+                         [](const ::testing::TestParamInfo<WideExactCase>&
+                                info) { return info.param.name; });
+
+struct WideBeyondCase {
+  std::string name;
+  uint64_t seed;
+  int n;            // total relations, 65..100
+  bool star;        // hub star vs random sparse
+  double extra_p;   // sparse: extra-edge probability
+};
+
+std::vector<WideBeyondCase> WideBeyondCases() {
+  std::vector<WideBeyondCase> cases;
+  uint64_t salt = 310000;
+  for (int i = 0; i < 5; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    const int n = 65 + (i * 8) % 36;
+    cases.push_back({"star" + std::to_string(n) + "_" + std::to_string(i),
+                     seed, n, true, 0.0});
+  }
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    const int n = 65 + (i * 5) % 36;
+    const double p = 0.001 + 0.002 * (i % 3);
+    cases.push_back({"sparse" + std::to_string(n) + "_" + std::to_string(i),
+                     seed, n, false, p});
+  }
+  return cases;
+}
+
+class WideBeyondExactSweep : public ::testing::TestWithParam<WideBeyondCase> {
+};
+
+TEST_P(WideBeyondExactSweep, HeuristicRouteValidDeterministicBeatsGoo) {
+  const WideBeyondCase& c = GetParam();
+  SCOPED_TRACE(SeedTrace(c.seed));
+  WorkloadOptions opts = WideOpts(c.seed);
+  WideHypergraph g = c.star
+                         ? MakeWideStarGraph(c.n - 1, opts)
+                         : MakeWideSparseGraph(c.n, c.extra_p, c.seed, opts);
+  ASSERT_EQ(g.NumNodes(), c.n);
+
+  // Hubs push these past the exact frontier; inner-only graphs land on the
+  // windowed-exact idp-k bid, never the raw GOO floor.
+  WideRouteDecision d = ChooseWideRoute(g);
+  EXPECT_FALSE(d.exact) << d.reason;
+  EXPECT_EQ(d.route, WideRoute::kIdp) << d.reason;
+
+  BasicCardinalityEstimator<WideNodeSet> est(g);
+  OptimizerOptions options;
+  options.random_seed = DerivedSeed(c.seed ^ 0xbead);
+  WideOptimizeResult r =
+      OptimizeWideAdaptive(g, est, DefaultCostModel(), options);
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_STREQ(r.stats.algorithm, "idp-k");
+  EXPECT_EQ(r.root_set.Count(), c.n);
+
+  BasicPlanTree<WideNodeSet> plan = r.ExtractPlan(g);
+  Result<bool> valid = ValidatePlanTree(g, plan);
+  EXPECT_TRUE(valid.ok()) << valid.error().message;
+
+  // The beyond-exact quality floor, same as the narrow quality tier.
+  WideOptimizeResult goo = OptimizeGoo(g, est, DefaultCostModel(), options);
+  ASSERT_TRUE(goo.success) << goo.error;
+  EXPECT_LE(r.cost, goo.cost);
+
+  // Seeded heuristics are deterministic: an identical second run is
+  // bit-identical.
+  WideOptimizeResult again =
+      OptimizeWideAdaptive(g, est, DefaultCostModel(), options);
+  ASSERT_TRUE(again.success) << again.error;
+  EXPECT_DOUBLE_EQ(again.cost, r.cost);
+  EXPECT_DOUBLE_EQ(again.cardinality, r.cardinality);
+}
+
+INSTANTIATE_TEST_SUITE_P(WideTier, WideBeyondExactSweep,
+                         ::testing::ValuesIn(WideBeyondCases()),
+                         [](const ::testing::TestParamInfo<WideBeyondCase>&
+                                info) { return info.param.name; });
+
+// The backbone guarantee of the whole refactor: on graphs that fit in one
+// word, the wide machinery is a bit-identical re-representation of the
+// narrow path — same route, same cost arithmetic, same DP table size.
+// Cases stay at n <= 12 so the route is hardware-independent (below the
+// parallel enumerator's 14-node threshold) and always exact.
+struct WideNarrowCase {
+  std::string name;
+  uint64_t seed;
+  QuerySpec spec;
+};
+
+std::vector<WideNarrowCase> WideNarrowCases() {
+  std::vector<WideNarrowCase> cases;
+  uint64_t salt = 320000;
+  auto add = [&](std::string name, QuerySpec spec, uint64_t seed) {
+    cases.push_back({std::move(name), seed, std::move(spec)});
+  };
+  for (int i = 0; i < 12; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    const int n = 5 + (i % 8);
+    add("randgraph" + std::to_string(n) + "_" + std::to_string(i),
+        MakeRandomGraphQuery(n, 0.25, seed), seed);
+  }
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    const int n = 5 + (i % 6);
+    add("randhyper" + std::to_string(n) + "_" + std::to_string(i),
+        MakeRandomHypergraphQuery(n, 1 + (i % 3), seed), seed);
+  }
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t seed = DerivedSeed(salt++);
+    WorkloadOptions opts;
+    opts.seed = seed;
+    const int n = 6 + 2 * i;
+    add("chain" + std::to_string(n) + "_" + std::to_string(i),
+        MakeChainQuery(n, opts), seed);
+  }
+  return cases;
+}
+
+class WideNarrowAgreementSweep
+    : public ::testing::TestWithParam<WideNarrowCase> {};
+
+TEST_P(WideNarrowAgreementSweep, OneWordAndMultiWordPathsBitIdentical) {
+  const WideNarrowCase& c = GetParam();
+  SCOPED_TRACE(SeedTrace(c.seed));
+  Hypergraph g = BuildHypergraphOrDie(c.spec);
+  CardinalityEstimator est(g);
+
+  // The one-word path (NS = NodeSet instantiation of the wide dispatcher):
+  // must match the narrow registry reference exactly.
+  WideRouteDecision nd = ChooseWideRoute(g);
+  ASSERT_TRUE(nd.exact) << nd.reason;
+  OptimizeResult narrow = OptimizeWideAdaptive(g, est, DefaultCostModel());
+  ASSERT_TRUE(narrow.success) << narrow.error;
+  EXPECT_STREQ(narrow.stats.algorithm, WideRouteName(nd.route));
+  OptimizeResult reference = OptimizeNamed("DPhyp", g, est, DefaultCostModel());
+  ASSERT_TRUE(reference.success) << reference.error;
+  EXPECT_DOUBLE_EQ(narrow.cost, reference.cost);
+  EXPECT_DOUBLE_EQ(narrow.cardinality, reference.cardinality);
+
+  // The same graph re-represented at two and four words: identical route,
+  // bit-identical cost, cardinality, and DP table size.
+  BasicHypergraph<WideNodeSet> wg = WidenGraph<WideNodeSet>(g);
+  BasicCardinalityEstimator<WideNodeSet> west(wg);
+  WideOptimizeResult wide = OptimizeWideAdaptive(wg, west, DefaultCostModel());
+  ASSERT_TRUE(wide.success) << wide.error;
+  EXPECT_STREQ(wide.stats.algorithm, narrow.stats.algorithm);
+  EXPECT_DOUBLE_EQ(wide.cost, narrow.cost);
+  EXPECT_DOUBLE_EQ(wide.cardinality, narrow.cardinality);
+  EXPECT_EQ(wide.stats.dp_entries, narrow.stats.dp_entries);
+
+  BasicHypergraph<HugeNodeSet> hg = WidenGraph<HugeNodeSet>(g);
+  BasicCardinalityEstimator<HugeNodeSet> hest(hg);
+  BasicOptimizeResult<HugeNodeSet> huge =
+      OptimizeWideAdaptive(hg, hest, DefaultCostModel());
+  ASSERT_TRUE(huge.success) << huge.error;
+  EXPECT_STREQ(huge.stats.algorithm, narrow.stats.algorithm);
+  EXPECT_DOUBLE_EQ(huge.cost, narrow.cost);
+  EXPECT_DOUBLE_EQ(huge.cardinality, narrow.cardinality);
+  EXPECT_EQ(huge.stats.dp_entries, narrow.stats.dp_entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(WideTier, WideNarrowAgreementSweep,
+                         ::testing::ValuesIn(WideNarrowCases()),
+                         [](const ::testing::TestParamInfo<WideNarrowCase>&
+                                info) { return info.param.name; });
+
+// The PR's acceptance shapes, pinned as named tests (fixed seeds).
+TEST(WideTierAcceptance, Chain72OptimizesExactlyViaWidePath) {
+  WideHypergraph g = MakeWideChainGraph(72, WideOpts(42));
+  WideRouteDecision d = ChooseWideRoute(g);
+  EXPECT_TRUE(d.exact);
+  EXPECT_EQ(d.route, WideRoute::kDpccp);
+
+  BasicCardinalityEstimator<WideNodeSet> est(g);
+  WideOptimizeResult r = OptimizeWideAdaptive(g, est, DefaultCostModel());
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_STREQ(r.stats.algorithm, "DPccp");
+  EXPECT_EQ(r.stats.dp_entries, uint64_t{72} * 73 / 2);
+  EXPECT_EQ(r.root_set.Count(), 72);
+  Result<bool> valid = ValidatePlanTree(g, r.ExtractPlan(g));
+  EXPECT_TRUE(valid.ok()) << valid.error().message;
+}
+
+TEST(WideTierAcceptance, Sparse80OptimizesExactlyViaWidePath) {
+  // The sparsest connected 80-relation graph (79 edges, seeded random
+  // threading, every degree <= 2): exact DP, no GOO fallback.
+  WideHypergraph g = MakeWideDegreeBoundedTree(80, 2, 11, WideOpts(11));
+  WideRouteDecision d = ChooseWideRoute(g);
+  EXPECT_TRUE(d.exact);
+  EXPECT_EQ(d.route, WideRoute::kDpccp);
+
+  BasicCardinalityEstimator<WideNodeSet> est(g);
+  WideOptimizeResult r = OptimizeWideAdaptive(g, est, DefaultCostModel());
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_STREQ(r.stats.algorithm, "DPccp");
+  EXPECT_EQ(r.stats.dp_entries, uint64_t{80} * 81 / 2);
+  EXPECT_EQ(r.root_set.Count(), 80);
+  Result<bool> valid = ValidatePlanTree(g, r.ExtractPlan(g));
+  EXPECT_TRUE(valid.ok()) << valid.error().message;
+}
+
+TEST(WideTierAcceptance, HubbySparse80RoutesToWindowedExactNotGoo) {
+  // With random spanning-tree hubs the 80-relation graph is past the exact
+  // frontier — but it still must not fall to the raw greedy floor.
+  WideHypergraph g = MakeWideSparseGraph(80, 0.0005, 7, WideOpts(7));
+  WideRouteDecision d = ChooseWideRoute(g);
+  EXPECT_FALSE(d.exact);
+  EXPECT_EQ(d.route, WideRoute::kIdp);
+
+  BasicCardinalityEstimator<WideNodeSet> est(g);
+  WideOptimizeResult r = OptimizeWideAdaptive(g, est, DefaultCostModel());
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_STREQ(r.stats.algorithm, "idp-k");
+  WideOptimizeResult goo = OptimizeGoo(g, est, DefaultCostModel());
+  ASSERT_TRUE(goo.success) << goo.error;
+  EXPECT_LE(r.cost, goo.cost);
+}
 
 TEST(FuzzSweep, LargeQuerySmoke) {
   // 20 relations — beyond every exponential oracle, exercising only the

@@ -1,12 +1,33 @@
+// NodeSet unit + differential suite (label: node_set).
+//
+// Two layers:
+//  1. The original narrow (W = 1) unit tests — small, named, deterministic.
+//  2. A width-differential backbone: every BasicNodeSet operation runs at
+//     W = 1, 2, and 4 against a std::bitset<256> reference model under
+//     seeded random inputs (QDL_TEST_SEED via tests/test_rng.h), plus a
+//     cross-width agreement sweep proving the multi-word paths compute
+//     exactly what the one-word fast path computes on sets that fit in one
+//     word, and a death test pinning the DPHYP_DCHECK shift bounds that
+//     guard the latent n >= 64 shift UB in Single/UpTo/Below.
 #include "util/node_set.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bitset>
+#include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
+
+#include "test_rng.h"
+#include "util/rng.h"
 
 namespace dphyp {
 namespace {
+
+using testing_helpers::DerivedSeed;
+using testing_helpers::SeedTrace;
 
 TEST(NodeSet, EmptyAndSingleton) {
   NodeSet empty;
@@ -101,6 +122,364 @@ TEST(NodeSet, HashDistinguishesSets) {
     hashes.insert(HashNodeSet(NodeSet::Single(i)));
   }
   EXPECT_EQ(hashes.size(), 64u);
+}
+
+// --- Width-differential backbone -------------------------------------------
+//
+// Reference model: std::bitset<256> restricted to the first kMaxNodes bits.
+// Every operation the enumeration cores use is recomputed from the bitset
+// (or from first principles over its members) and must agree bit-for-bit at
+// every width. Inputs are seeded random sets at several densities so the
+// sweep covers empty, sparse, dense, and all-ones shapes; failures print
+// the reproducing QDL_TEST_SEED via SCOPED_TRACE.
+
+/// The 256-bit reference universe; widths narrower than 4 words simply
+/// never set the high bits.
+using RefBits = std::bitset<256>;
+
+/// The i-th 64-bit word of the reference model (bit b of word w encodes
+/// node w*64 + b — the BasicNodeSet layout).
+uint64_t RefWord(const RefBits& ref, int w) {
+  uint64_t out = 0;
+  for (int b = 0; b < 64; ++b) {
+    if (ref.test(w * 64 + b)) out |= uint64_t{1} << b;
+  }
+  return out;
+}
+
+/// Builds the node set from the reference model through the public API.
+template <typename NS>
+NS FromRef(const RefBits& ref) {
+  NS s;
+  for (int i = 0; i < NS::kMaxNodes; ++i) {
+    if (ref.test(i)) s |= NS::Single(i);
+  }
+  return s;
+}
+
+/// Draws a random set: each of the width's nodes is present independently
+/// with probability `density`.
+template <typename NS>
+RefBits RandomRef(Rng& rng, double density) {
+  RefBits ref;
+  for (int i = 0; i < NS::kMaxNodes; ++i) {
+    if (rng.Bernoulli(density)) ref.set(i);
+  }
+  return ref;
+}
+
+/// Numeric order of the backing integers, computed from the reference
+/// model — the oracle for BasicNodeSet::operator<.
+bool RefLess(const RefBits& a, const RefBits& b) {
+  for (int w = 3; w >= 0; --w) {
+    const uint64_t aw = RefWord(a, w);
+    const uint64_t bw = RefWord(b, w);
+    if (aw != bw) return aw < bw;
+  }
+  return false;
+}
+
+/// Checks every unary observer of `s` against the reference model.
+template <typename NS>
+void ExpectMatchesRef(NS s, const RefBits& ref) {
+  ASSERT_TRUE((ref >> NS::kMaxNodes).none())
+      << "reference model holds nodes past this width";
+  EXPECT_EQ(s.Empty(), ref.none());
+  EXPECT_EQ(s.Count(), static_cast<int>(ref.count()));
+  EXPECT_EQ(s.IsSingleton(), ref.count() == 1);
+  for (int i = 0; i < NS::kMaxNodes; ++i) {
+    ASSERT_EQ(s.Contains(i), ref.test(i)) << "node " << i;
+  }
+  for (int w = 0; w < NS::kWords; ++w) {
+    ASSERT_EQ(s.word(w), RefWord(ref, w)) << "word " << w;
+  }
+
+  // Membership-derived observers: Min/Max/MinSet/MinusMin/iteration/
+  // ToString, recomputed from the reference member list.
+  std::vector<int> members;
+  for (int i = 0; i < NS::kMaxNodes; ++i) {
+    if (ref.test(i)) members.push_back(i);
+  }
+  std::vector<int> iterated;
+  for (int v : s) iterated.push_back(v);
+  EXPECT_EQ(iterated, members);
+
+  std::string expected = "{";
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i) expected += ", ";
+    expected += "R" + std::to_string(members[i]);
+  }
+  expected += "}";
+  EXPECT_EQ(s.ToString(), expected);
+
+  if (!members.empty()) {
+    EXPECT_EQ(s.Min(), members.front());
+    EXPECT_EQ(s.Max(), members.back());
+    EXPECT_EQ(s.MinSet(), NS::Single(members.front()));
+    NS rest = s - NS::Single(members.front());
+    EXPECT_EQ(s.MinusMin(), rest);
+  } else {
+    EXPECT_TRUE(s.MinSet().Empty());
+    EXPECT_TRUE(s.MinusMin().Empty());
+  }
+}
+
+template <typename NS>
+class NodeSetDifferential : public ::testing::Test {};
+
+struct WidthNames {
+  template <typename NS>
+  static std::string GetName(int) {
+    return "W" + std::to_string(NS::kWords);
+  }
+};
+
+using AllWidths = ::testing::Types<NodeSet, WideNodeSet, HugeNodeSet>;
+TYPED_TEST_SUITE(NodeSetDifferential, AllWidths, WidthNames);
+
+TYPED_TEST(NodeSetDifferential, ConstructorsMatchReference) {
+  using NS = TypeParam;
+  for (int i = 0; i < NS::kMaxNodes; ++i) {
+    RefBits single;
+    single.set(i);
+    ExpectMatchesRef(NS::Single(i), single);
+
+    RefBits upto;
+    for (int j = 0; j <= i; ++j) upto.set(j);
+    ExpectMatchesRef(NS::UpTo(i), upto);
+  }
+  for (int n = 0; n <= NS::kMaxNodes; ++n) {
+    RefBits prefix;
+    for (int j = 0; j < n; ++j) prefix.set(j);
+    ExpectMatchesRef(NS::FullSet(n), prefix);
+    ExpectMatchesRef(NS::Below(n), prefix);
+  }
+  // FullSet saturates past the width (Below's contract stops at kMaxNodes).
+  RefBits all;
+  for (int j = 0; j < NS::kMaxNodes; ++j) all.set(j);
+  ExpectMatchesRef(NS::FullSet(NS::kMaxNodes + 7), all);
+}
+
+TYPED_TEST(NodeSetDifferential, UnaryObserversMatchReferenceOnRandomSets) {
+  using NS = TypeParam;
+  const double densities[] = {0.02, 0.2, 0.5, 0.9, 1.0};
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t seed = DerivedSeed(41000 + NS::kWords * 1000 + i);
+    SCOPED_TRACE(SeedTrace(seed));
+    Rng rng(seed);
+    const RefBits ref = RandomRef<NS>(rng, densities[i % 5]);
+    ExpectMatchesRef(FromRef<NS>(ref), ref);
+  }
+  ExpectMatchesRef(NS(), RefBits());  // the empty set, explicitly
+}
+
+TYPED_TEST(NodeSetDifferential, BinaryAlgebraMatchesReference) {
+  using NS = TypeParam;
+  const double densities[] = {0.05, 0.3, 0.7};
+  for (int i = 0; i < 80; ++i) {
+    const uint64_t seed = DerivedSeed(42000 + NS::kWords * 1000 + i);
+    SCOPED_TRACE(SeedTrace(seed));
+    Rng rng(seed);
+    const RefBits ra = RandomRef<NS>(rng, densities[i % 3]);
+    const RefBits rb = RandomRef<NS>(rng, densities[(i + 1) % 3]);
+    const NS a = FromRef<NS>(ra);
+    const NS b = FromRef<NS>(rb);
+
+    ExpectMatchesRef(a | b, ra | rb);
+    ExpectMatchesRef(a & b, ra & rb);
+    ExpectMatchesRef(a - b, ra & ~rb);
+
+    NS c = a;
+    c |= b;
+    EXPECT_EQ(c, a | b);
+    c = a;
+    c &= b;
+    EXPECT_EQ(c, a & b);
+    c = a;
+    c -= b;
+    EXPECT_EQ(c, a - b);
+
+    EXPECT_EQ(a.Intersects(b), (ra & rb).any());
+    EXPECT_EQ(a.IsSubsetOf(b), (ra & ~rb).none());
+    EXPECT_EQ(a.IsSupersetOf(b), (rb & ~ra).none());
+    EXPECT_EQ(a == b, ra == rb);
+    EXPECT_EQ(a < b, RefLess(ra, rb));
+    EXPECT_EQ(b < a, RefLess(rb, ra));
+    EXPECT_FALSE(a < a);
+  }
+}
+
+TYPED_TEST(NodeSetDifferential, SubsetStepEnumeratesAllSubsetsAscending) {
+  using NS = TypeParam;
+  for (int i = 0; i < 20; ++i) {
+    const uint64_t seed = DerivedSeed(43000 + NS::kWords * 1000 + i);
+    SCOPED_TRACE(SeedTrace(seed));
+    Rng rng(seed);
+
+    // A mask of up to 10 nodes scattered over the full width, so the walk
+    // crosses word boundaries (and exercises the borrow chain) at W > 1.
+    std::vector<int> bits;
+    while (bits.size() < 10) {
+      const int v = static_cast<int>(rng.Uniform(NS::kMaxNodes));
+      if (std::find(bits.begin(), bits.end(), v) == bits.end())
+        bits.push_back(v);
+    }
+    NS mask;
+    for (int v : bits) mask |= NS::Single(v);
+
+    // Reference: all 2^10 subsets of the mask, in the numeric order
+    // operator< defines — the order the Vance–Maier step must produce.
+    std::vector<NS> expected;
+    for (uint32_t combo = 0; combo < (1u << bits.size()); ++combo) {
+      NS sub;
+      for (size_t j = 0; j < bits.size(); ++j) {
+        if (combo & (1u << j)) sub |= NS::Single(bits[j]);
+      }
+      expected.push_back(sub);
+    }
+    std::sort(expected.begin(), expected.end());
+
+    // The walk: state' = (state - mask) & mask from the empty set visits
+    // every non-empty subset ascending and returns to the empty set.
+    std::vector<NS> visited;
+    visited.push_back(NS());
+    NS state;
+    for (;;) {
+      state = NS::SubsetStep(state, mask);
+      if (state.Empty()) break;
+      visited.push_back(state);
+      ASSERT_LE(visited.size(), expected.size()) << "walk failed to cycle";
+    }
+    std::sort(visited.begin(), visited.end());
+    ASSERT_EQ(visited.size(), expected.size());
+    for (size_t j = 0; j < expected.size(); ++j) {
+      ASSERT_EQ(visited[j], expected[j]) << "subset " << j;
+    }
+  }
+}
+
+TYPED_TEST(NodeSetDifferential, HashIsDeterministicAndWellSpread) {
+  using NS = TypeParam;
+  std::set<uint64_t> hashes;
+  int drawn = 0;
+  for (int i = 0; i < 40; ++i) {
+    const uint64_t seed = DerivedSeed(44000 + NS::kWords * 1000 + i);
+    SCOPED_TRACE(SeedTrace(seed));
+    Rng rng(seed);
+    const RefBits ref = RandomRef<NS>(rng, 0.4);
+    const NS s = FromRef<NS>(ref);
+    EXPECT_EQ(HashNodeSet(s), HashNodeSet(FromRef<NS>(ref)));  // value-based
+    if (!ref.none()) {
+      hashes.insert(HashNodeSet(s));
+      ++drawn;
+    }
+  }
+  // 40 random ~0.4-density sets over >= 64 nodes collide with probability
+  // ~2^-54; a collision here means the multi-word mixing lost entropy.
+  EXPECT_EQ(static_cast<int>(hashes.size()), drawn);
+
+  // W = 1 is pinned: the original splitmix64 finalizer, which the narrow
+  // DP-table layout (and iteration-order statistics) depends on.
+  if constexpr (NS::kWords == 1) {
+    for (int i = 0; i < 64; ++i) {
+      const NS s = NS::Single(i);
+      EXPECT_EQ(HashNodeSet(s), internal::SplitMix64(s.bits()));
+    }
+  }
+}
+
+// Cross-width agreement: on sets whose members all fit in one word, every
+// operation at W = 2 and W = 4 must agree with the W = 1 fast path — the
+// property the "all <= 64-relation plans are bit-identical" guarantee of
+// the wide tier reduces to.
+template <typename NS>
+void ExpectSameLowWord(NS wide, NodeSet narrow) {
+  ASSERT_EQ(wide.word(0), narrow.bits());
+  for (int w = 1; w < NS::kWords; ++w) {
+    ASSERT_EQ(wide.word(w), 0u) << "high word " << w << " contaminated";
+  }
+}
+
+TYPED_TEST(NodeSetDifferential, CrossWidthAgreementOnOneWordSets) {
+  using NS = TypeParam;
+  if constexpr (NS::kWords == 1) {
+    GTEST_SKIP() << "W=1 is the reference side of this comparison";
+  } else {
+    for (int i = 0; i < 60; ++i) {
+      const uint64_t seed = DerivedSeed(45000 + NS::kWords * 1000 + i);
+      SCOPED_TRACE(SeedTrace(seed));
+      Rng rng(seed);
+      const uint64_t abits = rng.Next();
+      const uint64_t bbits = rng.Next();
+      const NodeSet na(abits), nb(bbits);
+      const NS wa = FromRef<NS>(RefBits(abits));
+      const NS wb = FromRef<NS>(RefBits(bbits));
+      ASSERT_EQ(wa.word(0), abits);
+      ASSERT_EQ(wb.word(0), bbits);
+
+      ExpectSameLowWord(wa | wb, na | nb);
+      ExpectSameLowWord(wa & wb, na & nb);
+      ExpectSameLowWord(wa - wb, na - nb);
+      ExpectSameLowWord(wa.MinSet(), na.MinSet());
+      ExpectSameLowWord(wa.MinusMin(), na.MinusMin());
+      EXPECT_EQ(wa.Count(), na.Count());
+      EXPECT_EQ(wa.Empty(), na.Empty());
+      EXPECT_EQ(wa.IsSingleton(), na.IsSingleton());
+      EXPECT_EQ(wa.ToString(), na.ToString());
+      if (!na.Empty()) {
+        EXPECT_EQ(wa.Min(), na.Min());
+        EXPECT_EQ(wa.Max(), na.Max());
+      }
+      EXPECT_EQ(wa.Intersects(wb), na.Intersects(nb));
+      EXPECT_EQ(wa.IsSubsetOf(wb), na.IsSubsetOf(nb));
+      EXPECT_EQ(wa < wb, na < nb);
+      EXPECT_EQ(wa == wb, na == nb);
+
+      const int node = static_cast<int>(rng.Uniform(64));
+      EXPECT_EQ(wa.Contains(node), na.Contains(node));
+      ExpectSameLowWord(NS::Single(node), NodeSet::Single(node));
+      ExpectSameLowWord(NS::UpTo(node), NodeSet::UpTo(node));
+      ExpectSameLowWord(NS::Below(node), NodeSet::Below(node));
+      ExpectSameLowWord(NS::FullSet(node), NodeSet::FullSet(node));
+
+      // The subset walk, step by step, over a one-word mask: both widths
+      // must trace the identical sequence.
+      if (!na.Empty()) {
+        NodeSet nstate;
+        NS wstate;
+        int steps = 0;
+        do {
+          nstate = NodeSet::SubsetStep(nstate, na);
+          wstate = NS::SubsetStep(wstate, wa);
+          ExpectSameLowWord(wstate, nstate);
+        } while (!nstate.Empty() && ++steps < 512);
+      }
+    }
+  }
+}
+
+// The DPHYP_DCHECK bound guards: Single/UpTo with node >= kMaxNodes (the
+// latent one-word shift UB this PR fixed), Below past kMaxNodes, Contains
+// out of range, Min/Max on the empty set. Release builds compile the
+// checks away (they guard hot loops), so the test self-skips under NDEBUG.
+TEST(NodeSetDeathTest, BoundsAreDchecked) {
+#if defined(NDEBUG) || !GTEST_HAS_DEATH_TEST
+  GTEST_SKIP() << "DPHYP_DCHECK compiles away in NDEBUG";
+#else
+  // Volatile stops constant folding so the checks run at runtime.
+  volatile int past_narrow = NodeSet::kMaxNodes;
+  volatile int past_wide = WideNodeSet::kMaxNodes;
+  EXPECT_DEATH((void)NodeSet::Single(past_narrow), "DPHYP_CHECK failed");
+  EXPECT_DEATH((void)NodeSet::UpTo(past_narrow), "DPHYP_CHECK failed");
+  EXPECT_DEATH((void)NodeSet::Below(past_narrow + 1), "DPHYP_CHECK failed");
+  EXPECT_DEATH((void)NodeSet::Single(-1), "DPHYP_CHECK failed");
+  EXPECT_DEATH((void)WideNodeSet::Single(past_wide), "DPHYP_CHECK failed");
+  EXPECT_DEATH((void)HugeNodeSet::UpTo(HugeNodeSet::kMaxNodes),
+               "DPHYP_CHECK failed");
+  EXPECT_DEATH((void)NodeSet().Contains(past_narrow), "DPHYP_CHECK failed");
+  EXPECT_DEATH((void)NodeSet().Min(), "DPHYP_CHECK failed");
+  EXPECT_DEATH((void)WideNodeSet().Max(), "DPHYP_CHECK failed");
+#endif
 }
 
 }  // namespace
